@@ -1,0 +1,88 @@
+// Shared helpers for the per-figure/per-table bench binaries.
+//
+// Conventions: every bench runs standalone with no arguments at a reduced
+// default scale that finishes quickly on one core, and accepts
+// --scale=paper to run the full configuration from the paper, plus
+// --seed=N / --duration=S overrides.  Output is printed via TablePrinter in
+// the same rows/series the paper's table or figure reports.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/scenario.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "sim/engine.h"
+#include "sim/report.h"
+#include "trace/twitter.h"
+
+namespace arlo::bench {
+
+struct BenchArgs {
+  bool paper_scale = false;
+  std::uint64_t seed = 42;
+  double duration_override = 0.0;  ///< seconds; 0 = bench default
+
+  static BenchArgs Parse(int argc, const char* const* argv) {
+    const CliFlags flags(argc, argv);
+    BenchArgs args;
+    args.paper_scale = flags.GetString("scale", "small") == "paper";
+    args.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+    args.duration_override = flags.GetDouble("duration", 0.0);
+    return args;
+  }
+
+  double Duration(double small_default, double paper_default) const {
+    if (duration_override > 0.0) return duration_override;
+    return paper_scale ? paper_default : small_default;
+  }
+};
+
+/// Runs the named schemes over the trace (with Arlo warm-started from the
+/// trace's own distribution) and returns per-scheme reports.
+inline std::vector<sim::SchemeReport> RunSchemes(
+    const trace::Trace& trace, baselines::ScenarioConfig config,
+    const std::vector<std::string>& names,
+    std::vector<sim::EngineResult>* raw_results = nullptr) {
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  if (config.initial_demand.empty() && config.initial_allocation.empty()) {
+    config.initial_demand =
+        baselines::DemandFromTrace(trace, *runtimes, config.slo);
+  }
+  std::vector<sim::SchemeReport> reports;
+  for (const auto& name : names) {
+    auto scheme = baselines::MakeSchemeByName(name, config);
+    sim::EngineResult result = sim::RunScenario(trace, *scheme);
+    reports.push_back(sim::MakeReport(name, result, config.slo));
+    if (raw_results) raw_results->push_back(std::move(result));
+  }
+  return reports;
+}
+
+/// Runtime-id → compiled max_length map for a scheme (0 = dynamic, i.e.
+/// padding-free), for PaddingWasteOfRun.
+inline std::vector<int> MaxLengthsFor(const std::string& scheme,
+                                      const baselines::ScenarioConfig& config) {
+  if (scheme == "st") return {config.model.native_max_length};
+  if (scheme == "dt") return {0};
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  return runtimes->BinUpperBounds();
+}
+
+/// Standard Twitter trace for a bench scenario.
+inline trace::Trace MakeBenchTrace(double rate, double duration_s,
+                                   std::uint64_t seed, bool bursty,
+                                   int max_length = 512) {
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = duration_s;
+  tc.mean_rate = rate;
+  tc.seed = seed;
+  tc.max_length = max_length;
+  tc.pattern = bursty ? trace::TwitterTraceConfig::Pattern::kBursty
+                      : trace::TwitterTraceConfig::Pattern::kStable;
+  return trace::SynthesizeTwitterTrace(tc);
+}
+
+}  // namespace arlo::bench

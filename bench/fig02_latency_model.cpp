@@ -1,0 +1,54 @@
+// Fig. 2 reproduction: inference latency of static- vs dynamic-compiled
+// runtimes across sequence lengths for Bert-Base (2a), Bert-Large (2b), and
+// Dolly (2c).  The static series shows the 64-token staircase; the dynamic
+// series shows the 1.22x–3.56x (TensorRT) / mean 2.86x (TVM) inflation.
+#include "bench_util.h"
+
+#include "runtime/compiled_runtime.h"
+
+using namespace arlo;
+
+namespace {
+
+void PrintModel(const runtime::ModelSpec& model, const char* figure) {
+  const runtime::CompiledRuntime dynamic(
+      model, runtime::CompilationKind::kDynamic, model.native_max_length);
+  TablePrinter t(std::string(figure) + " — " + model.name +
+                 " latency vs sequence length (batch 1)");
+  t.SetHeader({"length", "static_ms", "dynamic_ms", "inflation"});
+  double inflation_sum = 0.0;
+  int inflation_n = 0;
+  for (int len = 16; len <= model.native_max_length; len += 16) {
+    const runtime::CompiledRuntime st(model, runtime::CompilationKind::kStatic,
+                                      len);
+    const double s = ToMillis(st.ComputeTime(len));
+    const double d = ToMillis(dynamic.ComputeTime(len));
+    inflation_sum += d / s;
+    ++inflation_n;
+    t.AddRow({TablePrinter::Int(len), TablePrinter::Num(s, 3),
+              TablePrinter::Num(d, 3), TablePrinter::Num(d / s, 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "mean dynamic/static inflation: "
+            << TablePrinter::Num(inflation_sum / inflation_n, 2) << "\n";
+  const runtime::CompiledRuntime st64(model, runtime::CompilationKind::kStatic,
+                                      64);
+  const runtime::CompiledRuntime st512(
+      model, runtime::CompilationKind::kStatic, 512);
+  std::cout << "static latency(512)/latency(64) = "
+            << TablePrinter::Num(
+                   static_cast<double>(st512.ComputeTime(512)) /
+                       static_cast<double>(st64.ComputeTime(64)),
+                   2)
+            << " (paper: " << model.ratio_512_over_64 << ")\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)bench::BenchArgs::Parse(argc, argv);
+  PrintModel(runtime::ModelSpec::BertBase(), "Fig. 2a");
+  PrintModel(runtime::ModelSpec::BertLarge(), "Fig. 2b");
+  PrintModel(runtime::ModelSpec::Dolly(), "Fig. 2c");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table 4 reproduction: Arlo's Request Scheduler (RS) vs Intra-group Load
+// Balance (ILB) and Inter-groups Greedy (IG) on three Twitter-Bursty traces
+// for the Bert-Large stream, all sharing Arlo's Runtime Scheduler — only
+// the dispatcher differs.  Also prints a λ/α/L sensitivity sweep for RS.
+#include "bench_util.h"
+
+using namespace arlo;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const double duration = args.Duration(25.0, 180.0);
+  const int gpus = 10;
+  const double rate = 1300.0;  // hot cluster: the regime Table 4 evaluates
+
+  baselines::ScenarioConfig base;
+  base.model = runtime::ModelSpec::BertLarge();
+  base.gpus = gpus;
+  base.slo = Millis(450.0);
+  base.period = Seconds(10.0);
+
+  TablePrinter t("Table 4 — dispatch strategies on three bursty traces "
+                 "(Bert-Large, 10 GPUs)");
+  t.SetHeader({"trace", "scheme", "mean_ms", "p98_ms", "slo_viol_%"});
+
+  // Three traces with different drift strengths, like the paper's third
+  // trace having "weak short-term length pattern fluctuation".
+  const double drift_amps[3] = {0.8, 0.5, 0.1};
+  for (int trace_id = 0; trace_id < 3; ++trace_id) {
+    trace::TwitterTraceConfig tc;
+    tc.duration_s = duration;
+    tc.mean_rate = rate;
+    tc.seed = args.seed + static_cast<std::uint64_t>(trace_id) * 101;
+    tc.pattern = trace::TwitterTraceConfig::Pattern::kBursty;
+    tc.drift_amplitude = drift_amps[trace_id];
+    tc.drift_period_s = duration / 2.5;
+    const trace::Trace trace = trace::SynthesizeTwitterTrace(tc);
+
+    for (const char* name : {"arlo", "arlo-ilb", "arlo-ig"}) {
+      const auto reports = bench::RunSchemes(trace, base, {name});
+      const auto& r = reports.front().latency;
+      t.AddRow({"trace" + std::to_string(trace_id + 1), name,
+                TablePrinter::Num(r.mean_ms), TablePrinter::Num(r.p98_ms),
+                TablePrinter::Num(100.0 * r.slo_violation_frac)});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "(paper: RS cuts tail latency up to 95.6% vs ILB and 58.7% "
+               "vs IG; RS ≈ ILB on the weak-fluctuation trace while IG "
+               "overloads large runtimes)\n\n";
+
+  // Sensitivity of RS to its three knobs (ablation for §5 parameter
+  // settings: λ=0.85, α=0.9, L=6).
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = duration;
+  tc.mean_rate = rate;
+  tc.seed = args.seed + 7;
+  tc.pattern = trace::TwitterTraceConfig::Pattern::kBursty;
+  const trace::Trace trace = trace::SynthesizeTwitterTrace(tc);
+
+  TablePrinter s("Request Scheduler parameter sensitivity");
+  s.SetHeader({"lambda", "alpha", "L", "mean_ms", "p98_ms"});
+  const double lambdas[] = {0.6, 0.85, 0.95};
+  const double alphas[] = {0.7, 0.9, 1.0};
+  const int peeks[] = {2, 6};
+  for (double lambda : lambdas) {
+    for (double alpha : alphas) {
+      for (int peek : peeks) {
+        baselines::ScenarioConfig config = base;
+        config.request_scheduler.lambda = lambda;
+        config.request_scheduler.alpha = alpha;
+        config.request_scheduler.max_peek = peek;
+        const auto reports = bench::RunSchemes(trace, config, {"arlo"});
+        const auto& r = reports.front().latency;
+        s.AddRow({TablePrinter::Num(lambda), TablePrinter::Num(alpha),
+                  TablePrinter::Int(peek), TablePrinter::Num(r.mean_ms),
+                  TablePrinter::Num(r.p98_ms)});
+      }
+    }
+  }
+  s.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Generic scenario driver: run any scheme on any workload configuration
+// straight from the command line, with optional CSV output for plotting —
+// the "do your own experiment" entry point.
+//
+//   ./build/examples/scenario_runner --scheme=arlo --gpus=10 --rate=1000
+//   ./build/examples/scenario_runner --scheme=st,dt,arlo --pattern=bursty \
+//       --model=bert-large --slo_ms=450 --autoscale --csv
+//
+// Flags: --scheme (comma list: arlo, arlo-ilb, arlo-ig, st, dt, infaas),
+// --model (bert-base|bert-large|roberta-large|distilbert), --gpus, --rate,
+// --seconds, --slo_ms, --period_s, --pattern (stable|bursty), --seed,
+// --autoscale, --max_batch, --mtbf_s (fault injection), --csv.
+#include <iostream>
+#include <sstream>
+
+#include "baselines/scenario.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "sim/engine.h"
+#include "sim/report.h"
+#include "trace/twitter.h"
+
+using namespace arlo;
+
+namespace {
+
+runtime::ModelSpec ModelByName(const std::string& name) {
+  if (name == "bert-base") return runtime::ModelSpec::BertBase();
+  if (name == "bert-large") return runtime::ModelSpec::BertLarge();
+  if (name == "roberta-large") return runtime::ModelSpec::RobertaLarge();
+  if (name == "distilbert") return runtime::ModelSpec::DistilBert();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+
+  trace::TwitterTraceConfig workload;
+  workload.duration_s = flags.GetDouble("seconds", 20.0);
+  workload.mean_rate = flags.GetDouble("rate", 800.0);
+  workload.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  workload.pattern = flags.GetString("pattern", "stable") == "bursty"
+                         ? trace::TwitterTraceConfig::Pattern::kBursty
+                         : trace::TwitterTraceConfig::Pattern::kStable;
+  const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
+
+  baselines::ScenarioConfig config;
+  config.model = ModelByName(flags.GetString("model", "bert-base"));
+  config.gpus = static_cast<int>(flags.GetInt("gpus", 8));
+  config.slo = Millis(flags.GetDouble("slo_ms", 150.0));
+  config.period = Seconds(flags.GetDouble("period_s", 15.0));
+  config.autoscale = flags.GetBool("autoscale", false);
+  config.max_replacement_moves =
+      static_cast<int>(flags.GetInt("max_moves", 0));
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand =
+      baselines::DemandFromTrace(trace, *runtimes, config.slo);
+
+  sim::EngineConfig engine;
+  engine.max_batch = static_cast<int>(flags.GetInt("max_batch", 1));
+  engine.mean_time_between_failures_s = flags.GetDouble("mtbf_s", 0.0);
+
+  std::vector<sim::SchemeReport> reports;
+  for (const auto& name : SplitCommas(flags.GetString("scheme", "arlo"))) {
+    auto scheme = baselines::MakeSchemeByName(name, config);
+    const sim::EngineResult result = sim::RunScenario(trace, *scheme, engine);
+    reports.push_back(sim::MakeReport(name, result, config.slo));
+    if (result.injected_failures > 0) {
+      std::cout << name << ": " << result.injected_failures
+                << " injected failures\n";
+    }
+  }
+
+  TablePrinter table("scenario: " + flags.GetString("model", "bert-base") +
+                     ", " + TablePrinter::Num(workload.mean_rate, 0) +
+                     " req/s, " + std::to_string(config.gpus) + " GPUs");
+  table.SetHeader({"scheme", "requests", "mean_ms", "p50_ms", "p98_ms",
+                   "slo_viol_%", "gpus(tw)"});
+  for (const auto& r : reports) {
+    table.AddRow({r.name,
+                  TablePrinter::Int(static_cast<long long>(r.latency.count)),
+                  TablePrinter::Num(r.latency.mean_ms),
+                  TablePrinter::Num(r.latency.p50_ms),
+                  TablePrinter::Num(r.latency.p98_ms),
+                  TablePrinter::Num(100.0 * r.latency.slo_violation_frac),
+                  TablePrinter::Num(r.time_weighted_gpus)});
+  }
+  if (flags.GetBool("csv", false)) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "baselines/scenario.h"
+
+#include <stdexcept>
+
+#include "baselines/infaas_scheme.h"
+#include "baselines/uniform_scheme.h"
+#include "common/check.h"
+#include "runtime/runtime_set.h"
+
+namespace arlo::baselines {
+
+std::vector<std::string> AllSchemeNames() {
+  return {"st", "dt", "infaas", "arlo"};
+}
+
+std::shared_ptr<const runtime::RuntimeSet> MakeRuntimeSetFor(
+    const ScenarioConfig& config) {
+  runtime::SimulatedCompiler compiler;
+  if (config.num_runtimes > 0) {
+    return std::make_shared<runtime::RuntimeSet>(runtime::MakeUniformRuntimeSet(
+        compiler, config.model, config.num_runtimes));
+  }
+  return std::make_shared<runtime::RuntimeSet>(
+      runtime::MakeArloRuntimeSet(compiler, config.model));
+}
+
+namespace {
+
+std::unique_ptr<core::ArloScheme> MakeArloVariant(
+    const ScenarioConfig& config, core::ArloScheme::DispatchKind kind) {
+  core::ArloSchemeConfig arlo;
+  arlo.initial_gpus = config.gpus;
+  arlo.initial_demand = config.initial_demand;
+  arlo.initial_allocation = config.initial_allocation;
+  arlo.enable_reallocation = config.enable_reallocation;
+  arlo.enable_autoscaler = config.autoscale;
+  arlo.autoscaler = config.autoscaler;
+  arlo.request_scheduler = config.request_scheduler;
+  arlo.runtime_scheduler.period = config.period;
+  arlo.runtime_scheduler.slo = config.slo;
+  arlo.runtime_scheduler.max_replacement_moves = config.max_replacement_moves;
+  return std::make_unique<core::ArloScheme>(MakeRuntimeSetFor(config),
+                                            std::move(arlo), kind);
+}
+
+}  // namespace
+
+std::unique_ptr<sim::Scheme> MakeSchemeByName(const std::string& name,
+                                              const ScenarioConfig& config) {
+  runtime::SimulatedCompiler compiler;
+  BaselineConfig base;
+  base.initial_gpus = config.gpus;
+  base.slo = config.slo;
+  base.enable_autoscaler = config.autoscale;
+  base.autoscaler = config.autoscaler;
+
+  if (name == "st") return MakeStScheme(compiler, config.model, base);
+  if (name == "dt") return MakeDtScheme(compiler, config.model, base);
+  if (name == "infaas") {
+    InfaasConfig infaas;
+    infaas.base = base;
+    infaas.period = config.period;
+    infaas.initial_demand = config.initial_demand;
+    auto scheme = std::make_unique<InfaasScheme>(MakeRuntimeSetFor(config),
+                                                 infaas);
+    return scheme;
+  }
+  if (name == "arlo") {
+    return MakeArloVariant(config,
+                           core::ArloScheme::DispatchKind::kRequestScheduler);
+  }
+  if (name == "arlo-ilb") {
+    return MakeArloVariant(
+        config, core::ArloScheme::DispatchKind::kIntraGroupLoadBalance);
+  }
+  if (name == "arlo-ig") {
+    return MakeArloVariant(config,
+                           core::ArloScheme::DispatchKind::kInterGroupGreedy);
+  }
+  throw std::invalid_argument("unknown scheme: " + name);
+}
+
+std::vector<double> DemandFromTrace(const trace::Trace& trace,
+                                    const runtime::RuntimeSet& runtimes,
+                                    SimDuration slo) {
+  const std::vector<int> bounds = runtimes.BinUpperBounds();
+  std::vector<double> counts(bounds.size(), 0.0);
+  for (const auto& r : trace.Requests()) {
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (r.length <= bounds[i]) {
+        counts[i] += 1.0;
+        break;
+      }
+    }
+  }
+  const double duration_s = ToSeconds(trace.Duration());
+  ARLO_CHECK(duration_s > 0.0);
+  const double slo_s = ToSeconds(slo);
+  for (double& c : counts) c = c / duration_s * slo_s;
+  return counts;
+}
+
+}  // namespace arlo::baselines

@@ -1,0 +1,61 @@
+// Scenario wiring shared by tests, benches, and examples: build any of the
+// paper's schemes by name ("arlo", "arlo-ilb", "arlo-ig", "st", "dt",
+// "infaas") against one model/GPU/SLO configuration, and derive warm-start
+// demand vectors from traces (so steady-state comparisons skip Arlo's
+// bootstrap period, as the paper's steady-state figures do).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/arlo_scheme.h"
+#include "runtime/model.h"
+#include "sim/scheme.h"
+#include "trace/trace.h"
+
+namespace arlo::baselines {
+
+struct ScenarioConfig {
+  runtime::ModelSpec model = runtime::ModelSpec::BertBase();
+  int gpus = 10;
+  SimDuration slo = Millis(150.0);
+  SimDuration period = Seconds(120.0);  ///< Runtime Scheduler period
+  bool autoscale = false;
+  core::AutoscalerConfig autoscaler;
+  /// Warm-start demand per Arlo runtime bin (requests per SLO window); empty
+  /// = cold bootstrap.  Ignored by ST/DT.
+  std::vector<double> initial_demand;
+  /// Explicit initial GPUs-per-runtime for Arlo variants (overrides
+  /// initial_demand; must sum to gpus).  Ignored by ST/DT/INFaaS.
+  std::vector<int> initial_allocation;
+  /// Request Scheduler parameters (§5: λ=0.85, α=0.9, L=6).
+  core::RequestSchedulerParams request_scheduler;
+  /// Number of runtimes for Arlo variants; 0 = staircase-detected (8).
+  int num_runtimes = 0;
+  /// Disable periodic ILP re-allocation (Table 3 ablations).
+  bool enable_reallocation = true;
+  /// >0: replacement-cost-aware re-allocation with this per-period move
+  /// budget (see RuntimeSchedulerConfig::max_replacement_moves).
+  int max_replacement_moves = 0;
+};
+
+/// Known scheme names, in the paper's comparison order.
+std::vector<std::string> AllSchemeNames();
+
+/// Builds a scheme by name.  Throws on unknown names.
+std::unique_ptr<sim::Scheme> MakeSchemeByName(const std::string& name,
+                                              const ScenarioConfig& config);
+
+/// Builds the Arlo runtime set for the config (staircase-detected count or
+/// the explicit num_runtimes override).
+std::shared_ptr<const runtime::RuntimeSet> MakeRuntimeSetFor(
+    const ScenarioConfig& config);
+
+/// Per-bin demand (requests per SLO window) measured from a whole trace —
+/// the warm-start / "global distribution" vector.
+std::vector<double> DemandFromTrace(const trace::Trace& trace,
+                                    const runtime::RuntimeSet& runtimes,
+                                    SimDuration slo);
+
+}  // namespace arlo::baselines

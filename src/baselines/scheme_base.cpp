@@ -1,0 +1,148 @@
+#include "baselines/scheme_base.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace arlo::baselines {
+
+namespace {
+
+std::vector<runtime::RuntimeProfile> MakeProfiles(
+    const runtime::RuntimeSet& set, SimDuration slo, SimDuration overhead) {
+  std::vector<runtime::RuntimeProfile> profiles;
+  profiles.reserve(set.Size());
+  for (std::size_t i = 0; i < set.Size(); ++i) {
+    profiles.push_back(runtime::ProfileRuntime(
+        set.Runtime(static_cast<RuntimeId>(i)), slo,
+        static_cast<RuntimeId>(i), overhead));
+  }
+  return profiles;
+}
+
+}  // namespace
+
+SchemeBase::SchemeBase(std::shared_ptr<const runtime::RuntimeSet> runtimes,
+                       BaselineConfig config)
+    : runtimes_(std::move(runtimes)),
+      config_(config),
+      profiles_(MakeProfiles(*runtimes_, config.slo,
+                             config.profiling_overhead)),
+      queue_(runtimes_->Size()) {
+  ARLO_CHECK(config_.initial_gpus >= 1);
+  target_gpus_ = config_.initial_gpus;
+  if (config_.enable_autoscaler) {
+    autoscaler_.emplace(config_.autoscaler, config_.slo);
+  }
+}
+
+void SchemeBase::Setup(sim::ClusterOps& cluster) {
+  const std::vector<int> allocation = InitialAllocation();
+  ARLO_CHECK(allocation.size() == runtimes_->Size());
+  int total = 0;
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    for (int k = 0; k < allocation[i]; ++k) {
+      LaunchOne(cluster, static_cast<RuntimeId>(i), 0);
+    }
+    total += allocation[i];
+  }
+  ARLO_CHECK(total == config_.initial_gpus);
+}
+
+void SchemeBase::LaunchOne(sim::ClusterOps& cluster, RuntimeId runtime,
+                           SimDuration delay) {
+  cluster.LaunchInstance(runtime, runtimes_->RuntimePtr(runtime), delay);
+  ++pending_launches_;
+}
+
+void SchemeBase::RetireOne(sim::ClusterOps& cluster, InstanceId id) {
+  if (!ready_instances_.count(id)) return;
+  queue_.RemoveInstance(id);
+  ready_instances_.erase(id);
+  cluster.RetireInstance(id);
+}
+
+std::vector<core::DeployedInstance> SchemeBase::SnapshotDeployment() const {
+  std::vector<core::DeployedInstance> out;
+  out.reserve(ready_instances_.size());
+  for (const auto& [id, rt] : ready_instances_) {
+    out.push_back(core::DeployedInstance{id, rt, queue_.Get(id).outstanding});
+  }
+  return out;
+}
+
+void SchemeBase::OnDispatched(const Request& request, InstanceId instance) {
+  queue_.OnDispatch(instance);
+  ObserveDispatch(request.length);
+}
+
+void SchemeBase::OnComplete(const RequestRecord& record,
+                            sim::ClusterOps& cluster) {
+  queue_.OnComplete(record.instance);
+  if (autoscaler_) autoscaler_->OnCompletion(cluster.Now(), record.Latency());
+}
+
+void SchemeBase::OnInstanceReady(InstanceId instance, RuntimeId runtime) {
+  ARLO_CHECK(pending_launches_ > 0);
+  --pending_launches_;
+  queue_.AddInstance(instance, runtime,
+                     profiles_[runtime].capacity_within_slo);
+  ready_instances_[instance] = runtime;
+}
+
+void SchemeBase::OnInstanceRetired(InstanceId instance) {
+  ARLO_CHECK(ready_instances_.count(instance) == 0);
+}
+
+void SchemeBase::OnInstanceFailure(InstanceId instance,
+                                   sim::ClusterOps& cluster) {
+  ARLO_CHECK_MSG(ready_instances_.count(instance) > 0,
+                 "failure reported for an untracked instance");
+  const RuntimeId runtime = ready_instances_[instance];
+  queue_.RemoveInstance(instance);
+  ready_instances_.erase(instance);
+  // Reprovision the failed worker with the same runtime (not a scaling
+  // decision; the cluster keeps its size).
+  LaunchOne(cluster, runtime, config_.replace_delay);
+}
+
+void SchemeBase::RunAutoscaler(SimTime now, sim::ClusterOps& cluster) {
+  const core::ScaleAction action = autoscaler_->Evaluate(now, target_gpus_);
+  if (action == core::ScaleAction::kOut) {
+    // New workers load the maximum-length runtime (universal acceptor).
+    LaunchOne(cluster, static_cast<RuntimeId>(runtimes_->Size() - 1),
+              config_.replace_delay);
+    ++target_gpus_;
+  } else if (action == core::ScaleAction::kIn) {
+    const RuntimeId largest = static_cast<RuntimeId>(runtimes_->Size() - 1);
+    InstanceId victim = kInvalidInstance;
+    int victim_load = std::numeric_limits<int>::max();
+    for (const auto& [id, rt] : ready_instances_) {
+      if (rt == largest && queue_.NumInstances(largest) <= 1) continue;
+      const int load = queue_.Get(id).outstanding;
+      if (load < victim_load) {
+        victim_load = load;
+        victim = id;
+      }
+    }
+    if (victim != kInvalidInstance) {
+      RetireOne(cluster, victim);
+      --target_gpus_;
+    }
+  }
+}
+
+void SchemeBase::OnTick(SimTime now, sim::ClusterOps& cluster) {
+  // Availability guard: the largest (universal) runtime must keep at least
+  // one instance so no request length is unservable — abrupt failures can
+  // break this between re-allocation periods.
+  const RuntimeId largest = static_cast<RuntimeId>(runtimes_->Size() - 1);
+  if (queue_.NumInstances(largest) == 0 && pending_launches_ == 0) {
+    if (ready_instances_.empty()) ++target_gpus_;  // replacement hardware
+    LaunchOne(cluster, largest, config_.replace_delay);
+  }
+  if (autoscaler_) RunAutoscaler(now, cluster);
+  OnPeriodic(now, cluster);
+}
+
+}  // namespace arlo::baselines

@@ -1,0 +1,91 @@
+// Shared bookkeeping for the baseline schemes (ST, DT, INFaaS): instance
+// lifecycle, multi-level-queue load sync, and the headroom/target-tracking
+// auto-scaler all three reuse (§5 Compared schemes: "ST and DT employ the
+// headroom-based auto-scaling heuristics from INFaaS").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/autoscaler.h"
+#include "core/multi_level_queue.h"
+#include "core/replacement.h"
+#include "runtime/profiler.h"
+#include "runtime/runtime_set.h"
+#include "sim/scheme.h"
+
+namespace arlo::baselines {
+
+struct BaselineConfig {
+  int initial_gpus = 10;
+  SimDuration slo = Millis(150.0);
+  bool enable_autoscaler = false;
+  core::AutoscalerConfig autoscaler;
+  SimDuration replace_delay = Seconds(1.0);
+  /// Folded into offline profiles (see runtime::ProfileRuntime).
+  SimDuration profiling_overhead = Millis(0.8);
+};
+
+class SchemeBase : public sim::Scheme {
+ public:
+  void Setup(sim::ClusterOps& cluster) override;
+  void OnDispatched(const Request& request, InstanceId instance) override;
+  void OnComplete(const RequestRecord& record,
+                  sim::ClusterOps& cluster) override;
+  void OnInstanceReady(InstanceId instance, RuntimeId runtime) override;
+  void OnInstanceRetired(InstanceId instance) override;
+  void OnInstanceFailure(InstanceId instance,
+                         sim::ClusterOps& cluster) override;
+  void OnTick(SimTime now, sim::ClusterOps& cluster) override;
+
+ protected:
+  SchemeBase(std::shared_ptr<const runtime::RuntimeSet> runtimes,
+             BaselineConfig config);
+
+  /// Initial GPUs-per-runtime split (called once in Setup).
+  virtual std::vector<int> InitialAllocation() const = 0;
+
+  /// Subclass periodic housekeeping, called after autoscaling each tick.
+  virtual void OnPeriodic(SimTime now, sim::ClusterOps& cluster) {
+    (void)now;
+    (void)cluster;
+  }
+
+  /// A request length was dispatched (for demand tracking in subclasses).
+  virtual void ObserveDispatch(int length) { (void)length; }
+
+  void LaunchOne(sim::ClusterOps& cluster, RuntimeId runtime,
+                 SimDuration delay);
+  /// Removes from the queue and retires; no-op if already gone.
+  void RetireOne(sim::ClusterOps& cluster, InstanceId id);
+  std::vector<core::DeployedInstance> SnapshotDeployment() const;
+
+  const runtime::RuntimeSet& Runtimes() const { return *runtimes_; }
+  const std::vector<runtime::RuntimeProfile>& Profiles() const {
+    return profiles_;
+  }
+  core::MultiLevelQueue& Queue() { return queue_; }
+  const core::MultiLevelQueue& Queue() const { return queue_; }
+  const BaselineConfig& Config() const { return config_; }
+  int TargetGpus() const { return target_gpus_; }
+  int PendingLaunches() const { return pending_launches_; }
+  const std::map<InstanceId, RuntimeId>& ReadyInstances() const {
+    return ready_instances_;
+  }
+
+ private:
+  void RunAutoscaler(SimTime now, sim::ClusterOps& cluster);
+
+  std::shared_ptr<const runtime::RuntimeSet> runtimes_;
+  BaselineConfig config_;
+  std::vector<runtime::RuntimeProfile> profiles_;
+  core::MultiLevelQueue queue_;
+  std::optional<core::TargetTrackingAutoscaler> autoscaler_;
+  std::map<InstanceId, RuntimeId> ready_instances_;
+  int pending_launches_ = 0;
+  int target_gpus_ = 0;
+};
+
+}  // namespace arlo::baselines

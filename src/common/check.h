@@ -1,0 +1,36 @@
+// Lightweight precondition checking.
+//
+// ARLO_CHECK is used for programmer-error preconditions and internal
+// invariants; it throws std::logic_error so tests can assert on violations
+// and the simulator never continues from a corrupted state.  It is always on
+// (release builds included): every check sits far off the per-event hot path
+// or guards setup code.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace arlo::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ARLO_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace arlo::detail
+
+#define ARLO_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::arlo::detail::CheckFailed(#cond, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define ARLO_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::arlo::detail::CheckFailed(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)

@@ -1,0 +1,51 @@
+#include "common/cli.h"
+
+#include <stdexcept>
+#include <string_view>
+
+namespace arlo {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " +
+                                  std::string(arg));
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "true";
+    } else {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool CliFlags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string CliFlags::GetString(const std::string& key,
+                                const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long CliFlags::GetInt(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double CliFlags::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool CliFlags::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace arlo

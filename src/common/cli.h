@@ -1,0 +1,29 @@
+// Minimal --key=value flag parser for examples and bench harness binaries.
+// Every bench must run with zero arguments (default reduced scale) and also
+// accept overrides like --scale=paper, --gpus=90, --seed=7.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace arlo {
+
+/// Parses argv of the form "--key=value" or bare "--flag" (value "true").
+/// Unknown positional arguments raise std::invalid_argument so typos in a
+/// bench invocation fail loudly instead of silently running defaults.
+class CliFlags {
+ public:
+  CliFlags(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  long long GetInt(const std::string& key, long long fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace arlo

@@ -1,0 +1,24 @@
+#include <iomanip>
+#include <sstream>
+
+#include "common/types.h"
+
+namespace arlo {
+
+std::string FormatDuration(SimDuration d) {
+  std::ostringstream os;
+  os << std::fixed;
+  const double abs_ns = static_cast<double>(d < 0 ? -d : d);
+  if (abs_ns < 1e3) {
+    os << d << "ns";
+  } else if (abs_ns < 1e6) {
+    os << std::setprecision(2) << static_cast<double>(d) / 1e3 << "us";
+  } else if (abs_ns < 1e9) {
+    os << std::setprecision(2) << static_cast<double>(d) / 1e6 << "ms";
+  } else {
+    os << std::setprecision(2) << static_cast<double>(d) / 1e9 << "s";
+  }
+  return os.str();
+}
+
+}  // namespace arlo

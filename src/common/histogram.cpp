@@ -1,0 +1,136 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace arlo {
+
+Histogram::Histogram(int max_value) : max_value_(max_value) {
+  ARLO_CHECK(max_value >= 1);
+  counts_.assign(static_cast<std::size_t>(max_value), 0);
+}
+
+void Histogram::Add(int value, std::uint64_t weight) {
+  const int v = std::clamp(value, 1, max_value_);
+  counts_[static_cast<std::size_t>(v - 1)] += weight;
+  total_ += weight;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  ARLO_CHECK(other.max_value_ == max_value_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+std::uint64_t Histogram::CountAt(int value) const {
+  if (value < 1 || value > max_value_) return 0;
+  return counts_[static_cast<std::size_t>(value - 1)];
+}
+
+std::uint64_t Histogram::CountInRange(int lo, int hi) const {
+  lo = std::max(lo, 1);
+  hi = std::min(hi, max_value_);
+  std::uint64_t sum = 0;
+  for (int v = lo; v <= hi; ++v) {
+    sum += counts_[static_cast<std::size_t>(v - 1)];
+  }
+  return sum;
+}
+
+int Histogram::Quantile(double q) const {
+  ARLO_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return max_value_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_) + 0.5);
+  std::uint64_t running = 0;
+  for (int v = 1; v <= max_value_; ++v) {
+    running += counts_[static_cast<std::size_t>(v - 1)];
+    if (running >= target) return v;
+  }
+  return max_value_;
+}
+
+double Histogram::CdfAt(int v) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(CountInRange(1, v)) /
+         static_cast<double>(total_);
+}
+
+double Histogram::Mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (int v = 1; v <= max_value_; ++v) {
+    sum += static_cast<double>(v) *
+           static_cast<double>(counts_[static_cast<std::size_t>(v - 1)]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+std::vector<double> Histogram::Pmf() const {
+  std::vector<double> pmf(counts_.size(), 0.0);
+  if (total_ == 0) return pmf;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    pmf[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return pmf;
+}
+
+DecayingHistogram::DecayingHistogram(int max_value, double decay_factor)
+    : max_value_(max_value), decay_(decay_factor) {
+  ARLO_CHECK(max_value >= 1);
+  ARLO_CHECK(decay_factor > 0.0 && decay_factor <= 1.0);
+  weights_.assign(static_cast<std::size_t>(max_value), 0.0);
+}
+
+void DecayingHistogram::Add(int value, double weight) {
+  ARLO_CHECK(weight >= 0.0);
+  const int v = std::clamp(value, 1, max_value_);
+  weights_[static_cast<std::size_t>(v - 1)] += weight;
+  total_ += weight;
+}
+
+void DecayingHistogram::Decay() {
+  total_ = 0.0;
+  for (double& w : weights_) {
+    w *= decay_;
+    total_ += w;
+  }
+}
+
+double DecayingHistogram::WeightInRange(int lo, int hi) const {
+  lo = std::max(lo, 1);
+  hi = std::min(hi, max_value_);
+  double sum = 0.0;
+  for (int v = lo; v <= hi; ++v) {
+    sum += weights_[static_cast<std::size_t>(v - 1)];
+  }
+  return sum;
+}
+
+std::vector<double> DecayingHistogram::BinDemand(
+    const std::vector<int>& bin_upper_bounds, double total) const {
+  std::vector<double> demand(bin_upper_bounds.size(), 0.0);
+  if (total_ <= 0.0) {
+    // No observations yet: assume everything lands in the largest bin, the
+    // conservative choice (matches Eq. 7's "always keep the max runtime").
+    if (!demand.empty()) demand.back() = total;
+    return demand;
+  }
+  int lo = 1;
+  for (std::size_t i = 0; i < bin_upper_bounds.size(); ++i) {
+    const int hi = bin_upper_bounds[i];
+    demand[i] = WeightInRange(lo, hi) / total_ * total;
+    lo = hi + 1;
+  }
+  return demand;
+}
+
+}  // namespace arlo

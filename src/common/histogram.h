@@ -1,0 +1,74 @@
+// Fixed-bin integer histogram used to track the request-length distribution
+// online (the Runtime Scheduler's input) and to compare distributions in
+// tests (Fig. 1 reproduction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace arlo {
+
+/// Histogram over integer values in [1, max_value].  Out-of-range adds clamp
+/// to the nearest bound so a stray over-long request cannot crash serving.
+class Histogram {
+ public:
+  explicit Histogram(int max_value);
+
+  void Add(int value, std::uint64_t weight = 1);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  int MaxValue() const { return max_value_; }
+  std::uint64_t Total() const { return total_; }
+  std::uint64_t CountAt(int value) const;
+  /// Total count with value in [lo, hi] inclusive.
+  std::uint64_t CountInRange(int lo, int hi) const;
+
+  /// Smallest v such that CDF(v) >= q.  Returns max_value for empty data.
+  int Quantile(double q) const;
+
+  /// Fraction of mass <= v.
+  double CdfAt(int v) const;
+
+  /// Mean of the recorded values.
+  double Mean() const;
+
+  /// Per-bin probability mass, index 0 == value 1.
+  std::vector<double> Pmf() const;
+
+ private:
+  int max_value_;
+  std::vector<std::uint64_t> counts_;  // counts_[v-1] = count of value v
+  std::uint64_t total_ = 0;
+};
+
+/// Exponentially-decayed histogram: the Runtime Scheduler weighs recent
+/// traffic more heavily than stale traffic when re-solving the allocation.
+/// Decay() multiplies all mass by `factor` (applied once per scheduler
+/// period), keeping an effective horizon of ~1/(1-factor) periods.
+class DecayingHistogram {
+ public:
+  DecayingHistogram(int max_value, double decay_factor);
+
+  void Add(int value, double weight = 1.0);
+  /// Applies one decay step (called at each scheduler period boundary).
+  void Decay();
+
+  /// Expected number of observations per bin range given current (decayed)
+  /// weights, normalized to the supplied total.
+  std::vector<double> BinDemand(const std::vector<int>& bin_upper_bounds,
+                                double total) const;
+
+  double TotalWeight() const { return total_; }
+  int MaxValue() const { return max_value_; }
+  double WeightInRange(int lo, int hi) const;
+
+ private:
+  int max_value_;
+  double decay_;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+};
+
+}  // namespace arlo

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the reproduction (trace synthesis, arrival
+// processes, tie-breaking) draws from Rng so that a scenario is a pure
+// function of its seed.  We implement xoshiro256** (Blackman & Vigna) seeded
+// through SplitMix64 — fast, high-quality, and trivially reproducible across
+// platforms, unlike std::mt19937 whose distributions are not
+// implementation-defined-stable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace arlo {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also usable directly as a tiny stateless hash for deterministic
+/// per-element jitter.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** generator with explicit, portable distribution sampling.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single user seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  /// Exponential with the given rate (events per unit); mean = 1/rate.
+  double Exponential(double rate);
+
+  /// Poisson-distributed count with the given mean.  Uses Knuth's method for
+  /// small means and normal approximation with continuity correction above
+  /// 64 to stay O(1) for the high request rates of Fig. 10.
+  int Poisson(double mean);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Returns an independent generator derived from this one's stream —
+  /// useful for giving each substream (lengths vs. arrivals) its own RNG.
+  Rng Split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace arlo

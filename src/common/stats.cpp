@@ -1,0 +1,154 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace arlo {
+
+void StreamingStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::Stddev() const { return std::sqrt(Variance()); }
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void PercentileTracker::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+const std::vector<double>& PercentileTracker::Sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+double PercentileTracker::Quantile(double q) const {
+  ARLO_CHECK(q >= 0.0 && q <= 1.0);
+  const auto& s = Sorted();
+  if (s.empty()) return 0.0;
+  if (s.size() == 1) return s.front();
+  const double rank = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double PercentileTracker::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<double> PercentileTracker::CdfAt(
+    const std::vector<double>& xs) const {
+  const auto& s = Sorted();
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    const auto it = std::upper_bound(s.begin(), s.end(), x);
+    out.push_back(s.empty()
+                      ? 0.0
+                      : static_cast<double>(it - s.begin()) /
+                            static_cast<double>(s.size()));
+  }
+  return out;
+}
+
+void PercentileTracker::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void TimeWindowedQuantile::Add(SimTime when, double value) {
+  points_.emplace_back(when, value);
+}
+
+void TimeWindowedQuantile::Evict(SimTime now) {
+  const SimTime horizon = now - window_;
+  while (!points_.empty() && points_.front().first < horizon) {
+    points_.pop_front();
+  }
+}
+
+double TimeWindowedQuantile::Quantile(SimTime now, double q) {
+  Evict(now);
+  if (points_.empty()) return 0.0;
+  std::vector<double> values;
+  values.reserve(points_.size());
+  for (const auto& [t, v] : points_) values.push_back(v);
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::size_t TimeWindowedQuantile::Count(SimTime now) {
+  Evict(now);
+  return points_.size();
+}
+
+LatencySummary Summarize(const std::vector<RequestRecord>& records,
+                         SimDuration slo) {
+  LatencySummary out;
+  out.count = records.size();
+  if (records.empty()) return out;
+  PercentileTracker lat;
+  lat.Reserve(records.size());
+  std::size_t violations = 0;
+  for (const auto& r : records) {
+    lat.Add(ToMillis(r.Latency()));
+    if (r.Latency() > slo) ++violations;
+  }
+  out.mean_ms = lat.Mean();
+  out.p50_ms = lat.Quantile(0.50);
+  out.p90_ms = lat.Quantile(0.90);
+  out.p98_ms = lat.Quantile(0.98);
+  out.p99_ms = lat.Quantile(0.99);
+  out.max_ms = lat.Max();
+  out.slo_violation_frac =
+      static_cast<double>(violations) / static_cast<double>(records.size());
+  return out;
+}
+
+}  // namespace arlo

@@ -1,0 +1,108 @@
+// Streaming and exact statistics used by the metrics pipeline, the
+// autoscaler's latency window, and every benchmark report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+
+namespace arlo {
+
+/// Welford-style streaming moments: O(1) space, numerically stable.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  std::size_t Count() const { return count_; }
+  double Mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double Variance() const;
+  double Stddev() const;
+  double Min() const { return count_ ? min_ : 0.0; }
+  double Max() const { return count_ ? max_ : 0.0; }
+  double Sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const StreamingStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact-percentile sample set.  Stores all samples; Quantile() sorts lazily
+/// on first query after an insert.  The paper reports mean and 98th
+/// percentile latency, which we compute exactly rather than via sketches so
+/// that small-trace calibration comparisons (§5.2.1) are not confounded by
+/// sketch error.
+class PercentileTracker {
+ public:
+  void Add(double x);
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t Count() const { return samples_.size(); }
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P98() const { return Quantile(0.98); }
+  double P99() const { return Quantile(0.99); }
+  double Mean() const;
+  double Min() const { return Quantile(0.0); }
+  double Max() const { return Quantile(1.0); }
+
+  /// CDF sampled at the given x-values: fraction of samples <= x.
+  std::vector<double> CdfAt(const std::vector<double>& xs) const;
+
+  /// All samples, sorted ascending (for CDF plots).
+  const std::vector<double>& Sorted() const;
+
+  void Clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Sliding window over (time, value) observations; the autoscaler asks for
+/// the p98 of latencies completed in the last W seconds (§4).
+class TimeWindowedQuantile {
+ public:
+  explicit TimeWindowedQuantile(SimDuration window) : window_(window) {}
+
+  void Add(SimTime when, double value);
+  /// Drops observations older than `now - window` and returns the quantile
+  /// of the survivors; returns 0 when the window is empty.
+  double Quantile(SimTime now, double q);
+  std::size_t Count(SimTime now);
+
+ private:
+  void Evict(SimTime now);
+
+  SimDuration window_;
+  std::deque<std::pair<SimTime, double>> points_;
+};
+
+/// Aggregate latency summary reported by scenario runs.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p98_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double slo_violation_frac = 0.0;  ///< fraction of requests over the SLO
+};
+
+/// Builds a LatencySummary from request records against an SLO.
+LatencySummary Summarize(const std::vector<RequestRecord>& records,
+                         SimDuration slo);
+
+}  // namespace arlo

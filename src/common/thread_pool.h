@@ -1,0 +1,66 @@
+// A small fixed-size thread pool.
+//
+// Used by (a) the threaded testbed in src/serving, where each GPU instance
+// is emulated by a dedicated worker, and (b) bench sweep drivers that run
+// independent scenario replications in parallel.  Tasks are type-erased
+// std::function<void()>; completion is observed through the returned
+// futures.  Simple mutex+condvar design — the pool is never on the
+// per-request hot path (instances own their queues in src/serving).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace arlo {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it finishes (or rethrows).
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) throw std::runtime_error("Submit on stopped ThreadPool");
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  std::size_t NumThreads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, n) on up to `threads` workers and waits.
+/// Falls back to serial execution when threads <= 1 (e.g. on 1-core hosts),
+/// avoiding pool overhead where it cannot help.
+void ParallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace arlo

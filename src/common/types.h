@@ -1,0 +1,85 @@
+// Core value types shared by every Arlo module.
+//
+// Simulation time is an integer count of nanoseconds since the start of the
+// scenario.  Integer time keeps the discrete-event simulator exactly
+// deterministic (no floating-point event-ordering ambiguity) while being fine
+// enough to represent the microsecond-scale dispatch overheads the paper
+// measures (Fig. 9) and the millisecond-scale model latencies (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace arlo {
+
+/// Nanoseconds since scenario start.  Signed so that differences are safe.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, also in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Unit helpers.  All simulation code builds times from these so the unit
+/// convention lives in exactly one place.
+constexpr SimDuration Nanos(std::int64_t n) { return n; }
+constexpr SimDuration Micros(double us) {
+  return static_cast<SimDuration>(us * 1e3);
+}
+constexpr SimDuration Millis(double ms) {
+  return static_cast<SimDuration>(ms * 1e6);
+}
+constexpr SimDuration Seconds(double s) {
+  return static_cast<SimDuration>(s * 1e9);
+}
+
+constexpr double ToMicros(SimDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+/// Monotonically increasing identifier of an inference request within one
+/// request stream.
+using RequestId = std::uint64_t;
+
+/// Identifier of a deployed runtime *kind* (a (model, max_length) pair),
+/// assigned by the RuntimeSet in increasing max_length order.
+using RuntimeId = std::uint32_t;
+
+/// Identifier of a GPU instance slot in the cluster.
+using InstanceId = std::uint32_t;
+
+inline constexpr RuntimeId kInvalidRuntime = static_cast<RuntimeId>(-1);
+inline constexpr InstanceId kInvalidInstance = static_cast<InstanceId>(-1);
+
+/// One inference request as seen by the scheduler: arrival time and token
+/// length.  The payload itself is irrelevant to scheduling and elided.
+struct Request {
+  RequestId id = 0;
+  SimTime arrival = 0;   ///< arrival at the scheduler frontend
+  int length = 0;        ///< token count of the input sequence
+  int stream = 0;        ///< request-stream tag (multi-stream serving, §6)
+};
+
+/// The lifecycle record the metrics pipeline consumes.
+struct RequestRecord {
+  RequestId id = 0;
+  SimTime arrival = 0;
+  SimTime dispatch = 0;     ///< when the scheduler picked an instance
+  SimTime start = 0;        ///< when the instance began executing it
+  SimTime completion = 0;   ///< when the result was produced
+  int length = 0;
+  int stream = 0;
+  RuntimeId runtime = kInvalidRuntime;
+  InstanceId instance = kInvalidInstance;
+
+  /// End-to-end latency (queueing + execution), the paper's reported metric.
+  SimDuration Latency() const { return completion - arrival; }
+  SimDuration QueueingDelay() const { return start - arrival; }
+  SimDuration ServiceTime() const { return completion - start; }
+};
+
+/// Pretty-print a simulated duration (e.g. "12.34ms") for reports.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace arlo

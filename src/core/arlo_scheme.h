@@ -1,0 +1,129 @@
+// The complete Arlo serving system as a sim::Scheme: polymorphed runtime
+// set + Runtime Scheduler (periodic ILP allocation, minimal replacement) +
+// Request Scheduler (multi-level queue dispatch) + optional target-tracking
+// auto-scaler.  The Table-4 ablations (ILB / IG dispatching) are selectable
+// so they share every other component with Arlo, isolating the dispatcher.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/autoscaler.h"
+#include "core/multi_level_queue.h"
+#include "core/replacement.h"
+#include "core/request_scheduler.h"
+#include "core/runtime_scheduler.h"
+#include "runtime/runtime_set.h"
+#include "sim/scheme.h"
+
+namespace arlo::core {
+
+struct ArloSchemeConfig {
+  RuntimeSchedulerConfig runtime_scheduler;
+  RequestSchedulerParams request_scheduler;
+
+  int initial_gpus = 10;
+  /// Optional per-bin demand (requests per SLO window) used to pre-solve the
+  /// initial allocation; empty = bootstrap with everything on the largest
+  /// runtime until the first observation period completes.
+  std::vector<double> initial_demand;
+  /// Explicit initial GPUs-per-runtime (overrides initial_demand; must sum
+  /// to initial_gpus).  Used by ablations that pin the deployment.
+  std::vector<int> initial_allocation;
+
+  /// Periodic re-allocation on/off (off = the Table-3 "offline" ablations).
+  bool enable_reallocation = true;
+
+  bool enable_autoscaler = false;
+  AutoscalerConfig autoscaler;
+
+  /// Online instance replacement / launch delay (§4: ~1 s).
+  SimDuration replace_delay = Seconds(1.0);
+
+  /// Fixed per-request serving overhead folded into the offline profiles
+  /// (network + host-device copies; §5.2.1 calibrates 0.8 ms).
+  SimDuration profiling_overhead = Millis(0.8);
+};
+
+class ArloScheme final : public sim::Scheme {
+ public:
+  /// Dispatch strategy: Arlo's Request Scheduler, or the Table-4 baselines.
+  enum class DispatchKind {
+    kRequestScheduler,      ///< Algorithm 1 (RS)
+    kIntraGroupLoadBalance, ///< ILB: ideal runtime, least-loaded instance
+    kInterGroupGreedy,      ///< IG: least-loaded instance across candidates
+  };
+
+  ArloScheme(std::shared_ptr<const runtime::RuntimeSet> runtimes,
+             ArloSchemeConfig config,
+             DispatchKind dispatch = DispatchKind::kRequestScheduler);
+
+  std::string Name() const override;
+  void Setup(sim::ClusterOps& cluster) override;
+  InstanceId SelectInstance(const Request& request,
+                            sim::ClusterOps& cluster) override;
+  void OnDispatched(const Request& request, InstanceId instance) override;
+  void OnComplete(const RequestRecord& record,
+                  sim::ClusterOps& cluster) override;
+  void OnInstanceReady(InstanceId instance, RuntimeId runtime) override;
+  void OnInstanceRetired(InstanceId instance) override;
+  void OnInstanceFailure(InstanceId instance,
+                         sim::ClusterOps& cluster) override;
+  void OnTick(SimTime now, sim::ClusterOps& cluster) override;
+  SimDuration TickInterval() const override {
+    return std::min(config_.runtime_scheduler.period, Seconds(5.0));
+  }
+
+  /// (time, GPUs per runtime) after every allocation decision — Fig. 12.
+  const std::vector<std::pair<SimTime, std::vector<int>>>& AllocationHistory()
+      const {
+    return allocation_history_;
+  }
+
+  /// Dispatch counters for the deep-dive benches.
+  struct DispatchStats {
+    std::uint64_t total = 0;
+    std::uint64_t demoted = 0;
+    std::uint64_t fallbacks = 0;
+  };
+  const DispatchStats& Stats() const { return stats_; }
+
+  const MultiLevelQueue& Queue() const { return queue_; }
+
+ private:
+  void LaunchOne(sim::ClusterOps& cluster, RuntimeId runtime,
+                 SimDuration delay);
+  void ExecuteBatch(sim::ClusterOps& cluster,
+                    const std::vector<ReplacementStep>& batch);
+  void MaybeReallocate(SimTime now, sim::ClusterOps& cluster);
+  void RunAutoscaler(SimTime now, sim::ClusterOps& cluster);
+  std::vector<DeployedInstance> SnapshotDeployment() const;
+
+  InstanceId SelectIlb(int length) const;
+  InstanceId SelectIg(int length) const;
+
+  std::shared_ptr<const runtime::RuntimeSet> runtimes_;
+  ArloSchemeConfig config_;
+  DispatchKind dispatch_kind_;
+  std::vector<runtime::RuntimeProfile> profiles_;
+
+  MultiLevelQueue queue_;
+  RequestScheduler request_scheduler_;
+  RuntimeScheduler runtime_scheduler_;
+  std::optional<TargetTrackingAutoscaler> autoscaler_;
+
+  std::map<InstanceId, RuntimeId> ready_instances_;
+  int pending_launches_ = 0;
+  std::deque<std::vector<ReplacementStep>> pending_batches_;
+  int target_gpus_ = 0;
+  SimTime next_period_ = 0;
+
+  std::vector<std::pair<SimTime, std::vector<int>>> allocation_history_;
+  DispatchStats stats_;
+};
+
+}  // namespace arlo::core

@@ -1,0 +1,43 @@
+#include "core/autoscaler.h"
+
+#include "common/check.h"
+
+namespace arlo::core {
+
+TargetTrackingAutoscaler::TargetTrackingAutoscaler(AutoscalerConfig config,
+                                                   SimDuration slo)
+    : config_(config), slo_(slo), window_(config.latency_window) {
+  ARLO_CHECK(slo > 0);
+  ARLO_CHECK(config_.scale_out_fraction > config_.scale_in_fraction);
+  ARLO_CHECK(config_.min_gpus >= 1);
+}
+
+void TargetTrackingAutoscaler::OnCompletion(SimTime now, SimDuration latency) {
+  window_.Add(now, static_cast<double>(latency));
+}
+
+ScaleAction TargetTrackingAutoscaler::Evaluate(SimTime now, int current_gpus) {
+  if (window_.Count(now) < config_.min_samples) return ScaleAction::kNone;
+  const double p98 = window_.Quantile(now, 0.98);
+  last_p98_ms_ = p98 / 1e6;
+
+  if (p98 >= config_.scale_out_fraction * static_cast<double>(slo_) &&
+      current_gpus < config_.max_gpus &&
+      (!has_scaled_out_ ||
+       now - last_scale_out_ >= config_.scale_out_cooldown)) {
+    has_scaled_out_ = true;
+    last_scale_out_ = now;
+    return ScaleAction::kOut;
+  }
+
+  if (now - last_scale_in_check_ >= config_.scale_in_interval) {
+    last_scale_in_check_ = now;
+    if (p98 < config_.scale_in_fraction * static_cast<double>(slo_) &&
+        current_gpus > config_.min_gpus) {
+      return ScaleAction::kIn;
+    }
+  }
+  return ScaleAction::kNone;
+}
+
+}  // namespace arlo::core

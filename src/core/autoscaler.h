@@ -1,0 +1,53 @@
+// Target-tracking auto-scaler (§4 Implementation, "Resource scaling").
+//
+// Scale OUT when the 98%ile latency of recently completed requests reaches
+// 95% of the SLO; the new worker loads the maximum-length runtime.  Scale IN
+// conservatively: release the least busy instance when the recent 98%ile
+// stays below 50% of the SLO at a 60-second evaluation cadence.
+#pragma once
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace arlo::core {
+
+struct AutoscalerConfig {
+  double scale_out_fraction = 0.95;  ///< trigger at p98 >= 0.95 * SLO
+  double scale_in_fraction = 0.50;   ///< trigger at p98 < 0.50 * SLO
+  SimDuration latency_window = Seconds(15.0);  ///< "recent" completions
+  SimDuration scale_out_cooldown = Seconds(10.0);
+  SimDuration scale_in_interval = Seconds(60.0);  ///< §4: every 60 s
+  int min_gpus = 1;
+  int max_gpus = 1 << 20;
+  /// Minimum completions in the window before acting (avoids reacting to
+  /// a handful of samples right after start-up).
+  std::size_t min_samples = 20;
+};
+
+enum class ScaleAction { kNone, kOut, kIn };
+
+class TargetTrackingAutoscaler {
+ public:
+  TargetTrackingAutoscaler(AutoscalerConfig config, SimDuration slo);
+
+  /// Feed every completed request's end-to-end latency.
+  void OnCompletion(SimTime now, SimDuration latency);
+
+  /// Called periodically; returns the action to take given the current GPU
+  /// count.  The caller performs the action; cooldowns are tracked here.
+  ScaleAction Evaluate(SimTime now, int current_gpus);
+
+  /// Most recent windowed p98 (ms), for diagnostics.
+  double LastWindowP98Ms() const { return last_p98_ms_; }
+
+ private:
+  AutoscalerConfig config_;
+  SimDuration slo_;
+  TimeWindowedQuantile window_;
+  bool has_scaled_out_ = false;
+  SimTime last_scale_out_ = 0;
+  SimTime last_scale_in_check_ = 0;
+  double last_p98_ms_ = 0.0;
+};
+
+}  // namespace arlo::core

@@ -1,0 +1,43 @@
+#include "core/distribution_tracker.h"
+
+#include "common/check.h"
+
+namespace arlo::core {
+
+DistributionTracker::DistributionTracker(int max_length, double decay)
+    : current_(max_length), history_(max_length, decay) {}
+
+void DistributionTracker::Observe(int length) {
+  current_.Add(length);
+  ++period_count_;
+}
+
+void DistributionTracker::RollPeriod(double period_seconds) {
+  ARLO_CHECK(period_seconds > 0.0);
+  history_.Decay();
+  for (int v = 1; v <= current_.MaxValue(); ++v) {
+    const auto c = current_.CountAt(v);
+    if (c > 0) history_.Add(v, static_cast<double>(c));
+  }
+  const double rate =
+      static_cast<double>(period_count_) / period_seconds;
+  // Exponential smoothing of the aggregate rate (same horizon as weights).
+  smoothed_rate_ = has_history_ ? 0.5 * smoothed_rate_ + 0.5 * rate : rate;
+  has_history_ = true;
+  current_.Clear();
+  period_count_ = 0;
+}
+
+std::vector<double> DistributionTracker::DemandPerSlo(
+    const std::vector<int>& bin_upper_bounds, double slo_seconds) const {
+  ARLO_CHECK(slo_seconds > 0.0);
+  const double total_per_slo = smoothed_rate_ * slo_seconds;
+  if (!has_history_) {
+    // Cold start: no information; report zero demand (the caller keeps its
+    // bootstrap allocation until the first period completes).
+    return std::vector<double>(bin_upper_bounds.size(), 0.0);
+  }
+  return history_.BinDemand(bin_upper_bounds, total_per_slo);
+}
+
+}  // namespace arlo::core

@@ -1,0 +1,52 @@
+// Windowed request-length distribution tracking (workflow step (a) in
+// Fig. 3): the Runtime Scheduler's view of long-term demand.
+//
+// Counts arrivals per length in the current scheduler period; at each
+// period boundary the histogram is folded into an exponentially decayed
+// accumulator, so allocation decisions weigh recent traffic more heavily
+// while smoothing over single-period noise.
+#pragma once
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace arlo::core {
+
+class DistributionTracker {
+ public:
+  /// decay = weight multiplier applied to history each period (0.5 gives an
+  /// effective horizon of ~2 periods; 1.0 never forgets).
+  DistributionTracker(int max_length, double decay = 0.5);
+
+  /// An arrival was observed now (time only used for rate estimation).
+  void Observe(int length);
+
+  /// Folds the current period into history and resets the period counters.
+  /// `period_seconds` scales counts into rates.
+  void RollPeriod(double period_seconds);
+
+  /// Demand vector Q_i for the ILP: expected requests per SLO window whose
+  /// length falls in each runtime bin ((prev_bound, bound]).  Uses the
+  /// decayed history blended with the in-flight period.
+  std::vector<double> DemandPerSlo(const std::vector<int>& bin_upper_bounds,
+                                   double slo_seconds) const;
+
+  /// Estimated aggregate arrival rate (requests/second) from history.
+  double EstimatedRate() const { return smoothed_rate_; }
+
+  /// Total observations in the not-yet-rolled period.
+  std::uint64_t CurrentPeriodCount() const { return period_count_; }
+
+  int MaxLength() const { return current_.MaxValue(); }
+
+ private:
+  Histogram current_;          // in-flight period
+  DecayingHistogram history_;  // decayed past periods
+  std::uint64_t period_count_ = 0;
+  double smoothed_rate_ = 0.0;
+  bool has_history_ = false;
+};
+
+}  // namespace arlo::core

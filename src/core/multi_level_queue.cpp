@@ -1,0 +1,115 @@
+#include "core/multi_level_queue.h"
+
+#include "common/check.h"
+
+namespace arlo::core {
+
+MultiLevelQueue::MultiLevelQueue(std::size_t num_levels)
+    : levels_(num_levels) {
+  ARLO_CHECK(num_levels >= 1);
+}
+
+void MultiLevelQueue::AddInstance(InstanceId id, RuntimeId runtime,
+                                  int max_capacity, int outstanding) {
+  ARLO_CHECK(runtime < levels_.size());
+  ARLO_CHECK(max_capacity >= 1);
+  ARLO_CHECK(outstanding >= 0);
+  ARLO_CHECK_MSG(index_.count(id) == 0, "instance already registered");
+  index_[id] = Entry{runtime, outstanding, max_capacity};
+  levels_[runtime].insert({outstanding, id});
+}
+
+void MultiLevelQueue::RemoveInstance(InstanceId id) {
+  const auto it = index_.find(id);
+  ARLO_CHECK_MSG(it != index_.end(), "removing unknown instance");
+  levels_[it->second.runtime].erase({it->second.outstanding, id});
+  index_.erase(it);
+}
+
+void MultiLevelQueue::OnDispatch(InstanceId id) {
+  const auto it = index_.find(id);
+  ARLO_CHECK_MSG(it != index_.end(), "dispatch to unknown instance");
+  Entry& e = it->second;
+  levels_[e.runtime].erase({e.outstanding, id});
+  ++e.outstanding;
+  levels_[e.runtime].insert({e.outstanding, id});
+}
+
+void MultiLevelQueue::OnComplete(InstanceId id) {
+  const auto it = index_.find(id);
+  // Completions can arrive for instances already removed mid-replacement;
+  // those are not tracked anymore.
+  if (it == index_.end()) return;
+  Entry& e = it->second;
+  ARLO_CHECK_MSG(e.outstanding > 0, "completion underflow");
+  levels_[e.runtime].erase({e.outstanding, id});
+  --e.outstanding;
+  levels_[e.runtime].insert({e.outstanding, id});
+}
+
+std::optional<InstanceLoad> MultiLevelQueue::Head(RuntimeId level) const {
+  ARLO_CHECK(level < levels_.size());
+  const LevelSet& set = levels_[level];
+  if (set.empty()) return std::nullopt;
+  const auto& [outstanding, id] = *set.begin();
+  const Entry& e = index_.at(id);
+  return InstanceLoad{id, level, outstanding, e.max_capacity};
+}
+
+std::optional<InstanceLoad> MultiLevelQueue::BestFit(RuntimeId level) const {
+  ARLO_CHECK(level < levels_.size());
+  const LevelSet& set = levels_[level];
+  // Iterate from the most-loaded end; the first instance with headroom wins.
+  for (auto it = set.rbegin(); it != set.rend(); ++it) {
+    const Entry& e = index_.at(it->second);
+    if (it->first < e.max_capacity) {
+      return InstanceLoad{it->second, level, it->first, e.max_capacity};
+    }
+    // All remaining entries have equal or lower load; they may still fit if
+    // this one is at capacity, so keep scanning only while over capacity.
+  }
+  return std::nullopt;
+}
+
+std::optional<InstanceLoad> MultiLevelQueue::BestFitBelow(RuntimeId level,
+                                                          int limit) const {
+  ARLO_CHECK(level < levels_.size());
+  const LevelSet& set = levels_[level];
+  // Largest outstanding strictly below `limit`: step back from the first
+  // entry at or above it.
+  auto it = set.lower_bound({limit, 0});
+  while (it != set.begin()) {
+    --it;
+    const Entry& e = index_.at(it->second);
+    if (it->first < e.max_capacity) {
+      return InstanceLoad{it->second, level, it->first, e.max_capacity};
+    }
+  }
+  return std::nullopt;
+}
+
+InstanceLoad MultiLevelQueue::Get(InstanceId id) const {
+  const auto it = index_.find(id);
+  ARLO_CHECK_MSG(it != index_.end(), "unknown instance");
+  return InstanceLoad{id, it->second.runtime, it->second.outstanding,
+                      it->second.max_capacity};
+}
+
+std::size_t MultiLevelQueue::NumInstances(RuntimeId level) const {
+  ARLO_CHECK(level < levels_.size());
+  return levels_[level].size();
+}
+
+std::vector<InstanceLoad> MultiLevelQueue::LevelSnapshot(
+    RuntimeId level) const {
+  ARLO_CHECK(level < levels_.size());
+  std::vector<InstanceLoad> out;
+  out.reserve(levels_[level].size());
+  for (const auto& [outstanding, id] : levels_[level]) {
+    out.push_back(InstanceLoad{id, level, outstanding,
+                               index_.at(id).max_capacity});
+  }
+  return out;
+}
+
+}  // namespace arlo::core

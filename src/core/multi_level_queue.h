@@ -1,0 +1,89 @@
+// The multi-level queue of Fig. 5: one level per runtime (ascending
+// max_length); within a level, a priority structure of instances keyed by
+// outstanding load, least-loaded at the head.
+//
+// All dispatch policies in this repo (Arlo's Request Scheduler, ILB, IG,
+// INFaaS bin-packing, plain load balancing) are built on this structure, so
+// load bookkeeping lives in exactly one place.  Updates are O(log(N/K)),
+// matching the complexity claim of §3.4.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace arlo::core {
+
+/// A view of one instance's load state.
+struct InstanceLoad {
+  InstanceId id = kInvalidInstance;
+  RuntimeId runtime = kInvalidRuntime;
+  int outstanding = 0;    ///< queued + executing requests
+  int max_capacity = 0;   ///< M_i: SLO-safe outstanding limit
+
+  /// Congestion level P = N/M from Algorithm 1 line 9.
+  double Congestion() const {
+    return max_capacity > 0
+               ? static_cast<double>(outstanding) / max_capacity
+               : 1e18;
+  }
+};
+
+class MultiLevelQueue {
+ public:
+  /// Creates `num_levels` empty levels (one per runtime).
+  explicit MultiLevelQueue(std::size_t num_levels);
+
+  std::size_t NumLevels() const { return levels_.size(); }
+
+  /// Registers a dispatchable instance at its runtime's level.
+  void AddInstance(InstanceId id, RuntimeId runtime, int max_capacity,
+                   int outstanding = 0);
+
+  /// Removes an instance (on retirement/replacement).  No-op counts as a
+  /// bug: the instance must be present.
+  void RemoveInstance(InstanceId id);
+
+  bool Contains(InstanceId id) const { return index_.count(id) > 0; }
+
+  /// Load bookkeeping: a request was enqueued on / completed by `id`.
+  void OnDispatch(InstanceId id);
+  void OnComplete(InstanceId id);
+
+  /// The least-loaded instance at a level (the queue head of Fig. 5).
+  std::optional<InstanceLoad> Head(RuntimeId level) const;
+
+  /// The *most*-loaded instance at a level that still has headroom
+  /// (outstanding < max_capacity) — INFaaS-style bin-packing fit.
+  std::optional<InstanceLoad> BestFit(RuntimeId level) const;
+
+  /// The most-loaded instance at a level with outstanding < limit (and
+  /// < max_capacity) — bounded bin-packing (pack-then-spill dispatch).
+  std::optional<InstanceLoad> BestFitBelow(RuntimeId level, int limit) const;
+
+  /// Load state of a specific instance.
+  InstanceLoad Get(InstanceId id) const;
+
+  std::size_t NumInstances(RuntimeId level) const;
+  std::size_t TotalInstances() const { return index_.size(); }
+
+  /// Instances at a level, ascending load (diagnostics/tests).
+  std::vector<InstanceLoad> LevelSnapshot(RuntimeId level) const;
+
+ private:
+  struct Entry {
+    RuntimeId runtime;
+    int outstanding;
+    int max_capacity;
+  };
+  /// Per-level ordered set of (outstanding, id): begin() is the head.
+  using LevelSet = std::set<std::pair<int, InstanceId>>;
+
+  std::vector<LevelSet> levels_;
+  std::map<InstanceId, Entry> index_;
+};
+
+}  // namespace arlo::core

@@ -1,0 +1,82 @@
+#include "core/replacement.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace arlo::core {
+
+ReplacementPlan PlanReplacement(const std::vector<DeployedInstance>& current,
+                                const std::vector<int>& target,
+                                std::size_t batch_size) {
+  ARLO_CHECK(batch_size >= 1);
+  const std::size_t num_runtimes = target.size();
+
+  // Count current deployment per runtime.
+  std::map<RuntimeId, int> have;
+  for (const auto& inst : current) {
+    ARLO_CHECK_MSG(inst.runtime < num_runtimes,
+                   "deployed instance references unknown runtime");
+    ++have[inst.runtime];
+  }
+  int target_total = 0;
+  for (int t : target) {
+    ARLO_CHECK(t >= 0);
+    target_total += t;
+  }
+  ARLO_CHECK_MSG(static_cast<std::size_t>(target_total) <= current.size(),
+                 "replacement cannot grow the cluster");
+
+  // Deficits: runtimes needing more instances (each unit is a "slot").
+  std::vector<RuntimeId> deficits;
+  for (std::size_t i = 0; i < num_runtimes; ++i) {
+    const int cur = have.count(static_cast<RuntimeId>(i))
+                        ? have[static_cast<RuntimeId>(i)]
+                        : 0;
+    for (int k = cur; k < target[i]; ++k) {
+      deficits.push_back(static_cast<RuntimeId>(i));
+    }
+  }
+
+  // Surplus instances: more deployed than targeted, released
+  // least-busy-first so the fewest queued requests get re-dispatched.
+  std::vector<DeployedInstance> surplus_pool = current;
+  std::sort(surplus_pool.begin(), surplus_pool.end(),
+            [](const DeployedInstance& a, const DeployedInstance& b) {
+              if (a.outstanding != b.outstanding)
+                return a.outstanding < b.outstanding;
+              return a.id < b.id;
+            });
+  std::map<RuntimeId, int> to_release;
+  for (std::size_t i = 0; i < num_runtimes; ++i) {
+    const int cur = have.count(static_cast<RuntimeId>(i))
+                        ? have[static_cast<RuntimeId>(i)]
+                        : 0;
+    if (cur > target[i]) to_release[static_cast<RuntimeId>(i)] = cur - target[i];
+  }
+
+  std::vector<ReplacementStep> steps;
+  std::size_t next_deficit = 0;
+  for (const auto& inst : surplus_pool) {
+    if (next_deficit >= deficits.size()) break;
+    auto it = to_release.find(inst.runtime);
+    if (it == to_release.end() || it->second == 0) continue;
+    --it->second;
+    steps.push_back(
+        ReplacementStep{inst.id, inst.runtime, deficits[next_deficit++]});
+  }
+  ARLO_CHECK_MSG(next_deficit == deficits.size(),
+                 "insufficient surplus to satisfy deficits — target total "
+                 "exceeds deployable instances");
+
+  ReplacementPlan plan;
+  for (std::size_t i = 0; i < steps.size(); i += batch_size) {
+    const std::size_t end = std::min(steps.size(), i + batch_size);
+    plan.batches.emplace_back(steps.begin() + static_cast<std::ptrdiff_t>(i),
+                              steps.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return plan;
+}
+
+}  // namespace arlo::core

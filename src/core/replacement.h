@@ -1,0 +1,50 @@
+// Instance-replacement planning (§4 "Instance replacement").
+//
+// Each time the Runtime Scheduler resolves a new allocation, the deployment
+// must be adjusted with the *minimum* number of instance replacements: an
+// instance already running a runtime the target still wants is left alone;
+// surplus instances of over-provisioned runtimes are re-imaged to
+// under-provisioned ones.  Replacements are emitted in batches so that at
+// most `batch_size` instances are simultaneously out of service.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace arlo::core {
+
+struct ReplacementStep {
+  InstanceId instance = kInvalidInstance;
+  RuntimeId from = kInvalidRuntime;
+  RuntimeId to = kInvalidRuntime;
+};
+
+struct ReplacementPlan {
+  /// Steps grouped into batches; batch k+1 starts after batch k finishes.
+  std::vector<std::vector<ReplacementStep>> batches;
+
+  std::size_t TotalReplacements() const {
+    std::size_t n = 0;
+    for (const auto& b : batches) n += b.size();
+    return n;
+  }
+};
+
+/// One currently deployed instance and its load (surplus instances are
+/// retired least-busy-first to minimize re-dispatched work).
+struct DeployedInstance {
+  InstanceId id = kInvalidInstance;
+  RuntimeId runtime = kInvalidRuntime;
+  int outstanding = 0;
+};
+
+/// Computes the minimal replacement plan from `current` to `target`
+/// (target[i] = desired instance count of runtime i).  The total target must
+/// not exceed current deployment size; growing the cluster is the
+/// auto-scaler's job, not replacement's.
+ReplacementPlan PlanReplacement(const std::vector<DeployedInstance>& current,
+                                const std::vector<int>& target,
+                                std::size_t batch_size = 2);
+
+}  // namespace arlo::core

@@ -1,0 +1,67 @@
+#include "core/runtime_scheduler.h"
+
+#include "common/check.h"
+
+namespace arlo::core {
+
+RuntimeScheduler::RuntimeScheduler(
+    const runtime::RuntimeSet* runtimes,
+    std::vector<runtime::RuntimeProfile> profiles,
+    RuntimeSchedulerConfig config)
+    : runtimes_(runtimes),
+      profiles_(std::move(profiles)),
+      config_(config),
+      tracker_(runtimes->LargestMaxLength(), config.history_decay) {
+  ARLO_CHECK(runtimes_ != nullptr);
+  ARLO_CHECK(profiles_.size() == runtimes_->Size());
+  ARLO_CHECK(config_.period > 0);
+  ARLO_CHECK(config_.slo > 0);
+}
+
+void RuntimeScheduler::RollPeriod() {
+  tracker_.RollPeriod(ToSeconds(config_.period));
+  have_demand_ = true;
+}
+
+solver::AllocationResult RuntimeScheduler::ComputeAllocation(int gpus) const {
+  ARLO_CHECK(gpus >= 1);
+  if (!have_demand_) {
+    // Bootstrap: all GPUs on the largest (universal) runtime.
+    solver::AllocationResult bootstrap;
+    bootstrap.feasible = true;
+    bootstrap.gpus_per_runtime.assign(runtimes_->Size(), 0);
+    bootstrap.gpus_per_runtime.back() = gpus;
+    return bootstrap;
+  }
+  solver::AllocationProblem problem;
+  problem.gpus = gpus;
+  problem.profiles = profiles_;
+  problem.demand = tracker_.DemandPerSlo(runtimes_->BinUpperBounds(),
+                                         ToSeconds(config_.slo));
+  solver::AllocationSolveOptions options;
+  options.max_nodes = config_.solver_max_nodes;
+  return solver::SolveAllocationExact(problem, options);
+}
+
+solver::AllocationResult RuntimeScheduler::ComputeAllocationIncremental(
+    int gpus, const std::vector<int>& previous) const {
+  if (config_.max_replacement_moves <= 0 || !have_demand_) {
+    return ComputeAllocation(gpus);
+  }
+  solver::AllocationProblem problem;
+  problem.gpus = gpus;
+  problem.profiles = profiles_;
+  problem.demand = tracker_.DemandPerSlo(runtimes_->BinUpperBounds(),
+                                         ToSeconds(config_.slo));
+  return solver::SolveAllocationIncremental(problem, previous,
+                                            config_.max_replacement_moves);
+}
+
+ReplacementPlan RuntimeScheduler::PlanFor(
+    const std::vector<DeployedInstance>& current,
+    const solver::AllocationResult& allocation) const {
+  return PlanReplacement(current, allocation.gpus_per_runtime,
+                         config_.replacement_batch_size);
+}
+
+}  // namespace arlo::core

@@ -1,0 +1,72 @@
+// Arlo's Runtime Scheduler (§3.3): periodically re-solves the GPU
+// allocation across runtimes from the tracked request-length distribution
+// and the offline profiles, and emits a minimal replacement plan.
+#pragma once
+
+#include <vector>
+
+#include "core/distribution_tracker.h"
+#include "core/replacement.h"
+#include "runtime/profiler.h"
+#include "runtime/runtime_set.h"
+#include "solver/allocation.h"
+
+namespace arlo::core {
+
+struct RuntimeSchedulerConfig {
+  SimDuration period = Seconds(120.0);  ///< §5: decision period
+  SimDuration slo = Millis(150.0);
+  double history_decay = 0.5;
+  /// Exact B&B node budget; greedy fallback beyond it (see allocation.h).
+  long long solver_max_nodes = 2'000'000;
+  std::size_t replacement_batch_size = 2;
+  /// When > 0, re-allocation is replacement-cost-aware: at most this many
+  /// single-GPU moves from the live deployment per period
+  /// (SolveAllocationIncremental) instead of a from-scratch optimum.
+  int max_replacement_moves = 0;
+};
+
+class RuntimeScheduler {
+ public:
+  RuntimeScheduler(const runtime::RuntimeSet* runtimes,
+                   std::vector<runtime::RuntimeProfile> profiles,
+                   RuntimeSchedulerConfig config);
+
+  /// Observe an arrival (feeds the length-distribution tracker).
+  void ObserveRequest(int length) { tracker_.Observe(length); }
+
+  /// Closes the current observation period.  Call once per `period`.
+  void RollPeriod();
+
+  /// Solves the allocation for `gpus` GPUs from current knowledge.  Before
+  /// the first rolled period (no demand data) returns the bootstrap
+  /// allocation: everything on the largest runtime, which can serve any
+  /// request (Eq. 7's safety default).
+  solver::AllocationResult ComputeAllocation(int gpus) const;
+
+  /// Replacement-cost-aware variant: best allocation reachable from
+  /// `previous` within config.max_replacement_moves GPU moves (falls back
+  /// to ComputeAllocation when the budget is 0).
+  solver::AllocationResult ComputeAllocationIncremental(
+      int gpus, const std::vector<int>& previous) const;
+
+  /// Convenience: allocation + minimal replacement plan from the live
+  /// deployment.
+  ReplacementPlan PlanFor(const std::vector<DeployedInstance>& current,
+                          const solver::AllocationResult& allocation) const;
+
+  const RuntimeSchedulerConfig& Config() const { return config_; }
+  const std::vector<runtime::RuntimeProfile>& Profiles() const {
+    return profiles_;
+  }
+  const DistributionTracker& Tracker() const { return tracker_; }
+
+ private:
+  const runtime::RuntimeSet* runtimes_;
+  std::vector<runtime::RuntimeProfile> profiles_;
+  RuntimeSchedulerConfig config_;
+  DistributionTracker tracker_;
+  bool have_demand_ = false;
+};
+
+}  // namespace arlo::core

@@ -1,0 +1,171 @@
+#include "multistream/composite_scheme.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace arlo::multistream {
+
+// --- ScopedOps -------------------------------------------------------------
+
+InstanceId CompositeScheme::ScopedOps::LaunchInstance(
+    RuntimeId runtime, std::shared_ptr<const runtime::CompiledRuntime> rt,
+    SimDuration ready_delay) {
+  ARLO_CHECK(real_ != nullptr);
+  const InstanceId id =
+      real_->LaunchInstance(runtime, std::move(rt), ready_delay);
+  parent_->owner_[id] = stream_;
+  ++parent_->streams_[static_cast<std::size_t>(stream_)].instances;
+  return id;
+}
+
+void CompositeScheme::ScopedOps::RetireInstance(InstanceId id) {
+  ARLO_CHECK(real_ != nullptr);
+  ARLO_CHECK_MSG(parent_->OwnerOf(id) == stream_,
+                 "stream retiring an instance it does not own");
+  real_->RetireInstance(id);
+}
+
+int CompositeScheme::ScopedOps::NumInstances() const {
+  return parent_->streams_[static_cast<std::size_t>(stream_)].instances;
+}
+
+int CompositeScheme::ScopedOps::OutstandingOn(InstanceId id) const {
+  ARLO_CHECK(real_ != nullptr);
+  return real_->OutstandingOn(id);
+}
+
+SimTime CompositeScheme::ScopedOps::Now() const {
+  ARLO_CHECK(real_ != nullptr);
+  return real_->Now();
+}
+
+// --- CompositeScheme --------------------------------------------------------
+
+void CompositeScheme::AddStream(std::string name,
+                                std::unique_ptr<sim::Scheme> scheme) {
+  ARLO_CHECK(scheme != nullptr);
+  Stream s;
+  s.name = std::move(name);
+  s.scheme = std::move(scheme);
+  s.ops = std::make_unique<ScopedOps>(this,
+                                      static_cast<int>(streams_.size()));
+  streams_.push_back(std::move(s));
+}
+
+const std::string& CompositeScheme::StreamName(int stream) const {
+  ARLO_CHECK(stream >= 0 &&
+             static_cast<std::size_t>(stream) < streams_.size());
+  return streams_[static_cast<std::size_t>(stream)].name;
+}
+
+int CompositeScheme::InstancesOf(int stream) const {
+  ARLO_CHECK(stream >= 0 &&
+             static_cast<std::size_t>(stream) < streams_.size());
+  return streams_[static_cast<std::size_t>(stream)].instances;
+}
+
+int CompositeScheme::OwnerOf(InstanceId id) const {
+  const auto it = owner_.find(id);
+  ARLO_CHECK_MSG(it != owner_.end(), "instance has no owning stream");
+  return it->second;
+}
+
+void CompositeScheme::Setup(sim::ClusterOps& cluster) {
+  ARLO_CHECK_MSG(!streams_.empty(), "no streams registered");
+  for (auto& s : streams_) {
+    s.ops->Bind(&cluster);
+    s.scheme->Setup(*s.ops);
+  }
+}
+
+InstanceId CompositeScheme::SelectInstance(const Request& request,
+                                           sim::ClusterOps& cluster) {
+  ARLO_CHECK_MSG(request.stream >= 0 && static_cast<std::size_t>(
+                                            request.stream) < streams_.size(),
+                 "request tagged with unknown stream");
+  Stream& s = streams_[static_cast<std::size_t>(request.stream)];
+  s.ops->Bind(&cluster);
+  return s.scheme->SelectInstance(request, *s.ops);
+}
+
+void CompositeScheme::OnDispatched(const Request& request,
+                                   InstanceId instance) {
+  const int owner = OwnerOf(instance);
+  ARLO_CHECK_MSG(owner == request.stream,
+                 "request dispatched onto another stream's instance");
+  streams_[static_cast<std::size_t>(owner)].scheme->OnDispatched(request,
+                                                                 instance);
+}
+
+void CompositeScheme::OnComplete(const RequestRecord& record,
+                                 sim::ClusterOps& cluster) {
+  Stream& s = streams_[static_cast<std::size_t>(OwnerOf(record.instance))];
+  s.ops->Bind(&cluster);
+  s.scheme->OnComplete(record, *s.ops);
+}
+
+void CompositeScheme::OnInstanceReady(InstanceId instance, RuntimeId runtime) {
+  streams_[static_cast<std::size_t>(OwnerOf(instance))]
+      .scheme->OnInstanceReady(instance, runtime);
+}
+
+void CompositeScheme::OnInstanceRetired(InstanceId instance) {
+  const int owner = OwnerOf(instance);
+  Stream& s = streams_[static_cast<std::size_t>(owner)];
+  --s.instances;
+  ARLO_CHECK(s.instances >= 0);
+  s.scheme->OnInstanceRetired(instance);
+  // Ownership history is kept (ids are never reused by the engine).
+}
+
+void CompositeScheme::OnInstanceFailure(InstanceId instance,
+                                        sim::ClusterOps& cluster) {
+  const int owner = OwnerOf(instance);
+  Stream& s = streams_[static_cast<std::size_t>(owner)];
+  --s.instances;
+  ARLO_CHECK(s.instances >= 0);
+  s.ops->Bind(&cluster);
+  s.scheme->OnInstanceFailure(instance, *s.ops);
+}
+
+void CompositeScheme::OnTick(SimTime now, sim::ClusterOps& cluster) {
+  for (auto& s : streams_) {
+    s.ops->Bind(&cluster);
+    s.scheme->OnTick(now, *s.ops);
+  }
+}
+
+SimDuration CompositeScheme::TickInterval() const {
+  SimDuration interval = Seconds(5.0);
+  for (const auto& s : streams_) {
+    interval = std::min(interval, s.scheme->TickInterval());
+  }
+  return interval;
+}
+
+// --- helpers ----------------------------------------------------------------
+
+trace::Trace MergeStreams(const std::vector<trace::Trace>& traces) {
+  std::vector<Request> merged;
+  for (std::size_t k = 0; k < traces.size(); ++k) {
+    for (Request r : traces[k].Requests()) {
+      r.stream = static_cast<int>(k);
+      merged.push_back(r);
+    }
+  }
+  return trace::Trace(std::move(merged));
+}
+
+std::vector<std::vector<RequestRecord>> SplitRecordsByStream(
+    const std::vector<RequestRecord>& records, std::size_t num_streams) {
+  std::vector<std::vector<RequestRecord>> out(num_streams);
+  for (const auto& r : records) {
+    ARLO_CHECK(r.stream >= 0 &&
+               static_cast<std::size_t>(r.stream) < num_streams);
+    out[static_cast<std::size_t>(r.stream)].push_back(r);
+  }
+  return out;
+}
+
+}  // namespace arlo::multistream

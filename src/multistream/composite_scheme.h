@@ -1,0 +1,96 @@
+// Multi-stream serving (§6 Discussion): one Arlo (or baseline scheme) per
+// request stream, sharing a cluster.
+//
+// The paper's design is per-stream: "we can have a dedicated Arlo for each
+// request stream", extended to multiple streams by deploying one scheduler
+// per stream over shared resources.  CompositeScheme realizes exactly that:
+// it owns one sub-scheme per stream, routes every request by its stream
+// tag, and scopes each sub-scheme's cluster view so a stream only ever sees
+// (and dispatches to) the instances it launched.  Per-stream auto-scalers
+// then grow and shrink their shares independently — the shared pool
+// breathes across streams, which is the utilization benefit §6 describes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheme.h"
+#include "trace/trace.h"
+
+namespace arlo::multistream {
+
+class CompositeScheme final : public sim::Scheme {
+ public:
+  CompositeScheme() = default;
+
+  /// Registers the scheme serving stream index Size().  Call before Setup.
+  void AddStream(std::string name, std::unique_ptr<sim::Scheme> scheme);
+
+  std::size_t NumStreams() const { return streams_.size(); }
+  const std::string& StreamName(int stream) const;
+
+  /// Instances currently owned by a stream (diagnostics).
+  int InstancesOf(int stream) const;
+
+  // sim::Scheme ------------------------------------------------------------
+  std::string Name() const override { return "multi-stream"; }
+  void Setup(sim::ClusterOps& cluster) override;
+  InstanceId SelectInstance(const Request& request,
+                            sim::ClusterOps& cluster) override;
+  void OnDispatched(const Request& request, InstanceId instance) override;
+  void OnComplete(const RequestRecord& record,
+                  sim::ClusterOps& cluster) override;
+  void OnInstanceReady(InstanceId instance, RuntimeId runtime) override;
+  void OnInstanceRetired(InstanceId instance) override;
+  void OnInstanceFailure(InstanceId instance,
+                         sim::ClusterOps& cluster) override;
+  void OnTick(SimTime now, sim::ClusterOps& cluster) override;
+  SimDuration TickInterval() const override;
+
+ private:
+  /// Scopes a sub-scheme's ClusterOps: launches are recorded as owned by
+  /// the stream; NumInstances reports the stream's share only.
+  class ScopedOps final : public sim::ClusterOps {
+   public:
+    ScopedOps(CompositeScheme* parent, int stream)
+        : parent_(parent), stream_(stream) {}
+    void Bind(sim::ClusterOps* real) { real_ = real; }
+
+    InstanceId LaunchInstance(
+        RuntimeId runtime, std::shared_ptr<const runtime::CompiledRuntime> rt,
+        SimDuration ready_delay) override;
+    void RetireInstance(InstanceId id) override;
+    int NumInstances() const override;
+    int OutstandingOn(InstanceId id) const override;
+    SimTime Now() const override;
+
+   private:
+    CompositeScheme* parent_;
+    int stream_;
+    sim::ClusterOps* real_ = nullptr;
+  };
+
+  struct Stream {
+    std::string name;
+    std::unique_ptr<sim::Scheme> scheme;
+    std::unique_ptr<ScopedOps> ops;
+    int instances = 0;  ///< launched and not yet retired
+  };
+
+  int OwnerOf(InstanceId id) const;
+
+  std::vector<Stream> streams_;
+  std::map<InstanceId, int> owner_;  ///< instance -> stream
+};
+
+/// Interleaves per-stream traces into one trace; request i of input k keeps
+/// its arrival time and gets stream tag k.
+trace::Trace MergeStreams(const std::vector<trace::Trace>& traces);
+
+/// Splits a combined record set back into per-stream vectors.
+std::vector<std::vector<RequestRecord>> SplitRecordsByStream(
+    const std::vector<RequestRecord>& records, std::size_t num_streams);
+
+}  // namespace arlo::multistream

@@ -1,0 +1,94 @@
+#include "runtime/compiled_runtime.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace arlo::runtime {
+
+CompiledRuntime::CompiledRuntime(ModelSpec model, CompilationKind kind,
+                                 int max_length, int staircase_step)
+    : model_(std::move(model)),
+      kind_(kind),
+      max_length_(max_length),
+      staircase_step_(staircase_step > 0 ? staircase_step : model_.tile_step),
+      coeffs_(Calibrate(model_)) {
+  ARLO_CHECK(max_length_ >= 1);
+  ARLO_CHECK(max_length_ <= model_.native_max_length);
+  ARLO_CHECK(staircase_step_ >= 1);
+  static_compute_ =
+      static_cast<SimDuration>(std::llround(StaticKernelNs(max_length_)));
+}
+
+double CompiledRuntime::StaticKernelNs(int s) const {
+  // Staircase: the kernel computes ceil(s/step)*step tokens' worth of work;
+  // within a step latency creeps up by <5% (Fig. 2a/2b observation).
+  const int step = staircase_step_;
+  const int stair = ((s + step - 1) / step) * step;
+  const double within =
+      static_cast<double>(s - (stair - step)) / static_cast<double>(step);
+  const double base = coeffs_.EvalNs(model_, stair);
+  return base * (0.96 + 0.04 * within);
+}
+
+SimDuration CompiledRuntime::ComputeTime(int length) const {
+  ARLO_CHECK_MSG(Accepts(length),
+                 "length " + std::to_string(length) + " not accepted by " +
+                     DebugName());
+  if (kind_ == CompilationKind::kStatic) {
+    // Zero-padded to max_length: constant cost regardless of true length.
+    return static_compute_;
+  }
+  // Dynamic shape: computes the true length (still tile-quantized), but
+  // pays dispatch/fusion inflation that decays with sequence length.
+  const double base = StaticKernelNs(length);
+  const double infl =
+      model_.dyn_inflation_min +
+      (model_.dyn_inflation_max - model_.dyn_inflation_min) *
+          std::exp(-static_cast<double>(length) / model_.dyn_inflation_tau);
+  return static_cast<SimDuration>(std::llround(base * infl));
+}
+
+SimDuration CompiledRuntime::BatchComputeTime(int batch,
+                                              int max_length_in_batch) const {
+  ARLO_CHECK(batch >= 1);
+  const SimDuration single = ComputeTime(max_length_in_batch);
+  if (batch == 1) return single;
+  // Next power-of-two batch bucket (compiled engine granularity).
+  int bucket = 1;
+  while (bucket < batch) bucket *= 2;
+  // The floor c0 is paid once; per-item matmul work scales with the bucket.
+  const double c0 = coeffs_.c0_ns;
+  const double per_item = std::max(0.0, static_cast<double>(single) - c0);
+  return static_cast<SimDuration>(
+      std::llround(c0 + per_item * static_cast<double>(bucket)));
+}
+
+double CompiledRuntime::PaddingWasteFraction(int length) const {
+  ARLO_CHECK(Accepts(length));
+  if (kind_ == CompilationKind::kDynamic) return 0.0;
+  const double useful = model_.Flops(length);
+  const double computed = model_.Flops(max_length_);
+  return 1.0 - useful / computed;
+}
+
+std::string CompiledRuntime::DebugName() const {
+  std::ostringstream os;
+  os << model_.name << '/'
+     << (kind_ == CompilationKind::kStatic ? "static" : "dynamic") << '@'
+     << max_length_;
+  return os.str();
+}
+
+std::shared_ptr<const CompiledRuntime> SimulatedCompiler::Compile(
+    const ModelSpec& model, CompilationKind kind, int max_length,
+    int staircase_step) {
+  total_build_cost_ +=
+      kind == CompilationKind::kStatic ? Seconds(45.0) : Seconds(1200.0);
+  ++artifact_count_;
+  return std::make_shared<CompiledRuntime>(model, kind, max_length,
+                                           staircase_step);
+}
+
+}  // namespace arlo::runtime

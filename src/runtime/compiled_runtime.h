@@ -1,0 +1,98 @@
+// Compiled runtime artifacts: the unit Arlo schedules.
+//
+// A *static* runtime is compiled for a fixed max_length; every request it
+// serves is zero-padded to that length, so its compute time is a constant
+// determined by max_length (with the 64-token staircase of Fig. 2: GPUs tile
+// matmuls at 64, so latency jumps at multiples of 64 and moves <5% inside a
+// step).  A *dynamic* runtime accepts any length up to the model's native
+// maximum and computes only the true length, but pays the dynamic-shape
+// inflation of §2.2 (1.22x–3.56x for TensorRT, ~2.86x mean for TVM Unity).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "runtime/model.h"
+
+namespace arlo::runtime {
+
+enum class CompilationKind {
+  kStatic,   ///< fixed shape; inputs zero-padded to max_length
+  kDynamic,  ///< dynamic shape axis; no padding, inflated latency
+};
+
+/// Granularity of the latency staircase (tokens per GPU matmul tile step).
+/// §3.3 notes this is specific to TensorRT+Bert; it is a parameter here.
+inline constexpr int kDefaultStaircaseStep = 64;
+
+/// An immutable compiled runtime.  Thread-safe: all queries are const.
+class CompiledRuntime {
+ public:
+  /// staircase_step 0 (default) resolves to the model's tile_step.
+  CompiledRuntime(ModelSpec model, CompilationKind kind, int max_length,
+                  int staircase_step = 0);
+
+  const ModelSpec& Model() const { return model_; }
+  CompilationKind Kind() const { return kind_; }
+  int MaxLength() const { return max_length_; }
+  int StaircaseStep() const { return staircase_step_; }
+
+  /// True iff a request of this length can run on this runtime.
+  bool Accepts(int length) const {
+    return length >= 1 && length <= max_length_;
+  }
+
+  /// Batch-1 compute time for a request of the given length.
+  /// Static: constant in `length` (full padded shape is computed).
+  /// Dynamic: grows with `length`, times the inflation profile.
+  SimDuration ComputeTime(int length) const;
+
+  /// Batched compute time (§6 "Dynamic batch execution", implemented as an
+  /// extension): engines are built with power-of-two batch buckets
+  /// (1/2/4/8/...), so a batch of b runs at the next bucket size —
+  /// amortizing the launch/memory floor c0 across the batch while paying
+  /// bucket padding.  `max_length_in_batch` bounds the (padded) length.
+  /// BatchComputeTime(1, len) == ComputeTime(len).
+  SimDuration BatchComputeTime(int batch, int max_length_in_batch) const;
+
+  /// The fraction of FLOPs wasted on padding when serving `length` here
+  /// (0 for dynamic runtimes).  Reproduces the §2.2 waste analysis.
+  double PaddingWasteFraction(int length) const;
+
+  std::string DebugName() const;
+
+ private:
+  /// Latency of a static kernel whose (compiled or actual) length is s,
+  /// including the staircase shape.
+  double StaticKernelNs(int s) const;
+
+  ModelSpec model_;
+  CompilationKind kind_;
+  int max_length_;
+  int staircase_step_;
+  LatencyCoefficients coeffs_;
+  SimDuration static_compute_;  ///< cached constant for static runtimes
+};
+
+/// Simulated offline compiler (stands in for TensorRT / TVM builds).  Tracks
+/// a realistic wall-clock build cost per artifact so benches can report the
+/// offline budget of polymorphing vs single-runtime schemes.
+class SimulatedCompiler {
+ public:
+  /// Static builds take ~45 s per artifact (TensorRT engine build); dynamic
+  /// builds take ~20 min (TVM-style kernel tuning, §2.2).
+  std::shared_ptr<const CompiledRuntime> Compile(
+      const ModelSpec& model, CompilationKind kind, int max_length,
+      int staircase_step = 0);
+
+  /// Total simulated build time spent so far.
+  SimDuration TotalBuildCost() const { return total_build_cost_; }
+  int ArtifactCount() const { return artifact_count_; }
+
+ private:
+  SimDuration total_build_cost_ = 0;
+  int artifact_count_ = 0;
+};
+
+}  // namespace arlo::runtime

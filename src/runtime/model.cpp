@@ -1,0 +1,106 @@
+#include "runtime/model.h"
+
+#include "common/check.h"
+
+namespace arlo::runtime {
+
+double ModelSpec::Flops(int s) const {
+  ARLO_CHECK(s >= 1);
+  const double h = hidden;
+  const double seq = s;
+  return static_cast<double>(layers) *
+         (12.0 * h * h * seq + 2.0 * h * seq * seq);
+}
+
+ModelSpec ModelSpec::BertBase() {
+  ModelSpec m;
+  m.name = "bert-base";
+  m.hidden = 768;
+  m.layers = 12;
+  m.native_max_length = 512;
+  m.anchor_latency_512 = Millis(4.86);  // §2.2: len-20 request on a 512
+                                        // runtime observes 4.86 ms
+  m.ratio_512_over_64 = 4.22;           // §2.1
+  return m;
+}
+
+ModelSpec ModelSpec::BertLarge() {
+  ModelSpec m;
+  m.name = "bert-large";
+  m.hidden = 1024;
+  m.layers = 24;
+  m.native_max_length = 512;
+  // The paper does not publish Bert-Large's absolute latency.  We pick the
+  // anchor so that the §5 testbed operating point — 1.5k req/s on 10 GPUs
+  // (Fig. 6b) — sits at the same utilization regime the paper reports:
+  // DT near saturation (long tails), ST overloaded, Arlo comfortable.
+  // That requires mean per-request service around 6–7 ms, i.e.
+  // latency(512) ≈ 7.5 ms (FP16-class throughput on a 3090).
+  m.anchor_latency_512 = Millis(7.5);
+  m.ratio_512_over_64 = 5.25;  // §2.1
+  // Same published inflation bounds; a slightly faster decay keeps DT's
+  // mean inflation near the ~2.4x the Fig. 6b operating point implies.
+  m.dyn_inflation_tau = 120.0;
+  return m;
+}
+
+ModelSpec ModelSpec::Dolly() {
+  ModelSpec m;
+  m.name = "dolly-3b";
+  m.hidden = 2560;
+  m.layers = 32;
+  m.native_max_length = 512;
+  m.anchor_latency_512 = Millis(48.0);  // FP16 prefill estimate
+  m.ratio_512_over_64 = 5.8;
+  // Fig. 2c: TVM Unity dynamic compilation averages 2.86x worse than static
+  // even after tuning; flatter profile than TensorRT's.
+  m.dyn_inflation_min = 2.2;
+  m.dyn_inflation_max = 3.6;
+  m.dyn_inflation_tau = 400.0;
+  m.tile_step = 32;  // TVM schedules tile differently from TensorRT
+  return m;
+}
+
+ModelSpec ModelSpec::RobertaLarge() {
+  ModelSpec m = BertLarge();
+  m.name = "roberta-large";
+  // Identical architecture; slightly different graph (no NSP head, larger
+  // vocab projection) nudges the anchors.
+  m.anchor_latency_512 = Millis(7.8);
+  m.ratio_512_over_64 = 5.1;
+  return m;
+}
+
+ModelSpec ModelSpec::DistilBert() {
+  ModelSpec m;
+  m.name = "distilbert";
+  m.hidden = 768;
+  m.layers = 6;
+  m.native_max_length = 512;
+  m.anchor_latency_512 = Millis(2.5);
+  m.ratio_512_over_64 = 4.0;
+  return m;
+}
+
+double LatencyCoefficients::EvalNs(const ModelSpec& model, int s) const {
+  return c0_ns + k_ns_per_flop * model.Flops(s);
+}
+
+LatencyCoefficients Calibrate(const ModelSpec& model) {
+  ARLO_CHECK(model.anchor_latency_512 > 0);
+  ARLO_CHECK(model.ratio_512_over_64 > 1.0);
+  const double f512 = model.Flops(512);
+  const double f64 = model.Flops(64);
+  const double lat512 = static_cast<double>(model.anchor_latency_512);
+  const double lat64 = lat512 / model.ratio_512_over_64;
+  // Two equations:  c0 + k*f512 = lat512,  c0 + k*f64 = lat64.
+  LatencyCoefficients c;
+  c.k_ns_per_flop = (lat512 - lat64) / (f512 - f64);
+  c.c0_ns = lat512 - c.k_ns_per_flop * f512;
+  ARLO_CHECK_MSG(c.c0_ns >= 0.0,
+                 "anchors imply negative latency floor; ratio too large "
+                 "for this model's FLOP curve");
+  return c;
+}
+
+}  // namespace arlo::runtime

@@ -1,0 +1,73 @@
+// Transformer model specifications and their FLOPs-based cost model.
+//
+// This module is the substitute for real TensorRT/TVM-compiled runtimes on
+// an RTX 3090 (see DESIGN.md).  The analytical latency curve
+//
+//   latency(s) = c0 + k * flops(s),   flops(s) = L * (12*H^2*s + 2*H*s^2)
+//
+// (c0 = launch/memory-bound floor, k = effective inverse throughput) is
+// calibrated per model so that it reproduces the paper's measured anchors:
+// Bert-Base latency(512)/latency(64) = 4.22 with latency(512) = 4.86 ms, and
+// Bert-Large ratio 5.25 (§2.1, Fig. 2).  The quadratic term is the attention
+// score/value matmuls; the linear term the projections and MLP.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace arlo::runtime {
+
+/// Static description of a discriminative (or, for Dolly, generative
+/// prefill) Transformer plus the two published calibration anchors.
+struct ModelSpec {
+  std::string name;
+  int hidden = 0;             ///< hidden size H
+  int layers = 0;             ///< encoder layers L
+  int native_max_length = 0;  ///< the model's maximum supported length
+
+  /// Calibration anchors (from Fig. 2): absolute static-compiled latency at
+  /// sequence length 512, and the ratio latency(512)/latency(64).
+  SimDuration anchor_latency_512 = 0;
+  double ratio_512_over_64 = 1.0;
+
+  /// Dynamic-shape compilation inflation range over static (§2.2): the
+  /// multiplier applied by kernel-dispatch overhead and missed fusion.
+  double dyn_inflation_min = 1.22;
+  double dyn_inflation_max = 3.56;
+  /// Decay length of the inflation (longer sequences amortize dispatch).
+  double dyn_inflation_tau = 170.0;
+
+  /// GPU matmul tile granularity for this model+compiler: the latency
+  /// staircase step (§3.3: 64 for TensorRT+Bert; "for other models or
+  /// compilers, the step sizes may vary").
+  int tile_step = 64;
+
+  /// Raw FLOP count (per batch-1 forward pass) at sequence length s.
+  double Flops(int s) const;
+
+  /// BERT-Base (FP32, TensorRT in the paper).
+  static ModelSpec BertBase();
+  /// BERT-Large (FP32, TensorRT in the paper).
+  static ModelSpec BertLarge();
+  /// Dolly-v2 3B prefill (FP16, TVM Unity in the paper; Fig. 2c only).
+  static ModelSpec Dolly();
+  /// RoBERTa-Large [52]: Bert-Large architecture, RoBERTa pre-training.
+  static ModelSpec RobertaLarge();
+  /// DistilBERT: 6-layer distilled encoder — a fast middleware classifier.
+  static ModelSpec DistilBert();
+};
+
+/// Calibrated coefficients of the latency curve for one model.
+struct LatencyCoefficients {
+  double c0_ns = 0.0;       ///< constant floor, nanoseconds
+  double k_ns_per_flop = 0.0;
+
+  /// latency in ns of a static kernel executing exactly s tokens.
+  double EvalNs(const ModelSpec& model, int s) const;
+};
+
+/// Solves (c0, k) from the spec's two anchors.
+LatencyCoefficients Calibrate(const ModelSpec& model);
+
+}  // namespace arlo::runtime

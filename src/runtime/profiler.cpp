@@ -1,0 +1,40 @@
+#include "runtime/profiler.h"
+
+#include "common/check.h"
+
+namespace arlo::runtime {
+
+RuntimeProfile ProfileRuntime(const CompiledRuntime& rt, SimDuration slo,
+                              RuntimeId id,
+                              SimDuration per_request_overhead) {
+  ARLO_CHECK(slo > 0);
+  ARLO_CHECK(per_request_overhead >= 0);
+  RuntimeProfile p;
+  p.id = id;
+  p.max_length = rt.MaxLength();
+  // Static runtimes: constant compute.  Dynamic runtimes have per-length
+  // compute; profile at the maximum (worst case) so capacity is safe.
+  p.compute_time = rt.ComputeTime(rt.MaxLength()) + per_request_overhead;
+  ARLO_CHECK(p.compute_time > 0);
+  p.capacity_within_slo = static_cast<int>(slo / p.compute_time);
+  return p;
+}
+
+std::vector<RuntimeProfile> ProfileRuntimeSet(
+    const std::vector<std::shared_ptr<const CompiledRuntime>>& runtimes,
+    SimDuration slo, SimDuration per_request_overhead) {
+  std::vector<RuntimeProfile> profiles;
+  profiles.reserve(runtimes.size());
+  int last_max_length = 0;
+  for (std::size_t i = 0; i < runtimes.size(); ++i) {
+    ARLO_CHECK_MSG(runtimes[i]->MaxLength() > last_max_length,
+                   "runtime set must be strictly ascending in max_length");
+    last_max_length = runtimes[i]->MaxLength();
+    profiles.push_back(ProfileRuntime(*runtimes[i], slo,
+                                      static_cast<RuntimeId>(i),
+                                      per_request_overhead));
+  }
+  return profiles;
+}
+
+}  // namespace arlo::runtime

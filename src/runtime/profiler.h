@@ -1,0 +1,47 @@
+// Offline profiler (workflow step ③ in Fig. 3).
+//
+// For every compiled runtime it measures the batch-1 compute time and
+// derives the two quantities the schedulers consume: M_i, the maximum
+// number of outstanding requests an instance can hold while still finishing
+// the last one inside the SLO, and L_i, the mapping from per-instance
+// workload to mean latency (instances execute batch-1 requests serially, so
+// a backlog of B finishes at B * compute and averages (B+1)/2 * compute).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/compiled_runtime.h"
+
+namespace arlo::runtime {
+
+struct RuntimeProfile {
+  RuntimeId id = kInvalidRuntime;
+  int max_length = 0;
+  SimDuration compute_time = 0;  ///< per-request service time (padded shape
+                                 ///< + fixed serving overhead)
+  int capacity_within_slo = 0;   ///< M_i = floor(SLO / compute_time)
+
+  /// L_i: mean latency (ns) of a per-instance workload of B requests
+  /// processed serially within one SLO period (B may be fractional — it is
+  /// C_i / N_i in the ILP).
+  double MeanLatencyNs(double workload) const {
+    return static_cast<double>(compute_time) * (workload + 1.0) * 0.5;
+  }
+};
+
+/// Profiles one runtime against an SLO.  `per_request_overhead` is the
+/// fixed serving cost measured per request (network + host-device copies;
+/// 0.8 ms in the paper's calibration) and is folded into compute_time so
+/// capacities reflect true service rates.
+RuntimeProfile ProfileRuntime(const CompiledRuntime& rt, SimDuration slo,
+                              RuntimeId id,
+                              SimDuration per_request_overhead = 0);
+
+/// Profiles an ascending-max_length runtime set; ids are assigned by index.
+std::vector<RuntimeProfile> ProfileRuntimeSet(
+    const std::vector<std::shared_ptr<const CompiledRuntime>>& runtimes,
+    SimDuration slo, SimDuration per_request_overhead = 0);
+
+}  // namespace arlo::runtime

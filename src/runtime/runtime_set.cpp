@@ -1,0 +1,136 @@
+#include "runtime/runtime_set.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace arlo::runtime {
+
+RuntimeSet::RuntimeSet(
+    ModelSpec model,
+    std::vector<std::shared_ptr<const CompiledRuntime>> runtimes)
+    : model_(std::move(model)), runtimes_(std::move(runtimes)) {
+  ARLO_CHECK(!runtimes_.empty());
+  int last = 0;
+  for (const auto& rt : runtimes_) {
+    ARLO_CHECK(rt != nullptr);
+    ARLO_CHECK_MSG(rt->MaxLength() > last,
+                   "runtimes must be strictly ascending in max_length");
+    last = rt->MaxLength();
+  }
+}
+
+const CompiledRuntime& RuntimeSet::Runtime(RuntimeId id) const {
+  ARLO_CHECK(id < runtimes_.size());
+  return *runtimes_[id];
+}
+
+std::shared_ptr<const CompiledRuntime> RuntimeSet::RuntimePtr(
+    RuntimeId id) const {
+  ARLO_CHECK(id < runtimes_.size());
+  return runtimes_[id];
+}
+
+RuntimeId RuntimeSet::IdealRuntimeFor(int length) const {
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    if (runtimes_[i]->Accepts(length)) return static_cast<RuntimeId>(i);
+  }
+  return kInvalidRuntime;
+}
+
+std::vector<RuntimeId> RuntimeSet::CandidatesFor(int length) const {
+  std::vector<RuntimeId> out;
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    if (runtimes_[i]->Accepts(length)) out.push_back(static_cast<RuntimeId>(i));
+  }
+  return out;
+}
+
+std::vector<int> RuntimeSet::BinUpperBounds() const {
+  std::vector<int> bounds;
+  bounds.reserve(runtimes_.size());
+  for (const auto& rt : runtimes_) bounds.push_back(rt->MaxLength());
+  return bounds;
+}
+
+int RuntimeSet::LargestMaxLength() const {
+  return runtimes_.back()->MaxLength();
+}
+
+int DetectStaircaseStep(const ModelSpec& model, int probe_limit,
+                        double jump_threshold) {
+  ARLO_CHECK(probe_limit >= 8);
+  probe_limit = std::min(probe_limit, model.native_max_length);
+  // Probe the compiled static latency at every length; a "jump" is a
+  // relative increase above the threshold between consecutive lengths.
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(probe_limit));
+  for (int s = 1; s <= probe_limit; ++s) {
+    CompiledRuntime probe(model, CompilationKind::kStatic, s);
+    lat.push_back(static_cast<double>(probe.ComputeTime(s)));
+  }
+  std::vector<int> jump_positions;
+  for (int s = 2; s <= probe_limit; ++s) {
+    const double prev = lat[static_cast<std::size_t>(s - 2)];
+    const double cur = lat[static_cast<std::size_t>(s - 1)];
+    if (cur > prev * (1.0 + jump_threshold)) jump_positions.push_back(s);
+  }
+  if (jump_positions.size() < 2) return probe_limit;  // flat curve
+  std::map<int, int> gap_votes;
+  for (std::size_t i = 1; i < jump_positions.size(); ++i) {
+    ++gap_votes[jump_positions[i] - jump_positions[i - 1]];
+  }
+  int best_gap = probe_limit, best_votes = -1;
+  for (const auto& [gap, votes] : gap_votes) {
+    if (votes > best_votes) {
+      best_votes = votes;
+      best_gap = gap;
+    }
+  }
+  return best_gap;
+}
+
+RuntimeSet MakeArloRuntimeSet(SimulatedCompiler& compiler,
+                              const ModelSpec& model) {
+  const int step = DetectStaircaseStep(model);
+  std::vector<std::shared_ptr<const CompiledRuntime>> runtimes;
+  for (int len = step; len < model.native_max_length; len += step) {
+    runtimes.push_back(
+        compiler.Compile(model, CompilationKind::kStatic, len, step));
+  }
+  runtimes.push_back(compiler.Compile(model, CompilationKind::kStatic,
+                                      model.native_max_length, step));
+  return RuntimeSet(model, std::move(runtimes));
+}
+
+RuntimeSet MakeUniformRuntimeSet(SimulatedCompiler& compiler,
+                                 const ModelSpec& model, int num_runtimes) {
+  ARLO_CHECK(num_runtimes >= 1);
+  ARLO_CHECK(model.native_max_length % num_runtimes == 0);
+  const int step = model.native_max_length / num_runtimes;
+  std::vector<std::shared_ptr<const CompiledRuntime>> runtimes;
+  for (int i = 1; i <= num_runtimes; ++i) {
+    runtimes.push_back(
+        compiler.Compile(model, CompilationKind::kStatic, step * i));
+  }
+  return RuntimeSet(model, std::move(runtimes));
+}
+
+RuntimeSet MakeSingleStaticSet(SimulatedCompiler& compiler,
+                               const ModelSpec& model) {
+  std::vector<std::shared_ptr<const CompiledRuntime>> runtimes;
+  runtimes.push_back(compiler.Compile(model, CompilationKind::kStatic,
+                                      model.native_max_length));
+  return RuntimeSet(model, std::move(runtimes));
+}
+
+RuntimeSet MakeSingleDynamicSet(SimulatedCompiler& compiler,
+                                const ModelSpec& model) {
+  std::vector<std::shared_ptr<const CompiledRuntime>> runtimes;
+  runtimes.push_back(compiler.Compile(model, CompilationKind::kDynamic,
+                                      model.native_max_length));
+  return RuntimeSet(model, std::move(runtimes));
+}
+
+}  // namespace arlo::runtime

@@ -1,0 +1,71 @@
+// Runtime-set construction: how many runtimes and at which max_lengths.
+//
+// §3.3 "Determine the max length of each runtime": Arlo detects the
+// staircase step of the model's static-latency curve (64 tokens for
+// TensorRT+Bert) and compiles one runtime per step multiple, so that extra
+// runtimes inside one step — where latency barely moves — are never built.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/compiled_runtime.h"
+
+namespace arlo::runtime {
+
+/// An ascending-max_length family of runtimes for one model.  This is the
+/// "polymorphed" model: different forms of the same network.
+class RuntimeSet {
+ public:
+  RuntimeSet(ModelSpec model,
+             std::vector<std::shared_ptr<const CompiledRuntime>> runtimes);
+
+  const ModelSpec& Model() const { return model_; }
+  std::size_t Size() const { return runtimes_.size(); }
+  const CompiledRuntime& Runtime(RuntimeId id) const;
+  std::shared_ptr<const CompiledRuntime> RuntimePtr(RuntimeId id) const;
+
+  /// The *ideal* runtime for a request: the smallest max_length accepting
+  /// it (minimal zero-padding).  Returns kInvalidRuntime if none accepts.
+  RuntimeId IdealRuntimeFor(int length) const;
+
+  /// All candidate runtime ids accepting this length, ascending max_length
+  /// (the multi-level-queue traversal order of Algorithm 1).
+  std::vector<RuntimeId> CandidatesFor(int length) const;
+
+  /// Upper length bound of each runtime's bin (== its max_length).  Bin i
+  /// covers (max_length_{i-1}, max_length_i].
+  std::vector<int> BinUpperBounds() const;
+
+  int LargestMaxLength() const;
+
+ private:
+  ModelSpec model_;
+  std::vector<std::shared_ptr<const CompiledRuntime>> runtimes_;
+};
+
+/// Empirically detects the staircase step of a model's static latency
+/// curve: probes compiled latencies at every length up to `probe_limit` and
+/// returns the modal gap between significant jumps.
+int DetectStaircaseStep(const ModelSpec& model, int probe_limit = 512,
+                        double jump_threshold = 0.03);
+
+/// Builds the Arlo runtime set: one static runtime per staircase-step
+/// multiple up to the model's native max (8 runtimes for Bert at step 64).
+RuntimeSet MakeArloRuntimeSet(SimulatedCompiler& compiler,
+                              const ModelSpec& model);
+
+/// Ablation helper (Fig. 11): exactly `num_runtimes` static runtimes with
+/// max_lengths at multiples of native_max / num_runtimes.
+RuntimeSet MakeUniformRuntimeSet(SimulatedCompiler& compiler,
+                                 const ModelSpec& model, int num_runtimes);
+
+/// Baseline helper: a single static runtime at the native max (ST scheme).
+RuntimeSet MakeSingleStaticSet(SimulatedCompiler& compiler,
+                               const ModelSpec& model);
+
+/// Baseline helper: a single dynamic-shape runtime (DT scheme).
+RuntimeSet MakeSingleDynamicSet(SimulatedCompiler& compiler,
+                                const ModelSpec& model);
+
+}  // namespace arlo::runtime

@@ -1,0 +1,327 @@
+#include "serving/testbed.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace arlo::serving {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Sleeps until `deadline`, busy-spinning the final `spin` nanoseconds for
+/// sub-scheduler-quantum precision.
+void PreciseWaitUntil(Clock::time_point deadline,
+                      std::chrono::nanoseconds spin) {
+  const auto sleep_until = deadline - spin;
+  if (Clock::now() < sleep_until) std::this_thread::sleep_until(sleep_until);
+  while (Clock::now() < deadline) {
+    // spin
+  }
+}
+
+class Testbed final : public sim::ClusterOps {
+ public:
+  Testbed(const trace::Trace& trace, sim::Scheme& scheme,
+          const TestbedConfig& config)
+      : trace_(trace), scheme_(scheme), config_(config) {
+    ARLO_CHECK(config_.time_scale > 0.0);
+  }
+
+  TestbedResult Run();
+
+  // ClusterOps (called with dispatch_mu_ held by the scheme's caller):
+  InstanceId LaunchInstance(RuntimeId runtime,
+                            std::shared_ptr<const runtime::CompiledRuntime> rt,
+                            SimDuration ready_delay) override;
+  void RetireInstance(InstanceId id) override;
+  int NumInstances() const override { return live_workers_; }
+  int OutstandingOn(InstanceId id) const override;
+  SimTime Now() const override { return WallToSim(Clock::now()); }
+
+ private:
+  struct QueuedRequest {
+    Request request;
+    SimTime dispatch = 0;
+  };
+  struct Worker {
+    std::thread thread;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<QueuedRequest> queue;
+    int executing = 0;  // 0 or 1
+    bool ready = false;
+    bool retiring = false;
+    bool gone = false;
+    RuntimeId runtime = kInvalidRuntime;
+    std::shared_ptr<const runtime::CompiledRuntime> rt;
+    SimDuration ready_delay = 0;
+  };
+
+  SimTime WallToSim(Clock::time_point t) const {
+    const auto wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t - start_)
+            .count();
+    return static_cast<SimTime>(static_cast<double>(wall_ns) /
+                                config_.time_scale);
+  }
+  Clock::time_point SimToWall(SimTime t) const {
+    return start_ + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                        static_cast<double>(t) * config_.time_scale));
+  }
+
+  void WorkerLoop(InstanceId id, Worker& w);
+  void HandleArrivalLocked(const Request& request);
+  bool TryDispatchLocked(const Request& request);
+  void RetryBufferedLocked();
+  void FinalizeRetirementLocked(InstanceId id);
+  void TickLoop();
+
+  const trace::Trace& trace_;
+  sim::Scheme& scheme_;
+  TestbedConfig config_;
+  Clock::time_point start_;
+
+  std::mutex dispatch_mu_;
+  std::condition_variable all_done_cv_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::deque<Request> buffer_;
+  std::vector<RequestRecord> records_;
+  std::size_t completed_ = 0;
+  int live_workers_ = 0;
+  int peak_workers_ = 0;
+  std::atomic<bool> stopping_{false};
+};
+
+InstanceId Testbed::LaunchInstance(
+    RuntimeId runtime, std::shared_ptr<const runtime::CompiledRuntime> rt,
+    SimDuration ready_delay) {
+  // dispatch_mu_ is held by the caller.
+  const auto id = static_cast<InstanceId>(workers_.size());
+  auto worker = std::make_unique<Worker>();
+  worker->runtime = runtime;
+  worker->rt = std::move(rt);
+  worker->ready_delay = ready_delay;
+  workers_.push_back(std::move(worker));
+  ++live_workers_;
+  peak_workers_ = std::max(peak_workers_, live_workers_);
+  // Pass the stable Worker* so the thread never reads the (growing) vector.
+  Worker* wp = workers_.back().get();
+  wp->thread = std::thread([this, id, wp] { WorkerLoop(id, *wp); });
+  return id;
+}
+
+void Testbed::RetireInstance(InstanceId id) {
+  // dispatch_mu_ held.
+  ARLO_CHECK(id < workers_.size());
+  Worker& w = *workers_[id];
+  std::deque<QueuedRequest> orphans;
+  bool idle;
+  {
+    std::lock_guard lk(w.mu);
+    ARLO_CHECK_MSG(!w.retiring && !w.gone, "double retirement");
+    w.retiring = true;
+    orphans = std::move(w.queue);
+    w.queue.clear();
+    idle = w.executing == 0;
+  }
+  for (const auto& q : orphans) HandleArrivalLocked(q.request);
+  if (idle) {
+    FinalizeRetirementLocked(id);
+    workers_[id]->cv.notify_all();  // wake the thread so it can exit
+  }
+}
+
+void Testbed::FinalizeRetirementLocked(InstanceId id) {
+  Worker& w = *workers_[id];
+  {
+    std::lock_guard lk(w.mu);
+    if (w.gone) return;
+    w.gone = true;
+  }
+  --live_workers_;
+  scheme_.OnInstanceRetired(id);
+  w.cv.notify_all();
+}
+
+int Testbed::OutstandingOn(InstanceId id) const {
+  ARLO_CHECK(id < workers_.size());
+  const Worker& w = *workers_[id];
+  std::lock_guard lk(w.mu);
+  return static_cast<int>(w.queue.size()) + w.executing;
+}
+
+void Testbed::HandleArrivalLocked(const Request& request) {
+  if (!TryDispatchLocked(request)) buffer_.push_back(request);
+}
+
+bool Testbed::TryDispatchLocked(const Request& request) {
+  const InstanceId id = scheme_.SelectInstance(request, *this);
+  if (id == kInvalidInstance) return false;
+  ARLO_CHECK(id < workers_.size());
+  Worker& w = *workers_[id];
+  {
+    std::lock_guard lk(w.mu);
+    ARLO_CHECK_MSG(w.ready && !w.retiring && !w.gone,
+                   "scheme selected an unavailable worker");
+    w.queue.push_back(QueuedRequest{request, Now()});
+  }
+  scheme_.OnDispatched(request, id);
+  w.cv.notify_one();
+  return true;
+}
+
+void Testbed::RetryBufferedLocked() {
+  while (!buffer_.empty()) {
+    if (!TryDispatchLocked(buffer_.front())) return;
+    buffer_.pop_front();
+  }
+}
+
+void Testbed::WorkerLoop(InstanceId id, Worker& w) {
+  // Provisioning delay, then announce readiness.
+  if (w.ready_delay > 0) {
+    PreciseWaitUntil(
+        Clock::now() + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                           static_cast<double>(w.ready_delay) *
+                           config_.time_scale)),
+        std::chrono::nanoseconds(config_.spin_threshold));
+  }
+  {
+    std::lock_guard global(dispatch_mu_);
+    bool was_retired;
+    {
+      std::lock_guard lk(w.mu);
+      was_retired = w.gone || w.retiring;
+      if (!was_retired) w.ready = true;
+    }
+    if (was_retired) return;
+    scheme_.OnInstanceReady(id, w.runtime);
+    RetryBufferedLocked();
+  }
+
+  for (;;) {
+    QueuedRequest item;
+    {
+      std::unique_lock lk(w.mu);
+      w.cv.wait(lk, [&] {
+        return !w.queue.empty() || w.gone || (w.retiring && w.queue.empty());
+      });
+      if (w.queue.empty()) return;  // retired/gone and drained
+      item = w.queue.front();
+      w.queue.pop_front();
+      w.executing = 1;
+    }
+
+    const SimTime start_sim = Now();
+    const SimDuration service =
+        config_.per_request_overhead +
+        w.rt->ComputeTime(item.request.length);
+    PreciseWaitUntil(SimToWall(start_sim + service),
+                     std::chrono::nanoseconds(config_.spin_threshold));
+
+    {
+      std::lock_guard global(dispatch_mu_);
+      RequestRecord record;
+      record.id = item.request.id;
+      record.arrival = item.request.arrival;
+      record.dispatch = item.dispatch;
+      record.start = start_sim;
+      record.completion = Now();
+      record.length = item.request.length;
+      record.stream = item.request.stream;
+      record.runtime = w.runtime;
+      record.instance = id;
+      records_.push_back(record);
+      ++completed_;
+      scheme_.OnComplete(record, *this);
+
+      bool drained;
+      {
+        std::lock_guard lk(w.mu);
+        w.executing = 0;
+        drained = w.retiring && w.queue.empty();
+      }
+      if (drained) FinalizeRetirementLocked(id);
+      RetryBufferedLocked();
+      if (completed_ >= trace_.Size()) all_done_cv_.notify_all();
+      if (drained) return;
+    }
+  }
+}
+
+void Testbed::TickLoop() {
+  const SimDuration interval = scheme_.TickInterval();
+  SimTime next = interval;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    PreciseWaitUntil(SimToWall(next),
+                     std::chrono::nanoseconds(config_.spin_threshold));
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    std::lock_guard global(dispatch_mu_);
+    scheme_.OnTick(Now(), *this);
+    RetryBufferedLocked();
+    next += interval;
+  }
+}
+
+TestbedResult Testbed::Run() {
+  start_ = Clock::now();
+  records_.reserve(trace_.Size());
+  {
+    std::lock_guard global(dispatch_mu_);
+    scheme_.Setup(*this);
+  }
+  std::thread ticker([this] { TickLoop(); });
+
+  for (const Request& r : trace_.Requests()) {
+    PreciseWaitUntil(SimToWall(r.arrival),
+                     std::chrono::nanoseconds(config_.spin_threshold));
+    std::lock_guard global(dispatch_mu_);
+    HandleArrivalLocked(r);
+  }
+
+  // Wait for completion of every request.
+  {
+    std::unique_lock global(dispatch_mu_);
+    all_done_cv_.wait(global, [&] { return completed_ >= trace_.Size(); });
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  ticker.join();
+
+  // Shut down workers: mark retired so loops exit, then join.
+  {
+    std::lock_guard global(dispatch_mu_);
+    for (auto& w : workers_) {
+      std::lock_guard lk(w->mu);
+      w->retiring = true;
+    }
+  }
+  for (auto& w : workers_) w->cv.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+
+  TestbedResult out;
+  out.records = std::move(records_);
+  out.peak_workers = peak_workers_;
+  SimTime end = 0;
+  for (const auto& r : out.records) end = std::max(end, r.completion);
+  out.end_time = end;
+  return out;
+}
+
+}  // namespace
+
+TestbedResult RunTestbed(const trace::Trace& trace, sim::Scheme& scheme,
+                         const TestbedConfig& config) {
+  Testbed testbed(trace, scheme, config);
+  return testbed.Run();
+}
+
+}  // namespace arlo::serving

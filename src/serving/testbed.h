@@ -1,0 +1,44 @@
+// Threaded testbed emulation: the wall-clock counterpart of the simulator.
+//
+// Each GPU instance is a dedicated worker thread that holds a request for
+// its modeled compute time (precise hybrid sleep+spin waiting); the trace is
+// replayed in (optionally compressed) real time; all scheme interactions are
+// serialized under one dispatch mutex, mirroring a Triton-style frontend.
+// The same Scheme implementations run unmodified on the simulator and here,
+// which is what the §5.2.1 calibration experiment compares.
+//
+// Lock ordering: dispatch mutex -> worker mutex, never the reverse.
+#pragma once
+
+#include "common/types.h"
+#include "sim/scheme.h"
+#include "trace/trace.h"
+
+#include <vector>
+
+namespace arlo::serving {
+
+struct TestbedConfig {
+  /// Wall-clock seconds per simulated second.  1.0 = real time; 0.1 runs
+  /// 10x compressed (all compute times and delays shrink together, so
+  /// relative behaviour is preserved up to OS timer precision).
+  double time_scale = 1.0;
+  /// Network + host-device overhead added per request (the quantity the
+  /// simulator calibrates to in §5.2.1).
+  SimDuration per_request_overhead = Millis(0.8);
+  /// Precision knob: the final stretch of each wait is busy-spun.
+  SimDuration spin_threshold = Micros(200.0);
+};
+
+struct TestbedResult {
+  std::vector<RequestRecord> records;  ///< times in simulated ns
+  SimTime end_time = 0;
+  int peak_workers = 0;
+};
+
+/// Replays the trace through the scheme on real threads.  Blocks until all
+/// requests complete.
+TestbedResult RunTestbed(const trace::Trace& trace, sim::Scheme& scheme,
+                         const TestbedConfig& config = {});
+
+}  // namespace arlo::serving

@@ -1,0 +1,277 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace arlo::sim {
+namespace detail {
+
+Engine::Engine(const trace::Trace& trace, Scheme& scheme,
+               const EngineConfig& config)
+    : trace_(trace), scheme_(scheme), config_(config) {
+  if (config_.collect_records) records_.reserve(trace_.Size());
+}
+
+void Engine::AccumulateGpuTime() {
+  const SimTime now = events_.Now();
+  gpu_time_integral_ns_ += static_cast<double>(now - last_count_change_) *
+                           static_cast<double>(active_count_);
+  last_count_change_ = now;
+  if (config_.timeline) config_.timeline->RecordGpuCount(now, active_count_);
+}
+
+InstanceId Engine::LaunchInstance(
+    RuntimeId runtime, std::shared_ptr<const runtime::CompiledRuntime> rt,
+    SimDuration ready_delay) {
+  ARLO_CHECK(rt != nullptr);
+  ARLO_CHECK(ready_delay >= 0);
+  AccumulateGpuTime();
+  const auto id = static_cast<InstanceId>(instances_.size());
+  Instance inst;
+  inst.runtime = runtime;
+  inst.rt = std::move(rt);
+  instances_.push_back(std::move(inst));
+  ++active_count_;
+  peak_count_ = std::max(peak_count_, active_count_);
+  events_.Schedule(events_.Now() + ready_delay, [this, id, runtime] {
+    Instance& i = instances_[id];
+    if (i.gone) return;  // retired before it became ready
+    i.ready = true;
+    scheme_.OnInstanceReady(id, runtime);
+    RetryBuffered();
+    MaybeStartNext(id);
+  });
+  return id;
+}
+
+void Engine::RetireInstance(InstanceId id) {
+  ARLO_CHECK(id < instances_.size());
+  Instance& inst = instances_[id];
+  ARLO_CHECK_MSG(!inst.gone && !inst.retiring, "double retirement");
+  inst.retiring = true;
+  // Re-dispatch queued (not yet executing) requests through the scheme.
+  std::deque<QueuedRequest> orphans = std::move(inst.queue);
+  inst.queue.clear();
+  for (const auto& q : orphans) HandleArrival(q.request);
+  if (!inst.executing) FinalizeRetirement(id);
+}
+
+void Engine::FinalizeRetirement(InstanceId id) {
+  Instance& inst = instances_[id];
+  if (inst.gone) return;  // a scheme may retire from inside OnComplete
+  ARLO_CHECK(inst.retiring && !inst.executing && inst.queue.empty());
+  AccumulateGpuTime();
+  inst.gone = true;
+  inst.rt.reset();
+  --active_count_;
+  scheme_.OnInstanceRetired(id);
+}
+
+int Engine::OutstandingOn(InstanceId id) const {
+  ARLO_CHECK(id < instances_.size());
+  const Instance& inst = instances_[id];
+  return static_cast<int>(inst.queue.size() + inst.current_batch.size());
+}
+
+void Engine::HandleArrival(const Request& request) {
+  if (config_.timeline) config_.timeline->RecordArrival(events_.Now());
+  if (!TryDispatch(request)) {
+    buffer_.push_back(request);
+    ++buffered_total_;
+  }
+}
+
+bool Engine::TryDispatch(const Request& request) {
+  const InstanceId id = scheme_.SelectInstance(request, *this);
+  if (id == kInvalidInstance) return false;
+  ARLO_CHECK(id < instances_.size());
+  Instance& inst = instances_[id];
+  ARLO_CHECK_MSG(inst.ready && !inst.retiring && !inst.gone,
+                 "scheme selected an unavailable instance");
+  ARLO_CHECK_MSG(inst.rt->Accepts(request.length),
+                 "scheme selected a runtime that cannot serve this length");
+  inst.queue.push_back(QueuedRequest{request, events_.Now()});
+  scheme_.OnDispatched(request, id);
+  ++outstanding_;
+  if (config_.timeline) {
+    config_.timeline->RecordOutstanding(
+        events_.Now(), outstanding_ + static_cast<int>(buffer_.size()));
+  }
+  MaybeStartNext(id);
+  return true;
+}
+
+void Engine::MaybeStartNext(InstanceId id) {
+  Instance& inst = instances_[id];
+  if (inst.executing || !inst.ready || inst.queue.empty()) return;
+  // Opportunistic batching: pull up to max_batch queued requests and run
+  // them as one padded batch (max_batch 1 == the paper's serving mode).
+  const int n = std::min<int>(config_.max_batch,
+                              static_cast<int>(inst.queue.size()));
+  inst.current_batch.clear();
+  int max_len = 1;
+  for (int k = 0; k < n; ++k) {
+    inst.current_batch.push_back(inst.queue.front());
+    inst.queue.pop_front();
+    max_len = std::max(max_len, inst.current_batch.back().request.length);
+  }
+  inst.executing = true;
+  inst.current_start = events_.Now();
+  const SimDuration service =
+      static_cast<SimDuration>(n) * config_.per_request_overhead +
+      inst.rt->BatchComputeTime(n, max_len);
+  busy_ns_total_ += static_cast<double>(service);
+  events_.Schedule(events_.Now() + service,
+                   [this, id] { HandleCompletion(id); });
+}
+
+void Engine::ScheduleNextFailure() {
+  if (config_.mean_time_between_failures_s <= 0.0) return;
+  const SimDuration gap = Seconds(
+      fault_rng_.Exponential(1.0 / config_.mean_time_between_failures_s));
+  events_.Schedule(events_.Now() + gap, [this] {
+    if (completed_ < trace_.Size()) {
+      InjectFailure();
+      ScheduleNextFailure();
+    }
+  });
+}
+
+void Engine::InjectFailure() {
+  // Pick a random live (ready, serving) instance.
+  std::vector<InstanceId> live;
+  for (InstanceId id = 0; id < instances_.size(); ++id) {
+    const Instance& inst = instances_[id];
+    if (inst.ready && !inst.retiring && !inst.gone) live.push_back(id);
+  }
+  if (live.empty()) return;
+  const InstanceId victim = live[static_cast<std::size_t>(
+      fault_rng_.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1))];
+  Instance& inst = instances_[victim];
+
+  // The scheme drops the instance from its structures first (and may
+  // launch replacement capacity).
+  scheme_.OnInstanceFailure(victim, *this);
+
+  // Vanish instantly: lose nothing — queued and in-flight requests are
+  // re-dispatched with their original arrival times.
+  std::vector<QueuedRequest> orphans(inst.queue.begin(), inst.queue.end());
+  inst.queue.clear();
+  for (const auto& q : inst.current_batch) orphans.push_back(q);
+  inst.current_batch.clear();
+  inst.executing = false;  // the stale completion event is ignored via gone
+  AccumulateGpuTime();
+  inst.gone = true;
+  inst.rt.reset();
+  --active_count_;
+  ++injected_failures_;
+  for (const auto& q : orphans) {
+    outstanding_ -= 1;  // HandleArrival/TryDispatch re-counts on dispatch
+    HandleArrival(q.request);
+  }
+}
+
+void Engine::HandleCompletion(InstanceId id) {
+  Instance& inst = instances_[id];
+  if (inst.gone) return;  // completion of a request lost to a crash
+  ARLO_CHECK(inst.executing);
+  inst.executing = false;
+  const std::vector<QueuedRequest> batch = std::move(inst.current_batch);
+  inst.current_batch.clear();
+
+  for (const QueuedRequest& item : batch) {
+    RequestRecord record;
+    record.id = item.request.id;
+    record.arrival = item.request.arrival;
+    record.dispatch = item.dispatch;
+    record.start = inst.current_start;
+    record.completion = events_.Now();
+    record.length = item.request.length;
+    record.stream = item.request.stream;
+    record.runtime = inst.runtime;
+    record.instance = id;
+    if (config_.collect_records) records_.push_back(record);
+    ++completed_;
+    --outstanding_;
+    if (config_.timeline) config_.timeline->RecordCompletion(record);
+    scheme_.OnComplete(record, *this);
+  }
+
+  if (inst.retiring) {
+    if (inst.queue.empty()) FinalizeRetirement(id);
+  } else {
+    MaybeStartNext(id);
+  }
+  RetryBuffered();
+}
+
+void Engine::RetryBuffered() {
+  while (!buffer_.empty()) {
+    if (!TryDispatch(buffer_.front())) return;
+    buffer_.pop_front();
+  }
+}
+
+void Engine::ScheduleNextArrival() {
+  if (next_arrival_ >= trace_.Size()) return;
+  const Request& r = trace_.Requests()[next_arrival_];
+  events_.Schedule(r.arrival, [this, r] {
+    ++next_arrival_;
+    ScheduleNextArrival();
+    HandleArrival(r);
+  });
+}
+
+void Engine::ScheduleTick() {
+  const SimDuration interval = scheme_.TickInterval();
+  ARLO_CHECK(interval > 0);
+  events_.Schedule(events_.Now() + interval, [this] {
+    scheme_.OnTick(events_.Now(), *this);
+    RetryBuffered();
+    if (completed_ < trace_.Size()) ScheduleTick();
+  });
+}
+
+EngineResult Engine::Run() {
+  fault_rng_ = Rng(config_.fault_seed);
+  scheme_.Setup(*this);
+  ScheduleNextArrival();
+  ScheduleTick();
+  ScheduleNextFailure();
+
+  while (completed_ < trace_.Size()) {
+    ARLO_CHECK_MSG(events_.RunNext(),
+                   "event queue drained before all requests completed — the "
+                   "scheme stopped serving");
+    ARLO_CHECK_MSG(events_.Now() <= config_.max_sim_time,
+                   "simulation exceeded max_sim_time");
+  }
+
+  AccumulateGpuTime();
+  if (config_.timeline) config_.timeline->Finish(events_.Now());
+  EngineResult out;
+  out.records = std::move(records_);
+  out.end_time = events_.Now();
+  out.peak_gpus = peak_count_;
+  out.buffered_requests = buffered_total_;
+  out.injected_failures = injected_failures_;
+  if (events_.Now() > 0) {
+    out.time_weighted_gpus =
+        gpu_time_integral_ns_ / static_cast<double>(events_.Now());
+    out.gpu_busy_fraction =
+        gpu_time_integral_ns_ > 0.0 ? busy_ns_total_ / gpu_time_integral_ns_
+                                    : 0.0;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+EngineResult RunScenario(const trace::Trace& trace, Scheme& scheme,
+                         const EngineConfig& config) {
+  detail::Engine engine(trace, scheme, config);
+  return engine.Run();
+}
+
+}  // namespace arlo::sim

@@ -1,0 +1,142 @@
+// The discrete-event cluster simulation engine.
+//
+// Drives a request trace through a Scheme: instances execute batch-1
+// requests serially from per-instance FIFO queues; a fixed per-request
+// overhead models network + host-to-device transfer (0.8 ms, the value the
+// paper calibrates in §5.2.1); instance launches and replacements take a
+// configurable delay (~1 s, §4).  The engine also integrates the consumed
+// GPU count over time for the auto-scaling experiment (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+#include "sim/scheme.h"
+#include "sim/timeline.h"
+#include "trace/trace.h"
+
+namespace arlo::sim {
+
+struct EngineConfig {
+  /// Added to every request's service time (network + PCIe transfer).
+  SimDuration per_request_overhead = Millis(0.8);
+  /// Hard wall on simulated time; a scenario exceeding it throws (guards
+  /// against schemes that stop serving entirely).
+  SimTime max_sim_time = Seconds(24.0 * 3600.0);
+  /// Keep per-request records (disable only for huge smoke runs).
+  bool collect_records = true;
+  /// Optional per-second time-series collector (not owned; must outlive the
+  /// run).  Receives arrivals, completions, GPU-count changes, and
+  /// outstanding-work peaks.
+  TimelineRecorder* timeline = nullptr;
+  /// Opportunistic dynamic batching (§6 extension): an idle instance pulls
+  /// up to this many queued requests and executes them as one batch via
+  /// CompiledRuntime::BatchComputeTime.  1 = the paper's batch-1 serving.
+  int max_batch = 1;
+
+  /// Fault injection (§3.4 motivation: "idiosyncratic factors such as
+  /// failures and bugs lead to imbalanced load").  When > 0, instances
+  /// crash at exponential cluster-wide inter-failure times with this mean;
+  /// a crashed instance vanishes instantly, its queued and in-flight
+  /// requests are re-dispatched through the scheme, and recovery is the
+  /// scheme's job (re-allocation / auto-scaling).  Schemes must implement
+  /// OnInstanceFailure.
+  double mean_time_between_failures_s = 0.0;
+  std::uint64_t fault_seed = 1;
+};
+
+struct EngineResult {
+  std::vector<RequestRecord> records;
+  SimTime end_time = 0;              ///< completion time of the last request
+  double time_weighted_gpus = 0.0;   ///< mean #instances over the run
+  int peak_gpus = 0;
+  std::uint64_t buffered_requests = 0;  ///< times a request could not be
+                                        ///< dispatched immediately
+  double gpu_busy_fraction = 0.0;    ///< aggregate compute utilization
+  int injected_failures = 0;         ///< fault-injection crash count
+};
+
+/// Runs the trace to completion under the scheme.  Deterministic.
+EngineResult RunScenario(const trace::Trace& trace, Scheme& scheme,
+                         const EngineConfig& config = {});
+
+namespace detail {
+
+/// The engine internals, exposed for white-box unit tests.
+class Engine final : public ClusterOps {
+ public:
+  Engine(const trace::Trace& trace, Scheme& scheme, const EngineConfig& config);
+
+  EngineResult Run();
+
+  // ClusterOps:
+  InstanceId LaunchInstance(RuntimeId runtime,
+                            std::shared_ptr<const runtime::CompiledRuntime> rt,
+                            SimDuration ready_delay) override;
+  void RetireInstance(InstanceId id) override;
+  int NumInstances() const override { return active_count_; }
+  int OutstandingOn(InstanceId id) const override;
+  SimTime Now() const override { return events_.Now(); }
+
+ private:
+  struct QueuedRequest {
+    Request request;
+    SimTime dispatch = 0;
+  };
+  struct Instance {
+    RuntimeId runtime = kInvalidRuntime;
+    std::shared_ptr<const runtime::CompiledRuntime> rt;
+    std::deque<QueuedRequest> queue;
+    bool executing = false;
+    std::vector<QueuedRequest> current_batch;
+    SimTime current_start = 0;
+    bool ready = false;
+    bool retiring = false;
+    bool gone = false;
+  };
+
+  void HandleArrival(const Request& request);
+  bool TryDispatch(const Request& request);
+  void MaybeStartNext(InstanceId id);
+  void HandleCompletion(InstanceId id);
+  void FinalizeRetirement(InstanceId id);
+  void RetryBuffered();
+  void ScheduleNextArrival();
+  void ScheduleTick();
+  void AccumulateGpuTime();
+  void ScheduleNextFailure();
+  void InjectFailure();
+
+  const trace::Trace& trace_;
+  Scheme& scheme_;
+  EngineConfig config_;
+
+  EventQueue events_;
+  // deque, NOT vector: scheme callbacks (OnComplete, OnInstanceFailure) may
+  // launch new instances while the engine holds a reference to an existing
+  // one; deque keeps references stable across push_back.
+  std::deque<Instance> instances_;
+  std::deque<Request> buffer_;
+  std::vector<RequestRecord> records_;
+
+  std::size_t next_arrival_ = 0;
+  std::size_t completed_ = 0;
+
+  int active_count_ = 0;
+  int peak_count_ = 0;
+  int outstanding_ = 0;
+  double gpu_time_integral_ns_ = 0.0;
+  SimTime last_count_change_ = 0;
+  double busy_ns_total_ = 0.0;
+  std::uint64_t buffered_total_ = 0;
+  Rng fault_rng_{1};
+  int injected_failures_ = 0;
+};
+
+}  // namespace detail
+}  // namespace arlo::sim

@@ -1,0 +1,22 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace arlo::sim {
+
+void EventQueue::Schedule(SimTime when, Handler fn) {
+  ARLO_CHECK_MSG(when >= now_, "cannot schedule an event in the past");
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // Copy out before pop so the handler may schedule further events.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+}  // namespace arlo::sim

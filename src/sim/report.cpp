@@ -1,0 +1,87 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/table.h"
+
+namespace arlo::sim {
+
+SchemeReport MakeReport(const std::string& name, const EngineResult& result,
+                        SimDuration slo) {
+  SchemeReport report;
+  report.name = name;
+  report.latency = Summarize(result.records, slo);
+  report.time_weighted_gpus = result.time_weighted_gpus;
+  report.peak_gpus = result.peak_gpus;
+  report.gpu_busy_fraction = result.gpu_busy_fraction;
+  return report;
+}
+
+void PrintComparison(std::ostream& os, const std::string& title,
+                     const std::vector<SchemeReport>& reports) {
+  TablePrinter table(title);
+  table.SetHeader({"scheme", "requests", "mean_ms", "p50_ms", "p98_ms",
+                   "p99_ms", "max_ms", "slo_viol_%", "gpus(tw)", "busy_%"});
+  for (const auto& r : reports) {
+    table.AddRow({r.name, TablePrinter::Int(static_cast<long long>(
+                              r.latency.count)),
+                  TablePrinter::Num(r.latency.mean_ms),
+                  TablePrinter::Num(r.latency.p50_ms),
+                  TablePrinter::Num(r.latency.p98_ms),
+                  TablePrinter::Num(r.latency.p99_ms),
+                  TablePrinter::Num(r.latency.max_ms),
+                  TablePrinter::Num(100.0 * r.latency.slo_violation_frac),
+                  TablePrinter::Num(r.time_weighted_gpus),
+                  TablePrinter::Num(100.0 * r.gpu_busy_fraction, 1)});
+  }
+  table.Print(os);
+}
+
+void PrintLatencyCdf(std::ostream& os, const std::string& title,
+                     const std::vector<RequestRecord>& records, int points) {
+  PercentileTracker lat;
+  lat.Reserve(records.size());
+  for (const auto& r : records) lat.Add(ToMillis(r.Latency()));
+  TablePrinter table(title);
+  table.SetHeader({"cdf", "latency_ms"});
+  for (int i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    table.AddRow({TablePrinter::Num(q), TablePrinter::Num(lat.Quantile(q))});
+  }
+  table.Print(os);
+}
+
+double PaddingWasteOfRun(const std::vector<RequestRecord>& records,
+                         const runtime::ModelSpec& model,
+                         const std::vector<int>& max_length_of) {
+  double useful = 0.0, computed = 0.0;
+  for (const auto& r : records) {
+    if (r.runtime >= max_length_of.size()) continue;
+    const int max_len = max_length_of[r.runtime];
+    const double work = model.Flops(r.length);
+    useful += work;
+    computed += max_len > 0 ? model.Flops(max_len) : work;
+  }
+  return computed > 0.0 ? 1.0 - useful / computed : 0.0;
+}
+
+void PrintPerRuntimeBreakdown(std::ostream& os,
+                              const std::vector<RequestRecord>& records) {
+  std::map<RuntimeId, PercentileTracker> by_runtime;
+  for (const auto& r : records) {
+    by_runtime[r.runtime].Add(ToMillis(r.Latency()));
+  }
+  TablePrinter table("per-runtime breakdown");
+  table.SetHeader({"runtime", "requests", "mean_ms", "p98_ms"});
+  for (auto& [id, tracker] : by_runtime) {
+    table.AddRow({TablePrinter::Int(id),
+                  TablePrinter::Int(static_cast<long long>(tracker.Count())),
+                  TablePrinter::Num(tracker.Mean()),
+                  TablePrinter::Num(tracker.Quantile(0.98))});
+  }
+  table.Print(os);
+}
+
+}  // namespace arlo::sim

@@ -1,0 +1,53 @@
+// Result reporting helpers shared by benches and examples: latency
+// summaries, per-runtime breakdowns, and latency-CDF series in the format
+// the paper's figures use.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "runtime/model.h"
+#include "sim/engine.h"
+
+namespace arlo::sim {
+
+/// One scheme's results in a comparison table.
+struct SchemeReport {
+  std::string name;
+  LatencySummary latency;
+  double time_weighted_gpus = 0.0;
+  int peak_gpus = 0;
+  double gpu_busy_fraction = 0.0;
+};
+
+SchemeReport MakeReport(const std::string& name, const EngineResult& result,
+                        SimDuration slo);
+
+/// Prints a comparison table of scheme reports.
+void PrintComparison(std::ostream& os, const std::string& title,
+                     const std::vector<SchemeReport>& reports);
+
+/// Emits "latency_ms cdf" rows for a latency CDF figure, sampled at
+/// `points` evenly spaced quantiles.
+void PrintLatencyCdf(std::ostream& os, const std::string& title,
+                     const std::vector<RequestRecord>& records,
+                     int points = 20);
+
+/// Mean latency restricted to requests served by each runtime id (insight
+/// rows for the deep-dive benches).
+void PrintPerRuntimeBreakdown(std::ostream& os,
+                              const std::vector<RequestRecord>& records);
+
+/// Fraction of executed FLOPs spent on zero-padding, aggregated over a
+/// run's records (the §2.2 waste analysis measured end to end): for each
+/// request, useful work is flops(length) while the serving runtime computed
+/// flops(its max_length) — except dynamic runtimes, which pad nothing.
+/// `max_length_of` maps a runtime id to its compiled max length, or 0 for
+/// a dynamic (padding-free) runtime.
+double PaddingWasteOfRun(const std::vector<RequestRecord>& records,
+                         const runtime::ModelSpec& model,
+                         const std::vector<int>& max_length_of);
+
+}  // namespace arlo::sim

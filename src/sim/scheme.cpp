@@ -1,0 +1,15 @@
+#include "sim/scheme.h"
+
+#include "common/check.h"
+
+namespace arlo::sim {
+
+void Scheme::OnInstanceFailure(InstanceId instance, ClusterOps& cluster) {
+  (void)instance;
+  (void)cluster;
+  ARLO_CHECK_MSG(false,
+                 "fault injection enabled but the scheme does not implement "
+                 "OnInstanceFailure");
+}
+
+}  // namespace arlo::sim

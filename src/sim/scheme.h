@@ -1,0 +1,88 @@
+// The serving-scheme interface: what a policy (Arlo, ST, DT, INFaaS, and the
+// ILB/IG ablations) must implement to be driven by the simulation engine or
+// the threaded testbed.  The engine owns instance execution; the scheme owns
+// which runtimes exist, how GPUs are split across them, and which instance
+// each request goes to.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "runtime/compiled_runtime.h"
+
+namespace arlo::sim {
+
+/// Cluster operations a scheme may invoke.  Implemented by the simulation
+/// engine (src/sim/engine.*) and the threaded testbed (src/serving).
+class ClusterOps {
+ public:
+  virtual ~ClusterOps() = default;
+
+  /// Provisions a new instance running the given compiled runtime.  It
+  /// becomes dispatchable after `ready_delay` (use 0 during Setup; ~1 s for
+  /// online replacement per §4).  The scheme is told via OnInstanceReady.
+  virtual InstanceId LaunchInstance(
+      RuntimeId runtime, std::shared_ptr<const runtime::CompiledRuntime> rt,
+      SimDuration ready_delay) = 0;
+
+  /// Retires an instance: it accepts no further dispatches, finishes its
+  /// in-flight request, and its queued requests are re-dispatched through
+  /// the scheme.  OnInstanceRetired fires when it is fully gone.
+  virtual void RetireInstance(InstanceId id) = 0;
+
+  /// Active + provisioning instances (the consumed-GPU count of Fig. 8).
+  virtual int NumInstances() const = 0;
+
+  /// Outstanding requests (queued + executing) on an instance.
+  virtual int OutstandingOn(InstanceId id) const = 0;
+
+  virtual SimTime Now() const = 0;
+};
+
+/// A complete serving scheme.  The engine calls the On* notifications so
+/// the scheme's internal load view (e.g. Arlo's multi-level queue) stays in
+/// sync with cluster state without double bookkeeping.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Deploy the initial instances (ready_delay 0).
+  virtual void Setup(ClusterOps& cluster) = 0;
+
+  /// Choose an instance for an arriving request.  Returning
+  /// kInvalidInstance buffers the request; the engine retries it after the
+  /// next completion or instance-ready event.
+  virtual InstanceId SelectInstance(const Request& request,
+                                    ClusterOps& cluster) = 0;
+
+  /// The request was enqueued on the chosen instance.
+  virtual void OnDispatched(const Request& request, InstanceId instance) = 0;
+
+  /// The request finished executing.
+  virtual void OnComplete(const RequestRecord& record, ClusterOps& cluster) = 0;
+
+  /// A previously launched instance became dispatchable.
+  virtual void OnInstanceReady(InstanceId instance, RuntimeId runtime) = 0;
+
+  /// A retired instance is fully drained and gone.
+  virtual void OnInstanceRetired(InstanceId instance) = 0;
+
+  /// The instance failed abruptly (fault injection): it is gone NOW, its
+  /// queued and in-flight requests will be re-dispatched by the engine
+  /// immediately after this call.  The scheme must drop the instance from
+  /// its load structures before returning; it may use `cluster` to launch
+  /// replacement capacity.  Default: treat as a bug — schemes that opt
+  /// into fault injection override this.
+  virtual void OnInstanceFailure(InstanceId instance, ClusterOps& cluster);
+
+  /// Periodic housekeeping (runtime re-allocation, autoscaling).  Called
+  /// every TickInterval() of simulated time.
+  virtual void OnTick(SimTime now, ClusterOps& cluster) { (void)now; (void)cluster; }
+
+  virtual SimDuration TickInterval() const { return Seconds(5.0); }
+};
+
+}  // namespace arlo::sim

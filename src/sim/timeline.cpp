@@ -1,0 +1,78 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace arlo::sim {
+
+TimelineRecorder::TimelineRecorder(SimDuration bucket_width)
+    : width_(bucket_width) {
+  ARLO_CHECK(bucket_width > 0);
+}
+
+TimelineRecorder::RawBucket& TimelineRecorder::BucketFor(SimTime t) {
+  ARLO_CHECK(t >= 0);
+  const auto index = static_cast<std::size_t>(t / width_);
+  if (raw_.size() <= index) raw_.resize(index + 1);
+  return raw_[index];
+}
+
+void TimelineRecorder::RecordArrival(SimTime now) {
+  ++BucketFor(now).arrivals;
+}
+
+void TimelineRecorder::RecordCompletion(const RequestRecord& record) {
+  BucketFor(record.completion).latencies_ms.Add(ToMillis(record.Latency()));
+}
+
+void TimelineRecorder::AccumulateGpuTime(SimTime until) {
+  // Spread the (last_gpu_change_, until) interval across buckets.
+  SimTime t = last_gpu_change_;
+  while (t < until) {
+    const SimTime bucket_end = (t / width_ + 1) * width_;
+    const SimTime seg_end = std::min(bucket_end, until);
+    BucketFor(t).gpu_time_ns +=
+        static_cast<double>(seg_end - t) * current_gpus_;
+    t = seg_end;
+  }
+  last_gpu_change_ = until;
+}
+
+void TimelineRecorder::RecordGpuCount(SimTime now, int count) {
+  ARLO_CHECK(count >= 0);
+  AccumulateGpuTime(now);
+  current_gpus_ = count;
+}
+
+void TimelineRecorder::RecordOutstanding(SimTime now, int outstanding) {
+  RawBucket& b = BucketFor(now);
+  b.peak_outstanding = std::max(b.peak_outstanding, outstanding);
+}
+
+void TimelineRecorder::Finish(SimTime end) {
+  AccumulateGpuTime(end);
+  end_ = end;
+}
+
+std::vector<TimelineBucket> TimelineRecorder::Buckets() const {
+  std::vector<TimelineBucket> out;
+  out.reserve(raw_.size());
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const RawBucket& raw = raw_[i];
+    TimelineBucket b;
+    b.t_seconds = ToSeconds(static_cast<SimTime>(i) * width_);
+    b.arrivals = raw.arrivals;
+    b.completions = raw.latencies_ms.Count();
+    if (b.completions > 0) {
+      b.mean_latency_ms = raw.latencies_ms.Mean();
+      b.p98_latency_ms = raw.latencies_ms.Quantile(0.98);
+    }
+    b.mean_gpus = raw.gpu_time_ns / static_cast<double>(width_);
+    b.peak_outstanding = raw.peak_outstanding;
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace arlo::sim

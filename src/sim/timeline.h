@@ -1,0 +1,61 @@
+// Per-second time series of a scenario run: arrival/completion rates,
+// latency quantiles of completions, consumed GPUs, and outstanding work.
+// Fig. 8 (consumed GPUs over time) and Fig. 12 (allocation over time) are
+// time series, so benches record one of these alongside the aggregates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace arlo::sim {
+
+struct TimelineBucket {
+  double t_seconds = 0.0;         ///< bucket start
+  std::uint64_t arrivals = 0;
+  std::uint64_t completions = 0;
+  double mean_latency_ms = 0.0;   ///< over completions in the bucket
+  double p98_latency_ms = 0.0;
+  double mean_gpus = 0.0;         ///< time-weighted within the bucket
+  int peak_outstanding = 0;       ///< max queued+executing seen
+};
+
+/// Collects per-bucket statistics during a run.  Wire it into the engine
+/// via EngineConfig::timeline; query after the run.
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(SimDuration bucket_width = Seconds(1.0));
+
+  // Engine hooks -----------------------------------------------------------
+  void RecordArrival(SimTime now);
+  void RecordCompletion(const RequestRecord& record);
+  /// GPU count changed to `count` at `now` (also call once at t=0).
+  void RecordGpuCount(SimTime now, int count);
+  void RecordOutstanding(SimTime now, int outstanding);
+  /// Close the integration window at the end of the run.
+  void Finish(SimTime end);
+
+  // Queries ----------------------------------------------------------------
+  std::vector<TimelineBucket> Buckets() const;
+  SimDuration BucketWidth() const { return width_; }
+
+ private:
+  struct RawBucket {
+    std::uint64_t arrivals = 0;
+    PercentileTracker latencies_ms;
+    double gpu_time_ns = 0.0;  ///< integral of count over the bucket
+    int peak_outstanding = 0;
+  };
+  RawBucket& BucketFor(SimTime t);
+  void AccumulateGpuTime(SimTime until);
+
+  SimDuration width_;
+  std::vector<RawBucket> raw_;
+  int current_gpus_ = 0;
+  SimTime last_gpu_change_ = 0;
+  SimTime end_ = 0;
+};
+
+}  // namespace arlo::sim

@@ -1,0 +1,521 @@
+#include "solver/allocation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "solver/ilp.h"
+
+namespace arlo::solver {
+namespace {
+
+using arlo::runtime::RuntimeProfile;
+
+void ValidateProblem(const AllocationProblem& p) {
+  ARLO_CHECK(p.gpus >= 1);
+  ARLO_CHECK(!p.profiles.empty());
+  ARLO_CHECK(p.demand.size() == p.profiles.size());
+  for (const auto& prof : p.profiles) {
+    ARLO_CHECK(prof.compute_time > 0);
+    ARLO_CHECK_MSG(prof.capacity_within_slo >= 1,
+                   "runtime cannot serve even one request within the SLO");
+  }
+  for (double q : p.demand) ARLO_CHECK(q >= 0.0);
+}
+
+/// Eq. 3 lower bounds (floor, as written in the paper) plus Eq. 7.
+std::vector<int> LowerBounds(const AllocationProblem& p) {
+  std::vector<int> lb(p.NumRuntimes(), 0);
+  for (std::size_t i = 0; i < p.NumRuntimes(); ++i) {
+    lb[i] = static_cast<int>(p.demand[i] /
+                             static_cast<double>(p.profiles[i].capacity_within_slo));
+  }
+  lb.back() = std::max(lb.back(), 1);
+  return lb;
+}
+
+double Millis(double ns) { return ns / 1e6; }
+
+/// Wall-clock timer for solve_seconds reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+AllocationEval EvaluateAllocation(const AllocationProblem& problem,
+                                  const std::vector<int>& allocation) {
+  ValidateProblem(problem);
+  ARLO_CHECK(allocation.size() == problem.NumRuntimes());
+  const std::size_t n = problem.NumRuntimes();
+
+  AllocationEval eval;
+  eval.processed.assign(n, 0.0);
+  eval.carryover.assign(n, 0.0);
+
+  double r_prev = 0.0;
+  double objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ARLO_CHECK(allocation[i] >= 0);
+    const double cap = static_cast<double>(allocation[i]) *
+                       static_cast<double>(problem.profiles[i].capacity_within_slo);
+    const double offered = r_prev + problem.demand[i];
+    double processed;
+    if (i + 1 < n) {
+      processed = std::min(offered, cap);              // Eq. 5, i < I
+      eval.carryover[i] = std::max(offered - cap, 0.0);  // Eq. 4
+    } else {
+      processed = offered;                             // Eq. 5, i = I
+      eval.carryover[i] = 0.0;
+      eval.unabsorbed = std::max(offered - cap, 0.0);
+    }
+    eval.processed[i] = processed;
+    if (processed > 0.0) {
+      // Eq. 6 requires N_i > 0 whenever the runtime processes anything;
+      // a zero allocation with positive processed load is impossible for
+      // i < I (cap == 0 forces processed == 0) and infeasible for i == I.
+      if (allocation[i] == 0) {
+        eval.feasible = false;
+        eval.objective = std::numeric_limits<double>::infinity();
+        return eval;
+      }
+      const double b = processed / static_cast<double>(allocation[i]);
+      objective += problem.profiles[i].MeanLatencyNs(b) * processed;
+    }
+    r_prev = eval.carryover[i];
+  }
+  eval.feasible = allocation.back() >= 1;
+  eval.objective = objective;
+  return eval;
+}
+
+AllocationResult SolveAllocationGreedy(const AllocationProblem& problem) {
+  ValidateProblem(problem);
+  Stopwatch timer;
+  const std::size_t n = problem.NumRuntimes();
+  std::vector<int> lb = LowerBounds(problem);
+
+  int lb_sum = 0;
+  for (int v : lb) lb_sum += v;
+
+  std::vector<int> alloc;
+  bool feasible = true;
+  if (lb_sum > problem.gpus) {
+    // Scarce regime: the Eq. 3 bounds cannot all hold.  Keep Eq. 7 (one
+    // instance of the largest runtime) and distribute the rest greedily;
+    // report infeasible so the caller can trigger scale-out.
+    feasible = false;
+    alloc.assign(n, 0);
+    alloc.back() = 1;
+    lb_sum = 1;
+    ARLO_CHECK(problem.gpus >= 1);
+  } else {
+    alloc = lb;
+  }
+
+  int remaining = problem.gpus - lb_sum;
+  double current = EvaluateAllocation(problem, alloc).objective;
+  while (remaining > 0) {
+    double best_obj = std::numeric_limits<double>::infinity();
+    std::size_t best_i = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      ++alloc[i];
+      const double obj = EvaluateAllocation(problem, alloc).objective;
+      --alloc[i];
+      if (obj < best_obj) {
+        best_obj = obj;
+        best_i = i;
+      }
+    }
+    ARLO_CHECK(best_i < n);
+    ++alloc[best_i];
+    current = best_obj;
+    --remaining;
+  }
+
+  AllocationResult out;
+  out.feasible = feasible;
+  out.gpus_per_runtime = std::move(alloc);
+  out.objective = current;
+  out.solve_seconds = timer.Seconds();
+  out.nodes_explored = static_cast<long long>(n) * problem.gpus;
+  return out;
+}
+
+namespace {
+
+/// Depth-first exact search state.
+struct ExactSearch {
+  const AllocationProblem* problem = nullptr;
+  std::vector<int> lb;
+  std::vector<double> suffix_min_cost;  ///< admissible bound per suffix
+  std::vector<int> current;
+  std::vector<int> best;
+  double incumbent = std::numeric_limits<double>::infinity();
+  long long nodes = 0;
+  long long max_nodes = 0;
+  bool capped = false;
+
+  /// Admissible lower bound on the cost of runtimes [i, n): every request
+  /// contributes at least compute_ideal/2 mean latency, and carried-over
+  /// demand at least compute_i/2.
+  double SuffixBound(std::size_t i, double carryover) const {
+    double bound = suffix_min_cost[i];
+    bound += carryover *
+             static_cast<double>(problem->profiles[i].compute_time) * 0.5;
+    return bound;
+  }
+
+  /// Recurses over runtime i with `slack` spare GPUs left to distribute,
+  /// `prefix_cost` the exact cost of runtimes [0, i), and `carryover` = R_{i-1}.
+  void Dfs(std::size_t i, int slack, double prefix_cost, double carryover) {
+    if (capped) return;
+    if (++nodes > max_nodes) {
+      capped = true;
+      return;
+    }
+    const std::size_t n = problem->NumRuntimes();
+    if (prefix_cost + SuffixBound(i, carryover) >= incumbent) return;
+
+    const auto& prof = problem->profiles[i];
+    const double q = problem->demand[i] + carryover;
+
+    if (i + 1 == n) {
+      // Eq. 2: all remaining GPUs go to the last runtime.
+      const int n_last = lb[i] + slack;
+      const double b = q / static_cast<double>(n_last);
+      const double cost =
+          prefix_cost + (q > 0.0 ? prof.MeanLatencyNs(b) * q : 0.0);
+      if (cost < incumbent) {
+        incumbent = cost;
+        current[i] = n_last;
+        best = current;
+      }
+      return;
+    }
+
+    for (int extra = 0; extra <= slack; ++extra) {
+      const int n_i = lb[i] + extra;
+      double cost_i = 0.0;
+      double r_i = 0.0;
+      if (n_i == 0) {
+        r_i = q;  // everything demotes
+      } else {
+        const double cap =
+            static_cast<double>(n_i) *
+            static_cast<double>(prof.capacity_within_slo);
+        const double c_i = std::min(q, cap);
+        r_i = std::max(q - cap, 0.0);
+        if (c_i > 0.0) {
+          cost_i = prof.MeanLatencyNs(c_i / static_cast<double>(n_i)) * c_i;
+        }
+      }
+      current[i] = n_i;
+      Dfs(i + 1, slack - extra, prefix_cost + cost_i, r_i);
+      if (capped) return;
+    }
+  }
+};
+
+}  // namespace
+
+AllocationResult SolveAllocationExact(const AllocationProblem& problem,
+                                      const AllocationSolveOptions& options) {
+  ValidateProblem(problem);
+  Stopwatch timer;
+
+  // Warm start: the greedy solution is the incumbent (and the fallback in
+  // both the scarce regime and the node-capped case).
+  AllocationResult greedy = SolveAllocationGreedy(problem);
+  const std::size_t n = problem.NumRuntimes();
+  std::vector<int> lb = LowerBounds(problem);
+  int lb_sum = 0;
+  for (int v : lb) lb_sum += v;
+  if (lb_sum > problem.gpus) {
+    greedy.solve_seconds = timer.Seconds();
+    return greedy;  // infeasible per Eq. 3; best-effort greedy
+  }
+
+  ExactSearch search;
+  search.problem = &problem;
+  search.lb = lb;
+  search.current.assign(n, 0);
+  search.best = greedy.gpus_per_runtime;
+  search.incumbent = greedy.objective;
+  search.max_nodes = options.max_nodes;
+  search.suffix_min_cost.assign(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    search.suffix_min_cost[i] =
+        search.suffix_min_cost[i + 1] +
+        problem.demand[i] *
+            static_cast<double>(problem.profiles[i].compute_time) * 0.5;
+  }
+
+  search.Dfs(0, problem.gpus - lb_sum, 0.0, 0.0);
+
+  AllocationResult out;
+  out.feasible = true;
+  out.gpus_per_runtime = search.best;
+  out.objective = search.incumbent;
+  out.solve_seconds = timer.Seconds();
+  out.nodes_explored = search.nodes;
+  return out;
+}
+
+AllocationResult EvenAllocation(const AllocationProblem& problem) {
+  ValidateProblem(problem);
+  Stopwatch timer;
+  const std::size_t n = problem.NumRuntimes();
+  const int base = problem.gpus / static_cast<int>(n);
+  std::vector<int> alloc(n, base);
+  alloc.back() += problem.gpus - base * static_cast<int>(n);
+  if (alloc.back() == 0) {
+    // Fewer GPUs than runtimes: keep Eq. 7 by stealing from the front.
+    for (std::size_t i = 0; i < n - 1; ++i) {
+      if (alloc[i] > 0) {
+        --alloc[i];
+        ++alloc.back();
+        break;
+      }
+    }
+  }
+  const AllocationEval eval = EvaluateAllocation(problem, alloc);
+  AllocationResult out;
+  out.feasible = eval.feasible;
+  out.gpus_per_runtime = std::move(alloc);
+  out.objective = eval.objective;
+  out.solve_seconds = timer.Seconds();
+  return out;
+}
+
+AllocationResult ProportionalAllocation(const AllocationProblem& problem,
+                                        const std::vector<double>& global_demand) {
+  ValidateProblem(problem);
+  ARLO_CHECK(global_demand.size() == problem.NumRuntimes());
+  Stopwatch timer;
+  const std::size_t n = problem.NumRuntimes();
+  double total = 0.0;
+  for (double d : global_demand) total += d;
+  ARLO_CHECK(total > 0.0);
+
+  // Weight demand by compute time (heavier bins need more GPUs per request).
+  std::vector<double> weight(n);
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = global_demand[i] *
+                static_cast<double>(problem.profiles[i].compute_time);
+    weight_total += weight[i];
+  }
+
+  std::vector<int> alloc(n, 0);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    alloc[i] = static_cast<int>(weight[i] / weight_total *
+                                static_cast<double>(problem.gpus));
+    assigned += alloc[i];
+  }
+  // Distribute rounding remainder by largest fractional weight.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double fa = weight[a] / weight_total * problem.gpus - alloc[a];
+    const double fb = weight[b] / weight_total * problem.gpus - alloc[b];
+    return fa > fb;
+  });
+  for (std::size_t k = 0; assigned < problem.gpus; ++k) {
+    ++alloc[order[k % n]];
+    ++assigned;
+  }
+  if (alloc.back() == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alloc[i] > 0) {
+        --alloc[i];
+        ++alloc.back();
+        break;
+      }
+    }
+  }
+
+  const AllocationEval eval = EvaluateAllocation(problem, alloc);
+  AllocationResult out;
+  out.feasible = eval.feasible;
+  out.gpus_per_runtime = std::move(alloc);
+  out.objective = eval.objective;
+  out.solve_seconds = timer.Seconds();
+  return out;
+}
+
+AllocationResult SolveAllocationIncremental(const AllocationProblem& problem,
+                                            const std::vector<int>& previous,
+                                            int max_moves) {
+  ValidateProblem(problem);
+  ARLO_CHECK(previous.size() == problem.NumRuntimes());
+  ARLO_CHECK(max_moves >= 0);
+  int total = 0;
+  for (int v : previous) {
+    ARLO_CHECK(v >= 0);
+    total += v;
+  }
+  ARLO_CHECK_MSG(total == problem.gpus,
+                 "previous allocation must cover exactly the GPU pool");
+  Stopwatch timer;
+  const std::size_t n = problem.NumRuntimes();
+
+  std::vector<int> current = previous;
+  double current_obj = EvaluateAllocation(problem, current).objective;
+  int moves = 0;
+  long long evals = 0;
+  // Steepest descent: each move shifts one GPU from a donor runtime to a
+  // receiver (== one instance replacement); stop at the move budget or at a
+  // local optimum.
+  while (moves < max_moves) {
+    double best_obj = current_obj;
+    std::size_t best_from = n, best_to = n;
+    for (std::size_t from = 0; from < n; ++from) {
+      // Eq. 7: the largest runtime keeps at least one instance.
+      const int floor_from = from + 1 == n ? 1 : 0;
+      if (current[from] <= floor_from) continue;
+      for (std::size_t to = 0; to < n; ++to) {
+        if (to == from) continue;
+        --current[from];
+        ++current[to];
+        const double obj = EvaluateAllocation(problem, current).objective;
+        ++evals;
+        ++current[from];
+        --current[to];
+        if (obj < best_obj - 1e-9) {
+          best_obj = obj;
+          best_from = from;
+          best_to = to;
+        }
+      }
+    }
+    if (best_from == n) break;  // local optimum within one move
+    --current[best_from];
+    ++current[best_to];
+    current_obj = best_obj;
+    ++moves;
+  }
+
+  // Feasibility per Eq. 3 lower bounds.
+  const std::vector<int> lb = LowerBounds(problem);
+  bool feasible = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (current[i] < lb[i]) feasible = false;
+  }
+
+  AllocationResult out;
+  out.feasible = feasible;
+  out.gpus_per_runtime = std::move(current);
+  out.objective = current_obj;
+  out.solve_seconds = timer.Seconds();
+  out.nodes_explored = evals;
+  return out;
+}
+
+AllocationResult SolveAllocationViaIlp(const AllocationProblem& problem,
+                                       int max_count_per_runtime) {
+  ValidateProblem(problem);
+  ARLO_CHECK(max_count_per_runtime >= 1);
+  Stopwatch timer;
+  const std::size_t n = problem.NumRuntimes();
+  const std::vector<int> lb = LowerBounds(problem);
+  int lb_sum = 0;
+  for (int v : lb) lb_sum += v;
+  // No runtime can exceed its lower bound by more than the global slack
+  // without starving another runtime's Eq. 3 bound — this prunes the
+  // selector columns to (slack+1) per runtime.
+  const int slack = problem.gpus - lb_sum;
+  if (slack < 0) {
+    AllocationResult out;
+    out.solve_seconds = timer.Seconds();
+    out.feasible = false;
+    return out;
+  }
+
+  // Binary selector x_{i,c} = "runtime i gets exactly c instances", with the
+  // per-choice cost precomputed from the (carryover-free) objective.  The
+  // linearization assumes Eq. 3 holds so demotion is negligible — accurate
+  // whenever the cluster is provisioned for its demand.
+  struct Choice {
+    std::size_t runtime;
+    int count;
+  };
+  std::vector<Choice> choices;
+  std::vector<double> cost;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int lo = std::max(lb[i], i + 1 == n ? 1 : 0);
+    const int hi = std::min({max_count_per_runtime, problem.gpus,
+                             lb[i] + slack});
+    for (int c = lo; c <= hi; ++c) {
+      choices.push_back({i, c});
+      if (c == 0 || problem.demand[i] <= 0.0) {
+        cost.push_back(0.0);
+      } else {
+        const double b = problem.demand[i] / static_cast<double>(c);
+        cost.push_back(Millis(problem.profiles[i].MeanLatencyNs(b)) *
+                       problem.demand[i]);
+      }
+    }
+  }
+
+  IlpProblem ilp;
+  ilp.lp.objective = cost;
+  ilp.integer.assign(choices.size(), true);
+
+  // One choice per runtime.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(choices.size(), 0.0);
+    for (std::size_t k = 0; k < choices.size(); ++k) {
+      if (choices[k].runtime == i) row[k] = 1.0;
+    }
+    ilp.lp.AddConstraint(std::move(row), Relation::kEqual, 1.0);
+  }
+  // Total instances == G.
+  {
+    std::vector<double> row(choices.size(), 0.0);
+    for (std::size_t k = 0; k < choices.size(); ++k) {
+      row[k] = static_cast<double>(choices[k].count);
+    }
+    ilp.lp.AddConstraint(std::move(row), Relation::kEqual,
+                         static_cast<double>(problem.gpus));
+  }
+  // x <= 1 (binary upper bound).
+  for (std::size_t k = 0; k < choices.size(); ++k) {
+    std::vector<double> row(choices.size(), 0.0);
+    row[k] = 1.0;
+    ilp.lp.AddConstraint(std::move(row), Relation::kLessEq, 1.0);
+  }
+
+  const IlpSolution sol = SolveIlp(ilp);
+  AllocationResult out;
+  out.solve_seconds = timer.Seconds();
+  out.nodes_explored = sol.nodes_explored;
+  if (sol.status != IlpStatus::kOptimal) {
+    out.feasible = false;
+    return out;
+  }
+  out.gpus_per_runtime.assign(n, 0);
+  for (std::size_t k = 0; k < choices.size(); ++k) {
+    if (sol.x[k] > 0.5) {
+      out.gpus_per_runtime[choices[k].runtime] = choices[k].count;
+    }
+  }
+  const AllocationEval eval = EvaluateAllocation(problem, out.gpus_per_runtime);
+  out.feasible = eval.feasible;
+  out.objective = eval.objective;
+  return out;
+}
+
+}  // namespace arlo::solver

@@ -1,0 +1,98 @@
+// The Runtime Scheduler's resource-allocation program (§3.3, Eqs. 1–7).
+//
+// Given G GPUs, I runtimes sorted by max_length, per-bin demand Q_i (mean
+// requests per SLO period whose ideal runtime is i), and profiles (capacity
+// M_i, latency map L_i), choose instance counts N_i minimizing
+//
+//     sum_i L_i(B_i) * C_i                                     (Eq. 1)
+//     sum_i N_i = G                                            (Eq. 2)
+//     N_i >= floor(Q_i / M_i)                                  (Eq. 3)
+//     R_i = max(R_{i-1} + Q_i - N_i*M_i, 0),  R_0 = 0          (Eq. 4)
+//     C_i = min(R_{i-1} + Q_i, N_i*M_i)  (i<I);  R_{I-1}+Q_I   (Eq. 5)
+//     B_i = C_i / N_i                                          (Eq. 6)
+//     N_I >= 1                                                 (Eq. 7)
+//
+// R_i is demand the i-th runtime cannot absorb, *demoted* to the next larger
+// runtime; C_i is what runtime i actually processes.  The program is
+// nonconvex (the paper calls it an ILP loosely and hands it to GUROBI); we
+// solve it exactly with branch-and-bound over the N_i and provide greedy /
+// even / demand-proportional baselines for Table 3.
+#pragma once
+
+#include <vector>
+
+#include "runtime/profiler.h"
+
+namespace arlo::solver {
+
+struct AllocationProblem {
+  int gpus = 0;                                    ///< G
+  std::vector<double> demand;                      ///< Q_i per SLO period
+  std::vector<arlo::runtime::RuntimeProfile> profiles;  ///< ascending max_length
+
+  std::size_t NumRuntimes() const { return profiles.size(); }
+};
+
+struct AllocationEval {
+  bool feasible = false;     ///< all constraints hold and demand is absorbed
+  double objective = 0.0;    ///< Eq. 1 value (ns-weighted)
+  std::vector<double> processed;  ///< C_i
+  std::vector<double> carryover;  ///< R_i
+  double unabsorbed = 0.0;   ///< demand beyond even the largest runtime's
+                             ///< capacity (overload indicator)
+};
+
+/// Evaluates Eqs. 4–6 and the objective for a fixed allocation.  The
+/// allocation must have one entry per runtime and sum to <= gpus; entries
+/// of 0 are allowed (that runtime is not deployed; its demand demotes).
+AllocationEval EvaluateAllocation(const AllocationProblem& problem,
+                                  const std::vector<int>& allocation);
+
+struct AllocationResult {
+  bool feasible = false;
+  std::vector<int> gpus_per_runtime;  ///< N_i
+  double objective = 0.0;
+  double solve_seconds = 0.0;         ///< wall-clock solve time
+  long long nodes_explored = 0;
+};
+
+struct AllocationSolveOptions {
+  long long max_nodes = 50'000'000;
+};
+
+/// Exact branch-and-bound over the N_i with an admissible lower bound.
+/// Falls back to the greedy solution if the node budget is exhausted.
+AllocationResult SolveAllocationExact(const AllocationProblem& problem,
+                                      const AllocationSolveOptions& options = {});
+
+/// Greedy: start from the Eq. 3 lower bounds, then repeatedly give the next
+/// free GPU to the runtime with the largest objective improvement.
+AllocationResult SolveAllocationGreedy(const AllocationProblem& problem);
+
+/// Table 3 baseline: equal GPUs per runtime (remainder to the largest).
+AllocationResult EvenAllocation(const AllocationProblem& problem);
+
+/// Table 3 baseline: GPUs proportional to a *fixed global* demand vector
+/// (the whole-trace length distribution), ignoring the current window.
+AllocationResult ProportionalAllocation(const AllocationProblem& problem,
+                                        const std::vector<double>& global_demand);
+
+/// Builds a linearized variant of the program as a generic ILP (one binary
+/// selector per (runtime, instance-count) pair, carryover ignored) and
+/// solves it with SolveIlp.  Exists to exercise the generic solver end to
+/// end; exact cascade B&B remains the production path.
+AllocationResult SolveAllocationViaIlp(const AllocationProblem& problem,
+                                       int max_count_per_runtime);
+
+/// Replacement-cost-aware re-allocation (§4: each replacement takes an
+/// instance offline for ~1 s and re-dispatches its queue).  Starting from
+/// `previous`, explores allocations reachable with at most `max_moves`
+/// single-GPU moves (one move = shift one GPU between two runtimes = one
+/// instance replacement) and returns the best.  Exact within the move
+/// budget via breadth-limited search; with max_moves >= gpus it converges
+/// to the unconstrained optimum.
+AllocationResult SolveAllocationIncremental(const AllocationProblem& problem,
+                                            const std::vector<int>& previous,
+                                            int max_moves);
+
+}  // namespace arlo::solver

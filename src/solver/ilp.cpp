@@ -1,0 +1,111 @@
+#include "solver/ilp.h"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "common/check.h"
+
+namespace arlo::solver {
+namespace {
+
+struct Node {
+  /// Extra bound constraints accumulated along the branch.
+  std::vector<LpConstraint> extra;
+};
+
+/// Index of the most fractional integer variable, or nullopt if integral.
+std::optional<std::size_t> MostFractional(const std::vector<double>& x,
+                                          const std::vector<bool>& integer,
+                                          double tol) {
+  std::optional<std::size_t> best;
+  double best_dist = tol;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (j >= integer.size() || !integer[j]) continue;
+    const double frac = x[j] - std::floor(x[j]);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+IlpSolution SolveIlp(const IlpProblem& problem, const IlpOptions& options) {
+  IlpSolution out;
+  const std::size_t n = problem.lp.NumVars();
+
+  double incumbent = std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent_x;
+  bool hit_node_limit = false;
+
+  std::vector<Node> stack;
+  stack.push_back({});
+
+  while (!stack.empty()) {
+    if (out.nodes_explored >= options.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    ++out.nodes_explored;
+
+    LpProblem relaxed = problem.lp;
+    for (const auto& c : node.extra) relaxed.constraints.push_back(c);
+    const LpSolution sol = SolveLp(relaxed);
+
+    if (sol.status == LpStatus::kUnbounded && out.nodes_explored == 1) {
+      out.status = IlpStatus::kUnbounded;
+      return out;
+    }
+    if (sol.status != LpStatus::kOptimal) continue;            // prune
+    if (sol.objective >= incumbent - 1e-9) continue;           // bound
+
+    const auto branch_var =
+        MostFractional(sol.x, problem.integer, options.integrality_tol);
+    if (!branch_var) {
+      incumbent = sol.objective;
+      incumbent_x = sol.x;
+      continue;
+    }
+
+    const std::size_t j = *branch_var;
+    const double v = sol.x[j];
+    std::vector<double> unit(n, 0.0);
+    unit[j] = 1.0;
+
+    Node down = node;  // x_j <= floor(v)
+    down.extra.push_back({unit, Relation::kLessEq, std::floor(v)});
+    Node up = node;    // x_j >= ceil(v)
+    up.extra.push_back({unit, Relation::kGreaterEq, std::ceil(v)});
+    // Explore the branch nearer the fractional value first (better
+    // incumbents earlier → more pruning).
+    if (v - std::floor(v) < 0.5) {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    } else {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    }
+  }
+
+  if (!incumbent_x.empty()) {
+    out.status = hit_node_limit ? IlpStatus::kNodeLimit : IlpStatus::kOptimal;
+    out.objective = incumbent;
+    out.x = std::move(incumbent_x);
+    for (std::size_t j = 0; j < out.x.size(); ++j) {
+      if (j < problem.integer.size() && problem.integer[j]) {
+        out.x[j] = std::round(out.x[j]);
+      }
+    }
+  } else {
+    out.status = hit_node_limit ? IlpStatus::kNodeLimit : IlpStatus::kInfeasible;
+  }
+  return out;
+}
+
+}  // namespace arlo::solver

@@ -1,0 +1,38 @@
+// Branch-and-bound integer linear programming on top of the simplex solver.
+//
+// Depth-first B&B: solve the LP relaxation, prune on bound/infeasibility,
+// branch on the most fractional integer variable by adding x <= floor and
+// x >= ceil child constraints.  Sized for the Runtime Scheduler's small
+// allocation programs; a node budget caps pathological instances.
+#pragma once
+
+#include <vector>
+
+#include "solver/lp.h"
+
+namespace arlo::solver {
+
+struct IlpProblem {
+  LpProblem lp;
+  /// integer[j] marks variable j as integral; missing entries default to
+  /// continuous.
+  std::vector<bool> integer;
+};
+
+enum class IlpStatus { kOptimal, kInfeasible, kNodeLimit, kUnbounded };
+
+struct IlpSolution {
+  IlpStatus status = IlpStatus::kInfeasible;
+  std::vector<double> x;  ///< integral entries are exactly rounded
+  double objective = 0.0;
+  int nodes_explored = 0;
+};
+
+struct IlpOptions {
+  int max_nodes = 200000;
+  double integrality_tol = 1e-6;
+};
+
+IlpSolution SolveIlp(const IlpProblem& problem, const IlpOptions& options = {});
+
+}  // namespace arlo::solver

@@ -1,0 +1,259 @@
+#include "solver/lp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace arlo::solver {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Dense tableau with an explicit basis.  Columns: structural vars, then
+/// slack/surplus vars, then artificial vars, then the RHS.
+class Tableau {
+ public:
+  Tableau(const LpProblem& p) {
+    num_vars_ = p.NumVars();
+    num_rows_ = p.constraints.size();
+
+    // Count auxiliary columns.
+    std::size_t num_slack = 0, num_art = 0;
+    for (const auto& c : p.constraints) {
+      const bool flip = c.rhs < 0.0;
+      Relation rel = c.rel;
+      if (flip && rel != Relation::kEqual) {
+        rel = rel == Relation::kLessEq ? Relation::kGreaterEq
+                                       : Relation::kLessEq;
+      }
+      if (rel != Relation::kEqual) ++num_slack;
+      if (rel != Relation::kLessEq) ++num_art;  // >= and = need artificials
+    }
+    slack_begin_ = num_vars_;
+    art_begin_ = num_vars_ + num_slack;
+    num_cols_ = num_vars_ + num_slack + num_art;
+
+    a_.assign(num_rows_, std::vector<double>(num_cols_ + 1, 0.0));
+    basis_.assign(num_rows_, 0);
+
+    std::size_t next_slack = slack_begin_;
+    std::size_t next_art = art_begin_;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const auto& c = p.constraints[i];
+      ARLO_CHECK_MSG(c.coeffs.size() <= num_vars_,
+                     "constraint has more coefficients than variables");
+      const bool flip = c.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      for (std::size_t j = 0; j < c.coeffs.size(); ++j) {
+        a_[i][j] = sign * c.coeffs[j];
+      }
+      a_[i][num_cols_] = sign * c.rhs;
+      Relation rel = c.rel;
+      if (flip && rel != Relation::kEqual) {
+        rel = rel == Relation::kLessEq ? Relation::kGreaterEq
+                                       : Relation::kLessEq;
+      }
+      switch (rel) {
+        case Relation::kLessEq:
+          a_[i][next_slack] = 1.0;
+          basis_[i] = next_slack++;
+          break;
+        case Relation::kGreaterEq:
+          a_[i][next_slack] = -1.0;
+          ++next_slack;
+          a_[i][next_art] = 1.0;
+          basis_[i] = next_art++;
+          break;
+        case Relation::kEqual:
+          a_[i][next_art] = 1.0;
+          basis_[i] = next_art++;
+          break;
+      }
+    }
+  }
+
+  /// Runs simplex minimizing the given full-width cost vector.  Artificials
+  /// are barred from entering when `bar_artificials` is set (phase 2).
+  LpStatus Minimize(const std::vector<double>& cost, bool bar_artificials,
+                    int max_iterations, int& iterations) {
+    // Build the reduced-cost row: r = cost - cost_B^T * tableau.
+    obj_.assign(num_cols_ + 1, 0.0);
+    for (std::size_t j = 0; j < num_cols_; ++j) obj_[j] = cost[j];
+    obj_[num_cols_] = 0.0;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        obj_[j] -= cb * a_[i][j];
+      }
+    }
+
+    while (iterations < max_iterations) {
+      // Bland: entering variable = lowest index with negative reduced cost.
+      std::size_t enter = num_cols_;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (bar_artificials && j >= art_begin_) break;
+        if (obj_[j] < -kTol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == num_cols_) return LpStatus::kOptimal;
+
+      // Ratio test; Bland tie-break on the basis variable index.
+      std::size_t leave = num_rows_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        if (a_[i][enter] > kTol) {
+          const double ratio = a_[i][num_cols_] / a_[i][enter];
+          if (ratio < best_ratio - kTol ||
+              (ratio < best_ratio + kTol &&
+               (leave == num_rows_ || basis_[i] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == num_rows_) return LpStatus::kUnbounded;
+
+      Pivot(leave, enter);
+      ++iterations;
+    }
+    return LpStatus::kIterationLimit;
+  }
+
+  /// Objective value of the current basic solution under `cost`.
+  double Objective(const std::vector<double>& cost) const {
+    double v = 0.0;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      v += cost[basis_[i]] * a_[i][num_cols_];
+    }
+    return v;
+  }
+
+  /// After phase 1: force any artificial still in the basis out (possible
+  /// when its row has a nonzero coefficient on a real column); rows that are
+  /// entirely zero on real columns are redundant and left in place (the
+  /// artificial stays basic at value 0 and is barred from re-entering).
+  void DriveOutArtificials() {
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < art_begin_) continue;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (std::abs(a_[i][j]) > kTol) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<double> Solution() const {
+    std::vector<double> x(num_vars_, 0.0);
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < num_vars_) x[basis_[i]] = a_[i][num_cols_];
+    }
+    return x;
+  }
+
+  std::size_t num_cols() const { return num_cols_; }
+  std::size_t art_begin() const { return art_begin_; }
+
+ private:
+  void Pivot(std::size_t row, std::size_t col) {
+    const double pivot = a_[row][col];
+    ARLO_CHECK(std::abs(pivot) > kTol);
+    const double inv = 1.0 / pivot;
+    for (double& v : a_[row]) v *= inv;
+    for (std::size_t i = 0; i < num_rows_; ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        a_[i][j] -= factor * a_[row][j];
+      }
+      a_[i][col] = 0.0;  // exact zero against drift
+    }
+    if (!obj_.empty()) {
+      const double factor = obj_[col];
+      if (factor != 0.0) {
+        for (std::size_t j = 0; j <= num_cols_; ++j) {
+          obj_[j] -= factor * a_[row][j];
+        }
+        obj_[col] = 0.0;
+      }
+    }
+    basis_[row] = col;
+  }
+
+  std::size_t num_vars_ = 0;
+  std::size_t num_rows_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t slack_begin_ = 0;
+  std::size_t art_begin_ = 0;
+  std::vector<std::vector<double>> a_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> obj_;
+};
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, int max_iterations) {
+  LpSolution out;
+  if (problem.constraints.empty()) {
+    // Unconstrained over x >= 0: 0 if costs nonnegative, else unbounded.
+    out.x.assign(problem.NumVars(), 0.0);
+    for (double c : problem.objective) {
+      if (c < -kTol) {
+        out.status = LpStatus::kUnbounded;
+        return out;
+      }
+    }
+    out.status = LpStatus::kOptimal;
+    out.objective = 0.0;
+    return out;
+  }
+
+  Tableau tableau(problem);
+  int iterations = 0;
+
+  // Phase 1: minimize the sum of artificial variables.
+  std::vector<double> phase1_cost(tableau.num_cols(), 0.0);
+  for (std::size_t j = tableau.art_begin(); j < tableau.num_cols(); ++j) {
+    phase1_cost[j] = 1.0;
+  }
+  const bool has_artificials = tableau.art_begin() < tableau.num_cols();
+  if (has_artificials) {
+    const LpStatus s1 = tableau.Minimize(phase1_cost, /*bar_artificials=*/false,
+                                         max_iterations, iterations);
+    if (s1 == LpStatus::kIterationLimit) {
+      out.status = s1;
+      out.iterations = iterations;
+      return out;
+    }
+    if (tableau.Objective(phase1_cost) > 1e-6) {
+      out.status = LpStatus::kInfeasible;
+      out.iterations = iterations;
+      return out;
+    }
+    tableau.DriveOutArtificials();
+  }
+
+  // Phase 2: minimize the real objective with artificials barred.
+  std::vector<double> phase2_cost(tableau.num_cols(), 0.0);
+  for (std::size_t j = 0; j < problem.NumVars(); ++j) {
+    phase2_cost[j] = problem.objective[j];
+  }
+  const LpStatus s2 = tableau.Minimize(phase2_cost, /*bar_artificials=*/true,
+                                       max_iterations, iterations);
+  out.status = s2;
+  out.iterations = iterations;
+  if (s2 == LpStatus::kOptimal) {
+    out.x = tableau.Solution();
+    out.objective = tableau.Objective(phase2_cost);
+  }
+  return out;
+}
+
+}  // namespace arlo::solver

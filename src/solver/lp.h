@@ -1,0 +1,47 @@
+// A dense two-phase simplex LP solver.
+//
+// Stands in for GUROBI (§3.3): the Runtime Scheduler's allocation program is
+// tiny (≤16 runtimes, ≤1000 GPUs), so a textbook tableau simplex with
+// Bland's anti-cycling rule solves it exactly and instantly.  The solver is
+// general: it also backs the branch-and-bound ILP in ilp.h and is unit- and
+// property-tested against known optima.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace arlo::solver {
+
+enum class Relation { kLessEq, kGreaterEq, kEqual };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpConstraint {
+  std::vector<double> coeffs;  ///< one per variable (may be shorter; rest 0)
+  Relation rel = Relation::kLessEq;
+  double rhs = 0.0;
+};
+
+/// minimize objective . x  subject to  constraints,  x >= 0.
+struct LpProblem {
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+
+  std::size_t NumVars() const { return objective.size(); }
+
+  void AddConstraint(std::vector<double> coeffs, Relation rel, double rhs) {
+    constraints.push_back({std::move(coeffs), rel, rhs});
+  }
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+/// Solves the LP.  Deterministic; Bland's rule guarantees termination.
+LpSolution SolveLp(const LpProblem& problem, int max_iterations = 200000);
+
+}  // namespace arlo::solver

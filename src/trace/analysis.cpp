@@ -1,0 +1,100 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace arlo::trace {
+
+std::vector<WindowLengthStats> WindowedLengthStats(const Trace& trace,
+                                                   double window_s,
+                                                   int max_length) {
+  ARLO_CHECK(window_s > 0.0);
+  std::vector<WindowLengthStats> out;
+  const double duration_s = ToSeconds(trace.Duration());
+  for (double start = 0.0; start < duration_s; start += window_s) {
+    const Trace window =
+        trace.Slice(Seconds(start), Seconds(start + window_s));
+    WindowLengthStats stats;
+    stats.start_s = start;
+    stats.requests = window.Size();
+    if (!window.Empty()) {
+      const Histogram h = window.LengthHistogram(max_length);
+      stats.median = h.Quantile(0.5);
+      stats.p98 = h.Quantile(0.98);
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+double IndexOfDispersion(const Trace& trace) {
+  if (trace.Empty()) return 0.0;
+  const auto seconds =
+      static_cast<std::size_t>(ToSeconds(trace.Duration())) + 1;
+  std::vector<std::size_t> counts(seconds, 0);
+  for (const auto& r : trace.Requests()) {
+    ++counts[static_cast<std::size_t>(ToSeconds(r.arrival))];
+  }
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t c : counts) {
+    sum += static_cast<double>(c);
+    sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  const double n = static_cast<double>(counts.size());
+  const double mean = sum / n;
+  if (mean <= 0.0) return 0.0;
+  const double var = sq / n - mean * mean;
+  return var / mean;
+}
+
+double KsDistance(const Trace& a, const Trace& b, int max_length) {
+  ARLO_CHECK(max_length >= 1);
+  if (a.Empty() || b.Empty()) return a.Empty() == b.Empty() ? 0.0 : 1.0;
+  const Histogram ha = a.LengthHistogram(max_length);
+  const Histogram hb = b.LengthHistogram(max_length);
+  double sup = 0.0;
+  for (int v = 1; v <= max_length; ++v) {
+    sup = std::max(sup, std::abs(ha.CdfAt(v) - hb.CdfAt(v)));
+  }
+  return sup;
+}
+
+double MaxAdjacentWindowDrift(const Trace& trace, double window_s,
+                              int max_length) {
+  ARLO_CHECK(window_s > 0.0);
+  const double duration_s = ToSeconds(trace.Duration());
+  double max_drift = 0.0;
+  Trace prev = trace.Slice(0, Seconds(window_s));
+  for (double start = window_s; start + window_s <= duration_s;
+       start += window_s) {
+    Trace cur = trace.Slice(Seconds(start), Seconds(start + window_s));
+    if (!prev.Empty() && !cur.Empty()) {
+      max_drift = std::max(max_drift, KsDistance(prev, cur, max_length));
+    }
+    prev = std::move(cur);
+  }
+  return max_drift;
+}
+
+double MeanPaddingWaste(const Trace& trace, int runtime_max_length,
+                        double flops_linear_coeff, double flops_quad_coeff) {
+  ARLO_CHECK(runtime_max_length >= 1);
+  ARLO_CHECK(flops_linear_coeff >= 0.0 && flops_quad_coeff >= 0.0);
+  if (trace.Empty()) return 0.0;
+  auto flops = [&](int s) {
+    return flops_linear_coeff * s + flops_quad_coeff * s * s;
+  };
+  const double padded = flops(runtime_max_length);
+  double useful = 0.0;
+  std::size_t counted = 0;
+  for (const auto& r : trace.Requests()) {
+    const int len = std::min(r.length, runtime_max_length);
+    useful += flops(len);
+    ++counted;
+  }
+  return 1.0 - useful / (padded * static_cast<double>(counted));
+}
+
+}  // namespace arlo::trace

@@ -1,0 +1,48 @@
+// Trace analytics: the statistics used to characterize workloads in §2.1
+// and to validate synthesized traces against the paper's published numbers —
+// per-window length quantiles, burstiness (index of dispersion), and
+// distribution-drift detection (Kolmogorov–Smirnov distance between
+// windows).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace arlo::trace {
+
+/// Length-quantile summary of one time window.
+struct WindowLengthStats {
+  double start_s = 0.0;
+  std::size_t requests = 0;
+  int median = 0;
+  int p98 = 0;
+};
+
+/// Slices the trace into consecutive windows of `window_s` seconds and
+/// reports each window's length quantiles (Fig. 1's per-window view).
+std::vector<WindowLengthStats> WindowedLengthStats(const Trace& trace,
+                                                   double window_s,
+                                                   int max_length);
+
+/// Index of dispersion of per-second arrival counts: variance/mean.  1 for
+/// a Poisson process; >1 indicates burstiness (MMPP traces score higher).
+double IndexOfDispersion(const Trace& trace);
+
+/// Two-sample Kolmogorov–Smirnov distance between the length distributions
+/// of two traces (sup |F1 - F2| over lengths).  0 = identical, 1 = disjoint.
+double KsDistance(const Trace& a, const Trace& b, int max_length);
+
+/// Largest KS distance between any consecutive pair of `window_s`-second
+/// windows — a drift score: ~0 for a stationary mix, larger when the
+/// short/long composition wanders (the §3.2 short-term inconsistency).
+double MaxAdjacentWindowDrift(const Trace& trace, double window_s,
+                              int max_length);
+
+/// Mean padding-waste fraction if every request were served by a single
+/// runtime of the given max_length (the §2.2 FLOPs-waste analysis; the
+/// paper reports 80.6% waste for one clip at max_length 125).
+double MeanPaddingWaste(const Trace& trace, int runtime_max_length,
+                        double flops_linear_coeff, double flops_quad_coeff);
+
+}  // namespace arlo::trace

@@ -1,0 +1,91 @@
+#include "trace/arrival.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace arlo::trace {
+
+void PoissonArrivals::GenerateSecond(SimTime tick_start, double rate, Rng& rng,
+                                     std::vector<SimTime>& out) {
+  ARLO_CHECK(rate >= 0.0);
+  if (rate <= 0.0) return;
+  double t = 0.0;  // seconds within the tick
+  for (;;) {
+    t += rng.Exponential(rate);
+    if (t >= 1.0) break;
+    out.push_back(tick_start + Seconds(t));
+  }
+}
+
+MmppArrivals::MmppArrivals() : MmppArrivals(Params()) {}
+
+MmppArrivals::MmppArrivals(Params params) : params_(params) {
+  ARLO_CHECK(params_.calm_multiplier > 0.0);
+  ARLO_CHECK(params_.burst_multiplier >= params_.calm_multiplier);
+  ARLO_CHECK(params_.calm_mean_sojourn_s > 0.0);
+  ARLO_CHECK(params_.burst_mean_sojourn_s > 0.0);
+}
+
+double MmppArrivals::MeanMultiplier() const {
+  const double wc = params_.calm_mean_sojourn_s;
+  const double wb = params_.burst_mean_sojourn_s;
+  return (params_.calm_multiplier * wc + params_.burst_multiplier * wb) /
+         (wc + wb);
+}
+
+void MmppArrivals::GenerateSecond(SimTime tick_start, double rate, Rng& rng,
+                                  std::vector<SimTime>& out) {
+  ARLO_CHECK(rate >= 0.0);
+  if (!initialized_) {
+    // Start in a random state with a fresh sojourn so traces do not all
+    // begin with the same phase.
+    in_burst_ = rng.Bernoulli(params_.burst_mean_sojourn_s /
+                              (params_.calm_mean_sojourn_s +
+                               params_.burst_mean_sojourn_s));
+    time_to_switch_s_ = rng.Exponential(
+        1.0 / (in_burst_ ? params_.burst_mean_sojourn_s
+                         : params_.calm_mean_sojourn_s));
+    initialized_ = true;
+  }
+  if (rate <= 0.0) {
+    // Still advance the modulating chain through this silent second.
+    double remaining = 1.0;
+    while (time_to_switch_s_ <= remaining) {
+      remaining -= time_to_switch_s_;
+      in_burst_ = !in_burst_;
+      time_to_switch_s_ = rng.Exponential(
+          1.0 / (in_burst_ ? params_.burst_mean_sojourn_s
+                           : params_.calm_mean_sojourn_s));
+    }
+    time_to_switch_s_ -= remaining;
+    return;
+  }
+
+  // Normalize so the long-run mean equals `rate` regardless of multipliers.
+  const double base = rate / MeanMultiplier();
+  double t = 0.0;
+  while (t < 1.0) {
+    const double seg_end = std::min(1.0, t + time_to_switch_s_);
+    const double mult = in_burst_ ? params_.burst_multiplier
+                                  : params_.calm_multiplier;
+    const double seg_rate = base * mult;
+    // Poisson arrivals inside [t, seg_end) at seg_rate.
+    double u = t;
+    for (;;) {
+      u += rng.Exponential(seg_rate);
+      if (u >= seg_end) break;
+      out.push_back(tick_start + Seconds(u));
+    }
+    time_to_switch_s_ -= (seg_end - t);
+    t = seg_end;
+    if (time_to_switch_s_ <= 1e-12) {
+      in_burst_ = !in_burst_;
+      time_to_switch_s_ = rng.Exponential(
+          1.0 / (in_burst_ ? params_.burst_mean_sojourn_s
+                           : params_.calm_mean_sojourn_s));
+    }
+  }
+}
+
+}  // namespace arlo::trace

@@ -1,0 +1,69 @@
+// Request arrival processes.
+//
+// The Twitter trace only carries per-second counts, so the paper generates
+// intra-second arrivals with a stable pattern (Poisson) and a bursty
+// pattern (Markov-modulated Poisson), named Twitter-Stable and
+// Twitter-Bursty (§5 Workloads).  We implement both as continuous-time
+// processes that emit arrival offsets for a target per-second rate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace arlo::trace {
+
+/// Emits arrival times within consecutive one-second ticks at a requested
+/// mean rate.  Implementations keep internal state across ticks (MMPP phase
+/// persists through the trace).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Appends the arrival times for one second starting at `tick_start`
+  /// with the given mean rate (requests/second) to `out`.
+  virtual void GenerateSecond(SimTime tick_start, double rate, Rng& rng,
+                              std::vector<SimTime>& out) = 0;
+};
+
+/// Homogeneous Poisson: exponential inter-arrival gaps (Twitter-Stable).
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  void GenerateSecond(SimTime tick_start, double rate, Rng& rng,
+                      std::vector<SimTime>& out) override;
+};
+
+/// Two-state Markov-modulated Poisson process (Twitter-Bursty).  The
+/// instantaneous rate is `rate * multiplier[state]`; the state alternates
+/// with exponential sojourn times.  Defaults give a calm/burst mix with the
+/// same long-run mean rate as the Poisson process (weighted multiplier = 1),
+/// so Stable and Bursty traces are load-comparable.
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  struct Params {
+    double calm_multiplier = 0.6;
+    double burst_multiplier = 2.6;
+    double calm_mean_sojourn_s = 4.0;
+    double burst_mean_sojourn_s = 1.0;
+  };
+
+  MmppArrivals();
+  explicit MmppArrivals(Params params);
+
+  void GenerateSecond(SimTime tick_start, double rate, Rng& rng,
+                      std::vector<SimTime>& out) override;
+
+  /// Long-run average of the rate multiplier (sojourn-weighted).  Used by
+  /// the synthesizer to normalize so mean load matches the nominal rate.
+  double MeanMultiplier() const;
+
+ private:
+  Params params_;
+  bool in_burst_ = false;
+  double time_to_switch_s_ = 0.0;  // remaining sojourn in current state
+  bool initialized_ = false;
+};
+
+}  // namespace arlo::trace

@@ -1,0 +1,187 @@
+#include "trace/length_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace arlo::trace {
+namespace {
+
+/// Standard normal CDF.
+double Phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Inverse standard normal CDF via bisection on Phi (setup-only code; we
+/// prefer 20 obviously-correct iterations over a rational approximation).
+double PhiInverse(double p) {
+  ARLO_CHECK(p > 0.0 && p < 1.0);
+  double lo = -10.0, hi = 10.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (Phi(mid) < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// CDF of the calibrated two-lognormal mixture at x.
+double MixtureCdf(double x, double w_long, double mu_s, double mu_l,
+                  double sigma) {
+  const double lx = std::log(x);
+  return (1.0 - w_long) * Phi((lx - mu_s) / sigma) +
+         w_long * Phi((lx - mu_l) / sigma);
+}
+
+}  // namespace
+
+Histogram LengthDistribution::SampleHistogram(Rng& rng, std::size_t n) const {
+  Histogram h(MaxLength());
+  for (std::size_t i = 0; i < n; ++i) h.Add(Sample(rng));
+  return h;
+}
+
+LognormalLength::LognormalLength(double mu, double sigma, int max_length)
+    : mu_(mu), sigma_(sigma), max_length_(max_length) {
+  ARLO_CHECK(sigma > 0.0);
+  ARLO_CHECK(max_length >= 1);
+}
+
+int LognormalLength::Sample(Rng& rng) const {
+  const double x = rng.LogNormal(mu_, sigma_);
+  return std::clamp(static_cast<int>(std::lround(x)), 1, max_length_);
+}
+
+LognormalLength LognormalLength::FromQuantiles(double median, double q_hi,
+                                               double p_hi, int max_length) {
+  ARLO_CHECK(median > 0.0 && q_hi > median);
+  ARLO_CHECK(p_hi > 0.5 && p_hi < 1.0);
+  const double mu = std::log(median);
+  const double z = PhiInverse(p_hi);
+  const double sigma = (std::log(q_hi) - mu) / z;
+  return LognormalLength(mu, sigma, max_length);
+}
+
+MixtureLength::MixtureLength(std::vector<Component> components)
+    : components_(std::move(components)) {
+  ARLO_CHECK(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    ARLO_CHECK(c.weight >= 0.0);
+    ARLO_CHECK(c.dist != nullptr);
+    total += c.weight;
+    max_length_ = std::max(max_length_, c.dist->MaxLength());
+  }
+  ARLO_CHECK(total > 0.0);
+  for (auto& c : components_) c.weight /= total;
+}
+
+int MixtureLength::Sample(Rng& rng) const {
+  double draw = rng.NextDouble();
+  for (const auto& c : components_) {
+    if (draw < c.weight) return c.dist->Sample(rng);
+    draw -= c.weight;
+  }
+  return components_.back().dist->Sample(rng);  // numerical slack
+}
+
+void MixtureLength::SetWeights(const std::vector<double>& weights) {
+  ARLO_CHECK(weights.size() == components_.size());
+  double total = 0.0;
+  for (double w : weights) {
+    ARLO_CHECK(w >= 0.0);
+    total += w;
+  }
+  ARLO_CHECK(total > 0.0);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i].weight = weights[i] / total;
+  }
+}
+
+EmpiricalLength::EmpiricalLength(std::vector<double> pmf) {
+  ARLO_CHECK(!pmf.empty());
+  cdf_.resize(pmf.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    ARLO_CHECK(pmf[i] >= 0.0);
+    running += pmf[i];
+    cdf_[i] = running;
+  }
+  ARLO_CHECK(running > 0.0);
+  for (double& c : cdf_) c /= running;
+}
+
+EmpiricalLength EmpiricalLength::FromHistogram(const Histogram& h) {
+  std::vector<double> pmf(static_cast<std::size_t>(h.MaxValue()), 0.0);
+  for (int v = 1; v <= h.MaxValue(); ++v) {
+    pmf[static_cast<std::size_t>(v - 1)] =
+        static_cast<double>(h.CountAt(v));
+  }
+  return EmpiricalLength(std::move(pmf));
+}
+
+int EmpiricalLength::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+RescaledLength::RescaledLength(std::shared_ptr<const LengthDistribution> base,
+                               double factor, int max_length)
+    : base_(std::move(base)), factor_(factor), max_length_(max_length) {
+  ARLO_CHECK(base_ != nullptr);
+  ARLO_CHECK(factor > 0.0);
+  ARLO_CHECK(max_length >= 1);
+}
+
+int RescaledLength::Sample(Rng& rng) const {
+  const double scaled = factor_ * static_cast<double>(base_->Sample(rng));
+  return std::clamp(static_cast<int>(std::lround(scaled)), 1, max_length_);
+}
+
+std::shared_ptr<MixtureLength> MakeTwitterLengthModel(double long_weight) {
+  ARLO_CHECK(long_weight > 0.0 && long_weight < 1.0);
+  constexpr int kMaxLen = 125;
+  constexpr double kTargetMedian = 21.0;  // §2.1: 50%ile of Twitter lengths
+  constexpr double kTargetP98 = 72.0;     // §2.1: 98%ile
+  constexpr double kSeparation = 0.9;     // log-space gap short → long
+
+  // Nested bisection: for a trial sigma, place mu_s so the mixture median is
+  // exact, then tighten sigma until the 98th percentile is exact too.  Both
+  // relationships are monotone, so bisection converges unconditionally.
+  double sig_lo = 0.05, sig_hi = 2.0;
+  double mu_s = std::log(kTargetMedian);
+  for (int outer = 0; outer < 60; ++outer) {
+    const double sigma = 0.5 * (sig_lo + sig_hi);
+    double mu_lo = std::log(kTargetMedian) - 3.0;
+    double mu_hi = std::log(kTargetMedian) + 1.0;
+    for (int inner = 0; inner < 60; ++inner) {
+      mu_s = 0.5 * (mu_lo + mu_hi);
+      const double cdf = MixtureCdf(kTargetMedian, long_weight, mu_s,
+                                    mu_s + kSeparation, sigma);
+      (cdf > 0.5 ? mu_lo : mu_hi) = mu_s;  // larger mu shifts mass right
+    }
+    const double p98 = MixtureCdf(kTargetP98, long_weight, mu_s,
+                                  mu_s + kSeparation, sigma);
+    // Larger sigma fattens the tail, lowering the CDF at the target point.
+    (p98 > 0.98 ? sig_lo : sig_hi) = sigma;
+  }
+  const double sigma = 0.5 * (sig_lo + sig_hi);
+
+  std::vector<MixtureLength::Component> components;
+  components.push_back(
+      {1.0 - long_weight,
+       std::make_shared<LognormalLength>(mu_s, sigma, kMaxLen)});
+  components.push_back(
+      {long_weight,
+       std::make_shared<LognormalLength>(mu_s + kSeparation, sigma, kMaxLen)});
+  return std::make_shared<MixtureLength>(std::move(components));
+}
+
+std::shared_ptr<const LengthDistribution> MakeTwitter512LengthModel() {
+  // §5 Workloads: the Twitter trace caps at ~125 tokens; the paper
+  // recalibrates the distribution to span up to 512.  We apply the same
+  // linear stretch (512/125).
+  return std::make_shared<RescaledLength>(MakeTwitterLengthModel(),
+                                          512.0 / 125.0, 512);
+}
+
+}  // namespace arlo::trace

@@ -1,0 +1,83 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace arlo::trace {
+
+Trace::Trace(std::vector<Request> requests) : requests_(std::move(requests)) {
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    requests_[i].id = i;
+    ARLO_CHECK_MSG(requests_[i].length >= 1, "request length must be >= 1");
+  }
+}
+
+SimTime Trace::Duration() const {
+  return requests_.empty() ? 0 : requests_.back().arrival;
+}
+
+double Trace::MeanRate() const {
+  const SimTime d = Duration();
+  if (d <= 0) return 0.0;
+  return static_cast<double>(requests_.size()) / ToSeconds(d);
+}
+
+Histogram Trace::LengthHistogram(int max_length) const {
+  Histogram h(max_length);
+  for (const auto& r : requests_) h.Add(r.length);
+  return h;
+}
+
+Trace Trace::Slice(SimTime begin, SimTime end) const {
+  std::vector<Request> slice;
+  for (const auto& r : requests_) {
+    if (r.arrival >= begin && r.arrival < end) slice.push_back(r);
+  }
+  return Trace(std::move(slice));
+}
+
+void Trace::Append(const Trace& other, SimDuration gap) {
+  const SimTime offset = Duration() + gap;
+  for (Request r : other.requests_) {
+    r.arrival += offset;
+    requests_.push_back(r);
+  }
+  for (std::size_t i = 0; i < requests_.size(); ++i) requests_[i].id = i;
+}
+
+void Trace::SaveCsv(std::ostream& os) const {
+  os << "id,arrival_ns,length\n";
+  for (const auto& r : requests_) {
+    os << r.id << ',' << r.arrival << ',' << r.length << '\n';
+  }
+}
+
+Trace Trace::LoadCsv(std::istream& is) {
+  std::vector<Request> requests;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line.rfind("id,", 0) == 0) continue;  // header
+    }
+    std::istringstream ls(line);
+    Request r;
+    char comma = 0;
+    ls >> r.id >> comma >> r.arrival >> comma >> r.length;
+    ARLO_CHECK_MSG(!ls.fail(), "malformed trace CSV line: " + line);
+    requests.push_back(r);
+  }
+  return Trace(std::move(requests));
+}
+
+}  // namespace arlo::trace

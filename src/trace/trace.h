@@ -1,0 +1,50 @@
+// Trace container: an arrival-ordered sequence of requests plus utilities
+// to slice, summarize, and (de)serialize it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace arlo::trace {
+
+/// An immutable-ish request trace.  Invariant: requests are sorted by
+/// arrival time and ids are unique.
+class Trace {
+ public:
+  Trace() = default;
+  /// Sorts by arrival and assigns sequential ids (overwriting any present).
+  explicit Trace(std::vector<Request> requests);
+
+  const std::vector<Request>& Requests() const { return requests_; }
+  std::size_t Size() const { return requests_.size(); }
+  bool Empty() const { return requests_.empty(); }
+
+  /// Time span covered: last arrival (0 for an empty trace).
+  SimTime Duration() const;
+
+  /// Average arrival rate in requests/second over Duration().
+  double MeanRate() const;
+
+  /// Histogram of request lengths with the given max value.
+  Histogram LengthHistogram(int max_length) const;
+
+  /// Sub-trace with arrivals in [begin, end); arrival times are preserved
+  /// (not re-based) so windows remain comparable.
+  Trace Slice(SimTime begin, SimTime end) const;
+
+  /// Concatenates another trace shifted to start after this one ends.
+  void Append(const Trace& other, SimDuration gap = 0);
+
+  /// CSV round-trip ("id,arrival_ns,length" with a header line).
+  void SaveCsv(std::ostream& os) const;
+  static Trace LoadCsv(std::istream& is);
+
+ private:
+  std::vector<Request> requests_;
+};
+
+}  // namespace arlo::trace

@@ -1,0 +1,142 @@
+#include "trace/twitter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "trace/arrival.h"
+#include "trace/length_distribution.h"
+
+namespace arlo::trace {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kBaseLongWeight = 0.25;  // matches MakeTwitterLengthModel
+
+}  // namespace
+
+double RateTrack::MeanRate() const {
+  if (per_second.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : per_second) sum += r;
+  return sum / static_cast<double>(per_second.size());
+}
+
+double RateTrack::PeakRate() const {
+  double peak = 0.0;
+  for (double r : per_second) peak = std::max(peak, r);
+  return peak;
+}
+
+RateTrack MakeConstantTrack(double rate, double duration_s, double noise_frac,
+                            std::uint64_t seed) {
+  ARLO_CHECK(rate >= 0.0 && duration_s > 0.0);
+  Rng rng(seed);
+  RateTrack track;
+  track.per_second.reserve(static_cast<std::size_t>(duration_s));
+  for (double t = 0.0; t < duration_s; t += 1.0) {
+    const double jitter =
+        noise_frac > 0.0 ? rng.Uniform(-noise_frac, noise_frac) : 0.0;
+    track.per_second.push_back(std::max(0.0, rate * (1.0 + jitter)));
+  }
+  return track;
+}
+
+RateTrack MakeSinusoidTrack(double rate, double duration_s, double amp_frac,
+                            double period_s) {
+  ARLO_CHECK(rate >= 0.0 && duration_s > 0.0 && period_s > 0.0);
+  RateTrack track;
+  track.per_second.reserve(static_cast<std::size_t>(duration_s));
+  for (double t = 0.0; t < duration_s; t += 1.0) {
+    const double factor = 1.0 + amp_frac * std::sin(2.0 * kPi * t / period_s);
+    track.per_second.push_back(std::max(0.0, rate * factor));
+  }
+  return track;
+}
+
+RateTrack MakeSpikyTrack(double rate, double duration_s, double spike_factor,
+                         double spike_len_s, double spike_every_s,
+                         std::uint64_t seed) {
+  ARLO_CHECK(spike_factor >= 1.0 && spike_len_s > 0.0 && spike_every_s > 0.0);
+  RateTrack track =
+      MakeSinusoidTrack(rate, duration_s, 0.3, spike_every_s * 2.5);
+  Rng rng(seed);
+  double next_spike = rng.Uniform(0.0, spike_every_s);
+  while (next_spike < duration_s) {
+    const auto begin = static_cast<std::size_t>(next_spike);
+    const auto end = std::min(
+        track.per_second.size(),
+        begin + static_cast<std::size_t>(std::max(1.0, spike_len_s)));
+    for (std::size_t i = begin; i < end; ++i) {
+      track.per_second[i] *= spike_factor;
+    }
+    next_spike += spike_every_s * rng.Uniform(0.6, 1.4);
+  }
+  return track;
+}
+
+Trace SynthesizeTwitterTrace(const TwitterTraceConfig& config) {
+  ARLO_CHECK(config.duration_s > 0.0);
+  ARLO_CHECK(config.max_length == 125 || config.max_length == 512);
+
+  Rng root(config.seed);
+  Rng arrivals_rng = root.Split();
+  Rng lengths_rng = root.Split();
+  Rng drift_rng = root.Split();
+
+  // Length model: a drifting two-component mixture; when max_length is 512
+  // the samples are rescaled as in §5 Workloads.
+  auto mixture = MakeTwitterLengthModel(kBaseLongWeight);
+  std::shared_ptr<const LengthDistribution> sampler = mixture;
+  if (config.max_length == 512) {
+    sampler = std::make_shared<RescaledLength>(mixture, 512.0 / 125.0, 512);
+  }
+
+  std::unique_ptr<ArrivalProcess> arrivals;
+  if (config.pattern == TwitterTraceConfig::Pattern::kBursty) {
+    arrivals = std::make_unique<MmppArrivals>();
+  } else {
+    arrivals = std::make_unique<PoissonArrivals>();
+  }
+
+  RateTrack track = config.rate_track;
+  if (track.per_second.empty()) {
+    track = MakeConstantTrack(config.mean_rate, config.duration_s);
+  }
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(
+      track.MeanRate() * config.duration_s * 1.2));
+
+  std::vector<SimTime> second_arrivals;
+  const auto ticks = static_cast<std::size_t>(config.duration_s);
+  for (std::size_t tick = 0; tick < std::min(ticks, track.per_second.size());
+       ++tick) {
+    // Drift the short/long mix once per second.
+    const double t = static_cast<double>(tick);
+    double w_long =
+        kBaseLongWeight *
+        (1.0 + config.drift_amplitude *
+                   std::sin(2.0 * kPi * t / config.drift_period_s));
+    if (config.drift_noise > 0.0) {
+      w_long += kBaseLongWeight *
+                drift_rng.Uniform(-config.drift_noise, config.drift_noise);
+    }
+    w_long = std::clamp(w_long, 0.02, 0.9);
+    mixture->SetWeights({1.0 - w_long, w_long});
+
+    second_arrivals.clear();
+    arrivals->GenerateSecond(Seconds(t), track.per_second[tick],
+                             arrivals_rng, second_arrivals);
+    for (SimTime at : second_arrivals) {
+      Request r;
+      r.arrival = at;
+      r.length = sampler->Sample(lengths_rng);
+      requests.push_back(r);
+    }
+  }
+  return Trace(std::move(requests));
+}
+
+}  // namespace arlo::trace

@@ -1,0 +1,276 @@
+#include "solver/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace arlo::solver {
+namespace {
+
+using arlo::runtime::RuntimeProfile;
+
+RuntimeProfile MakeProfile(RuntimeId id, int max_length, double compute_ms,
+                           double slo_ms) {
+  RuntimeProfile p;
+  p.id = id;
+  p.max_length = max_length;
+  p.compute_time = arlo::Millis(compute_ms);
+  p.capacity_within_slo = static_cast<int>(slo_ms / compute_ms);
+  return p;
+}
+
+/// Three runtimes: compute 1/2/4 ms, SLO 20 ms → capacities 20/10/5.
+AllocationProblem MakeProblem(int gpus, std::vector<double> demand) {
+  AllocationProblem p;
+  p.gpus = gpus;
+  p.demand = std::move(demand);
+  p.profiles = {MakeProfile(0, 64, 1.0, 20.0), MakeProfile(1, 128, 2.0, 20.0),
+                MakeProfile(2, 256, 4.0, 20.0)};
+  return p;
+}
+
+/// Brute force over all allocations with sum == G, N_i >= floor(Q_i/M_i),
+/// N_last >= 1 (Eqs. 2, 3, 7).
+double BruteForceOptimum(const AllocationProblem& p) {
+  const std::size_t n = p.NumRuntimes();
+  std::vector<int> lb(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    lb[i] = static_cast<int>(p.demand[i] / p.profiles[i].capacity_within_slo);
+  }
+  lb.back() = std::max(lb.back(), 1);
+
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<int> alloc(n, 0);
+  std::function<void(std::size_t, int)> recurse = [&](std::size_t i,
+                                                      int remaining) {
+    if (i + 1 == n) {
+      if (remaining < lb[i]) return;
+      alloc[i] = remaining;
+      const AllocationEval eval = EvaluateAllocation(p, alloc);
+      if (eval.feasible) best = std::min(best, eval.objective);
+      return;
+    }
+    for (int v = lb[i]; v <= remaining; ++v) {
+      alloc[i] = v;
+      recurse(i + 1, remaining - v);
+    }
+  };
+  recurse(0, p.gpus);
+  return best;
+}
+
+TEST(EvaluateAllocation, NoDemotionCascade) {
+  // Demand fits each runtime's capacity exactly: C_i = Q_i, R_i = 0.
+  const AllocationProblem p = MakeProblem(6, {20.0, 10.0, 5.0});
+  const AllocationEval eval = EvaluateAllocation(p, {1, 1, 4});
+  EXPECT_TRUE(eval.feasible);
+  EXPECT_DOUBLE_EQ(eval.processed[0], 20.0);
+  EXPECT_DOUBLE_EQ(eval.processed[1], 10.0);
+  EXPECT_DOUBLE_EQ(eval.processed[2], 5.0);
+  EXPECT_DOUBLE_EQ(eval.carryover[0], 0.0);
+  EXPECT_DOUBLE_EQ(eval.carryover[1], 0.0);
+  EXPECT_DOUBLE_EQ(eval.unabsorbed, 0.0);
+  // Hand-computed objective (ns): L(B)*C with B = C/N.
+  const double t0 = 1e6 * (20.0 / 1 + 1) / 2 * 20.0;
+  const double t1 = 2e6 * (10.0 / 1 + 1) / 2 * 10.0;
+  const double t2 = 4e6 * (5.0 / 4 + 1) / 2 * 5.0;
+  EXPECT_NEAR(eval.objective, t0 + t1 + t2, 1.0);
+}
+
+TEST(EvaluateAllocation, DemotionCarriesOverflowDownstream) {
+  // Runtime 0 demand 30 > capacity 20 with one instance: 10 demote to 1.
+  const AllocationProblem p = MakeProblem(3, {30.0, 0.0, 0.0});
+  const AllocationEval eval = EvaluateAllocation(p, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(eval.processed[0], 20.0);
+  EXPECT_DOUBLE_EQ(eval.carryover[0], 10.0);
+  EXPECT_DOUBLE_EQ(eval.processed[1], 10.0);
+  EXPECT_DOUBLE_EQ(eval.carryover[1], 0.0);
+  EXPECT_DOUBLE_EQ(eval.processed[2], 0.0);
+}
+
+TEST(EvaluateAllocation, LastRuntimeAbsorbsEverything) {
+  // All demand demotes to the last runtime; Eq. 5 (i = I) has no min().
+  const AllocationProblem p = MakeProblem(1, {0.0, 0.0, 50.0});
+  const AllocationEval eval = EvaluateAllocation(p, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(eval.processed[2], 50.0);
+  EXPECT_GT(eval.unabsorbed, 0.0);  // 50 > capacity 5
+  EXPECT_TRUE(eval.feasible);
+}
+
+TEST(EvaluateAllocation, ZeroAllocationOnLastRuntimeInfeasible) {
+  const AllocationProblem p = MakeProblem(2, {0.0, 0.0, 1.0});
+  const AllocationEval eval = EvaluateAllocation(p, {1, 1, 0});
+  EXPECT_FALSE(eval.feasible);
+}
+
+TEST(EvaluateAllocation, ZeroMidRuntimeDemotesEverything) {
+  const AllocationProblem p = MakeProblem(2, {0.0, 5.0, 0.0});
+  const AllocationEval eval = EvaluateAllocation(p, {0, 0, 2});
+  EXPECT_DOUBLE_EQ(eval.processed[1], 0.0);
+  EXPECT_DOUBLE_EQ(eval.carryover[1], 5.0);
+  EXPECT_DOUBLE_EQ(eval.processed[2], 5.0);
+}
+
+TEST(SolveAllocationExact, MatchesBruteForceSmall) {
+  const AllocationProblem p = MakeProblem(6, {25.0, 12.0, 4.0});
+  const AllocationResult result = SolveAllocationExact(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.objective, BruteForceOptimum(p), 1e-6);
+  int total = 0;
+  for (int v : result.gpus_per_runtime) total += v;
+  EXPECT_EQ(total, 6);
+  EXPECT_GE(result.gpus_per_runtime.back(), 1);
+}
+
+TEST(SolveAllocationExact, HotSmallBinGetsMoreGpus) {
+  // Nearly all demand is short requests: the small runtime should dominate.
+  const AllocationProblem p = MakeProblem(8, {80.0, 4.0, 1.0});
+  const AllocationResult result = SolveAllocationExact(p);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GE(result.gpus_per_runtime[0], 4);
+  EXPECT_GE(result.gpus_per_runtime.back(), 1);  // Eq. 7
+}
+
+TEST(SolveAllocationExact, ScarceRegimeFallsBackBestEffort) {
+  // Lower bounds need more GPUs than available.
+  const AllocationProblem p = MakeProblem(2, {100.0, 50.0, 20.0});
+  const AllocationResult result = SolveAllocationExact(p);
+  EXPECT_FALSE(result.feasible);
+  int total = 0;
+  for (int v : result.gpus_per_runtime) total += v;
+  EXPECT_EQ(total, 2);
+  EXPECT_GE(result.gpus_per_runtime.back(), 1);
+}
+
+TEST(SolveAllocationGreedy, NeverBeatsExact) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    arlo::Rng rng(seed);
+    const AllocationProblem p = MakeProblem(
+        static_cast<int>(rng.UniformInt(3, 9)),
+        {rng.Uniform(0.0, 40.0), rng.Uniform(0.0, 20.0),
+         rng.Uniform(0.0, 10.0)});
+    const AllocationResult exact = SolveAllocationExact(p);
+    const AllocationResult greedy = SolveAllocationGreedy(p);
+    if (exact.feasible && greedy.feasible) {
+      EXPECT_LE(exact.objective, greedy.objective + 1e-6) << "seed " << seed;
+    }
+  }
+}
+
+TEST(EvenAllocation, SplitsEvenly) {
+  const AllocationProblem p = MakeProblem(7, {10.0, 10.0, 4.0});
+  const AllocationResult result = EvenAllocation(p);
+  EXPECT_EQ(result.gpus_per_runtime[0], 2);
+  EXPECT_EQ(result.gpus_per_runtime[1], 2);
+  EXPECT_EQ(result.gpus_per_runtime[2], 3);  // remainder to largest
+}
+
+TEST(EvenAllocation, WorseThanExactOnSkewedDemand) {
+  const AllocationProblem p = MakeProblem(9, {85.0, 5.0, 2.0});
+  const double exact = SolveAllocationExact(p).objective;
+  const double even = EvenAllocation(p).objective;
+  EXPECT_GT(even, exact * 1.05);  // Table 3's point
+}
+
+TEST(ProportionalAllocation, FollowsGlobalWeights) {
+  const AllocationProblem p = MakeProblem(8, {10.0, 10.0, 4.0});
+  // Global (whole-trace) demand heavily short.
+  const AllocationResult result =
+      ProportionalAllocation(p, {80.0, 10.0, 5.0});
+  int total = 0;
+  for (int v : result.gpus_per_runtime) total += v;
+  EXPECT_EQ(total, 8);
+  EXPECT_GE(result.gpus_per_runtime[0], 2);
+  EXPECT_GE(result.gpus_per_runtime.back(), 1);
+}
+
+TEST(SolveAllocationViaIlp, AgreesWithExactWhenNoDemotion) {
+  const AllocationProblem p = MakeProblem(6, {25.0, 12.0, 4.0});
+  const AllocationResult exact = SolveAllocationExact(p);
+  const AllocationResult ilp = SolveAllocationViaIlp(p, 6);
+  ASSERT_TRUE(ilp.feasible);
+  // The linearization ignores carryover, so allow equality or near-equality
+  // in the regime where the exact optimum has no demotion.
+  EXPECT_NEAR(ilp.objective, exact.objective,
+              0.05 * std::abs(exact.objective));
+}
+
+TEST(SolveAllocationIncremental, ZeroMovesReturnsPrevious) {
+  const AllocationProblem p = MakeProblem(6, {25.0, 12.0, 4.0});
+  const std::vector<int> previous = {3, 2, 1};
+  const AllocationResult r = SolveAllocationIncremental(p, previous, 0);
+  EXPECT_EQ(r.gpus_per_runtime, previous);
+  EXPECT_NEAR(r.objective, EvaluateAllocation(p, previous).objective, 1e-9);
+}
+
+TEST(SolveAllocationIncremental, EachMoveImprovesOrStops) {
+  const AllocationProblem p = MakeProblem(8, {80.0, 4.0, 1.0});
+  // Start far from optimal: everything on the largest runtime.
+  const std::vector<int> previous = {0, 0, 8};
+  double last = EvaluateAllocation(p, previous).objective;
+  std::vector<int> current = previous;
+  for (int budget = 1; budget <= 8; ++budget) {
+    const AllocationResult r =
+        SolveAllocationIncremental(p, previous, budget);
+    EXPECT_LE(r.objective, last + 1e-9) << "budget " << budget;
+    last = r.objective;
+    current = r.gpus_per_runtime;
+    int total = 0;
+    for (int v : r.gpus_per_runtime) total += v;
+    EXPECT_EQ(total, 8);
+    EXPECT_GE(r.gpus_per_runtime.back(), 1);  // Eq. 7 preserved
+  }
+}
+
+TEST(SolveAllocationIncremental, LargeBudgetApproachesExact) {
+  const AllocationProblem p = MakeProblem(7, {40.0, 15.0, 5.0});
+  const AllocationResult exact = SolveAllocationExact(p);
+  const AllocationResult inc =
+      SolveAllocationIncremental(p, {0, 0, 7}, /*max_moves=*/20);
+  // Steepest descent may stop in a local optimum, but on this convex-ish
+  // instance it reaches the global one.
+  EXPECT_NEAR(inc.objective, exact.objective, 0.02 * exact.objective);
+}
+
+TEST(SolveAllocationIncremental, RejectsMismatchedPrevious) {
+  const AllocationProblem p = MakeProblem(4, {1.0, 1.0, 1.0});
+  EXPECT_THROW(SolveAllocationIncremental(p, {1, 1}, 2), std::logic_error);
+  EXPECT_THROW(SolveAllocationIncremental(p, {1, 1, 1}, 2),
+               std::logic_error);  // sums to 3, not 4
+}
+
+TEST(SolveAllocation, RejectsMalformedProblems) {
+  AllocationProblem p = MakeProblem(4, {1.0, 1.0});  // demand size mismatch
+  EXPECT_THROW(SolveAllocationExact(p), std::logic_error);
+  AllocationProblem q = MakeProblem(0, {1.0, 1.0, 1.0});
+  EXPECT_THROW(SolveAllocationExact(q), std::logic_error);
+}
+
+// Property sweep: exact B&B equals brute force across random instances.
+class AllocationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocationPropertyTest, ExactMatchesBruteForce) {
+  arlo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  AllocationProblem p = MakeProblem(
+      static_cast<int>(rng.UniformInt(3, 10)),
+      {rng.Uniform(0.0, 60.0), rng.Uniform(0.0, 30.0),
+       rng.Uniform(0.0, 12.0)});
+  const AllocationResult exact = SolveAllocationExact(p);
+  const double brute = BruteForceOptimum(p);
+  if (!std::isinf(brute)) {
+    ASSERT_TRUE(exact.feasible) << "seed " << GetParam();
+    EXPECT_NEAR(exact.objective, brute, 1e-6) << "seed " << GetParam();
+  } else {
+    EXPECT_FALSE(exact.feasible) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocationPropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace arlo::solver

@@ -1,0 +1,108 @@
+#include "trace/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/model.h"
+#include "trace/twitter.h"
+
+namespace arlo::trace {
+namespace {
+
+Trace MakeTwitter(double rate, double duration, std::uint64_t seed,
+                  bool bursty, double drift = 0.5,
+                  double drift_period = 300.0) {
+  TwitterTraceConfig config;
+  config.duration_s = duration;
+  config.mean_rate = rate;
+  config.seed = seed;
+  config.max_length = 125;
+  config.drift_amplitude = drift;
+  config.drift_period_s = drift_period;
+  config.drift_noise = 0.0;
+  config.pattern = bursty ? TwitterTraceConfig::Pattern::kBursty
+                          : TwitterTraceConfig::Pattern::kStable;
+  return SynthesizeTwitterTrace(config);
+}
+
+TEST(WindowedLengthStats, CoversTheWholeTrace) {
+  const Trace t = MakeTwitter(100.0, 20.0, 1, false);
+  const auto windows = WindowedLengthStats(t, 5.0, 125);
+  ASSERT_EQ(windows.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& w : windows) {
+    total += w.requests;
+    if (w.requests > 50) {
+      EXPECT_GT(w.median, 10);
+      EXPECT_LT(w.median, 40);
+      EXPECT_GT(w.p98, w.median);
+    }
+  }
+  EXPECT_EQ(total, t.Size());
+}
+
+TEST(IndexOfDispersion, NearOneForPoisson) {
+  const Trace t = MakeTwitter(100.0, 400.0, 2, false);
+  EXPECT_NEAR(IndexOfDispersion(t), 1.0, 0.25);
+}
+
+TEST(IndexOfDispersion, ElevatedForMmpp) {
+  const Trace t = MakeTwitter(100.0, 400.0, 3, true);
+  EXPECT_GT(IndexOfDispersion(t), 2.0);
+}
+
+TEST(IndexOfDispersion, EmptyTraceIsZero) {
+  EXPECT_DOUBLE_EQ(IndexOfDispersion(Trace{}), 0.0);
+}
+
+TEST(KsDistance, ZeroForIdenticalTraces) {
+  const Trace t = MakeTwitter(100.0, 10.0, 4, false);
+  EXPECT_DOUBLE_EQ(KsDistance(t, t, 125), 0.0);
+}
+
+TEST(KsDistance, LargeForDisjointDistributions) {
+  std::vector<Request> small, large;
+  for (int i = 0; i < 100; ++i) {
+    small.push_back({0, Seconds(0.01 * i), 10});
+    large.push_back({0, Seconds(0.01 * i), 100});
+  }
+  EXPECT_DOUBLE_EQ(KsDistance(Trace(small), Trace(large), 125), 1.0);
+}
+
+TEST(KsDistance, SameModelDifferentSeedsAreClose) {
+  const Trace a = MakeTwitter(300.0, 30.0, 5, false, /*drift=*/0.0);
+  const Trace b = MakeTwitter(300.0, 30.0, 6, false, /*drift=*/0.0);
+  EXPECT_LT(KsDistance(a, b, 125), 0.05);
+}
+
+TEST(MaxAdjacentWindowDrift, HigherWithMixDrift) {
+  // Drift period 40 s with 20 s windows: adjacent windows sit half a swing
+  // apart, maximizing the contrast against the stationary baseline.
+  const Trace stationary = MakeTwitter(400.0, 120.0, 7, false, 0.0);
+  const Trace drifting = MakeTwitter(400.0, 120.0, 7, false, 0.9, 40.0);
+  const double d_stationary = MaxAdjacentWindowDrift(stationary, 20.0, 125);
+  const double d_drifting = MaxAdjacentWindowDrift(drifting, 20.0, 125);
+  EXPECT_GT(d_drifting, d_stationary * 2.0)
+      << "stationary=" << d_stationary << " drifting=" << d_drifting;
+}
+
+// §2.2: "one trace clip results in 80.6% of the FLOPs wasted when served by
+// a runtime with max_length 125" — our calibrated trace should land near
+// that figure using the Bert FLOPs shape.
+TEST(MeanPaddingWaste, MatchesPaperBallparkAt125) {
+  const Trace t = MakeTwitter(500.0, 60.0, 8, false);
+  const runtime::ModelSpec m = runtime::ModelSpec::BertBase();
+  // flops(s) = L * (12 H^2 s + 2 H s^2): linear and quadratic coefficients.
+  const double lin = static_cast<double>(m.layers) * 12.0 * m.hidden * m.hidden;
+  const double quad = static_cast<double>(m.layers) * 2.0 * m.hidden;
+  const double waste = MeanPaddingWaste(t, 125, lin, quad);
+  EXPECT_NEAR(waste, 0.806, 0.05);
+}
+
+TEST(MeanPaddingWaste, ZeroWhenEverythingIsMaxLength) {
+  std::vector<Request> reqs;
+  for (int i = 0; i < 10; ++i) reqs.push_back({0, Seconds(0.1 * i), 125});
+  EXPECT_NEAR(MeanPaddingWaste(Trace(reqs), 125, 100.0, 1.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace arlo::trace

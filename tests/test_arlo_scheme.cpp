@@ -1,0 +1,189 @@
+#include "core/arlo_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/scenario.h"
+#include "sim/engine.h"
+#include "trace/twitter.h"
+
+namespace arlo::core {
+namespace {
+
+using baselines::DemandFromTrace;
+using baselines::MakeRuntimeSetFor;
+using baselines::ScenarioConfig;
+
+trace::Trace SmallTrace(double rate, double duration_s, std::uint64_t seed,
+                        bool bursty = false) {
+  trace::TwitterTraceConfig config;
+  config.duration_s = duration_s;
+  config.mean_rate = rate;
+  config.seed = seed;
+  config.pattern = bursty ? trace::TwitterTraceConfig::Pattern::kBursty
+                          : trace::TwitterTraceConfig::Pattern::kStable;
+  return trace::SynthesizeTwitterTrace(config);
+}
+
+ScenarioConfig SmallScenario() {
+  ScenarioConfig config;
+  config.gpus = 4;
+  config.slo = Millis(150.0);
+  config.period = Seconds(2.0);
+  return config;
+}
+
+TEST(ArloScheme, ServesEveryRequest) {
+  const trace::Trace t = SmallTrace(200.0, 6.0, 1);
+  ScenarioConfig config = SmallScenario();
+  auto runtimes = MakeRuntimeSetFor(config);
+  config.initial_demand = DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+  const sim::EngineResult result = sim::RunScenario(t, *scheme);
+  EXPECT_EQ(result.records.size(), t.Size());
+  for (const auto& r : result.records) {
+    EXPECT_GT(r.Latency(), 0);
+    EXPECT_NE(r.runtime, kInvalidRuntime);
+  }
+}
+
+TEST(ArloScheme, BootstrapDeploysEverythingOnLargestRuntime) {
+  ScenarioConfig config = SmallScenario();
+  auto scheme = std::make_unique<ArloScheme>(
+      MakeRuntimeSetFor(config), [&] {
+        ArloSchemeConfig c;
+        c.initial_gpus = config.gpus;
+        c.runtime_scheduler.slo = config.slo;
+        return c;
+      }());
+  const trace::Trace t = SmallTrace(50.0, 1.0, 2);
+  const sim::EngineResult result = sim::RunScenario(t, *scheme);
+  ASSERT_FALSE(scheme->AllocationHistory().empty());
+  const auto& initial = scheme->AllocationHistory().front().second;
+  EXPECT_EQ(initial.back(), config.gpus);
+  for (std::size_t i = 0; i + 1 < initial.size(); ++i) {
+    EXPECT_EQ(initial[i], 0);
+  }
+  // Bootstrap means every request ran on the largest runtime.
+  for (const auto& r : result.records) {
+    EXPECT_EQ(r.runtime, initial.size() - 1);
+  }
+}
+
+TEST(ArloScheme, PeriodicReallocationSpreadsRuntimes) {
+  const trace::Trace t = SmallTrace(250.0, 8.0, 3);
+  ScenarioConfig config = SmallScenario();  // period = 2 s
+  auto runtimes = MakeRuntimeSetFor(config);
+  ArloSchemeConfig arlo;
+  arlo.initial_gpus = config.gpus;
+  arlo.runtime_scheduler.slo = config.slo;
+  arlo.runtime_scheduler.period = config.period;
+  ArloScheme scheme(runtimes, arlo);
+  const sim::EngineResult result = sim::RunScenario(t, scheme);
+  EXPECT_EQ(result.records.size(), t.Size());
+  // After a couple of periods the ILP must have moved GPUs off the
+  // all-largest bootstrap toward the short-request runtimes.
+  ASSERT_GE(scheme.AllocationHistory().size(), 2u);
+  const auto& final_alloc = scheme.AllocationHistory().back().second;
+  int non_largest = 0;
+  for (std::size_t i = 0; i + 1 < final_alloc.size(); ++i) {
+    non_largest += final_alloc[i];
+  }
+  EXPECT_GT(non_largest, 0);
+  // Eq. 7 invariant: every allocation keeps the largest runtime alive.
+  for (const auto& [when, alloc] : scheme.AllocationHistory()) {
+    EXPECT_GE(alloc.back(), 1) << "at t=" << when;
+  }
+}
+
+TEST(ArloScheme, WarmStartUsesInitialDemand) {
+  const trace::Trace t = SmallTrace(200.0, 3.0, 4);
+  ScenarioConfig config = SmallScenario();
+  auto runtimes = MakeRuntimeSetFor(config);
+  config.initial_demand = DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme_ptr = baselines::MakeSchemeByName("arlo", config);
+  auto* scheme = dynamic_cast<ArloScheme*>(scheme_ptr.get());
+  ASSERT_NE(scheme, nullptr);
+  (void)sim::RunScenario(t, *scheme);
+  const auto& initial = scheme->AllocationHistory().front().second;
+  // Warm start allocates across multiple runtimes immediately.
+  int deployed_kinds = 0;
+  for (int v : initial) deployed_kinds += v > 0 ? 1 : 0;
+  EXPECT_GE(deployed_kinds, 2);
+}
+
+TEST(ArloScheme, DemotionHappensUnderLoad) {
+  // High rate into few GPUs: ideal runtimes saturate, RS must demote.
+  const trace::Trace t = SmallTrace(900.0, 4.0, 5, /*bursty=*/true);
+  ScenarioConfig config = SmallScenario();
+  config.gpus = 3;
+  auto runtimes = MakeRuntimeSetFor(config);
+  config.initial_demand = DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme_ptr = baselines::MakeSchemeByName("arlo", config);
+  auto* scheme = dynamic_cast<ArloScheme*>(scheme_ptr.get());
+  const sim::EngineResult result = sim::RunScenario(t, *scheme_ptr);
+  EXPECT_EQ(result.records.size(), t.Size());
+  EXPECT_GT(scheme->Stats().demoted, 0u);
+}
+
+TEST(ArloScheme, IlbAndIgVariantsServeEverything) {
+  const trace::Trace t = SmallTrace(200.0, 4.0, 6);
+  for (const char* name : {"arlo-ilb", "arlo-ig"}) {
+    ScenarioConfig config = SmallScenario();
+    auto runtimes = MakeRuntimeSetFor(config);
+    config.initial_demand = DemandFromTrace(t, *runtimes, config.slo);
+    auto scheme = baselines::MakeSchemeByName(name, config);
+    EXPECT_EQ(scheme->Name(), name);
+    const sim::EngineResult result = sim::RunScenario(t, *scheme);
+    EXPECT_EQ(result.records.size(), t.Size()) << name;
+  }
+}
+
+TEST(ArloScheme, AutoscalerAddsGpusUnderOverload) {
+  // 1 initial GPU, heavy load → must scale out.
+  const trace::Trace t = SmallTrace(400.0, 10.0, 7);
+  ScenarioConfig config = SmallScenario();
+  config.gpus = 1;
+  config.autoscale = true;
+  config.autoscaler.min_samples = 10;
+  config.autoscaler.latency_window = Seconds(5.0);
+  config.autoscaler.scale_out_cooldown = Seconds(2.0);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+  const sim::EngineResult result = sim::RunScenario(t, *scheme);
+  EXPECT_EQ(result.records.size(), t.Size());
+  EXPECT_GT(result.peak_gpus, 1);
+}
+
+TEST(ArloScheme, ReallocationDisabledKeepsBootstrap) {
+  const trace::Trace t = SmallTrace(150.0, 6.0, 8);
+  ScenarioConfig config = SmallScenario();
+  config.enable_reallocation = false;
+  auto scheme_ptr = baselines::MakeSchemeByName("arlo", config);
+  auto* scheme = dynamic_cast<ArloScheme*>(scheme_ptr.get());
+  (void)sim::RunScenario(t, *scheme_ptr);
+  EXPECT_EQ(scheme->AllocationHistory().size(), 1u);
+}
+
+TEST(MakeSchemeByName, RejectsUnknown) {
+  EXPECT_THROW(baselines::MakeSchemeByName("bogus", ScenarioConfig{}),
+               std::invalid_argument);
+}
+
+TEST(DemandFromTrace, CountsPerBinScaledToSlo) {
+  // 10-second trace, 2 requests (len 30 and 300), SLO 0.5 s.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 50; ++i) reqs.push_back({0, Seconds(0.2 * i), 30});
+  for (int i = 0; i < 10; ++i) reqs.push_back({0, Seconds(1.0 * i) + 1, 300});
+  reqs.push_back({0, Seconds(10.0), 1});
+  const trace::Trace t(std::move(reqs));
+  ScenarioConfig config;
+  auto runtimes = MakeRuntimeSetFor(config);
+  const auto demand = DemandFromTrace(t, *runtimes, Millis(500.0));
+  ASSERT_EQ(demand.size(), 8u);
+  // 51 requests <= 64 over 10 s → 5.1/s → 2.55 per 0.5 s window.
+  EXPECT_NEAR(demand[0], 2.55, 1e-9);
+  // 10 requests in (256, 320] → bin index 4.
+  EXPECT_NEAR(demand[4], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace arlo::core

@@ -1,0 +1,121 @@
+#include "trace/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace arlo::trace {
+namespace {
+
+TEST(PoissonArrivals, MeanCountMatchesRate) {
+  PoissonArrivals p;
+  Rng rng(1);
+  std::vector<SimTime> out;
+  constexpr int kSeconds = 2000;
+  for (int s = 0; s < kSeconds; ++s) {
+    p.GenerateSecond(Seconds(s), 50.0, rng, out);
+  }
+  EXPECT_NEAR(static_cast<double>(out.size()) / kSeconds, 50.0, 1.0);
+}
+
+TEST(PoissonArrivals, ArrivalsStayInsideTick) {
+  PoissonArrivals p;
+  Rng rng(2);
+  std::vector<SimTime> out;
+  p.GenerateSecond(Seconds(7.0), 100.0, rng, out);
+  for (SimTime t : out) {
+    EXPECT_GE(t, Seconds(7.0));
+    EXPECT_LT(t, Seconds(8.0));
+  }
+}
+
+TEST(PoissonArrivals, SortedWithinTick) {
+  PoissonArrivals p;
+  Rng rng(3);
+  std::vector<SimTime> out;
+  p.GenerateSecond(0, 200.0, rng, out);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(PoissonArrivals, ZeroRateProducesNothing) {
+  PoissonArrivals p;
+  Rng rng(4);
+  std::vector<SimTime> out;
+  p.GenerateSecond(0, 0.0, rng, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MmppArrivals, LongRunMeanMatchesNominalRate) {
+  MmppArrivals m;
+  Rng rng(5);
+  std::vector<SimTime> out;
+  constexpr int kSeconds = 4000;
+  for (int s = 0; s < kSeconds; ++s) {
+    m.GenerateSecond(Seconds(s), 40.0, rng, out);
+  }
+  // Normalized by MeanMultiplier, so the long-run rate matches.
+  EXPECT_NEAR(static_cast<double>(out.size()) / kSeconds, 40.0, 1.5);
+}
+
+TEST(MmppArrivals, MeanMultiplierIsSojournWeighted) {
+  MmppArrivals::Params params;
+  params.calm_multiplier = 0.5;
+  params.burst_multiplier = 2.0;
+  params.calm_mean_sojourn_s = 3.0;
+  params.burst_mean_sojourn_s = 1.0;
+  MmppArrivals m(params);
+  EXPECT_NEAR(m.MeanMultiplier(), (0.5 * 3.0 + 2.0 * 1.0) / 4.0, 1e-12);
+}
+
+TEST(MmppArrivals, BurstierThanPoisson) {
+  // Per-second counts under MMPP have a larger variance-to-mean ratio
+  // (index of dispersion) than a Poisson process at the same mean rate.
+  Rng rng_p(6), rng_m(6);
+  PoissonArrivals poisson;
+  MmppArrivals mmpp;
+  auto dispersion = [](auto& process, Rng& rng) {
+    double sum = 0.0, sq = 0.0;
+    constexpr int kSeconds = 1500;
+    for (int s = 0; s < kSeconds; ++s) {
+      std::vector<SimTime> out;
+      process.GenerateSecond(Seconds(s), 30.0, rng, out);
+      const double n = static_cast<double>(out.size());
+      sum += n;
+      sq += n * n;
+    }
+    const double mean = sum / kSeconds;
+    const double var = sq / kSeconds - mean * mean;
+    return var / mean;
+  };
+  const double d_poisson = dispersion(poisson, rng_p);
+  const double d_mmpp = dispersion(mmpp, rng_m);
+  EXPECT_NEAR(d_poisson, 1.0, 0.2);
+  EXPECT_GT(d_mmpp, 1.8);
+}
+
+TEST(MmppArrivals, StatePersistsThroughSilentSeconds) {
+  MmppArrivals m;
+  Rng rng(7);
+  std::vector<SimTime> out;
+  m.GenerateSecond(0, 10.0, rng, out);
+  m.GenerateSecond(Seconds(1.0), 0.0, rng, out);  // silent second
+  const std::size_t before = out.size();
+  m.GenerateSecond(Seconds(2.0), 10.0, rng, out);
+  // No arrivals were emitted during the silent second.
+  for (SimTime t : out) {
+    EXPECT_TRUE(t < Seconds(1.0) || t >= Seconds(2.0));
+  }
+  EXPECT_GE(out.size(), before);
+}
+
+TEST(MmppArrivals, RejectsInvalidParams) {
+  MmppArrivals::Params params;
+  params.calm_multiplier = 0.0;
+  EXPECT_THROW(MmppArrivals{params}, std::logic_error);
+  params = {};
+  params.burst_multiplier = 0.1;  // below calm
+  EXPECT_THROW(MmppArrivals{params}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo::trace

@@ -1,0 +1,113 @@
+#include "core/autoscaler.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::core {
+namespace {
+
+AutoscalerConfig TestConfig() {
+  AutoscalerConfig c;
+  c.min_samples = 5;
+  c.latency_window = Seconds(10.0);
+  c.scale_out_cooldown = Seconds(10.0);
+  c.scale_in_interval = Seconds(60.0);
+  return c;
+}
+
+TEST(Autoscaler, ScalesOutWhenP98Reaches95PercentOfSlo) {
+  TargetTrackingAutoscaler scaler(TestConfig(), Millis(100.0));
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(1.0), Millis(96.0));  // 96% of SLO
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(2.0), 5), ScaleAction::kOut);
+}
+
+TEST(Autoscaler, NoActionInComfortZone) {
+  TargetTrackingAutoscaler scaler(TestConfig(), Millis(100.0));
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(1.0), Millis(70.0));  // between 50% and 95%
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(2.0), 5), ScaleAction::kNone);
+  EXPECT_EQ(scaler.Evaluate(Seconds(120.0), 5), ScaleAction::kNone);
+}
+
+TEST(Autoscaler, RequiresMinimumSamples) {
+  TargetTrackingAutoscaler scaler(TestConfig(), Millis(100.0));
+  for (int i = 0; i < 3; ++i) {
+    scaler.OnCompletion(Seconds(1.0), Millis(99.0));
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(2.0), 5), ScaleAction::kNone);
+}
+
+TEST(Autoscaler, ScaleOutCooldown) {
+  TargetTrackingAutoscaler scaler(TestConfig(), Millis(100.0));
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(1.0), Millis(99.0));
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(2.0), 5), ScaleAction::kOut);
+  // Still hot, but within the 10 s cooldown.
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(5.0), Millis(99.0));
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(6.0), 6), ScaleAction::kNone);
+  // After cooldown, fires again.
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(13.0), Millis(99.0));
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(13.0), 6), ScaleAction::kOut);
+}
+
+TEST(Autoscaler, ScaleInOnlyAtItsInterval) {
+  TargetTrackingAutoscaler scaler(TestConfig(), Millis(100.0));
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(30.0), Millis(10.0));  // far below 50%
+  }
+  // The first scale-in check window starts at t=0; evaluations before 60 s
+  // do not scale in.
+  EXPECT_EQ(scaler.Evaluate(Seconds(31.0), 5), ScaleAction::kNone);
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(62.0), Millis(10.0));
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(62.0), 5), ScaleAction::kIn);
+}
+
+TEST(Autoscaler, NeverScalesBelowMinGpus) {
+  AutoscalerConfig config = TestConfig();
+  config.min_gpus = 3;
+  TargetTrackingAutoscaler scaler(config, Millis(100.0));
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(70.0), Millis(5.0));
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(70.0), 3), ScaleAction::kNone);
+}
+
+TEST(Autoscaler, NeverScalesAboveMaxGpus) {
+  AutoscalerConfig config = TestConfig();
+  config.max_gpus = 5;
+  TargetTrackingAutoscaler scaler(config, Millis(100.0));
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(1.0), Millis(99.0));
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(2.0), 5), ScaleAction::kNone);
+}
+
+TEST(Autoscaler, OldLatenciesFallOutOfWindow) {
+  TargetTrackingAutoscaler scaler(TestConfig(), Millis(100.0));
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(1.0), Millis(99.0));  // hot, but stale
+  }
+  for (int i = 0; i < 20; ++i) {
+    scaler.OnCompletion(Seconds(30.0), Millis(60.0));  // current: fine
+  }
+  EXPECT_EQ(scaler.Evaluate(Seconds(31.0), 5), ScaleAction::kNone);
+}
+
+TEST(Autoscaler, RejectsInvertedThresholds) {
+  AutoscalerConfig config = TestConfig();
+  config.scale_out_fraction = 0.4;  // below scale_in 0.5
+  EXPECT_THROW(TargetTrackingAutoscaler(config, Millis(100.0)),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo::core

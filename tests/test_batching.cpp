@@ -1,0 +1,154 @@
+// Tests for the §6 "dynamic batch execution" extension: bucketed batch
+// latency in the runtime model and opportunistic batching in the engine.
+#include <gtest/gtest.h>
+
+#include "baselines/scenario.h"
+#include "runtime/compiled_runtime.h"
+#include "sim/engine.h"
+#include "trace/twitter.h"
+
+namespace arlo {
+namespace {
+
+TEST(BatchComputeTime, Batch1MatchesComputeTime) {
+  const runtime::CompiledRuntime rt(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kStatic, 512);
+  for (int len : {20, 128, 512}) {
+    EXPECT_EQ(rt.BatchComputeTime(1, len), rt.ComputeTime(len));
+  }
+}
+
+TEST(BatchComputeTime, BatchingAmortizesTheFloor) {
+  const runtime::CompiledRuntime rt(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kStatic, 512);
+  const SimDuration single = rt.BatchComputeTime(1, 512);
+  const SimDuration pair = rt.BatchComputeTime(2, 512);
+  // Cheaper than two sequential runs (c0 paid once)…
+  EXPECT_LT(pair, 2 * single);
+  // …but more expensive than one (real extra matmul work).
+  EXPECT_GT(pair, single);
+}
+
+TEST(BatchComputeTime, PowerOfTwoBuckets) {
+  const runtime::CompiledRuntime rt(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kStatic, 512);
+  // 3 rides the 4-bucket: identical latency.
+  EXPECT_EQ(rt.BatchComputeTime(3, 256), rt.BatchComputeTime(4, 256));
+  EXPECT_LT(rt.BatchComputeTime(4, 256), rt.BatchComputeTime(5, 256));
+  EXPECT_EQ(rt.BatchComputeTime(5, 256), rt.BatchComputeTime(8, 256));
+}
+
+TEST(BatchComputeTime, MonotoneInBatchAndLength) {
+  const runtime::CompiledRuntime rt(runtime::ModelSpec::BertLarge(),
+                                    runtime::CompilationKind::kDynamic, 512);
+  EXPECT_LE(rt.BatchComputeTime(2, 100), rt.BatchComputeTime(4, 100));
+  EXPECT_LE(rt.BatchComputeTime(2, 100), rt.BatchComputeTime(2, 400));
+}
+
+TEST(BatchComputeTime, RejectsNonPositiveBatch) {
+  const runtime::CompiledRuntime rt(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kStatic, 64);
+  EXPECT_THROW(rt.BatchComputeTime(0, 10), std::logic_error);
+}
+
+TEST(EngineBatching, BatchedRunServesAllRequests) {
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 5.0;
+  tc.mean_rate = 300.0;
+  tc.seed = 1;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+
+  baselines::ScenarioConfig config;
+  config.gpus = 2;
+  auto scheme = baselines::MakeSchemeByName("st", config);
+  sim::EngineConfig engine;
+  engine.max_batch = 4;
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  EXPECT_EQ(result.records.size(), t.Size());
+  for (const auto& r : result.records) {
+    EXPECT_GT(r.completion, r.start);
+  }
+}
+
+TEST(EngineBatching, RaisesThroughputUnderOverload) {
+  // Same overloaded scenario with and without batching: batched serving
+  // drains the backlog faster, cutting mean latency.
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 6.0;
+  tc.mean_rate = 500.0;  // > 2-GPU ST capacity
+  tc.seed = 2;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+
+  auto run = [&](int max_batch) {
+    baselines::ScenarioConfig config;
+    config.gpus = 2;
+    auto scheme = baselines::MakeSchemeByName("st", config);
+    sim::EngineConfig engine;
+    engine.max_batch = max_batch;
+    const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+    return Summarize(result.records, Millis(150.0)).mean_ms;
+  };
+  const double unbatched = run(1);
+  const double batched = run(8);
+  EXPECT_LT(batched, unbatched * 0.7);
+}
+
+TEST(EngineBatching, NoEffectAtBatchOne) {
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 3.0;
+  tc.mean_rate = 100.0;
+  tc.seed = 3;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+  auto run = [&](int max_batch) {
+    baselines::ScenarioConfig config;
+    config.gpus = 2;
+    auto scheme = baselines::MakeSchemeByName("dt", config);
+    sim::EngineConfig engine;
+    engine.max_batch = max_batch;
+    return sim::RunScenario(t, *scheme, engine);
+  };
+  const sim::EngineResult a = run(1);
+  // Re-running with max_batch=1 must be byte-identical (determinism).
+  const sim::EngineResult b = run(1);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+  }
+}
+
+TEST(NewModels, CalibrationHoldsAcrossTheZoo) {
+  for (const auto& model :
+       {runtime::ModelSpec::RobertaLarge(), runtime::ModelSpec::DistilBert()}) {
+    const runtime::LatencyCoefficients c = runtime::Calibrate(model);
+    EXPECT_GT(c.k_ns_per_flop, 0.0) << model.name;
+    EXPECT_GE(c.c0_ns, 0.0) << model.name;
+    const double ratio = c.EvalNs(model, 512) / c.EvalNs(model, 64);
+    EXPECT_NEAR(ratio, model.ratio_512_over_64, 1e-6) << model.name;
+  }
+}
+
+TEST(NewModels, DollyUsesItsOwnTileStep) {
+  EXPECT_EQ(runtime::DetectStaircaseStep(runtime::ModelSpec::Dolly()), 32);
+  EXPECT_EQ(runtime::DetectStaircaseStep(runtime::ModelSpec::DistilBert()),
+            64);
+}
+
+TEST(NewModels, ArloServesDistilBertEndToEnd) {
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 4.0;
+  tc.mean_rate = 300.0;
+  tc.seed = 4;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+  baselines::ScenarioConfig config;
+  config.model = runtime::ModelSpec::DistilBert();
+  config.gpus = 2;
+  config.slo = Millis(50.0);
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand = baselines::DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+  const sim::EngineResult result = sim::RunScenario(t, *scheme);
+  EXPECT_EQ(result.records.size(), t.Size());
+}
+
+}  // namespace
+}  // namespace arlo

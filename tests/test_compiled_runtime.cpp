@@ -1,0 +1,132 @@
+#include "runtime/compiled_runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::runtime {
+namespace {
+
+TEST(CompiledRuntime, StaticComputeIsConstantInRequestLength) {
+  const CompiledRuntime rt(ModelSpec::BertBase(), CompilationKind::kStatic,
+                           512);
+  const SimDuration at_max = rt.ComputeTime(512);
+  EXPECT_EQ(rt.ComputeTime(1), at_max);
+  EXPECT_EQ(rt.ComputeTime(20), at_max);
+  EXPECT_EQ(rt.ComputeTime(511), at_max);
+}
+
+// §2.2: a length-20 request on a max_length-512 static runtime observes
+// 4.86 ms — the calibration anchor must surface end to end.
+TEST(CompiledRuntime, PaperAnchorLatency) {
+  const CompiledRuntime rt(ModelSpec::BertBase(), CompilationKind::kStatic,
+                           512);
+  EXPECT_NEAR(ToMillis(rt.ComputeTime(20)), 4.86, 0.01);
+}
+
+TEST(CompiledRuntime, StaircaseJumpsAt64Multiples) {
+  const ModelSpec m = ModelSpec::BertBase();
+  // Latency of runtimes compiled at 64 vs 65: a big jump.
+  const CompiledRuntime rt64(m, CompilationKind::kStatic, 64);
+  const CompiledRuntime rt65(m, CompilationKind::kStatic, 65);
+  const CompiledRuntime rt128(m, CompilationKind::kStatic, 128);
+  const double jump =
+      static_cast<double>(rt65.ComputeTime(1)) / rt64.ComputeTime(1);
+  EXPECT_GT(jump, 1.15);
+  // Within the step (65..128), change is small (<5%).
+  const double within =
+      static_cast<double>(rt128.ComputeTime(1)) / rt65.ComputeTime(1);
+  EXPECT_LT(within, 1.05);
+  EXPECT_GE(within, 1.0);
+}
+
+TEST(CompiledRuntime, DynamicComputeGrowsWithLength) {
+  const CompiledRuntime rt(ModelSpec::BertBase(), CompilationKind::kDynamic,
+                           512);
+  EXPECT_LT(rt.ComputeTime(20), rt.ComputeTime(200));
+  EXPECT_LT(rt.ComputeTime(200), rt.ComputeTime(512));
+}
+
+// §2.2: dynamic-shape inflation is between 1.22x and 3.56x of the static
+// latency at the same length.
+TEST(CompiledRuntime, DynamicInflationWithinPaperRange) {
+  const ModelSpec m = ModelSpec::BertBase();
+  const CompiledRuntime dyn(m, CompilationKind::kDynamic, 512);
+  for (int len : {16, 64, 128, 256, 512}) {
+    const CompiledRuntime st(m, CompilationKind::kStatic, len);
+    const double inflation =
+        static_cast<double>(dyn.ComputeTime(len)) / st.ComputeTime(len);
+    EXPECT_GE(inflation, 1.21) << len;
+    EXPECT_LE(inflation, 3.57) << len;
+  }
+}
+
+TEST(CompiledRuntime, DynamicBeatsPaddedStaticForShortRequests) {
+  const ModelSpec m = ModelSpec::BertBase();
+  const CompiledRuntime st512(m, CompilationKind::kStatic, 512);
+  const CompiledRuntime dyn(m, CompilationKind::kDynamic, 512);
+  // A length-20 request: dynamic computes ~64 tokens at ~3.3x inflation,
+  // still far cheaper than the full padded 512 computation.
+  EXPECT_LT(dyn.ComputeTime(20), st512.ComputeTime(20));
+  // But near max length, dynamic is *slower* than static (inflation > 1).
+  EXPECT_GT(dyn.ComputeTime(512), st512.ComputeTime(512));
+}
+
+TEST(CompiledRuntime, DollyInflationAveragesNear2point86) {
+  const ModelSpec m = ModelSpec::Dolly();
+  const CompiledRuntime dyn(m, CompilationKind::kDynamic, 512);
+  double sum = 0.0;
+  int n = 0;
+  for (int len = 32; len <= 512; len += 32) {
+    const CompiledRuntime st(m, CompilationKind::kStatic, len);
+    sum += static_cast<double>(dyn.ComputeTime(len)) / st.ComputeTime(len);
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 2.86, 0.35);  // Fig. 2c: mean 2.86x
+}
+
+TEST(CompiledRuntime, AcceptsBounds) {
+  const CompiledRuntime rt(ModelSpec::BertBase(), CompilationKind::kStatic,
+                           128);
+  EXPECT_TRUE(rt.Accepts(1));
+  EXPECT_TRUE(rt.Accepts(128));
+  EXPECT_FALSE(rt.Accepts(0));
+  EXPECT_FALSE(rt.Accepts(129));
+  EXPECT_THROW(rt.ComputeTime(129), std::logic_error);
+}
+
+// §2.2: one trace clip wastes 80.6% of FLOPs on a 125-length runtime; check
+// our padding-waste accounting on a comparable case.
+TEST(CompiledRuntime, PaddingWasteFraction) {
+  const CompiledRuntime st(ModelSpec::BertBase(), CompilationKind::kStatic,
+                           512);
+  EXPECT_GT(st.PaddingWasteFraction(20), 0.9);
+  EXPECT_DOUBLE_EQ(st.PaddingWasteFraction(512), 0.0);
+  const CompiledRuntime dyn(ModelSpec::BertBase(), CompilationKind::kDynamic,
+                            512);
+  EXPECT_DOUBLE_EQ(dyn.PaddingWasteFraction(20), 0.0);
+}
+
+TEST(CompiledRuntime, RejectsMaxLengthBeyondNative) {
+  EXPECT_THROW(CompiledRuntime(ModelSpec::BertBase(),
+                               CompilationKind::kStatic, 1024),
+               std::logic_error);
+}
+
+TEST(SimulatedCompiler, TracksBuildCost) {
+  SimulatedCompiler compiler;
+  (void)compiler.Compile(ModelSpec::BertBase(), CompilationKind::kStatic, 64);
+  const SimDuration static_cost = compiler.TotalBuildCost();
+  (void)compiler.Compile(ModelSpec::BertBase(), CompilationKind::kDynamic,
+                         512);
+  EXPECT_EQ(compiler.ArtifactCount(), 2);
+  // Dynamic (kernel tuning) is much more expensive than a static build.
+  EXPECT_GT(compiler.TotalBuildCost() - static_cost, 10 * static_cost);
+}
+
+TEST(CompiledRuntime, DebugNameEncodesKindAndLength) {
+  const CompiledRuntime rt(ModelSpec::BertBase(), CompilationKind::kStatic,
+                           256);
+  EXPECT_EQ(rt.DebugName(), "bert-base/static@256");
+}
+
+}  // namespace
+}  // namespace arlo::runtime

@@ -1,0 +1,62 @@
+#include "core/distribution_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::core {
+namespace {
+
+TEST(DistributionTracker, ColdStartReportsZeroDemand) {
+  DistributionTracker t(512);
+  const auto demand = t.DemandPerSlo({64, 512}, 0.15);
+  EXPECT_DOUBLE_EQ(demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(demand[1], 0.0);
+}
+
+TEST(DistributionTracker, DemandSplitsByBinAndScalesToSlo) {
+  DistributionTracker t(512, /*decay=*/1.0);
+  // 300 short + 100 long requests over a 10-second period => 40 req/s.
+  for (int i = 0; i < 300; ++i) t.Observe(30);
+  for (int i = 0; i < 100; ++i) t.Observe(400);
+  t.RollPeriod(10.0);
+  // SLO window 0.5 s => 20 requests per window: 15 short, 5 long.
+  const auto demand = t.DemandPerSlo({64, 512}, 0.5);
+  EXPECT_NEAR(demand[0], 15.0, 1e-9);
+  EXPECT_NEAR(demand[1], 5.0, 1e-9);
+  EXPECT_NEAR(t.EstimatedRate(), 40.0, 1e-9);
+}
+
+TEST(DistributionTracker, DecayWeighsRecentPeriods) {
+  DistributionTracker t(512, /*decay=*/0.5);
+  for (int i = 0; i < 100; ++i) t.Observe(30);  // period 1: all short
+  t.RollPeriod(10.0);
+  for (int i = 0; i < 100; ++i) t.Observe(400);  // period 2: all long
+  t.RollPeriod(10.0);
+  const auto demand = t.DemandPerSlo({64, 512}, 1.0);
+  // Recent (long) weight 100, old (short) decayed to 50 → 2:1 split.
+  EXPECT_NEAR(demand[1] / demand[0], 2.0, 1e-6);
+}
+
+TEST(DistributionTracker, CurrentPeriodCountResetsOnRoll) {
+  DistributionTracker t(100);
+  t.Observe(5);
+  t.Observe(6);
+  EXPECT_EQ(t.CurrentPeriodCount(), 2u);
+  t.RollPeriod(1.0);
+  EXPECT_EQ(t.CurrentPeriodCount(), 0u);
+}
+
+TEST(DistributionTracker, RateSmoothingBlendsPeriods) {
+  DistributionTracker t(100);
+  for (int i = 0; i < 100; ++i) t.Observe(10);
+  t.RollPeriod(1.0);  // 100 req/s
+  t.RollPeriod(1.0);  // 0 req/s → smoothed 50
+  EXPECT_NEAR(t.EstimatedRate(), 50.0, 1e-9);
+}
+
+TEST(DistributionTracker, RejectsBadPeriod) {
+  DistributionTracker t(100);
+  EXPECT_THROW(t.RollPeriod(0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo::core

@@ -1,0 +1,212 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/multi_level_queue.h"
+#include "runtime/runtime_set.h"
+
+namespace arlo::sim {
+namespace {
+
+/// Minimal controllable scheme: one static runtime, N instances, least-
+/// loaded dispatch; exposes hooks the tests poke directly.
+class TestScheme : public Scheme {
+ public:
+  TestScheme(int instances, int max_length = 512)
+      : instances_(instances), queue_(1) {
+    runtime::SimulatedCompiler compiler;
+    rt_ = compiler.Compile(runtime::ModelSpec::BertBase(),
+                           runtime::CompilationKind::kStatic, max_length);
+  }
+
+  std::string Name() const override { return "test"; }
+
+  void Setup(ClusterOps& cluster) override {
+    for (int i = 0; i < instances_; ++i) {
+      cluster.LaunchInstance(0, rt_, launch_delay_);
+    }
+  }
+
+  InstanceId SelectInstance(const Request&, ClusterOps&) override {
+    const auto head = queue_.Head(0);
+    return head ? head->id : kInvalidInstance;
+  }
+
+  void OnDispatched(const Request&, InstanceId id) override {
+    queue_.OnDispatch(id);
+  }
+
+  void OnComplete(const RequestRecord& record, ClusterOps& cluster) override {
+    queue_.OnComplete(record.instance);
+    ++completions_;
+    if (retire_after_ > 0 && completions_ == retire_after_) {
+      // Retire the instance that just completed and replace it.
+      queue_.RemoveInstance(record.instance);
+      cluster.RetireInstance(record.instance);
+      cluster.LaunchInstance(0, rt_, Seconds(1.0));
+    }
+  }
+
+  void OnInstanceReady(InstanceId id, RuntimeId runtime) override {
+    queue_.AddInstance(id, runtime, 1000);
+    ++ready_events_;
+  }
+
+  void OnInstanceRetired(InstanceId) override { ++retired_events_; }
+
+  SimDuration ComputeTime(int length) const { return rt_->ComputeTime(length); }
+
+  std::shared_ptr<const runtime::CompiledRuntime> rt_;
+  int instances_;
+  core::MultiLevelQueue queue_;
+  SimDuration launch_delay_ = 0;
+  int retire_after_ = 0;
+  int completions_ = 0;
+  int ready_events_ = 0;
+  int retired_events_ = 0;
+};
+
+trace::Trace MakeTrace(std::vector<std::pair<double, int>> arrivals_ms_len) {
+  std::vector<Request> reqs;
+  for (const auto& [ms, len] : arrivals_ms_len) {
+    reqs.push_back({0, Millis(ms), len});
+  }
+  return trace::Trace(std::move(reqs));
+}
+
+TEST(Engine, SingleRequestLatencyIsOverheadPlusCompute) {
+  TestScheme scheme(1);
+  const trace::Trace t = MakeTrace({{10.0, 100}});
+  EngineConfig config;
+  config.per_request_overhead = Millis(0.8);
+  const EngineResult result = RunScenario(t, scheme, config);
+  ASSERT_EQ(result.records.size(), 1u);
+  const RequestRecord& r = result.records[0];
+  EXPECT_EQ(r.arrival, Millis(10.0));
+  EXPECT_EQ(r.dispatch, r.arrival);  // dispatched immediately
+  EXPECT_EQ(r.start, r.arrival);
+  EXPECT_EQ(r.Latency(), Millis(0.8) + scheme.ComputeTime(100));
+}
+
+TEST(Engine, QueuedRequestsSerialize) {
+  TestScheme scheme(1);
+  // Two simultaneous arrivals on one instance: the second waits.
+  const trace::Trace t = MakeTrace({{10.0, 100}, {10.0, 100}});
+  const EngineResult result = RunScenario(t, scheme, EngineConfig{});
+  ASSERT_EQ(result.records.size(), 2u);
+  const SimDuration service = result.records[0].ServiceTime();
+  EXPECT_EQ(result.records[1].QueueingDelay(), service);
+  EXPECT_EQ(result.records[1].Latency(), 2 * service);
+}
+
+TEST(Engine, TwoInstancesRunInParallel) {
+  TestScheme scheme(2);
+  const trace::Trace t = MakeTrace({{10.0, 100}, {10.0, 100}});
+  const EngineResult result = RunScenario(t, scheme, EngineConfig{});
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].QueueingDelay(), 0);
+  EXPECT_EQ(result.records[1].QueueingDelay(), 0);
+  EXPECT_NE(result.records[0].instance, result.records[1].instance);
+}
+
+TEST(Engine, BuffersUntilInstanceReady) {
+  TestScheme scheme(1);
+  scheme.launch_delay_ = Seconds(2.0);
+  const trace::Trace t = MakeTrace({{10.0, 100}});
+  const EngineResult result = RunScenario(t, scheme, EngineConfig{});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.buffered_requests, 1u);
+  EXPECT_EQ(result.records[0].dispatch, Seconds(2.0));
+}
+
+TEST(Engine, RetirementReDispatchesQueuedWork) {
+  TestScheme scheme(1);
+  scheme.retire_after_ = 1;  // retire after the first completion
+  // Three stacked requests: first completes, then the instance retires
+  // with two queued; they re-dispatch to the 1 s replacement.
+  const trace::Trace t = MakeTrace({{1.0, 100}, {1.0, 100}, {1.0, 100}});
+  const EngineResult result = RunScenario(t, scheme, EngineConfig{});
+  EXPECT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(scheme.retired_events_, 1);
+  EXPECT_EQ(scheme.ready_events_, 2);
+  // The re-dispatched requests completed on the new instance.
+  EXPECT_EQ(result.records[1].instance, 1u);
+  EXPECT_EQ(result.records[2].instance, 1u);
+  // Latency accounting is preserved across re-dispatch.
+  EXPECT_GT(result.records[1].Latency(), Seconds(1.0));
+}
+
+TEST(Engine, GpuTimeAccounting) {
+  TestScheme scheme(3);
+  const trace::Trace t = MakeTrace({{5.0, 100}});
+  const EngineResult result = RunScenario(t, scheme, EngineConfig{});
+  EXPECT_EQ(result.peak_gpus, 3);
+  EXPECT_NEAR(result.time_weighted_gpus, 3.0, 1e-6);
+  EXPECT_GT(result.gpu_busy_fraction, 0.0);
+  EXPECT_LT(result.gpu_busy_fraction, 1.0);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [] {
+    TestScheme scheme(2);
+    const trace::Trace t = MakeTrace(
+        {{1.0, 64}, {1.5, 128}, {2.0, 256}, {2.0, 32}, {3.0, 512}});
+    return RunScenario(t, scheme, EngineConfig{});
+  };
+  const EngineResult a = run();
+  const EngineResult b = run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+    EXPECT_EQ(a.records[i].instance, b.records[i].instance);
+  }
+}
+
+TEST(Engine, AllRequestsConserved) {
+  TestScheme scheme(2);
+  std::vector<std::pair<double, int>> arrivals;
+  for (int i = 0; i < 200; ++i) {
+    arrivals.push_back({static_cast<double>(i % 50), 1 + (i * 13) % 512});
+  }
+  const trace::Trace t = MakeTrace(arrivals);
+  const EngineResult result = RunScenario(t, scheme, EngineConfig{});
+  EXPECT_EQ(result.records.size(), 200u);
+  std::vector<bool> seen(200, false);
+  for (const auto& r : result.records) {
+    EXPECT_FALSE(seen[r.id]);
+    seen[r.id] = true;
+    EXPECT_GE(r.dispatch, r.arrival);
+    EXPECT_GE(r.start, r.dispatch);
+    EXPECT_GT(r.completion, r.start);
+  }
+}
+
+TEST(Engine, CollectRecordsOff) {
+  TestScheme scheme(1);
+  const trace::Trace t = MakeTrace({{1.0, 100}});
+  EngineConfig config;
+  config.collect_records = false;
+  const EngineResult result = RunScenario(t, scheme, config);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_GT(result.end_time, 0);
+}
+
+TEST(Engine, EmptyTraceCompletesImmediately) {
+  TestScheme scheme(1);
+  const EngineResult result = RunScenario(trace::Trace{}, scheme);
+  EXPECT_TRUE(result.records.empty());
+}
+
+TEST(Engine, MaxSimTimeGuardFires) {
+  TestScheme scheme(1);
+  scheme.launch_delay_ = Seconds(100.0);
+  const trace::Trace t = MakeTrace({{1.0, 100}});
+  EngineConfig config;
+  config.max_sim_time = Seconds(10.0);
+  EXPECT_THROW(RunScenario(t, scheme, config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo::sim

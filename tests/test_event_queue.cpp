@@ -1,0 +1,74 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoForEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.Now(), 0);
+  q.Schedule(100, [&q] { EXPECT_EQ(q.Now(), 100); });
+  q.RunNext();
+  EXPECT_EQ(q.Now(), 100);
+}
+
+TEST(EventQueue, HandlersMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1, [&] {
+    ++fired;
+    q.Schedule(2, [&] { ++fired; });
+  });
+  while (q.RunNext()) {
+  }
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.Schedule(50, [] {});
+  q.RunNext();
+  EXPECT_THROW(q.Schedule(49, [] {}), std::logic_error);
+  q.Schedule(50, [] {});  // same-time is allowed
+}
+
+TEST(EventQueue, EmptyQueueReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, SizeTracksPending) {
+  EventQueue q;
+  q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.RunNext();
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace arlo::sim

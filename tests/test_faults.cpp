@@ -1,0 +1,121 @@
+// Fault-injection tests: instances crash mid-run, their queued and
+// in-flight work is re-dispatched, and schemes recover via re-allocation /
+// auto-scaling (§3.4's motivation: failures cause imbalanced load).
+#include <gtest/gtest.h>
+
+#include "baselines/scenario.h"
+#include "sim/engine.h"
+#include "trace/twitter.h"
+
+namespace arlo {
+namespace {
+
+trace::Trace SmallTrace(double rate, double duration_s, std::uint64_t seed) {
+  trace::TwitterTraceConfig config;
+  config.duration_s = duration_s;
+  config.mean_rate = rate;
+  config.seed = seed;
+  return trace::SynthesizeTwitterTrace(config);
+}
+
+sim::EngineConfig FaultyEngine(double mtbf_s, std::uint64_t seed = 7) {
+  sim::EngineConfig engine;
+  engine.mean_time_between_failures_s = mtbf_s;
+  engine.fault_seed = seed;
+  return engine;
+}
+
+TEST(FaultInjection, NoRequestIsLostWhenInstancesCrash) {
+  const trace::Trace t = SmallTrace(200.0, 8.0, 1);
+  baselines::ScenarioConfig config;
+  config.gpus = 4;
+  config.period = Seconds(2.0);
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand = baselines::DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+  const sim::EngineResult result =
+      sim::RunScenario(t, *scheme, FaultyEngine(/*mtbf_s=*/2.0));
+  EXPECT_GT(result.injected_failures, 0);
+  ASSERT_EQ(result.records.size(), t.Size());
+  std::vector<bool> seen(t.Size(), false);
+  for (const auto& r : result.records) {
+    EXPECT_FALSE(seen[r.id]);
+    seen[r.id] = true;
+  }
+}
+
+TEST(FaultInjection, AutoscalerRestoresLostCapacity) {
+  const trace::Trace t = SmallTrace(400.0, 15.0, 2);
+  baselines::ScenarioConfig config;
+  config.gpus = 3;
+  config.period = Seconds(3.0);
+  config.autoscale = true;
+  config.autoscaler.min_samples = 10;
+  config.autoscaler.latency_window = Seconds(4.0);
+  config.autoscaler.scale_out_cooldown = Seconds(1.0);
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand = baselines::DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+  const sim::EngineResult result =
+      sim::RunScenario(t, *scheme, FaultyEngine(3.0));
+  EXPECT_GT(result.injected_failures, 2);
+  EXPECT_EQ(result.records.size(), t.Size());
+  // Replacement capacity was provisioned (more launches than the initial 3).
+  EXPECT_GT(result.peak_gpus, 3);
+}
+
+TEST(FaultInjection, BaselinesSurviveCrashesToo) {
+  const trace::Trace t = SmallTrace(150.0, 6.0, 3);
+  for (const char* name : {"st", "dt", "infaas"}) {
+    baselines::ScenarioConfig config;
+    config.gpus = 4;
+    config.period = Seconds(2.0);
+    auto scheme = baselines::MakeSchemeByName(name, config);
+    const sim::EngineResult result =
+        sim::RunScenario(t, *scheme, FaultyEngine(3.0, 11));
+    EXPECT_EQ(result.records.size(), t.Size()) << name;
+    EXPECT_GT(result.injected_failures, 0) << name;
+  }
+}
+
+TEST(FaultInjection, DisabledByDefault) {
+  const trace::Trace t = SmallTrace(100.0, 2.0, 4);
+  baselines::ScenarioConfig config;
+  config.gpus = 2;
+  auto scheme = baselines::MakeSchemeByName("st", config);
+  const sim::EngineResult result = sim::RunScenario(t, *scheme);
+  EXPECT_EQ(result.injected_failures, 0);
+}
+
+TEST(FaultInjection, DeterministicInFaultSeed) {
+  auto run = [] {
+    const trace::Trace t = SmallTrace(150.0, 5.0, 5);
+    baselines::ScenarioConfig config;
+    config.gpus = 3;
+    auto scheme = baselines::MakeSchemeByName("dt", config);
+    return sim::RunScenario(t, *scheme, FaultyEngine(2.0, 99));
+  };
+  const sim::EngineResult a = run();
+  const sim::EngineResult b = run();
+  EXPECT_EQ(a.injected_failures, b.injected_failures);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+  }
+}
+
+TEST(FaultInjection, LatencyAccountingSurvivesReDispatch) {
+  const trace::Trace t = SmallTrace(200.0, 6.0, 6);
+  baselines::ScenarioConfig config;
+  config.gpus = 3;
+  auto scheme = baselines::MakeSchemeByName("st", config);
+  const sim::EngineResult result =
+      sim::RunScenario(t, *scheme, FaultyEngine(1.5, 5));
+  for (const auto& r : result.records) {
+    EXPECT_GE(r.dispatch, r.arrival);   // re-dispatch keeps original arrival
+    EXPECT_GT(r.completion, r.start);
+  }
+}
+
+}  // namespace
+}  // namespace arlo

@@ -1,0 +1,139 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo {
+namespace {
+
+TEST(Histogram, AddAndCount) {
+  Histogram h(10);
+  h.Add(3);
+  h.Add(3);
+  h.Add(7);
+  EXPECT_EQ(h.Total(), 3u);
+  EXPECT_EQ(h.CountAt(3), 2u);
+  EXPECT_EQ(h.CountAt(7), 1u);
+  EXPECT_EQ(h.CountAt(5), 0u);
+}
+
+TEST(Histogram, OutOfRangeClamps) {
+  Histogram h(10);
+  h.Add(0);
+  h.Add(-5);
+  h.Add(99);
+  EXPECT_EQ(h.CountAt(1), 2u);
+  EXPECT_EQ(h.CountAt(10), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(4);
+  h.Add(2, 5);
+  EXPECT_EQ(h.Total(), 5u);
+  EXPECT_EQ(h.CountAt(2), 5u);
+}
+
+TEST(Histogram, CountInRange) {
+  Histogram h(10);
+  for (int v = 1; v <= 10; ++v) h.Add(v);
+  EXPECT_EQ(h.CountInRange(3, 5), 3u);
+  EXPECT_EQ(h.CountInRange(-2, 100), 10u);
+  EXPECT_EQ(h.CountInRange(8, 3), 0u);
+}
+
+TEST(Histogram, QuantileMedianAndTail) {
+  Histogram h(100);
+  for (int i = 0; i < 98; ++i) h.Add(10);
+  h.Add(90);
+  h.Add(95);
+  EXPECT_EQ(h.Quantile(0.5), 10);
+  EXPECT_EQ(h.Quantile(0.98), 10);
+  EXPECT_EQ(h.Quantile(0.99), 90);
+  EXPECT_EQ(h.Quantile(1.0), 95);
+}
+
+TEST(Histogram, QuantileEmpty) {
+  Histogram h(50);
+  EXPECT_EQ(h.Quantile(0.5), 50);
+}
+
+TEST(Histogram, CdfAt) {
+  Histogram h(4);
+  h.Add(1);
+  h.Add(2);
+  h.Add(2);
+  h.Add(4);
+  EXPECT_DOUBLE_EQ(h.CdfAt(1), 0.25);
+  EXPECT_DOUBLE_EQ(h.CdfAt(2), 0.75);
+  EXPECT_DOUBLE_EQ(h.CdfAt(3), 0.75);
+  EXPECT_DOUBLE_EQ(h.CdfAt(4), 1.0);
+}
+
+TEST(Histogram, MeanAndPmf) {
+  Histogram h(3);
+  h.Add(1);
+  h.Add(3);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+  const auto pmf = h.Pmf();
+  EXPECT_DOUBLE_EQ(pmf[0], 0.5);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[2], 0.5);
+}
+
+TEST(Histogram, MergeAndClear) {
+  Histogram a(5), b(5);
+  a.Add(1);
+  b.Add(5);
+  a.Merge(b);
+  EXPECT_EQ(a.Total(), 2u);
+  EXPECT_EQ(a.CountAt(5), 1u);
+  a.Clear();
+  EXPECT_EQ(a.Total(), 0u);
+}
+
+TEST(Histogram, MergeRequiresSameRange) {
+  Histogram a(5), b(6);
+  EXPECT_THROW(a.Merge(b), std::logic_error);
+}
+
+TEST(DecayingHistogram, DecayShrinksWeight) {
+  DecayingHistogram d(10, 0.5);
+  d.Add(4);
+  d.Add(4);
+  EXPECT_DOUBLE_EQ(d.TotalWeight(), 2.0);
+  d.Decay();
+  EXPECT_DOUBLE_EQ(d.TotalWeight(), 1.0);
+  EXPECT_DOUBLE_EQ(d.WeightInRange(4, 4), 1.0);
+}
+
+TEST(DecayingHistogram, RecentObservationsDominate) {
+  DecayingHistogram d(10, 0.5);
+  d.Add(2);  // old signal
+  d.Decay();
+  d.Add(8);  // fresh signal
+  EXPECT_GT(d.WeightInRange(8, 8), d.WeightInRange(2, 2));
+}
+
+TEST(DecayingHistogram, BinDemandSplitsProportionally) {
+  DecayingHistogram d(100, 1.0);
+  for (int i = 0; i < 30; ++i) d.Add(10);   // bin (0, 50]
+  for (int i = 0; i < 10; ++i) d.Add(80);   // bin (50, 100]
+  const auto demand = d.BinDemand({50, 100}, 200.0);
+  EXPECT_DOUBLE_EQ(demand[0], 150.0);
+  EXPECT_DOUBLE_EQ(demand[1], 50.0);
+}
+
+TEST(DecayingHistogram, BinDemandEmptyFallsToLargestBin) {
+  DecayingHistogram d(100, 0.9);
+  const auto demand = d.BinDemand({50, 100}, 40.0);
+  EXPECT_DOUBLE_EQ(demand[0], 0.0);
+  EXPECT_DOUBLE_EQ(demand[1], 40.0);
+}
+
+TEST(DecayingHistogram, WeightedAdd) {
+  DecayingHistogram d(10, 0.9);
+  d.Add(3, 7.0);
+  EXPECT_DOUBLE_EQ(d.TotalWeight(), 7.0);
+}
+
+}  // namespace
+}  // namespace arlo

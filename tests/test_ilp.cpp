@@ -1,0 +1,160 @@
+#include "solver/ilp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace arlo::solver {
+namespace {
+
+TEST(SolveIlp, SimpleKnapsack) {
+  // max 5a + 4b + 3c  s.t. 2a + 3b + c <= 5, binary → min form.
+  // Optimum: a=1, c=1 (value 8, weight 3) … check: a+b: 2+3=5 value 9!
+  // a=1,b=1 weight 5 value 9 → optimum 9.
+  IlpProblem p;
+  p.lp.objective = {-5.0, -4.0, -3.0};
+  p.lp.AddConstraint({2.0, 3.0, 1.0}, Relation::kLessEq, 5.0);
+  for (int i = 0; i < 3; ++i) {
+    std::vector<double> row(3, 0.0);
+    row[static_cast<std::size_t>(i)] = 1.0;
+    p.lp.AddConstraint(std::move(row), Relation::kLessEq, 1.0);
+  }
+  p.integer = {true, true, true};
+  const IlpSolution s = SolveIlp(p);
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -9.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.x[1], 1.0);
+  EXPECT_DOUBLE_EQ(s.x[2], 0.0);
+}
+
+TEST(SolveIlp, IntegralityMakesItWorseThanLp) {
+  // min -x  s.t. 2x <= 3: LP gives 1.5, ILP gives 1.
+  IlpProblem p;
+  p.lp.objective = {-1.0};
+  p.lp.AddConstraint({2.0}, Relation::kLessEq, 3.0);
+  p.integer = {true};
+  const IlpSolution s = SolveIlp(p);
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.x[0], 1.0);
+  EXPECT_NEAR(s.objective, -1.0, 1e-9);
+}
+
+TEST(SolveIlp, MixedIntegerKeepsContinuousFree) {
+  // min -x - y  s.t. x + y <= 2.5, x integer, y continuous.
+  IlpProblem p;
+  p.lp.objective = {-1.0, -1.0};
+  p.lp.AddConstraint({1.0, 1.0}, Relation::kLessEq, 2.5);
+  p.lp.AddConstraint({1.0, 0.0}, Relation::kLessEq, 2.0);
+  p.lp.AddConstraint({0.0, 1.0}, Relation::kLessEq, 2.0);
+  p.integer = {true, false};
+  const IlpSolution s = SolveIlp(p);
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.5, 1e-6);
+  EXPECT_DOUBLE_EQ(s.x[0], std::round(s.x[0]));  // integral
+}
+
+TEST(SolveIlp, Infeasible) {
+  IlpProblem p;
+  p.lp.objective = {1.0};
+  p.lp.AddConstraint({2.0}, Relation::kEqual, 1.0);  // x = 0.5, integer
+  p.integer = {true};
+  EXPECT_EQ(SolveIlp(p).status, IlpStatus::kInfeasible);
+}
+
+TEST(SolveIlp, Unbounded) {
+  IlpProblem p;
+  p.lp.objective = {-1.0};
+  p.lp.AddConstraint({1.0}, Relation::kGreaterEq, 0.0);
+  p.integer = {true};
+  EXPECT_EQ(SolveIlp(p).status, IlpStatus::kUnbounded);
+}
+
+TEST(SolveIlp, AssignmentProblem) {
+  // 2x2 assignment: costs [[1, 9], [8, 2]]; optimum = diagonal = 3.
+  IlpProblem p;
+  p.lp.objective = {1.0, 9.0, 8.0, 2.0};  // x00 x01 x10 x11
+  p.lp.AddConstraint({1.0, 1.0, 0.0, 0.0}, Relation::kEqual, 1.0);
+  p.lp.AddConstraint({0.0, 0.0, 1.0, 1.0}, Relation::kEqual, 1.0);
+  p.lp.AddConstraint({1.0, 0.0, 1.0, 0.0}, Relation::kEqual, 1.0);
+  p.lp.AddConstraint({0.0, 1.0, 0.0, 1.0}, Relation::kEqual, 1.0);
+  p.integer = {true, true, true, true};
+  const IlpSolution s = SolveIlp(p);
+  ASSERT_EQ(s.status, IlpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+  EXPECT_DOUBLE_EQ(s.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.x[3], 1.0);
+}
+
+TEST(SolveIlp, NodeLimitReported) {
+  // A 12-item knapsack with a tiny node budget cannot prove optimality.
+  IlpProblem p;
+  Rng rng(1);
+  const int n = 12;
+  p.lp.objective.resize(n);
+  std::vector<double> weights(n);
+  for (int i = 0; i < n; ++i) {
+    p.lp.objective[static_cast<std::size_t>(i)] = -rng.Uniform(1.0, 10.0);
+    weights[static_cast<std::size_t>(i)] = rng.Uniform(1.0, 10.0);
+    std::vector<double> row(n, 0.0);
+    row[static_cast<std::size_t>(i)] = 1.0;
+    p.lp.AddConstraint(std::move(row), Relation::kLessEq, 1.0);
+  }
+  p.lp.AddConstraint(weights, Relation::kLessEq, 20.0);
+  p.integer.assign(n, true);
+  IlpOptions options;
+  options.max_nodes = 2;
+  const IlpSolution s = SolveIlp(p, options);
+  EXPECT_TRUE(s.status == IlpStatus::kNodeLimit ||
+              s.status == IlpStatus::kOptimal);
+}
+
+// Property sweep: random knapsacks, B&B must match exhaustive enumeration.
+class KnapsackPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackPropertyTest, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 10;
+  std::vector<double> value(n), weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[static_cast<std::size_t>(i)] = rng.Uniform(1.0, 20.0);
+    weight[static_cast<std::size_t>(i)] = rng.Uniform(1.0, 10.0);
+  }
+  const double cap = rng.Uniform(10.0, 30.0);
+
+  // Brute force over all 2^n subsets.
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0.0, w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[static_cast<std::size_t>(i)];
+        w += weight[static_cast<std::size_t>(i)];
+      }
+    }
+    if (w <= cap) best = std::max(best, v);
+  }
+
+  IlpProblem p;
+  p.lp.objective.resize(n);
+  for (int i = 0; i < n; ++i) {
+    p.lp.objective[static_cast<std::size_t>(i)] =
+        -value[static_cast<std::size_t>(i)];
+    std::vector<double> row(n, 0.0);
+    row[static_cast<std::size_t>(i)] = 1.0;
+    p.lp.AddConstraint(std::move(row), Relation::kLessEq, 1.0);
+  }
+  p.lp.AddConstraint(weight, Relation::kLessEq, cap);
+  p.integer.assign(n, true);
+  const IlpSolution s = SolveIlp(p);
+  ASSERT_EQ(s.status, IlpStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(-s.objective, best, 1e-6) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace arlo::solver

@@ -1,0 +1,140 @@
+#include "trace/length_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace arlo::trace {
+namespace {
+
+TEST(LognormalLength, FromQuantilesHitsTargets) {
+  // Continuous targets: median 30, p95 90.
+  const auto dist = LognormalLength::FromQuantiles(30.0, 90.0, 0.95, 1000);
+  EXPECT_NEAR(std::exp(dist.mu()), 30.0, 1e-9);
+  // sigma satisfies exp(mu + z95*sigma) = 90.
+  EXPECT_NEAR(std::exp(dist.mu() + 1.6448536 * dist.sigma()), 90.0, 0.05);
+}
+
+TEST(LognormalLength, SamplesWithinBounds) {
+  const LognormalLength dist(3.0, 0.6, 100);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const int s = dist.Sample(rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 100);
+  }
+}
+
+TEST(LognormalLength, SampledMedianMatches) {
+  const auto dist = LognormalLength::FromQuantiles(21.0, 72.0, 0.98, 125);
+  Rng rng(2);
+  Histogram h = dist.SampleHistogram(rng, 100000);
+  EXPECT_NEAR(h.Quantile(0.5), 21, 1);
+}
+
+TEST(MixtureLength, RespectsWeights) {
+  auto low = std::make_shared<LognormalLength>(std::log(5.0), 0.01, 100);
+  auto high = std::make_shared<LognormalLength>(std::log(50.0), 0.01, 100);
+  MixtureLength mix({{0.8, low}, {0.2, high}});
+  Rng rng(3);
+  int low_count = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (mix.Sample(rng) < 20) ++low_count;
+  }
+  EXPECT_NEAR(static_cast<double>(low_count) / kN, 0.8, 0.02);
+}
+
+TEST(MixtureLength, SetWeightsRenormalizes) {
+  auto low = std::make_shared<LognormalLength>(std::log(5.0), 0.01, 100);
+  auto high = std::make_shared<LognormalLength>(std::log(50.0), 0.01, 100);
+  MixtureLength mix({{0.5, low}, {0.5, high}});
+  mix.SetWeights({3.0, 1.0});  // => 0.75 / 0.25
+  Rng rng(4);
+  int low_count = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (mix.Sample(rng) < 20) ++low_count;
+  }
+  EXPECT_NEAR(static_cast<double>(low_count) / kN, 0.75, 0.02);
+}
+
+TEST(MixtureLength, RejectsBadWeights) {
+  auto d = std::make_shared<LognormalLength>(1.0, 0.5, 10);
+  MixtureLength mix({{1.0, d}});
+  EXPECT_THROW(mix.SetWeights({-1.0}), std::logic_error);
+  EXPECT_THROW(mix.SetWeights({0.0}), std::logic_error);
+  EXPECT_THROW(mix.SetWeights({1.0, 2.0}), std::logic_error);
+}
+
+TEST(EmpiricalLength, MatchesPmf) {
+  // Lengths 1..4 with masses 1, 0, 2, 1.
+  EmpiricalLength dist({1.0, 0.0, 2.0, 1.0});
+  Rng rng(5);
+  Histogram h = dist.SampleHistogram(rng, 40000);
+  EXPECT_NEAR(h.CdfAt(1), 0.25, 0.01);
+  EXPECT_EQ(h.CountAt(2), 0u);
+  EXPECT_NEAR(h.CdfAt(3), 0.75, 0.01);
+  EXPECT_NEAR(h.CdfAt(4), 1.0, 1e-12);
+}
+
+TEST(EmpiricalLength, FromHistogramRoundTrip) {
+  Histogram h(5);
+  h.Add(2, 10);
+  h.Add(5, 30);
+  const auto dist = EmpiricalLength::FromHistogram(h);
+  Rng rng(6);
+  Histogram sampled = dist.SampleHistogram(rng, 20000);
+  EXPECT_NEAR(sampled.CdfAt(2), 0.25, 0.02);
+}
+
+TEST(RescaledLength, ScalesAndClamps) {
+  auto base = std::make_shared<LognormalLength>(std::log(100.0), 0.01, 125);
+  RescaledLength scaled(base, 512.0 / 125.0, 512);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int s = scaled.Sample(rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 512);
+    // base ~100 => scaled ~410.
+    EXPECT_NEAR(s, 410, 40);
+  }
+}
+
+// §2.1 calibration: the Twitter model must reproduce the published trace
+// statistics — median 21 tokens, 98th percentile 72, max <= 125.
+TEST(TwitterLengthModel, ReproducesPublishedQuantiles) {
+  auto model = MakeTwitterLengthModel();
+  Rng rng(8);
+  Histogram h = model->SampleHistogram(rng, 300000);
+  EXPECT_NEAR(h.Quantile(0.5), 21, 1);
+  EXPECT_NEAR(h.Quantile(0.98), 72, 4);
+  EXPECT_LE(h.Quantile(1.0), 125);
+}
+
+TEST(TwitterLengthModel, WeightParameterShiftsTail) {
+  Rng rng(9);
+  auto light = MakeTwitterLengthModel(0.1);
+  auto heavy = MakeTwitterLengthModel(0.5);
+  Histogram hl = light->SampleHistogram(rng, 50000);
+  Histogram hh = heavy->SampleHistogram(rng, 50000);
+  // Both calibrated to the same median/p98 but different shapes; the
+  // heavier-long-weight model has more mass in the mid-range.
+  EXPECT_NEAR(hl.Quantile(0.5), 21, 2);
+  EXPECT_NEAR(hh.Quantile(0.5), 21, 2);
+}
+
+TEST(Twitter512LengthModel, SpansTo512) {
+  auto model = MakeTwitter512LengthModel();
+  EXPECT_EQ(model->MaxLength(), 512);
+  Rng rng(10);
+  Histogram h = model->SampleHistogram(rng, 200000);
+  // Median scales with 512/125 ≈ 4.1: 21 * 4.096 ≈ 86.
+  EXPECT_NEAR(h.Quantile(0.5), 86, 4);
+  EXPECT_NEAR(h.Quantile(0.98), 295, 16);
+  // Some demand must reach the largest bins (the 512-runtime matters).
+  EXPECT_GT(h.CountInRange(449, 512), 0u);
+}
+
+}  // namespace
+}  // namespace arlo::trace

@@ -1,0 +1,150 @@
+#include "solver/lp.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::solver {
+namespace {
+
+TEST(SolveLp, SimpleTwoVariableOptimum) {
+  // min -x - 2y  s.t.  x + y <= 4,  x <= 2,  y <= 3,  x,y >= 0.
+  // Optimum at (1, 3): objective -7.
+  LpProblem p;
+  p.objective = {-1.0, -2.0};
+  p.AddConstraint({1.0, 1.0}, Relation::kLessEq, 4.0);
+  p.AddConstraint({1.0, 0.0}, Relation::kLessEq, 2.0);
+  p.AddConstraint({0.0, 1.0}, Relation::kLessEq, 3.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -7.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+}
+
+TEST(SolveLp, EqualityConstraint) {
+  // min x + y  s.t.  x + y = 5,  x >= 0, y >= 0 → objective 5.
+  LpProblem p;
+  p.objective = {1.0, 1.0};
+  p.AddConstraint({1.0, 1.0}, Relation::kEqual, 5.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+  EXPECT_NEAR(s.x[0] + s.x[1], 5.0, 1e-9);
+}
+
+TEST(SolveLp, GreaterEqualConstraint) {
+  // min 3x + 2y  s.t.  x + y >= 4,  x >= 1 → optimum (1, 3): 9.
+  LpProblem p;
+  p.objective = {3.0, 2.0};
+  p.AddConstraint({1.0, 1.0}, Relation::kGreaterEq, 4.0);
+  p.AddConstraint({1.0, 0.0}, Relation::kGreaterEq, 1.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-9);
+}
+
+TEST(SolveLp, DetectsInfeasible) {
+  LpProblem p;
+  p.objective = {1.0};
+  p.AddConstraint({1.0}, Relation::kLessEq, 1.0);
+  p.AddConstraint({1.0}, Relation::kGreaterEq, 2.0);
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(SolveLp, DetectsUnbounded) {
+  // min -x  s.t.  x >= 1 → unbounded below.
+  LpProblem p;
+  p.objective = {-1.0};
+  p.AddConstraint({1.0}, Relation::kGreaterEq, 1.0);
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(SolveLp, NegativeRhsNormalization) {
+  // min x  s.t.  -x <= -3  (i.e. x >= 3) → optimum 3.
+  LpProblem p;
+  p.objective = {1.0};
+  p.AddConstraint({-1.0}, Relation::kLessEq, -3.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(SolveLp, UnconstrainedProblem) {
+  LpProblem p;
+  p.objective = {2.0, 3.0};
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-12);
+
+  LpProblem q;
+  q.objective = {-1.0};
+  EXPECT_EQ(SolveLp(q).status, LpStatus::kUnbounded);
+}
+
+TEST(SolveLp, DegenerateConstraintsTerminate) {
+  // Redundant constraints exercise Bland's anti-cycling rule.
+  LpProblem p;
+  p.objective = {-1.0, -1.0};
+  p.AddConstraint({1.0, 1.0}, Relation::kLessEq, 2.0);
+  p.AddConstraint({1.0, 1.0}, Relation::kLessEq, 2.0);
+  p.AddConstraint({2.0, 2.0}, Relation::kLessEq, 4.0);
+  p.AddConstraint({1.0, 0.0}, Relation::kLessEq, 2.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(SolveLp, RedundantEqualitySystem) {
+  // x + y = 2 stated twice: phase 1 leaves a redundant artificial basic.
+  LpProblem p;
+  p.objective = {1.0, 2.0};
+  p.AddConstraint({1.0, 1.0}, Relation::kEqual, 2.0);
+  p.AddConstraint({2.0, 2.0}, Relation::kEqual, 4.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);  // x=2, y=0
+}
+
+TEST(SolveLp, SolutionSatisfiesConstraints) {
+  LpProblem p;
+  p.objective = {1.0, -2.0, 3.0};
+  p.AddConstraint({1.0, 1.0, 1.0}, Relation::kLessEq, 10.0);
+  p.AddConstraint({1.0, -1.0, 0.0}, Relation::kGreaterEq, -2.0);
+  p.AddConstraint({0.0, 1.0, 2.0}, Relation::kEqual, 6.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  ASSERT_EQ(s.x.size(), 3u);
+  EXPECT_LE(s.x[0] + s.x[1] + s.x[2], 10.0 + 1e-9);
+  EXPECT_GE(s.x[0] - s.x[1], -2.0 - 1e-9);
+  EXPECT_NEAR(s.x[1] + 2.0 * s.x[2], 6.0, 1e-9);
+  for (double v : s.x) EXPECT_GE(v, -1e-9);
+}
+
+// Property sweep: diet-style LPs with known optimal structure.
+class LpScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpScaleTest, CoversBoxOptimum) {
+  // min sum(-i * x_i) s.t. x_i <= 1, sum x_i <= n/2 → pick the n/2 largest
+  // coefficients.
+  const int n = GetParam();
+  LpProblem p;
+  p.objective.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    p.objective[static_cast<std::size_t>(i)] = -(i + 1.0);
+    std::vector<double> row(static_cast<std::size_t>(n), 0.0);
+    row[static_cast<std::size_t>(i)] = 1.0;
+    p.AddConstraint(std::move(row), Relation::kLessEq, 1.0);
+  }
+  p.AddConstraint(std::vector<double>(static_cast<std::size_t>(n), 1.0),
+                  Relation::kLessEq, n / 2.0);
+  const LpSolution s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  double expected = 0.0;
+  for (int i = n - n / 2; i < n; ++i) expected -= (i + 1.0);
+  EXPECT_NEAR(s.objective, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LpScaleTest,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace arlo::solver

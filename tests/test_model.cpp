@@ -1,0 +1,66 @@
+#include "runtime/model.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::runtime {
+namespace {
+
+TEST(ModelSpec, FlopsGrowsSuperlinearly) {
+  const ModelSpec m = ModelSpec::BertBase();
+  const double f64 = m.Flops(64);
+  const double f128 = m.Flops(128);
+  const double f512 = m.Flops(512);
+  EXPECT_GT(f128, 2.0 * f64);  // quadratic attention term
+  EXPECT_GT(f512, 4.0 * f128);
+}
+
+TEST(ModelSpec, BertLargeCostsMoreThanBase) {
+  EXPECT_GT(ModelSpec::BertLarge().Flops(512),
+            3.0 * ModelSpec::BertBase().Flops(512));
+}
+
+TEST(Calibrate, ReproducesAnchorsExactly) {
+  for (const ModelSpec& m : {ModelSpec::BertBase(), ModelSpec::BertLarge(),
+                             ModelSpec::Dolly()}) {
+    const LatencyCoefficients c = Calibrate(m);
+    const double lat512 = c.EvalNs(m, 512);
+    const double lat64 = c.EvalNs(m, 64);
+    EXPECT_NEAR(lat512, static_cast<double>(m.anchor_latency_512),
+                1e-3 * lat512)
+        << m.name;
+    EXPECT_NEAR(lat512 / lat64, m.ratio_512_over_64, 1e-6) << m.name;
+    EXPECT_GE(c.c0_ns, 0.0) << m.name;
+    EXPECT_GT(c.k_ns_per_flop, 0.0) << m.name;
+  }
+}
+
+// §2.1: "computation time for a sequence of length 512 is 4.22x and 5.25x
+// longer than for a sequence of length 64 in Bert-Base and Bert-Large."
+TEST(Calibrate, PaperRatios) {
+  EXPECT_DOUBLE_EQ(ModelSpec::BertBase().ratio_512_over_64, 4.22);
+  EXPECT_DOUBLE_EQ(ModelSpec::BertLarge().ratio_512_over_64, 5.25);
+}
+
+TEST(Calibrate, MonotoneInLength) {
+  const ModelSpec m = ModelSpec::BertBase();
+  const LatencyCoefficients c = Calibrate(m);
+  double prev = 0.0;
+  for (int s = 1; s <= 512; s += 13) {
+    const double lat = c.EvalNs(m, s);
+    EXPECT_GT(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST(Calibrate, RejectsImpossibleAnchors) {
+  ModelSpec m = ModelSpec::BertBase();
+  m.ratio_512_over_64 = 100.0;  // exceeds the FLOP ratio => negative floor
+  EXPECT_THROW(Calibrate(m), std::logic_error);
+}
+
+TEST(ModelSpec, FlopsRejectsNonPositiveLength) {
+  EXPECT_THROW(ModelSpec::BertBase().Flops(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo::runtime

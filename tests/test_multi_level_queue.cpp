@@ -1,0 +1,141 @@
+#include "core/multi_level_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::core {
+namespace {
+
+TEST(MultiLevelQueue, HeadIsLeastLoaded) {
+  MultiLevelQueue q(2);
+  q.AddInstance(0, 0, 10, 3);
+  q.AddInstance(1, 0, 10, 1);
+  q.AddInstance(2, 0, 10, 2);
+  const auto head = q.Head(0);
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->id, 1u);
+  EXPECT_EQ(head->outstanding, 1);
+}
+
+TEST(MultiLevelQueue, EmptyLevelHasNoHead) {
+  MultiLevelQueue q(2);
+  q.AddInstance(0, 0, 10);
+  EXPECT_FALSE(q.Head(1).has_value());
+}
+
+TEST(MultiLevelQueue, DispatchAndCompleteReorder) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 10, 0);
+  q.AddInstance(1, 0, 10, 0);
+  // Tie: lowest id wins.
+  EXPECT_EQ(q.Head(0)->id, 0u);
+  q.OnDispatch(0);
+  EXPECT_EQ(q.Head(0)->id, 1u);
+  q.OnDispatch(1);
+  q.OnDispatch(1);
+  EXPECT_EQ(q.Head(0)->id, 0u);
+  q.OnComplete(1);
+  q.OnComplete(1);
+  EXPECT_EQ(q.Head(0)->id, 1u);
+  EXPECT_EQ(q.Get(1).outstanding, 0);
+}
+
+TEST(MultiLevelQueue, CompleteForRemovedInstanceIsIgnored) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 10, 2);
+  q.RemoveInstance(0);
+  q.OnComplete(0);  // must not throw: in-flight work of a retired instance
+  EXPECT_FALSE(q.Contains(0));
+}
+
+TEST(MultiLevelQueue, CompleteUnderflowThrows) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 10, 0);
+  EXPECT_THROW(q.OnComplete(0), std::logic_error);
+}
+
+TEST(MultiLevelQueue, DoubleAddThrows) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 10);
+  EXPECT_THROW(q.AddInstance(0, 0, 10), std::logic_error);
+}
+
+TEST(MultiLevelQueue, RemoveUnknownThrows) {
+  MultiLevelQueue q(1);
+  EXPECT_THROW(q.RemoveInstance(5), std::logic_error);
+}
+
+TEST(MultiLevelQueue, DispatchToUnknownThrows) {
+  MultiLevelQueue q(1);
+  EXPECT_THROW(q.OnDispatch(5), std::logic_error);
+}
+
+TEST(MultiLevelQueue, BestFitPicksMostLoadedWithHeadroom) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 5, 1);
+  q.AddInstance(1, 0, 5, 4);
+  q.AddInstance(2, 0, 5, 5);  // at capacity — cannot fit
+  const auto fit = q.BestFit(0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->id, 1u);
+}
+
+TEST(MultiLevelQueue, BestFitNoneWhenAllFull) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 2, 2);
+  q.AddInstance(1, 0, 2, 3);
+  EXPECT_FALSE(q.BestFit(0).has_value());
+}
+
+TEST(MultiLevelQueue, BestFitBelowRespectsLimit) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 10, 0);
+  q.AddInstance(1, 0, 10, 1);
+  q.AddInstance(2, 0, 10, 3);
+  // Most loaded below 2 outstanding: instance 1.
+  const auto fit = q.BestFitBelow(0, 2);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->id, 1u);
+  // Limit 1: only instance 0 qualifies.
+  EXPECT_EQ(q.BestFitBelow(0, 1)->id, 0u);
+  // Limit 0: nothing qualifies.
+  EXPECT_FALSE(q.BestFitBelow(0, 0).has_value());
+}
+
+TEST(MultiLevelQueue, BestFitBelowHonorsCapacity) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, /*max_capacity=*/2, /*outstanding=*/2);
+  // Below limit 5 but at capacity: not a fit.
+  EXPECT_FALSE(q.BestFitBelow(0, 5).has_value());
+}
+
+TEST(MultiLevelQueue, CongestionLevel) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 60, 54);
+  EXPECT_NEAR(q.Head(0)->Congestion(), 0.9, 1e-12);
+}
+
+TEST(MultiLevelQueue, LevelsAreIndependent) {
+  MultiLevelQueue q(3);
+  q.AddInstance(0, 0, 10, 9);
+  q.AddInstance(1, 2, 10, 0);
+  EXPECT_EQ(q.NumInstances(0), 1u);
+  EXPECT_EQ(q.NumInstances(1), 0u);
+  EXPECT_EQ(q.NumInstances(2), 1u);
+  EXPECT_EQ(q.TotalInstances(), 2u);
+  EXPECT_EQ(q.Head(2)->id, 1u);
+}
+
+TEST(MultiLevelQueue, SnapshotSortedByLoad) {
+  MultiLevelQueue q(1);
+  q.AddInstance(0, 0, 10, 5);
+  q.AddInstance(1, 0, 10, 2);
+  q.AddInstance(2, 0, 10, 8);
+  const auto snap = q.LevelSnapshot(0);
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].id, 1u);
+  EXPECT_EQ(snap[1].id, 0u);
+  EXPECT_EQ(snap[2].id, 2u);
+}
+
+}  // namespace
+}  // namespace arlo::core

@@ -1,0 +1,86 @@
+#include "core/replacement.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::core {
+namespace {
+
+TEST(PlanReplacement, NoopWhenTargetMatches) {
+  const std::vector<DeployedInstance> current = {
+      {0, 0, 1}, {1, 0, 2}, {2, 1, 0}};
+  const ReplacementPlan plan = PlanReplacement(current, {2, 1});
+  EXPECT_EQ(plan.TotalReplacements(), 0u);
+}
+
+TEST(PlanReplacement, MinimalMoves) {
+  // Have 3 of runtime 0, need 1 of runtime 0 and 2 of runtime 1.
+  const std::vector<DeployedInstance> current = {
+      {0, 0, 5}, {1, 0, 1}, {2, 0, 3}};
+  const ReplacementPlan plan = PlanReplacement(current, {1, 2});
+  EXPECT_EQ(plan.TotalReplacements(), 2u);
+  for (const auto& batch : plan.batches) {
+    for (const auto& step : batch) {
+      EXPECT_EQ(step.from, 0u);
+      EXPECT_EQ(step.to, 1u);
+    }
+  }
+}
+
+TEST(PlanReplacement, ReleasesLeastBusyFirst) {
+  const std::vector<DeployedInstance> current = {
+      {0, 0, 9}, {1, 0, 0}, {2, 0, 4}};
+  const ReplacementPlan plan = PlanReplacement(current, {1, 2});
+  ASSERT_EQ(plan.TotalReplacements(), 2u);
+  // Instances 1 (load 0) and 2 (load 4) go; the busy instance 0 stays.
+  std::vector<InstanceId> moved;
+  for (const auto& batch : plan.batches) {
+    for (const auto& step : batch) moved.push_back(step.instance);
+  }
+  EXPECT_EQ(moved[0], 1u);
+  EXPECT_EQ(moved[1], 2u);
+}
+
+TEST(PlanReplacement, BatchesRespectSize) {
+  std::vector<DeployedInstance> current;
+  for (InstanceId i = 0; i < 7; ++i) current.push_back({i, 0, 0});
+  const ReplacementPlan plan = PlanReplacement(current, {0, 7}, 2);
+  EXPECT_EQ(plan.TotalReplacements(), 7u);
+  ASSERT_EQ(plan.batches.size(), 4u);
+  EXPECT_EQ(plan.batches[0].size(), 2u);
+  EXPECT_EQ(plan.batches[3].size(), 1u);
+}
+
+TEST(PlanReplacement, CrossRuntimeShuffle) {
+  // (2, 2, 0) -> (0, 2, 2): two replacements from runtime 0 to runtime 2.
+  const std::vector<DeployedInstance> current = {
+      {0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 1, 0}};
+  const ReplacementPlan plan = PlanReplacement(current, {0, 2, 2});
+  EXPECT_EQ(plan.TotalReplacements(), 2u);
+  for (const auto& batch : plan.batches) {
+    for (const auto& step : batch) {
+      EXPECT_EQ(step.from, 0u);
+      EXPECT_EQ(step.to, 2u);
+    }
+  }
+}
+
+TEST(PlanReplacement, RejectsGrowth) {
+  const std::vector<DeployedInstance> current = {{0, 0, 0}};
+  EXPECT_THROW(PlanReplacement(current, {1, 1}), std::logic_error);
+}
+
+TEST(PlanReplacement, RejectsUnknownRuntime) {
+  const std::vector<DeployedInstance> current = {{0, 5, 0}};
+  EXPECT_THROW(PlanReplacement(current, {1}), std::logic_error);
+}
+
+TEST(PlanReplacement, ShrinkingTargetLeavesSurplus) {
+  // Target total (1) < deployed (2): one instance simply keeps its runtime;
+  // no replacement step is emitted for pure surplus.
+  const std::vector<DeployedInstance> current = {{0, 0, 0}, {1, 0, 0}};
+  const ReplacementPlan plan = PlanReplacement(current, {1, 0});
+  EXPECT_EQ(plan.TotalReplacements(), 0u);
+}
+
+}  // namespace
+}  // namespace arlo::core

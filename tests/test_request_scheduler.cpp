@@ -1,0 +1,145 @@
+#include "core/request_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/runtime_set.h"
+
+namespace arlo::core {
+namespace {
+
+std::shared_ptr<const runtime::RuntimeSet> MakeFourRuntimes() {
+  runtime::SimulatedCompiler compiler;
+  return std::make_shared<runtime::RuntimeSet>(
+      runtime::MakeUniformRuntimeSet(compiler, runtime::ModelSpec::BertBase(),
+                                     4));  // max_lengths 128/256/384/512
+}
+
+// The worked example of Fig. 5 / §3.4: L=3, λ=0.85, α=0.9.  A request of
+// length 200 has candidates Q2(256), Q3(384), Q4(512).  Q2's head is 54/60
+// (0.9 > 0.85 → congested); Q3's head is 28/48 (0.583 < 0.85*0.9=0.765 →
+// selected).
+TEST(RequestScheduler, Figure5WorkedExample) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  queue.AddInstance(/*id=*/10, /*runtime=*/1, /*max_capacity=*/60, 54);
+  queue.AddInstance(/*id=*/11, /*runtime=*/1, 60, 58);
+  queue.AddInstance(/*id=*/20, /*runtime=*/2, 48, 28);
+  queue.AddInstance(/*id=*/21, /*runtime=*/2, 48, 40);
+  queue.AddInstance(/*id=*/30, /*runtime=*/3, 40, 5);
+
+  RequestSchedulerParams params;
+  params.lambda = 0.85;
+  params.alpha = 0.9;
+  params.max_peek = 3;
+  RequestScheduler scheduler(runtimes.get(), &queue, params);
+
+  const auto decision = scheduler.Select(200);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->runtime, 2u);
+  EXPECT_EQ(decision->instance, 20u);
+  EXPECT_TRUE(decision->demoted);
+  EXPECT_FALSE(decision->fell_back);
+  EXPECT_EQ(decision->levels_peeked, 2);
+}
+
+TEST(RequestScheduler, PicksIdealWhenUncongested) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  queue.AddInstance(0, 0, 100, 10);
+  queue.AddInstance(1, 3, 10, 0);
+  RequestScheduler scheduler(runtimes.get(), &queue);
+  const auto decision = scheduler.Select(100);  // ideal = runtime 0 (128)
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->runtime, 0u);
+  EXPECT_FALSE(decision->demoted);
+}
+
+TEST(RequestScheduler, FallsBackToTopCandidateWhenAllCongested) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  // All candidate heads far over every decayed threshold.
+  queue.AddInstance(0, 1, 10, 10);
+  queue.AddInstance(1, 2, 10, 10);
+  queue.AddInstance(2, 3, 10, 10);
+  RequestScheduler scheduler(runtimes.get(), &queue);
+  const auto decision = scheduler.Select(200);  // candidates: 1, 2, 3
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->fell_back);
+  EXPECT_EQ(decision->runtime, 1u);  // top candidate (lines 18-19)
+  EXPECT_EQ(decision->instance, 0u);
+}
+
+TEST(RequestScheduler, SkipsLevelsWithoutInstances) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  queue.AddInstance(0, 3, 100, 0);  // only the largest runtime is deployed
+  RequestScheduler scheduler(runtimes.get(), &queue);
+  const auto decision = scheduler.Select(10);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->runtime, 3u);
+  EXPECT_TRUE(decision->demoted);
+}
+
+TEST(RequestScheduler, ReturnsNulloptWhenNothingDeployed) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  RequestScheduler scheduler(runtimes.get(), &queue);
+  EXPECT_FALSE(scheduler.Select(10).has_value());
+}
+
+TEST(RequestScheduler, MaxPeekLimitsDemotionDepth) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  queue.AddInstance(0, 0, 10, 10);   // congested ideal
+  queue.AddInstance(1, 1, 10, 10);   // congested
+  queue.AddInstance(2, 2, 10, 0);    // idle — but beyond L=2
+  RequestSchedulerParams params;
+  params.max_peek = 2;
+  RequestScheduler scheduler(runtimes.get(), &queue, params);
+  const auto decision = scheduler.Select(10);
+  ASSERT_TRUE(decision.has_value());
+  // Could not peek level 2, so it falls back to the top candidate.
+  EXPECT_TRUE(decision->fell_back);
+  EXPECT_EQ(decision->runtime, 0u);
+}
+
+TEST(RequestScheduler, ThresholdDecayMakesDemotionConservative) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  // Ideal at 0.86 (just over λ=0.85); next at 0.80 — passes λ*α=0.765?
+  // 0.80 > 0.765, so it too is rejected; third at 0.70 passes 0.6885? No:
+  // 0.70 > 0.6885 → rejected; falls back to ideal.
+  queue.AddInstance(0, 0, 100, 86);
+  queue.AddInstance(1, 1, 100, 80);
+  queue.AddInstance(2, 2, 100, 70);
+  RequestScheduler scheduler(runtimes.get(), &queue);
+  const auto decision = scheduler.Select(10);
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_TRUE(decision->fell_back);
+  EXPECT_EQ(decision->runtime, 0u);
+}
+
+TEST(RequestScheduler, RequestTooLongThrows) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  RequestScheduler scheduler(runtimes.get(), &queue);
+  EXPECT_THROW(scheduler.Select(513), std::logic_error);
+}
+
+TEST(RequestScheduler, ValidatesParams) {
+  auto runtimes = MakeFourRuntimes();
+  MultiLevelQueue queue(4);
+  RequestSchedulerParams bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(RequestScheduler(runtimes.get(), &queue, bad),
+               std::logic_error);
+  bad = {};
+  bad.max_peek = 0;
+  EXPECT_THROW(RequestScheduler(runtimes.get(), &queue, bad),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo::core

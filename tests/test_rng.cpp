@@ -1,0 +1,164 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace arlo {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  std::uint64_t s1 = 1, s2 = 2;
+  EXPECT_NE(SplitMix64(s1), SplitMix64(s2));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, SeedsProduceDistinctStreams) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.005);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Rng rng(10);
+  std::vector<double> xs;
+  constexpr int kN = 100001;
+  xs.reserve(kN);
+  for (int i = 0; i < kN; ++i) xs.push_back(rng.LogNormal(3.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + kN / 2, xs.end());
+  EXPECT_NEAR(xs[kN / 2], std::exp(3.0), 0.2);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Poisson(3.5);
+  EXPECT_NEAR(sum / kN, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(12);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const int x = rng.Poisson(500.0);
+    sum += x;
+    sq += static_cast<double>(x) * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 500.0, 1.0);
+  EXPECT_NEAR(var, 500.0, 25.0);  // Poisson: variance == mean
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(13);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(15);
+  Rng child = parent.Split();
+  // Child and parent produce uncorrelated sequences (no equal prefix).
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(16);
+  EXPECT_THROW(rng.Exponential(0.0), std::logic_error);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(17);
+  EXPECT_THROW(rng.UniformInt(3, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo

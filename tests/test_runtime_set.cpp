@@ -1,0 +1,139 @@
+#include "runtime/runtime_set.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/profiler.h"
+
+namespace arlo::runtime {
+namespace {
+
+TEST(DetectStaircaseStep, FindsThe64TokenStep) {
+  EXPECT_EQ(DetectStaircaseStep(ModelSpec::BertBase()), 64);
+  EXPECT_EQ(DetectStaircaseStep(ModelSpec::BertLarge()), 64);
+}
+
+TEST(MakeArloRuntimeSet, EightRuntimesAtStepMultiples) {
+  SimulatedCompiler compiler;
+  const RuntimeSet set = MakeArloRuntimeSet(compiler, ModelSpec::BertBase());
+  // §3.3: "the original model with a max_length of 512 would have eight
+  // runtimes (512/64=8)".
+  ASSERT_EQ(set.Size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(set.Runtime(static_cast<RuntimeId>(i)).MaxLength(),
+              64 * static_cast<int>(i + 1));
+    EXPECT_EQ(set.Runtime(static_cast<RuntimeId>(i)).Kind(),
+              CompilationKind::kStatic);
+  }
+  EXPECT_EQ(compiler.ArtifactCount(), 8);
+}
+
+TEST(RuntimeSet, IdealRuntimeMinimizesPadding) {
+  SimulatedCompiler compiler;
+  const RuntimeSet set = MakeArloRuntimeSet(compiler, ModelSpec::BertBase());
+  EXPECT_EQ(set.IdealRuntimeFor(1), 0u);
+  EXPECT_EQ(set.IdealRuntimeFor(64), 0u);
+  EXPECT_EQ(set.IdealRuntimeFor(65), 1u);
+  EXPECT_EQ(set.IdealRuntimeFor(200), 3u);  // 256 runtime
+  EXPECT_EQ(set.IdealRuntimeFor(512), 7u);
+  EXPECT_EQ(set.IdealRuntimeFor(513), kInvalidRuntime);
+}
+
+TEST(RuntimeSet, CandidatesAscendFromIdeal) {
+  SimulatedCompiler compiler;
+  const RuntimeSet set = MakeArloRuntimeSet(compiler, ModelSpec::BertBase());
+  const auto candidates = set.CandidatesFor(200);
+  ASSERT_EQ(candidates.size(), 5u);  // runtimes 256..512
+  EXPECT_EQ(candidates.front(), 3u);
+  EXPECT_EQ(candidates.back(), 7u);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_EQ(candidates[i], candidates[i - 1] + 1);
+  }
+}
+
+TEST(RuntimeSet, BinUpperBounds) {
+  SimulatedCompiler compiler;
+  const RuntimeSet set = MakeArloRuntimeSet(compiler, ModelSpec::BertBase());
+  const auto bounds = set.BinUpperBounds();
+  ASSERT_EQ(bounds.size(), 8u);
+  EXPECT_EQ(bounds.front(), 64);
+  EXPECT_EQ(bounds.back(), 512);
+  EXPECT_EQ(set.LargestMaxLength(), 512);
+}
+
+TEST(MakeUniformRuntimeSet, HonorsRequestedCount) {
+  SimulatedCompiler compiler;
+  for (int n : {2, 4, 8, 16}) {
+    const RuntimeSet set =
+        MakeUniformRuntimeSet(compiler, ModelSpec::BertLarge(), n);
+    ASSERT_EQ(set.Size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(set.Runtime(0).MaxLength(), 512 / n);
+    EXPECT_EQ(set.LargestMaxLength(), 512);
+  }
+}
+
+TEST(MakeUniformRuntimeSet, RejectsNonDividingCount) {
+  SimulatedCompiler compiler;
+  EXPECT_THROW(MakeUniformRuntimeSet(compiler, ModelSpec::BertBase(), 3),
+               std::logic_error);
+}
+
+TEST(MakeSingleSets, StAndDtShapes) {
+  SimulatedCompiler compiler;
+  const RuntimeSet st = MakeSingleStaticSet(compiler, ModelSpec::BertBase());
+  ASSERT_EQ(st.Size(), 1u);
+  EXPECT_EQ(st.Runtime(0).Kind(), CompilationKind::kStatic);
+  EXPECT_EQ(st.Runtime(0).MaxLength(), 512);
+
+  const RuntimeSet dt = MakeSingleDynamicSet(compiler, ModelSpec::BertBase());
+  ASSERT_EQ(dt.Size(), 1u);
+  EXPECT_EQ(dt.Runtime(0).Kind(), CompilationKind::kDynamic);
+}
+
+TEST(RuntimeSet, RejectsNonAscendingRuntimes) {
+  SimulatedCompiler compiler;
+  const ModelSpec m = ModelSpec::BertBase();
+  std::vector<std::shared_ptr<const CompiledRuntime>> runtimes;
+  runtimes.push_back(compiler.Compile(m, CompilationKind::kStatic, 128));
+  runtimes.push_back(compiler.Compile(m, CompilationKind::kStatic, 64));
+  EXPECT_THROW(RuntimeSet(m, std::move(runtimes)), std::logic_error);
+}
+
+TEST(ProfileRuntime, CapacityIsFloorOfSloOverCompute) {
+  SimulatedCompiler compiler;
+  const auto rt =
+      compiler.Compile(ModelSpec::BertBase(), CompilationKind::kStatic, 512);
+  const SimDuration slo = Millis(150.0);
+  const RuntimeProfile p = ProfileRuntime(*rt, slo, 7);
+  EXPECT_EQ(p.id, 7u);
+  EXPECT_EQ(p.max_length, 512);
+  EXPECT_EQ(p.compute_time, rt->ComputeTime(512));
+  EXPECT_EQ(p.capacity_within_slo,
+            static_cast<int>(slo / rt->ComputeTime(512)));
+  EXPECT_GE(p.capacity_within_slo, 1);
+}
+
+TEST(ProfileRuntime, SmallerRuntimesHaveHigherCapacity) {
+  SimulatedCompiler compiler;
+  const RuntimeSet set = MakeArloRuntimeSet(compiler, ModelSpec::BertBase());
+  std::vector<std::shared_ptr<const CompiledRuntime>> ptrs;
+  for (std::size_t i = 0; i < set.Size(); ++i) {
+    ptrs.push_back(set.RuntimePtr(static_cast<RuntimeId>(i)));
+  }
+  const auto profiles = ProfileRuntimeSet(ptrs, Millis(150.0));
+  ASSERT_EQ(profiles.size(), 8u);
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GT(profiles[i - 1].capacity_within_slo,
+              profiles[i].capacity_within_slo);
+    EXPECT_LT(profiles[i - 1].compute_time, profiles[i].compute_time);
+  }
+}
+
+TEST(RuntimeProfile, MeanLatencyIsLinearInWorkload) {
+  RuntimeProfile p;
+  p.compute_time = Millis(2.0);
+  EXPECT_DOUBLE_EQ(p.MeanLatencyNs(1.0), static_cast<double>(Millis(2.0)));
+  EXPECT_DOUBLE_EQ(p.MeanLatencyNs(3.0), static_cast<double>(Millis(4.0)));
+}
+
+}  // namespace
+}  // namespace arlo::runtime

@@ -1,0 +1,150 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace arlo {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownValues) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesSequential) {
+  StreamingStats whole, left, right;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(5.0, 2.0);
+    whole.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), whole.Count());
+  EXPECT_NEAR(left.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.Min(), whole.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), whole.Max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 3.0);
+}
+
+TEST(PercentileTracker, ExactQuantilesSmallSet) {
+  PercentileTracker t;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) t.Add(x);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.125), 15.0);  // interpolated
+}
+
+TEST(PercentileTracker, MeanAndCount) {
+  PercentileTracker t;
+  t.Add(1.0);
+  t.Add(2.0);
+  t.Add(6.0);
+  EXPECT_EQ(t.Count(), 3u);
+  EXPECT_DOUBLE_EQ(t.Mean(), 3.0);
+}
+
+TEST(PercentileTracker, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_DOUBLE_EQ(t.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+}
+
+TEST(PercentileTracker, InterleavedAddAndQuery) {
+  PercentileTracker t;
+  t.Add(5.0);
+  EXPECT_DOUBLE_EQ(t.Median(), 5.0);
+  t.Add(1.0);
+  t.Add(9.0);
+  EXPECT_DOUBLE_EQ(t.Median(), 5.0);  // re-sorts after insert
+}
+
+TEST(PercentileTracker, CdfAt) {
+  PercentileTracker t;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) t.Add(x);
+  const auto cdf = t.CdfAt({0.5, 1.0, 2.5, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(PercentileTracker, ClearResets) {
+  PercentileTracker t;
+  t.Add(1.0);
+  t.Clear();
+  EXPECT_EQ(t.Count(), 0u);
+  EXPECT_DOUBLE_EQ(t.Quantile(0.5), 0.0);
+}
+
+TEST(TimeWindowedQuantile, EvictsOldObservations) {
+  TimeWindowedQuantile w(Seconds(10.0));
+  w.Add(Seconds(0.0), 100.0);
+  w.Add(Seconds(5.0), 200.0);
+  w.Add(Seconds(12.0), 300.0);
+  // At t=14, the t=0 sample (age 14s) is out; t=5 (age 9s) and t=12 remain.
+  EXPECT_EQ(w.Count(Seconds(14.0)), 2u);
+  EXPECT_DOUBLE_EQ(w.Quantile(Seconds(14.0), 1.0), 300.0);
+  EXPECT_DOUBLE_EQ(w.Quantile(Seconds(14.0), 0.0), 200.0);
+}
+
+TEST(TimeWindowedQuantile, EmptyWindowZero) {
+  TimeWindowedQuantile w(Seconds(1.0));
+  EXPECT_DOUBLE_EQ(w.Quantile(Seconds(100.0), 0.98), 0.0);
+}
+
+TEST(Summarize, ComputesLatencyStatsAndViolations) {
+  std::vector<RequestRecord> records(4);
+  for (int i = 0; i < 4; ++i) {
+    records[i].arrival = 0;
+    records[i].completion = Millis(10.0 * (i + 1));  // 10, 20, 30, 40 ms
+  }
+  const LatencySummary s = Summarize(records, Millis(25.0));
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 25.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 40.0);
+  EXPECT_DOUBLE_EQ(s.slo_violation_frac, 0.5);  // 30 and 40 exceed 25
+}
+
+TEST(Summarize, EmptyRecords) {
+  const LatencySummary s = Summarize({}, Millis(1.0));
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 0.0);
+}
+
+TEST(FormatDuration, HumanReadableUnits) {
+  EXPECT_EQ(FormatDuration(Nanos(500)), "500ns");
+  EXPECT_EQ(FormatDuration(Micros(12.0)), "12.00us");
+  EXPECT_EQ(FormatDuration(Millis(4.86)), "4.86ms");
+  EXPECT_EQ(FormatDuration(Seconds(2.5)), "2.50s");
+}
+
+}  // namespace
+}  // namespace arlo

@@ -1,0 +1,89 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace arlo::trace {
+namespace {
+
+std::vector<Request> MakeRequests() {
+  return {
+      {0, Seconds(2.0), 30},
+      {0, Seconds(1.0), 10},
+      {0, Seconds(3.0), 50},
+  };
+}
+
+TEST(Trace, SortsByArrivalAndAssignsIds) {
+  Trace t(MakeRequests());
+  ASSERT_EQ(t.Size(), 3u);
+  EXPECT_EQ(t.Requests()[0].length, 10);
+  EXPECT_EQ(t.Requests()[1].length, 30);
+  EXPECT_EQ(t.Requests()[2].length, 50);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(t.Requests()[i].id, i);
+  }
+}
+
+TEST(Trace, DurationAndMeanRate) {
+  Trace t(MakeRequests());
+  EXPECT_EQ(t.Duration(), Seconds(3.0));
+  EXPECT_NEAR(t.MeanRate(), 1.0, 1e-9);
+}
+
+TEST(Trace, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(t.Empty());
+  EXPECT_EQ(t.Duration(), 0);
+  EXPECT_DOUBLE_EQ(t.MeanRate(), 0.0);
+}
+
+TEST(Trace, RejectsNonPositiveLengths) {
+  EXPECT_THROW(Trace({{0, 0, 0}}), std::logic_error);
+}
+
+TEST(Trace, LengthHistogram) {
+  Trace t(MakeRequests());
+  Histogram h = t.LengthHistogram(100);
+  EXPECT_EQ(h.Total(), 3u);
+  EXPECT_EQ(h.CountAt(30), 1u);
+}
+
+TEST(Trace, SliceKeepsWindowAndOriginalTimes) {
+  Trace t(MakeRequests());
+  Trace s = t.Slice(Seconds(1.5), Seconds(3.0));
+  ASSERT_EQ(s.Size(), 1u);
+  EXPECT_EQ(s.Requests()[0].arrival, Seconds(2.0));
+  EXPECT_EQ(s.Requests()[0].length, 30);
+}
+
+TEST(Trace, AppendShiftsSecondTrace) {
+  Trace a(MakeRequests());
+  Trace b({{0, Seconds(0.5), 99}});
+  a.Append(b, Seconds(1.0));
+  ASSERT_EQ(a.Size(), 4u);
+  EXPECT_EQ(a.Requests().back().arrival, Seconds(4.5));
+  EXPECT_EQ(a.Requests().back().length, 99);
+  EXPECT_EQ(a.Requests().back().id, 3u);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace t(MakeRequests());
+  std::stringstream ss;
+  t.SaveCsv(ss);
+  Trace loaded = Trace::LoadCsv(ss);
+  ASSERT_EQ(loaded.Size(), t.Size());
+  for (std::size_t i = 0; i < t.Size(); ++i) {
+    EXPECT_EQ(loaded.Requests()[i].arrival, t.Requests()[i].arrival);
+    EXPECT_EQ(loaded.Requests()[i].length, t.Requests()[i].length);
+  }
+}
+
+TEST(Trace, LoadCsvRejectsGarbage) {
+  std::stringstream ss("id,arrival_ns,length\nnot-a-number\n");
+  EXPECT_THROW(Trace::LoadCsv(ss), std::logic_error);
+}
+
+}  // namespace
+}  // namespace arlo::trace

@@ -1,0 +1,138 @@
+#include "trace/twitter.h"
+
+#include <gtest/gtest.h>
+
+namespace arlo::trace {
+namespace {
+
+TEST(RateTrack, ConstantTrackStats) {
+  const RateTrack t = MakeConstantTrack(100.0, 60.0);
+  EXPECT_EQ(t.per_second.size(), 60u);
+  EXPECT_DOUBLE_EQ(t.MeanRate(), 100.0);
+  EXPECT_DOUBLE_EQ(t.PeakRate(), 100.0);
+}
+
+TEST(RateTrack, ConstantTrackWithNoiseStaysNearMean) {
+  const RateTrack t = MakeConstantTrack(100.0, 600.0, 0.1, 3);
+  EXPECT_NEAR(t.MeanRate(), 100.0, 2.0);
+  EXPECT_LE(t.PeakRate(), 110.0 + 1e-9);
+}
+
+TEST(RateTrack, SinusoidOscillates) {
+  const RateTrack t = MakeSinusoidTrack(100.0, 120.0, 0.5, 60.0);
+  EXPECT_NEAR(t.MeanRate(), 100.0, 3.0);
+  EXPECT_GT(t.PeakRate(), 140.0);
+}
+
+TEST(RateTrack, SpikyTrackHasSpikes) {
+  const RateTrack t = MakeSpikyTrack(100.0, 300.0, 3.0, 20.0, 60.0, 7);
+  EXPECT_GT(t.PeakRate(), 250.0);
+  EXPECT_GT(t.MeanRate(), 100.0);  // spikes add load
+}
+
+TEST(SynthesizeTwitterTrace, SizeTracksRateAndDuration) {
+  TwitterTraceConfig config;
+  config.duration_s = 30.0;
+  config.mean_rate = 200.0;
+  config.seed = 1;
+  const Trace t = SynthesizeTwitterTrace(config);
+  EXPECT_NEAR(static_cast<double>(t.Size()), 6000.0, 400.0);
+  EXPECT_LE(t.Duration(), Seconds(30.0));
+}
+
+TEST(SynthesizeTwitterTrace, LengthsWithinConfiguredMax) {
+  TwitterTraceConfig config;
+  config.duration_s = 20.0;
+  config.mean_rate = 100.0;
+  config.max_length = 125;
+  config.seed = 2;
+  const Trace t = SynthesizeTwitterTrace(config);
+  for (const auto& r : t.Requests()) {
+    EXPECT_GE(r.length, 1);
+    EXPECT_LE(r.length, 125);
+  }
+}
+
+TEST(SynthesizeTwitterTrace, DeterministicInSeed) {
+  TwitterTraceConfig config;
+  config.duration_s = 10.0;
+  config.mean_rate = 50.0;
+  config.seed = 42;
+  const Trace a = SynthesizeTwitterTrace(config);
+  const Trace b = SynthesizeTwitterTrace(config);
+  ASSERT_EQ(a.Size(), b.Size());
+  for (std::size_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(a.Requests()[i].arrival, b.Requests()[i].arrival);
+    EXPECT_EQ(a.Requests()[i].length, b.Requests()[i].length);
+  }
+  config.seed = 43;
+  const Trace c = SynthesizeTwitterTrace(config);
+  EXPECT_NE(a.Size(), c.Size());
+}
+
+TEST(SynthesizeTwitterTrace, BurstyHasHigherDispersionThanStable) {
+  TwitterTraceConfig config;
+  config.duration_s = 300.0;
+  config.mean_rate = 100.0;
+  config.seed = 3;
+  auto dispersion = [](const Trace& t, double duration_s) {
+    std::vector<int> counts(static_cast<std::size_t>(duration_s), 0);
+    for (const auto& r : t.Requests()) {
+      const auto bucket = static_cast<std::size_t>(ToSeconds(r.arrival));
+      if (bucket < counts.size()) ++counts[bucket];
+    }
+    double sum = 0.0, sq = 0.0;
+    for (int c : counts) {
+      sum += c;
+      sq += static_cast<double>(c) * c;
+    }
+    const double mean = sum / static_cast<double>(counts.size());
+    const double var = sq / static_cast<double>(counts.size()) - mean * mean;
+    return var / mean;
+  };
+  config.pattern = TwitterTraceConfig::Pattern::kStable;
+  const double d_stable = dispersion(SynthesizeTwitterTrace(config), 300.0);
+  config.pattern = TwitterTraceConfig::Pattern::kBursty;
+  const double d_bursty = dispersion(SynthesizeTwitterTrace(config), 300.0);
+  EXPECT_GT(d_bursty, d_stable * 1.5);
+}
+
+// Fig. 1 reproduction: the long-term (full-trace) p98 exceeds the typical
+// short-window p98 because the short/long mix drifts over time.
+TEST(SynthesizeTwitterTrace, ShortWindowsDeviateFromLongTerm) {
+  TwitterTraceConfig config;
+  config.duration_s = 600.0;
+  config.mean_rate = 300.0;
+  config.max_length = 125;
+  config.seed = 4;
+  config.drift_amplitude = 0.5;
+  const Trace t = SynthesizeTwitterTrace(config);
+
+  const Histogram global = t.LengthHistogram(125);
+  const int global_p98 = global.Quantile(0.98);
+
+  // p98 across 10-second windows varies notably around the global value.
+  double min_p98 = 1e9, max_p98 = 0.0;
+  for (double start = 0.0; start + 10.0 <= 600.0; start += 50.0) {
+    const Trace window = t.Slice(Seconds(start), Seconds(start + 10.0));
+    if (window.Size() < 100) continue;
+    const double p98 = window.LengthHistogram(125).Quantile(0.98);
+    min_p98 = std::min(min_p98, p98);
+    max_p98 = std::max(max_p98, p98);
+  }
+  EXPECT_LT(min_p98, global_p98 - 4);  // some windows are much lighter
+  EXPECT_GT(max_p98 - min_p98, 6.0);   // real spread across windows
+}
+
+TEST(SynthesizeTwitterTrace, ExternalRateTrackOverridesMeanRate) {
+  TwitterTraceConfig config;
+  config.duration_s = 20.0;
+  config.mean_rate = 9999.0;  // must be ignored
+  config.rate_track = MakeConstantTrack(10.0, 20.0);
+  config.seed = 5;
+  const Trace t = SynthesizeTwitterTrace(config);
+  EXPECT_NEAR(static_cast<double>(t.Size()), 200.0, 60.0);
+}
+
+}  // namespace
+}  // namespace arlo::trace
