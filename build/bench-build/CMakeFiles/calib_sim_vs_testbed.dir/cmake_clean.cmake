@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/calib_sim_vs_testbed"
+  "../bench/calib_sim_vs_testbed.pdb"
+  "CMakeFiles/calib_sim_vs_testbed.dir/calib_sim_vs_testbed.cpp.o"
+  "CMakeFiles/calib_sim_vs_testbed.dir/calib_sim_vs_testbed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_sim_vs_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for calib_sim_vs_testbed.
+# This may be replaced when dependencies are built.

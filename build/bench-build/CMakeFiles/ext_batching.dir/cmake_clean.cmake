@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_batching"
+  "../bench/ext_batching.pdb"
+  "CMakeFiles/ext_batching.dir/ext_batching.cpp.o"
+  "CMakeFiles/ext_batching.dir/ext_batching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

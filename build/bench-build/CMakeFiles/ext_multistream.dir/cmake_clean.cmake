@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multistream"
+  "../bench/ext_multistream.pdb"
+  "CMakeFiles/ext_multistream.dir/ext_multistream.cpp.o"
+  "CMakeFiles/ext_multistream.dir/ext_multistream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_latency_model"
+  "../bench/fig02_latency_model.pdb"
+  "CMakeFiles/fig02_latency_model.dir/fig02_latency_model.cpp.o"
+  "CMakeFiles/fig02_latency_model.dir/fig02_latency_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_latency_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_motivation"
+  "../bench/fig04_motivation.pdb"
+  "CMakeFiles/fig04_motivation.dir/fig04_motivation.cpp.o"
+  "CMakeFiles/fig04_motivation.dir/fig04_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_autoscale"
+  "../bench/fig08_autoscale.pdb"
+  "CMakeFiles/fig08_autoscale.dir/fig08_autoscale.cpp.o"
+  "CMakeFiles/fig08_autoscale.dir/fig08_autoscale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_dispatch_overhead"
+  "../bench/fig09_dispatch_overhead.pdb"
+  "CMakeFiles/fig09_dispatch_overhead.dir/fig09_dispatch_overhead.cpp.o"
+  "CMakeFiles/fig09_dispatch_overhead.dir/fig09_dispatch_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dispatch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

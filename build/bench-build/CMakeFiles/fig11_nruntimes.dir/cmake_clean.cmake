@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_nruntimes"
+  "../bench/fig11_nruntimes.pdb"
+  "CMakeFiles/fig11_nruntimes.dir/fig11_nruntimes.cpp.o"
+  "CMakeFiles/fig11_nruntimes.dir/fig11_nruntimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_nruntimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_alloc_timeline.cpp" "bench-build/CMakeFiles/fig12_alloc_timeline.dir/fig12_alloc_timeline.cpp.o" "gcc" "bench-build/CMakeFiles/fig12_alloc_timeline.dir/fig12_alloc_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/arlo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/arlo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/arlo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/arlo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/arlo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arlo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/arlo_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/multistream/CMakeFiles/arlo_multistream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

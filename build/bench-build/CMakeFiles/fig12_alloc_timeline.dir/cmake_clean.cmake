@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_alloc_timeline"
+  "../bench/fig12_alloc_timeline.pdb"
+  "CMakeFiles/fig12_alloc_timeline.dir/fig12_alloc_timeline.cpp.o"
+  "CMakeFiles/fig12_alloc_timeline.dir/fig12_alloc_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_alloc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_alloc_policies"
+  "../bench/table3_alloc_policies.pdb"
+  "CMakeFiles/table3_alloc_policies.dir/table3_alloc_policies.cpp.o"
+  "CMakeFiles/table3_alloc_policies.dir/table3_alloc_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_alloc_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_dispatchers"
+  "../bench/table4_dispatchers.pdb"
+  "CMakeFiles/table4_dispatchers.dir/table4_dispatchers.cpp.o"
+  "CMakeFiles/table4_dispatchers.dir/table4_dispatchers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_dispatchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_serving.dir/live_serving.cpp.o"
+  "CMakeFiles/live_serving.dir/live_serving.cpp.o.d"
+  "live_serving"
+  "live_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moderation_pipeline.dir/moderation_pipeline.cpp.o"
+  "CMakeFiles/moderation_pipeline.dir/moderation_pipeline.cpp.o.d"
+  "moderation_pipeline"
+  "moderation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moderation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

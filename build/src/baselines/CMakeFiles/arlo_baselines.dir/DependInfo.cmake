@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/infaas_scheme.cpp" "src/baselines/CMakeFiles/arlo_baselines.dir/infaas_scheme.cpp.o" "gcc" "src/baselines/CMakeFiles/arlo_baselines.dir/infaas_scheme.cpp.o.d"
+  "/root/repo/src/baselines/scenario.cpp" "src/baselines/CMakeFiles/arlo_baselines.dir/scenario.cpp.o" "gcc" "src/baselines/CMakeFiles/arlo_baselines.dir/scenario.cpp.o.d"
+  "/root/repo/src/baselines/scheme_base.cpp" "src/baselines/CMakeFiles/arlo_baselines.dir/scheme_base.cpp.o" "gcc" "src/baselines/CMakeFiles/arlo_baselines.dir/scheme_base.cpp.o.d"
+  "/root/repo/src/baselines/uniform_scheme.cpp" "src/baselines/CMakeFiles/arlo_baselines.dir/uniform_scheme.cpp.o" "gcc" "src/baselines/CMakeFiles/arlo_baselines.dir/uniform_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/arlo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arlo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/arlo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/arlo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/arlo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

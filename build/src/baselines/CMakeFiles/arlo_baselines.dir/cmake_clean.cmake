@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_baselines.dir/infaas_scheme.cpp.o"
+  "CMakeFiles/arlo_baselines.dir/infaas_scheme.cpp.o.d"
+  "CMakeFiles/arlo_baselines.dir/scenario.cpp.o"
+  "CMakeFiles/arlo_baselines.dir/scenario.cpp.o.d"
+  "CMakeFiles/arlo_baselines.dir/scheme_base.cpp.o"
+  "CMakeFiles/arlo_baselines.dir/scheme_base.cpp.o.d"
+  "CMakeFiles/arlo_baselines.dir/uniform_scheme.cpp.o"
+  "CMakeFiles/arlo_baselines.dir/uniform_scheme.cpp.o.d"
+  "libarlo_baselines.a"
+  "libarlo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

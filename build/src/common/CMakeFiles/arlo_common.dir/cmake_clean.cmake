@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_common.dir/cli.cpp.o"
+  "CMakeFiles/arlo_common.dir/cli.cpp.o.d"
+  "CMakeFiles/arlo_common.dir/format.cpp.o"
+  "CMakeFiles/arlo_common.dir/format.cpp.o.d"
+  "CMakeFiles/arlo_common.dir/histogram.cpp.o"
+  "CMakeFiles/arlo_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/arlo_common.dir/rng.cpp.o"
+  "CMakeFiles/arlo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/arlo_common.dir/stats.cpp.o"
+  "CMakeFiles/arlo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/arlo_common.dir/table.cpp.o"
+  "CMakeFiles/arlo_common.dir/table.cpp.o.d"
+  "CMakeFiles/arlo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/arlo_common.dir/thread_pool.cpp.o.d"
+  "libarlo_common.a"
+  "libarlo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arlo_scheme.cpp" "src/core/CMakeFiles/arlo_core.dir/arlo_scheme.cpp.o" "gcc" "src/core/CMakeFiles/arlo_core.dir/arlo_scheme.cpp.o.d"
+  "/root/repo/src/core/autoscaler.cpp" "src/core/CMakeFiles/arlo_core.dir/autoscaler.cpp.o" "gcc" "src/core/CMakeFiles/arlo_core.dir/autoscaler.cpp.o.d"
+  "/root/repo/src/core/distribution_tracker.cpp" "src/core/CMakeFiles/arlo_core.dir/distribution_tracker.cpp.o" "gcc" "src/core/CMakeFiles/arlo_core.dir/distribution_tracker.cpp.o.d"
+  "/root/repo/src/core/multi_level_queue.cpp" "src/core/CMakeFiles/arlo_core.dir/multi_level_queue.cpp.o" "gcc" "src/core/CMakeFiles/arlo_core.dir/multi_level_queue.cpp.o.d"
+  "/root/repo/src/core/replacement.cpp" "src/core/CMakeFiles/arlo_core.dir/replacement.cpp.o" "gcc" "src/core/CMakeFiles/arlo_core.dir/replacement.cpp.o.d"
+  "/root/repo/src/core/request_scheduler.cpp" "src/core/CMakeFiles/arlo_core.dir/request_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/arlo_core.dir/request_scheduler.cpp.o.d"
+  "/root/repo/src/core/runtime_scheduler.cpp" "src/core/CMakeFiles/arlo_core.dir/runtime_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/arlo_core.dir/runtime_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/arlo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/arlo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arlo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/arlo_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_core.dir/arlo_scheme.cpp.o"
+  "CMakeFiles/arlo_core.dir/arlo_scheme.cpp.o.d"
+  "CMakeFiles/arlo_core.dir/autoscaler.cpp.o"
+  "CMakeFiles/arlo_core.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/arlo_core.dir/distribution_tracker.cpp.o"
+  "CMakeFiles/arlo_core.dir/distribution_tracker.cpp.o.d"
+  "CMakeFiles/arlo_core.dir/multi_level_queue.cpp.o"
+  "CMakeFiles/arlo_core.dir/multi_level_queue.cpp.o.d"
+  "CMakeFiles/arlo_core.dir/replacement.cpp.o"
+  "CMakeFiles/arlo_core.dir/replacement.cpp.o.d"
+  "CMakeFiles/arlo_core.dir/request_scheduler.cpp.o"
+  "CMakeFiles/arlo_core.dir/request_scheduler.cpp.o.d"
+  "CMakeFiles/arlo_core.dir/runtime_scheduler.cpp.o"
+  "CMakeFiles/arlo_core.dir/runtime_scheduler.cpp.o.d"
+  "libarlo_core.a"
+  "libarlo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

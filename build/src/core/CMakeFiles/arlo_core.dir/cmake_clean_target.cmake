@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarlo_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_multistream.dir/composite_scheme.cpp.o"
+  "CMakeFiles/arlo_multistream.dir/composite_scheme.cpp.o.d"
+  "libarlo_multistream.a"
+  "libarlo_multistream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arlo_multistream.
+# This may be replaced when dependencies are built.

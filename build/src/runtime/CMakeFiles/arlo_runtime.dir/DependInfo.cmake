@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/compiled_runtime.cpp" "src/runtime/CMakeFiles/arlo_runtime.dir/compiled_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/arlo_runtime.dir/compiled_runtime.cpp.o.d"
+  "/root/repo/src/runtime/model.cpp" "src/runtime/CMakeFiles/arlo_runtime.dir/model.cpp.o" "gcc" "src/runtime/CMakeFiles/arlo_runtime.dir/model.cpp.o.d"
+  "/root/repo/src/runtime/profiler.cpp" "src/runtime/CMakeFiles/arlo_runtime.dir/profiler.cpp.o" "gcc" "src/runtime/CMakeFiles/arlo_runtime.dir/profiler.cpp.o.d"
+  "/root/repo/src/runtime/runtime_set.cpp" "src/runtime/CMakeFiles/arlo_runtime.dir/runtime_set.cpp.o" "gcc" "src/runtime/CMakeFiles/arlo_runtime.dir/runtime_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

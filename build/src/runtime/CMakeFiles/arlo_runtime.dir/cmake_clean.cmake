@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_runtime.dir/compiled_runtime.cpp.o"
+  "CMakeFiles/arlo_runtime.dir/compiled_runtime.cpp.o.d"
+  "CMakeFiles/arlo_runtime.dir/model.cpp.o"
+  "CMakeFiles/arlo_runtime.dir/model.cpp.o.d"
+  "CMakeFiles/arlo_runtime.dir/profiler.cpp.o"
+  "CMakeFiles/arlo_runtime.dir/profiler.cpp.o.d"
+  "CMakeFiles/arlo_runtime.dir/runtime_set.cpp.o"
+  "CMakeFiles/arlo_runtime.dir/runtime_set.cpp.o.d"
+  "libarlo_runtime.a"
+  "libarlo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/testbed.cpp" "src/serving/CMakeFiles/arlo_serving.dir/testbed.cpp.o" "gcc" "src/serving/CMakeFiles/arlo_serving.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/arlo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/arlo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/arlo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

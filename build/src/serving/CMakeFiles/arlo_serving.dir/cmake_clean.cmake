@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_serving.dir/testbed.cpp.o"
+  "CMakeFiles/arlo_serving.dir/testbed.cpp.o.d"
+  "libarlo_serving.a"
+  "libarlo_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

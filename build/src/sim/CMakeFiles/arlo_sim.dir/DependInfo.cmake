@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/arlo_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/arlo_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/arlo_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/arlo_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/arlo_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/arlo_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/scheme.cpp" "src/sim/CMakeFiles/arlo_sim.dir/scheme.cpp.o" "gcc" "src/sim/CMakeFiles/arlo_sim.dir/scheme.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/arlo_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/arlo_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/arlo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/arlo_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_sim.dir/engine.cpp.o"
+  "CMakeFiles/arlo_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/arlo_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/arlo_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/arlo_sim.dir/report.cpp.o"
+  "CMakeFiles/arlo_sim.dir/report.cpp.o.d"
+  "CMakeFiles/arlo_sim.dir/scheme.cpp.o"
+  "CMakeFiles/arlo_sim.dir/scheme.cpp.o.d"
+  "CMakeFiles/arlo_sim.dir/timeline.cpp.o"
+  "CMakeFiles/arlo_sim.dir/timeline.cpp.o.d"
+  "libarlo_sim.a"
+  "libarlo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_solver.dir/allocation.cpp.o"
+  "CMakeFiles/arlo_solver.dir/allocation.cpp.o.d"
+  "CMakeFiles/arlo_solver.dir/ilp.cpp.o"
+  "CMakeFiles/arlo_solver.dir/ilp.cpp.o.d"
+  "CMakeFiles/arlo_solver.dir/lp.cpp.o"
+  "CMakeFiles/arlo_solver.dir/lp.cpp.o.d"
+  "libarlo_solver.a"
+  "libarlo_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

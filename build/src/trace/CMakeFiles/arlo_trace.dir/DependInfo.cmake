@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/arlo_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/arlo_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/arrival.cpp" "src/trace/CMakeFiles/arlo_trace.dir/arrival.cpp.o" "gcc" "src/trace/CMakeFiles/arlo_trace.dir/arrival.cpp.o.d"
+  "/root/repo/src/trace/length_distribution.cpp" "src/trace/CMakeFiles/arlo_trace.dir/length_distribution.cpp.o" "gcc" "src/trace/CMakeFiles/arlo_trace.dir/length_distribution.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/arlo_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/arlo_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/trace/twitter.cpp" "src/trace/CMakeFiles/arlo_trace.dir/twitter.cpp.o" "gcc" "src/trace/CMakeFiles/arlo_trace.dir/twitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arlo_trace.dir/analysis.cpp.o"
+  "CMakeFiles/arlo_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/arlo_trace.dir/arrival.cpp.o"
+  "CMakeFiles/arlo_trace.dir/arrival.cpp.o.d"
+  "CMakeFiles/arlo_trace.dir/length_distribution.cpp.o"
+  "CMakeFiles/arlo_trace.dir/length_distribution.cpp.o.d"
+  "CMakeFiles/arlo_trace.dir/trace.cpp.o"
+  "CMakeFiles/arlo_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/arlo_trace.dir/twitter.cpp.o"
+  "CMakeFiles/arlo_trace.dir/twitter.cpp.o.d"
+  "libarlo_trace.a"
+  "libarlo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arlo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

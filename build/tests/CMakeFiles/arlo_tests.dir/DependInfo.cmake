@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/arlo_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/arlo_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_arlo_scheme.cpp" "tests/CMakeFiles/arlo_tests.dir/test_arlo_scheme.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_arlo_scheme.cpp.o.d"
+  "/root/repo/tests/test_arrival.cpp" "tests/CMakeFiles/arlo_tests.dir/test_arrival.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_arrival.cpp.o.d"
+  "/root/repo/tests/test_autoscaler.cpp" "tests/CMakeFiles/arlo_tests.dir/test_autoscaler.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_autoscaler.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/arlo_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_batching.cpp" "tests/CMakeFiles/arlo_tests.dir/test_batching.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_batching.cpp.o.d"
+  "/root/repo/tests/test_common_util.cpp" "tests/CMakeFiles/arlo_tests.dir/test_common_util.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_common_util.cpp.o.d"
+  "/root/repo/tests/test_compiled_runtime.cpp" "tests/CMakeFiles/arlo_tests.dir/test_compiled_runtime.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_compiled_runtime.cpp.o.d"
+  "/root/repo/tests/test_distribution_tracker.cpp" "tests/CMakeFiles/arlo_tests.dir/test_distribution_tracker.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_distribution_tracker.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/arlo_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/arlo_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/arlo_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/arlo_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_ilp.cpp" "tests/CMakeFiles/arlo_tests.dir/test_ilp.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_ilp.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/arlo_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_length_distribution.cpp" "tests/CMakeFiles/arlo_tests.dir/test_length_distribution.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_length_distribution.cpp.o.d"
+  "/root/repo/tests/test_lp.cpp" "tests/CMakeFiles/arlo_tests.dir/test_lp.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_lp.cpp.o.d"
+  "/root/repo/tests/test_mlq_fuzz.cpp" "tests/CMakeFiles/arlo_tests.dir/test_mlq_fuzz.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_mlq_fuzz.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/arlo_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_multi_level_queue.cpp" "tests/CMakeFiles/arlo_tests.dir/test_multi_level_queue.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_multi_level_queue.cpp.o.d"
+  "/root/repo/tests/test_multistream.cpp" "tests/CMakeFiles/arlo_tests.dir/test_multistream.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_multistream.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/arlo_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_replacement.cpp" "tests/CMakeFiles/arlo_tests.dir/test_replacement.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_replacement.cpp.o.d"
+  "/root/repo/tests/test_request_scheduler.cpp" "tests/CMakeFiles/arlo_tests.dir/test_request_scheduler.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_request_scheduler.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/arlo_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runtime_set.cpp" "tests/CMakeFiles/arlo_tests.dir/test_runtime_set.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_runtime_set.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/arlo_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_testbed.cpp" "tests/CMakeFiles/arlo_tests.dir/test_testbed.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_testbed.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/arlo_tests.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/arlo_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_twitter.cpp" "tests/CMakeFiles/arlo_tests.dir/test_twitter.cpp.o" "gcc" "tests/CMakeFiles/arlo_tests.dir/test_twitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/arlo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/arlo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/arlo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/arlo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/arlo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/arlo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arlo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/arlo_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/multistream/CMakeFiles/arlo_multistream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
