@@ -8,6 +8,7 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "common/table.h"
 #include "sim/engine.h"
 #include "sim/report.h"
+#include "telemetry/exporters.h"
+#include "telemetry/sink.h"
 #include "trace/twitter.h"
 
 namespace arlo::bench {
@@ -24,6 +27,8 @@ struct BenchArgs {
   bool paper_scale = false;
   std::uint64_t seed = 42;
   double duration_override = 0.0;  ///< seconds; 0 = bench default
+  std::string metrics_out;         ///< .prom/.json/.csv metrics dump path
+  std::string trace_out;           ///< Chrome trace_event JSON path
 
   static BenchArgs Parse(int argc, const char* const* argv) {
     const CliFlags flags(argc, argv);
@@ -31,12 +36,40 @@ struct BenchArgs {
     args.paper_scale = flags.GetString("scale", "small") == "paper";
     args.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
     args.duration_override = flags.GetDouble("duration", 0.0);
+    args.metrics_out = flags.GetString("metrics-out", "");
+    args.trace_out = flags.GetString("trace-out", "");
+    flags.RejectUnknown();
     return args;
   }
 
   double Duration(double small_default, double paper_default) const {
     if (duration_override > 0.0) return duration_override;
     return paper_scale ? paper_default : small_default;
+  }
+
+  /// Builds a sink iff --metrics-out or --trace-out was given; otherwise
+  /// returns nullptr (the zero-cost disabled path).
+  std::unique_ptr<telemetry::TelemetrySink> MakeTelemetry(
+      telemetry::Concurrency concurrency =
+          telemetry::Concurrency::kSingleThreaded) const {
+    if (metrics_out.empty() && trace_out.empty()) return nullptr;
+    telemetry::TelemetryConfig cfg;
+    cfg.run_id = seed;
+    cfg.concurrency = concurrency;
+    return std::make_unique<telemetry::TelemetrySink>(cfg);
+  }
+
+  /// Writes whichever outputs were requested; no-op with a null sink.
+  void WriteTelemetry(const telemetry::TelemetrySink* sink) const {
+    if (!sink) return;
+    if (!metrics_out.empty()) {
+      telemetry::WriteMetricsFile(*sink, metrics_out);
+      std::cout << "metrics written to " << metrics_out << "\n";
+    }
+    if (!trace_out.empty()) {
+      telemetry::WriteTraceFile(*sink, trace_out);
+      std::cout << "trace written to " << trace_out << "\n";
+    }
   }
 };
 

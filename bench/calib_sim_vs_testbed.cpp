@@ -24,6 +24,25 @@ double MedianServiceMs(const std::vector<RequestRecord>& records) {
   return t.Median();
 }
 
+// "out.prom" + "sim" -> "out.sim.prom"; this bench dumps two telemetry
+// sets (simulator and testbed) from one --metrics-out/--trace-out pair.
+std::string WithTag(const std::string& path, const std::string& tag) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos || dot == 0) return path + "." + tag;
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+void WriteTagged(const bench::BenchArgs& args,
+                 const telemetry::TelemetrySink& sink,
+                 const std::string& tag) {
+  if (!args.metrics_out.empty()) {
+    telemetry::WriteMetricsFile(sink, WithTag(args.metrics_out, tag));
+  }
+  if (!args.trace_out.empty()) {
+    telemetry::WriteTraceFile(sink, WithTag(args.trace_out, tag));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,9 +73,18 @@ int main(int argc, char** argv) {
     serving::TestbedConfig tb;
     tb.time_scale = 3.0;
     tb.spin_threshold = Micros(800.0);  // trim OS wakeup latency tails
+    // Telemetry (arlo row only, so one flag pair maps to one sim/tb run
+    // each): fresh sink per candidate run, keep the chosen run's sink.
+    const bool instrument = name == "arlo";
     serving::TestbedResult tb_result;
     LatencySummary tb_summary;
+    std::unique_ptr<telemetry::TelemetrySink> tb_sink;
     for (int run = 0; run < tb_runs; ++run) {
+      auto candidate_sink =
+          instrument
+              ? args.MakeTelemetry(telemetry::Concurrency::kMultiThreaded)
+              : nullptr;
+      tb.telemetry = candidate_sink.get();
       auto tb_scheme = baselines::MakeSchemeByName(name, config);
       serving::TestbedResult candidate =
           serving::RunTestbed(trace, *tb_scheme, tb);
@@ -65,8 +93,10 @@ int main(int argc, char** argv) {
       if (run == 0 || summary.mean_ms < tb_summary.mean_ms) {
         tb_result = std::move(candidate);
         tb_summary = summary;
+        tb_sink = std::move(candidate_sink);
       }
     }
+    if (tb_sink) WriteTagged(args, *tb_sink, "tb");
 
     // Uncalibrated simulator run to measure the service-time gap.
     sim::EngineConfig base_engine;
@@ -83,9 +113,12 @@ int main(int argc, char** argv) {
     sim::EngineConfig calibrated;
     calibrated.per_request_overhead =
         base_engine.per_request_overhead + Millis(extra_ms);
+    auto sim_sink = instrument ? args.MakeTelemetry() : nullptr;
+    calibrated.telemetry = sim_sink.get();
     auto sim_scheme = baselines::MakeSchemeByName(name, config);
     const sim::EngineResult sim_result =
         sim::RunScenario(trace, *sim_scheme, calibrated);
+    if (sim_sink) WriteTagged(args, *sim_sink, "sim");
     const LatencySummary sim_summary =
         Summarize(sim_result.records, config.slo);
 

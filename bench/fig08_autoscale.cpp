@@ -43,15 +43,23 @@ int main(int argc, char** argv) {
   // (the figure's actual y-axis) can be printed alongside the aggregates.
   std::vector<sim::SchemeReport> reports;
   std::vector<std::vector<sim::TimelineBucket>> timelines;
+  std::unique_ptr<telemetry::TelemetrySink> sink;
   for (const auto& name : baselines::AllSchemeNames()) {
     sim::TimelineRecorder recorder(Seconds(5.0));
     sim::EngineConfig engine;
     engine.timeline = &recorder;
+    // --metrics-out/--trace-out capture the arlo run (the figure's
+    // headline scheme): autoscale instants + per-level queue depths.
+    if (name == "arlo") {
+      sink = args.MakeTelemetry();
+      engine.telemetry = sink.get();
+    }
     auto scheme = baselines::MakeSchemeByName(name, config);
     const sim::EngineResult result = sim::RunScenario(trace, *scheme, engine);
     reports.push_back(sim::MakeReport(name, result, config.slo));
     timelines.push_back(recorder.Buckets());
   }
+  args.WriteTelemetry(sink.get());
 
   sim::PrintComparison(
       std::cout,

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const double rate = flags.GetDouble("rate", 3000.0);
   const SimDuration slo = Millis(flags.GetDouble("slo_ms", 150.0));
+  flags.RejectUnknown();
 
   // Offline stage: compile the polymorphed runtime set and profile it.
   runtime::SimulatedCompiler compiler;

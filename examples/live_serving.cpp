@@ -7,13 +7,17 @@
 // concurrency (lock ordering, replacement races) rather than modeled time.
 //
 // Run: ./build/examples/live_serving [--seconds=3] [--rate=150] [--speed=1.0]
+//      [--metrics-out=live.prom] [--trace-out=live.trace.json]
 #include <iostream>
+#include <memory>
 
 #include "baselines/scenario.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "serving/testbed.h"
 #include "sim/report.h"
+#include "telemetry/exporters.h"
+#include "telemetry/sink.h"
 #include "trace/twitter.h"
 
 using namespace arlo;
@@ -24,6 +28,9 @@ int main(int argc, char** argv) {
   const double rate = flags.GetDouble("rate", 150.0);
   // speed > 1 compresses wall time (2.0 = twice as fast as real time).
   const double speed = flags.GetDouble("speed", 1.0);
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  flags.RejectUnknown();
 
   trace::TwitterTraceConfig workload;
   workload.duration_s = seconds;
@@ -47,8 +54,22 @@ int main(int argc, char** argv) {
 
   serving::TestbedConfig testbed;
   testbed.time_scale = 1.0 / speed;
+
+  // Optional telemetry: the testbed dispatches from concurrent worker
+  // threads, so the sink is built with the multi-threaded (sharded) layout.
+  std::unique_ptr<telemetry::TelemetrySink> sink;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    telemetry::TelemetryConfig tcfg;
+    tcfg.run_id = workload.seed;
+    tcfg.concurrency = telemetry::Concurrency::kMultiThreaded;
+    sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
+    testbed.telemetry = sink.get();
+  }
+
   const serving::TestbedResult result =
       serving::RunTestbed(trace, *arlo, testbed);
+  if (!metrics_out.empty()) telemetry::WriteMetricsFile(*sink, metrics_out);
+  if (!trace_out.empty()) telemetry::WriteTraceFile(*sink, trace_out);
 
   const LatencySummary summary = Summarize(result.records, config.slo);
   std::cout << "served " << summary.count << " requests\n"

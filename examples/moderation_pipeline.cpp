@@ -23,6 +23,7 @@ using namespace arlo;
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const double minutes = flags.GetDouble("minutes", 2.0);
+  flags.RejectUnknown();
   const double duration = minutes * 60.0;
 
   // The post stream: bursty arrivals around a base rate with periodic viral

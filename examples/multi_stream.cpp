@@ -61,6 +61,7 @@ std::unique_ptr<sim::Scheme> StreamArlo(const runtime::ModelSpec& model,
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const double duration = flags.GetDouble("minutes", 1.5) * 60.0;
+  flags.RejectUnknown();
 
   const trace::Trace base_stream =
       PhaseShiftedTrace(450.0, duration, 0.0, 21);

@@ -10,12 +10,16 @@
 //   4. Print the latency summary and where requests actually ran.
 //
 // Build & run:  ./build/examples/quickstart [--rate=800] [--gpus=8]
+//               [--metrics-out=run.prom] [--trace-out=run.trace.json]
 #include <iostream>
+#include <memory>
 
 #include "baselines/scenario.h"
 #include "common/cli.h"
 #include "sim/engine.h"
 #include "sim/report.h"
+#include "telemetry/exporters.h"
+#include "telemetry/sink.h"
 #include "trace/twitter.h"
 
 using namespace arlo;
@@ -24,6 +28,9 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const double rate = flags.GetDouble("rate", 800.0);
   const int gpus = static_cast<int>(flags.GetInt("gpus", 8));
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  flags.RejectUnknown();
 
   // --- 2. Workload -------------------------------------------------------
   trace::TwitterTraceConfig workload;
@@ -49,7 +56,21 @@ int main(int argc, char** argv) {
       baselines::DemandFromTrace(trace, *runtimes, config.slo);
 
   auto arlo = baselines::MakeSchemeByName("arlo", config);
-  const sim::EngineResult result = sim::RunScenario(trace, *arlo);
+
+  // Optional telemetry: single-threaded sink (simulator), run id = trace
+  // seed so a re-run with the same seed produces byte-identical traces.
+  std::unique_ptr<telemetry::TelemetrySink> sink;
+  sim::EngineConfig engine;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    telemetry::TelemetryConfig tcfg;
+    tcfg.run_id = workload.seed;
+    sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
+    engine.telemetry = sink.get();
+  }
+
+  const sim::EngineResult result = sim::RunScenario(trace, *arlo, engine);
+  if (!metrics_out.empty()) telemetry::WriteMetricsFile(*sink, metrics_out);
+  if (!trace_out.empty()) telemetry::WriteTraceFile(*sink, trace_out);
 
   // --- 4. Results --------------------------------------------------------
   const auto report = sim::MakeReport("arlo", result, config.slo);

@@ -9,8 +9,10 @@
 // Flags: --scheme (comma list: arlo, arlo-ilb, arlo-ig, st, dt, infaas),
 // --model (bert-base|bert-large|roberta-large|distilbert), --gpus, --rate,
 // --seconds, --slo_ms, --period_s, --pattern (stable|bursty), --seed,
-// --autoscale, --max_batch, --mtbf_s (fault injection), --csv.
+// --autoscale, --max_batch, --mtbf_s (fault injection), --csv,
+// --metrics-out/--trace-out (telemetry dump; single-scheme runs only).
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "baselines/scenario.h"
@@ -18,6 +20,8 @@
 #include "common/table.h"
 #include "sim/engine.h"
 #include "sim/report.h"
+#include "telemetry/exporters.h"
+#include "telemetry/sink.h"
 #include "trace/twitter.h"
 
 using namespace arlo;
@@ -72,8 +76,29 @@ int main(int argc, char** argv) {
   engine.max_batch = static_cast<int>(flags.GetInt("max_batch", 1));
   engine.mean_time_between_failures_s = flags.GetDouble("mtbf_s", 0.0);
 
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::vector<std::string> schemes =
+      SplitCommas(flags.GetString("scheme", "arlo"));
+  const bool csv = flags.GetBool("csv", false);
+  flags.RejectUnknown();
+
+  // Telemetry attaches to one run; with a comma list the dump would merge
+  // several schemes into one registry, which is never what anyone wants.
+  std::unique_ptr<telemetry::TelemetrySink> sink;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    if (schemes.size() != 1) {
+      throw std::invalid_argument(
+          "--metrics-out/--trace-out require a single --scheme");
+    }
+    telemetry::TelemetryConfig tcfg;
+    tcfg.run_id = workload.seed;
+    sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
+    engine.telemetry = sink.get();
+  }
+
   std::vector<sim::SchemeReport> reports;
-  for (const auto& name : SplitCommas(flags.GetString("scheme", "arlo"))) {
+  for (const auto& name : schemes) {
     auto scheme = baselines::MakeSchemeByName(name, config);
     const sim::EngineResult result = sim::RunScenario(trace, *scheme, engine);
     reports.push_back(sim::MakeReport(name, result, config.slo));
@@ -97,10 +122,14 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(100.0 * r.latency.slo_violation_frac),
                   TablePrinter::Num(r.time_weighted_gpus)});
   }
-  if (flags.GetBool("csv", false)) {
+  if (csv) {
     table.PrintCsv(std::cout);
   } else {
     table.Print(std::cout);
+  }
+  if (sink) {
+    if (!metrics_out.empty()) telemetry::WriteMetricsFile(*sink, metrics_out);
+    if (!trace_out.empty()) telemetry::WriteTraceFile(*sink, trace_out);
   }
   return 0;
 }

@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
   }
 
   const std::string out_path = flags.GetString("out", "");
+  // Synthesis flags are only queried when --in is absent, so list them
+  // explicitly — they are valid either way.
+  flags.RejectUnknown({"seconds", "rate", "seed", "max_length", "pattern"});
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     trace.SaveCsv(out);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, run the full test suite, then re-run the
+# concurrency-sensitive tests (threaded testbed + sharded telemetry) under
+# ThreadSanitizer.
+#
+#   scripts/check.sh            # full gate
+#   scripts/check.sh --no-tsan  # skip the TSan stage (fast local loop)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== ThreadSanitizer (testbed + telemetry concurrency) =="
+  cmake -B build-tsan -S . -DARLO_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target arlo_tests
+  # halt_on_error so a reported race fails the gate rather than scrolling by.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/arlo_tests \
+    --gtest_filter='Testbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*'
+fi
+
+echo "== check.sh: all green =="

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "telemetry/sink.h"
 
 namespace arlo::baselines {
 
@@ -113,6 +114,9 @@ void SchemeBase::RunAutoscaler(SimTime now, sim::ClusterOps& cluster) {
     LaunchOne(cluster, static_cast<RuntimeId>(runtimes_->Size() - 1),
               config_.replace_delay);
     ++target_gpus_;
+    if (telemetry::TelemetrySink* sink = Telemetry()) {
+      sink->RecordAutoscale(now, /*scale_out=*/true, target_gpus_);
+    }
   } else if (action == core::ScaleAction::kIn) {
     const RuntimeId largest = static_cast<RuntimeId>(runtimes_->Size() - 1);
     InstanceId victim = kInvalidInstance;
@@ -128,6 +132,9 @@ void SchemeBase::RunAutoscaler(SimTime now, sim::ClusterOps& cluster) {
     if (victim != kInvalidInstance) {
       RetireOne(cluster, victim);
       --target_gpus_;
+      if (telemetry::TelemetrySink* sink = Telemetry()) {
+        sink->RecordAutoscale(now, /*scale_out=*/false, target_gpus_);
+      }
     }
   }
 }

@@ -23,29 +23,54 @@ CliFlags::CliFlags(int argc, const char* const* argv) {
 }
 
 bool CliFlags::Has(const std::string& key) const {
+  queried_.insert(key);
   return values_.count(key) > 0;
 }
 
 std::string CliFlags::GetString(const std::string& key,
                                 const std::string& fallback) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
 
 long long CliFlags::GetInt(const std::string& key, long long fallback) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::stoll(it->second);
 }
 
 double CliFlags::GetDouble(const std::string& key, double fallback) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : std::stod(it->second);
 }
 
 bool CliFlags::GetBool(const std::string& key, bool fallback) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void CliFlags::RejectUnknown(
+    std::initializer_list<const char*> extra_known) const {
+  std::set<std::string> known = queried_;
+  for (const char* k : extra_known) known.insert(k);
+  std::string unknown;
+  for (const auto& [key, value] : values_) {
+    if (known.count(key)) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + key;
+  }
+  if (unknown.empty()) return;
+  std::string valid;
+  for (const auto& key : known) {
+    if (!valid.empty()) valid += ", ";
+    valid += "--" + key;
+  }
+  throw std::invalid_argument("unknown flag(s): " + unknown +
+                              " (valid flags: " + valid + ")");
 }
 
 }  // namespace arlo

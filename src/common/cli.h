@@ -1,9 +1,17 @@
 // Minimal --key=value flag parser for examples and bench harness binaries.
 // Every bench must run with zero arguments (default reduced scale) and also
 // accept overrides like --scale=paper, --gpus=90, --seed=7.
+//
+// Unknown-flag rejection: each Has/Get* call registers its key as known;
+// after a binary has declared all its flags that way, it calls
+// RejectUnknown() and any parsed flag that was never queried fails loudly.
+// This is what keeps a misspelled --metrics-out from silently running a
+// whole experiment with telemetry discarded.
 #pragma once
 
+#include <initializer_list>
 #include <map>
+#include <set>
 #include <string>
 
 namespace arlo {
@@ -22,8 +30,17 @@ class CliFlags {
   double GetDouble(const std::string& key, double fallback) const;
   bool GetBool(const std::string& key, bool fallback) const;
 
+  /// Throws std::invalid_argument naming any flag that was passed on the
+  /// command line but never queried via Has/Get* (and is not listed in
+  /// `extra_known`).  Call after all flags have been read — typically the
+  /// last line of a binary's flag-parsing block.
+  void RejectUnknown(std::initializer_list<const char*> extra_known = {}) const;
+
  private:
   std::map<std::string, std::string> values_;
+  /// Keys the binary has asked about: the de-facto schema.  Mutable because
+  /// reading a flag is logically const.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace arlo

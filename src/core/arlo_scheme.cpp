@@ -1,9 +1,11 @@
 #include "core/arlo_scheme.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/check.h"
+#include "telemetry/sink.h"
 
 namespace arlo::core {
 namespace {
@@ -119,24 +121,49 @@ InstanceId ArloScheme::SelectIg(int length) const {
 
 InstanceId ArloScheme::SelectInstance(const Request& request,
                                       sim::ClusterOps& cluster) {
-  (void)cluster;
+  telemetry::TelemetrySink* sink = Telemetry();
+  // The dispatch-cost clock (Fig. 9's quantity) is wall time, recorded to
+  // metrics only — never the trace — so seeded sim traces stay identical.
+  const auto wall_start = sink ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+  InstanceId picked = kInvalidInstance;
   switch (dispatch_kind_) {
     case DispatchKind::kRequestScheduler: {
       const auto decision = request_scheduler_.Select(request.length);
-      if (!decision) return kInvalidInstance;
-      ++stats_.total;
-      if (decision->demoted) ++stats_.demoted;
-      if (decision->fell_back) ++stats_.fallbacks;
-      return decision->instance;
+      if (decision) {
+        ++stats_.total;
+        if (decision->demoted) ++stats_.demoted;
+        if (decision->fell_back) ++stats_.fallbacks;
+        if (sink) {
+          if (decision->demoted) {
+            sink->RecordDemotion(
+                request, cluster.Now(),
+                static_cast<int>(runtimes_->IdealRuntimeFor(request.length)),
+                static_cast<int>(decision->runtime));
+          }
+          if (decision->fell_back) {
+            sink->RecordFallback(request, cluster.Now());
+          }
+        }
+        picked = decision->instance;
+      }
+      break;
     }
     case DispatchKind::kIntraGroupLoadBalance:
       ++stats_.total;
-      return SelectIlb(request.length);
+      picked = SelectIlb(request.length);
+      break;
     case DispatchKind::kInterGroupGreedy:
       ++stats_.total;
-      return SelectIg(request.length);
+      picked = SelectIg(request.length);
+      break;
   }
-  return kInvalidInstance;
+  if (sink) {
+    sink->RecordDispatchCost(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - wall_start)
+                                 .count());
+  }
+  return picked;
 }
 
 void ArloScheme::OnDispatched(const Request& request, InstanceId instance) {
@@ -194,6 +221,9 @@ void ArloScheme::ExecuteBatch(sim::ClusterOps& cluster,
     if (!ready_instances_.count(step.instance)) continue;
     queue_.RemoveInstance(step.instance);
     ready_instances_.erase(step.instance);
+    if (telemetry::TelemetrySink* sink = Telemetry()) {
+      sink->RecordReplacement(cluster.Now(), step.instance, step.to);
+    }
     cluster.RetireInstance(step.instance);
     LaunchOne(cluster, step.to, config_.replace_delay);
   }
@@ -206,6 +236,9 @@ void ArloScheme::RunAutoscaler(SimTime now, sim::ClusterOps& cluster) {
     LaunchOne(cluster, static_cast<RuntimeId>(runtimes_->Size() - 1),
               config_.replace_delay);
     ++target_gpus_;
+    if (telemetry::TelemetrySink* sink = Telemetry()) {
+      sink->RecordAutoscale(now, /*scale_out=*/true, target_gpus_);
+    }
   } else if (action == ScaleAction::kIn) {
     // Release the least busy instance — but never the last instance of the
     // largest runtime (Eq. 7).
@@ -225,6 +258,9 @@ void ArloScheme::RunAutoscaler(SimTime now, sim::ClusterOps& cluster) {
       ready_instances_.erase(victim);
       cluster.RetireInstance(victim);
       --target_gpus_;
+      if (telemetry::TelemetrySink* sink = Telemetry()) {
+        sink->RecordAutoscale(now, /*scale_out=*/false, target_gpus_);
+      }
     }
   }
 }
@@ -240,6 +276,7 @@ void ArloScheme::MaybeReallocate(SimTime now, sim::ClusterOps& cluster) {
   if (ready_instances_.empty()) return;
 
   const int gpus = static_cast<int>(ready_instances_.size());
+  const auto solve_start = std::chrono::steady_clock::now();
   solver::AllocationResult allocation;
   if (config_.runtime_scheduler.max_replacement_moves > 0) {
     std::vector<int> deployed(runtimes_->Size(), 0);
@@ -251,6 +288,16 @@ void ArloScheme::MaybeReallocate(SimTime now, sim::ClusterOps& cluster) {
   }
   ReplacementPlan plan =
       runtime_scheduler_.PlanFor(SnapshotDeployment(), allocation);
+  if (telemetry::TelemetrySink* sink = Telemetry()) {
+    const auto solve_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - solve_start)
+                              .count();
+    int moves = 0;
+    for (const auto& batch : plan.batches) {
+      moves += static_cast<int>(batch.size());
+    }
+    sink->RecordAllocationSolve(now, solve_ns, gpus, moves);
+  }
   for (auto& batch : plan.batches) {
     pending_batches_.push_back(std::move(batch));
   }

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "telemetry/sink.h"
 
 namespace arlo::serving {
 namespace {
@@ -82,6 +83,8 @@ class Testbed final : public sim::ClusterOps {
   void RetryBufferedLocked();
   void FinalizeRetirementLocked(InstanceId id);
   void TickLoop();
+  void SnapshotLoop();
+  void UpdateClusterGaugesLocked();
 
   const trace::Trace& trace_;
   sim::Scheme& scheme_;
@@ -96,6 +99,7 @@ class Testbed final : public sim::ClusterOps {
   std::size_t completed_ = 0;
   int live_workers_ = 0;
   int peak_workers_ = 0;
+  int outstanding_ = 0;  // dispatched, not yet completed (dispatch_mu_)
   std::atomic<bool> stopping_{false};
 };
 
@@ -111,6 +115,10 @@ InstanceId Testbed::LaunchInstance(
   workers_.push_back(std::move(worker));
   ++live_workers_;
   peak_workers_ = std::max(peak_workers_, live_workers_);
+  if (config_.telemetry) {
+    config_.telemetry->RecordInstanceLaunch(Now(), id, runtime);
+    UpdateClusterGaugesLocked();
+  }
   // Pass the stable Worker* so the thread never reads the (growing) vector.
   Worker* wp = workers_.back().get();
   wp->thread = std::thread([this, id, wp] { WorkerLoop(id, *wp); });
@@ -146,6 +154,10 @@ void Testbed::FinalizeRetirementLocked(InstanceId id) {
     w.gone = true;
   }
   --live_workers_;
+  if (config_.telemetry) {
+    config_.telemetry->RecordInstanceRetired(Now(), id);
+    UpdateClusterGaugesLocked();
+  }
   scheme_.OnInstanceRetired(id);
   w.cv.notify_all();
 }
@@ -158,7 +170,14 @@ int Testbed::OutstandingOn(InstanceId id) const {
 }
 
 void Testbed::HandleArrivalLocked(const Request& request) {
-  if (!TryDispatchLocked(request)) buffer_.push_back(request);
+  if (config_.telemetry) config_.telemetry->RecordEnqueue(request, Now());
+  if (!TryDispatchLocked(request)) {
+    buffer_.push_back(request);
+    if (config_.telemetry) {
+      config_.telemetry->RecordBuffered(request, Now());
+      UpdateClusterGaugesLocked();
+    }
+  }
 }
 
 bool Testbed::TryDispatchLocked(const Request& request) {
@@ -173,6 +192,11 @@ bool Testbed::TryDispatchLocked(const Request& request) {
     w.queue.push_back(QueuedRequest{request, Now()});
   }
   scheme_.OnDispatched(request, id);
+  ++outstanding_;
+  if (config_.telemetry) {
+    config_.telemetry->RecordDispatch(request, Now(), id, w.runtime);
+    UpdateClusterGaugesLocked();
+  }
   w.cv.notify_one();
   return true;
 }
@@ -240,6 +264,11 @@ void Testbed::WorkerLoop(InstanceId id, Worker& w) {
       record.instance = id;
       records_.push_back(record);
       ++completed_;
+      --outstanding_;
+      if (config_.telemetry) {
+        config_.telemetry->RecordComplete(record);
+        UpdateClusterGaugesLocked();
+      }
       scheme_.OnComplete(record, *this);
 
       bool drained;
@@ -253,6 +282,24 @@ void Testbed::WorkerLoop(InstanceId id, Worker& w) {
       if (completed_ >= trace_.Size()) all_done_cv_.notify_all();
       if (drained) return;
     }
+  }
+}
+
+void Testbed::UpdateClusterGaugesLocked() {
+  config_.telemetry->SetClusterGauges(
+      live_workers_, outstanding_, static_cast<std::int64_t>(buffer_.size()));
+}
+
+void Testbed::SnapshotLoop() {
+  const SimDuration period = config_.telemetry->SnapshotPeriod();
+  ARLO_CHECK(period > 0);
+  SimTime next = period;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    PreciseWaitUntil(SimToWall(next),
+                     std::chrono::nanoseconds(config_.spin_threshold));
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    config_.telemetry->Snapshot(Now());
+    next += period;
   }
 }
 
@@ -273,11 +320,16 @@ void Testbed::TickLoop() {
 TestbedResult Testbed::Run() {
   start_ = Clock::now();
   records_.reserve(trace_.Size());
+  scheme_.SetTelemetry(config_.telemetry);
   {
     std::lock_guard global(dispatch_mu_);
     scheme_.Setup(*this);
   }
   std::thread ticker([this] { TickLoop(); });
+  std::thread snapshotter;
+  if (config_.telemetry) {
+    snapshotter = std::thread([this] { SnapshotLoop(); });
+  }
 
   for (const Request& r : trace_.Requests()) {
     PreciseWaitUntil(SimToWall(r.arrival),
@@ -293,6 +345,8 @@ TestbedResult Testbed::Run() {
   }
   stopping_.store(true, std::memory_order_relaxed);
   ticker.join();
+  if (snapshotter.joinable()) snapshotter.join();
+  if (config_.telemetry) config_.telemetry->Snapshot(Now());  // final row
 
   // Shut down workers: mark retired so loops exit, then join.
   {

@@ -16,6 +16,10 @@
 
 #include <vector>
 
+namespace arlo::telemetry {
+class TelemetrySink;
+}
+
 namespace arlo::serving {
 
 struct TestbedConfig {
@@ -28,6 +32,12 @@ struct TestbedConfig {
   SimDuration per_request_overhead = Millis(0.8);
   /// Precision knob: the final stretch of each wait is busy-spun.
   SimDuration spin_threshold = Micros(200.0);
+
+  /// Optional telemetry sink (not owned; must outlive the run).  Construct
+  /// it with Concurrency::kMultiThreaded — workers record concurrently.
+  /// Snapshots are driven by a wall-clock thread at the sink's period
+  /// (in scaled, i.e. simulated, time).  Null disables telemetry.
+  telemetry::TelemetrySink* telemetry = nullptr;
 };
 
 struct TestbedResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "telemetry/sink.h"
 
 namespace arlo::sim {
 namespace detail {
@@ -34,10 +35,17 @@ InstanceId Engine::LaunchInstance(
   instances_.push_back(std::move(inst));
   ++active_count_;
   peak_count_ = std::max(peak_count_, active_count_);
+  if (config_.telemetry) {
+    config_.telemetry->RecordInstanceLaunch(events_.Now(), id, runtime);
+    UpdateClusterGauges();
+  }
   events_.Schedule(events_.Now() + ready_delay, [this, id, runtime] {
     Instance& i = instances_[id];
     if (i.gone) return;  // retired before it became ready
     i.ready = true;
+    if (config_.telemetry) {
+      config_.telemetry->RecordInstanceReady(events_.Now(), id, runtime);
+    }
     scheme_.OnInstanceReady(id, runtime);
     RetryBuffered();
     MaybeStartNext(id);
@@ -65,6 +73,10 @@ void Engine::FinalizeRetirement(InstanceId id) {
   inst.gone = true;
   inst.rt.reset();
   --active_count_;
+  if (config_.telemetry) {
+    config_.telemetry->RecordInstanceRetired(events_.Now(), id);
+    UpdateClusterGauges();
+  }
   scheme_.OnInstanceRetired(id);
 }
 
@@ -76,9 +88,16 @@ int Engine::OutstandingOn(InstanceId id) const {
 
 void Engine::HandleArrival(const Request& request) {
   if (config_.timeline) config_.timeline->RecordArrival(events_.Now());
+  if (config_.telemetry) {
+    config_.telemetry->RecordEnqueue(request, events_.Now());
+  }
   if (!TryDispatch(request)) {
     buffer_.push_back(request);
     ++buffered_total_;
+    if (config_.telemetry) {
+      config_.telemetry->RecordBuffered(request, events_.Now());
+      UpdateClusterGauges();
+    }
   }
 }
 
@@ -94,6 +113,11 @@ bool Engine::TryDispatch(const Request& request) {
   inst.queue.push_back(QueuedRequest{request, events_.Now()});
   scheme_.OnDispatched(request, id);
   ++outstanding_;
+  if (config_.telemetry) {
+    config_.telemetry->RecordDispatch(request, events_.Now(), id,
+                                      inst.runtime);
+    UpdateClusterGauges();
+  }
   if (config_.timeline) {
     config_.timeline->RecordOutstanding(
         events_.Now(), outstanding_ + static_cast<int>(buffer_.size()));
@@ -166,6 +190,10 @@ void Engine::InjectFailure() {
   inst.rt.reset();
   --active_count_;
   ++injected_failures_;
+  if (config_.telemetry) {
+    config_.telemetry->RecordInstanceFailure(events_.Now(), victim);
+    UpdateClusterGauges();
+  }
   for (const auto& q : orphans) {
     outstanding_ -= 1;  // HandleArrival/TryDispatch re-counts on dispatch
     HandleArrival(q.request);
@@ -195,6 +223,10 @@ void Engine::HandleCompletion(InstanceId id) {
     ++completed_;
     --outstanding_;
     if (config_.timeline) config_.timeline->RecordCompletion(record);
+    if (config_.telemetry) {
+      config_.telemetry->RecordComplete(record);
+      UpdateClusterGauges();
+    }
     scheme_.OnComplete(record, *this);
   }
 
@@ -223,6 +255,20 @@ void Engine::ScheduleNextArrival() {
   });
 }
 
+void Engine::UpdateClusterGauges() {
+  config_.telemetry->SetClusterGauges(
+      active_count_, outstanding_, static_cast<std::int64_t>(buffer_.size()));
+}
+
+void Engine::ScheduleSnapshot() {
+  const SimDuration period = config_.telemetry->SnapshotPeriod();
+  ARLO_CHECK(period > 0);
+  events_.Schedule(events_.Now() + period, [this] {
+    config_.telemetry->Snapshot(events_.Now());
+    if (completed_ < trace_.Size()) ScheduleSnapshot();
+  });
+}
+
 void Engine::ScheduleTick() {
   const SimDuration interval = scheme_.TickInterval();
   ARLO_CHECK(interval > 0);
@@ -235,10 +281,12 @@ void Engine::ScheduleTick() {
 
 EngineResult Engine::Run() {
   fault_rng_ = Rng(config_.fault_seed);
+  scheme_.SetTelemetry(config_.telemetry);
   scheme_.Setup(*this);
   ScheduleNextArrival();
   ScheduleTick();
   ScheduleNextFailure();
+  if (config_.telemetry) ScheduleSnapshot();
 
   while (completed_ < trace_.Size()) {
     ARLO_CHECK_MSG(events_.RunNext(),
@@ -250,6 +298,10 @@ EngineResult Engine::Run() {
 
   AccumulateGpuTime();
   if (config_.timeline) config_.timeline->Finish(events_.Now());
+  if (config_.telemetry) {
+    UpdateClusterGauges();
+    config_.telemetry->Snapshot(events_.Now());  // final cumulative row
+  }
   EngineResult out;
   out.records = std::move(records_);
   out.end_time = events_.Now();

@@ -20,6 +20,10 @@
 #include "sim/timeline.h"
 #include "trace/trace.h"
 
+namespace arlo::telemetry {
+class TelemetrySink;
+}
+
 namespace arlo::sim {
 
 struct EngineConfig {
@@ -48,6 +52,12 @@ struct EngineConfig {
   /// OnInstanceFailure.
   double mean_time_between_failures_s = 0.0;
   std::uint64_t fault_seed = 1;
+
+  /// Optional telemetry sink (not owned; must outlive the run).  The engine
+  /// records the request lifecycle and cluster churn, injects the sink into
+  /// the scheme via Scheme::SetTelemetry, and drives periodic snapshots on
+  /// simulated time.  Null disables telemetry at zero cost.
+  telemetry::TelemetrySink* telemetry = nullptr;
 };
 
 struct EngineResult {
@@ -108,6 +118,8 @@ class Engine final : public ClusterOps {
   void RetryBuffered();
   void ScheduleNextArrival();
   void ScheduleTick();
+  void ScheduleSnapshot();
+  void UpdateClusterGauges();
   void AccumulateGpuTime();
   void ScheduleNextFailure();
   void InjectFailure();

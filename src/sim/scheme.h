@@ -11,6 +11,10 @@
 #include "common/types.h"
 #include "runtime/compiled_runtime.h"
 
+namespace arlo::telemetry {
+class TelemetrySink;
+}
+
 namespace arlo::sim {
 
 /// Cluster operations a scheme may invoke.  Implemented by the simulation
@@ -83,6 +87,17 @@ class Scheme {
   virtual void OnTick(SimTime now, ClusterOps& cluster) { (void)now; (void)cluster; }
 
   virtual SimDuration TickInterval() const { return Seconds(5.0); }
+
+  /// Shared telemetry hook: the engine/testbed injects the run's sink before
+  /// Setup so every scheme (Arlo and the baselines alike) can record
+  /// scheduler-level metrics and trace events.  Null means telemetry is
+  /// disabled; instrumented sites must be guarded by `if (Telemetry())` and
+  /// do no work in that case.
+  void SetTelemetry(telemetry::TelemetrySink* sink) { telemetry_ = sink; }
+  telemetry::TelemetrySink* Telemetry() const { return telemetry_; }
+
+ private:
+  telemetry::TelemetrySink* telemetry_ = nullptr;
 };
 
 }  // namespace arlo::sim

@@ -1,0 +1,184 @@
+#include "telemetry/exporters.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace arlo::telemetry {
+namespace {
+
+/// Splits "name{label=\"v\"}" into base name and label body ("" when none).
+void SplitLabels(const std::string& full, std::string* base,
+                 std::string* labels) {
+  const auto brace = full.find('{');
+  if (brace == std::string::npos) {
+    *base = full;
+    labels->clear();
+    return;
+  }
+  *base = full.substr(0, brace);
+  // Keep the inner "k=\"v\"" text without the braces.
+  *labels = full.substr(brace + 1, full.size() - brace - 2);
+}
+
+/// Joins existing labels with an extra one ("le=...") into "{...}".
+std::string BraceJoin(const std::string& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  if (labels.empty()) return "{" + extra + "}";
+  if (extra.empty()) return "{" + labels + "}";
+  return "{" + labels + "," + extra + "}";
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Metric names carry Prometheus-style labels with embedded quotes
+/// (arlo_queue_depth{level="3"}); as a JSON object key those must be escaped.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void WriteHistogramProm(std::ostream& os, const std::string& base,
+                        const std::string& labels,
+                        const LatencyHistogram& h) {
+  const std::vector<std::uint64_t> counts = h.BucketCounts();
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    cumulative += counts[b];
+    os << base << "_bucket"
+       << BraceJoin(labels, "le=\"" +
+                                std::to_string(
+                                    LatencyHistogram::BucketUpperBound(b)) +
+                                "\"")
+       << " " << cumulative << "\n";
+  }
+  os << base << "_bucket" << BraceJoin(labels, "le=\"+Inf\"") << " "
+     << cumulative << "\n";
+  os << base << "_sum" << BraceJoin(labels, "") << " " << h.Sum() << "\n";
+  os << base << "_count" << BraceJoin(labels, "") << " " << h.Count() << "\n";
+}
+
+}  // namespace
+
+void WritePrometheusText(const MetricsRegistry& registry, std::ostream& os) {
+  registry.ForEach([&os](const std::string& name,
+                         const MetricsRegistry::Entry& entry) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (!entry.help.empty()) {
+      os << "# HELP " << base << " " << entry.help << "\n";
+    }
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << base << " counter\n";
+        os << base << BraceJoin(labels, "") << " " << entry.counter->Value()
+           << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << base << " gauge\n";
+        os << base << BraceJoin(labels, "") << " " << entry.gauge->Value()
+           << "\n";
+        break;
+      case MetricKind::kHistogram:
+        os << "# TYPE " << base << " histogram\n";
+        WriteHistogramProm(os, base, labels, *entry.histogram);
+        break;
+    }
+  });
+}
+
+void WriteJsonSnapshot(const MetricsRegistry& registry, std::uint64_t run_id,
+                       std::ostream& os) {
+  os << "{\"run_id\":\"" << run_id << "\",\"metrics\":{";
+  bool first = true;
+  registry.ForEach([&os, &first](const std::string& name,
+                                 const MetricsRegistry::Entry& entry) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"" << JsonEscape(name) << "\":";
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        os << entry.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        os << entry.gauge->Value();
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram& h = *entry.histogram;
+        os << "{\"count\":" << h.Count() << ",\"sum\":" << h.Sum()
+           << ",\"p50\":" << h.Quantile(0.50)
+           << ",\"p98\":" << h.Quantile(0.98)
+           << ",\"p99\":" << h.Quantile(0.99) << ",\"buckets\":[";
+        const std::vector<std::uint64_t> counts = h.BucketCounts();
+        bool first_bucket = true;
+        for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+          if (counts[b] == 0) continue;
+          if (!first_bucket) os << ",";
+          first_bucket = false;
+          os << "[" << LatencyHistogram::BucketUpperBound(b) << ","
+             << counts[b] << "]";
+        }
+        os << "]}";
+        break;
+      }
+    }
+  });
+  os << "\n}}\n";
+}
+
+void WriteCsvTimeSeries(const std::vector<SnapshotRow>& rows,
+                        std::ostream& os) {
+  os << "time_s,enqueued,completed,buffered,instances,outstanding,"
+        "buffer_depth,demotions,e2e_p50_ms,e2e_p98_ms\n";
+  for (const SnapshotRow& r : rows) {
+    os << FormatDouble(r.time_s) << "," << r.enqueued << "," << r.completed
+       << "," << r.buffered << "," << r.instances << "," << r.outstanding
+       << "," << r.buffer_depth << "," << r.demotions << ","
+       << FormatDouble(r.e2e_p50_ms) << "," << FormatDouble(r.e2e_p98_ms)
+       << "\n";
+  }
+}
+
+namespace {
+
+std::ofstream OpenOrThrow(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open output file: " + path);
+  return out;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void WriteMetricsFile(const TelemetrySink& sink, const std::string& path) {
+  std::ofstream out = OpenOrThrow(path);
+  if (EndsWith(path, ".json")) {
+    sink.WriteJson(out);
+  } else if (EndsWith(path, ".csv")) {
+    sink.WriteCsv(out);
+  } else {
+    sink.WritePrometheus(out);
+  }
+}
+
+void WriteTraceFile(const TelemetrySink& sink, const std::string& path) {
+  std::ofstream out = OpenOrThrow(path);
+  sink.WriteChromeTrace(out);
+}
+
+}  // namespace arlo::telemetry

@@ -1,0 +1,39 @@
+// Exporters: serialize a metrics registry / snapshot series to the three
+// interchange formats the subsystem promises — Prometheus text exposition,
+// a JSON snapshot, and a CSV time series — plus file-writing helpers that
+// map the --metrics-out / --trace-out CLI flags onto formats by extension.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/sink.h"
+
+namespace arlo::telemetry {
+
+/// Prometheus text exposition format (# HELP / # TYPE lines, histograms as
+/// cumulative _bucket{le="..."} + _sum + _count).  Metrics are emitted in
+/// name order; only occupied histogram buckets get a line, which keeps the
+/// output compact while staying a valid cumulative bucket series.
+void WritePrometheusText(const MetricsRegistry& registry, std::ostream& os);
+
+/// One JSON object: {"run_id": ..., "metrics": {name: value | histogram}}.
+void WriteJsonSnapshot(const MetricsRegistry& registry, std::uint64_t run_id,
+                       std::ostream& os);
+
+/// CSV with a header row; one row per periodic snapshot.
+void WriteCsvTimeSeries(const std::vector<SnapshotRow>& rows,
+                        std::ostream& os);
+
+/// Writes the sink's metrics to `path`, choosing the format by extension:
+/// ".json" → JSON snapshot, ".csv" → CSV time series, anything else →
+/// Prometheus text.  Throws std::runtime_error if the file cannot be opened.
+void WriteMetricsFile(const TelemetrySink& sink, const std::string& path);
+
+/// Writes the sink's Chrome trace_event JSON to `path`.
+void WriteTraceFile(const TelemetrySink& sink, const std::string& path);
+
+}  // namespace arlo::telemetry

@@ -1,0 +1,180 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+#include <thread>
+
+#include "common/check.h"
+
+namespace arlo::telemetry {
+namespace detail {
+
+unsigned ShardIndex(unsigned num_shards) {
+  // A per-thread token assigned on first use; cheaper and better-distributed
+  // than hashing std::this_thread::get_id() on every record.
+  static std::atomic<unsigned> next_token{0};
+  thread_local unsigned token =
+      next_token.fetch_add(1, std::memory_order_relaxed);
+  return token & (num_shards - 1);
+}
+
+namespace {
+
+unsigned ShardCountFor(Concurrency mode) {
+  if (mode == Concurrency::kSingleThreaded) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned capped = hw == 0 ? 8 : (hw > 16 ? 16 : hw);
+  return std::bit_ceil(capped);
+}
+
+}  // namespace
+}  // namespace detail
+
+Counter::Counter(unsigned num_shards)
+    : num_shards_(num_shards),
+      shards_(new detail::ShardCell[num_shards]) {}
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    total += shards_[s].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+LatencyHistogram::LatencyHistogram(unsigned num_shards)
+    : num_shards_(num_shards),
+      buckets_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(
+          num_shards) * kNumBuckets]),
+      sums_(new detail::ShardCell[num_shards]) {
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(num_shards_) * kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+int LatencyHistogram::BucketIndex(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kUnitBuckets) return static_cast<int>(value);
+  const auto v = static_cast<std::uint64_t>(value);
+  const int octave = 63 - std::countl_zero(v);  // >= kSubBits
+  if (octave > kMaxOctave) return kNumBuckets - 1;
+  const int sub =
+      static_cast<int>((v >> (octave - kSubBits)) & ((1u << kSubBits) - 1));
+  return kUnitBuckets + (octave - kSubBits) * (1 << kSubBits) + sub;
+}
+
+std::int64_t LatencyHistogram::BucketUpperBound(int index) {
+  ARLO_CHECK(index >= 0 && index < kNumBuckets);
+  if (index < kUnitBuckets) return index;
+  const int octave = kSubBits + (index - kUnitBuckets) / (1 << kSubBits);
+  const int sub = (index - kUnitBuckets) % (1 << kSubBits);
+  const std::int64_t base = std::int64_t{1} << octave;
+  const std::int64_t width = base >> kSubBits;
+  return base + static_cast<std::int64_t>(sub + 1) * width - 1;
+}
+
+void LatencyHistogram::Record(std::int64_t value) {
+  const int bucket = BucketIndex(value);
+  const unsigned shard =
+      num_shards_ == 1 ? 0 : detail::ShardIndex(num_shards_);
+  buckets_[static_cast<std::size_t>(shard) * kNumBuckets + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  sums_[shard].value.fetch_add(
+      value < 0 ? 0 : static_cast<std::uint64_t>(value),
+      std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> LatencyHistogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(kNumBuckets, 0);
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      out[b] += buckets_[static_cast<std::size_t>(s) * kNumBuckets + b].load(
+          std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t LatencyHistogram::Count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+std::uint64_t LatencyHistogram::Sum() const {
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < num_shards_; ++s) {
+    total += sums_[s].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::int64_t LatencyHistogram::Quantile(double q) const {
+  const std::vector<std::uint64_t> counts = BucketCounts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1));  // 0-based
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += counts[b];
+    if (seen > rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+double LatencyHistogram::MeanNs() const {
+  const std::uint64_t n = Count();
+  return n == 0 ? 0.0
+               : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+MetricsRegistry::MetricsRegistry(Concurrency mode)
+    : mode_(mode), num_shards_(detail::ShardCountFor(mode)) {}
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     MetricKind kind,
+                                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    ARLO_CHECK_MSG(it->second.kind == kind,
+                   "metric re-registered with a different kind");
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = help;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry.counter = std::make_unique<Counter>(num_shards_);
+      break;
+    case MetricKind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      entry.histogram = std::make_unique<LatencyHistogram>(num_shards_);
+      break;
+  }
+  return metrics_.emplace(name, std::move(entry)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  return GetOrCreate(name, MetricKind::kCounter, help).counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  return GetOrCreate(name, MetricKind::kGauge, help).gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& help) {
+  return GetOrCreate(name, MetricKind::kHistogram, help).histogram.get();
+}
+
+}  // namespace arlo::telemetry

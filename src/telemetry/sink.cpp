@@ -1,0 +1,248 @@
+#include "telemetry/sink.h"
+
+#include <ostream>
+
+#include "telemetry/exporters.h"
+
+namespace arlo::telemetry {
+
+TelemetrySink::TelemetrySink(TelemetryConfig config)
+    : config_(config),
+      registry_(config.concurrency),
+      tracer_(config.run_id) {
+  serving_.enqueued = registry_.GetCounter(
+      "arlo_requests_enqueued_total", "Requests that arrived at the frontend");
+  serving_.completed = registry_.GetCounter(
+      "arlo_requests_completed_total", "Requests served to completion");
+  serving_.buffered = registry_.GetCounter(
+      "arlo_requests_buffered_total",
+      "Arrivals that could not be dispatched immediately");
+  serving_.demotions = registry_.GetCounter(
+      "arlo_dispatch_demotions_total",
+      "Dispatches served by a non-ideal (larger) runtime (Algorithm 1)");
+  serving_.fallbacks = registry_.GetCounter(
+      "arlo_dispatch_fallbacks_total",
+      "Dispatches that took the Algorithm 1 fallback path");
+  serving_.launches = registry_.GetCounter(
+      "arlo_instance_launches_total", "Instance provisioning starts");
+  serving_.retirements = registry_.GetCounter(
+      "arlo_instance_retirements_total", "Instances fully drained and retired");
+  serving_.failures = registry_.GetCounter(
+      "arlo_instance_failures_total", "Abrupt instance crashes (fault injection)");
+  serving_.replacements = registry_.GetCounter(
+      "arlo_replacements_total",
+      "Instance replacements executed from re-allocation plans");
+  serving_.allocation_solves = registry_.GetCounter(
+      "arlo_allocation_solves_total", "Periodic ILP/allocation solves");
+  serving_.autoscale_out = registry_.GetCounter(
+      "arlo_autoscale_out_total", "Scale-out decisions");
+  serving_.autoscale_in = registry_.GetCounter(
+      "arlo_autoscale_in_total", "Scale-in decisions");
+  serving_.instances = registry_.GetGauge(
+      "arlo_instances", "Active + provisioning instances");
+  serving_.outstanding = registry_.GetGauge(
+      "arlo_outstanding_requests", "Dispatched but not yet completed requests");
+  serving_.buffer_depth = registry_.GetGauge(
+      "arlo_buffer_depth", "Arrivals waiting for a dispatchable instance");
+  serving_.e2e_latency_ns = registry_.GetHistogram(
+      "arlo_e2e_latency_ns", "End-to-end request latency");
+  serving_.queue_delay_ns = registry_.GetHistogram(
+      "arlo_queue_delay_ns", "Arrival to execution start");
+  serving_.service_time_ns = registry_.GetHistogram(
+      "arlo_service_time_ns", "Execution start to completion");
+  serving_.dispatch_cost_ns = registry_.GetHistogram(
+      "arlo_dispatch_cost_ns",
+      "Wall-clock cost of one scheduling decision (Fig. 9 quantity)");
+  serving_.allocation_solve_ns = registry_.GetHistogram(
+      "arlo_allocation_solve_ns", "Wall-clock cost of one allocation solve");
+}
+
+void TelemetrySink::RecordEnqueue(const Request& request, SimTime now) {
+  (void)request;
+  (void)now;
+  serving_.enqueued->Add();
+}
+
+void TelemetrySink::RecordBuffered(const Request& request, SimTime now) {
+  serving_.buffered->Add();
+  if (config_.trace_requests) {
+    tracer_.Instant("buffered", "request", now, TraceRecorder::kControlLane,
+                    {{"id", static_cast<std::int64_t>(request.id)},
+                     {"length", request.length}});
+  }
+}
+
+void TelemetrySink::RecordDispatch(const Request& request, SimTime now,
+                                   InstanceId instance, RuntimeId runtime) {
+  (void)request;
+  (void)now;
+  (void)instance;
+  // Depth is balanced against RecordComplete via the record's immutable
+  // runtime id — instance replacement between dispatch and completion must
+  // not leak a gauge increment.
+  AddQueueDepth(runtime, +1);
+  // The dispatch→completion span is emitted from RecordComplete, where the
+  // full lifecycle is known; nothing to trace yet.
+}
+
+void TelemetrySink::RecordDispatchCost(std::int64_t wall_ns) {
+  serving_.dispatch_cost_ns->Record(wall_ns);
+}
+
+void TelemetrySink::RecordDemotion(const Request& request, SimTime now,
+                                   int ideal_level, int chosen_level) {
+  serving_.demotions->Add();
+  if (config_.trace_requests) {
+    tracer_.Instant("demotion", "scheduler", now, TraceRecorder::kControlLane,
+                    {{"id", static_cast<std::int64_t>(request.id)},
+                     {"length", request.length},
+                     {"ideal_level", ideal_level},
+                     {"chosen_level", chosen_level}});
+  }
+}
+
+void TelemetrySink::RecordFallback(const Request& request, SimTime now) {
+  (void)request;
+  (void)now;
+  serving_.fallbacks->Add();
+}
+
+void TelemetrySink::RecordComplete(const RequestRecord& record) {
+  serving_.completed->Add();
+  AddQueueDepth(record.runtime, -1);
+  serving_.e2e_latency_ns->Record(record.Latency());
+  serving_.queue_delay_ns->Record(record.QueueingDelay());
+  serving_.service_time_ns->Record(record.ServiceTime());
+  if (config_.trace_requests) {
+    // Two spans on the serving instance's lane: waiting (arrival→start) and
+    // executing (start→completion).
+    tracer_.Complete("queued", "request", record.arrival,
+                     record.start - record.arrival,
+                     static_cast<std::int64_t>(record.instance),
+                     {{"id", static_cast<std::int64_t>(record.id)},
+                      {"length", record.length}});
+    tracer_.Complete("service", "request", record.start,
+                     record.completion - record.start,
+                     static_cast<std::int64_t>(record.instance),
+                     {{"id", static_cast<std::int64_t>(record.id)},
+                      {"length", record.length},
+                      {"runtime", static_cast<std::int64_t>(record.runtime)},
+                      {"stream", record.stream}});
+  }
+}
+
+void TelemetrySink::RecordInstanceLaunch(SimTime now, InstanceId instance,
+                                         RuntimeId runtime) {
+  serving_.launches->Add();
+  tracer_.Instant("instance_launch", "cluster", now,
+                  static_cast<std::int64_t>(instance),
+                  {{"runtime", static_cast<std::int64_t>(runtime)}});
+}
+
+void TelemetrySink::RecordInstanceReady(SimTime now, InstanceId instance,
+                                        RuntimeId runtime) {
+  tracer_.Instant("instance_ready", "cluster", now,
+                  static_cast<std::int64_t>(instance),
+                  {{"runtime", static_cast<std::int64_t>(runtime)}});
+}
+
+void TelemetrySink::RecordInstanceRetired(SimTime now, InstanceId instance) {
+  serving_.retirements->Add();
+  tracer_.Instant("instance_retired", "cluster", now,
+                  static_cast<std::int64_t>(instance));
+}
+
+void TelemetrySink::RecordInstanceFailure(SimTime now, InstanceId instance) {
+  serving_.failures->Add();
+  tracer_.Instant("instance_failure", "fault", now,
+                  static_cast<std::int64_t>(instance));
+}
+
+void TelemetrySink::RecordReplacement(SimTime now, InstanceId victim,
+                                      RuntimeId to) {
+  serving_.replacements->Add();
+  tracer_.Instant("replacement", "scheduler", now,
+                  TraceRecorder::kControlLane,
+                  {{"victim", static_cast<std::int64_t>(victim)},
+                   {"to_runtime", static_cast<std::int64_t>(to)}});
+}
+
+void TelemetrySink::RecordAllocationSolve(SimTime now,
+                                          std::int64_t solve_wall_ns,
+                                          int gpus, int diff_moves) {
+  serving_.allocation_solves->Add();
+  serving_.allocation_solve_ns->Record(solve_wall_ns);
+  // Wall time deliberately omitted from the trace: it varies run to run and
+  // would break byte-identical traces for identically seeded simulations.
+  tracer_.Instant("allocation_solve", "scheduler", now,
+                  TraceRecorder::kControlLane,
+                  {{"gpus", gpus}, {"moves", diff_moves}});
+}
+
+void TelemetrySink::RecordAutoscale(SimTime now, bool scale_out,
+                                    int gpus_after) {
+  (scale_out ? serving_.autoscale_out : serving_.autoscale_in)->Add();
+  tracer_.Instant(scale_out ? "autoscale_out" : "autoscale_in", "scheduler",
+                  now, TraceRecorder::kControlLane,
+                  {{"gpus_after", gpus_after}});
+}
+
+void TelemetrySink::SetClusterGauges(std::int64_t instances,
+                                     std::int64_t outstanding,
+                                     std::int64_t buffer_depth) {
+  serving_.instances->Set(instances);
+  serving_.outstanding->Set(outstanding);
+  serving_.buffer_depth->Set(buffer_depth);
+}
+
+Gauge* TelemetrySink::QueueDepthGauge(RuntimeId level) {
+  std::lock_guard<std::mutex> lock(levels_mu_);
+  if (queue_depth_.size() <= level) queue_depth_.resize(level + 1, nullptr);
+  if (queue_depth_[level] == nullptr) {
+    queue_depth_[level] = registry_.GetGauge(
+        "arlo_queue_depth{level=\"" + std::to_string(level) + "\"}",
+        "Outstanding requests at one multi-level-queue level");
+  }
+  return queue_depth_[level];
+}
+
+void TelemetrySink::AddQueueDepth(RuntimeId level, std::int64_t delta) {
+  QueueDepthGauge(level)->Add(delta);
+}
+
+void TelemetrySink::Snapshot(SimTime now) {
+  SnapshotRow row;
+  row.time_s = ToSeconds(now);
+  row.enqueued = serving_.enqueued->Value();
+  row.completed = serving_.completed->Value();
+  row.buffered = serving_.buffered->Value();
+  row.instances = serving_.instances->Value();
+  row.outstanding = serving_.outstanding->Value();
+  row.buffer_depth = serving_.buffer_depth->Value();
+  row.demotions = serving_.demotions->Value();
+  row.e2e_p50_ms =
+      static_cast<double>(serving_.e2e_latency_ns->Quantile(0.50)) / 1e6;
+  row.e2e_p98_ms =
+      static_cast<double>(serving_.e2e_latency_ns->Quantile(0.98)) / 1e6;
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  rows_.push_back(row);
+}
+
+std::vector<SnapshotRow> TelemetrySink::SnapshotRows() const {
+  std::lock_guard<std::mutex> lock(rows_mu_);
+  return rows_;
+}
+
+void TelemetrySink::WritePrometheus(std::ostream& os) const {
+  WritePrometheusText(registry_, os);
+}
+
+void TelemetrySink::WriteJson(std::ostream& os) const {
+  WriteJsonSnapshot(registry_, tracer_.RunId(), os);
+}
+
+void TelemetrySink::WriteCsv(std::ostream& os) const {
+  WriteCsvTimeSeries(SnapshotRows(), os);
+}
+
+}  // namespace arlo::telemetry

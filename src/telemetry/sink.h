@@ -1,0 +1,151 @@
+// TelemetrySink: the single object a run threads through the serving stack.
+// It owns the metrics registry, the request-lifecycle tracer, and the
+// periodic time-series snapshotter, and exposes one small method per
+// instrumentation site so call sites stay one-liners.
+//
+// The null sink is a null pointer: every instrumented site is guarded by
+// `if (sink)`, so a run without telemetry does no work and no allocation on
+// the record path.  The engine drives snapshots on simulated time; the
+// testbed drives them from a wall-clock thread — both call Snapshot(now)
+// with their own notion of now, and rows land in one CSV-exportable series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace_recorder.h"
+
+namespace arlo::telemetry {
+
+struct TelemetryConfig {
+  /// Snapshot cadence for the CSV time series (simulated time in the
+  /// engine, scaled wall time in the testbed).
+  SimDuration snapshot_period = Seconds(1.0);
+  /// Stamped into exports; seed it from the scenario seed so identically
+  /// seeded runs serialize identically.
+  std::uint64_t run_id = 0;
+  /// kMultiThreaded for the testbed, kSingleThreaded for the simulator
+  /// (both are correct everywhere; this only tunes sharding cost).
+  Concurrency concurrency = Concurrency::kSingleThreaded;
+  /// Per-request queue/service spans in the Chrome trace.  Disable for huge
+  /// runs where only metrics and control-plane events are wanted.
+  bool trace_requests = true;
+};
+
+/// Stable pointers to the standard serving metrics, pre-registered at sink
+/// construction so the hot path never performs a registry lookup.
+struct ServingMetrics {
+  Counter* enqueued = nullptr;
+  Counter* completed = nullptr;
+  Counter* buffered = nullptr;
+  Counter* demotions = nullptr;
+  Counter* fallbacks = nullptr;
+  Counter* launches = nullptr;
+  Counter* retirements = nullptr;
+  Counter* failures = nullptr;
+  Counter* replacements = nullptr;
+  Counter* allocation_solves = nullptr;
+  Counter* autoscale_out = nullptr;
+  Counter* autoscale_in = nullptr;
+  Gauge* instances = nullptr;
+  Gauge* outstanding = nullptr;
+  Gauge* buffer_depth = nullptr;
+  LatencyHistogram* e2e_latency_ns = nullptr;
+  LatencyHistogram* queue_delay_ns = nullptr;
+  LatencyHistogram* service_time_ns = nullptr;
+  LatencyHistogram* dispatch_cost_ns = nullptr;
+  LatencyHistogram* allocation_solve_ns = nullptr;
+};
+
+/// One row of the periodic time series (cumulative values as of `time_s`).
+struct SnapshotRow {
+  double time_s = 0.0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t buffered = 0;
+  std::int64_t instances = 0;
+  std::int64_t outstanding = 0;
+  std::int64_t buffer_depth = 0;
+  std::uint64_t demotions = 0;
+  double e2e_p50_ms = 0.0;
+  double e2e_p98_ms = 0.0;
+};
+
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(TelemetryConfig config = {});
+
+  // --- request lifecycle -------------------------------------------------
+  void RecordEnqueue(const Request& request, SimTime now);
+  void RecordBuffered(const Request& request, SimTime now);
+  void RecordDispatch(const Request& request, SimTime now,
+                      InstanceId instance, RuntimeId runtime);
+  /// Wall-clock cost of one scheduling decision (metrics only — never
+  /// traced, so trace output stays deterministic across runs).
+  void RecordDispatchCost(std::int64_t wall_ns);
+  /// Algorithm 1 took a non-ideal path for this request.
+  void RecordDemotion(const Request& request, SimTime now, int ideal_level,
+                      int chosen_level);
+  void RecordFallback(const Request& request, SimTime now);
+  void RecordComplete(const RequestRecord& record);
+
+  // --- control plane -----------------------------------------------------
+  void RecordInstanceLaunch(SimTime now, InstanceId instance,
+                            RuntimeId runtime);
+  void RecordInstanceReady(SimTime now, InstanceId instance,
+                           RuntimeId runtime);
+  void RecordInstanceRetired(SimTime now, InstanceId instance);
+  void RecordInstanceFailure(SimTime now, InstanceId instance);
+  void RecordReplacement(SimTime now, InstanceId victim, RuntimeId to);
+  /// A periodic allocation solve: wall time goes to metrics only; the
+  /// deterministic facts (GPUs, replacement moves) go to the trace.
+  void RecordAllocationSolve(SimTime now, std::int64_t solve_wall_ns,
+                             int gpus, int diff_moves);
+  void RecordAutoscale(SimTime now, bool scale_out, int gpus_after);
+
+  // --- gauges ------------------------------------------------------------
+  void SetClusterGauges(std::int64_t instances, std::int64_t outstanding,
+                        std::int64_t buffer_depth);
+  /// Per-level outstanding depth of the multi-level queue
+  /// (arlo_queue_depth{level="k"}).  Levels are registered lazily.
+  void AddQueueDepth(RuntimeId level, std::int64_t delta);
+
+  // --- snapshots ---------------------------------------------------------
+  SimDuration SnapshotPeriod() const { return config_.snapshot_period; }
+  /// Captures one time-series row at `now`.
+  void Snapshot(SimTime now);
+  std::vector<SnapshotRow> SnapshotRows() const;
+
+  // --- export ------------------------------------------------------------
+  void WriteChromeTrace(std::ostream& os) const { tracer_.WriteJson(os); }
+  void WritePrometheus(std::ostream& os) const;
+  void WriteJson(std::ostream& os) const;
+  void WriteCsv(std::ostream& os) const;
+
+  MetricsRegistry& Registry() { return registry_; }
+  const MetricsRegistry& Registry() const { return registry_; }
+  TraceRecorder& Tracer() { return tracer_; }
+  const TraceRecorder& Tracer() const { return tracer_; }
+  const ServingMetrics& Serving() const { return serving_; }
+  const TelemetryConfig& Config() const { return config_; }
+
+ private:
+  Gauge* QueueDepthGauge(RuntimeId level);
+
+  TelemetryConfig config_;
+  MetricsRegistry registry_;
+  TraceRecorder tracer_;
+  ServingMetrics serving_;
+
+  std::mutex levels_mu_;
+  std::vector<Gauge*> queue_depth_;  // index = level
+
+  mutable std::mutex rows_mu_;
+  std::vector<SnapshotRow> rows_;
+};
+
+}  // namespace arlo::telemetry

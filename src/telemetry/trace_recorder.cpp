@@ -1,0 +1,103 @@
+#include "telemetry/trace_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace arlo::telemetry {
+namespace {
+
+/// Microsecond timestamp with fixed 3-decimal formatting ("12.345"): the
+/// Chrome trace clock is microseconds, ours is nanoseconds, and snprintf
+/// with a fixed precision keeps serialization deterministic.
+void AppendMicros(std::ostream& os, std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03d",
+                static_cast<long long>(ns / 1000),
+                static_cast<int>(std::llabs(ns % 1000)));
+  os << buf;
+}
+
+}  // namespace
+
+void TraceRecorder::Push(Event event, std::initializer_list<TraceArg> args) {
+  ARLO_CHECK(args.size() <= static_cast<std::size_t>(kMaxArgs));
+  event.num_args = static_cast<int>(args.size());
+  int i = 0;
+  for (const TraceArg& a : args) event.args[i++] = a;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+void TraceRecorder::Complete(const char* name, const char* category,
+                             SimTime ts, SimDuration dur, std::int64_t tid,
+                             std::initializer_list<TraceArg> args) {
+  Event e{};
+  e.name = name;
+  e.category = category;
+  e.phase = 'X';
+  e.ts = ts;
+  e.dur = dur < 0 ? 0 : dur;
+  e.tid = tid;
+  Push(e, args);
+}
+
+void TraceRecorder::Instant(const char* name, const char* category,
+                            SimTime ts, std::int64_t tid,
+                            std::initializer_list<TraceArg> args) {
+  Event e{};
+  e.name = name;
+  e.category = category;
+  e.phase = 'i';
+  e.ts = ts;
+  e.tid = tid;
+  Push(e, args);
+}
+
+std::size_t TraceRecorder::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::WriteJson(std::ostream& os) const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  // Stable sort: timeline order for viewers, insertion order as tiebreak so
+  // simulator runs serialize deterministically.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
+       << "\",\"ph\":\"" << e.phase << "\",\"ts\":";
+    AppendMicros(os, e.ts);
+    if (e.phase == 'X') {
+      os << ",\"dur\":";
+      AppendMicros(os, e.dur);
+    }
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"pid\":0,\"tid\":" << e.tid;
+    if (e.num_args > 0) {
+      os << ",\"args\":{";
+      for (int i = 0; i < e.num_args; ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << e.args[i].key << "\":" << e.args[i].value;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"run_id\":\""
+     << run_id_ << "\"}}\n";
+}
+
+}  // namespace arlo::telemetry

@@ -1,0 +1,78 @@
+// Request-lifecycle tracer: records spans (enqueue → dispatch → service →
+// complete) and instant events (ILP solves, demotions, instance churn,
+// autoscaler decisions, fault injections) and serializes them as Chrome
+// trace_event JSON — the format chrome://tracing and Perfetto load directly,
+// with instances on the thread axis, so a run's scheduling behaviour is
+// inspectable on a timeline instead of summarized away.
+//
+// Record-path design: one mutex-guarded vector append per event; event names
+// and argument keys are `const char*` string literals owned by the caller,
+// so an event is a flat POD and recording allocates only on vector growth.
+// Timestamps are simulated nanoseconds; under the deterministic simulator
+// identical seeds produce byte-identical serialized traces (the
+// sim-determinism test asserts exactly this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace arlo::telemetry {
+
+/// One key=value argument attached to a trace event.  Keys must be string
+/// literals (or otherwise outlive the recorder).
+struct TraceArg {
+  const char* key;
+  std::int64_t value;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr int kMaxArgs = 4;
+  /// Synthetic "thread" lane for control-plane events (scheduler decisions,
+  /// autoscaling) so they don't interleave with per-instance service lanes.
+  static constexpr std::int64_t kControlLane = -1;
+
+  explicit TraceRecorder(std::uint64_t run_id) : run_id_(run_id) {}
+
+  /// A completed span ("ph":"X"): [ts, ts+dur) on lane `tid`.
+  void Complete(const char* name, const char* category, SimTime ts,
+                SimDuration dur, std::int64_t tid,
+                std::initializer_list<TraceArg> args = {});
+
+  /// An instant event ("ph":"i") at `ts` on lane `tid`.
+  void Instant(const char* name, const char* category, SimTime ts,
+               std::int64_t tid, std::initializer_list<TraceArg> args = {});
+
+  std::size_t Size() const;
+  std::uint64_t RunId() const { return run_id_; }
+
+  /// Serializes `{"traceEvents": [...], ...}` with events ordered by
+  /// (timestamp, insertion order).  Timestamps are emitted in microseconds
+  /// with fixed 3-decimal formatting, so output is a pure function of the
+  /// recorded events.
+  void WriteJson(std::ostream& os) const;
+
+ private:
+  struct Event {
+    const char* name;
+    const char* category;
+    char phase;         // 'X' or 'i'
+    SimTime ts;         // ns
+    SimDuration dur;    // ns, spans only
+    std::int64_t tid;
+    int num_args;
+    TraceArg args[kMaxArgs];
+  };
+
+  void Push(Event event, std::initializer_list<TraceArg> args);
+
+  std::uint64_t run_id_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace arlo::telemetry

@@ -65,6 +65,37 @@ TEST(CliFlags, BoolParsing) {
   EXPECT_FALSE(flags.GetBool("d", true));
 }
 
+TEST(CliFlags, RejectUnknownThrowsOnUnqueriedFlag) {
+  const char* argv[] = {"prog", "--rate=10", "--rat=20"};
+  CliFlags flags(3, argv);
+  (void)flags.GetDouble("rate", 0.0);
+  try {
+    flags.RejectUnknown();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // Names the offending flag and lists the valid schema.
+    EXPECT_NE(what.find("--rat"), std::string::npos) << what;
+    EXPECT_NE(what.find("--rate"), std::string::npos) << what;
+  }
+}
+
+TEST(CliFlags, RejectUnknownPassesWhenAllFlagsQueried) {
+  const char* argv[] = {"prog", "--rate=10", "--gpus=4"};
+  CliFlags flags(3, argv);
+  (void)flags.GetDouble("rate", 0.0);
+  (void)flags.GetInt("gpus", 0);
+  EXPECT_NO_THROW(flags.RejectUnknown());
+}
+
+TEST(CliFlags, RejectUnknownHonorsExtraKnown) {
+  const char* argv[] = {"prog", "--pattern=bursty"};
+  CliFlags flags(2, argv);
+  // "pattern" is only read on some code paths; extra_known covers it.
+  EXPECT_THROW(flags.RejectUnknown(), std::invalid_argument);
+  EXPECT_NO_THROW(flags.RejectUnknown({"pattern"}));
+}
+
 TEST(ThreadPool, ExecutesSubmittedTasks) {
   ThreadPool pool(2);
   auto f1 = pool.Submit([] { return 21 * 2; });

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.h"
+
+namespace arlo::sim {
+namespace {
+
+RequestRecord Rec(RequestId id, double arrival_ms, double start_ms,
+                  double completion_ms, RuntimeId runtime, int length = 64) {
+  RequestRecord r;
+  r.id = id;
+  r.arrival = SimTime(Millis(arrival_ms));
+  r.dispatch = r.arrival;
+  r.start = SimTime(Millis(start_ms));
+  r.completion = SimTime(Millis(completion_ms));
+  r.length = length;
+  r.runtime = runtime;
+  r.instance = static_cast<InstanceId>(runtime);
+  return r;
+}
+
+TEST(MakeReport, SummarizesLatencyAndCopiesGpuStats) {
+  EngineResult result;
+  result.records = {Rec(0, 0.0, 0.0, 10.0, 0), Rec(1, 0.0, 10.0, 30.0, 1),
+                    Rec(2, 0.0, 30.0, 80.0, 1)};
+  result.time_weighted_gpus = 3.5;
+  result.peak_gpus = 5;
+  result.gpu_busy_fraction = 0.75;
+
+  const SchemeReport report = MakeReport("arlo", result, Millis(50.0));
+  EXPECT_EQ(report.name, "arlo");
+  EXPECT_EQ(report.latency.count, 3u);
+  EXPECT_DOUBLE_EQ(report.latency.mean_ms, 40.0);
+  EXPECT_DOUBLE_EQ(report.latency.p50_ms, 30.0);
+  // One of three records (80 ms) violates the 50 ms SLO.
+  EXPECT_NEAR(report.latency.slo_violation_frac, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.time_weighted_gpus, 3.5);
+  EXPECT_EQ(report.peak_gpus, 5);
+  EXPECT_DOUBLE_EQ(report.gpu_busy_fraction, 0.75);
+}
+
+TEST(MakeReport, EmptyRecordsYieldZeroSummary) {
+  EngineResult result;
+  const SchemeReport report = MakeReport("st", result, Millis(50.0));
+  EXPECT_EQ(report.latency.count, 0u);
+  EXPECT_DOUBLE_EQ(report.latency.mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(report.latency.p98_ms, 0.0);
+}
+
+TEST(PrintLatencyCdf, EmptyRecordsPrintsAllQuantileRows) {
+  std::ostringstream os;
+  PrintLatencyCdf(os, "empty cdf", {}, /*points=*/4);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("empty cdf"), std::string::npos);
+  // Four quantile rows, each 0 ms on an empty sample set.
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(PrintLatencyCdf, SingletonRepeatsTheOnlyLatency) {
+  std::ostringstream os;
+  PrintLatencyCdf(os, "one", {Rec(0, 0.0, 0.0, 12.5, 0)}, /*points=*/3);
+  const std::string out = os.str();
+  // Every quantile of a single sample is that sample.
+  std::size_t hits = 0;
+  for (std::size_t pos = out.find("12.5"); pos != std::string::npos;
+       pos = out.find("12.5", pos + 1)) {
+    ++hits;
+  }
+  EXPECT_EQ(hits, 3u);
+}
+
+TEST(PrintPerRuntimeBreakdown, GroupsByRuntime) {
+  std::ostringstream os;
+  PrintPerRuntimeBreakdown(
+      os, {Rec(0, 0.0, 0.0, 10.0, 0), Rec(1, 0.0, 0.0, 20.0, 0),
+           Rec(2, 0.0, 0.0, 40.0, 2)});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("per-runtime breakdown"), std::string::npos);
+  // Runtime 0: two requests at mean 15 ms; runtime 2: one at 40 ms.
+  EXPECT_NE(out.find("15"), std::string::npos);
+  EXPECT_NE(out.find("40"), std::string::npos);
+}
+
+TEST(PrintComparison, OneRowPerScheme) {
+  EngineResult result;
+  result.records = {Rec(0, 0.0, 0.0, 10.0, 0)};
+  std::ostringstream os;
+  PrintComparison(os, "head-to-head",
+                  {MakeReport("arlo", result, Millis(50.0)),
+                   MakeReport("dt", result, Millis(50.0))});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("arlo"), std::string::npos);
+  EXPECT_NE(out.find("dt"), std::string::npos);
+  EXPECT_NE(out.find("slo_viol_%"), std::string::npos);
+}
+
+TEST(PaddingWasteOfRun, DynamicRuntimePadsNothing) {
+  const runtime::ModelSpec model = runtime::ModelSpec::BertBase();
+  // Runtime 0 compiled for max length 512, runtime 1 dynamic (0).
+  const std::vector<RequestRecord> records = {Rec(0, 0, 0, 1, 0, /*length=*/64),
+                                              Rec(1, 0, 0, 1, 1,
+                                                  /*length=*/64)};
+  const double waste_static =
+      PaddingWasteOfRun({records[0]}, model, {512, 0});
+  const double waste_dynamic =
+      PaddingWasteOfRun({records[1]}, model, {512, 0});
+  EXPECT_GT(waste_static, 0.5);  // 64 of 512 tokens useful => mostly padding
+  EXPECT_DOUBLE_EQ(waste_dynamic, 0.0);
+}
+
+}  // namespace
+}  // namespace arlo::sim
