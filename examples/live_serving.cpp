@@ -7,6 +7,7 @@
 // concurrency (lock ordering, replacement races) rather than modeled time.
 //
 // Run: ./build/examples/live_serving [--seconds=3] [--rate=150] [--speed=1.0]
+//      [--fault-plan=plan.txt] [--hang-timeout_s=0]
 //      [--metrics-out=live.prom] [--trace-out=live.trace.json]
 #include <iostream>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "baselines/scenario.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "fault/fault_plan.h"
 #include "serving/testbed.h"
 #include "sim/report.h"
 #include "telemetry/exporters.h"
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
   const double speed = flags.GetDouble("speed", 1.0);
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string plan_path = flags.GetString("fault-plan", "");
+  const double hang_timeout_s = flags.GetDouble("hang-timeout_s", 0.0);
   flags.RejectUnknown();
 
   trace::TwitterTraceConfig workload;
@@ -55,6 +59,13 @@ int main(int argc, char** argv) {
   serving::TestbedConfig testbed;
   testbed.time_scale = 1.0 / speed;
 
+  fault::FaultPlan plan;
+  if (!plan_path.empty()) {
+    plan = fault::FaultPlan::ParseFile(plan_path);
+    testbed.fault_plan = &plan;
+    testbed.resilience.hang_timeout = Seconds(hang_timeout_s);
+  }
+
   // Optional telemetry: the testbed dispatches from concurrent worker
   // threads, so the sink is built with the multi-threaded (sharded) layout.
   std::unique_ptr<telemetry::TelemetrySink> sink;
@@ -79,6 +90,11 @@ int main(int argc, char** argv) {
             << "  SLO violations "
             << TablePrinter::Num(100.0 * summary.slo_violation_frac, 2)
             << "%\n  peak workers " << result.peak_workers << "\n";
+  if (result.faults_injected > 0) {
+    std::cout << "  faults " << result.faults_injected << " (worker kills "
+              << result.injected_failures << "), retries " << result.retries
+              << ", requeues " << result.requeues << "\n";
+  }
   sim::PrintPerRuntimeBreakdown(std::cout, result.records);
   return 0;
 }

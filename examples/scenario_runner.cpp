@@ -10,6 +10,8 @@
 // --model (bert-base|bert-large|roberta-large|distilbert), --gpus, --rate,
 // --seconds, --slo_ms, --period_s, --pattern (stable|bursty), --seed,
 // --autoscale, --max_batch, --mtbf_s (fault injection), --csv,
+// --fault-plan (path to a FaultPlan DSL file; see docs/FAULTS.md),
+// --hang-timeout_s / --shed-deadline_s (recovery policy; need --fault-plan),
 // --metrics-out/--trace-out (telemetry dump; single-scheme runs only).
 #include <iostream>
 #include <memory>
@@ -18,6 +20,7 @@
 #include "baselines/scenario.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "fault/fault_plan.h"
 #include "sim/engine.h"
 #include "sim/report.h"
 #include "telemetry/exporters.h"
@@ -76,6 +79,16 @@ int main(int argc, char** argv) {
   engine.max_batch = static_cast<int>(flags.GetInt("max_batch", 1));
   engine.mean_time_between_failures_s = flags.GetDouble("mtbf_s", 0.0);
 
+  fault::FaultPlan plan;
+  const std::string plan_path = flags.GetString("fault-plan", "");
+  if (!plan_path.empty()) {
+    plan = fault::FaultPlan::ParseFile(plan_path);
+    engine.fault_plan = &plan;
+  }
+  engine.resilience.hang_timeout = Seconds(flags.GetDouble("hang-timeout_s", 0.0));
+  engine.resilience.shed_deadline =
+      Seconds(flags.GetDouble("shed-deadline_s", 0.0));
+
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::vector<std::string> schemes =
@@ -102,7 +115,13 @@ int main(int argc, char** argv) {
     auto scheme = baselines::MakeSchemeByName(name, config);
     const sim::EngineResult result = sim::RunScenario(trace, *scheme, engine);
     reports.push_back(sim::MakeReport(name, result, config.slo));
-    if (result.injected_failures > 0) {
+    if (result.faults_injected > 0) {
+      std::cout << name << ": faults=" << result.faults_injected
+                << " (crashes=" << result.injected_failures
+                << ") retries=" << result.retries
+                << " requeues=" << result.requeues
+                << " sheds=" << result.sheds << "\n";
+    } else if (result.injected_failures > 0) {
       std::cout << name << ": " << result.injected_failures
                 << " injected failures\n";
     }

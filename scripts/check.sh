@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, run the full test suite, then re-run the
-# concurrency-sensitive tests (threaded testbed + sharded telemetry) under
-# ThreadSanitizer.
+# Tier-1 gate: docs lint, configure, build, run the full test suite, then
+# re-run the concurrency-sensitive tests (threaded testbed + sharded
+# telemetry) under ThreadSanitizer.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --no-tsan  # skip the TSan stage (fast local loop)
@@ -16,6 +16,9 @@ for arg in "$@"; do
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+echo "== docs =="
+scripts/check_docs.sh
 
 echo "== configure + build =="
 cmake -B build -S . >/dev/null

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Docs gate:
+#   1. every file under docs/ is linked from the README (no orphan docs);
+#   2. every intra-repo markdown link in the top-level and docs/ markdown
+#      files resolves to an existing file (no dead links).
+#
+# External links (http/https/mailto) and pure anchors (#...) are skipped.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# -- 1. every docs/*.md must be reachable from README.md -------------------
+for doc in docs/*.md; do
+  if ! grep -qF "$doc" README.md; then
+    echo "check_docs: $doc is not linked from README.md" >&2
+    fail=1
+  fi
+done
+
+# -- 2. intra-repo markdown links must resolve -----------------------------
+# Pulls every ](target) occurrence; targets are resolved relative to the
+# file they appear in, with any #anchor suffix stripped.
+md_files=(*.md docs/*.md)
+for md in "${md_files[@]}"; do
+  dir=$(dirname "$md")
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|'') continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "check_docs: dead link in $md -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$md" 2>/dev/null | sed 's/^](\(.*\))$/\1/')
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: all docs linked, all links resolve"

@@ -33,6 +33,7 @@ std::unique_ptr<core::ArloScheme> MakeArloVariant(
   arlo.initial_demand = config.initial_demand;
   arlo.initial_allocation = config.initial_allocation;
   arlo.enable_reallocation = config.enable_reallocation;
+  arlo.reallocate_on_failure = config.reallocate_on_failure;
   arlo.enable_autoscaler = config.autoscale;
   arlo.autoscaler = config.autoscaler;
   arlo.request_scheduler = config.request_scheduler;

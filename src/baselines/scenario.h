@@ -35,6 +35,9 @@ struct ScenarioConfig {
   int num_runtimes = 0;
   /// Disable periodic ILP re-allocation (Table 3 ablations).
   bool enable_reallocation = true;
+  /// Re-solve the allocation out of cycle when an instance fails (graceful
+  /// degradation; no-op unless re-allocation is enabled).
+  bool reallocate_on_failure = true;
   /// >0: replacement-cost-aware re-allocation with this per-period move
   /// budget (see RuntimeSchedulerConfig::max_replacement_moves).
   int max_replacement_moves = 0;

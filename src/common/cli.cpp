@@ -1,9 +1,24 @@
 #include "common/cli.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string_view>
+#include <vector>
 
 namespace arlo {
+namespace {
+
+/// "--a, --b, --c" from a sorted key list.
+std::string JoinFlags(const std::vector<std::string>& keys) {
+  std::string out;
+  for (const auto& key : keys) {
+    if (!out.empty()) out += ", ";
+    out += "--" + key;
+  }
+  return out;
+}
+
+}  // namespace
 
 CliFlags::CliFlags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -57,20 +72,18 @@ void CliFlags::RejectUnknown(
     std::initializer_list<const char*> extra_known) const {
   std::set<std::string> known = queried_;
   for (const char* k : extra_known) known.insert(k);
-  std::string unknown;
+  // Both lists are sorted explicitly: the message is part of the contract
+  // (golden-tested), independent of the container types above.
+  std::vector<std::string> unknown;
   for (const auto& [key, value] : values_) {
-    if (known.count(key)) continue;
-    if (!unknown.empty()) unknown += ", ";
-    unknown += "--" + key;
+    if (known.count(key) == 0) unknown.push_back(key);
   }
   if (unknown.empty()) return;
-  std::string valid;
-  for (const auto& key : known) {
-    if (!valid.empty()) valid += ", ";
-    valid += "--" + key;
-  }
-  throw std::invalid_argument("unknown flag(s): " + unknown +
-                              " (valid flags: " + valid + ")");
+  std::sort(unknown.begin(), unknown.end());
+  std::vector<std::string> valid(known.begin(), known.end());
+  std::sort(valid.begin(), valid.end());
+  throw std::invalid_argument("unknown flag(s): " + JoinFlags(unknown) +
+                              " (valid flags: " + JoinFlags(valid) + ")");
 }
 
 }  // namespace arlo

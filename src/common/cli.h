@@ -33,7 +33,9 @@ class CliFlags {
   /// Throws std::invalid_argument naming any flag that was passed on the
   /// command line but never queried via Has/Get* (and is not listed in
   /// `extra_known`).  Call after all flags have been read — typically the
-  /// last line of a binary's flag-parsing block.
+  /// last line of a binary's flag-parsing block.  Both the unknown and the
+  /// valid flag lists in the message are sorted lexicographically — the
+  /// exact text is deterministic and golden-tested.
   void RejectUnknown(std::initializer_list<const char*> extra_known = {}) const;
 
  private:

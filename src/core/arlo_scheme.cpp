@@ -202,6 +202,13 @@ void ArloScheme::OnInstanceFailure(InstanceId instance,
   // A crash is not a scaling decision: the cluster manager reprovisions the
   // worker, which re-loads the same runtime after the usual launch delay.
   LaunchOne(cluster, runtime, config_.replace_delay);
+  // Graceful degradation: while the replacement provisions, the surviving
+  // fleet is one GPU short — pull the next allocation solve forward so the
+  // runtime mix is re-balanced for the reduced capacity at the next tick
+  // instead of up to a full period later.
+  if (config_.reallocate_on_failure && config_.enable_reallocation) {
+    next_period_ = cluster.Now();
+  }
 }
 
 std::vector<DeployedInstance> ArloScheme::SnapshotDeployment() const {

@@ -38,6 +38,12 @@ struct ArloSchemeConfig {
   /// Periodic re-allocation on/off (off = the Table-3 "offline" ablations).
   bool enable_reallocation = true;
 
+  /// On an instance failure, pull the next allocation solve forward to the
+  /// next tick (out-of-cycle re-balance for the reduced capacity) instead of
+  /// waiting out the remainder of the period.  No-op unless
+  /// enable_reallocation.
+  bool reallocate_on_failure = true;
+
   bool enable_autoscaler = false;
   AutoscalerConfig autoscaler;
 

@@ -1,0 +1,17 @@
+#include "fault/health.h"
+
+namespace arlo::fault {
+
+std::vector<InstanceId> HealthTracker::FindHung(
+    SimTime now, const std::function<int(InstanceId)>& outstanding_of) const {
+  std::vector<InstanceId> hung;
+  if (hang_timeout_ <= 0) return hung;
+  for (const auto& [id, last] : last_progress_) {
+    if (now - last <= hang_timeout_) continue;
+    if (outstanding_of(id) <= 0) continue;
+    hung.push_back(id);
+  }
+  return hung;
+}
+
+}  // namespace arlo::fault

@@ -1,0 +1,18 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arlo::fault {
+
+SimDuration RetryPolicy::BackoffFor(int attempt, Rng& rng) const {
+  double nominal = static_cast<double>(initial_backoff) *
+                   std::pow(multiplier, static_cast<double>(attempt));
+  nominal = std::min(nominal, static_cast<double>(max_backoff));
+  if (jitter > 0.0) {
+    nominal *= rng.Uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  return std::max<SimDuration>(1, static_cast<SimDuration>(nominal));
+}
+
+}  // namespace arlo::fault

@@ -1,0 +1,55 @@
+// Recovery policy knobs: per-request retry with exponential backoff and
+// seeded jitter, plus the cluster-level resilience parameters (hang
+// detection, deadline shedding) the engine and testbed consult when a
+// FaultPlan is attached to a run.
+//
+// Everything here is deterministic given the RNG stream it is handed: the
+// jittered backoff for attempt k is a pure function of (policy, rng state),
+// which is what keeps seeded simulations byte-identical under faults.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace arlo::fault {
+
+/// Exponential backoff with symmetric jitter: attempt k (0-based) waits
+/// initial_backoff * multiplier^k, clamped to max_backoff, then scaled by a
+/// uniform factor in [1 - jitter, 1 + jitter].
+struct RetryPolicy {
+  /// Dispatch attempts per request before transient errors stop being
+  /// injected (the request then dispatches normally — a fault layer must
+  /// never turn a transient error into a lost request).
+  int max_attempts = 4;
+  SimDuration initial_backoff = Millis(2.0);
+  double multiplier = 2.0;
+  SimDuration max_backoff = Seconds(1.0);
+  /// Fractional jitter in [0, 1): 0.2 = +/-20% around the nominal backoff.
+  double jitter = 0.2;
+
+  /// The jittered wait before retry `attempt` (0-based).  Consumes one
+  /// uniform draw from `rng` iff jitter > 0.  Always >= 1 ns.
+  SimDuration BackoffFor(int attempt, Rng& rng) const;
+};
+
+/// Cluster recovery behaviour under an attached FaultPlan.  The defaults
+/// keep every recovery mechanism that changes scheduling decisions *off*, so
+/// attaching a plan adds exactly the plan's faults and nothing else.
+struct ResiliencePolicy {
+  RetryPolicy retry;
+  /// An instance with outstanding work that has made no progress (no batch
+  /// start, no completion) for longer than this is declared dead: it is
+  /// drained and its work requeued through the scheme, exactly like a
+  /// crash.  0 disables hang detection.  Must exceed the worst-case service
+  /// time or busy-but-healthy instances get reaped.
+  SimDuration hang_timeout = 0;
+  /// Cadence of the health check (hang detection + deadline shedding).
+  SimDuration health_check_period = Millis(100.0);
+  /// Graceful degradation: an undispatched (buffered) request that has
+  /// waited longer than this is rejected, oldest first, instead of letting
+  /// the buffer grow without bound while capacity is down.  0 disables
+  /// shedding (every request is eventually served).
+  SimDuration shed_deadline = 0;
+};
+
+}  // namespace arlo::fault

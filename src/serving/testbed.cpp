@@ -4,11 +4,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
+#include <vector>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "telemetry/sink.h"
 
 namespace arlo::serving {
@@ -60,9 +64,29 @@ class Testbed final : public sim::ClusterOps {
     bool ready = false;
     bool retiring = false;
     bool gone = false;
+    // Fault state (all under mu).  `killed` is a crash: the worker dies with
+    // its queue stolen and its in-flight request requeued by its own thread.
+    bool killed = false;
+    SimTime hung_until = 0;    ///< frozen: completions slide past the window
+    SimTime slow_until = 0;    ///< service times scaled until then
+    double slow_factor = 1.0;
+    SimTime last_progress = 0; ///< pick/completion times, for hang detection
     RuntimeId runtime = kInvalidRuntime;
     std::shared_ptr<const runtime::CompiledRuntime> rt;
     SimDuration ready_delay = 0;
+  };
+
+  /// A transiently-errored dispatch waiting out its backoff (fault_mu_).
+  struct PendingRetry {
+    SimTime release = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for equal release times
+    Request request;
+    int attempt = 0;
+  };
+  struct RetryLater {
+    bool operator()(const PendingRetry& a, const PendingRetry& b) const {
+      return a.release != b.release ? a.release > b.release : a.seq > b.seq;
+    }
   };
 
   SimTime WallToSim(Clock::time_point t) const {
@@ -78,13 +102,19 @@ class Testbed final : public sim::ClusterOps {
   }
 
   void WorkerLoop(InstanceId id, Worker& w);
-  void HandleArrivalLocked(const Request& request);
+  void HandleArrivalLocked(const Request& request, int attempt = 0);
   bool TryDispatchLocked(const Request& request);
   void RetryBufferedLocked();
   void FinalizeRetirementLocked(InstanceId id);
   void TickLoop();
   void SnapshotLoop();
   void UpdateClusterGaugesLocked();
+
+  // Fault supervisor (all *Locked variants require dispatch_mu_ held).
+  void FaultLoop();
+  void ApplyPlanEventLocked(const fault::FaultEvent& event);
+  bool KillWorkerLocked(InstanceId id);
+  void RunHealthCheckLocked();
 
   const trace::Trace& trace_;
   sim::Scheme& scheme_;
@@ -101,6 +131,22 @@ class Testbed final : public sim::ClusterOps {
   int peak_workers_ = 0;
   int outstanding_ = 0;  // dispatched, not yet completed (dispatch_mu_)
   std::atomic<bool> stopping_{false};
+
+  // Fault state.  Counters and dispatch_rng_ are guarded by dispatch_mu_;
+  // the retry heap by fault_mu_ (lock order: dispatch_mu_ -> fault_mu_,
+  // never the reverse — FaultLoop drains the heap before taking
+  // dispatch_mu_).
+  Rng dispatch_rng_{1};
+  int injected_failures_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t requeues_ = 0;
+
+  std::mutex fault_mu_;
+  std::condition_variable fault_cv_;
+  std::priority_queue<PendingRetry, std::vector<PendingRetry>, RetryLater>
+      retry_heap_;
+  std::uint64_t retry_seq_ = 0;  // under fault_mu_
 };
 
 InstanceId Testbed::LaunchInstance(
@@ -169,7 +215,28 @@ int Testbed::OutstandingOn(InstanceId id) const {
   return static_cast<int>(w.queue.size()) + w.executing;
 }
 
-void Testbed::HandleArrivalLocked(const Request& request) {
+void Testbed::HandleArrivalLocked(const Request& request, int attempt) {
+  // Transient dispatch error: the attempt fails before reaching the scheme
+  // and waits out a jittered backoff on the fault supervisor's retry heap.
+  // After max_attempts failures the request dispatches unconditionally.
+  if (config_.fault_plan && config_.fault_plan->dispatch_error_prob > 0.0 &&
+      attempt < config_.resilience.retry.max_attempts &&
+      dispatch_rng_.Bernoulli(config_.fault_plan->dispatch_error_prob)) {
+    ++retries_;
+    const SimDuration backoff =
+        config_.resilience.retry.BackoffFor(attempt, dispatch_rng_);
+    const SimTime now = Now();
+    if (config_.telemetry) {
+      config_.telemetry->RecordRetry(request, now, attempt + 1, backoff);
+    }
+    {
+      std::lock_guard lk(fault_mu_);
+      retry_heap_.push(
+          PendingRetry{now + backoff, retry_seq_++, request, attempt + 1});
+    }
+    fault_cv_.notify_all();
+    return;
+  }
   if (config_.telemetry) config_.telemetry->RecordEnqueue(request, Now());
   if (!TryDispatchLocked(request)) {
     buffer_.push_back(request);
@@ -208,6 +275,177 @@ void Testbed::RetryBufferedLocked() {
   }
 }
 
+bool Testbed::KillWorkerLocked(InstanceId id) {
+  // dispatch_mu_ held.  A kill against a worker that is not currently
+  // serving (still provisioning, retiring, or already dead) is a no-op.
+  if (id >= workers_.size()) return false;
+  Worker& w = *workers_[id];
+  std::deque<QueuedRequest> orphans;
+  {
+    std::lock_guard lk(w.mu);
+    if (!w.ready || w.retiring || w.gone) return false;
+    w.killed = true;
+    w.gone = true;
+    orphans = std::move(w.queue);
+    w.queue.clear();
+  }
+  --live_workers_;
+  ++injected_failures_;
+  ++faults_injected_;
+  if (config_.telemetry) {
+    config_.telemetry->RecordInstanceFailure(Now(), id);
+    UpdateClusterGaugesLocked();
+  }
+  // The scheme drops the worker first (and may launch a replacement), so
+  // requeued orphans can only be dispatched to surviving workers.
+  scheme_.OnInstanceFailure(id, *this);
+  for (const auto& q : orphans) {
+    --outstanding_;
+    ++requeues_;
+    if (config_.telemetry) {
+      config_.telemetry->RecordRequeue(q.request, Now(), id);
+    }
+    HandleArrivalLocked(q.request);
+  }
+  // An in-flight request (w.executing) is requeued by the worker thread
+  // itself when its service wait ends and it observes `killed`.
+  w.cv.notify_all();
+  RetryBufferedLocked();
+  return true;
+}
+
+void Testbed::ApplyPlanEventLocked(const fault::FaultEvent& event) {
+  // dispatch_mu_ held.
+  switch (event.kind) {
+    case fault::FaultKind::kCrash:
+      KillWorkerLocked(event.instance);
+      break;
+    case fault::FaultKind::kHang: {
+      if (event.instance >= workers_.size() || event.duration <= 0) return;
+      Worker& w = *workers_[event.instance];
+      std::lock_guard lk(w.mu);
+      if (!w.ready || w.retiring || w.gone) return;
+      w.hung_until = std::max(w.hung_until, Now() + event.duration);
+      ++faults_injected_;
+      if (config_.telemetry) {
+        config_.telemetry->RecordFaultHang(Now(), event.instance,
+                                           event.duration);
+      }
+      break;
+    }
+    case fault::FaultKind::kSlowdown: {
+      if (event.instance >= workers_.size() || event.duration <= 0 ||
+          event.factor <= 0.0) {
+        return;
+      }
+      Worker& w = *workers_[event.instance];
+      std::lock_guard lk(w.mu);
+      if (!w.ready || w.retiring || w.gone) return;
+      w.slow_until = std::max(w.slow_until, Now() + event.duration);
+      w.slow_factor = event.factor;
+      ++faults_injected_;
+      if (config_.telemetry) {
+        config_.telemetry->RecordFaultSlowdown(Now(), event.instance,
+                                               event.duration, event.factor);
+      }
+      break;
+    }
+  }
+}
+
+void Testbed::RunHealthCheckLocked() {
+  // dispatch_mu_ held.  Reap workers holding work with no pick/completion
+  // for longer than the timeout — exactly the crash path, so recovery
+  // (scheme replacement + requeue) is identical.
+  const SimTime now = Now();
+  const SimDuration timeout = config_.resilience.hang_timeout;
+  std::vector<InstanceId> hung;
+  for (InstanceId id = 0; id < workers_.size(); ++id) {
+    const Worker& w = *workers_[id];
+    std::lock_guard lk(w.mu);
+    if (!w.ready || w.retiring || w.gone) continue;
+    const int outstanding = static_cast<int>(w.queue.size()) + w.executing;
+    if (outstanding > 0 && now - w.last_progress > timeout) hung.push_back(id);
+  }
+  for (const InstanceId id : hung) KillWorkerLocked(id);
+}
+
+void Testbed::FaultLoop() {
+  constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+  const fault::FaultPlan& plan = *config_.fault_plan;
+  const std::vector<fault::FaultEvent> events = plan.Sorted();
+  std::size_t next_event = 0;
+  // Distinct stream from dispatch_rng_ (which draws transient errors and
+  // jitter under dispatch_mu_): gaps and victims for random crashes.
+  Rng crash_rng(plan.seed + 1);
+  SimTime next_crash = kNever;
+  if (plan.random_crash_mtbf_s > 0.0) {
+    next_crash = Seconds(crash_rng.Exponential(1.0 / plan.random_crash_mtbf_s));
+  }
+  const bool health = config_.resilience.hang_timeout > 0;
+  SimTime next_health = health ? config_.resilience.health_check_period : kNever;
+
+  for (;;) {
+    SimTime due = kNever;
+    if (next_event < events.size()) due = std::min(due, events[next_event].at);
+    due = std::min(due, next_crash);
+    due = std::min(due, next_health);
+    {
+      std::unique_lock lk(fault_mu_);
+      if (!retry_heap_.empty()) due = std::min(due, retry_heap_.top().release);
+      const auto woken = [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               (!retry_heap_.empty() && retry_heap_.top().release < due);
+      };
+      if (due == kNever) {
+        fault_cv_.wait(lk, woken);
+      } else {
+        fault_cv_.wait_until(lk, SimToWall(due), woken);
+      }
+      if (stopping_.load(std::memory_order_relaxed)) return;
+    }
+
+    const SimTime now = Now();
+    std::vector<PendingRetry> due_retries;
+    {
+      std::lock_guard lk(fault_mu_);
+      while (!retry_heap_.empty() && retry_heap_.top().release <= now) {
+        due_retries.push_back(retry_heap_.top());
+        retry_heap_.pop();
+      }
+    }
+    std::lock_guard global(dispatch_mu_);
+    for (const PendingRetry& r : due_retries) {
+      HandleArrivalLocked(r.request, r.attempt);
+    }
+    while (next_event < events.size() && events[next_event].at <= now) {
+      ApplyPlanEventLocked(events[next_event]);
+      ++next_event;
+    }
+    if (next_crash <= now) {
+      // Random background crash: uniform victim among live workers.
+      std::vector<InstanceId> live;
+      for (InstanceId id = 0; id < workers_.size(); ++id) {
+        const Worker& w = *workers_[id];
+        std::lock_guard lk(w.mu);
+        if (w.ready && !w.retiring && !w.gone) live.push_back(id);
+      }
+      if (!live.empty()) {
+        KillWorkerLocked(live[static_cast<std::size_t>(crash_rng.UniformInt(
+            0, static_cast<std::int64_t>(live.size()) - 1))]);
+      }
+      next_crash =
+          now + Seconds(crash_rng.Exponential(1.0 / plan.random_crash_mtbf_s));
+    }
+    if (next_health <= now) {
+      RunHealthCheckLocked();
+      while (next_health <= now) {
+        next_health += config_.resilience.health_check_period;
+      }
+    }
+  }
+}
+
 void Testbed::WorkerLoop(InstanceId id, Worker& w) {
   // Provisioning delay, then announce readiness.
   if (w.ready_delay > 0) {
@@ -223,7 +461,10 @@ void Testbed::WorkerLoop(InstanceId id, Worker& w) {
     {
       std::lock_guard lk(w.mu);
       was_retired = w.gone || w.retiring;
-      if (!was_retired) w.ready = true;
+      if (!was_retired) {
+        w.ready = true;
+        w.last_progress = Now();
+      }
     }
     if (was_retired) return;
     scheme_.OnInstanceReady(id, w.runtime);
@@ -232,26 +473,67 @@ void Testbed::WorkerLoop(InstanceId id, Worker& w) {
 
   for (;;) {
     QueuedRequest item;
+    double slow_factor = 1.0;
     {
       std::unique_lock lk(w.mu);
       w.cv.wait(lk, [&] {
         return !w.queue.empty() || w.gone || (w.retiring && w.queue.empty());
       });
-      if (w.queue.empty()) return;  // retired/gone and drained
+      if (w.gone && w.queue.empty()) return;  // killed or retired-and-drained
+      if (w.queue.empty()) return;            // retiring and drained
       item = w.queue.front();
       w.queue.pop_front();
       w.executing = 1;
+      w.last_progress = Now();
+      if (Now() < w.slow_until) slow_factor = w.slow_factor;
     }
 
     const SimTime start_sim = Now();
-    const SimDuration service =
-        config_.per_request_overhead +
-        w.rt->ComputeTime(item.request.length);
+    const SimDuration service = static_cast<SimDuration>(
+        static_cast<double>(config_.per_request_overhead +
+                            w.rt->ComputeTime(item.request.length)) *
+        slow_factor);
     PreciseWaitUntil(SimToWall(start_sim + service),
                      std::chrono::nanoseconds(config_.spin_threshold));
 
+    // A hang freezes the worker: an in-flight completion slides past the
+    // window's end.  Waits on the worker cv (not PreciseWaitUntil) so a
+    // kill — e.g. the health check reaping this very hang — interrupts the
+    // freeze immediately instead of sleeping out the whole window; the
+    // predicate re-reads hung_until because a hang may extend mid-wait.
+    bool recovered_from_hang = false;
+    {
+      std::unique_lock lk(w.mu);
+      while (!w.killed && Now() < w.hung_until) {
+        recovered_from_hang = true;
+        w.cv.wait_until(lk, SimToWall(w.hung_until),
+                        [&] { return w.killed; });
+      }
+      if (recovered_from_hang && !w.killed && config_.telemetry) {
+        config_.telemetry->RecordFaultRecover(Now(), id);
+      }
+    }
+
     {
       std::lock_guard global(dispatch_mu_);
+      bool was_killed;
+      {
+        std::lock_guard lk(w.mu);
+        was_killed = w.killed;
+      }
+      if (was_killed) {
+        // Crashed mid-service: the in-flight request is requeued with its
+        // original arrival time; no completion is recorded.  The scheme was
+        // already detached from this worker by KillWorkerLocked.
+        --outstanding_;
+        ++requeues_;
+        if (config_.telemetry) {
+          config_.telemetry->RecordRequeue(item.request, Now(), id);
+        }
+        HandleArrivalLocked(item.request);
+        RetryBufferedLocked();
+        return;
+      }
       RequestRecord record;
       record.id = item.request.id;
       record.arrival = item.request.arrival;
@@ -275,6 +557,7 @@ void Testbed::WorkerLoop(InstanceId id, Worker& w) {
       {
         std::lock_guard lk(w.mu);
         w.executing = 0;
+        w.last_progress = Now();
         drained = w.retiring && w.queue.empty();
       }
       if (drained) FinalizeRetirementLocked(id);
@@ -321,6 +604,7 @@ TestbedResult Testbed::Run() {
   start_ = Clock::now();
   records_.reserve(trace_.Size());
   scheme_.SetTelemetry(config_.telemetry);
+  if (config_.fault_plan) dispatch_rng_ = Rng(config_.fault_plan->seed);
   {
     std::lock_guard global(dispatch_mu_);
     scheme_.Setup(*this);
@@ -329,6 +613,10 @@ TestbedResult Testbed::Run() {
   std::thread snapshotter;
   if (config_.telemetry) {
     snapshotter = std::thread([this] { SnapshotLoop(); });
+  }
+  std::thread fault_supervisor;
+  if (config_.fault_plan) {
+    fault_supervisor = std::thread([this] { FaultLoop(); });
   }
 
   for (const Request& r : trace_.Requests()) {
@@ -345,6 +633,13 @@ TestbedResult Testbed::Run() {
   }
   stopping_.store(true, std::memory_order_relaxed);
   ticker.join();
+  if (fault_supervisor.joinable()) {
+    {
+      std::lock_guard lk(fault_mu_);  // pairs with the fault_cv_ wait
+    }
+    fault_cv_.notify_all();
+    fault_supervisor.join();
+  }
   if (snapshotter.joinable()) snapshotter.join();
   if (config_.telemetry) config_.telemetry->Snapshot(Now());  // final row
 
@@ -364,6 +659,10 @@ TestbedResult Testbed::Run() {
   TestbedResult out;
   out.records = std::move(records_);
   out.peak_workers = peak_workers_;
+  out.injected_failures = injected_failures_;
+  out.faults_injected = faults_injected_;
+  out.retries = retries_;
+  out.requeues = requeues_;
   SimTime end = 0;
   for (const auto& r : out.records) end = std::max(end, r.completion);
   out.end_time = end;

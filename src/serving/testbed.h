@@ -11,9 +11,12 @@
 #pragma once
 
 #include "common/types.h"
+#include "fault/fault_plan.h"
+#include "fault/retry.h"
 #include "sim/scheme.h"
 #include "trace/trace.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace arlo::telemetry {
@@ -38,12 +41,27 @@ struct TestbedConfig {
   /// Snapshots are driven by a wall-clock thread at the sink's period
   /// (in scaled, i.e. simulated, time).  Null disables telemetry.
   telemetry::TelemetrySink* telemetry = nullptr;
+
+  /// Declarative fault injection (not owned; must outlive the run).  A
+  /// fault supervisor thread applies the plan's events — crashed workers
+  /// die with their in-flight request requeued, hung workers freeze, slowed
+  /// workers stretch service times — and dispatches due retries.  Event
+  /// times are simulated (scaled) time, same as the simulator, so one plan
+  /// drives both substrates.  See docs/FAULTS.md.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Retry backoff + hang-detection behaviour when a plan is attached.
+  /// Deadline shedding is a simulator-only feature and is ignored here.
+  fault::ResiliencePolicy resilience;
 };
 
 struct TestbedResult {
   std::vector<RequestRecord> records;  ///< times in simulated ns
   SimTime end_time = 0;
   int peak_workers = 0;
+  int injected_failures = 0;           ///< workers killed (crash + reaped hangs)
+  std::uint64_t faults_injected = 0;   ///< all fault activations
+  std::uint64_t retries = 0;           ///< transient dispatch errors retried
+  std::uint64_t requeues = 0;          ///< requests drained off dead workers
 };
 
 /// Replays the trace through the scheme on real threads.  Blocks until all

@@ -10,7 +10,10 @@ namespace detail {
 
 Engine::Engine(const trace::Trace& trace, Scheme& scheme,
                const EngineConfig& config)
-    : trace_(trace), scheme_(scheme), config_(config) {
+    : trace_(trace),
+      scheme_(scheme),
+      config_(config),
+      health_(config.resilience.hang_timeout) {
   if (config_.collect_records) records_.reserve(trace_.Size());
 }
 
@@ -46,6 +49,7 @@ InstanceId Engine::LaunchInstance(
     if (config_.telemetry) {
       config_.telemetry->RecordInstanceReady(events_.Now(), id, runtime);
     }
+    if (config_.fault_plan) health_.OnReady(id, events_.Now());
     scheme_.OnInstanceReady(id, runtime);
     RetryBuffered();
     MaybeStartNext(id);
@@ -87,6 +91,29 @@ int Engine::OutstandingOn(InstanceId id) const {
 }
 
 void Engine::HandleArrival(const Request& request) {
+  HandleArrivalAttempt(request, 0);
+}
+
+void Engine::HandleArrivalAttempt(const Request& request, int attempt) {
+  // Transient dispatch error: the attempt fails before touching the
+  // scheduler and is retried with jittered exponential backoff.  After
+  // max_attempts failures the request dispatches normally — the fault layer
+  // must never turn a transient error into a lost request.
+  if (config_.fault_plan && config_.fault_plan->dispatch_error_prob > 0.0 &&
+      attempt < config_.resilience.retry.max_attempts &&
+      fault_rng_.Bernoulli(config_.fault_plan->dispatch_error_prob)) {
+    ++retries_total_;
+    const SimDuration backoff =
+        config_.resilience.retry.BackoffFor(attempt, fault_rng_);
+    if (config_.telemetry) {
+      config_.telemetry->RecordRetry(request, events_.Now(), attempt + 1,
+                                     backoff);
+    }
+    events_.Schedule(events_.Now() + backoff, [this, request, attempt] {
+      HandleArrivalAttempt(request, attempt + 1);
+    });
+    return;
+  }
   if (config_.timeline) config_.timeline->RecordArrival(events_.Now());
   if (config_.telemetry) {
     config_.telemetry->RecordEnqueue(request, events_.Now());
@@ -129,6 +156,7 @@ bool Engine::TryDispatch(const Request& request) {
 void Engine::MaybeStartNext(InstanceId id) {
   Instance& inst = instances_[id];
   if (inst.executing || !inst.ready || inst.queue.empty()) return;
+  if (inst.hung_until > events_.Now()) return;  // frozen; recovery re-kicks
   // Opportunistic batching: pull up to max_batch queued requests and run
   // them as one padded batch (max_batch 1 == the paper's serving mode).
   const int n = std::min<int>(config_.max_batch,
@@ -142,18 +170,30 @@ void Engine::MaybeStartNext(InstanceId id) {
   }
   inst.executing = true;
   inst.current_start = events_.Now();
-  const SimDuration service =
+  SimDuration service =
       static_cast<SimDuration>(n) * config_.per_request_overhead +
       inst.rt->BatchComputeTime(n, max_len);
+  if (events_.Now() < inst.slow_until) {
+    service = static_cast<SimDuration>(static_cast<double>(service) *
+                                       inst.slow_factor);
+  }
   busy_ns_total_ += static_cast<double>(service);
+  if (config_.fault_plan) health_.OnProgress(id, events_.Now());
   events_.Schedule(events_.Now() + service,
                    [this, id] { HandleCompletion(id); });
 }
 
+double Engine::CrashMtbfSeconds() const {
+  if (config_.fault_plan && config_.fault_plan->random_crash_mtbf_s > 0.0) {
+    return config_.fault_plan->random_crash_mtbf_s;
+  }
+  return config_.fault_plan ? 0.0 : config_.mean_time_between_failures_s;
+}
+
 void Engine::ScheduleNextFailure() {
-  if (config_.mean_time_between_failures_s <= 0.0) return;
-  const SimDuration gap = Seconds(
-      fault_rng_.Exponential(1.0 / config_.mean_time_between_failures_s));
+  const double mtbf_s = CrashMtbfSeconds();
+  if (mtbf_s <= 0.0) return;
+  const SimDuration gap = Seconds(fault_rng_.Exponential(1.0 / mtbf_s));
   events_.Schedule(events_.Now() + gap, [this] {
     if (completed_ < trace_.Size()) {
       InjectFailure();
@@ -172,7 +212,15 @@ void Engine::InjectFailure() {
   if (live.empty()) return;
   const InstanceId victim = live[static_cast<std::size_t>(
       fault_rng_.UniformInt(0, static_cast<std::int64_t>(live.size()) - 1))];
+  CrashInstance(victim);
+}
+
+bool Engine::CrashInstance(InstanceId victim) {
+  // Plan events and hang reaps target instances that may have retired or
+  // crashed already — a fault against a non-serving instance is a no-op.
+  if (victim >= instances_.size()) return false;
   Instance& inst = instances_[victim];
+  if (!inst.ready || inst.retiring || inst.gone) return false;
 
   // The scheme drops the instance from its structures first (and may
   // launch replacement capacity).
@@ -190,21 +238,148 @@ void Engine::InjectFailure() {
   inst.rt.reset();
   --active_count_;
   ++injected_failures_;
+  ++faults_total_;
+  health_.OnGone(victim);
   if (config_.telemetry) {
     config_.telemetry->RecordInstanceFailure(events_.Now(), victim);
     UpdateClusterGauges();
   }
   for (const auto& q : orphans) {
     outstanding_ -= 1;  // HandleArrival/TryDispatch re-counts on dispatch
+    ++requeues_total_;
+    if (config_.telemetry) {
+      config_.telemetry->RecordRequeue(q.request, events_.Now(), victim);
+    }
     HandleArrival(q.request);
   }
+  return true;
+}
+
+void Engine::SchedulePlanEvents() {
+  for (const fault::FaultEvent& ev : config_.fault_plan->Sorted()) {
+    events_.Schedule(ev.at, [this, ev] { ApplyPlanEvent(ev); });
+  }
+}
+
+void Engine::ApplyPlanEvent(const fault::FaultEvent& event) {
+  switch (event.kind) {
+    case fault::FaultKind::kCrash:
+      CrashInstance(event.instance);
+      break;
+    case fault::FaultKind::kHang:
+      ApplyHang(event.instance, event.duration);
+      break;
+    case fault::FaultKind::kSlowdown:
+      ApplySlowdown(event.instance, event.duration, event.factor);
+      break;
+  }
+}
+
+void Engine::ApplyHang(InstanceId id, SimDuration duration) {
+  if (id >= instances_.size() || duration <= 0) return;
+  Instance& inst = instances_[id];
+  if (!inst.ready || inst.retiring || inst.gone) return;
+  const SimTime now = events_.Now();
+  // Overlapping hangs extend the window; the instance starts nothing and
+  // completes nothing until it passes (its in-flight batch slides to the
+  // window's end), unless hang detection reaps it first.
+  inst.hung_until = std::max(inst.hung_until, now + duration);
+  ++faults_total_;
+  if (config_.telemetry) config_.telemetry->RecordFaultHang(now, id, duration);
+  events_.Schedule(inst.hung_until, [this, id] {
+    Instance& i = instances_[id];
+    if (i.gone || i.hung_until > events_.Now()) return;  // reaped / extended
+    if (config_.telemetry) {
+      config_.telemetry->RecordFaultRecover(events_.Now(), id);
+    }
+    MaybeStartNext(id);
+    RetryBuffered();
+  });
+}
+
+void Engine::ApplySlowdown(InstanceId id, SimDuration duration, double factor) {
+  if (id >= instances_.size() || duration <= 0 || factor <= 0.0) return;
+  Instance& inst = instances_[id];
+  if (!inst.ready || inst.retiring || inst.gone) return;
+  const SimTime now = events_.Now();
+  inst.slow_until = std::max(inst.slow_until, now + duration);
+  inst.slow_factor = factor;
+  ++faults_total_;
+  if (config_.telemetry) {
+    config_.telemetry->RecordFaultSlowdown(now, id, duration, factor);
+  }
+  events_.Schedule(inst.slow_until, [this, id] {
+    Instance& i = instances_[id];
+    if (i.gone || i.slow_until > events_.Now()) return;  // reaped / extended
+    if (config_.telemetry) {
+      config_.telemetry->RecordFaultRecover(events_.Now(), id);
+    }
+  });
+}
+
+void Engine::ScheduleHealthCheck() {
+  const SimDuration period = config_.resilience.health_check_period;
+  ARLO_CHECK(period > 0);
+  events_.Schedule(events_.Now() + period, [this] {
+    if (completed_ >= trace_.Size()) return;
+    RunHealthCheck();
+    ScheduleHealthCheck();
+  });
+}
+
+void Engine::RunHealthCheck() {
+  if (config_.resilience.hang_timeout > 0) {
+    const std::vector<InstanceId> hung = health_.FindHung(
+        events_.Now(), [this](InstanceId id) { return OutstandingOn(id); });
+    // Reap exactly like a crash: the scheme launches replacement capacity
+    // and the hung instance's work is requeued.
+    for (const InstanceId id : hung) CrashInstance(id);
+  }
+  if (config_.resilience.shed_deadline > 0) ShedExpired();
+}
+
+void Engine::ShedExpired() {
+  const SimTime now = events_.Now();
+  const SimDuration deadline = config_.resilience.shed_deadline;
+  bool shed_any = false;
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    if (now - it->arrival <= deadline) {
+      ++it;
+      continue;
+    }
+    const Request request = *it;
+    it = buffer_.erase(it);
+    RequestRecord record;
+    record.id = request.id;
+    record.arrival = request.arrival;
+    record.dispatch = now;
+    record.start = now;
+    record.completion = now;
+    record.length = request.length;
+    record.stream = request.stream;
+    record.runtime = kInvalidRuntime;
+    record.instance = kInvalidInstance;
+    shed_records_.push_back(record);
+    ++sheds_total_;
+    ++completed_;  // terminal: the run does not wait for a shed request
+    shed_any = true;
+    if (config_.telemetry) config_.telemetry->RecordShed(request, now);
+  }
+  if (shed_any && config_.telemetry) UpdateClusterGauges();
 }
 
 void Engine::HandleCompletion(InstanceId id) {
   Instance& inst = instances_[id];
   if (inst.gone) return;  // completion of a request lost to a crash
+  if (inst.hung_until > events_.Now()) {
+    // Frozen mid-batch: the in-flight batch is released when the hang
+    // window ends (or never, if hang detection reaps the instance first).
+    events_.Schedule(inst.hung_until, [this, id] { HandleCompletion(id); });
+    return;
+  }
   ARLO_CHECK(inst.executing);
   inst.executing = false;
+  if (config_.fault_plan) health_.OnProgress(id, events_.Now());
   const std::vector<QueuedRequest> batch = std::move(inst.current_batch);
   inst.current_batch.clear();
 
@@ -280,12 +455,20 @@ void Engine::ScheduleTick() {
 }
 
 EngineResult Engine::Run() {
-  fault_rng_ = Rng(config_.fault_seed);
+  fault_rng_ = Rng(config_.fault_plan ? config_.fault_plan->seed
+                                      : config_.fault_seed);
   scheme_.SetTelemetry(config_.telemetry);
   scheme_.Setup(*this);
   ScheduleNextArrival();
   ScheduleTick();
   ScheduleNextFailure();
+  if (config_.fault_plan) {
+    SchedulePlanEvents();
+    if (config_.resilience.hang_timeout > 0 ||
+        config_.resilience.shed_deadline > 0) {
+      ScheduleHealthCheck();
+    }
+  }
   if (config_.telemetry) ScheduleSnapshot();
 
   while (completed_ < trace_.Size()) {
@@ -308,6 +491,11 @@ EngineResult Engine::Run() {
   out.peak_gpus = peak_count_;
   out.buffered_requests = buffered_total_;
   out.injected_failures = injected_failures_;
+  out.faults_injected = faults_total_;
+  out.retries = retries_total_;
+  out.requeues = requeues_total_;
+  out.sheds = sheds_total_;
+  out.shed_records = std::move(shed_records_);
   if (events_.Now() > 0) {
     out.time_weighted_gpus =
         gpu_time_integral_ns_ / static_cast<double>(events_.Now());

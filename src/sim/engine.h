@@ -15,6 +15,9 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault_plan.h"
+#include "fault/health.h"
+#include "fault/retry.h"
 #include "sim/event_queue.h"
 #include "sim/scheme.h"
 #include "sim/timeline.h"
@@ -53,6 +56,18 @@ struct EngineConfig {
   double mean_time_between_failures_s = 0.0;
   std::uint64_t fault_seed = 1;
 
+  /// Declarative fault injection (not owned; must outlive the run).  A plan
+  /// supersedes the legacy mtbf knobs above: its `seed` seeds the fault RNG
+  /// and its `random_crash_mtbf_s` drives background crashes.  Scheduled
+  /// crash/hang/slowdown events fire at their plan times; transient dispatch
+  /// errors are drawn per dispatch attempt and retried per `resilience`.
+  /// See docs/FAULTS.md.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Recovery behaviour when a plan is attached: retry backoff, hang
+  /// detection, deadline shedding.  Defaults keep hang detection and
+  /// shedding off.
+  fault::ResiliencePolicy resilience;
+
   /// Optional telemetry sink (not owned; must outlive the run).  The engine
   /// records the request lifecycle and cluster churn, injects the sink into
   /// the scheme via Scheme::SetTelemetry, and drives periodic snapshots on
@@ -69,6 +84,13 @@ struct EngineResult {
                                         ///< dispatched immediately
   double gpu_busy_fraction = 0.0;    ///< aggregate compute utilization
   int injected_failures = 0;         ///< fault-injection crash count
+  std::uint64_t faults_injected = 0;  ///< all fault activations (crash/hang/slow)
+  std::uint64_t retries = 0;          ///< transient dispatch errors retried
+  std::uint64_t requeues = 0;         ///< requests drained off dead instances
+  std::uint64_t sheds = 0;            ///< buffered requests past shed deadline
+  /// Requests rejected by deadline shedding (dispatch == start == completion
+  /// == shed time; runtime/instance invalid).  Disjoint from `records`.
+  std::vector<RequestRecord> shed_records;
 };
 
 /// Runs the trace to completion under the scheme.  Deterministic.
@@ -108,9 +130,13 @@ class Engine final : public ClusterOps {
     bool ready = false;
     bool retiring = false;
     bool gone = false;
+    SimTime hung_until = 0;    ///< frozen (no starts/completions) until then
+    SimTime slow_until = 0;    ///< service times scaled until then
+    double slow_factor = 1.0;  ///< multiplier while slow_until is in force
   };
 
   void HandleArrival(const Request& request);
+  void HandleArrivalAttempt(const Request& request, int attempt);
   bool TryDispatch(const Request& request);
   void MaybeStartNext(InstanceId id);
   void HandleCompletion(InstanceId id);
@@ -123,6 +149,17 @@ class Engine final : public ClusterOps {
   void AccumulateGpuTime();
   void ScheduleNextFailure();
   void InjectFailure();
+  double CrashMtbfSeconds() const;
+  void SchedulePlanEvents();
+  void ApplyPlanEvent(const fault::FaultEvent& event);
+  /// Kills a live instance: scheme drop, drain + requeue, telemetry.
+  /// Returns false (no-op) if the instance is not currently serving.
+  bool CrashInstance(InstanceId victim);
+  void ApplyHang(InstanceId id, SimDuration duration);
+  void ApplySlowdown(InstanceId id, SimDuration duration, double factor);
+  void ScheduleHealthCheck();
+  void RunHealthCheck();
+  void ShedExpired();
 
   const trace::Trace& trace_;
   Scheme& scheme_;
@@ -148,6 +185,12 @@ class Engine final : public ClusterOps {
   std::uint64_t buffered_total_ = 0;
   Rng fault_rng_{1};
   int injected_failures_ = 0;
+  fault::HealthTracker health_;
+  std::uint64_t faults_total_ = 0;
+  std::uint64_t retries_total_ = 0;
+  std::uint64_t requeues_total_ = 0;
+  std::uint64_t sheds_total_ = 0;
+  std::vector<RequestRecord> shed_records_;
 };
 
 }  // namespace detail

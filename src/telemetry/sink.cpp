@@ -29,6 +29,18 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
       "arlo_instance_retirements_total", "Instances fully drained and retired");
   serving_.failures = registry_.GetCounter(
       "arlo_instance_failures_total", "Abrupt instance crashes (fault injection)");
+  serving_.faults_injected = registry_.GetCounter(
+      "arlo_faults_injected_total",
+      "Fault-plan activations applied (crashes, hangs, slowdowns)");
+  serving_.retries = registry_.GetCounter(
+      "arlo_retries_total",
+      "Dispatch attempts that failed transiently and were retried with backoff");
+  serving_.requeues = registry_.GetCounter(
+      "arlo_requeues_total",
+      "Requests drained off a crashed/reaped instance and requeued");
+  serving_.sheds = registry_.GetCounter(
+      "arlo_sheds_total",
+      "Buffered requests rejected past the shed deadline (load shedding)");
   serving_.replacements = registry_.GetCounter(
       "arlo_replacements_total",
       "Instance replacements executed from re-allocation plans");
@@ -154,8 +166,61 @@ void TelemetrySink::RecordInstanceRetired(SimTime now, InstanceId instance) {
 
 void TelemetrySink::RecordInstanceFailure(SimTime now, InstanceId instance) {
   serving_.failures->Add();
+  serving_.faults_injected->Add();
   tracer_.Instant("instance_failure", "fault", now,
                   static_cast<std::int64_t>(instance));
+}
+
+void TelemetrySink::RecordFaultHang(SimTime now, InstanceId instance,
+                                    SimDuration duration) {
+  serving_.faults_injected->Add();
+  tracer_.Instant("fault_hang", "fault", now,
+                  static_cast<std::int64_t>(instance),
+                  {{"dur_ns", duration}});
+}
+
+void TelemetrySink::RecordFaultSlowdown(SimTime now, InstanceId instance,
+                                        SimDuration duration, double factor) {
+  serving_.faults_injected->Add();
+  tracer_.Instant("fault_slowdown", "fault", now,
+                  static_cast<std::int64_t>(instance),
+                  {{"dur_ns", duration},
+                   {"factor_pct",
+                    static_cast<std::int64_t>(factor * 100.0 + 0.5)}});
+}
+
+void TelemetrySink::RecordFaultRecover(SimTime now, InstanceId instance) {
+  tracer_.Instant("fault_recover", "fault", now,
+                  static_cast<std::int64_t>(instance));
+}
+
+void TelemetrySink::RecordRetry(const Request& request, SimTime now,
+                                int attempt, SimDuration backoff) {
+  serving_.retries->Add();
+  if (config_.trace_requests) {
+    tracer_.Instant("retry", "fault", now, TraceRecorder::kControlLane,
+                    {{"id", static_cast<std::int64_t>(request.id)},
+                     {"attempt", attempt},
+                     {"backoff_ns", backoff}});
+  }
+}
+
+void TelemetrySink::RecordRequeue(const Request& request, SimTime now,
+                                  InstanceId from) {
+  serving_.requeues->Add();
+  if (config_.trace_requests) {
+    tracer_.Instant("requeue", "fault", now, static_cast<std::int64_t>(from),
+                    {{"id", static_cast<std::int64_t>(request.id)}});
+  }
+}
+
+void TelemetrySink::RecordShed(const Request& request, SimTime now) {
+  serving_.sheds->Add();
+  if (config_.trace_requests) {
+    tracer_.Instant("shed", "fault", now, TraceRecorder::kControlLane,
+                    {{"id", static_cast<std::int64_t>(request.id)},
+                     {"waited_ns", now - request.arrival}});
+  }
 }
 
 void TelemetrySink::RecordReplacement(SimTime now, InstanceId victim,

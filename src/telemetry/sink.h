@@ -47,6 +47,10 @@ struct ServingMetrics {
   Counter* launches = nullptr;
   Counter* retirements = nullptr;
   Counter* failures = nullptr;
+  Counter* faults_injected = nullptr;
+  Counter* retries = nullptr;
+  Counter* requeues = nullptr;
+  Counter* sheds = nullptr;
   Counter* replacements = nullptr;
   Counter* allocation_solves = nullptr;
   Counter* autoscale_out = nullptr;
@@ -100,6 +104,23 @@ class TelemetrySink {
                            RuntimeId runtime);
   void RecordInstanceRetired(SimTime now, InstanceId instance);
   void RecordInstanceFailure(SimTime now, InstanceId instance);
+
+  // --- fault injection & recovery (src/fault; see docs/FAULTS.md) --------
+  /// A hang fault froze the instance for `duration`.
+  void RecordFaultHang(SimTime now, InstanceId instance, SimDuration duration);
+  /// A slowdown fault stretches the instance's service times by `factor`.
+  void RecordFaultSlowdown(SimTime now, InstanceId instance,
+                           SimDuration duration, double factor);
+  /// A hang/slowdown window elapsed and the instance resumed normal service.
+  void RecordFaultRecover(SimTime now, InstanceId instance);
+  /// A dispatch attempt failed transiently; retry `attempt` (1-based) is
+  /// scheduled after `backoff`.
+  void RecordRetry(const Request& request, SimTime now, int attempt,
+                   SimDuration backoff);
+  /// A request was drained off a crashed/reaped instance and requeued.
+  void RecordRequeue(const Request& request, SimTime now, InstanceId from);
+  /// A buffered request exceeded the shed deadline and was rejected.
+  void RecordShed(const Request& request, SimTime now);
   void RecordReplacement(SimTime now, InstanceId victim, RuntimeId to);
   /// A periodic allocation solve: wall time goes to metrics only; the
   /// deterministic facts (GPUs, replacement moves) go to the trace.

@@ -88,6 +88,23 @@ TEST(CliFlags, RejectUnknownPassesWhenAllFlagsQueried) {
   EXPECT_NO_THROW(flags.RejectUnknown());
 }
 
+TEST(CliFlags, RejectUnknownMessageIsSortedAndStable) {
+  // Golden message: both lists are sorted regardless of argv / query order,
+  // so tools can test against the exact text.
+  const char* argv[] = {"prog", "--zeta=1", "--alpha=2"};
+  CliFlags flags(3, argv);
+  (void)flags.GetInt("mid", 0);
+  (void)flags.GetInt("aardvark", 0);
+  try {
+    flags.RejectUnknown();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown flag(s): --alpha, --zeta "
+                 "(valid flags: --aardvark, --mid)");
+  }
+}
+
 TEST(CliFlags, RejectUnknownHonorsExtraKnown) {
   const char* argv[] = {"prog", "--pattern=bursty"};
   CliFlags flags(2, argv);

@@ -1,10 +1,20 @@
 // Fault-injection tests: instances crash mid-run, their queued and
 // in-flight work is re-dispatched, and schemes recover via re-allocation /
 // auto-scaling (§3.4's motivation: failures cause imbalanced load).
+//
+// The second half drives the declarative FaultPlan path (src/fault):
+// scheduled crashes/hangs/slowdowns, transient-error retries, hang
+// detection, deadline shedding, and byte-identical seeded telemetry traces.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <sstream>
+
 #include "baselines/scenario.h"
+#include "fault/fault_plan.h"
 #include "sim/engine.h"
+#include "telemetry/sink.h"
 #include "trace/twitter.h"
 
 namespace arlo {
@@ -114,6 +124,245 @@ TEST(FaultInjection, LatencyAccountingSurvivesReDispatch) {
   for (const auto& r : result.records) {
     EXPECT_GE(r.dispatch, r.arrival);   // re-dispatch keeps original arrival
     EXPECT_GT(r.completion, r.start);
+  }
+}
+
+// --- FaultPlan-driven injection ------------------------------------------
+
+// Period defaults to longer than every run here: planned fault events
+// target instance ids from the initial allocation, and periodic
+// re-allocation would retire those ids mid-run (out-of-cycle re-allocation
+// after a failure still runs — that is the degradation path under test).
+baselines::ScenarioConfig ArloConfig(const trace::Trace& t, int gpus,
+                                     SimDuration period = Seconds(30.0)) {
+  baselines::ScenarioConfig config;
+  config.gpus = gpus;
+  config.period = period;
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand = baselines::DemandFromTrace(t, *runtimes, config.slo);
+  return config;
+}
+
+/// Every trace id appears exactly once across served + shed records.
+void ExpectCompleteCoverage(const trace::Trace& t,
+                            const sim::EngineResult& result) {
+  ASSERT_EQ(result.records.size() + result.shed_records.size(), t.Size());
+  std::vector<int> count(t.Size(), 0);
+  for (const auto& r : result.records) ++count[r.id];
+  for (const auto& r : result.shed_records) ++count[r.id];
+  for (std::size_t id = 0; id < count.size(); ++id) {
+    EXPECT_EQ(count[id], 1) << "request " << id;
+  }
+}
+
+// The ISSUE acceptance scenario: a plan crashes 2 of 10 instances mid-run
+// under load with transient errors and shedding enabled.  Nothing is lost
+// or double-completed, and every new counter is nonzero and exported.
+TEST(FaultPlanSim, CrashTwoOfTenNothingLost) {
+  const trace::Trace t = SmallTrace(2000.0, 8.0, 21);
+  baselines::ScenarioConfig config = ArloConfig(t, 10);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+  // Instances launch in runtime order, so the highest ids host the
+  // longest-sequence runtime; losing both (2 of 10) leaves long requests
+  // with no serving instance until the replacements come up ~1 s later —
+  // they buffer, and the ones that overstay the deadline shed.
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.dispatch_error_prob = 0.01;
+  plan.CrashAt(Seconds(3.0), 8).CrashAt(Seconds(3.0), 9);
+
+  telemetry::TelemetrySink sink;
+  sim::EngineConfig engine;
+  engine.fault_plan = &plan;
+  engine.resilience.shed_deadline = Millis(300.0);
+  engine.telemetry = &sink;
+
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  ExpectCompleteCoverage(t, result);
+  EXPECT_EQ(result.injected_failures, 2);
+  EXPECT_GE(result.faults_injected, 2u);
+  EXPECT_GT(result.retries, 0u);
+  EXPECT_GT(result.requeues, 0u);
+  EXPECT_GT(result.sheds, 0u);
+
+  std::ostringstream prom;
+  sink.WritePrometheus(prom);
+  const std::string text = prom.str();
+  for (const char* name :
+       {"arlo_faults_injected_total", "arlo_retries_total",
+        "arlo_requeues_total", "arlo_sheds_total"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+// Two runs with the same plan + seed serialize byte-identical Chrome traces.
+TEST(FaultPlanSim, SeededRunsProduceByteIdenticalTraces) {
+  const auto run = [] {
+    const trace::Trace t = SmallTrace(500.0, 6.0, 22);
+    baselines::ScenarioConfig config;
+    config.gpus = 6;
+    config.period = Seconds(2.0);
+    auto runtimes = baselines::MakeRuntimeSetFor(config);
+    config.initial_demand =
+        baselines::DemandFromTrace(t, *runtimes, config.slo);
+    auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+    fault::FaultPlan plan;
+    plan.seed = 9;
+    plan.dispatch_error_prob = 0.02;
+    plan.random_crash_mtbf_s = 3.0;
+    plan.CrashAt(Seconds(2.0), 1)
+        .HangAt(Seconds(2.5), 3, Millis(600.0))
+        .SlowdownAt(Seconds(3.0), 4, Seconds(1.0), 3.0);
+
+    telemetry::TelemetrySink sink;
+    sim::EngineConfig engine;
+    engine.fault_plan = &plan;
+    engine.resilience.hang_timeout = Seconds(2.0);
+    engine.resilience.shed_deadline = Millis(500.0);
+    engine.telemetry = &sink;
+    (void)sim::RunScenario(t, *scheme, engine);
+    std::ostringstream trace_json;
+    sink.WriteChromeTrace(trace_json);
+    return trace_json.str();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_EQ(a, b);
+}
+
+// A hang with detection disabled just freezes the instance for its window:
+// everything still completes, nothing is reaped.
+TEST(FaultPlanSim, HangFreezesAndRecovers) {
+  const trace::Trace t = SmallTrace(300.0, 5.0, 23);
+  baselines::ScenarioConfig config = ArloConfig(t, 4);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+  fault::FaultPlan plan;
+  plan.HangAt(Seconds(2.0), 0, Seconds(1.0));
+
+  sim::EngineConfig engine;
+  engine.fault_plan = &plan;
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  EXPECT_EQ(result.records.size(), t.Size());
+  EXPECT_EQ(result.injected_failures, 0);
+  EXPECT_EQ(result.faults_injected, 1u);
+  EXPECT_EQ(result.requeues, 0u);
+}
+
+// With hang detection on and a hang longer than the timeout, the frozen
+// instance is reaped like a crash and its work requeued.
+TEST(FaultPlanSim, HangDetectionReapsTheFrozenInstance) {
+  const trace::Trace t = SmallTrace(400.0, 6.0, 24);
+  baselines::ScenarioConfig config = ArloConfig(t, 4);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+  fault::FaultPlan plan;
+  plan.HangAt(Seconds(2.0), 0, Seconds(30.0));  // would outlast the run
+
+  sim::EngineConfig engine;
+  engine.fault_plan = &plan;
+  engine.resilience.hang_timeout = Millis(500.0);
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  EXPECT_EQ(result.records.size(), t.Size());
+  EXPECT_EQ(result.injected_failures, 1);  // the reap
+  EXPECT_GT(result.requeues, 0u);
+}
+
+// A slowdown stretches service times on the target instance while active.
+TEST(FaultPlanSim, SlowdownStretchesServiceTimes) {
+  const trace::Trace t = SmallTrace(300.0, 5.0, 25);
+  const auto run = [&](double factor) {
+    baselines::ScenarioConfig config = ArloConfig(t, 3);
+    auto scheme = baselines::MakeSchemeByName("st", config);
+    fault::FaultPlan plan;
+    plan.SlowdownAt(Seconds(1.0), 0, Seconds(3.0), factor);
+    sim::EngineConfig engine;
+    engine.fault_plan = &plan;
+    return sim::RunScenario(t, *scheme, engine);
+  };
+  const sim::EngineResult slow = run(8.0);
+  const sim::EngineResult fast = run(1.0 + 1e-12);
+  EXPECT_EQ(slow.records.size(), t.Size());
+  // Same trace, same scheme: the heavy slowdown must strictly lengthen the
+  // slowest request's service time somewhere on instance 0.
+  const auto max_service = [](const sim::EngineResult& r) {
+    SimDuration worst = 0;
+    for (const auto& rec : r.records) {
+      if (rec.instance == 0) worst = std::max(worst, rec.ServiceTime());
+    }
+    return worst;
+  };
+  EXPECT_GT(max_service(slow), max_service(fast));
+}
+
+// Transient errors delay dispatch but never drop: with p high and
+// max_attempts small, everything still completes.
+TEST(FaultPlanSim, TransientErrorsRetryButNeverLose) {
+  const trace::Trace t = SmallTrace(200.0, 4.0, 26);
+  baselines::ScenarioConfig config = ArloConfig(t, 3);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+  fault::FaultPlan plan;
+  plan.seed = 13;
+  plan.dispatch_error_prob = 0.5;
+
+  sim::EngineConfig engine;
+  engine.fault_plan = &plan;
+  engine.resilience.retry.max_attempts = 3;
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  EXPECT_EQ(result.records.size(), t.Size());
+  EXPECT_GT(result.retries, 100u);
+  for (const auto& r : result.records) {
+    EXPECT_GE(r.dispatch, r.arrival);
+  }
+}
+
+// Shedding rejects only requests that overstayed the deadline, and a shed
+// record carries the rejection time.
+TEST(FaultPlanSim, ShedsOnlyExpiredRequests) {
+  const trace::Trace t = SmallTrace(900.0, 6.0, 27);
+  baselines::ScenarioConfig config = ArloConfig(t, 4);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+  fault::FaultPlan plan;
+  // Take out the top half of the cluster — including the sole hosts of the
+  // longest-sequence runtime — so arrivals back up in the buffer.
+  plan.CrashAt(Seconds(2.0), 2).CrashAt(Seconds(2.0), 3);
+
+  sim::EngineConfig engine;
+  engine.fault_plan = &plan;
+  engine.resilience.shed_deadline = Millis(300.0);
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  ExpectCompleteCoverage(t, result);
+  EXPECT_GT(result.sheds, 0u);
+  EXPECT_EQ(result.sheds, result.shed_records.size());
+  for (const auto& r : result.shed_records) {
+    EXPECT_GT(r.completion - r.arrival, Millis(300.0));
+    EXPECT_EQ(r.dispatch, r.completion);  // never dispatched
+  }
+}
+
+// An attached-but-empty resilience policy changes nothing: a plan with no
+// faults reproduces the fault-free run exactly.
+TEST(FaultPlanSim, EmptyPlanMatchesBaselineRun) {
+  const trace::Trace t = SmallTrace(300.0, 4.0, 28);
+  const auto run = [&](bool with_plan, const fault::FaultPlan* plan) {
+    baselines::ScenarioConfig config = ArloConfig(t, 3);
+    auto scheme = baselines::MakeSchemeByName("arlo", config);
+    sim::EngineConfig engine;
+    if (with_plan) engine.fault_plan = plan;
+    return sim::RunScenario(t, *scheme, engine);
+  };
+  const fault::FaultPlan empty;
+  const sim::EngineResult a = run(false, nullptr);
+  const sim::EngineResult b = run(true, &empty);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+    EXPECT_EQ(a.records[i].instance, b.records[i].instance);
   }
 }
 

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
 #include "baselines/scenario.h"
+#include "fault/fault_plan.h"
 #include "sim/engine.h"
 #include "trace/twitter.h"
 
@@ -94,6 +96,82 @@ TEST(Testbed, SurvivesReplacementChurnUnderLoad) {
     EXPECT_GE(r.dispatch, r.arrival - Millis(4.0));  // timer slop
     EXPECT_GT(r.completion, r.start);
   }
+}
+
+// Fault hammer: a plan kills three of five workers mid-run (one while the
+// cluster is also absorbing transient dispatch errors), hangs another, and
+// the run must still complete every request exactly once — no request lost
+// off a dead worker's queue, none double-completed, and the scheme's
+// replacement workers absorb the churn.  This is the testbed counterpart of
+// the simulator's FaultPlanSim coverage and runs under TSan in check.sh.
+TEST(Testbed, SurvivesWorkerKillsAndHangsUnderLoad) {
+  ScenarioConfig config;
+  config.gpus = 5;
+  config.period = Seconds(1.0);
+  const trace::Trace t = TinyTrace(250.0, 3.0, 11);
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand =
+      baselines::DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme = MakeSchemeByName("arlo", config);
+
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.dispatch_error_prob = 0.02;
+  // The hang fires before the first re-allocation period so worker 3 is
+  // still serving under its initial id.
+  plan.HangAt(Seconds(0.5), 3, Millis(300.0))
+      .CrashAt(Seconds(0.8), 0)
+      .CrashAt(Seconds(1.4), 1)
+      .CrashAt(Seconds(2.0), 2);
+
+  TestbedConfig tb;
+  tb.time_scale = 0.5;
+  tb.fault_plan = &plan;
+  const TestbedResult result = RunTestbed(t, *scheme, tb);
+
+  ASSERT_EQ(result.records.size(), t.Size());
+  std::vector<int> count(t.Size(), 0);
+  for (const auto& r : result.records) ++count[r.id];
+  for (std::size_t id = 0; id < count.size(); ++id) {
+    EXPECT_EQ(count[id], 1) << "request " << id;
+  }
+  // The early crashes and the hang land for sure; the t=2.0 crash can race
+  // a periodic retirement of its target, so allow 2 or 3.
+  EXPECT_GE(result.injected_failures, 2);
+  EXPECT_LE(result.injected_failures, 3);
+  EXPECT_GE(result.faults_injected, 3u);  // crashes + the hang
+  EXPECT_GT(result.retries, 0u);
+  // Replacements were launched for the dead workers.
+  EXPECT_GE(result.peak_workers, 5);
+  for (const auto& r : result.records) {
+    EXPECT_GE(r.dispatch, r.arrival - Millis(4.0));  // timer slop
+    EXPECT_GT(r.completion, r.start);
+  }
+}
+
+// Hang detection on real threads: a worker frozen far past the timeout
+// while holding work is reaped and its requests finish elsewhere.
+TEST(Testbed, HangDetectionReapsAFrozenWorker) {
+  ScenarioConfig config;
+  config.gpus = 3;
+  config.period = Seconds(30.0);  // no periodic churn: isolate the reap
+  const trace::Trace t = TinyTrace(150.0, 2.0, 12);
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand =
+      baselines::DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme = MakeSchemeByName("arlo", config);
+
+  fault::FaultPlan plan;
+  plan.HangAt(Seconds(0.8), 0, Seconds(30.0));  // would outlast the run
+
+  TestbedConfig tb;
+  tb.time_scale = 0.5;
+  tb.fault_plan = &plan;
+  tb.resilience.hang_timeout = Millis(250.0);
+  const TestbedResult result = RunTestbed(t, *scheme, tb);
+  ASSERT_EQ(result.records.size(), t.Size());
+  EXPECT_EQ(result.injected_failures, 1);  // the reap
+  EXPECT_GT(result.requeues, 0u);
 }
 
 // §5.2.1 in miniature: simulator and testbed agree on mean latency for a
