@@ -1,0 +1,162 @@
+// Frontend overhead of the TCP serving path (src/net).
+//
+// Replays the same Twitter-Stable trace (a) in-process through RunTestbed
+// and (b) over loopback sockets through Server + LoadGenerator at several
+// connection counts, and reports how much latency the network frontend
+// adds: per-request overhead = client-observed latency minus the
+// server-reported time in system (queue_ns + service_ns).  The in-process
+// row is the floor — its "overhead" is zero by construction, so its
+// latency percentiles are the backend-only baseline.
+//
+// A final overload row drives ~4x the sustainable rate against a bounded
+// admission controller to show the shed path in the same format: accepted
+// requests keep their overhead flat while the overflow is rejected, which
+// is the whole point of admitting by SLO instead of buffering.
+//
+// Output: one CSV block (stdout) — see docs/NETWORKING.md.
+#include "bench_util.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "serving/live_testbed.h"
+
+using namespace arlo;
+
+namespace {
+
+double PercentileMs(std::vector<double>& values_ms, double p) {
+  if (values_ms.empty()) return 0.0;
+  std::sort(values_ms.begin(), values_ms.end());
+  const std::size_t idx = std::min(
+      values_ms.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values_ms.size())));
+  return values_ms[idx];
+}
+
+struct Row {
+  std::string mode;
+  int connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  double p50_latency_ms = 0.0;
+  double p98_latency_ms = 0.0;
+  double p50_overhead_us = 0.0;
+  double p98_overhead_us = 0.0;
+};
+
+Row RunLoopback(const trace::Trace& trace,
+                const baselines::ScenarioConfig& config, int connections,
+                const net::AdmissionConfig& admission, SimDuration deadline,
+                const std::string& mode) {
+  auto scheme = baselines::MakeSchemeByName("st", config);
+  serving::LiveTestbed testbed(*scheme, serving::TestbedConfig{});
+  testbed.Start();
+
+  net::ServerConfig sc;
+  sc.admission = admission;
+  net::Server server(testbed, sc);
+  server.Start();
+
+  net::LoadGeneratorConfig lg;
+  lg.port = server.Port();
+  lg.connections = connections;
+  lg.deadline = deadline;
+  const net::LoadGeneratorResult result = net::RunLoadGenerator(trace, lg);
+
+  server.Stop();
+  (void)testbed.Finish();
+
+  Row row;
+  row.mode = mode;
+  row.connections = connections;
+  row.requests = result.sent;
+  std::vector<double> latency_ms;
+  std::vector<double> overhead_ms;
+  for (const auto& r : result.requests) {
+    if (!r.replied) continue;
+    if (r.status != net::ReplyStatus::kOk) {
+      ++row.rejected;
+      continue;
+    }
+    ++row.ok;
+    latency_ms.push_back(ToMillis(r.latency));
+    overhead_ms.push_back(
+        std::max<double>(0.0, ToMillis(r.latency - r.queue_ns -
+                                       r.service_ns)));
+  }
+  row.p50_latency_ms = PercentileMs(latency_ms, 0.50);
+  row.p98_latency_ms = PercentileMs(latency_ms, 0.98);
+  row.p50_overhead_us = PercentileMs(overhead_ms, 0.50) * 1000.0;
+  row.p98_overhead_us = PercentileMs(overhead_ms, 0.98) * 1000.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const double duration = args.Duration(2.0, 10.0);
+  const double rate = 200.0;  // ~57% utilization on 2 ST workers
+
+  baselines::ScenarioConfig config;
+  config.gpus = 2;
+  config.slo = Millis(150.0);
+
+  const trace::Trace trace =
+      bench::MakeBenchTrace(rate, duration, args.seed, /*bursty=*/false);
+
+  std::vector<Row> rows;
+
+  // In-process floor: same trace, no sockets.
+  {
+    auto scheme = baselines::MakeSchemeByName("st", config);
+    const serving::TestbedResult result =
+        serving::RunTestbed(trace, *scheme, serving::TestbedConfig{});
+    Row row;
+    row.mode = "inprocess";
+    row.connections = 0;
+    row.requests = result.records.size();
+    row.ok = result.records.size();
+    std::vector<double> latency_ms;
+    for (const auto& r : result.records) {
+      latency_ms.push_back(ToMillis(r.Latency()));
+    }
+    row.p50_latency_ms = PercentileMs(latency_ms, 0.50);
+    row.p98_latency_ms = PercentileMs(latency_ms, 0.98);
+    rows.push_back(row);
+  }
+
+  for (const int connections : {1, 2, 4, 8}) {
+    rows.push_back(RunLoopback(trace, config, connections,
+                               net::AdmissionConfig{}, /*deadline=*/0,
+                               "loopback"));
+  }
+
+  // Overload: ~4x sustainable (2 workers x ~5.7 ms/request ≈ 350 req/s)
+  // with a bounded inflight cap and client deadlines — rejected > 0 while
+  // accepted requests keep flat overhead.
+  {
+    const trace::Trace overload = bench::MakeBenchTrace(
+        1400.0, std::min(duration, 2.0), args.seed + 1, /*bursty=*/false);
+    net::AdmissionConfig admission;
+    admission.max_inflight = 16;
+    rows.push_back(RunLoopback(overload, config, 4, admission, config.slo,
+                               "overload-4x"));
+  }
+
+  std::cout << "mode,connections,requests,ok,rejected,p50_latency_ms,"
+               "p98_latency_ms,p50_overhead_us,p98_overhead_us\n";
+  for (const Row& r : rows) {
+    std::cout << r.mode << ',' << r.connections << ',' << r.requests << ','
+              << r.ok << ',' << r.rejected << ','
+              << TablePrinter::Num(r.p50_latency_ms) << ','
+              << TablePrinter::Num(r.p98_latency_ms) << ','
+              << TablePrinter::Num(r.p50_overhead_us) << ','
+              << TablePrinter::Num(r.p98_overhead_us) << '\n';
+  }
+  return 0;
+}

@@ -6,16 +6,34 @@
 // This is the path to use when validating scheduler behaviour against real
 // concurrency (lock ordering, replacement races) rather than modeled time.
 //
+// Three modes:
+//   (default)        replay a synthetic trace in-process
+//   --listen=PORT    serve the wire protocol over TCP until Ctrl-C
+//                    (--max-inflight/--rate-limit bound admission)
+//   --connect=PORT   replay the trace against a running --listen server
+//                    over --connections sockets
+//
+// Ctrl-C is a graceful shutdown everywhere: in-flight requests drain, and
+// a final telemetry summary is printed before exit.
+//
 // Run: ./build/examples/live_serving [--seconds=3] [--rate=150] [--speed=1.0]
 //      [--fault-plan=plan.txt] [--hang-timeout_s=0]
 //      [--metrics-out=live.prom] [--trace-out=live.trace.json]
+//      [--listen=0 | --connect=PORT] [--connections=4]
+//      [--max-inflight=0] [--rate-limit=0] [--deadline-ms=0]
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "baselines/scenario.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "fault/fault_plan.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serving/testbed.h"
 #include "sim/report.h"
 #include "telemetry/exporters.h"
@@ -24,64 +42,38 @@
 
 using namespace arlo;
 
-int main(int argc, char** argv) {
-  const CliFlags flags(argc, argv);
-  const double seconds = flags.GetDouble("seconds", 3.0);
-  const double rate = flags.GetDouble("rate", 150.0);
-  // speed > 1 compresses wall time (2.0 = twice as fast as real time).
-  const double speed = flags.GetDouble("speed", 1.0);
-  const std::string metrics_out = flags.GetString("metrics-out", "");
-  const std::string trace_out = flags.GetString("trace-out", "");
-  const std::string plan_path = flags.GetString("fault-plan", "");
-  const double hang_timeout_s = flags.GetDouble("hang-timeout_s", 0.0);
-  flags.RejectUnknown();
+namespace {
 
-  trace::TwitterTraceConfig workload;
-  workload.duration_s = seconds;
-  workload.mean_rate = rate;
-  workload.seed = 99;
-  const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
+std::atomic<bool> g_interrupted{false};
 
-  baselines::ScenarioConfig config;
-  config.model = runtime::ModelSpec::BertBase();
-  config.gpus = 3;
-  config.slo = Millis(150.0);
-  config.period = Seconds(5.0);
-  auto runtimes = baselines::MakeRuntimeSetFor(config);
-  config.initial_demand =
-      baselines::DemandFromTrace(trace, *runtimes, config.slo);
-  auto arlo = baselines::MakeSchemeByName("arlo", config);
+void OnSigInt(int) { g_interrupted.store(true, std::memory_order_relaxed); }
 
-  std::cout << "replaying " << trace.Size() << " requests over ~"
-            << seconds / speed << " wall seconds on " << config.gpus
-            << " worker threads...\n";
-
-  serving::TestbedConfig testbed;
-  testbed.time_scale = 1.0 / speed;
-
-  fault::FaultPlan plan;
-  if (!plan_path.empty()) {
-    plan = fault::FaultPlan::ParseFile(plan_path);
-    testbed.fault_plan = &plan;
-    testbed.resilience.hang_timeout = Seconds(hang_timeout_s);
+/// The end-of-run telemetry digest every mode prints on exit (including
+/// Ctrl-C): the counters that tell you what the run actually did.
+void PrintTelemetrySummary(const telemetry::TelemetrySink& sink) {
+  const auto& s = sink.Serving();
+  std::cout << "telemetry summary:\n"
+            << "  requests: enqueued " << s.enqueued->Value() << ", completed "
+            << s.completed->Value() << ", buffered " << s.buffered->Value()
+            << ", shed " << s.sheds->Value() << "\n"
+            << "  cluster: launches " << s.launches->Value()
+            << ", retirements " << s.retirements->Value() << ", failures "
+            << s.failures->Value() << ", retries " << s.retries->Value()
+            << "\n";
+  const auto& n = sink.Net();
+  if (n.connections_total->Value() > 0) {
+    std::cout << "  net: connections " << n.connections_total->Value()
+              << ", accepted " << n.accepted->Value() << ", rejected "
+              << n.rejected_rate->Value() + n.rejected_inflight->Value() +
+                     n.rejected_queue_full->Value()
+              << ", deadline-shed " << n.shed_deadline->Value() << ", bytes "
+              << n.bytes_in->Value() << " in / " << n.bytes_out->Value()
+              << " out\n";
   }
+}
 
-  // Optional telemetry: the testbed dispatches from concurrent worker
-  // threads, so the sink is built with the multi-threaded (sharded) layout.
-  std::unique_ptr<telemetry::TelemetrySink> sink;
-  if (!metrics_out.empty() || !trace_out.empty()) {
-    telemetry::TelemetryConfig tcfg;
-    tcfg.run_id = workload.seed;
-    tcfg.concurrency = telemetry::Concurrency::kMultiThreaded;
-    sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
-    testbed.telemetry = sink.get();
-  }
-
-  const serving::TestbedResult result =
-      serving::RunTestbed(trace, *arlo, testbed);
-  if (!metrics_out.empty()) telemetry::WriteMetricsFile(*sink, metrics_out);
-  if (!trace_out.empty()) telemetry::WriteTraceFile(*sink, trace_out);
-
+void PrintResult(const serving::TestbedResult& result,
+                 const baselines::ScenarioConfig& config) {
   const LatencySummary summary = Summarize(result.records, config.slo);
   std::cout << "served " << summary.count << " requests\n"
             << "  mean latency " << TablePrinter::Num(summary.mean_ms)
@@ -96,5 +88,157 @@ int main(int argc, char** argv) {
               << ", requeues " << result.requeues << "\n";
   }
   sim::PrintPerRuntimeBreakdown(std::cout, result.records);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const double seconds = flags.GetDouble("seconds", 3.0);
+  const double rate = flags.GetDouble("rate", 150.0);
+  // speed > 1 compresses wall time (2.0 = twice as fast as real time).
+  const double speed = flags.GetDouble("speed", 1.0);
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string plan_path = flags.GetString("fault-plan", "");
+  const double hang_timeout_s = flags.GetDouble("hang-timeout_s", 0.0);
+  const bool listen = flags.Has("listen");
+  const int listen_port = flags.GetInt("listen", 0);
+  const int connect_port = flags.GetInt("connect", 0);
+  const int connections = flags.GetInt("connections", 4);
+  const int max_inflight = flags.GetInt("max-inflight", 0);
+  const double rate_limit = flags.GetDouble("rate-limit", 0.0);
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  flags.RejectUnknown();
+
+  std::signal(SIGINT, OnSigInt);
+  std::signal(SIGTERM, OnSigInt);
+
+  // --connect: pure client — replay the trace against a remote server.
+  if (connect_port > 0) {
+    trace::TwitterTraceConfig workload;
+    workload.duration_s = seconds;
+    workload.mean_rate = rate;
+    workload.seed = 99;
+    const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
+
+    net::LoadGeneratorConfig lg;
+    lg.port = static_cast<std::uint16_t>(connect_port);
+    lg.connections = connections;
+    lg.time_scale = 1.0 / speed;
+    lg.deadline = Millis(deadline_ms);
+    std::cout << "replaying " << trace.Size() << " requests against port "
+              << connect_port << " over " << connections
+              << " connections...\n";
+    const net::LoadGeneratorResult result = net::RunLoadGenerator(trace, lg);
+
+    const std::uint64_t ok = result.CountByStatus(net::ReplyStatus::kOk);
+    std::cout << "sent " << result.sent << ", replies " << result.received
+              << " (lost " << result.Lost() << "), ok " << ok << ", rejected "
+              << result.received - ok << "\n";
+    const auto ok_latency = result.LatenciesByStatus(net::ReplyStatus::kOk);
+    if (!ok_latency.empty()) {
+      std::cout << "  ok latency p50 "
+                << TablePrinter::Num(
+                       ToMillis(ok_latency[ok_latency.size() / 2]))
+                << " ms, p98 "
+                << TablePrinter::Num(ToMillis(
+                       ok_latency[ok_latency.size() * 98 / 100]))
+                << " ms\n";
+    }
+    return 0;
+  }
+
+  baselines::ScenarioConfig config;
+  config.model = runtime::ModelSpec::BertBase();
+  config.gpus = 3;
+  config.slo = Millis(150.0);
+  config.period = Seconds(5.0);
+
+  serving::TestbedConfig testbed;
+  testbed.time_scale = 1.0 / speed;
+  testbed.cancel = &g_interrupted;
+
+  fault::FaultPlan plan;
+  if (!plan_path.empty()) {
+    plan = fault::FaultPlan::ParseFile(plan_path);
+    testbed.fault_plan = &plan;
+    testbed.resilience.hang_timeout = Seconds(hang_timeout_s);
+  }
+
+  // Telemetry: always on for --listen (the summary is the point of the
+  // mode); otherwise only when an output file was requested.  The testbed
+  // dispatches from concurrent worker threads, so the sink is built with
+  // the multi-threaded (sharded) layout.
+  std::unique_ptr<telemetry::TelemetrySink> sink;
+  if (listen || !metrics_out.empty() || !trace_out.empty()) {
+    telemetry::TelemetryConfig tcfg;
+    tcfg.run_id = 99;
+    tcfg.concurrency = telemetry::Concurrency::kMultiThreaded;
+    sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
+    testbed.telemetry = sink.get();
+  }
+
+  serving::TestbedResult result;
+  if (listen) {
+    // --listen: serve the wire protocol until Ctrl-C.
+    auto runtimes = baselines::MakeRuntimeSetFor(config);
+    auto scheme = baselines::MakeSchemeByName("arlo", config);
+    serving::LiveTestbed backend(*scheme, testbed);
+    backend.Start();
+
+    net::ServerConfig sc;
+    sc.port = static_cast<std::uint16_t>(listen_port);
+    sc.admission.max_inflight = max_inflight;
+    sc.admission.rate_limit = rate_limit;
+    sc.telemetry = sink.get();
+    net::Server server(backend, sc);
+    server.Start();
+    std::cout << "listening on 127.0.0.1:" << server.Port() << " ("
+              << config.gpus << " workers, speed " << speed
+              << "x); Ctrl-C to stop\n";
+
+    while (!g_interrupted.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    std::cout << "\nshutting down...\n";
+    server.Stop();
+    const net::ServerStats stats = server.Stats();
+    std::cout << "server: " << stats.connections_accepted << " connections, "
+              << stats.accepted << " accepted, " << stats.TotalRejected()
+              << " rejected, " << stats.replies_sent << " replies, "
+              << stats.protocol_errors << " protocol errors\n";
+    result = backend.Finish();
+  } else {
+    // Default: in-process trace replay (Ctrl-C stops the frontend early;
+    // already-submitted requests still drain).
+    trace::TwitterTraceConfig workload;
+    workload.duration_s = seconds;
+    workload.mean_rate = rate;
+    workload.seed = 99;
+    const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
+
+    auto runtimes = baselines::MakeRuntimeSetFor(config);
+    config.initial_demand =
+        baselines::DemandFromTrace(trace, *runtimes, config.slo);
+    auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+    std::cout << "replaying " << trace.Size() << " requests over ~"
+              << seconds / speed << " wall seconds on " << config.gpus
+              << " worker threads...\n";
+    result = serving::RunTestbed(trace, *scheme, testbed);
+    if (g_interrupted.load(std::memory_order_relaxed)) {
+      std::cout << "\ninterrupted: stopped after " << result.records.size()
+                << " requests\n";
+    }
+  }
+
+  if (sink && !metrics_out.empty()) {
+    telemetry::WriteMetricsFile(*sink, metrics_out);
+  }
+  if (sink && !trace_out.empty()) telemetry::WriteTraceFile(*sink, trace_out);
+
+  PrintResult(result, config);
+  if (sink) PrintTelemetrySummary(*sink);
   return 0;
 }

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Tier-1 gate: docs lint, configure, build, run the full test suite, then
-# re-run the concurrency-sensitive tests (threaded testbed + sharded
-# telemetry) under ThreadSanitizer.
+# re-run the concurrency-sensitive tests (threaded testbed + net frontend +
+# sharded telemetry) under ThreadSanitizer, and the socket/protocol tests
+# under Address+UBSanitizer.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --no-tsan  # skip the TSan stage (fast local loop)
+#   scripts/check.sh --no-asan  # skip the ASan stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=1
+run_asan=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -34,7 +38,15 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*'
+    --gtest_filter='Testbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*'
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== Address+UBSanitizer (net protocol + loopback) =="
+  cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
+  cmake --build build-asan -j "$(nproc)" --target arlo_tests
+  ./build-asan/tests/arlo_tests \
+    --gtest_filter='NetProtocol*:Admission.*:NetLoopback.*'
 fi
 
 echo "== check.sh: all green =="

@@ -1,0 +1,76 @@
+// A bounded multi-producer multi-consumer queue (mutex + condvar).
+//
+// Used as the submission queue between the src/net event loop and the
+// LiveTestbed dispatch pump: producers TryPush (never block — a full queue
+// is backpressure the frontend turns into an explicit reject), the consumer
+// blocks in Pop until an item or Close() arrives.  Close() drains: items
+// already queued are still popped; Pop returns false only when the queue is
+// both closed and empty.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace arlo {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues unless the queue is full or closed; never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item.  Returns false when closed and drained.
+  bool Pop(T& out) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking Pop.
+  bool TryPop(T& out) {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t Size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+  std::size_t Capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace arlo

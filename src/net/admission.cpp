@@ -1,0 +1,43 @@
+#include "net/admission.h"
+
+#include <algorithm>
+
+namespace arlo::net {
+namespace {
+
+double BucketCapacity(const AdmissionConfig& config) {
+  if (config.burst > 0.0) return config.burst;
+  return std::max(1.0, config.rate_limit);
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config), tokens_(BucketCapacity(config)) {}
+
+AdmissionDecision AdmissionController::Admit(SimTime now,
+                                             SimDuration estimated_queue_delay,
+                                             SimDuration deadline) {
+  if (config_.rate_limit > 0.0) {
+    const double capacity = BucketCapacity(config_);
+    if (now > last_refill_) {
+      tokens_ = std::min(
+          capacity, tokens_ + config_.rate_limit * ToSeconds(now - last_refill_));
+      last_refill_ = now;
+    }
+    if (tokens_ < 1.0) return AdmissionDecision::kRejectRate;
+  }
+  if (config_.max_inflight > 0 &&
+      inflight_.load(std::memory_order_relaxed) >= config_.max_inflight) {
+    return AdmissionDecision::kRejectInflight;
+  }
+  if (config_.deadline_reject && deadline > 0 &&
+      estimated_queue_delay > deadline) {
+    return AdmissionDecision::kShedDeadline;
+  }
+  if (config_.rate_limit > 0.0) tokens_ -= 1.0;
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  return AdmissionDecision::kAdmit;
+}
+
+}  // namespace arlo::net

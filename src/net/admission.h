@@ -1,0 +1,69 @@
+// SLO-aware admission control for the TCP frontend.
+//
+// Three independent gates, checked in order on every SubmitRequest:
+//   1. token-bucket rate limit   -> kRejectRate
+//   2. bounded inflight          -> kRejectInflight
+//   3. deadline-based early shed -> kShedDeadline: the backend's estimated
+//      queueing delay already exceeds the request's latency budget, so
+//      admitting it would only burn capacity on a guaranteed SLO miss.
+//      This is the wall-clock counterpart of the simulator's deadline
+//      shedding (fault::ResiliencePolicy::shed_deadline) and is reported
+//      through the same telemetry shed path.
+//
+// Determinism: the controller never reads a clock — `now` is injected, so
+// unit tests drive it on simulated time.  Admit() is called only from the
+// server's event loop thread; OnRequestDone() is called from testbed worker
+// threads, so the inflight count is the one atomic member.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.h"
+
+namespace arlo::net {
+
+struct AdmissionConfig {
+  /// Maximum admitted-but-not-completed requests; 0 = unlimited.
+  int max_inflight = 0;
+  /// Sustained admission rate in requests per (simulated) second; 0 =
+  /// unlimited.
+  double rate_limit = 0.0;
+  /// Token bucket capacity (burst size); <= 0 defaults to one second's
+  /// worth of tokens (or 1, whichever is larger).
+  double burst = 0.0;
+  /// Enables gate 3.  Requests with deadline 0 are never deadline-shed.
+  bool deadline_reject = true;
+};
+
+enum class AdmissionDecision {
+  kAdmit,
+  kRejectRate,
+  kRejectInflight,
+  kShedDeadline,
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Decides one request.  `estimated_queue_delay` is the backend's current
+  /// estimate (LiveTestbed::EstimatedQueueDelay); `deadline` is the
+  /// request's relative budget (0 = none).  On kAdmit the inflight count is
+  /// incremented and one token consumed.
+  AdmissionDecision Admit(SimTime now, SimDuration estimated_queue_delay,
+                          SimDuration deadline);
+
+  /// An admitted request left the system (completed).  Any thread.
+  void OnRequestDone() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  int Inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  double TokensForTest() const { return tokens_; }
+
+ private:
+  AdmissionConfig config_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+  std::atomic<int> inflight_{0};
+};
+
+}  // namespace arlo::net

@@ -1,0 +1,87 @@
+// Client side of the wire protocol: a blocking per-connection client and
+// the multi-connection open-loop LoadGenerator that replays src/trace
+// traces over real sockets.
+//
+// The LoadGenerator is open-loop (arrival-driven): each request is sent at
+// its trace-scheduled wall-clock time regardless of whether earlier replies
+// have arrived, which is the load model the paper's experiments (and any
+// honest overload measurement) require — a closed loop would self-throttle
+// exactly when the server is struggling.  Requests round-robin across
+// `connections` sockets; each connection runs a sender thread (paced
+// writes) and a receiver thread (blocking reads), so send pacing is never
+// delayed by reply processing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "trace/trace.h"
+
+namespace arlo::net {
+
+/// A blocking client connection.  Send and Receive may be called
+/// concurrently from one sender and one receiver thread (a TCP socket is
+/// full-duplex); neither is safe to share between multiple threads.
+class ClientConnection {
+ public:
+  /// Connects to 127.0.0.1:`port` (blocking) with TCP_NODELAY.
+  explicit ClientConnection(std::uint16_t port);
+
+  /// Writes one framed SubmitRequest (handles partial writes).
+  void Send(const SubmitRequest& request);
+
+  /// Blocks for the next Reply frame.  Returns false on clean EOF.
+  /// Throws on protocol errors or socket failures.
+  bool Receive(Reply& out);
+
+ private:
+  ScopedFd fd_;
+  FrameDecoder decoder_;
+};
+
+struct LoadGeneratorConfig {
+  std::uint16_t port = 0;
+  int connections = 1;
+  /// Must match the server backend's TestbedConfig::time_scale so the
+  /// trace's simulated arrival times map to the same wall-clock schedule.
+  double time_scale = 1.0;
+  /// Relative deadline stamped into every SubmitRequest (simulated ns);
+  /// 0 disables deadline-based shedding for this run.
+  SimDuration deadline = 0;
+  /// Busy-spin tail of each inter-arrival wait (send-time precision).
+  SimDuration spin_threshold = Micros(200.0);
+};
+
+struct LoadGeneratorResult {
+  struct PerRequest {
+    RequestId id = 0;       ///< trace request id (also the wire id)
+    int length = 0;
+    SimTime arrival = 0;    ///< scheduled arrival (simulated ns)
+    bool replied = false;
+    ReplyStatus status = ReplyStatus::kError;
+    /// Client-observed send-to-reply latency, rescaled to simulated ns so
+    /// it is directly comparable to in-process RequestRecord latencies.
+    SimDuration latency = 0;
+    std::int64_t queue_ns = 0;    ///< server-reported (kOk only)
+    std::int64_t service_ns = 0;  ///< server-reported (kOk only)
+  };
+
+  std::vector<PerRequest> requests;  ///< one per trace request, trace order
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+
+  std::uint64_t Lost() const { return sent - received; }
+  std::uint64_t CountByStatus(ReplyStatus status) const;
+  /// Latencies (simulated ns) of requests with the given status, sorted.
+  std::vector<SimDuration> LatenciesByStatus(ReplyStatus status) const;
+};
+
+/// Replays `trace` against a running server.  Blocks until every sent
+/// request has been answered or every connection has hit EOF.
+LoadGeneratorResult RunLoadGenerator(const trace::Trace& trace,
+                                     const LoadGeneratorConfig& config);
+
+}  // namespace arlo::net

@@ -1,0 +1,61 @@
+// Readiness multiplexer for the non-blocking server: epoll on Linux, with a
+// portable poll(2) backend that is both the non-Linux fallback and runtime-
+// selectable (ServerConfig::force_poll), so the fallback path is exercised
+// by the loopback tests on every platform rather than only on exotic ones.
+//
+// Level-triggered semantics on both backends: a fd reports readable/
+// writable for as long as the condition holds, so the event loop never
+// needs to drain-until-EAGAIN to stay correct (it still does, for
+// throughput).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace arlo::net {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;  ///< peer closed / error — tear the connection down
+};
+
+class Poller {
+ public:
+  enum class Backend { kEpoll, kPoll };
+
+  /// kEpoll where the platform has it, else kPoll.
+  static Backend DefaultBackend();
+
+  /// Requesting kEpoll on a platform without it falls back to kPoll.
+  explicit Poller(Backend backend = DefaultBackend());
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void Add(int fd, bool want_read, bool want_write);
+  void Modify(int fd, bool want_read, bool want_write);
+  void Remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and appends ready fds to
+  /// `out` (cleared first).  Returns the number of events.
+  int Wait(int timeout_ms, std::vector<PollEvent>& out);
+
+  Backend ActiveBackend() const { return backend_; }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  Backend backend_;
+  ScopedFd epoll_fd_;                 ///< kEpoll only
+  std::map<int, Interest> interest_;  ///< kPoll only
+};
+
+}  // namespace arlo::net

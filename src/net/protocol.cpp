@@ -1,0 +1,131 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace arlo::net {
+namespace {
+
+constexpr std::size_t kSubmitPayload = 24;
+constexpr std::size_t kReplyPayload = 25;
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | p[i];
+  return v;
+}
+
+}  // namespace
+
+const char* ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk: return "ok";
+    case ReplyStatus::kRejectQueueFull: return "reject-queue-full";
+    case ReplyStatus::kRejectInflight: return "reject-inflight";
+    case ReplyStatus::kRejectRate: return "reject-rate";
+    case ReplyStatus::kShedDeadline: return "shed-deadline";
+    case ReplyStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+void EncodeSubmit(const SubmitRequest& msg, std::vector<std::uint8_t>& out) {
+  PutU32(out, static_cast<std::uint32_t>(1 + kSubmitPayload));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kSubmit));
+  PutU64(out, msg.id);
+  PutU32(out, msg.model);
+  PutU32(out, msg.length);
+  PutU64(out, static_cast<std::uint64_t>(msg.deadline_ns));
+}
+
+void EncodeReply(const Reply& msg, std::vector<std::uint8_t>& out) {
+  PutU32(out, static_cast<std::uint32_t>(1 + kReplyPayload));
+  out.push_back(static_cast<std::uint8_t>(MsgType::kReply));
+  PutU64(out, msg.id);
+  out.push_back(static_cast<std::uint8_t>(msg.status));
+  PutU64(out, static_cast<std::uint64_t>(msg.queue_ns));
+  PutU64(out, static_cast<std::uint64_t>(msg.service_ns));
+}
+
+void FrameDecoder::Feed(const std::uint8_t* data, std::size_t n) {
+  // Compact the consumed prefix before growing — steady-state connections
+  // keep the buffer at one partial frame, not the whole byte history.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame& out) {
+  if (!error_.empty()) return Result::kError;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return Result::kNeedMore;
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  const std::uint32_t frame_len = GetU32(p);
+  if (frame_len < 1 || frame_len > kMaxFrameBytes) {
+    error_ = "bad frame length " + std::to_string(frame_len);
+    return Result::kError;
+  }
+  if (avail < 4 + frame_len) return Result::kNeedMore;
+  const std::uint8_t type = p[4];
+  const std::uint8_t* payload = p + 5;
+  const std::size_t payload_len = frame_len - 1;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kSubmit: {
+      if (payload_len != kSubmitPayload) {
+        error_ = "submit payload size " + std::to_string(payload_len);
+        return Result::kError;
+      }
+      out.type = MsgType::kSubmit;
+      out.submit.id = GetU64(payload);
+      out.submit.model = GetU32(payload + 8);
+      out.submit.length = GetU32(payload + 12);
+      out.submit.deadline_ns = static_cast<std::int64_t>(GetU64(payload + 16));
+      break;
+    }
+    case MsgType::kReply: {
+      if (payload_len != kReplyPayload) {
+        error_ = "reply payload size " + std::to_string(payload_len);
+        return Result::kError;
+      }
+      out.type = MsgType::kReply;
+      out.reply.id = GetU64(payload);
+      out.reply.status = static_cast<ReplyStatus>(payload[8]);
+      if (payload[8] > static_cast<std::uint8_t>(ReplyStatus::kError)) {
+        error_ = "unknown reply status " + std::to_string(payload[8]);
+        return Result::kError;
+      }
+      out.reply.queue_ns = static_cast<std::int64_t>(GetU64(payload + 9));
+      out.reply.service_ns = static_cast<std::int64_t>(GetU64(payload + 17));
+      break;
+    }
+    default:
+      error_ = "unknown message type " + std::to_string(type);
+      return Result::kError;
+  }
+  consumed_ += 4 + frame_len;
+  return Result::kFrame;
+}
+
+}  // namespace arlo::net

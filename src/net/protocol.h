@@ -1,0 +1,114 @@
+// The Arlo wire protocol: a minimal length-prefixed binary framing for
+// submitting inference requests to the TCP frontend and receiving replies.
+//
+// Frame layout (all integers little-endian, no padding — fields are
+// serialized byte-by-byte, never memcpy'd from structs, so the format is
+// identical across compilers and architectures):
+//
+//   [u32 frame_len][u8 msg_type][payload ...]
+//
+// frame_len counts the type byte plus the payload.  Payloads are fixed-size
+// per message type; a frame whose length disagrees with its type, exceeds
+// kMaxFrameBytes, or carries an unknown type is a protocol error and the
+// connection is dropped (the decoder is strict: garbage never resyncs).
+//
+// SubmitRequest (client -> server, 24-byte payload):
+//   u64 id          client-chosen, echoed in the reply (unique per conn)
+//   u32 model       model hint (single-model testbeds ignore it)
+//   u32 length      input token count — the scheduling-relevant field
+//   i64 deadline_ns relative latency budget; 0 = no deadline
+//
+// Reply (server -> client, 25-byte payload):
+//   u64 id          echo of the submit id
+//   u8  status      ReplyStatus below
+//   i64 queue_ns    simulated queueing delay (kOk only, else 0)
+//   i64 service_ns  simulated service time   (kOk only, else 0)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arlo::net {
+
+enum class MsgType : std::uint8_t {
+  kSubmit = 1,
+  kReply = 2,
+};
+
+/// Reply statuses.  Every rejection path is distinct so clients (and the
+/// overload tests) can tell backpressure sources apart.
+enum class ReplyStatus : std::uint8_t {
+  kOk = 0,
+  kRejectQueueFull = 1,  ///< submission queue to the dispatcher was full
+  kRejectInflight = 2,   ///< admission: inflight cap reached
+  kRejectRate = 3,       ///< admission: token bucket empty
+  kShedDeadline = 4,     ///< admission: estimated delay exceeds the deadline
+  kError = 5,            ///< server-side failure (should not happen)
+};
+
+const char* ReplyStatusName(ReplyStatus status);
+
+struct SubmitRequest {
+  std::uint64_t id = 0;
+  std::uint32_t model = 0;
+  std::uint32_t length = 0;
+  std::int64_t deadline_ns = 0;
+
+  bool operator==(const SubmitRequest&) const = default;
+};
+
+struct Reply {
+  std::uint64_t id = 0;
+  ReplyStatus status = ReplyStatus::kOk;
+  std::int64_t queue_ns = 0;
+  std::int64_t service_ns = 0;
+
+  bool operator==(const Reply&) const = default;
+};
+
+/// Hard cap on frame_len; anything larger is garbage by definition (real
+/// frames are 25 and 26 bytes).
+inline constexpr std::size_t kMaxFrameBytes = 256;
+
+/// Serialized frame sizes including the 4-byte length prefix.
+inline constexpr std::size_t kSubmitFrameBytes = 4 + 1 + 24;
+inline constexpr std::size_t kReplyFrameBytes = 4 + 1 + 25;
+
+/// Append one framed message to `out`.
+void EncodeSubmit(const SubmitRequest& msg, std::vector<std::uint8_t>& out);
+void EncodeReply(const Reply& msg, std::vector<std::uint8_t>& out);
+
+/// A decoded frame: `type` selects which member is meaningful.
+struct Frame {
+  MsgType type = MsgType::kSubmit;
+  SubmitRequest submit;
+  Reply reply;
+};
+
+/// Incremental decoder: feed arbitrary byte slices as they arrive off a
+/// socket, pull complete frames out.  A protocol error is sticky — once
+/// Next() returns kError the connection must be closed.
+class FrameDecoder {
+ public:
+  enum class Result {
+    kFrame,     ///< `out` holds a complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< malformed input; see Error()
+  };
+
+  void Feed(const std::uint8_t* data, std::size_t n);
+  Result Next(Frame& out);
+
+  const std::string& Error() const { return error_; }
+  /// Bytes buffered but not yet consumed as frames.
+  std::size_t Pending() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already decoded
+  std::string error_;
+};
+
+}  // namespace arlo::net

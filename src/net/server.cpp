@@ -1,0 +1,434 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/check.h"
+#include "net/poller.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "telemetry/sink.h"
+
+namespace arlo::net {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+}  // namespace
+
+struct Server::Impl {
+  Impl(serving::LiveTestbed& backend, const ServerConfig& config)
+      : backend_(backend),
+        config_(config),
+        admission_(config.admission),
+        submit_queue_(config.submit_queue_capacity),
+        poller_(config.force_poll ? Poller::Backend::kPoll
+                                  : Poller::DefaultBackend()) {}
+
+  serving::LiveTestbed& backend_;
+  ServerConfig config_;
+  AdmissionController admission_;
+  BoundedQueue<Request> submit_queue_;
+  Poller poller_;
+
+  ScopedFd listen_fd_;
+  std::uint16_t port_ = 0;
+  ScopedFd wake_r_, wake_w_;
+
+  std::thread loop_thread_;
+  std::thread pump_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // --- event-loop-owned state (no locks) --------------------------------
+  struct Conn {
+    ScopedFd fd;
+    std::uint64_t id = 0;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    bool want_write = false;
+  };
+  std::map<int, std::unique_ptr<Conn>> conns_;
+
+  struct Pending {
+    std::uint64_t conn_id = 0;
+    int conn_fd = -1;
+    std::uint64_t wire_id = 0;
+    WallClock::time_point recv_wall;
+  };
+  std::unordered_map<RequestId, Pending> pending_;
+  RequestId next_request_id_ = 1;
+  std::uint64_t next_conn_id_ = 1;
+
+  // --- cross-thread state ------------------------------------------------
+  std::mutex completions_mu_;  // leaf: pushers hold the dispatch mutex
+  std::vector<std::pair<RequestId, RequestRecord>> completions_;
+
+  mutable std::mutex stats_mu_;  // leaf
+  ServerStats stats_;
+
+  void Start();
+  void Stop();
+  void EventLoop();
+  void PumpLoop();
+  void Wake();
+  void AcceptNew();
+  void OnReadable(Conn& conn);
+  bool FlushConn(Conn& conn);  ///< false: connection died and was closed
+  void CloseConn(int fd);
+  void HandleSubmit(Conn& conn, const SubmitRequest& submit);
+  void SendReject(Conn& conn, std::uint64_t wire_id, ReplyStatus status);
+  void DrainCompletions();
+
+  template <typename Fn>
+  void WithStats(Fn&& fn) {
+    std::lock_guard lock(stats_mu_);
+    fn(stats_);
+  }
+};
+
+void Server::Impl::Start() {
+  ARLO_CHECK_MSG(!started_, "Server started twice");
+  started_ = true;
+  listen_fd_ = ListenTcp(config_.port);
+  SetNonBlocking(listen_fd_.Get());
+  port_ = LocalPort(listen_fd_.Get());
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    throw std::system_error(errno, std::generic_category(), "pipe");
+  }
+  wake_r_ = ScopedFd(pipe_fds[0]);
+  wake_w_ = ScopedFd(pipe_fds[1]);
+  SetNonBlocking(wake_r_.Get());
+  SetNonBlocking(wake_w_.Get());
+
+  poller_.Add(listen_fd_.Get(), /*want_read=*/true, /*want_write=*/false);
+  poller_.Add(wake_r_.Get(), /*want_read=*/true, /*want_write=*/false);
+
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+  loop_thread_ = std::thread([this] { EventLoop(); });
+}
+
+void Server::Impl::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_relaxed);
+  submit_queue_.Close();
+  pump_thread_.join();
+  Wake();
+  loop_thread_.join();
+}
+
+void Server::Impl::Wake() {
+  const char byte = 'w';
+  // EAGAIN (pipe full) is fine: a wake-up is already pending.
+  (void)::write(wake_w_.Get(), &byte, 1);
+}
+
+void Server::Impl::PumpLoop() {
+  Request request;
+  while (submit_queue_.Pop(request)) {
+    const RequestId id = request.id;
+    backend_.Submit(request, [this, id](const RequestRecord& record) {
+      // Worker thread, dispatch mutex held: just hand off and wake.
+      admission_.OnRequestDone();
+      {
+        std::lock_guard lock(completions_mu_);
+        completions_.emplace_back(id, record);
+      }
+      Wake();
+    });
+  }
+}
+
+void Server::Impl::EventLoop() {
+  std::vector<PollEvent> events;
+  // Keep delivering replies until shutdown AND every admitted request has
+  // been answered (or its connection is gone) — graceful drain.
+  while (!stopping_.load(std::memory_order_relaxed) || !pending_.empty()) {
+    poller_.Wait(/*timeout_ms=*/50, events);
+    for (const PollEvent& ev : events) {
+      if (ev.fd == wake_r_.Get()) {
+        char buf[256];
+        while (::read(wake_r_.Get(), buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (ev.fd == listen_fd_.Get()) {
+        if (ev.readable) AcceptNew();
+        continue;
+      }
+      auto it = conns_.find(ev.fd);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Conn& conn = *it->second;
+      if (ev.readable) OnReadable(conn);
+      // OnReadable may have torn the connection down; re-check.
+      auto again = conns_.find(ev.fd);
+      if (again == conns_.end()) continue;
+      if (ev.writable) {
+        if (!FlushConn(*again->second)) continue;
+      } else if (ev.hangup && !ev.readable) {
+        CloseConn(ev.fd);
+      }
+    }
+    DrainCompletions();
+  }
+  // Shutdown: drop whatever connections remain.
+  std::vector<int> open;
+  open.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) open.push_back(fd);
+  for (int fd : open) CloseConn(fd);
+}
+
+void Server::Impl::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.Get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays up
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = ScopedFd(fd);
+    conn->id = next_conn_id_++;
+    conns_.emplace(fd, std::move(conn));
+    poller_.Add(fd, /*want_read=*/true, /*want_write=*/false);
+    WithStats([](ServerStats& s) { ++s.connections_accepted; });
+    if (config_.telemetry) {
+      config_.telemetry->RecordNetConnOpened(
+          backend_.Now(), static_cast<std::int64_t>(conns_.size()));
+    }
+  }
+}
+
+void Server::Impl::OnReadable(Conn& conn) {
+  const int fd = conn.fd.Get();
+  std::uint8_t buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      WithStats([&](ServerStats& s) {
+        s.bytes_in += static_cast<std::uint64_t>(n);
+      });
+      if (config_.telemetry) {
+        config_.telemetry->RecordNetBytes(static_cast<std::uint64_t>(n), 0);
+      }
+      conn.decoder.Feed(buf, static_cast<std::size_t>(n));
+      Frame frame;
+      for (;;) {
+        const FrameDecoder::Result r = conn.decoder.Next(frame);
+        if (r == FrameDecoder::Result::kNeedMore) break;
+        if (r == FrameDecoder::Result::kError ||
+            frame.type != MsgType::kSubmit) {
+          WithStats([](ServerStats& s) { ++s.protocol_errors; });
+          CloseConn(fd);
+          return;
+        }
+        HandleSubmit(conn, frame.submit);
+      }
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConn(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(fd);
+    return;
+  }
+  if (!FlushConn(conn)) return;
+}
+
+void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
+  const SimTime now = backend_.Now();
+  Request request;
+  request.id = next_request_id_++;
+  request.arrival = now;
+  request.length = static_cast<int>(submit.length);
+
+  const AdmissionDecision decision = admission_.Admit(
+      now, backend_.EstimatedQueueDelay(), submit.deadline_ns);
+  switch (decision) {
+    case AdmissionDecision::kAdmit: {
+      Pending pending;
+      pending.conn_id = conn.id;
+      pending.conn_fd = conn.fd.Get();
+      pending.wire_id = submit.id;
+      pending.recv_wall = WallClock::now();
+      pending_.emplace(request.id, pending);
+      if (!submit_queue_.TryPush(request)) {
+        // Dispatcher backpressure: undo the admit and reject explicitly.
+        pending_.erase(request.id);
+        admission_.OnRequestDone();
+        WithStats([](ServerStats& s) { ++s.rejected_queue_full; });
+        if (config_.telemetry) {
+          config_.telemetry->RecordNetRejected(request, now,
+                                               "queue-full");
+        }
+        SendReject(conn, submit.id, ReplyStatus::kRejectQueueFull);
+        return;
+      }
+      WithStats([](ServerStats& s) { ++s.accepted; });
+      if (config_.telemetry) config_.telemetry->RecordNetAccepted(request, now);
+      return;
+    }
+    case AdmissionDecision::kRejectRate:
+      WithStats([](ServerStats& s) { ++s.rejected_rate; });
+      if (config_.telemetry) {
+        config_.telemetry->RecordNetRejected(request, now, "rate");
+      }
+      SendReject(conn, submit.id, ReplyStatus::kRejectRate);
+      return;
+    case AdmissionDecision::kRejectInflight:
+      WithStats([](ServerStats& s) { ++s.rejected_inflight; });
+      if (config_.telemetry) {
+        config_.telemetry->RecordNetRejected(request, now, "inflight");
+      }
+      SendReject(conn, submit.id, ReplyStatus::kRejectInflight);
+      return;
+    case AdmissionDecision::kShedDeadline:
+      // The deadline shed integrates the fault-layer shed path: same
+      // counter and trace instant the simulator's deadline shedding emits.
+      WithStats([](ServerStats& s) { ++s.shed_deadline; });
+      if (config_.telemetry) {
+        config_.telemetry->RecordNetRejected(request, now, "deadline");
+        config_.telemetry->RecordShed(request, now);
+      }
+      SendReject(conn, submit.id, ReplyStatus::kShedDeadline);
+      return;
+  }
+}
+
+void Server::Impl::SendReject(Conn& conn, std::uint64_t wire_id,
+                              ReplyStatus status) {
+  Reply reply;
+  reply.id = wire_id;
+  reply.status = status;
+  EncodeReply(reply, conn.out);
+  WithStats([](ServerStats& s) { ++s.replies_sent; });
+}
+
+bool Server::Impl::FlushConn(Conn& conn) {
+  const int fd = conn.fd.Get();
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      WithStats([&](ServerStats& s) {
+        s.bytes_out += static_cast<std::uint64_t>(n);
+      });
+      if (config_.telemetry) {
+        config_.telemetry->RecordNetBytes(0, static_cast<std::uint64_t>(n));
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        poller_.Modify(fd, /*want_read=*/true, /*want_write=*/true);
+      }
+      return true;
+    }
+    if (errno == EINTR) continue;
+    CloseConn(fd);
+    return false;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    poller_.Modify(fd, /*want_read=*/true, /*want_write=*/false);
+  }
+  return true;
+}
+
+void Server::Impl::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  poller_.Remove(fd);
+  conns_.erase(it);  // ScopedFd closes the socket
+  if (config_.telemetry) {
+    config_.telemetry->RecordNetConnClosed(
+        backend_.Now(), static_cast<std::int64_t>(conns_.size()));
+  }
+}
+
+void Server::Impl::DrainCompletions() {
+  std::vector<std::pair<RequestId, RequestRecord>> done;
+  {
+    std::lock_guard lock(completions_mu_);
+    done.swap(completions_);
+  }
+  if (done.empty()) return;
+  const auto wall_now = WallClock::now();
+  const double time_scale = backend_.Config().time_scale;
+  for (const auto& [id, record] : done) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;  // cannot happen; defensive
+    const Pending pending = it->second;
+    pending_.erase(it);
+    auto cit = conns_.find(pending.conn_fd);
+    if (cit == conns_.end() || cit->second->id != pending.conn_id) {
+      continue;  // connection gone: drop the reply, the work still counted
+    }
+    Conn& conn = *cit->second;
+    Reply reply;
+    reply.id = pending.wire_id;
+    reply.status = ReplyStatus::kOk;
+    reply.queue_ns = record.QueueingDelay();
+    reply.service_ns = record.ServiceTime();
+    EncodeReply(reply, conn.out);
+    WithStats([](ServerStats& s) { ++s.replies_sent; });
+    if (config_.telemetry) {
+      // Frontend overhead: wall time spent in the server beyond the
+      // (scaled) modeled latency the backend charged the request.
+      const auto wall_in_server =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              wall_now - pending.recv_wall)
+              .count();
+      const std::int64_t modeled_wall = static_cast<std::int64_t>(
+          static_cast<double>(record.Latency()) * time_scale);
+      config_.telemetry->RecordNetFrontendOverhead(
+          std::max<std::int64_t>(0, wall_in_server - modeled_wall));
+    }
+    if (!FlushConn(conn)) continue;
+  }
+}
+
+Server::Server(serving::LiveTestbed& backend, const ServerConfig& config)
+    : impl_(std::make_unique<Impl>(backend, config)) {}
+
+Server::~Server() {
+  if (impl_) impl_->Stop();
+}
+
+void Server::Start() { impl_->Start(); }
+
+std::uint16_t Server::Port() const { return impl_->port_; }
+
+void Server::Stop() { impl_->Stop(); }
+
+ServerStats Server::Stats() const {
+  std::lock_guard lock(impl_->stats_mu_);
+  return impl_->stats_;
+}
+
+}  // namespace arlo::net

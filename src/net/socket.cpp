@@ -1,0 +1,88 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace arlo::net {
+namespace {
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in LoopbackAddr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+void ScopedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ScopedFd ListenTcp(std::uint16_t port, int backlog) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.Valid()) ThrowErrno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.Get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    ThrowErrno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd.Get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ThrowErrno("bind");
+  }
+  if (::listen(fd.Get(), backlog) < 0) ThrowErrno("listen");
+  return fd;
+}
+
+ScopedFd ConnectTcp(std::uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.Valid()) ThrowErrno("socket");
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd.Get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ThrowErrno("connect");
+  }
+  return fd;
+}
+
+std::uint16_t LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ThrowErrno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    ThrowErrno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    ThrowErrno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+}  // namespace arlo::net

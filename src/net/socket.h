@@ -1,0 +1,55 @@
+// Thin RAII + helper layer over POSIX TCP sockets.  Dependency-free: raw
+// <sys/socket.h>, no third-party networking.  Helpers throw
+// std::system_error on setup failures (bind, listen, connect); per-I/O
+// errors stay errno-based so the non-blocking event loop can branch on
+// EAGAIN without exception overhead.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace arlo::net {
+
+/// Owning file descriptor.  Moveable, closes on destruction.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int Get() const { return fd_; }
+  bool Valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening IPv4 TCP socket on 127.0.0.1:`port` (0 = let the
+/// kernel pick an ephemeral port; read it back with LocalPort).
+/// SO_REUSEADDR is set so test servers restart cleanly.
+ScopedFd ListenTcp(std::uint16_t port, int backlog = 128);
+
+/// Blocking connect to 127.0.0.1:`port`.
+ScopedFd ConnectTcp(std::uint16_t port);
+
+/// The port a bound socket actually listens on.
+std::uint16_t LocalPort(int fd);
+
+void SetNonBlocking(int fd);
+/// Disables Nagle — the protocol is small frames where latency matters.
+void SetNoDelay(int fd);
+
+}  // namespace arlo::net

@@ -1,5 +1,6 @@
-#include "serving/testbed.h"
+#include "serving/live_testbed.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -9,6 +10,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -31,15 +33,41 @@ void PreciseWaitUntil(Clock::time_point deadline,
   }
 }
 
-class Testbed final : public sim::ClusterOps {
+/// PreciseWaitUntil, but abandoned (returning true) as soon as `stop`
+/// becomes set — the sleep happens in bounded slices so a Finish() never
+/// waits out a whole tick/snapshot interval.  Used by the background loops,
+/// whose wake-up precision only matters when they actually run the tick.
+bool PreciseWaitUntilOrStopped(Clock::time_point deadline,
+                               std::chrono::nanoseconds spin,
+                               const std::atomic<bool>& stop) {
+  constexpr auto kSlice = std::chrono::milliseconds(50);
+  auto sleep_until = deadline - spin;
+  while (Clock::now() < sleep_until) {
+    if (stop.load(std::memory_order_relaxed)) return true;
+    std::this_thread::sleep_until(std::min(sleep_until, Clock::now() + kSlice));
+  }
+  while (Clock::now() < deadline) {
+    if (stop.load(std::memory_order_relaxed)) return true;
+  }
+  return stop.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+struct LiveTestbed::Impl final : public sim::ClusterOps {
  public:
-  Testbed(const trace::Trace& trace, sim::Scheme& scheme,
-          const TestbedConfig& config)
-      : trace_(trace), scheme_(scheme), config_(config) {
+  Impl(sim::Scheme& scheme, const TestbedConfig& config)
+      : scheme_(scheme), config_(config) {
     ARLO_CHECK(config_.time_scale > 0.0);
   }
 
-  TestbedResult Run();
+  void Start();
+  void Submit(const Request& request, CompletionFn done);
+  void Drain();
+  TestbedResult Finish();
+  SimDuration EstimatedQueueDelay() const;
+  bool Running() const { return started_ && !finished_; }
+  const TestbedConfig& Config() const { return config_; }
 
   // ClusterOps (called with dispatch_mu_ held by the scheme's caller):
   InstanceId LaunchInstance(RuntimeId runtime,
@@ -49,6 +77,16 @@ class Testbed final : public sim::ClusterOps {
   int NumInstances() const override { return live_workers_; }
   int OutstandingOn(InstanceId id) const override;
   SimTime Now() const override { return WallToSim(Clock::now()); }
+
+  // Lock-free mirrors for frontend threads (admission estimates).
+  int LiveWorkersRelaxed() const {
+    return live_rel_.load(std::memory_order_relaxed);
+  }
+  int InSystemRelaxed() const {
+    return static_cast<int>(
+        submitted_rel_.load(std::memory_order_relaxed) -
+        completed_rel_.load(std::memory_order_relaxed));
+  }
 
  private:
   struct QueuedRequest {
@@ -116,21 +154,37 @@ class Testbed final : public sim::ClusterOps {
   bool KillWorkerLocked(InstanceId id);
   void RunHealthCheckLocked();
 
-  const trace::Trace& trace_;
   sim::Scheme& scheme_;
   TestbedConfig config_;
   Clock::time_point start_;
+  bool started_ = false;
+  bool finished_ = false;
 
   std::mutex dispatch_mu_;
   std::condition_variable all_done_cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::deque<Request> buffer_;
   std::vector<RequestRecord> records_;
+  std::unordered_map<RequestId, CompletionFn> callbacks_;
+  std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
   int live_workers_ = 0;
   int peak_workers_ = 0;
   int outstanding_ = 0;  // dispatched, not yet completed (dispatch_mu_)
   std::atomic<bool> stopping_{false};
+
+  // Relaxed mirrors of the counters above, so frontend/admission threads can
+  // estimate load without touching dispatch_mu_.
+  std::atomic<std::int64_t> submitted_rel_{0};
+  std::atomic<std::int64_t> completed_rel_{0};
+  std::atomic<int> live_rel_{0};
+  /// EWMA of observed service times (ns, alpha = 1/8); 0 until the first
+  /// completion.  Feeds EstimatedQueueDelay.
+  std::atomic<std::int64_t> ewma_service_ns_{0};
+
+  std::thread ticker_;
+  std::thread snapshotter_;
+  std::thread fault_supervisor_;
 
   // Fault state.  Counters and dispatch_rng_ are guarded by dispatch_mu_;
   // the retry heap by fault_mu_ (lock order: dispatch_mu_ -> fault_mu_,
@@ -149,7 +203,7 @@ class Testbed final : public sim::ClusterOps {
   std::uint64_t retry_seq_ = 0;  // under fault_mu_
 };
 
-InstanceId Testbed::LaunchInstance(
+InstanceId LiveTestbed::Impl::LaunchInstance(
     RuntimeId runtime, std::shared_ptr<const runtime::CompiledRuntime> rt,
     SimDuration ready_delay) {
   // dispatch_mu_ is held by the caller.
@@ -160,6 +214,7 @@ InstanceId Testbed::LaunchInstance(
   worker->ready_delay = ready_delay;
   workers_.push_back(std::move(worker));
   ++live_workers_;
+  live_rel_.store(live_workers_, std::memory_order_relaxed);
   peak_workers_ = std::max(peak_workers_, live_workers_);
   if (config_.telemetry) {
     config_.telemetry->RecordInstanceLaunch(Now(), id, runtime);
@@ -171,7 +226,7 @@ InstanceId Testbed::LaunchInstance(
   return id;
 }
 
-void Testbed::RetireInstance(InstanceId id) {
+void LiveTestbed::Impl::RetireInstance(InstanceId id) {
   // dispatch_mu_ held.
   ARLO_CHECK(id < workers_.size());
   Worker& w = *workers_[id];
@@ -192,7 +247,7 @@ void Testbed::RetireInstance(InstanceId id) {
   }
 }
 
-void Testbed::FinalizeRetirementLocked(InstanceId id) {
+void LiveTestbed::Impl::FinalizeRetirementLocked(InstanceId id) {
   Worker& w = *workers_[id];
   {
     std::lock_guard lk(w.mu);
@@ -200,6 +255,7 @@ void Testbed::FinalizeRetirementLocked(InstanceId id) {
     w.gone = true;
   }
   --live_workers_;
+  live_rel_.store(live_workers_, std::memory_order_relaxed);
   if (config_.telemetry) {
     config_.telemetry->RecordInstanceRetired(Now(), id);
     UpdateClusterGaugesLocked();
@@ -208,14 +264,15 @@ void Testbed::FinalizeRetirementLocked(InstanceId id) {
   w.cv.notify_all();
 }
 
-int Testbed::OutstandingOn(InstanceId id) const {
+int LiveTestbed::Impl::OutstandingOn(InstanceId id) const {
   ARLO_CHECK(id < workers_.size());
   const Worker& w = *workers_[id];
   std::lock_guard lk(w.mu);
   return static_cast<int>(w.queue.size()) + w.executing;
 }
 
-void Testbed::HandleArrivalLocked(const Request& request, int attempt) {
+void LiveTestbed::Impl::HandleArrivalLocked(const Request& request,
+                                            int attempt) {
   // Transient dispatch error: the attempt fails before reaching the scheme
   // and waits out a jittered backoff on the fault supervisor's retry heap.
   // After max_attempts failures the request dispatches unconditionally.
@@ -247,7 +304,7 @@ void Testbed::HandleArrivalLocked(const Request& request, int attempt) {
   }
 }
 
-bool Testbed::TryDispatchLocked(const Request& request) {
+bool LiveTestbed::Impl::TryDispatchLocked(const Request& request) {
   const InstanceId id = scheme_.SelectInstance(request, *this);
   if (id == kInvalidInstance) return false;
   ARLO_CHECK(id < workers_.size());
@@ -268,14 +325,14 @@ bool Testbed::TryDispatchLocked(const Request& request) {
   return true;
 }
 
-void Testbed::RetryBufferedLocked() {
+void LiveTestbed::Impl::RetryBufferedLocked() {
   while (!buffer_.empty()) {
     if (!TryDispatchLocked(buffer_.front())) return;
     buffer_.pop_front();
   }
 }
 
-bool Testbed::KillWorkerLocked(InstanceId id) {
+bool LiveTestbed::Impl::KillWorkerLocked(InstanceId id) {
   // dispatch_mu_ held.  A kill against a worker that is not currently
   // serving (still provisioning, retiring, or already dead) is a no-op.
   if (id >= workers_.size()) return false;
@@ -290,6 +347,7 @@ bool Testbed::KillWorkerLocked(InstanceId id) {
     w.queue.clear();
   }
   --live_workers_;
+  live_rel_.store(live_workers_, std::memory_order_relaxed);
   ++injected_failures_;
   ++faults_injected_;
   if (config_.telemetry) {
@@ -314,7 +372,7 @@ bool Testbed::KillWorkerLocked(InstanceId id) {
   return true;
 }
 
-void Testbed::ApplyPlanEventLocked(const fault::FaultEvent& event) {
+void LiveTestbed::Impl::ApplyPlanEventLocked(const fault::FaultEvent& event) {
   // dispatch_mu_ held.
   switch (event.kind) {
     case fault::FaultKind::kCrash:
@@ -353,7 +411,7 @@ void Testbed::ApplyPlanEventLocked(const fault::FaultEvent& event) {
   }
 }
 
-void Testbed::RunHealthCheckLocked() {
+void LiveTestbed::Impl::RunHealthCheckLocked() {
   // dispatch_mu_ held.  Reap workers holding work with no pick/completion
   // for longer than the timeout — exactly the crash path, so recovery
   // (scheme replacement + requeue) is identical.
@@ -370,7 +428,7 @@ void Testbed::RunHealthCheckLocked() {
   for (const InstanceId id : hung) KillWorkerLocked(id);
 }
 
-void Testbed::FaultLoop() {
+void LiveTestbed::Impl::FaultLoop() {
   constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
   const fault::FaultPlan& plan = *config_.fault_plan;
   const std::vector<fault::FaultEvent> events = plan.Sorted();
@@ -446,7 +504,7 @@ void Testbed::FaultLoop() {
   }
 }
 
-void Testbed::WorkerLoop(InstanceId id, Worker& w) {
+void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
   // Provisioning delay, then announce readiness.
   if (w.ready_delay > 0) {
     PreciseWaitUntil(
@@ -546,12 +604,23 @@ void Testbed::WorkerLoop(InstanceId id, Worker& w) {
       record.instance = id;
       records_.push_back(record);
       ++completed_;
+      completed_rel_.fetch_add(1, std::memory_order_relaxed);
       --outstanding_;
+      const std::int64_t prev = ewma_service_ns_.load(std::memory_order_relaxed);
+      ewma_service_ns_.store(
+          prev == 0 ? record.ServiceTime() : prev - prev / 8 +
+                                                 record.ServiceTime() / 8,
+          std::memory_order_relaxed);
       if (config_.telemetry) {
         config_.telemetry->RecordComplete(record);
         UpdateClusterGaugesLocked();
       }
       scheme_.OnComplete(record, *this);
+      if (auto it = callbacks_.find(record.id); it != callbacks_.end()) {
+        CompletionFn done = std::move(it->second);
+        callbacks_.erase(it);
+        if (done) done(record);
+      }
 
       bool drained;
       {
@@ -562,37 +631,43 @@ void Testbed::WorkerLoop(InstanceId id, Worker& w) {
       }
       if (drained) FinalizeRetirementLocked(id);
       RetryBufferedLocked();
-      if (completed_ >= trace_.Size()) all_done_cv_.notify_all();
+      if (completed_ >= submitted_) all_done_cv_.notify_all();
       if (drained) return;
     }
   }
 }
 
-void Testbed::UpdateClusterGaugesLocked() {
+void LiveTestbed::Impl::UpdateClusterGaugesLocked() {
   config_.telemetry->SetClusterGauges(
       live_workers_, outstanding_, static_cast<std::int64_t>(buffer_.size()));
 }
 
-void Testbed::SnapshotLoop() {
+void LiveTestbed::Impl::SnapshotLoop() {
   const SimDuration period = config_.telemetry->SnapshotPeriod();
   ARLO_CHECK(period > 0);
   SimTime next = period;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    PreciseWaitUntil(SimToWall(next),
-                     std::chrono::nanoseconds(config_.spin_threshold));
-    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (PreciseWaitUntilOrStopped(SimToWall(next),
+                                  std::chrono::nanoseconds(
+                                      config_.spin_threshold),
+                                  stopping_)) {
+      return;
+    }
     config_.telemetry->Snapshot(Now());
     next += period;
   }
 }
 
-void Testbed::TickLoop() {
+void LiveTestbed::Impl::TickLoop() {
   const SimDuration interval = scheme_.TickInterval();
   SimTime next = interval;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    PreciseWaitUntil(SimToWall(next),
-                     std::chrono::nanoseconds(config_.spin_threshold));
-    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (PreciseWaitUntilOrStopped(SimToWall(next),
+                                  std::chrono::nanoseconds(
+                                      config_.spin_threshold),
+                                  stopping_)) {
+      return;
+    }
     std::lock_guard global(dispatch_mu_);
     scheme_.OnTick(Now(), *this);
     RetryBufferedLocked();
@@ -600,47 +675,62 @@ void Testbed::TickLoop() {
   }
 }
 
-TestbedResult Testbed::Run() {
+void LiveTestbed::Impl::Start() {
+  ARLO_CHECK_MSG(!started_, "Start called twice");
+  started_ = true;
   start_ = Clock::now();
-  records_.reserve(trace_.Size());
   scheme_.SetTelemetry(config_.telemetry);
   if (config_.fault_plan) dispatch_rng_ = Rng(config_.fault_plan->seed);
   {
     std::lock_guard global(dispatch_mu_);
     scheme_.Setup(*this);
   }
-  std::thread ticker([this] { TickLoop(); });
-  std::thread snapshotter;
+  ticker_ = std::thread([this] { TickLoop(); });
   if (config_.telemetry) {
-    snapshotter = std::thread([this] { SnapshotLoop(); });
+    snapshotter_ = std::thread([this] { SnapshotLoop(); });
   }
-  std::thread fault_supervisor;
   if (config_.fault_plan) {
-    fault_supervisor = std::thread([this] { FaultLoop(); });
+    fault_supervisor_ = std::thread([this] { FaultLoop(); });
   }
+}
 
-  for (const Request& r : trace_.Requests()) {
-    PreciseWaitUntil(SimToWall(r.arrival),
-                     std::chrono::nanoseconds(config_.spin_threshold));
-    std::lock_guard global(dispatch_mu_);
-    HandleArrivalLocked(r);
-  }
+void LiveTestbed::Impl::Submit(const Request& request, CompletionFn done) {
+  submitted_rel_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard global(dispatch_mu_);
+  ++submitted_;
+  if (done) callbacks_.emplace(request.id, std::move(done));
+  HandleArrivalLocked(request);
+}
 
-  // Wait for completion of every request.
-  {
-    std::unique_lock global(dispatch_mu_);
-    all_done_cv_.wait(global, [&] { return completed_ >= trace_.Size(); });
-  }
+SimDuration LiveTestbed::Impl::EstimatedQueueDelay() const {
+  const std::int64_t service = ewma_service_ns_.load(std::memory_order_relaxed);
+  const int workers = std::max(1, live_rel_.load(std::memory_order_relaxed));
+  const std::int64_t in_system =
+      std::max<std::int64_t>(0, submitted_rel_.load(std::memory_order_relaxed) -
+                                    completed_rel_.load(
+                                        std::memory_order_relaxed));
+  return static_cast<SimDuration>(service * in_system / workers);
+}
+
+void LiveTestbed::Impl::Drain() {
+  std::unique_lock global(dispatch_mu_);
+  all_done_cv_.wait(global, [&] { return completed_ >= submitted_; });
+}
+
+TestbedResult LiveTestbed::Impl::Finish() {
+  ARLO_CHECK_MSG(started_ && !finished_, "Finish without Start, or twice");
+  finished_ = true;
+  Drain();
   stopping_.store(true, std::memory_order_relaxed);
-  ticker.join();
-  if (fault_supervisor.joinable()) {
+  ticker_.join();
+  if (fault_supervisor_.joinable()) {
     {
       std::lock_guard lk(fault_mu_);  // pairs with the fault_cv_ wait
     }
     fault_cv_.notify_all();
-    fault_supervisor.join();
+    fault_supervisor_.join();
   }
-  if (snapshotter.joinable()) snapshotter.join();
+  if (snapshotter_.joinable()) snapshotter_.join();
   if (config_.telemetry) config_.telemetry->Snapshot(Now());  // final row
 
   // Shut down workers: mark retired so loops exit, then join.
@@ -669,12 +759,83 @@ TestbedResult Testbed::Run() {
   return out;
 }
 
+LiveTestbed::LiveTestbed(sim::Scheme& scheme, const TestbedConfig& config)
+    : impl_(std::make_unique<Impl>(scheme, config)) {}
+
+LiveTestbed::~LiveTestbed() {
+  if (impl_ && impl_->Running()) (void)impl_->Finish();
+}
+
+void LiveTestbed::Start() { impl_->Start(); }
+
+SimTime LiveTestbed::Now() const { return impl_->Now(); }
+
+const TestbedConfig& LiveTestbed::Config() const { return impl_->Config(); }
+
+void LiveTestbed::Submit(const Request& request, CompletionFn done) {
+  impl_->Submit(request, std::move(done));
+}
+
+int LiveTestbed::Outstanding() const { return impl_->InSystemRelaxed(); }
+
+int LiveTestbed::NumWorkers() const { return impl_->LiveWorkersRelaxed(); }
+
+SimDuration LiveTestbed::EstimatedQueueDelay() const {
+  return impl_->EstimatedQueueDelay();
+}
+
+void LiveTestbed::Drain() { impl_->Drain(); }
+
+TestbedResult LiveTestbed::Finish() { return impl_->Finish(); }
+
+namespace {
+
+/// Waits until `deadline` in <= 50 ms slices, returning early (true) when
+/// `cancel` fires — the trace replay loop's interruptible arrival wait.
+bool CancellableWaitUntil(Clock::time_point deadline,
+                          std::chrono::nanoseconds spin,
+                          const std::atomic<bool>* cancel) {
+  constexpr auto kSlice = std::chrono::milliseconds(50);
+  for (;;) {
+    if (cancel && cancel->load(std::memory_order_relaxed)) return true;
+    const auto now = Clock::now();
+    if (now >= deadline) return false;
+    if (deadline - now > kSlice) {
+      std::this_thread::sleep_for(kSlice);
+      continue;
+    }
+    PreciseWaitUntil(deadline, spin);
+    return false;
+  }
+}
+
 }  // namespace
 
 TestbedResult RunTestbed(const trace::Trace& trace, sim::Scheme& scheme,
                          const TestbedConfig& config) {
-  Testbed testbed(trace, scheme, config);
-  return testbed.Run();
+  LiveTestbed testbed(scheme, config);
+  testbed.Start();
+  // Replay arrivals at their scaled wall-clock times: request r is due when
+  // Now() reaches r.arrival.  The wait is sliced so config.cancel (SIGINT
+  // in examples/live_serving) interrupts the replay promptly; submitted
+  // requests still drain through Finish().
+  for (const Request& r : trace.Requests()) {
+    if (config.cancel && config.cancel->load(std::memory_order_relaxed)) break;
+    const SimTime now = testbed.Now();
+    if (r.arrival > now) {
+      const auto deadline =
+          Clock::now() + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                             static_cast<double>(r.arrival - now) *
+                             config.time_scale));
+      if (CancellableWaitUntil(deadline,
+                               std::chrono::nanoseconds(config.spin_threshold),
+                               config.cancel)) {
+        break;
+      }
+    }
+    testbed.Submit(r);
+  }
+  return testbed.Finish();
 }
 
 }  // namespace arlo::serving

@@ -1,0 +1,78 @@
+// Live (open-ended) testbed: the same worker-thread/dispatch machinery that
+// RunTestbed drives from a trace, exposed as a submission API so an external
+// frontend — the src/net TCP server, or any in-process producer — can feed
+// requests at wall-clock time and observe completions through callbacks.
+//
+// Lifecycle: Start() deploys the scheme and spawns the ticker / telemetry
+// snapshotter / fault supervisor; Submit() hands a request to the dispatcher
+// (thread-safe, any producer thread); Finish() waits for every submitted
+// request to complete, stops the machinery, and returns the records.
+//
+// Completion callbacks run on the worker thread that finished the request,
+// with the dispatch mutex held: they must be fast, must not block, and must
+// not call back into the LiveTestbed (push to a queue and return — the
+// src/net server hands replies to its event loop exactly that way).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "serving/testbed.h"
+
+namespace arlo::serving {
+
+class LiveTestbed {
+ public:
+  using CompletionFn = std::function<void(const RequestRecord&)>;
+
+  LiveTestbed(sim::Scheme& scheme, const TestbedConfig& config = {});
+  /// Calls Finish() if the caller has not (discarding the result).
+  ~LiveTestbed();
+
+  LiveTestbed(const LiveTestbed&) = delete;
+  LiveTestbed& operator=(const LiveTestbed&) = delete;
+
+  /// Deploys the scheme's initial instances and starts the background
+  /// threads.  The wall clock of SimTime 0 is captured here.
+  void Start();
+
+  /// Scaled wall-clock time since Start().
+  SimTime Now() const;
+
+  /// The configuration this testbed was constructed with (time_scale etc.;
+  /// the net server reads it to convert between wall and simulated time).
+  const TestbedConfig& Config() const;
+
+  /// Submits one request.  `request.id` must be unique across the run (the
+  /// net server assigns sequential ids; trace replay uses trace ids).  The
+  /// arrival timestamp is taken from `request.arrival` — stamp it with
+  /// Now() for live traffic.  `done`, if provided, fires exactly once when
+  /// the request completes (requeues and retries notwithstanding: the
+  /// testbed never drops a submitted request).
+  void Submit(const Request& request, CompletionFn done = nullptr);
+
+  /// Requests currently in the system (submitted, not yet completed).
+  int Outstanding() const;
+
+  /// Live (ready or provisioning) worker instances.
+  int NumWorkers() const;
+
+  /// Rough expected queueing delay for a request submitted now: EWMA of
+  /// observed service times x in-system requests / live workers.  Zero
+  /// until the first completion.  This is the estimate the net admission
+  /// controller compares against request deadlines for early rejection.
+  SimDuration EstimatedQueueDelay() const;
+
+  /// Blocks until every submitted request has completed.
+  void Drain();
+
+  /// Drain, stop background threads, join workers, and collect results.
+  /// Submit must not be called after (or concurrently with) Finish.
+  TestbedResult Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace arlo::serving

@@ -7,6 +7,10 @@
 // The same Scheme implementations run unmodified on the simulator and here,
 // which is what the §5.2.1 calibration experiment compares.
 //
+// This header declares the shared config/result types and the trace-replay
+// entry point; the machinery itself lives behind the LiveTestbed submission
+// API in live_testbed.h so the src/net frontend can drive it over sockets.
+//
 // Lock ordering: dispatch mutex -> worker mutex, never the reverse.
 #pragma once
 
@@ -16,6 +20,7 @@
 #include "sim/scheme.h"
 #include "trace/trace.h"
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -50,8 +55,16 @@ struct TestbedConfig {
   /// drives both substrates.  See docs/FAULTS.md.
   const fault::FaultPlan* fault_plan = nullptr;
   /// Retry backoff + hang-detection behaviour when a plan is attached.
-  /// Deadline shedding is a simulator-only feature and is ignored here.
+  /// Deadline shedding is a simulator-only feature and is ignored here —
+  /// the wall-clock equivalent is the net frontend's admission controller
+  /// (src/net/admission.h), which early-rejects before submission.
   fault::ResiliencePolicy resilience;
+
+  /// Optional cooperative cancellation (not owned; may be null).  When it
+  /// becomes true mid-replay, RunTestbed stops submitting further trace
+  /// arrivals, drains what is in flight, and returns the partial result —
+  /// the graceful-shutdown path examples/live_serving uses for SIGINT.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct TestbedResult {
@@ -65,7 +78,9 @@ struct TestbedResult {
 };
 
 /// Replays the trace through the scheme on real threads.  Blocks until all
-/// requests complete.
+/// requests complete (or config.cancel fires and the in-flight tail
+/// drains).  Implemented on top of LiveTestbed (live_testbed.h), which is
+/// the open-ended submission API the src/net TCP frontend drives.
 TestbedResult RunTestbed(const trace::Trace& trace, sim::Scheme& scheme,
                          const TestbedConfig& config = {});
 

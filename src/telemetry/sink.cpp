@@ -67,6 +67,32 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
       "Wall-clock cost of one scheduling decision (Fig. 9 quantity)");
   serving_.allocation_solve_ns = registry_.GetHistogram(
       "arlo_allocation_solve_ns", "Wall-clock cost of one allocation solve");
+  net_.connections_total = registry_.GetCounter(
+      "arlo_net_connections_total", "TCP connections accepted by the frontend");
+  net_.accepted = registry_.GetCounter(
+      "arlo_net_accepted_total",
+      "SubmitRequests admitted and handed to the dispatcher");
+  net_.rejected_rate = registry_.GetCounter(
+      "arlo_net_rejected_rate_total",
+      "SubmitRequests rejected by the token-bucket rate limit");
+  net_.rejected_inflight = registry_.GetCounter(
+      "arlo_net_rejected_inflight_total",
+      "SubmitRequests rejected at the inflight cap");
+  net_.rejected_queue_full = registry_.GetCounter(
+      "arlo_net_rejected_queue_full_total",
+      "SubmitRequests rejected because the submission queue was full");
+  net_.shed_deadline = registry_.GetCounter(
+      "arlo_net_shed_deadline_total",
+      "SubmitRequests early-shed: estimated delay exceeded the deadline");
+  net_.bytes_in = registry_.GetCounter(
+      "arlo_net_bytes_in_total", "Bytes read from client sockets");
+  net_.bytes_out = registry_.GetCounter(
+      "arlo_net_bytes_out_total", "Bytes written to client sockets");
+  net_.open_connections = registry_.GetGauge(
+      "arlo_net_open_connections", "Currently connected clients");
+  net_.frontend_overhead_ns = registry_.GetHistogram(
+      "arlo_net_frontend_overhead_ns",
+      "Wall ns in the frontend beyond the scaled modeled backend latency");
 }
 
 void TelemetrySink::RecordEnqueue(const Request& request, SimTime now) {
@@ -221,6 +247,64 @@ void TelemetrySink::RecordShed(const Request& request, SimTime now) {
                     {{"id", static_cast<std::int64_t>(request.id)},
                      {"waited_ns", now - request.arrival}});
   }
+}
+
+void TelemetrySink::RecordNetConnOpened(SimTime now,
+                                        std::int64_t open_connections) {
+  net_.connections_total->Add();
+  net_.open_connections->Set(open_connections);
+  tracer_.Instant("conn-open", "net", now, TraceRecorder::kControlLane,
+                  {{"open", open_connections}});
+}
+
+void TelemetrySink::RecordNetConnClosed(SimTime now,
+                                        std::int64_t open_connections) {
+  net_.open_connections->Set(open_connections);
+  tracer_.Instant("conn-close", "net", now, TraceRecorder::kControlLane,
+                  {{"open", open_connections}});
+}
+
+void TelemetrySink::RecordNetBytes(std::uint64_t bytes_in,
+                                   std::uint64_t bytes_out) {
+  if (bytes_in > 0) net_.bytes_in->Add(bytes_in);
+  if (bytes_out > 0) net_.bytes_out->Add(bytes_out);
+}
+
+void TelemetrySink::RecordNetAccepted(const Request& request, SimTime now) {
+  (void)request;
+  (void)now;
+  net_.accepted->Add();
+}
+
+void TelemetrySink::RecordNetRejected(const Request& request, SimTime now,
+                                      const char* reason) {
+  // TraceArg values are numeric, so the reason rides along as a code:
+  // 1=rate, 2=inflight, 3=queue-full, 4=deadline.
+  const std::string_view r(reason);
+  std::int64_t code = 0;
+  if (r == "rate") {
+    net_.rejected_rate->Add();
+    code = 1;
+  } else if (r == "inflight") {
+    net_.rejected_inflight->Add();
+    code = 2;
+  } else if (r == "queue-full") {
+    net_.rejected_queue_full->Add();
+    code = 3;
+  } else if (r == "deadline") {
+    net_.shed_deadline->Add();
+    code = 4;
+  }
+  if (config_.trace_requests) {
+    tracer_.Instant("net-reject", "net", now, TraceRecorder::kControlLane,
+                    {{"id", static_cast<std::int64_t>(request.id)},
+                     {"length", request.length},
+                     {"reason", code}});
+  }
+}
+
+void TelemetrySink::RecordNetFrontendOverhead(std::int64_t wall_ns) {
+  net_.frontend_overhead_ns->Record(wall_ns);
 }
 
 void TelemetrySink::RecordReplacement(SimTime now, InstanceId victim,

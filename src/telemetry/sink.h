@@ -65,6 +65,23 @@ struct ServingMetrics {
   LatencyHistogram* allocation_solve_ns = nullptr;
 };
 
+/// Stable pointers to the TCP-frontend metrics (src/net; see
+/// docs/NETWORKING.md).  Zero-valued in runs without a network frontend.
+struct NetMetrics {
+  Counter* connections_total = nullptr;
+  Counter* accepted = nullptr;
+  Counter* rejected_rate = nullptr;
+  Counter* rejected_inflight = nullptr;
+  Counter* rejected_queue_full = nullptr;
+  Counter* shed_deadline = nullptr;
+  Counter* bytes_in = nullptr;
+  Counter* bytes_out = nullptr;
+  Gauge* open_connections = nullptr;
+  /// Wall-clock ns a request spent in the frontend beyond its (scaled)
+  /// modeled backend latency: socket I/O + framing + queue hops.
+  LatencyHistogram* frontend_overhead_ns = nullptr;
+};
+
 /// One row of the periodic time series (cumulative values as of `time_s`).
 struct SnapshotRow {
   double time_s = 0.0;
@@ -128,6 +145,19 @@ class TelemetrySink {
                              int gpus, int diff_moves);
   void RecordAutoscale(SimTime now, bool scale_out, int gpus_after);
 
+  // --- TCP frontend (src/net; see docs/NETWORKING.md) --------------------
+  void RecordNetConnOpened(SimTime now, std::int64_t open_connections);
+  void RecordNetConnClosed(SimTime now, std::int64_t open_connections);
+  void RecordNetBytes(std::uint64_t bytes_in, std::uint64_t bytes_out);
+  /// A SubmitRequest passed admission and entered the submission queue.
+  void RecordNetAccepted(const Request& request, SimTime now);
+  /// A SubmitRequest was rejected; `reason` is one of "rate", "inflight",
+  /// "queue-full", "deadline".  Deadline sheds additionally flow through
+  /// RecordShed so the fault-layer shed accounting covers the frontend.
+  void RecordNetRejected(const Request& request, SimTime now,
+                         const char* reason);
+  void RecordNetFrontendOverhead(std::int64_t wall_ns);
+
   // --- gauges ------------------------------------------------------------
   void SetClusterGauges(std::int64_t instances, std::int64_t outstanding,
                         std::int64_t buffer_depth);
@@ -152,6 +182,7 @@ class TelemetrySink {
   TraceRecorder& Tracer() { return tracer_; }
   const TraceRecorder& Tracer() const { return tracer_; }
   const ServingMetrics& Serving() const { return serving_; }
+  const NetMetrics& Net() const { return net_; }
   const TelemetryConfig& Config() const { return config_; }
 
  private:
@@ -161,6 +192,7 @@ class TelemetrySink {
   MetricsRegistry registry_;
   TraceRecorder tracer_;
   ServingMetrics serving_;
+  NetMetrics net_;
 
   std::mutex levels_mu_;
   std::vector<Gauge*> queue_depth_;  // index = level

@@ -1,0 +1,122 @@
+#include "net/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace arlo::net {
+namespace {
+
+TEST(Admission, DefaultConfigAdmitsEverything) {
+  AdmissionController admission{AdmissionConfig{}};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(admission.Admit(/*now=*/0, /*estimated_queue_delay=*/Seconds(10.0),
+                              /*deadline=*/0),
+              AdmissionDecision::kAdmit);
+  }
+  EXPECT_EQ(admission.Inflight(), 1000);
+}
+
+TEST(Admission, TokenBucketLimitsBurstThenRefills) {
+  AdmissionConfig config;
+  config.rate_limit = 10.0;  // 10 req/s
+  config.burst = 5.0;
+  AdmissionController admission{config};
+
+  // The bucket starts full: exactly `burst` requests pass at t=0.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kAdmit) << i;
+  }
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kRejectRate);
+
+  // 100 ms at 10 req/s refills exactly one token.
+  const SimTime t1 = Millis(100.0);
+  EXPECT_EQ(admission.Admit(t1, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(t1, 0, 0), AdmissionDecision::kRejectRate);
+
+  // A long idle period refills to capacity, never beyond.
+  const SimTime t2 = Seconds(100.0);
+  EXPECT_NEAR(admission.TokensForTest(), 0.0, 1e-9);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(admission.Admit(t2, 0, 0), AdmissionDecision::kAdmit) << i;
+  }
+  EXPECT_EQ(admission.Admit(t2, 0, 0), AdmissionDecision::kRejectRate);
+}
+
+TEST(Admission, BurstDefaultsToOneSecondOfTokens) {
+  AdmissionConfig config;
+  config.rate_limit = 50.0;  // burst unset -> capacity 50
+  AdmissionController admission{config};
+  int admitted = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (admission.Admit(0, 0, 0) == AdmissionDecision::kAdmit) ++admitted;
+  }
+  EXPECT_EQ(admitted, 50);
+}
+
+TEST(Admission, InflightCapRejectsUntilCompletionsFreeSlots) {
+  AdmissionConfig config;
+  config.max_inflight = 2;
+  AdmissionController admission{config};
+
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kRejectInflight);
+  EXPECT_EQ(admission.Inflight(), 2);
+
+  admission.OnRequestDone();
+  EXPECT_EQ(admission.Inflight(), 1);
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kRejectInflight);
+}
+
+TEST(Admission, DeadlineShedComparesEstimateAgainstBudget) {
+  AdmissionController admission{AdmissionConfig{}};
+
+  // Estimated delay beyond the budget: shed.
+  EXPECT_EQ(admission.Admit(0, Millis(200.0), Millis(150.0)),
+            AdmissionDecision::kShedDeadline);
+  // Estimated delay within the budget: admit.
+  EXPECT_EQ(admission.Admit(0, Millis(100.0), Millis(150.0)),
+            AdmissionDecision::kAdmit);
+  // No deadline (0) is never shed, whatever the estimate.
+  EXPECT_EQ(admission.Admit(0, Seconds(100.0), 0),
+            AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, DeadlineShedCanBeDisabled) {
+  AdmissionConfig config;
+  config.deadline_reject = false;
+  AdmissionController admission{config};
+  EXPECT_EQ(admission.Admit(0, Seconds(100.0), Millis(1.0)),
+            AdmissionDecision::kAdmit);
+}
+
+TEST(Admission, GatesAreCheckedInOrderAndRejectionsConsumeNothing) {
+  AdmissionConfig config;
+  config.rate_limit = 100.0;
+  config.burst = 2.0;
+  config.max_inflight = 1;
+  AdmissionController admission{config};
+
+  // First request admits, consuming a token and the only inflight slot.
+  EXPECT_EQ(admission.Admit(0, 0, Millis(10.0)), AdmissionDecision::kAdmit);
+  EXPECT_NEAR(admission.TokensForTest(), 1.0, 1e-9);
+
+  // Second is inflight-rejected — and must NOT burn the remaining token.
+  EXPECT_EQ(admission.Admit(0, 0, Millis(10.0)),
+            AdmissionDecision::kRejectInflight);
+  EXPECT_NEAR(admission.TokensForTest(), 1.0, 1e-9);
+
+  // After completion the token is still there for the next admit.
+  admission.OnRequestDone();
+  EXPECT_EQ(admission.Admit(0, 0, Millis(10.0)), AdmissionDecision::kAdmit);
+  EXPECT_NEAR(admission.TokensForTest(), 0.0, 1e-9);
+
+  // Bucket now empty: the rate gate fires before the inflight gate.
+  EXPECT_EQ(admission.Admit(0, 0, Millis(10.0)),
+            AdmissionDecision::kRejectRate);
+}
+
+}  // namespace
+}  // namespace arlo::net

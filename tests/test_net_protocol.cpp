@@ -1,0 +1,291 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace arlo::net {
+namespace {
+
+Frame DecodeOne(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(decoder.Pending(), 0u);
+  return frame;
+}
+
+TEST(NetProtocol, SubmitRoundTrip) {
+  SubmitRequest msg;
+  msg.id = 0x0123456789abcdefULL;
+  msg.model = 7;
+  msg.length = 511;
+  msg.deadline_ns = Millis(150.0);
+
+  std::vector<std::uint8_t> bytes;
+  EncodeSubmit(msg, bytes);
+  ASSERT_EQ(bytes.size(), kSubmitFrameBytes);
+
+  const Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.type, MsgType::kSubmit);
+  EXPECT_EQ(frame.submit, msg);
+}
+
+TEST(NetProtocol, ReplyRoundTrip) {
+  Reply msg;
+  msg.id = 42;
+  msg.status = ReplyStatus::kShedDeadline;
+  msg.queue_ns = 123456789;
+  msg.service_ns = -1;  // sign survives the wire
+
+  std::vector<std::uint8_t> bytes;
+  EncodeReply(msg, bytes);
+  ASSERT_EQ(bytes.size(), kReplyFrameBytes);
+
+  const Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.type, MsgType::kReply);
+  EXPECT_EQ(frame.reply, msg);
+}
+
+TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
+  // Pin the exact byte layout: any change here is a wire format break.
+  SubmitRequest msg;
+  msg.id = 0x1122334455667788ULL;
+  msg.model = 0xa1b2c3d4;
+  msg.length = 0x00000102;
+  msg.deadline_ns = 0x0807060504030201LL;
+
+  std::vector<std::uint8_t> bytes;
+  EncodeSubmit(msg, bytes);
+  ASSERT_EQ(bytes.size(), 29u);
+  // frame_len = 25 (type byte + 24-byte payload), little-endian.
+  EXPECT_EQ(bytes[0], 25u);
+  EXPECT_EQ(bytes[1], 0u);
+  EXPECT_EQ(bytes[2], 0u);
+  EXPECT_EQ(bytes[3], 0u);
+  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(MsgType::kSubmit));
+  EXPECT_EQ(bytes[5], 0x88);  // id LSB first
+  EXPECT_EQ(bytes[12], 0x11);
+  EXPECT_EQ(bytes[13], 0xd4);  // model LSB
+  EXPECT_EQ(bytes[17], 0x02);  // length LSB
+  EXPECT_EQ(bytes[21], 0x01);  // deadline LSB
+  EXPECT_EQ(bytes[28], 0x08);
+}
+
+TEST(NetProtocol, DecodesByteByByte) {
+  SubmitRequest msg;
+  msg.id = 9;
+  msg.length = 128;
+  std::vector<std::uint8_t> bytes;
+  EncodeSubmit(msg, bytes);
+
+  FrameDecoder decoder;
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(&bytes[i], 1);
+    EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kNeedMore);
+  }
+  decoder.Feed(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.submit, msg);
+}
+
+TEST(NetProtocol, DecodesAStreamOfMixedFrames) {
+  std::vector<std::uint8_t> bytes;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    if (i % 2 == 0) {
+      SubmitRequest s;
+      s.id = i;
+      s.length = static_cast<std::uint32_t>(10 * i);
+      EncodeSubmit(s, bytes);
+    } else {
+      Reply r;
+      r.id = i;
+      r.status = ReplyStatus::kOk;
+      r.queue_ns = static_cast<std::int64_t>(i) * 1000;
+      EncodeReply(r, bytes);
+    }
+  }
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame) << i;
+    if (i % 2 == 0) {
+      EXPECT_EQ(frame.type, MsgType::kSubmit);
+      EXPECT_EQ(frame.submit.id, i);
+    } else {
+      EXPECT_EQ(frame.type, MsgType::kReply);
+      EXPECT_EQ(frame.reply.id, i);
+    }
+  }
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(NetProtocol, TruncatedFrameNeedsMoreThenCompletes) {
+  Reply msg;
+  msg.id = 77;
+  std::vector<std::uint8_t> bytes;
+  EncodeReply(msg, bytes);
+
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size() - 5);
+  Frame frame;
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kNeedMore);
+  EXPECT_GT(decoder.Pending(), 0u);
+  decoder.Feed(bytes.data() + bytes.size() - 5, 5);
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.reply, msg);
+}
+
+TEST(NetProtocol, RejectsUnknownType) {
+  std::vector<std::uint8_t> bytes = {25, 0, 0, 0, 99};  // type 99
+  bytes.resize(4 + 25, 0);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+  EXPECT_FALSE(decoder.Error().empty());
+}
+
+TEST(NetProtocol, RejectsOversizedAndZeroLengthFrames) {
+  {
+    // frame_len = 0x10000 > kMaxFrameBytes: rejected from the prefix alone,
+    // before any payload arrives.
+    const std::uint8_t huge[4] = {0, 0, 1, 0};
+    FrameDecoder decoder;
+    decoder.Feed(huge, 4);
+    Frame frame;
+    EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+  }
+  {
+    const std::uint8_t zero[4] = {0, 0, 0, 0};
+    FrameDecoder decoder;
+    decoder.Feed(zero, 4);
+    Frame frame;
+    EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+  }
+}
+
+TEST(NetProtocol, RejectsWrongPayloadSizeForType) {
+  // A kSubmit frame claiming a 10-byte payload: length/type mismatch.
+  std::vector<std::uint8_t> bytes = {11, 0, 0, 0,
+                                     static_cast<std::uint8_t>(MsgType::kSubmit)};
+  bytes.resize(4 + 11, 0);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+}
+
+TEST(NetProtocol, RejectsOutOfRangeReplyStatus) {
+  Reply msg;
+  msg.id = 1;
+  std::vector<std::uint8_t> bytes;
+  EncodeReply(msg, bytes);
+  bytes[4 + 1 + 8] = 200;  // status byte past kError
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+}
+
+TEST(NetProtocol, ErrorIsSticky) {
+  std::vector<std::uint8_t> bad = {25, 0, 0, 0, 99};
+  bad.resize(4 + 25, 0);
+  FrameDecoder decoder;
+  decoder.Feed(bad.data(), bad.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+
+  // A perfectly valid frame after the garbage must NOT resync.
+  SubmitRequest msg;
+  std::vector<std::uint8_t> good;
+  EncodeSubmit(msg, good);
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+}
+
+// Fuzz 1: random byte soup never crashes the decoder and never yields a
+// frame whose advertised type/length invariants don't hold.
+TEST(NetProtocolFuzz, RandomBytesNeverCrash) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    FrameDecoder decoder;
+    bool dead = false;
+    for (int round = 0; round < 40 && !dead; ++round) {
+      std::uint8_t chunk[64];
+      const int n = 1 + static_cast<int>(rng.NextU64() % 64);
+      for (int i = 0; i < n; ++i) {
+        chunk[i] = static_cast<std::uint8_t>(rng.NextU64());
+      }
+      decoder.Feed(chunk, static_cast<std::size_t>(n));
+      Frame frame;
+      for (;;) {
+        const FrameDecoder::Result r = decoder.Next(frame);
+        if (r == FrameDecoder::Result::kNeedMore) break;
+        if (r == FrameDecoder::Result::kError) {
+          dead = true;  // connection would be dropped
+          break;
+        }
+        // Any frame pulled out of random bytes must still be well-formed.
+        ASSERT_TRUE(frame.type == MsgType::kSubmit ||
+                    frame.type == MsgType::kReply);
+      }
+    }
+  }
+}
+
+// Fuzz 2: corrupt one byte of a valid stream; the decoder must either keep
+// decoding well-formed frames or die with a sticky error — never emit a
+// frame and then misparse the remainder as anything but an error.
+TEST(NetProtocolFuzz, SingleByteCorruptionEitherDecodesOrDies) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    SubmitRequest s;
+    s.id = i;
+    s.length = 64;
+    EncodeSubmit(s, stream);
+  }
+
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> mutated = stream;
+    const std::size_t pos = rng.NextU64() % mutated.size();
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.NextU64() % 255);
+
+    FrameDecoder decoder;
+    decoder.Feed(mutated.data(), mutated.size());
+    Frame frame;
+    int frames = 0;
+    for (;;) {
+      const FrameDecoder::Result r = decoder.Next(frame);
+      if (r == FrameDecoder::Result::kFrame) {
+        ++frames;
+        continue;
+      }
+      if (r == FrameDecoder::Result::kError) break;
+      // kNeedMore: a length-field mutation can leave a frame half-claimed.
+      break;
+    }
+    EXPECT_LE(frames, 8);
+  }
+}
+
+TEST(NetProtocol, StatusNamesAreDistinct) {
+  EXPECT_STRNE(ReplyStatusName(ReplyStatus::kOk),
+               ReplyStatusName(ReplyStatus::kRejectQueueFull));
+  EXPECT_STRNE(ReplyStatusName(ReplyStatus::kRejectRate),
+               ReplyStatusName(ReplyStatus::kRejectInflight));
+  EXPECT_STRNE(ReplyStatusName(ReplyStatus::kShedDeadline),
+               ReplyStatusName(ReplyStatus::kError));
+}
+
+}  // namespace
+}  // namespace arlo::net
