@@ -7,8 +7,10 @@
 // the same rows/series the paper's table or figure reports.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,7 @@ struct BenchArgs {
   double duration_override = 0.0;  ///< seconds; 0 = bench default
   std::string metrics_out;         ///< .prom/.json/.csv metrics dump path
   std::string trace_out;           ///< Chrome trace_event JSON path
+  std::string json_out;            ///< result-table JSON path (--json)
 
   static BenchArgs Parse(int argc, const char* const* argv) {
     const CliFlags flags(argc, argv);
@@ -38,6 +41,7 @@ struct BenchArgs {
     args.duration_override = flags.GetDouble("duration", 0.0);
     args.metrics_out = flags.GetString("metrics-out", "");
     args.trace_out = flags.GetString("trace-out", "");
+    args.json_out = flags.GetString("json", "");
     flags.RejectUnknown();
     return args;
   }
@@ -57,6 +61,17 @@ struct BenchArgs {
     cfg.run_id = seed;
     cfg.concurrency = concurrency;
     return std::make_unique<telemetry::TelemetrySink>(cfg);
+  }
+
+  /// Writes the bench's result table as JSON iff --json=PATH was given —
+  /// the machine-readable counterpart of the printed table, used by the
+  /// bench-smoke stage of scripts/check.sh.
+  void WriteJson(const TablePrinter& table) const {
+    if (json_out.empty()) return;
+    std::ofstream os(json_out);
+    if (!os) throw std::runtime_error("cannot open --json path: " + json_out);
+    table.PrintJson(os);
+    std::cout << "json written to " << json_out << "\n";
   }
 
   /// Writes whichever outputs were requested; no-op with a null sink.

@@ -1,7 +1,13 @@
-// Extension bench (§6 Discussion, "Dynamic batch execution"): sweep the
-// opportunistic batch limit for ST and Arlo at a high request rate.  The
-// paper fixes batch size 1 for latency; this ablation quantifies the
-// throughput/latency trade-off batching would add on top of polymorphing.
+// Extension bench (§6 Discussion, "Dynamic batch execution"): sweep batch
+// formation policy × batch limit for ST and Arlo at a high request rate.
+// The paper fixes batch size 1 for latency; this ablation quantifies what
+// the src/batch policies add on top of polymorphing: greedy takes whatever
+// is queued, "slo" waits out per-request slack to fill batches, "length"
+// only co-schedules requests sharing a padding bucket (see docs/BATCHING.md).
+//
+// --json=PATH additionally writes the result table as BENCH_batching.json
+// for the bench-smoke stage of scripts/check.sh.
+#include "batch/policy.h"
 #include "bench_util.h"
 
 using namespace arlo;
@@ -14,36 +20,71 @@ int main(int argc, char** argv) {
   const trace::Trace trace =
       bench::MakeBenchTrace(rate, duration, args.seed, /*bursty=*/true);
 
-  TablePrinter t("§6 extension — opportunistic batching at " +
+  TablePrinter t("§6 extension — batching policies at " +
                  TablePrinter::Num(rate, 0) + " req/s (Bert-Base, 10 GPUs)");
-  t.SetHeader({"scheme", "max_batch", "mean_ms", "p50_ms", "p98_ms",
-               "slo_viol_%", "busy_%"});
+  t.SetHeader({"scheme", "policy", "max_batch", "mean_ms", "p50_ms", "p98_ms",
+               "slo_viol_%", "waste_%", "batches", "mean_batch"});
 
   for (const char* name : {"st", "arlo"}) {
     for (int max_batch : {1, 2, 4, 8}) {
-      baselines::ScenarioConfig config;
-      config.model = runtime::ModelSpec::BertBase();
-      config.gpus = 10;
-      config.slo = Millis(150.0);
-      config.period = Seconds(10.0);
-      auto runtimes = baselines::MakeRuntimeSetFor(config);
-      config.initial_demand =
-          baselines::DemandFromTrace(trace, *runtimes, config.slo);
-      auto scheme = baselines::MakeSchemeByName(name, config);
-      sim::EngineConfig engine;
-      engine.max_batch = max_batch;
-      const sim::EngineResult result = sim::RunScenario(trace, *scheme, engine);
-      const LatencySummary s = Summarize(result.records, config.slo);
-      t.AddRow({name, TablePrinter::Int(max_batch),
-                TablePrinter::Num(s.mean_ms), TablePrinter::Num(s.p50_ms),
-                TablePrinter::Num(s.p98_ms),
-                TablePrinter::Num(100.0 * s.slo_violation_frac),
-                TablePrinter::Num(100.0 * result.gpu_busy_fraction, 1)});
+      for (const std::string& policy_name : batch::BatchPolicyNames()) {
+        // At max_batch 1 every policy degenerates to greedy; skip the dupes.
+        if (max_batch == 1 && policy_name != "greedy") continue;
+        baselines::ScenarioConfig config;
+        config.model = runtime::ModelSpec::BertBase();
+        config.gpus = 10;
+        config.slo = Millis(150.0);
+        config.period = Seconds(10.0);
+        config.max_batch = max_batch;
+        auto runtimes = baselines::MakeRuntimeSetFor(config);
+        config.initial_demand =
+            baselines::DemandFromTrace(trace, *runtimes, config.slo);
+        auto scheme = baselines::MakeSchemeByName(name, config);
+
+        batch::BatchPolicyConfig bpc;
+        bpc.slo = config.slo;
+        const auto policy = batch::MakeBatchPolicy(policy_name, bpc);
+
+        // A per-run sink (traces off) supplies the padding-waste counters.
+        telemetry::TelemetryConfig tcfg;
+        tcfg.run_id = args.seed;
+        tcfg.trace_requests = false;
+        telemetry::TelemetrySink sink(tcfg);
+
+        sim::EngineConfig engine;
+        engine.max_batch = max_batch;
+        engine.batch_policy = policy.get();
+        engine.telemetry = &sink;
+        const sim::EngineResult result =
+            sim::RunScenario(trace, *scheme, engine);
+        const LatencySummary s = Summarize(result.records, config.slo);
+        const auto useful =
+            static_cast<double>(sink.Batch().tokens_useful->Value());
+        const auto computed =
+            static_cast<double>(sink.Batch().tokens_computed->Value());
+        const double waste =
+            computed > 0.0 ? 100.0 * (1.0 - useful / computed) : 0.0;
+        const double mean_batch =
+            result.batches_formed > 0
+                ? static_cast<double>(result.records.size()) /
+                      static_cast<double>(result.batches_formed)
+                : 0.0;
+        t.AddRow({name, policy_name, TablePrinter::Int(max_batch),
+                  TablePrinter::Num(s.mean_ms), TablePrinter::Num(s.p50_ms),
+                  TablePrinter::Num(s.p98_ms),
+                  TablePrinter::Num(100.0 * s.slo_violation_frac),
+                  TablePrinter::Num(waste, 1),
+                  TablePrinter::Int(
+                      static_cast<long long>(result.batches_formed)),
+                  TablePrinter::Num(mean_batch)});
+      }
     }
   }
   t.Print(std::cout);
+  args.WriteJson(t);
   std::cout << "(batching rescues overloaded ST by amortizing the kernel "
-               "floor across padded batches; Arlo gains less because its "
-               "per-request services are already short)\n";
+               "floor across padded batches; the length policy avoids the "
+               "padding waste greedy accepts, and the slo policy spends "
+               "latency slack to fill batches)\n";
   return 0;
 }

@@ -13,7 +13,8 @@
 // requests keep their overhead flat while the overflow is rejected, which
 // is the whole point of admitting by SLO instead of buffering.
 //
-// Output: one CSV block (stdout) — see docs/NETWORKING.md.
+// Output: one CSV block (stdout) — see docs/NETWORKING.md.  --json=PATH
+// additionally writes the same rows as BENCH_net.json.
 #include "bench_util.h"
 
 #include <algorithm>
@@ -148,15 +149,21 @@ int main(int argc, char** argv) {
                                "overload-4x"));
   }
 
-  std::cout << "mode,connections,requests,ok,rejected,p50_latency_ms,"
-               "p98_latency_ms,p50_overhead_us,p98_overhead_us\n";
+  TablePrinter t("net frontend overhead");
+  t.SetHeader({"mode", "connections", "requests", "ok", "rejected",
+               "p50_latency_ms", "p98_latency_ms", "p50_overhead_us",
+               "p98_overhead_us"});
   for (const Row& r : rows) {
-    std::cout << r.mode << ',' << r.connections << ',' << r.requests << ','
-              << r.ok << ',' << r.rejected << ','
-              << TablePrinter::Num(r.p50_latency_ms) << ','
-              << TablePrinter::Num(r.p98_latency_ms) << ','
-              << TablePrinter::Num(r.p50_overhead_us) << ','
-              << TablePrinter::Num(r.p98_overhead_us) << '\n';
+    t.AddRow({r.mode, TablePrinter::Int(r.connections),
+              TablePrinter::Int(static_cast<long long>(r.requests)),
+              TablePrinter::Int(static_cast<long long>(r.ok)),
+              TablePrinter::Int(static_cast<long long>(r.rejected)),
+              TablePrinter::Num(r.p50_latency_ms),
+              TablePrinter::Num(r.p98_latency_ms),
+              TablePrinter::Num(r.p50_overhead_us),
+              TablePrinter::Num(r.p98_overhead_us)});
   }
+  t.PrintCsv(std::cout);
+  args.WriteJson(t);
   return 0;
 }

@@ -17,6 +17,7 @@
 // a final telemetry summary is printed before exit.
 //
 // Run: ./build/examples/live_serving [--seconds=3] [--rate=150] [--speed=1.0]
+//      [--max-batch=1] [--batch-policy=greedy|length|slo]
 //      [--fault-plan=plan.txt] [--hang-timeout_s=0]
 //      [--metrics-out=live.prom] [--trace-out=live.trace.json]
 //      [--listen=0 | --connect=PORT] [--connections=4]
@@ -29,6 +30,7 @@
 #include <thread>
 
 #include "baselines/scenario.h"
+#include "batch/policy.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "fault/fault_plan.h"
@@ -109,6 +111,10 @@ int main(int argc, char** argv) {
   const int max_inflight = flags.GetInt("max-inflight", 0);
   const double rate_limit = flags.GetDouble("rate-limit", 0.0);
   const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  const long long max_batch = flags.GetInt("max-batch", 1);
+  batch::ValidateMaxBatch(max_batch);
+  const std::string batch_policy_name =
+      flags.GetString("batch-policy", "greedy");
   flags.RejectUnknown();
 
   std::signal(SIGINT, OnSigInt);
@@ -158,6 +164,12 @@ int main(int argc, char** argv) {
   serving::TestbedConfig testbed;
   testbed.time_scale = 1.0 / speed;
   testbed.cancel = &g_interrupted;
+  testbed.max_batch = static_cast<int>(max_batch);
+  config.max_batch = testbed.max_batch;  // profiles see the batched cost
+  batch::BatchPolicyConfig bpc;
+  bpc.slo = config.slo;
+  const auto batch_policy = batch::MakeBatchPolicy(batch_policy_name, bpc);
+  testbed.batch_policy = batch_policy.get();
 
   fault::FaultPlan plan;
   if (!plan_path.empty()) {

@@ -9,7 +9,8 @@
 // Flags: --scheme (comma list: arlo, arlo-ilb, arlo-ig, st, dt, infaas),
 // --model (bert-base|bert-large|roberta-large|distilbert), --gpus, --rate,
 // --seconds, --slo_ms, --period_s, --pattern (stable|bursty), --seed,
-// --autoscale, --max_batch, --mtbf_s (fault injection), --csv,
+// --autoscale, --max-batch, --batch-policy (greedy|length|slo; see
+// docs/BATCHING.md), --mtbf_s (fault injection), --csv,
 // --fault-plan (path to a FaultPlan DSL file; see docs/FAULTS.md),
 // --hang-timeout_s / --shed-deadline_s (recovery policy; need --fault-plan),
 // --metrics-out/--trace-out (telemetry dump; single-scheme runs only).
@@ -18,6 +19,7 @@
 #include <sstream>
 
 #include "baselines/scenario.h"
+#include "batch/policy.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "fault/fault_plan.h"
@@ -76,7 +78,15 @@ int main(int argc, char** argv) {
       baselines::DemandFromTrace(trace, *runtimes, config.slo);
 
   sim::EngineConfig engine;
-  engine.max_batch = static_cast<int>(flags.GetInt("max_batch", 1));
+  const long long max_batch = flags.GetInt("max-batch", 1);
+  batch::ValidateMaxBatch(max_batch);
+  engine.max_batch = static_cast<int>(max_batch);
+  config.max_batch = engine.max_batch;  // profiles see the batched cost
+  batch::BatchPolicyConfig bpc;
+  bpc.slo = config.slo;
+  const auto batch_policy =
+      batch::MakeBatchPolicy(flags.GetString("batch-policy", "greedy"), bpc);
+  engine.batch_policy = batch_policy.get();
   engine.mean_time_between_failures_s = flags.GetDouble("mtbf_s", 0.0);
 
   fault::FaultPlan plan;

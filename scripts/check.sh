@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 gate: docs lint, configure, build, run the full test suite, then
-# re-run the concurrency-sensitive tests (threaded testbed + net frontend +
-# sharded telemetry) under ThreadSanitizer, and the socket/protocol tests
-# under Address+UBSanitizer.
+# Tier-1 gate: docs lint, configure, build, run the full test suite, smoke
+# the batching bench (--json output must parse with finite p98), then
+# re-run the concurrency-sensitive tests (threaded testbed + batching + net
+# frontend + sharded telemetry) under ThreadSanitizer, and the
+# socket/protocol + testbed-batching tests under Address+UBSanitizer.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --no-tsan  # skip the TSan stage (fast local loop)
@@ -31,6 +32,18 @@ cmake --build build -j "$(nproc)"
 echo "== tests =="
 ctest --test-dir build --output-on-failure
 
+echo "== bench smoke (ext_batching --json) =="
+./build/bench/ext_batching --duration=1 --json=build/BENCH_batching.json >/dev/null
+python3 - <<'EOF'
+import json, math
+rows = json.load(open("build/BENCH_batching.json"))["rows"]
+assert rows, "bench smoke: no rows in BENCH_batching.json"
+for r in rows:
+    p98 = r["p98_ms"]
+    assert isinstance(p98, (int, float)) and math.isfinite(p98), r
+print(f"bench smoke: {len(rows)} rows, p98 finite")
+EOF
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer (testbed + telemetry concurrency) =="
   cmake -B build-tsan -S . -DARLO_TSAN=ON >/dev/null
@@ -38,7 +51,7 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*'
+    --gtest_filter='Testbed.*:TestbedBatching.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -46,7 +59,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$(nproc)" --target arlo_tests
   ./build-asan/tests/arlo_tests \
-    --gtest_filter='NetProtocol*:Admission.*:NetLoopback.*'
+    --gtest_filter='NetProtocol*:Admission.*:NetLoopback.*:TestbedBatching.*'
 fi
 
 echo "== check.sh: all green =="

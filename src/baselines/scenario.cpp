@@ -40,6 +40,7 @@ std::unique_ptr<core::ArloScheme> MakeArloVariant(
   arlo.runtime_scheduler.period = config.period;
   arlo.runtime_scheduler.slo = config.slo;
   arlo.runtime_scheduler.max_replacement_moves = config.max_replacement_moves;
+  arlo.max_batch = config.max_batch;
   return std::make_unique<core::ArloScheme>(MakeRuntimeSetFor(config),
                                             std::move(arlo), kind);
 }
@@ -54,6 +55,7 @@ std::unique_ptr<sim::Scheme> MakeSchemeByName(const std::string& name,
   base.slo = config.slo;
   base.enable_autoscaler = config.autoscale;
   base.autoscaler = config.autoscaler;
+  base.max_batch = config.max_batch;
 
   if (name == "st") return MakeStScheme(compiler, config.model, base);
   if (name == "dt") return MakeDtScheme(compiler, config.model, base);

@@ -41,6 +41,10 @@ struct ScenarioConfig {
   /// >0: replacement-cost-aware re-allocation with this per-period move
   /// budget (see RuntimeSchedulerConfig::max_replacement_moves).
   int max_replacement_moves = 0;
+  /// Batch size the executor forms (EngineConfig/TestbedConfig max_batch).
+  /// Schemes profile capacities M_i at the effective per-request batched
+  /// service time; 1 keeps the paper's batch-1 profiles exactly.
+  int max_batch = 1;
 };
 
 /// Known scheme names, in the paper's comparison order.

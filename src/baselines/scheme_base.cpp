@@ -10,13 +10,14 @@ namespace arlo::baselines {
 namespace {
 
 std::vector<runtime::RuntimeProfile> MakeProfiles(
-    const runtime::RuntimeSet& set, SimDuration slo, SimDuration overhead) {
+    const runtime::RuntimeSet& set, SimDuration slo, SimDuration overhead,
+    int max_batch) {
   std::vector<runtime::RuntimeProfile> profiles;
   profiles.reserve(set.Size());
   for (std::size_t i = 0; i < set.Size(); ++i) {
     profiles.push_back(runtime::ProfileRuntime(
         set.Runtime(static_cast<RuntimeId>(i)), slo,
-        static_cast<RuntimeId>(i), overhead));
+        static_cast<RuntimeId>(i), overhead, max_batch));
   }
   return profiles;
 }
@@ -28,7 +29,7 @@ SchemeBase::SchemeBase(std::shared_ptr<const runtime::RuntimeSet> runtimes,
     : runtimes_(std::move(runtimes)),
       config_(config),
       profiles_(MakeProfiles(*runtimes_, config.slo,
-                             config.profiling_overhead)),
+                             config.profiling_overhead, config.max_batch)),
       queue_(runtimes_->Size()) {
   ARLO_CHECK(config_.initial_gpus >= 1);
   target_gpus_ = config_.initial_gpus;

@@ -26,6 +26,10 @@ struct BaselineConfig {
   SimDuration replace_delay = Seconds(1.0);
   /// Folded into offline profiles (see runtime::ProfileRuntime).
   SimDuration profiling_overhead = Millis(0.8);
+  /// Batch size the executor will form (EngineConfig/TestbedConfig
+  /// max_batch): capacities M_i are profiled at the effective per-request
+  /// batched service time.  1 = batch-1 profiles, identical to before.
+  int max_batch = 1;
 };
 
 class SchemeBase : public sim::Scheme {

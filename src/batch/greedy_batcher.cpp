@@ -1,0 +1,20 @@
+#include "batch/greedy_batcher.h"
+
+#include <algorithm>
+
+namespace arlo::batch {
+
+BatchDecision GreedyBatcher::Decide(const std::deque<Item>& queue,
+                                    const runtime::CompiledRuntime& rt,
+                                    const BatchContext& ctx) const {
+  (void)rt;
+  BatchDecision d;
+  const std::size_t n =
+      std::min<std::size_t>(queue.size(),
+                            static_cast<std::size_t>(std::max(1, ctx.max_batch)));
+  d.take.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) d.take.push_back(i);
+  return d;
+}
+
+}  // namespace arlo::batch

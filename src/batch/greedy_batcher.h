@@ -1,0 +1,21 @@
+// GreedyBatcher: take whatever is queued, immediately, up to max_batch.
+//
+// This is exactly the opportunistic pull sim::Engine performed inline
+// before the batch subsystem existed — an idle instance grabs the queue
+// prefix and runs it — so seeded simulator runs through this policy are
+// byte-identical to the historical EngineConfig::max_batch behaviour.
+#pragma once
+
+#include "batch/policy.h"
+
+namespace arlo::batch {
+
+class GreedyBatcher final : public BatchPolicy {
+ public:
+  std::string Name() const override { return "greedy"; }
+  BatchDecision Decide(const std::deque<Item>& queue,
+                       const runtime::CompiledRuntime& rt,
+                       const BatchContext& ctx) const override;
+};
+
+}  // namespace arlo::batch

@@ -1,0 +1,68 @@
+#include "batch/length_bucket_batcher.h"
+
+#include <algorithm>
+
+namespace arlo::batch {
+
+namespace {
+
+/// Tokens the runtime would actually compute for this request, rounded to
+/// the grouping step: the batch-composition key.  Static runtimes pad every
+/// slot to max_length, so all their requests share one group; dynamic
+/// runtimes group by the request's own staircase step.
+int GroupKey(const runtime::CompiledRuntime& rt, int length, int step) {
+  const int padded = rt.PaddedLength(length);
+  return ((padded + step - 1) / step) * step;
+}
+
+}  // namespace
+
+BatchDecision LengthBucketBatcher::Decide(const std::deque<Item>& queue,
+                                          const runtime::CompiledRuntime& rt,
+                                          const BatchContext& ctx) const {
+  const int max_batch = std::max(1, ctx.max_batch);
+  const int step =
+      config_.bucket_step > 0 ? config_.bucket_step : rt.StaircaseStep();
+
+  // Candidates: FIFO-ordered requests sharing the front (oldest) request's
+  // padded-length step.  Anchoring on the front guarantees progress — the
+  // oldest request is in every batch this policy can form.
+  BatchDecision d;
+  if (queue.empty()) return d;
+  const int front_key = GroupKey(rt, queue.front().request.length, step);
+  std::vector<std::size_t> candidates;
+  candidates.reserve(static_cast<std::size_t>(max_batch));
+  for (std::size_t i = 0;
+       i < queue.size() &&
+       candidates.size() < static_cast<std::size_t>(max_batch);
+       ++i) {
+    if (GroupKey(rt, queue[i].request.length, step) == front_key) {
+      candidates.push_back(i);
+    }
+  }
+
+  // Marginal-cost oracle: pick the candidate count b minimizing projected
+  // per-request latency R(b); ties go to the larger batch (same
+  // per-request cost, more throughput).  R(b) only falls when adding a
+  // request amortizes the kernel floor faster than bucket padding grows,
+  // so a partial power-of-two bucket forms only when it genuinely wins.
+  std::size_t best_b = 1;
+  double best_r = 0.0;
+  int max_len = 1;
+  for (std::size_t b = 1; b <= candidates.size(); ++b) {
+    max_len = std::max(max_len, queue[candidates[b - 1]].request.length);
+    const double r =
+        static_cast<double>(BatchServiceTime(rt, static_cast<int>(b), max_len,
+                                             ctx.per_request_overhead)) /
+        static_cast<double>(b);
+    if (b == 1 || r <= best_r) {
+      best_r = r;
+      best_b = b;
+    }
+  }
+  d.take.assign(candidates.begin(),
+                candidates.begin() + static_cast<std::ptrdiff_t>(best_b));
+  return d;
+}
+
+}  // namespace arlo::batch

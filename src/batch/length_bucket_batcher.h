@@ -1,0 +1,42 @@
+// LengthBucketBatcher: length-aware grouping with a marginal-cost oracle.
+//
+// Static runtimes pay padding twice when batching: every slot is padded to
+// the engine's max_length *and* the batch is rounded up to a power-of-two
+// bucket.  Greedy batching therefore sometimes makes latency worse — e.g.
+// taking 5 requests computes 8 slots, and those 3 phantom slots can cost
+// more than serving the 5th request in the next batch.
+//
+// This policy (a) restricts each batch to requests whose padded lengths
+// share a staircase step with the oldest queued request, so one straggler
+// long request cannot inflate everyone's padded length, and (b) chooses the
+// batch size b that minimizes projected per-request latency
+//
+//   R(b) = BatchServiceTime(b, maxlen_b) / b
+//
+// using CompiledRuntime::BatchComputeTime as the cost oracle.  R() falls at
+// power-of-two bucket boundaries and rises on partial buckets, so the
+// argmin naturally stops at a full bucket when per-slot work dominates the
+// kernel floor — a batch only forms when it lowers projected total latency.
+// It never waits (take >= 1 always): timing is the SloDeadlineBatcher's
+// job; this policy decides *composition*.
+#pragma once
+
+#include "batch/policy.h"
+
+namespace arlo::batch {
+
+class LengthBucketBatcher final : public BatchPolicy {
+ public:
+  explicit LengthBucketBatcher(const BatchPolicyConfig& config)
+      : config_(config) {}
+
+  std::string Name() const override { return "length"; }
+  BatchDecision Decide(const std::deque<Item>& queue,
+                       const runtime::CompiledRuntime& rt,
+                       const BatchContext& ctx) const override;
+
+ private:
+  BatchPolicyConfig config_;
+};
+
+}  // namespace arlo::batch

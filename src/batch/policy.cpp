@@ -1,0 +1,62 @@
+#include "batch/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "batch/greedy_batcher.h"
+#include "batch/length_bucket_batcher.h"
+#include "batch/slo_deadline_batcher.h"
+#include "common/check.h"
+
+namespace arlo::batch {
+
+const std::vector<std::string>& BatchPolicyNames() {
+  static const std::vector<std::string> kNames = {"greedy", "length", "slo"};
+  return kNames;
+}
+
+std::unique_ptr<BatchPolicy> MakeBatchPolicy(const std::string& name,
+                                             const BatchPolicyConfig& config) {
+  if (name == "greedy") return std::make_unique<GreedyBatcher>();
+  if (name == "slo") return std::make_unique<SloDeadlineBatcher>(config);
+  if (name == "length") return std::make_unique<LengthBucketBatcher>(config);
+  std::string valid;
+  for (const std::string& n : BatchPolicyNames()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  throw std::invalid_argument("unknown batch policy: " + name +
+                              " (valid policies: " + valid + ")");
+}
+
+int ValidateMaxBatch(long long value) {
+  if (value < 1 || value > 1024) {
+    throw std::invalid_argument(
+        "--max-batch must be a positive integer in [1, 1024] (got " +
+        std::to_string(value) + ")");
+  }
+  return static_cast<int>(value);
+}
+
+SimDuration BatchServiceTime(const runtime::CompiledRuntime& rt, int batch,
+                             int max_length_in_batch,
+                             SimDuration per_request_overhead) {
+  ARLO_CHECK(batch >= 1);
+  return static_cast<SimDuration>(batch) * per_request_overhead +
+         rt.BatchComputeTime(batch, max_length_in_batch);
+}
+
+PaddingTokens BatchPaddingTokens(const runtime::CompiledRuntime& rt, int batch,
+                                 int sum_lengths, int max_length_in_batch) {
+  ARLO_CHECK(batch >= 1);
+  PaddingTokens out;
+  out.useful = sum_lengths;
+  // What the kernel crunches: the power-of-two bucket's slot count, each
+  // slot padded to what the runtime computes for the longest member.
+  const int bucket = runtime::CompiledRuntime::BatchBucket(batch);
+  out.computed = static_cast<std::int64_t>(bucket) *
+                 static_cast<std::int64_t>(rt.PaddedLength(max_length_in_batch));
+  return out;
+}
+
+}  // namespace arlo::batch

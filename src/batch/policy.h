@@ -1,0 +1,113 @@
+// Dynamic batch formation policies (§6 "Dynamic batch execution").
+//
+// A BatchPolicy decides, given one instance's FIFO queue, which queued
+// requests to execute together as one padded batch — and, when the right
+// answer is "not yet", how long the executor should wait before asking
+// again.  The same policy object drives both executors: the discrete-event
+// engine (sim::Engine) re-polls via a scheduled timer event, the threaded
+// testbed (serving::LiveTestbed) via a condition-variable timed wait that
+// stays interruptible by arrivals, kills, and drain/shutdown.
+//
+// Contract:
+//  - Decide() is const and must be deterministic in its arguments: policies
+//    are stateless and shareable across instances and threads.
+//  - A decision must either take at least one request or return a strictly
+//    positive, finite `wait` — otherwise the executor could neither make
+//    progress nor know when to re-poll (both executors enforce this).
+//  - `take` holds ascending indices into the queue; index 0 (the oldest
+//    request) anchors every policy here, so nothing starves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/compiled_runtime.h"
+
+namespace arlo::batch {
+
+/// One queued request as the executors hand it to a policy: the request
+/// plus the time it entered this instance's queue (dispatch time).
+struct Item {
+  Request request;
+  SimTime queued_at = 0;
+};
+
+/// Per-decision context supplied by the executor.
+struct BatchContext {
+  SimTime now = 0;
+  /// Upper bound on batch size (the EngineConfig/TestbedConfig knob).
+  int max_batch = 1;
+  /// Fixed per-request serving cost, folded into projected service times.
+  SimDuration per_request_overhead = 0;
+  /// The instance is draining (retiring/killed/shutdown): never wait for
+  /// more arrivals — they cannot come.
+  bool draining = false;
+};
+
+struct BatchDecision {
+  /// Ascending indices into the queue to execute now.  Empty = wait.
+  std::vector<std::size_t> take;
+  /// When `take` is empty: re-poll after this long (strictly positive,
+  /// finite).  Arrivals, faults, and drain re-poll sooner on their own.
+  SimDuration wait = 0;
+  /// The batch executed because its wait budget expired, not because it
+  /// filled (SloDeadlineBatcher accounting; feeds arlo_batch_timeouts).
+  bool timed_out = false;
+};
+
+class BatchPolicy {
+ public:
+  virtual ~BatchPolicy() = default;
+  virtual std::string Name() const = 0;
+  virtual BatchDecision Decide(const std::deque<Item>& queue,
+                               const runtime::CompiledRuntime& rt,
+                               const BatchContext& ctx) const = 0;
+};
+
+struct BatchPolicyConfig {
+  /// Latency SLO the SloDeadlineBatcher budgets against.
+  SimDuration slo = Millis(150.0);
+  /// Fraction of a request's projected slack the batcher may spend waiting
+  /// for the batch to fill (0 = never wait = greedy).
+  double wait_fraction = 0.5;
+  /// Hard cap on any single wait, regardless of slack.
+  SimDuration max_wait = Millis(25.0);
+  /// LengthBucketBatcher grouping granularity in tokens; 0 = the runtime's
+  /// own staircase step.
+  int bucket_step = 0;
+};
+
+/// Builds a policy by name: "greedy", "slo", or "length".  Throws
+/// std::invalid_argument listing the valid names (sorted) otherwise.
+std::unique_ptr<BatchPolicy> MakeBatchPolicy(
+    const std::string& name, const BatchPolicyConfig& config = {});
+
+/// The valid policy names, sorted (the factory's error message order).
+const std::vector<std::string>& BatchPolicyNames();
+
+/// Validates a --max-batch style CLI value; returns it as int or throws
+/// std::invalid_argument with a stable message (golden-tested).
+int ValidateMaxBatch(long long value);
+
+/// Projected service time of a batch: n * overhead + bucketed compute.
+SimDuration BatchServiceTime(const runtime::CompiledRuntime& rt, int batch,
+                             int max_length_in_batch,
+                             SimDuration per_request_overhead);
+
+/// Token accounting for one executed batch: `useful` is the sum of true
+/// request lengths; `computed` is what the kernel actually crunches —
+/// batch-bucket slots times the padded per-slot length.  The ratio is the
+/// padding-waste fraction the arlo_batch_tokens_* counters report.
+struct PaddingTokens {
+  std::int64_t useful = 0;
+  std::int64_t computed = 0;
+};
+PaddingTokens BatchPaddingTokens(const runtime::CompiledRuntime& rt, int batch,
+                                 int sum_lengths, int max_length_in_batch);
+
+}  // namespace arlo::batch

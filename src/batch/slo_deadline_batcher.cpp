@@ -1,0 +1,60 @@
+#include "batch/slo_deadline_batcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arlo::batch {
+
+namespace {
+
+BatchDecision TakePrefix(std::size_t n, bool timed_out) {
+  BatchDecision d;
+  d.take.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) d.take.push_back(i);
+  d.timed_out = timed_out;
+  return d;
+}
+
+}  // namespace
+
+BatchDecision SloDeadlineBatcher::Decide(const std::deque<Item>& queue,
+                                         const runtime::CompiledRuntime& rt,
+                                         const BatchContext& ctx) const {
+  const int max_batch = std::max(1, ctx.max_batch);
+  const std::size_t avail =
+      std::min(queue.size(), static_cast<std::size_t>(max_batch));
+  if (avail == 0) return TakePrefix(0, false);
+  // Full batch, draining instance, or batching disabled: no reason to wait.
+  if (ctx.draining || avail == static_cast<std::size_t>(max_batch)) {
+    return TakePrefix(avail, false);
+  }
+
+  // Project the service time of the batch we are waiting for: the current
+  // max length stands in for future arrivals (lengths are i.i.d.; a longer
+  // straggler only shortens the wait it gets).
+  int max_len = 1;
+  for (std::size_t i = 0; i < avail; ++i) {
+    max_len = std::max(max_len, queue[i].request.length);
+  }
+  const SimDuration projected = BatchServiceTime(
+      rt, max_batch, max_len, ctx.per_request_overhead);
+
+  // Budget from the oldest member's slack, anchored at its enqueue time.
+  const Item& oldest = queue.front();
+  const std::int64_t slack =
+      (oldest.request.arrival + config_.slo) - oldest.queued_at - projected;
+  if (slack <= 0) return TakePrefix(avail, false);
+  const SimDuration budget = std::min<SimDuration>(
+      static_cast<SimDuration>(
+          std::llround(static_cast<double>(slack) * config_.wait_fraction)),
+      config_.max_wait);
+  if (budget <= 0) return TakePrefix(avail, false);
+  const SimTime deadline = oldest.queued_at + budget;
+  if (ctx.now >= deadline) return TakePrefix(avail, true);
+
+  BatchDecision d;
+  d.wait = deadline - ctx.now;
+  return d;
+}
+
+}  // namespace arlo::batch

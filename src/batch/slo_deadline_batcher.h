@@ -1,0 +1,37 @@
+// SloDeadlineBatcher: wait-for-k batching with a per-request wait budget
+// derived from SLO slack.
+//
+// A full batch (max_batch queued) executes immediately.  A partial batch
+// may wait for more arrivals, but only while the *oldest* member can still
+// finish inside the SLO if the batch fills: its slack is
+//
+//   slack = (arrival + slo) - queued_at - projected_full_batch_service
+//
+// and the batcher spends at most wait_fraction of that slack (capped by
+// max_wait), anchored at the moment the oldest request entered the queue —
+// one absolute deadline per batch head, so repeated polls converge instead
+// of rescheduling geometric fractions forever.  A request with no slack
+// (already late, or service alone eats the SLO) executes immediately;
+// when the deadline passes, whatever is queued executes with
+// `timed_out = true`.
+#pragma once
+
+#include "batch/policy.h"
+
+namespace arlo::batch {
+
+class SloDeadlineBatcher final : public BatchPolicy {
+ public:
+  explicit SloDeadlineBatcher(const BatchPolicyConfig& config)
+      : config_(config) {}
+
+  std::string Name() const override { return "slo"; }
+  BatchDecision Decide(const std::deque<Item>& queue,
+                       const runtime::CompiledRuntime& rt,
+                       const BatchContext& ctx) const override;
+
+ private:
+  BatchPolicyConfig config_;
+};
+
+}  // namespace arlo::batch

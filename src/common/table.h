@@ -27,6 +27,11 @@ class TablePrinter {
   /// Renders as CSV (for plotting pipelines).
   void PrintCsv(std::ostream& os) const;
 
+  /// Renders as JSON: {"title": ..., "rows": [{header: value, ...}, ...]}.
+  /// Cells that parse fully as finite numbers are emitted raw; everything
+  /// else becomes an escaped JSON string.
+  void PrintJson(std::ostream& os) const;
+
  private:
   std::string title_;
   std::vector<std::string> header_;

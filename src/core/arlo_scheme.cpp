@@ -11,13 +11,14 @@ namespace arlo::core {
 namespace {
 
 std::vector<runtime::RuntimeProfile> MakeProfiles(
-    const runtime::RuntimeSet& set, SimDuration slo, SimDuration overhead) {
+    const runtime::RuntimeSet& set, SimDuration slo, SimDuration overhead,
+    int max_batch) {
   std::vector<runtime::RuntimeProfile> profiles;
   profiles.reserve(set.Size());
   for (std::size_t i = 0; i < set.Size(); ++i) {
     profiles.push_back(runtime::ProfileRuntime(
         set.Runtime(static_cast<RuntimeId>(i)), slo,
-        static_cast<RuntimeId>(i), overhead));
+        static_cast<RuntimeId>(i), overhead, max_batch));
   }
   return profiles;
 }
@@ -30,7 +31,7 @@ ArloScheme::ArloScheme(std::shared_ptr<const runtime::RuntimeSet> runtimes,
       config_(std::move(config)),
       dispatch_kind_(dispatch),
       profiles_(MakeProfiles(*runtimes_, config_.runtime_scheduler.slo,
-                             config_.profiling_overhead)),
+                             config_.profiling_overhead, config_.max_batch)),
       queue_(runtimes_->Size()),
       request_scheduler_(runtimes_.get(), &queue_, config_.request_scheduler),
       runtime_scheduler_(runtimes_.get(), profiles_,

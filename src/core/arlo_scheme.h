@@ -53,6 +53,9 @@ struct ArloSchemeConfig {
   /// Fixed per-request serving overhead folded into the offline profiles
   /// (network + host-device copies; §5.2.1 calibrates 0.8 ms).
   SimDuration profiling_overhead = Millis(0.8);
+  /// Executor batch size hint: capacities M_i are profiled at the effective
+  /// per-request batched service time (1 = batch-1, identical to before).
+  int max_batch = 1;
 };
 
 class ArloScheme final : public sim::Scheme {

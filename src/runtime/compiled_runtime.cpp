@@ -50,14 +50,26 @@ SimDuration CompiledRuntime::ComputeTime(int length) const {
   return static_cast<SimDuration>(std::llround(base * infl));
 }
 
+int CompiledRuntime::BatchBucket(int batch) {
+  ARLO_CHECK(batch >= 1);
+  int bucket = 1;
+  while (bucket < batch) bucket *= 2;
+  return bucket;
+}
+
+int CompiledRuntime::PaddedLength(int length) const {
+  ARLO_CHECK(Accepts(length));
+  if (kind_ == CompilationKind::kStatic) return max_length_;
+  const int step = staircase_step_;
+  return ((length + step - 1) / step) * step;
+}
+
 SimDuration CompiledRuntime::BatchComputeTime(int batch,
                                               int max_length_in_batch) const {
-  ARLO_CHECK(batch >= 1);
   const SimDuration single = ComputeTime(max_length_in_batch);
   if (batch == 1) return single;
   // Next power-of-two batch bucket (compiled engine granularity).
-  int bucket = 1;
-  while (bucket < batch) bucket *= 2;
+  const int bucket = BatchBucket(batch);
   // The floor c0 is paid once; per-item matmul work scales with the bucket.
   const double c0 = coeffs_.c0_ns;
   const double per_item = std::max(0.0, static_cast<double>(single) - c0);

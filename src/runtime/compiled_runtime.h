@@ -56,6 +56,15 @@ class CompiledRuntime {
   /// BatchComputeTime(1, len) == ComputeTime(len).
   SimDuration BatchComputeTime(int batch, int max_length_in_batch) const;
 
+  /// The power-of-two batch bucket a batch of `batch` requests rides
+  /// (1/2/4/8/...): the compiled-engine granularity BatchComputeTime bills.
+  static int BatchBucket(int batch);
+
+  /// Tokens actually computed per slot for a request of `length`: the full
+  /// compiled shape for static runtimes, the staircase-rounded true length
+  /// for dynamic ones.  Batch policies group and account padding with this.
+  int PaddedLength(int length) const;
+
   /// The fraction of FLOPs wasted on padding when serving `length` here
   /// (0 for dynamic runtimes).  Reproduces the §2.2 waste analysis.
   double PaddingWasteFraction(int length) const;

@@ -6,15 +6,22 @@ namespace arlo::runtime {
 
 RuntimeProfile ProfileRuntime(const CompiledRuntime& rt, SimDuration slo,
                               RuntimeId id,
-                              SimDuration per_request_overhead) {
+                              SimDuration per_request_overhead,
+                              int batch_hint) {
   ARLO_CHECK(slo > 0);
   ARLO_CHECK(per_request_overhead >= 0);
+  ARLO_CHECK(batch_hint >= 1);
   RuntimeProfile p;
   p.id = id;
   p.max_length = rt.MaxLength();
   // Static runtimes: constant compute.  Dynamic runtimes have per-length
   // compute; profile at the maximum (worst case) so capacity is safe.
-  p.compute_time = rt.ComputeTime(rt.MaxLength()) + per_request_overhead;
+  // With a batch hint the effective per-request time is one full batch's
+  // service (overhead per slot + bucketed compute) split across its slots.
+  p.compute_time =
+      (static_cast<SimDuration>(batch_hint) * per_request_overhead +
+       rt.BatchComputeTime(batch_hint, rt.MaxLength())) /
+      batch_hint;
   ARLO_CHECK(p.compute_time > 0);
   p.capacity_within_slo = static_cast<int>(slo / p.compute_time);
   return p;
@@ -22,7 +29,7 @@ RuntimeProfile ProfileRuntime(const CompiledRuntime& rt, SimDuration slo,
 
 std::vector<RuntimeProfile> ProfileRuntimeSet(
     const std::vector<std::shared_ptr<const CompiledRuntime>>& runtimes,
-    SimDuration slo, SimDuration per_request_overhead) {
+    SimDuration slo, SimDuration per_request_overhead, int batch_hint) {
   std::vector<RuntimeProfile> profiles;
   profiles.reserve(runtimes.size());
   int last_max_length = 0;
@@ -32,7 +39,7 @@ std::vector<RuntimeProfile> ProfileRuntimeSet(
     last_max_length = runtimes[i]->MaxLength();
     profiles.push_back(ProfileRuntime(*runtimes[i], slo,
                                       static_cast<RuntimeId>(i),
-                                      per_request_overhead));
+                                      per_request_overhead, batch_hint));
   }
   return profiles;
 }

@@ -34,14 +34,20 @@ struct RuntimeProfile {
 /// Profiles one runtime against an SLO.  `per_request_overhead` is the
 /// fixed serving cost measured per request (network + host-device copies;
 /// 0.8 ms in the paper's calibration) and is folded into compute_time so
-/// capacities reflect true service rates.
+/// capacities reflect true service rates.  `batch_hint` > 1 profiles the
+/// *effective* per-request service time under batched execution of that
+/// size (BatchComputeTime amortized across the batch), so M_i and L_i
+/// reflect the higher throughput a batching executor actually delivers;
+/// 1 (the default) is the paper's batch-1 profile, unchanged.
 RuntimeProfile ProfileRuntime(const CompiledRuntime& rt, SimDuration slo,
                               RuntimeId id,
-                              SimDuration per_request_overhead = 0);
+                              SimDuration per_request_overhead = 0,
+                              int batch_hint = 1);
 
 /// Profiles an ascending-max_length runtime set; ids are assigned by index.
 std::vector<RuntimeProfile> ProfileRuntimeSet(
     const std::vector<std::shared_ptr<const CompiledRuntime>>& runtimes,
-    SimDuration slo, SimDuration per_request_overhead = 0);
+    SimDuration slo, SimDuration per_request_overhead = 0,
+    int batch_hint = 1);
 
 }  // namespace arlo::runtime

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "batch/policy.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "telemetry/sink.h"
@@ -59,6 +60,12 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   Impl(sim::Scheme& scheme, const TestbedConfig& config)
       : scheme_(scheme), config_(config) {
     ARLO_CHECK(config_.time_scale > 0.0);
+    if (config_.batch_policy) {
+      policy_ = config_.batch_policy;
+    } else {
+      owned_policy_ = batch::MakeBatchPolicy("greedy");
+      policy_ = owned_policy_.get();
+    }
   }
 
   void Start();
@@ -89,16 +96,12 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   }
 
  private:
-  struct QueuedRequest {
-    Request request;
-    SimTime dispatch = 0;
-  };
   struct Worker {
     std::thread thread;
     mutable std::mutex mu;
     std::condition_variable cv;
-    std::deque<QueuedRequest> queue;
-    int executing = 0;  // 0 or 1
+    std::deque<batch::Item> queue;
+    int executing = 0;  // in-flight batch size (0 = idle)
     bool ready = false;
     bool retiring = false;
     bool gone = false;
@@ -156,6 +159,8 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
 
   sim::Scheme& scheme_;
   TestbedConfig config_;
+  std::unique_ptr<batch::BatchPolicy> owned_policy_;  ///< default greedy
+  const batch::BatchPolicy* policy_ = nullptr;
   Clock::time_point start_;
   bool started_ = false;
   bool finished_ = false;
@@ -178,9 +183,15 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   std::atomic<std::int64_t> submitted_rel_{0};
   std::atomic<std::int64_t> completed_rel_{0};
   std::atomic<int> live_rel_{0};
-  /// EWMA of observed service times (ns, alpha = 1/8); 0 until the first
-  /// completion.  Feeds EstimatedQueueDelay.
+  /// EWMA of observed per-request service times (ns, alpha = 1/8); 0 until
+  /// the first completion.  Feeds EstimatedQueueDelay.
   std::atomic<std::int64_t> ewma_service_ns_{0};
+  /// EWMA of batch-formation waits — the head request's queue time when its
+  /// batch launched (ns, alpha = 1/8).  Adds the wait-for-k delay component
+  /// to EstimatedQueueDelay so admission estimates track waiting policies.
+  std::atomic<std::int64_t> ewma_form_ns_{0};
+  std::atomic<std::uint64_t> batches_formed_{0};
+  std::atomic<std::uint64_t> batch_timeouts_{0};
 
   std::thread ticker_;
   std::thread snapshotter_;
@@ -230,7 +241,7 @@ void LiveTestbed::Impl::RetireInstance(InstanceId id) {
   // dispatch_mu_ held.
   ARLO_CHECK(id < workers_.size());
   Worker& w = *workers_[id];
-  std::deque<QueuedRequest> orphans;
+  std::deque<batch::Item> orphans;
   bool idle;
   {
     std::lock_guard lk(w.mu);
@@ -313,7 +324,7 @@ bool LiveTestbed::Impl::TryDispatchLocked(const Request& request) {
     std::lock_guard lk(w.mu);
     ARLO_CHECK_MSG(w.ready && !w.retiring && !w.gone,
                    "scheme selected an unavailable worker");
-    w.queue.push_back(QueuedRequest{request, Now()});
+    w.queue.push_back(batch::Item{request, Now()});
   }
   scheme_.OnDispatched(request, id);
   ++outstanding_;
@@ -337,7 +348,7 @@ bool LiveTestbed::Impl::KillWorkerLocked(InstanceId id) {
   // serving (still provisioning, retiring, or already dead) is a no-op.
   if (id >= workers_.size()) return false;
   Worker& w = *workers_[id];
-  std::deque<QueuedRequest> orphans;
+  std::deque<batch::Item> orphans;
   {
     std::lock_guard lk(w.mu);
     if (!w.ready || w.retiring || w.gone) return false;
@@ -530,27 +541,85 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
   }
 
   for (;;) {
-    QueuedRequest item;
+    std::vector<batch::Item> items;
+    bool timed_out = false;
     double slow_factor = 1.0;
     {
       std::unique_lock lk(w.mu);
-      w.cv.wait(lk, [&] {
-        return !w.queue.empty() || w.gone || (w.retiring && w.queue.empty());
-      });
-      if (w.gone && w.queue.empty()) return;  // killed or retired-and-drained
-      if (w.queue.empty()) return;            // retiring and drained
-      item = w.queue.front();
-      w.queue.pop_front();
-      w.executing = 1;
-      w.last_progress = Now();
-      if (Now() < w.slow_until) slow_factor = w.slow_factor;
+      // Batch formation: ask the policy what to run; an empty take means
+      // "wait for the batch to fill", implemented as a timed cv wait so new
+      // arrivals, kills, and retirement interrupt the wait immediately.
+      for (;;) {
+        w.cv.wait(lk, [&] {
+          return !w.queue.empty() || w.gone || w.retiring;
+        });
+        if (w.gone && w.queue.empty()) return;  // killed or retired-drained
+        if (w.queue.empty()) return;            // retiring and drained
+        batch::BatchContext ctx;
+        ctx.now = Now();
+        ctx.max_batch = config_.max_batch;
+        ctx.per_request_overhead = config_.per_request_overhead;
+        ctx.draining = w.retiring || w.killed;
+        const batch::BatchDecision d = policy_->Decide(w.queue, *w.rt, ctx);
+        if (!d.take.empty()) {
+          std::size_t prev_idx = 0;
+          for (std::size_t k = 0; k < d.take.size(); ++k) {
+            const std::size_t idx = d.take[k];
+            ARLO_CHECK_MSG(idx < w.queue.size() && (k == 0 || idx > prev_idx),
+                           "batch policy returned invalid take indices");
+            prev_idx = idx;
+            items.push_back(w.queue[idx]);
+          }
+          for (auto it = d.take.rbegin(); it != d.take.rend(); ++it) {
+            w.queue.erase(w.queue.begin() + static_cast<std::ptrdiff_t>(*it));
+          }
+          timed_out = d.timed_out;
+          w.executing = static_cast<int>(items.size());
+          w.last_progress = Now();
+          if (Now() < w.slow_until) slow_factor = w.slow_factor;
+          break;
+        }
+        ARLO_CHECK_MSG(d.wait > 0,
+                       "batch policy must take requests or wait a positive "
+                       "time");
+        // Sleep out the budget, but re-decide early when the queue changes
+        // (a deeper queue may fill the batch before the deadline).
+        const std::size_t depth = w.queue.size();
+        w.cv.wait_until(lk, SimToWall(Now() + d.wait), [&] {
+          return w.gone || w.retiring || w.killed || w.queue.size() != depth;
+        });
+      }
     }
 
+    int max_len = 1;
+    int sum_len = 0;
+    for (const batch::Item& item : items) {
+      max_len = std::max(max_len, item.request.length);
+      sum_len += item.request.length;
+    }
+    const int n = static_cast<int>(items.size());
     const SimTime start_sim = Now();
     const SimDuration service = static_cast<SimDuration>(
-        static_cast<double>(config_.per_request_overhead +
-                            w.rt->ComputeTime(item.request.length)) *
+        static_cast<double>(
+            static_cast<SimDuration>(n) * config_.per_request_overhead +
+            w.rt->BatchComputeTime(n, max_len)) *
         slow_factor);
+    const SimDuration oldest_wait = start_sim - items.front().queued_at;
+    batches_formed_.fetch_add(1, std::memory_order_relaxed);
+    if (timed_out) batch_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t prev_form =
+        ewma_form_ns_.load(std::memory_order_relaxed);
+    ewma_form_ns_.store(prev_form == 0
+                            ? oldest_wait
+                            : prev_form - prev_form / 8 + oldest_wait / 8,
+                        std::memory_order_relaxed);
+    if (config_.telemetry) {
+      const batch::PaddingTokens tokens =
+          batch::BatchPaddingTokens(*w.rt, n, sum_len, max_len);
+      config_.telemetry->RecordBatchFormed(start_sim, id, n, tokens.useful,
+                                           tokens.computed, oldest_wait,
+                                           timed_out);
+    }
     PreciseWaitUntil(SimToWall(start_sim + service),
                      std::chrono::nanoseconds(config_.spin_threshold));
 
@@ -580,46 +649,54 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
         was_killed = w.killed;
       }
       if (was_killed) {
-        // Crashed mid-service: the in-flight request is requeued with its
-        // original arrival time; no completion is recorded.  The scheme was
-        // already detached from this worker by KillWorkerLocked.
-        --outstanding_;
-        ++requeues_;
-        if (config_.telemetry) {
-          config_.telemetry->RecordRequeue(item.request, Now(), id);
+        // Crashed mid-service: the in-flight batch is requeued with its
+        // original arrival times; no completions are recorded.  The scheme
+        // was already detached from this worker by KillWorkerLocked.
+        for (const batch::Item& item : items) {
+          --outstanding_;
+          ++requeues_;
+          if (config_.telemetry) {
+            config_.telemetry->RecordRequeue(item.request, Now(), id);
+          }
+          HandleArrivalLocked(item.request);
         }
-        HandleArrivalLocked(item.request);
         RetryBufferedLocked();
         return;
       }
-      RequestRecord record;
-      record.id = item.request.id;
-      record.arrival = item.request.arrival;
-      record.dispatch = item.dispatch;
-      record.start = start_sim;
-      record.completion = Now();
-      record.length = item.request.length;
-      record.stream = item.request.stream;
-      record.runtime = w.runtime;
-      record.instance = id;
-      records_.push_back(record);
-      ++completed_;
-      completed_rel_.fetch_add(1, std::memory_order_relaxed);
-      --outstanding_;
-      const std::int64_t prev = ewma_service_ns_.load(std::memory_order_relaxed);
-      ewma_service_ns_.store(
-          prev == 0 ? record.ServiceTime() : prev - prev / 8 +
-                                                 record.ServiceTime() / 8,
-          std::memory_order_relaxed);
-      if (config_.telemetry) {
-        config_.telemetry->RecordComplete(record);
-        UpdateClusterGaugesLocked();
-      }
-      scheme_.OnComplete(record, *this);
-      if (auto it = callbacks_.find(record.id); it != callbacks_.end()) {
-        CompletionFn done = std::move(it->second);
-        callbacks_.erase(it);
-        if (done) done(record);
+      const SimTime completion = Now();
+      for (const batch::Item& item : items) {
+        RequestRecord record;
+        record.id = item.request.id;
+        record.arrival = item.request.arrival;
+        record.dispatch = item.queued_at;
+        record.start = start_sim;
+        record.completion = completion;
+        record.length = item.request.length;
+        record.stream = item.request.stream;
+        record.runtime = w.runtime;
+        record.instance = id;
+        records_.push_back(record);
+        ++completed_;
+        completed_rel_.fetch_add(1, std::memory_order_relaxed);
+        --outstanding_;
+        // Per-request share of the batch's service time, so the admission
+        // estimate stays a per-request quantity under batching.
+        const std::int64_t observed = record.ServiceTime() / n;
+        const std::int64_t prev =
+            ewma_service_ns_.load(std::memory_order_relaxed);
+        ewma_service_ns_.store(
+            prev == 0 ? observed : prev - prev / 8 + observed / 8,
+            std::memory_order_relaxed);
+        if (config_.telemetry) {
+          config_.telemetry->RecordComplete(record);
+          UpdateClusterGaugesLocked();
+        }
+        scheme_.OnComplete(record, *this);
+        if (auto it = callbacks_.find(record.id); it != callbacks_.end()) {
+          CompletionFn done = std::move(it->second);
+          callbacks_.erase(it);
+          if (done) done(record);
+        }
       }
 
       bool drained;
@@ -709,7 +786,11 @@ SimDuration LiveTestbed::Impl::EstimatedQueueDelay() const {
       std::max<std::int64_t>(0, submitted_rel_.load(std::memory_order_relaxed) -
                                     completed_rel_.load(
                                         std::memory_order_relaxed));
-  return static_cast<SimDuration>(service * in_system / workers);
+  // Formation wait: a waiting batch policy (e.g. "slo") holds requests in
+  // the worker queue past their dispatch, which per-request service EWMAs
+  // cannot see.  Its own EWMA adds that delay so admission keeps tracking.
+  const std::int64_t form = ewma_form_ns_.load(std::memory_order_relaxed);
+  return static_cast<SimDuration>(service * in_system / workers + form);
 }
 
 void LiveTestbed::Impl::Drain() {
@@ -753,6 +834,8 @@ TestbedResult LiveTestbed::Impl::Finish() {
   out.faults_injected = faults_injected_;
   out.retries = retries_;
   out.requeues = requeues_;
+  out.batches_formed = batches_formed_.load(std::memory_order_relaxed);
+  out.batch_timeouts = batch_timeouts_.load(std::memory_order_relaxed);
   SimTime end = 0;
   for (const auto& r : out.records) end = std::max(end, r.completion);
   out.end_time = end;

@@ -14,6 +14,7 @@
 // Lock ordering: dispatch mutex -> worker mutex, never the reverse.
 #pragma once
 
+#include "batch/policy.h"
 #include "common/types.h"
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
@@ -40,6 +41,17 @@ struct TestbedConfig {
   SimDuration per_request_overhead = Millis(0.8);
   /// Precision knob: the final stretch of each wait is busy-spun.
   SimDuration spin_threshold = Micros(200.0);
+
+  /// Dynamic batching (§6 extension): a worker pulls up to this many queued
+  /// requests per pick and executes them as one padded batch via
+  /// CompiledRuntime::BatchComputeTime.  1 = the paper's batch-1 serving.
+  int max_batch = 1;
+  /// Batch formation policy (not owned; must outlive the run).  Null means
+  /// batch::GreedyBatcher — take whatever is queued, immediately, which is
+  /// the historical behaviour.  Policies that wait (e.g. "slo") do so on
+  /// the worker's condition variable, so kills, retirement, and new
+  /// arrivals interrupt the wait promptly.  See docs/BATCHING.md.
+  const batch::BatchPolicy* batch_policy = nullptr;
 
   /// Optional telemetry sink (not owned; must outlive the run).  Construct
   /// it with Concurrency::kMultiThreaded — workers record concurrently.
@@ -75,6 +87,8 @@ struct TestbedResult {
   std::uint64_t faults_injected = 0;   ///< all fault activations
   std::uint64_t retries = 0;           ///< transient dispatch errors retried
   std::uint64_t requeues = 0;          ///< requests drained off dead workers
+  std::uint64_t batches_formed = 0;    ///< batches launched (size 1 included)
+  std::uint64_t batch_timeouts = 0;    ///< batches launched on budget expiry
 };
 
 /// Replays the trace through the scheme on real threads.  Blocks until all

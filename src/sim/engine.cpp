@@ -15,6 +15,12 @@ Engine::Engine(const trace::Trace& trace, Scheme& scheme,
       config_(config),
       health_(config.resilience.hang_timeout) {
   if (config_.collect_records) records_.reserve(trace_.Size());
+  if (config_.batch_policy) {
+    policy_ = config_.batch_policy;
+  } else {
+    owned_policy_ = batch::MakeBatchPolicy("greedy");
+    policy_ = owned_policy_.get();
+  }
 }
 
 void Engine::AccumulateGpuTime() {
@@ -63,7 +69,7 @@ void Engine::RetireInstance(InstanceId id) {
   ARLO_CHECK_MSG(!inst.gone && !inst.retiring, "double retirement");
   inst.retiring = true;
   // Re-dispatch queued (not yet executing) requests through the scheme.
-  std::deque<QueuedRequest> orphans = std::move(inst.queue);
+  std::deque<batch::Item> orphans = std::move(inst.queue);
   inst.queue.clear();
   for (const auto& q : orphans) HandleArrival(q.request);
   if (!inst.executing) FinalizeRetirement(id);
@@ -137,7 +143,7 @@ bool Engine::TryDispatch(const Request& request) {
                  "scheme selected an unavailable instance");
   ARLO_CHECK_MSG(inst.rt->Accepts(request.length),
                  "scheme selected a runtime that cannot serve this length");
-  inst.queue.push_back(QueuedRequest{request, events_.Now()});
+  inst.queue.push_back(batch::Item{request, events_.Now()});
   scheme_.OnDispatched(request, id);
   ++outstanding_;
   if (config_.telemetry) {
@@ -157,30 +163,76 @@ void Engine::MaybeStartNext(InstanceId id) {
   Instance& inst = instances_[id];
   if (inst.executing || !inst.ready || inst.queue.empty()) return;
   if (inst.hung_until > events_.Now()) return;  // frozen; recovery re-kicks
-  // Opportunistic batching: pull up to max_batch queued requests and run
-  // them as one padded batch (max_batch 1 == the paper's serving mode).
-  const int n = std::min<int>(config_.max_batch,
-                              static_cast<int>(inst.queue.size()));
+  const SimTime now = events_.Now();
+
+  // Ask the batch policy what to run.  An empty take means "wait for the
+  // batch to fill": schedule a re-poll timer at the policy's deadline —
+  // arrivals and fault recoveries re-poll sooner through this same path.
+  batch::BatchContext ctx;
+  ctx.now = now;
+  ctx.max_batch = config_.max_batch;
+  ctx.per_request_overhead = config_.per_request_overhead;
+  batch::BatchDecision decision = policy_->Decide(inst.queue, *inst.rt, ctx);
+  if (decision.take.empty()) {
+    ARLO_CHECK_MSG(decision.wait > 0,
+                   "batch policy must take requests or wait a positive time");
+    ScheduleBatchTimer(id, now + decision.wait);
+    return;
+  }
+  inst.batch_timer_at = 0;  // a launch supersedes any pending re-poll
+
   inst.current_batch.clear();
   int max_len = 1;
-  for (int k = 0; k < n; ++k) {
-    inst.current_batch.push_back(inst.queue.front());
-    inst.queue.pop_front();
-    max_len = std::max(max_len, inst.current_batch.back().request.length);
+  int sum_len = 0;
+  std::size_t prev_idx = 0;
+  for (std::size_t k = 0; k < decision.take.size(); ++k) {
+    const std::size_t idx = decision.take[k];
+    ARLO_CHECK_MSG(idx < inst.queue.size() && (k == 0 || idx > prev_idx),
+                   "batch policy returned invalid take indices");
+    prev_idx = idx;
+    inst.current_batch.push_back(inst.queue[idx]);
+    max_len = std::max(max_len, inst.queue[idx].request.length);
+    sum_len += inst.queue[idx].request.length;
   }
+  for (auto it = decision.take.rbegin(); it != decision.take.rend(); ++it) {
+    inst.queue.erase(inst.queue.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  const int n = static_cast<int>(inst.current_batch.size());
+
   inst.executing = true;
-  inst.current_start = events_.Now();
+  inst.current_start = now;
   SimDuration service =
       static_cast<SimDuration>(n) * config_.per_request_overhead +
       inst.rt->BatchComputeTime(n, max_len);
-  if (events_.Now() < inst.slow_until) {
+  if (now < inst.slow_until) {
     service = static_cast<SimDuration>(static_cast<double>(service) *
                                        inst.slow_factor);
   }
   busy_ns_total_ += static_cast<double>(service);
-  if (config_.fault_plan) health_.OnProgress(id, events_.Now());
-  events_.Schedule(events_.Now() + service,
-                   [this, id] { HandleCompletion(id); });
+  ++batches_formed_;
+  if (decision.timed_out) ++batch_timeouts_;
+  if (config_.telemetry) {
+    const batch::PaddingTokens tokens =
+        batch::BatchPaddingTokens(*inst.rt, n, sum_len, max_len);
+    config_.telemetry->RecordBatchFormed(
+        now, id, n, tokens.useful, tokens.computed,
+        now - inst.current_batch.front().queued_at, decision.timed_out);
+  }
+  if (config_.fault_plan) health_.OnProgress(id, now);
+  events_.Schedule(now + service, [this, id] { HandleCompletion(id); });
+}
+
+void Engine::ScheduleBatchTimer(InstanceId id, SimTime at) {
+  Instance& inst = instances_[id];
+  // An earlier pending timer already covers this re-poll.
+  if (inst.batch_timer_at != 0 && inst.batch_timer_at <= at) return;
+  inst.batch_timer_at = at;
+  events_.Schedule(at, [this, id, at] {
+    Instance& i = instances_[id];
+    if (i.gone || i.batch_timer_at != at) return;  // superseded or dead
+    i.batch_timer_at = 0;
+    MaybeStartNext(id);
+  });
 }
 
 double Engine::CrashMtbfSeconds() const {
@@ -228,7 +280,7 @@ bool Engine::CrashInstance(InstanceId victim) {
 
   // Vanish instantly: lose nothing — queued and in-flight requests are
   // re-dispatched with their original arrival times.
-  std::vector<QueuedRequest> orphans(inst.queue.begin(), inst.queue.end());
+  std::vector<batch::Item> orphans(inst.queue.begin(), inst.queue.end());
   inst.queue.clear();
   for (const auto& q : inst.current_batch) orphans.push_back(q);
   inst.current_batch.clear();
@@ -380,14 +432,14 @@ void Engine::HandleCompletion(InstanceId id) {
   ARLO_CHECK(inst.executing);
   inst.executing = false;
   if (config_.fault_plan) health_.OnProgress(id, events_.Now());
-  const std::vector<QueuedRequest> batch = std::move(inst.current_batch);
+  const std::vector<batch::Item> finished = std::move(inst.current_batch);
   inst.current_batch.clear();
 
-  for (const QueuedRequest& item : batch) {
+  for (const batch::Item& item : finished) {
     RequestRecord record;
     record.id = item.request.id;
     record.arrival = item.request.arrival;
-    record.dispatch = item.dispatch;
+    record.dispatch = item.queued_at;
     record.start = inst.current_start;
     record.completion = events_.Now();
     record.length = item.request.length;
@@ -495,6 +547,8 @@ EngineResult Engine::Run() {
   out.retries = retries_total_;
   out.requeues = requeues_total_;
   out.sheds = sheds_total_;
+  out.batches_formed = batches_formed_;
+  out.batch_timeouts = batch_timeouts_;
   out.shed_records = std::move(shed_records_);
   if (events_.Now() > 0) {
     out.time_weighted_gpus =

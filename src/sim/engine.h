@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "batch/policy.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "fault/fault_plan.h"
@@ -45,6 +46,12 @@ struct EngineConfig {
   /// up to this many queued requests and executes them as one batch via
   /// CompiledRuntime::BatchComputeTime.  1 = the paper's batch-1 serving.
   int max_batch = 1;
+  /// Batch formation policy (not owned; must outlive the run).  Null means
+  /// batch::GreedyBatcher, which reproduces the historical opportunistic
+  /// pull exactly — seeded runs are byte-identical either way.  Policies
+  /// that wait (e.g. "slo") re-poll through scheduled timer events, so
+  /// determinism is preserved.  See docs/BATCHING.md.
+  const batch::BatchPolicy* batch_policy = nullptr;
 
   /// Fault injection (§3.4 motivation: "idiosyncratic factors such as
   /// failures and bugs lead to imbalanced load").  When > 0, instances
@@ -88,6 +95,8 @@ struct EngineResult {
   std::uint64_t retries = 0;          ///< transient dispatch errors retried
   std::uint64_t requeues = 0;         ///< requests drained off dead instances
   std::uint64_t sheds = 0;            ///< buffered requests past shed deadline
+  std::uint64_t batches_formed = 0;   ///< batches launched (size 1 included)
+  std::uint64_t batch_timeouts = 0;   ///< batches launched on budget expiry
   /// Requests rejected by deadline shedding (dispatch == start == completion
   /// == shed time; runtime/instance invalid).  Disjoint from `records`.
   std::vector<RequestRecord> shed_records;
@@ -116,16 +125,12 @@ class Engine final : public ClusterOps {
   SimTime Now() const override { return events_.Now(); }
 
  private:
-  struct QueuedRequest {
-    Request request;
-    SimTime dispatch = 0;
-  };
   struct Instance {
     RuntimeId runtime = kInvalidRuntime;
     std::shared_ptr<const runtime::CompiledRuntime> rt;
-    std::deque<QueuedRequest> queue;
+    std::deque<batch::Item> queue;
     bool executing = false;
-    std::vector<QueuedRequest> current_batch;
+    std::vector<batch::Item> current_batch;
     SimTime current_start = 0;
     bool ready = false;
     bool retiring = false;
@@ -133,12 +138,17 @@ class Engine final : public ClusterOps {
     SimTime hung_until = 0;    ///< frozen (no starts/completions) until then
     SimTime slow_until = 0;    ///< service times scaled until then
     double slow_factor = 1.0;  ///< multiplier while slow_until is in force
+    /// Pending batch-formation re-poll (0 = none).  A timer event fires
+    /// MaybeStartNext at this stamp; any earlier launch or a newer timer
+    /// invalidates it by moving the stamp.
+    SimTime batch_timer_at = 0;
   };
 
   void HandleArrival(const Request& request);
   void HandleArrivalAttempt(const Request& request, int attempt);
   bool TryDispatch(const Request& request);
   void MaybeStartNext(InstanceId id);
+  void ScheduleBatchTimer(InstanceId id, SimTime at);
   void HandleCompletion(InstanceId id);
   void FinalizeRetirement(InstanceId id);
   void RetryBuffered();
@@ -164,6 +174,8 @@ class Engine final : public ClusterOps {
   const trace::Trace& trace_;
   Scheme& scheme_;
   EngineConfig config_;
+  std::unique_ptr<batch::BatchPolicy> owned_policy_;  ///< default greedy
+  const batch::BatchPolicy* policy_ = nullptr;
 
   EventQueue events_;
   // deque, NOT vector: scheme callbacks (OnComplete, OnInstanceFailure) may
@@ -190,6 +202,8 @@ class Engine final : public ClusterOps {
   std::uint64_t retries_total_ = 0;
   std::uint64_t requeues_total_ = 0;
   std::uint64_t sheds_total_ = 0;
+  std::uint64_t batches_formed_ = 0;
+  std::uint64_t batch_timeouts_ = 0;
   std::vector<RequestRecord> shed_records_;
 };
 

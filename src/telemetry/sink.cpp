@@ -93,6 +93,51 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
   net_.frontend_overhead_ns = registry_.GetHistogram(
       "arlo_net_frontend_overhead_ns",
       "Wall ns in the frontend beyond the scaled modeled backend latency");
+  batch_.batches_formed = registry_.GetCounter(
+      "arlo_batches_formed_total", "Batches formed and launched by executors");
+  batch_.batch_timeouts = registry_.GetCounter(
+      "arlo_batch_timeouts_total",
+      "Batches launched because their wait budget expired before filling");
+  batch_.tokens_useful = registry_.GetCounter(
+      "arlo_batch_tokens_useful_total",
+      "True request tokens served in batches");
+  batch_.tokens_computed = registry_.GetCounter(
+      "arlo_batch_tokens_computed_total",
+      "Tokens actually computed (bucket slots x padded length); "
+      "1 - useful/computed = padding waste fraction");
+  batch_.batch_size = registry_.GetHistogram(
+      "arlo_batch_size", "Requests per launched batch");
+  batch_.batch_wait_ns = registry_.GetHistogram(
+      "arlo_batch_wait_ns", "Oldest member's queue wait at batch launch");
+}
+
+void TelemetrySink::RecordBatchFormed(SimTime now, InstanceId instance,
+                                      int size, std::int64_t useful_tokens,
+                                      std::int64_t computed_tokens,
+                                      SimDuration oldest_wait,
+                                      bool timed_out) {
+  batch_.batches_formed->Add();
+  if (timed_out) batch_.batch_timeouts->Add();
+  batch_.batch_size->Record(size);
+  batch_.batch_wait_ns->Record(oldest_wait);
+  if (useful_tokens > 0) {
+    batch_.tokens_useful->Add(static_cast<std::uint64_t>(useful_tokens));
+  }
+  if (computed_tokens > 0) {
+    batch_.tokens_computed->Add(static_cast<std::uint64_t>(computed_tokens));
+  }
+  // Batch-1 launches stay out of the trace so batch-1 runs keep their
+  // historical (byte-identical) trace output.
+  if (config_.trace_requests && size >= 2) {
+    // wait_ns lives in the arlo_batch_wait_ns histogram; the event sticks
+    // to TraceRecorder::kMaxArgs deterministic facts.
+    tracer_.Instant("batch_formed", "batch", now,
+                    static_cast<std::int64_t>(instance),
+                    {{"size", size},
+                     {"useful_tokens", useful_tokens},
+                     {"computed_tokens", computed_tokens},
+                     {"timed_out", timed_out ? 1 : 0}});
+  }
 }
 
 void TelemetrySink::RecordEnqueue(const Request& request, SimTime now) {

@@ -82,6 +82,23 @@ struct NetMetrics {
   LatencyHistogram* frontend_overhead_ns = nullptr;
 };
 
+/// Stable pointers to the dynamic-batching metrics (src/batch; see
+/// docs/BATCHING.md).  Zero-valued in batch-1 runs.
+struct BatchMetrics {
+  Counter* batches_formed = nullptr;
+  /// Batches that executed because their wait budget expired rather than
+  /// because they filled (SloDeadlineBatcher).
+  Counter* batch_timeouts = nullptr;
+  /// True request tokens served, vs tokens the kernels actually computed
+  /// (bucket slots x padded length).  1 - useful/computed is the padding
+  /// waste fraction.
+  Counter* tokens_useful = nullptr;
+  Counter* tokens_computed = nullptr;
+  LatencyHistogram* batch_size = nullptr;
+  /// Oldest member's queue wait when its batch launched.
+  LatencyHistogram* batch_wait_ns = nullptr;
+};
+
 /// One row of the periodic time series (cumulative values as of `time_s`).
 struct SnapshotRow {
   double time_s = 0.0;
@@ -158,6 +175,17 @@ class TelemetrySink {
                          const char* reason);
   void RecordNetFrontendOverhead(std::int64_t wall_ns);
 
+  // --- dynamic batching (src/batch; see docs/BATCHING.md) ----------------
+  /// An executor formed and launched a batch of `size` requests on
+  /// `instance`.  `useful_tokens`/`computed_tokens` come from
+  /// batch::BatchPaddingTokens; `oldest_wait` is the head request's queue
+  /// time; `timed_out` marks wait-budget expiry.  Emits a trace instant
+  /// only for real batches (size >= 2), keeping batch-1 traces identical.
+  void RecordBatchFormed(SimTime now, InstanceId instance, int size,
+                         std::int64_t useful_tokens,
+                         std::int64_t computed_tokens, SimDuration oldest_wait,
+                         bool timed_out);
+
   // --- gauges ------------------------------------------------------------
   void SetClusterGauges(std::int64_t instances, std::int64_t outstanding,
                         std::int64_t buffer_depth);
@@ -183,6 +211,7 @@ class TelemetrySink {
   const TraceRecorder& Tracer() const { return tracer_; }
   const ServingMetrics& Serving() const { return serving_; }
   const NetMetrics& Net() const { return net_; }
+  const BatchMetrics& Batch() const { return batch_; }
   const TelemetryConfig& Config() const { return config_; }
 
  private:
@@ -193,6 +222,7 @@ class TelemetrySink {
   TraceRecorder tracer_;
   ServingMetrics serving_;
   NetMetrics net_;
+  BatchMetrics batch_;
 
   std::mutex levels_mu_;
   std::vector<Gauge*> queue_depth_;  // index = level

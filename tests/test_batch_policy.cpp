@@ -1,0 +1,246 @@
+// Unit tests for the src/batch formation policies: factory + CLI validation
+// golden errors, the per-policy Decide() contract, and the padding-token
+// accounting behind the arlo_batch_tokens_* counters.
+#include "batch/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "batch/greedy_batcher.h"
+#include "batch/length_bucket_batcher.h"
+#include "batch/slo_deadline_batcher.h"
+#include "runtime/compiled_runtime.h"
+
+namespace arlo::batch {
+namespace {
+
+runtime::CompiledRuntime StaticRt(int max_length = 512) {
+  return runtime::CompiledRuntime(runtime::ModelSpec::BertBase(),
+                                  runtime::CompilationKind::kStatic,
+                                  max_length);
+}
+
+runtime::CompiledRuntime DynamicRt() {
+  return runtime::CompiledRuntime(runtime::ModelSpec::BertBase(),
+                                  runtime::CompilationKind::kDynamic, 512);
+}
+
+Item MakeItem(RequestId id, int length, SimTime arrival = 0,
+              SimTime queued_at = 0) {
+  Item item;
+  item.request.id = id;
+  item.request.length = length;
+  item.request.arrival = arrival;
+  item.queued_at = queued_at;
+  return item;
+}
+
+BatchContext Ctx(SimTime now, int max_batch, bool draining = false) {
+  BatchContext ctx;
+  ctx.now = now;
+  ctx.max_batch = max_batch;
+  ctx.per_request_overhead = Millis(0.8);
+  ctx.draining = draining;
+  return ctx;
+}
+
+// --- factory + CLI validation (golden errors, like CliFlags) --------------
+
+TEST(BatchPolicyFactory, MakesEveryListedPolicy) {
+  for (const std::string& name : BatchPolicyNames()) {
+    const auto policy = MakeBatchPolicy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->Name(), name);
+  }
+}
+
+TEST(BatchPolicyFactory, RejectUnknownMessageIsStable) {
+  try {
+    MakeBatchPolicy("xyz");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown batch policy: xyz (valid policies: greedy, length, "
+                 "slo)");
+  }
+}
+
+TEST(ValidateMaxBatchTest, AcceptsTheValidRange) {
+  EXPECT_EQ(ValidateMaxBatch(1), 1);
+  EXPECT_EQ(ValidateMaxBatch(8), 8);
+  EXPECT_EQ(ValidateMaxBatch(1024), 1024);
+}
+
+TEST(ValidateMaxBatchTest, RejectMessageIsStable) {
+  try {
+    ValidateMaxBatch(0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "--max-batch must be a positive integer in [1, 1024] (got "
+                 "0)");
+  }
+  EXPECT_THROW(ValidateMaxBatch(-3), std::invalid_argument);
+  EXPECT_THROW(ValidateMaxBatch(1025), std::invalid_argument);
+}
+
+// --- greedy ----------------------------------------------------------------
+
+TEST(GreedyBatcherTest, TakesThePrefixImmediately) {
+  const auto rt = StaticRt();
+  const GreedyBatcher policy;
+  std::deque<Item> queue{MakeItem(0, 100), MakeItem(1, 200), MakeItem(2, 50)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 2));
+  ASSERT_EQ(d.take, (std::vector<std::size_t>{0, 1}));
+  EXPECT_FALSE(d.timed_out);
+}
+
+TEST(GreedyBatcherTest, TakesEverythingWhenQueueIsShort) {
+  const auto rt = StaticRt();
+  const GreedyBatcher policy;
+  std::deque<Item> queue{MakeItem(0, 100)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 8));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0}));
+}
+
+// --- slo -------------------------------------------------------------------
+
+TEST(SloDeadlineBatcherTest, FullBatchLaunchesImmediately) {
+  const auto rt = StaticRt();
+  const SloDeadlineBatcher policy{BatchPolicyConfig{}};
+  std::deque<Item> queue{MakeItem(0, 100), MakeItem(1, 200)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 2));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0, 1}));
+  EXPECT_FALSE(d.timed_out);
+}
+
+TEST(SloDeadlineBatcherTest, PartialBatchWithSlackWaits) {
+  const auto rt = StaticRt();
+  BatchPolicyConfig config;
+  config.slo = Millis(150.0);
+  config.wait_fraction = 1.0;
+  config.max_wait = Millis(5.0);
+  const SloDeadlineBatcher policy{config};
+  std::deque<Item> queue{MakeItem(0, 100, /*arrival=*/0, /*queued_at=*/0)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 4));
+  EXPECT_TRUE(d.take.empty());
+  // Plenty of slack, so the wait is exactly the max_wait cap.
+  EXPECT_EQ(d.wait, Millis(5.0));
+}
+
+TEST(SloDeadlineBatcherTest, BudgetExpiryLaunchesWithTimeoutFlag) {
+  const auto rt = StaticRt();
+  BatchPolicyConfig config;
+  config.wait_fraction = 1.0;
+  config.max_wait = Millis(5.0);
+  const SloDeadlineBatcher policy{config};
+  std::deque<Item> queue{MakeItem(0, 100, 0, 0)};
+  // The deadline is anchored at queued_at, so asking again at the deadline
+  // launches what is there — flagged as a timeout.
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(Millis(5.0), 4));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(d.timed_out);
+}
+
+TEST(SloDeadlineBatcherTest, NoSlackLaunchesImmediately) {
+  const auto rt = StaticRt();
+  const SloDeadlineBatcher policy{BatchPolicyConfig{}};
+  // Queued long after its SLO budget was spent: waiting can only lose.
+  std::deque<Item> queue{
+      MakeItem(0, 100, /*arrival=*/0, /*queued_at=*/Millis(200.0))};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(Millis(200.0), 4));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0}));
+  EXPECT_FALSE(d.timed_out);  // no budget was granted, so none expired
+}
+
+TEST(SloDeadlineBatcherTest, DrainingNeverWaits) {
+  const auto rt = StaticRt();
+  BatchPolicyConfig config;
+  config.wait_fraction = 1.0;
+  const SloDeadlineBatcher policy{config};
+  std::deque<Item> queue{MakeItem(0, 100, 0, 0)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 4, true));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0}));
+}
+
+TEST(SloDeadlineBatcherTest, ZeroWaitFractionIsGreedy) {
+  const auto rt = StaticRt();
+  BatchPolicyConfig config;
+  config.wait_fraction = 0.0;
+  const SloDeadlineBatcher policy{config};
+  std::deque<Item> queue{MakeItem(0, 100, 0, 0)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 4));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0}));
+  EXPECT_FALSE(d.timed_out);
+}
+
+// --- length ----------------------------------------------------------------
+
+TEST(LengthBucketBatcherTest, GroupsOnlyTheFrontsPaddingBucket) {
+  const auto rt = DynamicRt();  // 64-token staircase
+  const LengthBucketBatcher policy{BatchPolicyConfig{}};
+  // 40 and 50 share the 64 stair; 300 pads to 320 and must be skipped.
+  std::deque<Item> queue{MakeItem(0, 40), MakeItem(1, 300), MakeItem(2, 50)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 4));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0, 2}));
+  EXPECT_FALSE(d.timed_out);
+}
+
+TEST(LengthBucketBatcherTest, NeverWaits) {
+  const auto rt = DynamicRt();
+  const LengthBucketBatcher policy{BatchPolicyConfig{}};
+  // Even a lone request with no bucket-mates launches right away.
+  std::deque<Item> queue{MakeItem(0, 100)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 8));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0}));
+}
+
+TEST(LengthBucketBatcherTest, FillsThePowerOfTwoBucket) {
+  const auto rt = DynamicRt();
+  const LengthBucketBatcher policy{BatchPolicyConfig{}};
+  // Four same-bucket requests: R(4) = c0/4 + per-slot work always beats
+  // R(2) = c0/2 + the same per-slot work, so the full bucket forms.
+  std::deque<Item> queue{MakeItem(0, 40), MakeItem(1, 50), MakeItem(2, 60),
+                         MakeItem(3, 30)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 4));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(LengthBucketBatcherTest, StaticRuntimeGroupsEverything) {
+  // A static runtime pads every request to max_length, so all lengths share
+  // one group and the policy degenerates to cost-aware greedy.
+  const auto rt = StaticRt();
+  const LengthBucketBatcher policy{BatchPolicyConfig{}};
+  std::deque<Item> queue{MakeItem(0, 20), MakeItem(1, 500), MakeItem(2, 100),
+                         MakeItem(3, 300)};
+  const BatchDecision d = policy.Decide(queue, rt, Ctx(0, 4));
+  EXPECT_EQ(d.take, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+// --- shared helpers --------------------------------------------------------
+
+TEST(BatchServiceTimeTest, AddsOverheadPerRequest) {
+  const auto rt = StaticRt();
+  const SimDuration ov = Millis(0.8);
+  EXPECT_EQ(BatchServiceTime(rt, 3, 256, ov),
+            3 * ov + rt.BatchComputeTime(3, 256));
+}
+
+TEST(BatchPaddingTokensTest, CountsBucketSlotsTimesPaddedLength) {
+  const auto rt = StaticRt(512);
+  // Batch of 3 rides the 4-slot bucket; a static runtime pads every slot to
+  // 512 regardless of the true lengths.
+  const PaddingTokens tokens = BatchPaddingTokens(rt, 3, 100 + 80 + 50, 100);
+  EXPECT_EQ(tokens.useful, 230);
+  EXPECT_EQ(tokens.computed, 4 * 512);
+
+  const auto dyn = DynamicRt();
+  // Dynamic runtime: slots pad to the 64-token staircase of the longest.
+  const PaddingTokens dtokens = BatchPaddingTokens(dyn, 2, 40 + 100, 100);
+  EXPECT_EQ(dtokens.useful, 140);
+  EXPECT_EQ(dtokens.computed, 2 * 128);
+}
+
+}  // namespace
+}  // namespace arlo::batch

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/scenario.h"
+#include "batch/policy.h"
 #include "runtime/compiled_runtime.h"
 #include "sim/engine.h"
 #include "trace/twitter.h"
@@ -49,6 +50,43 @@ TEST(BatchComputeTime, RejectsNonPositiveBatch) {
   const runtime::CompiledRuntime rt(runtime::ModelSpec::BertBase(),
                                     runtime::CompilationKind::kStatic, 64);
   EXPECT_THROW(rt.BatchComputeTime(0, 10), std::logic_error);
+}
+
+TEST(BatchComputeTime, UpperPowerOfTwoBoundaries) {
+  const runtime::CompiledRuntime rt(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kStatic, 512);
+  // 9 rides the 16-bucket, exactly like 16 itself; 8 is strictly cheaper.
+  EXPECT_EQ(rt.BatchComputeTime(9, 256), rt.BatchComputeTime(16, 256));
+  EXPECT_LT(rt.BatchComputeTime(8, 256), rt.BatchComputeTime(9, 256));
+  EXPECT_EQ(runtime::CompiledRuntime::BatchBucket(1), 1);
+  EXPECT_EQ(runtime::CompiledRuntime::BatchBucket(3), 4);
+  EXPECT_EQ(runtime::CompiledRuntime::BatchBucket(9), 16);
+  EXPECT_EQ(runtime::CompiledRuntime::BatchBucket(16), 16);
+}
+
+TEST(BatchComputeTime, MonotoneInMaxLengthInBatch) {
+  const runtime::CompiledRuntime rt(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kDynamic, 512);
+  for (int b : {1, 3, 8}) {
+    SimDuration prev = 0;
+    for (int len = 64; len <= 512; len += 64) {
+      const SimDuration cost = rt.BatchComputeTime(b, len);
+      EXPECT_GE(cost, prev) << "batch " << b << " len " << len;
+      prev = cost;
+    }
+  }
+}
+
+TEST(PaddedLength, StaticPadsToMaxDynamicToStaircase) {
+  const runtime::CompiledRuntime st(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kStatic, 512);
+  EXPECT_EQ(st.PaddedLength(10), 512);
+  EXPECT_EQ(st.PaddedLength(512), 512);
+  const runtime::CompiledRuntime dt(runtime::ModelSpec::BertBase(),
+                                    runtime::CompilationKind::kDynamic, 512);
+  EXPECT_EQ(dt.PaddedLength(10), 64);
+  EXPECT_EQ(dt.PaddedLength(64), 64);
+  EXPECT_EQ(dt.PaddedLength(65), 128);
 }
 
 TEST(EngineBatching, BatchedRunServesAllRequests) {
@@ -114,6 +152,80 @@ TEST(EngineBatching, NoEffectAtBatchOne) {
   for (std::size_t i = 0; i < a.records.size(); ++i) {
     EXPECT_EQ(a.records[i].completion, b.records[i].completion);
   }
+}
+
+TEST(EngineBatching, GreedyPolicyIsByteIdenticalToDefault) {
+  // The GreedyBatcher reproduces the historical inline opportunistic pull:
+  // an explicit policy object must not change a single record.
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 4.0;
+  tc.mean_rate = 400.0;
+  tc.seed = 7;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+  const auto greedy = batch::MakeBatchPolicy("greedy");
+
+  for (int max_batch = 1; max_batch <= 8; ++max_batch) {
+    auto run = [&](const batch::BatchPolicy* policy) {
+      baselines::ScenarioConfig config;
+      config.gpus = 2;
+      auto scheme = baselines::MakeSchemeByName("st", config);
+      sim::EngineConfig engine;
+      engine.max_batch = max_batch;
+      engine.batch_policy = policy;
+      return sim::RunScenario(t, *scheme, engine);
+    };
+    const sim::EngineResult a = run(nullptr);        // engine-owned default
+    const sim::EngineResult b = run(greedy.get());   // explicit policy
+    EXPECT_EQ(a.end_time, b.end_time) << "max_batch " << max_batch;
+    EXPECT_EQ(a.batches_formed, b.batches_formed) << "max_batch " << max_batch;
+    ASSERT_EQ(a.records.size(), b.records.size()) << "max_batch " << max_batch;
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      EXPECT_EQ(a.records[i].id, b.records[i].id);
+      EXPECT_EQ(a.records[i].dispatch, b.records[i].dispatch);
+      EXPECT_EQ(a.records[i].start, b.records[i].start);
+      EXPECT_EQ(a.records[i].completion, b.records[i].completion);
+      EXPECT_EQ(a.records[i].instance, b.records[i].instance);
+    }
+  }
+}
+
+TEST(EngineBatching, SloPolicyServesEverythingAndWaits) {
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 5.0;
+  tc.mean_rate = 300.0;
+  tc.seed = 8;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+  baselines::ScenarioConfig config;
+  config.gpus = 2;
+  auto scheme = baselines::MakeSchemeByName("st", config);
+  const auto policy = batch::MakeBatchPolicy("slo");
+  sim::EngineConfig engine;
+  engine.max_batch = 4;
+  engine.batch_policy = policy.get();
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  EXPECT_EQ(result.records.size(), t.Size());
+  EXPECT_GT(result.batches_formed, 0u);
+  // A waiting policy must actually batch: fewer launches than requests.
+  EXPECT_LT(result.batches_formed, result.records.size());
+}
+
+TEST(EngineBatching, LengthPolicyServesEverythingOnDynamicRuntimes) {
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 5.0;
+  tc.mean_rate = 400.0;
+  tc.seed = 9;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+  baselines::ScenarioConfig config;
+  config.gpus = 2;
+  auto scheme = baselines::MakeSchemeByName("dt", config);
+  const auto policy = batch::MakeBatchPolicy("length");
+  sim::EngineConfig engine;
+  engine.max_batch = 8;
+  engine.batch_policy = policy.get();
+  const sim::EngineResult result = sim::RunScenario(t, *scheme, engine);
+  EXPECT_EQ(result.records.size(), t.Size());
+  EXPECT_GT(result.batches_formed, 0u);
+  EXPECT_EQ(result.batch_timeouts, 0u);  // this policy never waits
 }
 
 TEST(NewModels, CalibrationHoldsAcrossTheZoo) {
