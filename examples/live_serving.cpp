@@ -16,10 +16,17 @@
 // Ctrl-C is a graceful shutdown everywhere: in-flight requests drain, and
 // a final telemetry summary is printed before exit.
 //
+// The admin plane (--admin-port, 0 = ephemeral) exposes /metrics, /healthz,
+// /statusz, /slo, and POST /debug/dump on a loopback HTTP endpoint while
+// the run is live; SIGUSR1 (or a fault-layer crash/shed storm) dumps the
+// flight recorder's recent events to --dump-out as Chrome trace JSON.
+//
 // Run: ./build/examples/live_serving [--seconds=3] [--rate=150] [--speed=1.0]
 //      [--max-batch=1] [--batch-policy=greedy|length|slo]
 //      [--fault-plan=plan.txt] [--hang-timeout_s=0]
 //      [--metrics-out=live.prom] [--trace-out=live.trace.json]
+//      [--trace-max-events=0] [--admin-port=0]
+//      [--dump-out=flight.trace.json] [--slo-ms=150]
 //      [--listen=0 | --connect=PORT] [--connections=4]
 //      [--max-inflight=0] [--rate-limit=0] [--deadline-ms=0]
 #include <atomic>
@@ -27,6 +34,7 @@
 #include <csignal>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <thread>
 
 #include "baselines/scenario.h"
@@ -36,6 +44,11 @@
 #include "fault/fault_plan.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/admin_server.h"
+#include "obs/dump_trigger.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo_monitor.h"
+#include "serving/live_testbed.h"
 #include "serving/testbed.h"
 #include "sim/report.h"
 #include "telemetry/exporters.h"
@@ -47,8 +60,48 @@ using namespace arlo;
 namespace {
 
 std::atomic<bool> g_interrupted{false};
+std::atomic<bool> g_dump_requested{false};
 
 void OnSigInt(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
+void OnSigUsr1(int) { g_dump_requested.store(true, std::memory_order_relaxed); }
+
+/// Polls the dump-request flag (set by SIGUSR1 or the storm trigger — both
+/// contexts where file I/O is off-limits) and performs the actual dump.
+class DumpWatcher {
+ public:
+  DumpWatcher(const obs::FlightRecorder& flight, std::string path)
+      : flight_(flight), path_(std::move(path)) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~DumpWatcher() {
+    stopping_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    MaybeDump();  // a request that raced shutdown still lands
+  }
+
+ private:
+  void Loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      MaybeDump();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  void MaybeDump() {
+    if (!g_dump_requested.exchange(false, std::memory_order_relaxed)) return;
+    if (flight_.DumpToFile(path_)) {
+      std::cout << "flight recorder dumped to " << path_ << " ("
+                << flight_.Recorded() << " events recorded)\n";
+    } else {
+      std::cout << "flight recorder dump to " << path_ << " FAILED\n";
+    }
+  }
+
+  const obs::FlightRecorder& flight_;
+  std::string path_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
 
 /// The end-of-run telemetry digest every mode prints on exit (including
 /// Ctrl-C): the counters that tell you what the run actually did.
@@ -115,10 +168,16 @@ int main(int argc, char** argv) {
   batch::ValidateMaxBatch(max_batch);
   const std::string batch_policy_name =
       flags.GetString("batch-policy", "greedy");
+  const bool admin = flags.Has("admin-port");
+  const int admin_port = flags.GetInt("admin-port", 0);
+  const std::string dump_out = flags.GetString("dump-out", "flight.trace.json");
+  const long long trace_max_events = flags.GetInt("trace-max-events", 0);
+  const double slo_ms = flags.GetDouble("slo-ms", 150.0);
   flags.RejectUnknown();
 
   std::signal(SIGINT, OnSigInt);
   std::signal(SIGTERM, OnSigInt);
+  std::signal(SIGUSR1, OnSigUsr1);
 
   // --connect: pure client — replay the trace against a remote server.
   if (connect_port > 0) {
@@ -158,7 +217,7 @@ int main(int argc, char** argv) {
   baselines::ScenarioConfig config;
   config.model = runtime::ModelSpec::BertBase();
   config.gpus = 3;
-  config.slo = Millis(150.0);
+  config.slo = Millis(slo_ms);
   config.period = Seconds(5.0);
 
   serving::TestbedConfig testbed;
@@ -178,18 +237,77 @@ int main(int argc, char** argv) {
     testbed.resilience.hang_timeout = Seconds(hang_timeout_s);
   }
 
-  // Telemetry: always on for --listen (the summary is the point of the
-  // mode); otherwise only when an output file was requested.  The testbed
-  // dispatches from concurrent worker threads, so the sink is built with
-  // the multi-threaded (sharded) layout.
+  // Telemetry: always on for --listen and for the admin plane (both exist
+  // to observe a live run); otherwise only when an output file was
+  // requested.  The testbed dispatches from concurrent worker threads, so
+  // the sink is built with the multi-threaded (sharded) layout.
   std::unique_ptr<telemetry::TelemetrySink> sink;
-  if (listen || !metrics_out.empty() || !trace_out.empty()) {
+  if (listen || admin || !metrics_out.empty() || !trace_out.empty()) {
     telemetry::TelemetryConfig tcfg;
     tcfg.run_id = 99;
     tcfg.concurrency = telemetry::Concurrency::kMultiThreaded;
+    tcfg.max_trace_events =
+        trace_max_events > 0 ? static_cast<std::size_t>(trace_max_events) : 0;
     sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
     testbed.telemetry = sink.get();
   }
+
+  // Observability plane (only when --admin-port was given): flight recorder
+  // mirroring every trace event, SLO burn monitor + storm trigger on the
+  // sink's observer fan-out, and the watcher that turns dump requests
+  // (SIGUSR1, POST /debug/dump handles its own, storm trigger) into files.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::unique_ptr<obs::SloMonitor> slo_monitor;
+  std::unique_ptr<obs::DumpTrigger> dump_trigger;
+  std::unique_ptr<DumpWatcher> dump_watcher;
+  if (admin) {
+    flight = std::make_unique<obs::FlightRecorder>();
+    sink->Tracer().SetMirror(flight.get());
+    obs::SloMonitorConfig smc;
+    smc.slo = config.slo;
+    smc.sink = sink.get();
+    slo_monitor = std::make_unique<obs::SloMonitor>(smc);
+    sink->AddObserver(slo_monitor.get());
+    obs::DumpTriggerConfig dtc;
+    dtc.on_storm = [] {
+      g_dump_requested.store(true, std::memory_order_relaxed);
+    };
+    dump_trigger = std::make_unique<obs::DumpTrigger>(std::move(dtc));
+    sink->AddObserver(dump_trigger.get());
+    dump_watcher = std::make_unique<DumpWatcher>(*flight, dump_out);
+  }
+
+  // Builds the admin plane over a running LiveTestbed; both serving modes
+  // call this right after Start().
+  const auto make_admin_plane =
+      [&](serving::LiveTestbed& backend) -> std::unique_ptr<obs::AdminPlane> {
+    if (!admin) return nullptr;
+    obs::AdminPlaneConfig apc;
+    apc.port = static_cast<std::uint16_t>(admin_port);
+    apc.sink = sink.get();
+    apc.statusz = [&backend](std::ostream& os) { backend.WriteStatusJson(os); };
+    apc.healthz = [&backend] {
+      const serving::TestbedHealth h = backend.Health();
+      obs::AdminPlaneConfig::HealthzReport report;
+      report.ok = h.ok;
+      std::ostringstream os;
+      os << "{\"live_workers\":" << h.live_workers
+         << ",\"outstanding\":" << h.outstanding << ",\"hung\":" << h.hung.size()
+         << "}";
+      report.detail_json = os.str();
+      return report;
+    };
+    apc.now = [&backend] { return backend.Now(); };
+    apc.slo = slo_monitor.get();
+    apc.flight = flight.get();
+    auto plane = std::make_unique<obs::AdminPlane>(std::move(apc));
+    plane->Start();
+    // Flushed eagerly: scripts (check.sh admin smoke) parse this line from a
+    // redirected pipe while the process is still running.
+    std::cout << "admin plane on 127.0.0.1:" << plane->Port()
+              << " (/metrics /healthz /statusz /slo /debug/dump)" << std::endl;
+    return plane;
+  };
 
   serving::TestbedResult result;
   if (listen) {
@@ -198,6 +316,7 @@ int main(int argc, char** argv) {
     auto scheme = baselines::MakeSchemeByName("arlo", config);
     serving::LiveTestbed backend(*scheme, testbed);
     backend.Start();
+    auto admin_plane = make_admin_plane(backend);
 
     net::ServerConfig sc;
     sc.port = static_cast<std::uint16_t>(listen_port);
@@ -220,6 +339,7 @@ int main(int argc, char** argv) {
               << stats.accepted << " accepted, " << stats.TotalRejected()
               << " rejected, " << stats.replies_sent << " replies, "
               << stats.protocol_errors << " protocol errors\n";
+    if (admin_plane) admin_plane->Stop();  // providers reference the backend
     result = backend.Finish();
   } else {
     // Default: in-process trace replay (Ctrl-C stops the frontend early;
@@ -238,12 +358,34 @@ int main(int argc, char** argv) {
     std::cout << "replaying " << trace.Size() << " requests over ~"
               << seconds / speed << " wall seconds on " << config.gpus
               << " worker threads...\n";
-    result = serving::RunTestbed(trace, *scheme, testbed);
+    if (admin) {
+      // With an admin plane the replay runs on an explicit LiveTestbed so
+      // the /statusz and /healthz providers have a backend to inspect —
+      // RunTestbed's internal testbed is not reachable from outside.
+      serving::LiveTestbed backend(*scheme, testbed);
+      backend.Start();
+      auto admin_plane = make_admin_plane(backend);
+      for (const Request& r : trace.Requests()) {
+        if (g_interrupted.load(std::memory_order_relaxed)) break;
+        while (backend.Now() < r.arrival &&
+               !g_interrupted.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        backend.Submit(r);
+      }
+      if (admin_plane) admin_plane->Stop();
+      result = backend.Finish();
+    } else {
+      result = serving::RunTestbed(trace, *scheme, testbed);
+    }
     if (g_interrupted.load(std::memory_order_relaxed)) {
       std::cout << "\ninterrupted: stopped after " << result.records.size()
                 << " requests\n";
     }
   }
+  // Stop the dump watcher before the flight recorder can go away; a pending
+  // SIGUSR1/storm request is flushed here.
+  dump_watcher.reset();
 
   if (sink && !metrics_out.empty()) {
     telemetry::WriteMetricsFile(*sink, metrics_out);

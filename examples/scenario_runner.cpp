@@ -101,6 +101,8 @@ int main(int argc, char** argv) {
 
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out = flags.GetString("trace-out", "");
+  // 0 = unbounded (the historical default); see docs/OBSERVABILITY.md.
+  const long long trace_max_events = flags.GetInt("trace-max-events", 0);
   const std::vector<std::string> schemes =
       SplitCommas(flags.GetString("scheme", "arlo"));
   const bool csv = flags.GetBool("csv", false);
@@ -116,6 +118,8 @@ int main(int argc, char** argv) {
     }
     telemetry::TelemetryConfig tcfg;
     tcfg.run_id = workload.seed;
+    tcfg.max_trace_events =
+        trace_max_events > 0 ? static_cast<std::size_t>(trace_max_events) : 0;
     sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
     engine.telemetry = sink.get();
   }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: docs lint, configure, build, run the full test suite, smoke
-# the batching bench (--json output must parse with finite p98), then
-# re-run the concurrency-sensitive tests (threaded testbed + batching + net
-# frontend + sharded telemetry) under ThreadSanitizer, and the
-# socket/protocol + testbed-batching tests under Address+UBSanitizer.
+# the batching bench (--json output must parse with finite p98), smoke the
+# admin plane (live_serving --admin-port: /metrics, /healthz and /statusz
+# must answer with the expected shapes), then re-run the
+# concurrency-sensitive tests (threaded testbed + batching + net frontend +
+# sharded telemetry + admin plane) under ThreadSanitizer, and the
+# socket/protocol + testbed-batching + admin-plane tests under
+# Address+UBSanitizer.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --no-tsan  # skip the TSan stage (fast local loop)
@@ -44,6 +47,60 @@ for r in rows:
 print(f"bench smoke: {len(rows)} rows, p98 finite")
 EOF
 
+echo "== admin smoke (live_serving --admin-port) =="
+rm -f build/admin_smoke.out
+./build/examples/live_serving --seconds=8 --rate=100 --admin-port=0 \
+  --dump-out=build/admin_smoke.trace.json > build/admin_smoke.out 2>&1 &
+admin_pid=$!
+admin_port=""
+for _ in $(seq 1 100); do
+  admin_port=$(sed -n 's/^admin plane on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    build/admin_smoke.out)
+  [[ -n "$admin_port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$admin_port" ]]; then
+  kill "$admin_pid" 2>/dev/null || true
+  echo "admin smoke: no admin-plane port line" >&2
+  exit 1
+fi
+curl -sf "http://127.0.0.1:${admin_port}/metrics" > build/admin_smoke.prom
+curl -sf "http://127.0.0.1:${admin_port}/healthz" > build/admin_smoke.health
+curl -sf "http://127.0.0.1:${admin_port}/statusz" > build/admin_smoke.status
+kill -INT "$admin_pid" 2>/dev/null || true
+wait "$admin_pid"
+python3 - <<'EOF'
+import json
+prom = open("build/admin_smoke.prom").read()
+assert "# TYPE arlo_requests_enqueued_total counter" in prom, prom[:400]
+for line in prom.splitlines():
+    if line and not line.startswith("#"):
+        name, _, value = line.rpartition(" ")
+        assert name, line
+        float(value)  # every sample value must be numeric
+health = json.load(open("build/admin_smoke.health"))
+assert health["ok"] is True, health
+status = json.load(open("build/admin_smoke.status"))
+assert status["live_workers"] > 0, status
+assert "allocation" in status["scheme"], status
+print(f"admin smoke: {len(prom.splitlines())} metric lines, "
+      f"{status['live_workers']} live workers")
+EOF
+
+echo "== bench smoke (obs_overhead --json) =="
+./build/bench/obs_overhead --duration=1 --json=build/BENCH_obs_smoke.json \
+  >/dev/null
+python3 - <<'EOF'
+import json, math
+rows = json.load(open("build/BENCH_obs_smoke.json"))["rows"]
+assert [r["mode"] for r in rows] == \
+    ["admin-off", "admin-idle", "admin-scrape-storm"], rows
+for r in rows:
+    assert math.isfinite(r["dispatch_p98_us"]), r
+assert rows[2]["scrapes"] > 0, rows[2]
+print(f"obs bench smoke: {len(rows)} rows, dispatch p98 finite")
+EOF
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer (testbed + telemetry concurrency) =="
   cmake -B build-tsan -S . -DARLO_TSAN=ON >/dev/null
@@ -51,7 +108,7 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TestbedBatching.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*'
+    --gtest_filter='Testbed.*:TestbedBatching.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -59,7 +116,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$(nproc)" --target arlo_tests
   ./build-asan/tests/arlo_tests \
-    --gtest_filter='NetProtocol*:Admission.*:NetLoopback.*:TestbedBatching.*'
+    --gtest_filter='NetProtocol*:Admission.*:NetLoopback.*:TestbedBatching.*:ObsAdmin*:ObsHttp.*'
 fi
 
 echo "== check.sh: all green =="

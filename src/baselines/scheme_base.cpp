@@ -1,6 +1,7 @@
 #include "baselines/scheme_base.h"
 
 #include <limits>
+#include <ostream>
 
 #include "common/check.h"
 #include "telemetry/sink.h"
@@ -151,6 +152,44 @@ void SchemeBase::OnTick(SimTime now, sim::ClusterOps& cluster) {
   }
   if (autoscaler_) RunAutoscaler(now, cluster);
   OnPeriodic(now, cluster);
+}
+
+void SchemeBase::WriteStatusJson(std::ostream& os, SimTime now) const {
+  (void)now;
+  os << "{\"name\":\"" << Name() << "\"";
+  // Ready-instance count per runtime is the baseline "allocation vector".
+  std::vector<int> per_runtime(runtimes_->Size(), 0);
+  for (const auto& [id, runtime] : ready_instances_) {
+    (void)id;
+    if (static_cast<std::size_t>(runtime) < per_runtime.size()) {
+      ++per_runtime[runtime];
+    }
+  }
+  os << ",\"allocation\":[";
+  for (std::size_t i = 0; i < per_runtime.size(); ++i) {
+    if (i > 0) os << ",";
+    os << per_runtime[i];
+  }
+  os << "]";
+  os << ",\"target_gpus\":" << target_gpus_
+     << ",\"pending_launches\":" << pending_launches_
+     << ",\"ready_instances\":" << ready_instances_.size();
+  os << ",\"levels\":[";
+  for (std::size_t level = 0; level < queue_.NumLevels(); ++level) {
+    if (level > 0) os << ",";
+    std::int64_t outstanding = 0;
+    std::int64_t capacity = 0;
+    for (const core::InstanceLoad& load :
+         queue_.LevelSnapshot(static_cast<RuntimeId>(level))) {
+      outstanding += load.outstanding;
+      capacity += load.max_capacity;
+    }
+    os << "{\"level\":" << level << ",\"instances\":"
+       << queue_.NumInstances(static_cast<RuntimeId>(level))
+       << ",\"outstanding\":" << outstanding << ",\"capacity\":" << capacity
+       << "}";
+  }
+  os << "]}";
 }
 
 }  // namespace arlo::baselines

@@ -43,6 +43,8 @@ class SchemeBase : public sim::Scheme {
   void OnInstanceFailure(InstanceId instance,
                          sim::ClusterOps& cluster) override;
   void OnTick(SimTime now, sim::ClusterOps& cluster) override;
+  /// /statusz: ready instances per runtime, target GPUs, per-level load.
+  void WriteStatusJson(std::ostream& os, SimTime now) const override;
 
  protected:
   SchemeBase(std::shared_ptr<const runtime::RuntimeSet> runtimes,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <ostream>
 
 #include "common/check.h"
 #include "telemetry/sink.h"
@@ -356,6 +357,45 @@ void ArloScheme::OnTick(SimTime now, sim::ClusterOps& cluster) {
   // mismatch, which scaling out more max-length workers cannot.
   MaybeReallocate(now, cluster);
   if (autoscaler_) RunAutoscaler(now, cluster);
+}
+
+void ArloScheme::WriteStatusJson(std::ostream& os, SimTime now) const {
+  os << "{\"name\":\"" << Name() << "\"";
+  os << ",\"allocation\":[";
+  if (!allocation_history_.empty()) {
+    const auto& [when, alloc] = allocation_history_.back();
+    for (std::size_t i = 0; i < alloc.size(); ++i) {
+      if (i > 0) os << ",";
+      os << alloc[i];
+    }
+    os << "],\"last_realloc_s\":" << ToSeconds(when)
+       << ",\"since_realloc_s\":" << ToSeconds(now - when);
+  } else {
+    os << "],\"last_realloc_s\":null,\"since_realloc_s\":null";
+  }
+  os << ",\"target_gpus\":" << target_gpus_
+     << ",\"pending_launches\":" << pending_launches_
+     << ",\"ready_instances\":" << ready_instances_.size();
+  os << ",\"levels\":[";
+  for (std::size_t level = 0; level < queue_.NumLevels(); ++level) {
+    if (level > 0) os << ",";
+    std::int64_t outstanding = 0;
+    std::int64_t capacity = 0;
+    for (const InstanceLoad& load :
+         queue_.LevelSnapshot(static_cast<RuntimeId>(level))) {
+      outstanding += load.outstanding;
+      capacity += load.max_capacity;
+    }
+    os << "{\"level\":" << level << ",\"instances\":"
+       << queue_.NumInstances(static_cast<RuntimeId>(level))
+       << ",\"outstanding\":" << outstanding << ",\"capacity\":" << capacity
+       << "}";
+  }
+  os << "]";
+  os << ",\"dispatch\":{\"total\":" << stats_.total
+     << ",\"demoted\":" << stats_.demoted
+     << ",\"fallbacks\":" << stats_.fallbacks << "}";
+  os << "}";
 }
 
 }  // namespace arlo::core

@@ -86,6 +86,9 @@ class ArloScheme final : public sim::Scheme {
   SimDuration TickInterval() const override {
     return std::min(config_.runtime_scheduler.period, Seconds(5.0));
   }
+  /// /statusz: current allocation vector + time since the last solve,
+  /// per-level queue load, and dispatch-path counters.
+  void WriteStatusJson(std::ostream& os, SimTime now) const override;
 
   /// (time, GPUs per runtime) after every allocation decision — Fig. 12.
   const std::vector<std::pair<SimTime, std::vector<int>>>& AllocationHistory()

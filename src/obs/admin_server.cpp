@@ -1,0 +1,316 @@
+#include "obs/admin_server.h"
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo_monitor.h"
+#include "telemetry/sink.h"
+
+namespace arlo::obs {
+
+struct AdminServer::Impl {
+  struct Conn {
+    net::ScopedFd fd;
+    HttpRequestParser parser;
+    std::string out;
+    std::size_t out_off = 0;
+    bool responding = false;
+  };
+
+  explicit Impl(Options opts) : options(opts) {}
+
+  void Loop();
+  void AcceptNew();
+  void OnReadable(int fd);
+  void FlushConn(int fd);
+  void CloseConn(int fd);
+  HttpResponse Dispatch(const HttpRequest& request);
+
+  Options options;
+  std::map<std::string, Handler> routes;  ///< "METHOD path" -> handler
+  std::set<std::string> known_paths;      ///< for 405 vs 404
+
+  net::ScopedFd listen_fd;
+  std::unique_ptr<net::Poller> poller;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+  bool started = false;
+  std::uint16_t port = 0;
+
+  std::map<int, Conn> conns;
+
+  mutable std::mutex stats_mu;
+  Stats stats;
+};
+
+void AdminServer::Impl::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept(listen_fd.Get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure: keep serving
+    }
+    net::SetNonBlocking(fd);
+    net::SetNoDelay(fd);
+    Conn conn;
+    conn.fd = net::ScopedFd(fd);
+    conns.emplace(fd, std::move(conn));
+    poller->Add(fd, /*want_read=*/true, /*want_write=*/false);
+    std::lock_guard lock(stats_mu);
+    ++stats.connections;
+  }
+}
+
+HttpResponse AdminServer::Impl::Dispatch(const HttpRequest& request) {
+  const auto it = routes.find(request.method + " " + request.path);
+  if (it != routes.end()) {
+    return it->second(request);
+  }
+  HttpResponse response;
+  if (known_paths.count(request.path) > 0) {
+    response.status = 405;
+    response.body = "method not allowed\n";
+  } else {
+    response.status = 404;
+    response.body = "not found\n";
+  }
+  return response;
+}
+
+void AdminServer::Impl::OnReadable(int fd) {
+  const auto it = conns.find(fd);
+  if (it == conns.end()) return;
+  Conn& conn = it->second;
+  if (conn.responding) return;  // ignore extra bytes while flushing
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.parser.Feed(buf, static_cast<std::size_t>(n));
+      if (conn.parser.Complete() || conn.parser.Error()) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(fd);  // peer closed (or hard error) before a full request
+    return;
+  }
+  HttpResponse response;
+  if (conn.parser.Error()) {
+    response.status = 400;
+    response.body = "bad request\n";
+    std::lock_guard lock(stats_mu);
+    ++stats.bad_requests;
+  } else {
+    response = Dispatch(conn.parser.Request());
+    std::lock_guard lock(stats_mu);
+    ++stats.requests;
+  }
+  conn.out = SerializeResponse(response);
+  conn.responding = true;
+  poller->Modify(fd, /*want_read=*/false, /*want_write=*/true);
+  FlushConn(fd);
+}
+
+void AdminServer::Impl::FlushConn(int fd) {
+  const auto it = conns.find(fd);
+  if (it == conns.end()) return;
+  Conn& conn = it->second;
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(fd);
+    return;
+  }
+  CloseConn(fd);  // one response per connection, then close
+}
+
+void AdminServer::Impl::CloseConn(int fd) {
+  const auto it = conns.find(fd);
+  if (it == conns.end()) return;
+  poller->Remove(fd);
+  conns.erase(it);  // ScopedFd closes
+}
+
+void AdminServer::Impl::Loop() {
+  std::vector<net::PollEvent> events;
+  while (!stopping.load(std::memory_order_relaxed)) {
+    poller->Wait(50, events);
+    for (const net::PollEvent& ev : events) {
+      if (ev.fd == listen_fd.Get()) {
+        if (ev.readable) AcceptNew();
+        continue;
+      }
+      if (ev.hangup) {
+        CloseConn(ev.fd);
+        continue;
+      }
+      if (ev.readable) OnReadable(ev.fd);
+      if (ev.writable) FlushConn(ev.fd);
+    }
+  }
+}
+
+AdminServer::AdminServer() : AdminServer(Options()) {}
+
+AdminServer::AdminServer(Options options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Route(const std::string& method, const std::string& path,
+                        Handler handler) {
+  ARLO_CHECK_MSG(!impl_->started, "Route after Start");
+  impl_->routes[method + " " + path] = std::move(handler);
+  impl_->known_paths.insert(path);
+}
+
+void AdminServer::Start() {
+  ARLO_CHECK_MSG(!impl_->started, "Start called twice");
+  impl_->started = true;
+  impl_->listen_fd = net::ListenTcp(impl_->options.port);
+  net::SetNonBlocking(impl_->listen_fd.Get());
+  impl_->port = net::LocalPort(impl_->listen_fd.Get());
+  impl_->poller = std::make_unique<net::Poller>(
+      impl_->options.force_poll ? net::Poller::Backend::kPoll
+                                : net::Poller::DefaultBackend());
+  impl_->poller->Add(impl_->listen_fd.Get(), /*want_read=*/true,
+                     /*want_write=*/false);
+  impl_->thread = std::thread([this] { impl_->Loop(); });
+}
+
+void AdminServer::Stop() {
+  if (!impl_->started || impl_->stopping.load(std::memory_order_relaxed)) {
+    return;
+  }
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  // Tear down on the caller's thread — the loop has exited.
+  for (auto& [fd, conn] : impl_->conns) {
+    (void)conn;
+    impl_->poller->Remove(fd);
+  }
+  impl_->conns.clear();
+  if (impl_->listen_fd.Valid()) {
+    impl_->poller->Remove(impl_->listen_fd.Get());
+    impl_->listen_fd.Reset();
+  }
+}
+
+std::uint16_t AdminServer::Port() const { return impl_->port; }
+
+AdminServer::Stats AdminServer::GetStats() const {
+  std::lock_guard lock(impl_->stats_mu);
+  return impl_->stats;
+}
+
+AdminPlane::AdminPlane(AdminPlaneConfig config)
+    : config_(std::move(config)),
+      server_(AdminServer::Options{config_.port, config_.force_poll}) {
+  telemetry::TelemetrySink* sink = config_.sink;
+  server_.Route("GET", "/", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body =
+        "arlo admin plane\n"
+        "  GET  /metrics     Prometheus exposition\n"
+        "  GET  /healthz     liveness (200/503)\n"
+        "  GET  /statusz     cluster status JSON\n"
+        "  GET  /slo         SLO attainment + burn rates\n"
+        "  POST /debug/dump  flight-recorder Chrome trace\n";
+    return r;
+  });
+  server_.Route("GET", "/metrics", [sink](const HttpRequest&) {
+    HttpResponse r;
+    if (!sink) {
+      r.status = 503;
+      r.body = "no telemetry sink\n";
+      return r;
+    }
+    std::ostringstream os;
+    sink->WritePrometheus(os);
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = os.str();
+    return r;
+  });
+  const auto healthz = config_.healthz;
+  server_.Route("GET", "/healthz", [healthz](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    if (!healthz) {
+      r.body = "{\"ok\":true}\n";
+      return r;
+    }
+    const AdminPlaneConfig::HealthzReport report = healthz();
+    if (!report.ok) r.status = 503;
+    r.body = "{\"ok\":";
+    r.body += report.ok ? "true" : "false";
+    r.body += ",\"detail\":" + report.detail_json + "}\n";
+    return r;
+  });
+  const auto statusz = config_.statusz;
+  server_.Route("GET", "/statusz", [statusz](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    if (!statusz) {
+      r.status = 503;
+      r.body = "{\"error\":\"no status provider\"}\n";
+      return r;
+    }
+    std::ostringstream os;
+    statusz(os);
+    os << "\n";
+    r.body = os.str();
+    return r;
+  });
+  SloMonitor* slo = config_.slo;
+  const auto now_fn = config_.now;
+  server_.Route("GET", "/slo", [slo, now_fn](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    if (!slo) {
+      r.status = 503;
+      r.body = "{\"error\":\"no slo monitor\"}\n";
+      return r;
+    }
+    std::ostringstream os;
+    slo->WriteJson(os, now_fn ? now_fn() : 0);
+    os << "\n";
+    r.body = os.str();
+    return r;
+  });
+  FlightRecorder* flight = config_.flight;
+  server_.Route("POST", "/debug/dump", [flight](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    if (!flight) {
+      r.status = 503;
+      r.body = "{\"error\":\"no flight recorder\"}\n";
+      return r;
+    }
+    std::ostringstream os;
+    flight->WriteJson(os);
+    r.body = os.str();
+    return r;
+  });
+}
+
+}  // namespace arlo::obs

@@ -1,0 +1,30 @@
+#include "obs/dump_trigger.h"
+
+namespace arlo::obs {
+
+void DumpTrigger::Observe(SimTime now) {
+  bool fire = false;
+  {
+    std::lock_guard lock(mu_);
+    events_.push_back(now);
+    while (!events_.empty() && events_.front() < now - config_.window) {
+      events_.pop_front();
+    }
+    if (static_cast<int>(events_.size()) >= config_.threshold &&
+        (last_fire_ == std::numeric_limits<SimTime>::min() ||
+         now - last_fire_ >= config_.cooldown)) {
+      last_fire_ = now;
+      ++storms_;
+      fire = true;
+    }
+  }
+  // Outside the lock: the callback may read trigger state (Storms()).
+  if (fire && config_.on_storm) config_.on_storm();
+}
+
+std::uint64_t DumpTrigger::Storms() const {
+  std::lock_guard lock(mu_);
+  return storms_;
+}
+
+}  // namespace arlo::obs

@@ -1,0 +1,62 @@
+// Storm-triggered dump: watches shed and instance-failure events through
+// the TelemetrySink observer fan-out and fires a callback when `threshold`
+// of them land within `window` — the crash/shed storms where an operator
+// wants the flight recorder's contents preserved *before* the process dies
+// or the interesting history is overwritten.
+//
+// The callback runs on whatever thread recorded the triggering event,
+// potentially holding the dispatch lock: it must be cheap and non-blocking
+// (set an atomic flag; let the main loop do the file I/O — exactly how
+// examples/live_serving wires it).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <mutex>
+
+#include "common/types.h"
+#include "telemetry/sink.h"
+
+namespace arlo::obs {
+
+struct DumpTriggerConfig {
+  /// Sheds + failures within `window` that constitute a storm.
+  int threshold = 20;
+  SimDuration window = Seconds(5.0);
+  /// Minimum spacing between firings (a sustained storm fires once per
+  /// cooldown, not once per event).
+  SimDuration cooldown = Seconds(30.0);
+  /// Fired on storm detection.  Must be cheap and non-blocking.
+  std::function<void()> on_storm;
+};
+
+class DumpTrigger final : public telemetry::TelemetryObserver {
+ public:
+  explicit DumpTrigger(DumpTriggerConfig config)
+      : config_(std::move(config)) {}
+
+  void OnShed(const Request& request, SimTime now) override {
+    (void)request;
+    Observe(now);
+  }
+  void OnInstanceFailure(SimTime now, InstanceId instance) override {
+    (void)instance;
+    Observe(now);
+  }
+
+  /// Count one storm-relevant event at `now` (tests call this directly).
+  void Observe(SimTime now);
+
+  std::uint64_t Storms() const;
+
+ private:
+  DumpTriggerConfig config_;
+  mutable std::mutex mu_;
+  std::deque<SimTime> events_;
+  SimTime last_fire_ = std::numeric_limits<SimTime>::min();
+  std::uint64_t storms_ = 0;
+};
+
+}  // namespace arlo::obs

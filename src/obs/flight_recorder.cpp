@@ -1,0 +1,111 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace arlo::obs {
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(RoundUpPow2(capacity < 2 ? 2 : capacity)),
+      slots_(new Slot[capacity_]) {}
+
+void FlightRecorder::Record(const telemetry::TraceEventView& event) {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & (capacity_ - 1)];
+  // Odd = write in progress.  A lapping writer (ticket + capacity) racing
+  // this one leaves the slot with the later writer's seq; readers verify
+  // the exact expected seq before and after copying, so a mixed payload is
+  // never emitted.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.category.store(event.category, std::memory_order_relaxed);
+  slot.phase.store(event.phase, std::memory_order_relaxed);
+  slot.ts.store(event.ts, std::memory_order_relaxed);
+  slot.dur.store(event.dur, std::memory_order_relaxed);
+  slot.tid.store(event.tid, std::memory_order_relaxed);
+  const int num_args =
+      std::min(event.num_args, telemetry::TraceRecorder::kMaxArgs);
+  slot.num_args.store(num_args, std::memory_order_relaxed);
+  for (int i = 0; i < num_args; ++i) {
+    slot.arg_keys[i].store(event.args[i].key, std::memory_order_relaxed);
+    slot.arg_vals[i].store(event.args[i].value, std::memory_order_relaxed);
+  }
+  // Publish: the release store orders every payload store above before the
+  // even seq becomes visible to an acquire reader.
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+void FlightRecorder::WriteJson(std::ostream& os) const {
+  struct EventCopy {
+    telemetry::TraceEventView view;
+    telemetry::TraceArg args[telemetry::TraceRecorder::kMaxArgs];
+  };
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  std::vector<EventCopy> events;
+  events.reserve(static_cast<std::size_t>(total - first));
+  for (std::uint64_t ticket = first; ticket < total; ++ticket) {
+    const Slot& slot = slots_[ticket & (capacity_ - 1)];
+    if (slot.seq.load(std::memory_order_acquire) != 2 * ticket + 2) continue;
+    EventCopy c;
+    c.view.name = slot.name.load(std::memory_order_relaxed);
+    c.view.category = slot.category.load(std::memory_order_relaxed);
+    c.view.phase = slot.phase.load(std::memory_order_relaxed);
+    c.view.ts = slot.ts.load(std::memory_order_relaxed);
+    c.view.dur = slot.dur.load(std::memory_order_relaxed);
+    c.view.tid = slot.tid.load(std::memory_order_relaxed);
+    c.view.num_args = std::min(slot.num_args.load(std::memory_order_relaxed),
+                               telemetry::TraceRecorder::kMaxArgs);
+    if (c.view.num_args < 0) continue;
+    for (int i = 0; i < c.view.num_args; ++i) {
+      c.args[i].key = slot.arg_keys[i].load(std::memory_order_relaxed);
+      c.args[i].value = slot.arg_vals[i].load(std::memory_order_relaxed);
+    }
+    c.view.args = nullptr;  // re-pointed after the vector stops moving
+    // Validate: an overwrite that started mid-copy bumped seq (odd or a
+    // later ticket) — the acquire re-check rejects the torn copy.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != 2 * ticket + 2) continue;
+    if (c.view.name == nullptr || c.view.category == nullptr) continue;
+    events.push_back(c);
+  }
+  // Tickets are claim order, not timestamp order (threads race between
+  // fetch_add and publish) — sort as TraceRecorder does.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const EventCopy& a, const EventCopy& b) {
+                     return a.view.ts < b.view.ts;
+                   });
+
+  os << "{\"traceEvents\":[";
+  bool first_event = true;
+  for (EventCopy& e : events) {
+    e.view.args = e.args;
+    if (!first_event) os << ",";
+    first_event = false;
+    os << "\n";
+    telemetry::AppendChromeEvent(os, e.view);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"source\":"
+     << "\"flight_recorder\",\"recorded\":" << total
+     << ",\"capacity\":" << capacity_ << "}}\n";
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  WriteJson(os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace arlo::obs

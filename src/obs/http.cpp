@@ -1,0 +1,190 @@
+#include "obs/http.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "net/socket.h"
+
+namespace arlo::obs {
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const char* HttpReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += " ";
+  out += HttpReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void HttpRequestParser::Feed(const char* data, std::size_t n) {
+  if (state_ == State::kComplete || state_ == State::kError) return;
+  buffer_.append(data, n);
+  if (state_ == State::kHeaders) {
+    const std::size_t header_end = buffer_.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) state_ = State::kError;
+      return;
+    }
+    ParseHeaderBlock(header_end);
+    if (state_ == State::kError) return;
+    buffer_.erase(0, header_end + 4);
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody) {
+    if (content_length_ > kMaxBodyBytes) {
+      state_ = State::kError;
+      return;
+    }
+    if (buffer_.size() >= content_length_) {
+      request_.body = buffer_.substr(0, content_length_);
+      buffer_.clear();
+      state_ = State::kComplete;
+    }
+  }
+}
+
+void HttpRequestParser::ParseHeaderBlock(std::size_t header_end) {
+  const std::size_t line_end = buffer_.find("\r\n");
+  const std::string request_line = buffer_.substr(0, line_end);
+  // "METHOD SP request-target SP HTTP/x.y"
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    state_ = State::kError;
+    return;
+  }
+  request_.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t q = target.find('?');
+  if (q != std::string::npos) {
+    request_.query = target.substr(q + 1);
+    target.erase(q);
+  }
+  request_.path = target;
+  if (request_.method.empty() || request_.path.empty() ||
+      request_.path[0] != '/') {
+    state_ = State::kError;
+    return;
+  }
+
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = buffer_.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = buffer_.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      state_ = State::kError;
+      return;
+    }
+    request_.headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  const auto it = request_.headers.find("content-length");
+  if (it != request_.headers.end()) {
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || v < 0) {
+      state_ = State::kError;
+      return;
+    }
+    content_length_ = static_cast<std::size_t>(v);
+  }
+}
+
+HttpResult HttpFetch(std::uint16_t port, const std::string& method,
+                     const std::string& path, const std::string& body) {
+  HttpResult result;
+  net::ScopedFd fd;
+  try {
+    fd = net::ConnectTcp(port);
+  } catch (...) {
+    return result;
+  }
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\nConnection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd.Get(), request.data() + off,
+                             request.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return result;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd.Get(), buf, sizeof(buf), 0);
+    if (n < 0) return result;
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos ||
+      response.compare(0, 5, "HTTP/") != 0) {
+    return result;
+  }
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > header_end) return result;
+  result.status = std::atoi(response.c_str() + sp + 1);
+  // content-type, for the exposition-format assertions in tests.
+  const std::string headers = ToLower(response.substr(0, header_end));
+  const std::size_t ct = headers.find("content-type:");
+  if (ct != std::string::npos) {
+    const std::size_t eol = headers.find("\r\n", ct);
+    result.content_type =
+        Trim(response.substr(ct + 13, eol - (ct + 13)));
+  }
+  result.body = response.substr(header_end + 4);
+  result.ok = result.status > 0;
+  return result;
+}
+
+}  // namespace arlo::obs

@@ -8,6 +8,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <queue>
 #include <thread>
 #include <unordered_map>
@@ -16,6 +17,7 @@
 #include "batch/policy.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "fault/health.h"
 #include "telemetry/sink.h"
 
 namespace arlo::serving {
@@ -58,7 +60,9 @@ bool PreciseWaitUntilOrStopped(Clock::time_point deadline,
 struct LiveTestbed::Impl final : public sim::ClusterOps {
  public:
   Impl(sim::Scheme& scheme, const TestbedConfig& config)
-      : scheme_(scheme), config_(config) {
+      : scheme_(scheme),
+        config_(config),
+        health_(config.resilience.hang_timeout) {
     ARLO_CHECK(config_.time_scale > 0.0);
     if (config_.batch_policy) {
       policy_ = config_.batch_policy;
@@ -70,6 +74,8 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
 
   void Start();
   void Submit(const Request& request, CompletionFn done);
+  TestbedHealth Health();
+  void WriteStatusJson(std::ostream& os);
   void Drain();
   TestbedResult Finish();
   SimDuration EstimatedQueueDelay() const;
@@ -111,7 +117,6 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
     SimTime hung_until = 0;    ///< frozen: completions slide past the window
     SimTime slow_until = 0;    ///< service times scaled until then
     double slow_factor = 1.0;
-    SimTime last_progress = 0; ///< pick/completion times, for hang detection
     RuntimeId runtime = kInvalidRuntime;
     std::shared_ptr<const runtime::CompiledRuntime> rt;
     SimDuration ready_delay = 0;
@@ -156,6 +161,7 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   void ApplyPlanEventLocked(const fault::FaultEvent& event);
   bool KillWorkerLocked(InstanceId id);
   void RunHealthCheckLocked();
+  std::vector<InstanceId> FindHungLocked(SimTime now);
 
   sim::Scheme& scheme_;
   TestbedConfig config_;
@@ -206,6 +212,14 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   std::uint64_t faults_injected_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t requeues_ = 0;
+
+  // Liveness view (fault::HealthTracker) behind its own leaf-ish mutex.
+  // Lock order: dispatch_mu_ -> health_mu_ -> w.mu.  Worker threads update
+  // health only with no w.mu held, so the FindHung scan (which reads
+  // per-worker outstanding under w.mu while holding health_mu_) cannot
+  // invert against them.
+  mutable std::mutex health_mu_;
+  fault::HealthTracker health_;
 
   std::mutex fault_mu_;
   std::condition_variable fault_cv_;
@@ -267,6 +281,10 @@ void LiveTestbed::Impl::FinalizeRetirementLocked(InstanceId id) {
   }
   --live_workers_;
   live_rel_.store(live_workers_, std::memory_order_relaxed);
+  {
+    std::lock_guard h(health_mu_);
+    health_.OnGone(id);
+  }
   if (config_.telemetry) {
     config_.telemetry->RecordInstanceRetired(Now(), id);
     UpdateClusterGaugesLocked();
@@ -359,6 +377,10 @@ bool LiveTestbed::Impl::KillWorkerLocked(InstanceId id) {
   }
   --live_workers_;
   live_rel_.store(live_workers_, std::memory_order_relaxed);
+  {
+    std::lock_guard h(health_mu_);
+    health_.OnGone(id);
+  }
   ++injected_failures_;
   ++faults_injected_;
   if (config_.telemetry) {
@@ -422,21 +444,26 @@ void LiveTestbed::Impl::ApplyPlanEventLocked(const fault::FaultEvent& event) {
   }
 }
 
+std::vector<InstanceId> LiveTestbed::Impl::FindHungLocked(SimTime now) {
+  // dispatch_mu_ held (workers_ indexing).  The tracker decides "held work,
+  // no progress past the timeout"; the callback supplies live outstanding,
+  // reporting 0 for provisioning/retiring/dead workers so only servable
+  // hangs are reaped.
+  std::lock_guard h(health_mu_);
+  return health_.FindHung(now, [this](InstanceId id) {
+    if (id >= workers_.size()) return 0;
+    const Worker& w = *workers_[id];
+    std::lock_guard lk(w.mu);
+    if (!w.ready || w.retiring || w.gone) return 0;
+    return static_cast<int>(w.queue.size()) + w.executing;
+  });
+}
+
 void LiveTestbed::Impl::RunHealthCheckLocked() {
   // dispatch_mu_ held.  Reap workers holding work with no pick/completion
   // for longer than the timeout — exactly the crash path, so recovery
   // (scheme replacement + requeue) is identical.
-  const SimTime now = Now();
-  const SimDuration timeout = config_.resilience.hang_timeout;
-  std::vector<InstanceId> hung;
-  for (InstanceId id = 0; id < workers_.size(); ++id) {
-    const Worker& w = *workers_[id];
-    std::lock_guard lk(w.mu);
-    if (!w.ready || w.retiring || w.gone) continue;
-    const int outstanding = static_cast<int>(w.queue.size()) + w.executing;
-    if (outstanding > 0 && now - w.last_progress > timeout) hung.push_back(id);
-  }
-  for (const InstanceId id : hung) KillWorkerLocked(id);
+  for (const InstanceId id : FindHungLocked(Now())) KillWorkerLocked(id);
 }
 
 void LiveTestbed::Impl::FaultLoop() {
@@ -530,12 +557,13 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
     {
       std::lock_guard lk(w.mu);
       was_retired = w.gone || w.retiring;
-      if (!was_retired) {
-        w.ready = true;
-        w.last_progress = Now();
-      }
+      if (!was_retired) w.ready = true;
     }
     if (was_retired) return;
+    {
+      std::lock_guard h(health_mu_);
+      health_.OnReady(id, Now());
+    }
     scheme_.OnInstanceReady(id, w.runtime);
     RetryBufferedLocked();
   }
@@ -575,7 +603,6 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
           }
           timed_out = d.timed_out;
           w.executing = static_cast<int>(items.size());
-          w.last_progress = Now();
           if (Now() < w.slow_until) slow_factor = w.slow_factor;
           break;
         }
@@ -589,6 +616,12 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
           return w.gone || w.retiring || w.killed || w.queue.size() != depth;
         });
       }
+    }
+    // Progress marks go to the health tracker with no worker lock held
+    // (lock order: health_mu_ is taken before w.mu only by the hang scan).
+    {
+      std::lock_guard h(health_mu_);
+      health_.OnProgress(id, Now());
     }
 
     int max_len = 1;
@@ -703,8 +736,11 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
       {
         std::lock_guard lk(w.mu);
         w.executing = 0;
-        w.last_progress = Now();
         drained = w.retiring && w.queue.empty();
+      }
+      {
+        std::lock_guard h(health_mu_);
+        health_.OnProgress(id, Now());
       }
       if (drained) FinalizeRetirementLocked(id);
       RetryBufferedLocked();
@@ -730,7 +766,12 @@ void LiveTestbed::Impl::SnapshotLoop() {
                                   stopping_)) {
       return;
     }
-    config_.telemetry->Snapshot(Now());
+    // Stamp the scheduled grid time, not the jittery wake time: the sim
+    // engine snapshots at exact multiples of the period on virtual time, so
+    // stamping `next` keeps testbed CSV rows on the same monotonic grid
+    // (one clock convention for the series).  The final row, taken in
+    // Finish(), is stamped Now() — matching the engine's end-of-run row.
+    config_.telemetry->Snapshot(next);
     next += period;
   }
 }
@@ -777,6 +818,67 @@ void LiveTestbed::Impl::Submit(const Request& request, CompletionFn done) {
   ++submitted_;
   if (done) callbacks_.emplace(request.id, std::move(done));
   HandleArrivalLocked(request);
+}
+
+TestbedHealth LiveTestbed::Impl::Health() {
+  std::lock_guard global(dispatch_mu_);
+  TestbedHealth h;
+  h.live_workers = live_workers_;
+  h.outstanding = outstanding_;
+  {
+    std::lock_guard hl(health_mu_);
+    h.tracked = health_.NumTracked();
+  }
+  h.hung = FindHungLocked(Now());
+  h.ok = live_workers_ > 0 && h.hung.empty();
+  return h;
+}
+
+void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
+  std::lock_guard global(dispatch_mu_);
+  const SimTime now = Now();
+  os << "{\"time_s\":" << ToSeconds(now) << ",\"submitted\":" << submitted_
+     << ",\"completed\":" << completed_ << ",\"inflight\":" << outstanding_
+     << ",\"buffered\":" << buffer_.size()
+     << ",\"live_workers\":" << live_workers_
+     << ",\"peak_workers\":" << peak_workers_;
+  os << ",\"batches\":{\"formed\":"
+     << batches_formed_.load(std::memory_order_relaxed) << ",\"timeouts\":"
+     << batch_timeouts_.load(std::memory_order_relaxed) << "}";
+  os << ",\"workers\":[";
+  for (InstanceId id = 0; id < workers_.size(); ++id) {
+    const Worker& w = *workers_[id];
+    int queued;
+    int executing;
+    const char* state;
+    RuntimeId runtime;
+    {
+      std::lock_guard lk(w.mu);
+      queued = static_cast<int>(w.queue.size());
+      executing = w.executing;
+      state = w.gone ? (w.killed ? "killed" : "gone")
+                     : (w.retiring ? "retiring"
+                                   : (w.ready ? "ready" : "provisioning"));
+      runtime = w.runtime;
+    }
+    SimTime last_progress;
+    {
+      std::lock_guard h(health_mu_);
+      last_progress = health_.LastProgress(id);
+    }
+    if (id > 0) os << ",";
+    os << "{\"id\":" << id << ",\"runtime\":"
+       << static_cast<std::int64_t>(runtime) << ",\"state\":\"" << state
+       << "\",\"queued\":" << queued << ",\"executing\":" << executing;
+    if (last_progress >= 0) {
+      os << ",\"idle_s\":" << ToSeconds(now - last_progress);
+    }
+    os << "}";
+  }
+  os << "]";
+  os << ",\"scheme\":";
+  scheme_.WriteStatusJson(os, now);
+  os << "}";
 }
 
 SimDuration LiveTestbed::Impl::EstimatedQueueDelay() const {
@@ -865,6 +967,12 @@ int LiveTestbed::NumWorkers() const { return impl_->LiveWorkersRelaxed(); }
 
 SimDuration LiveTestbed::EstimatedQueueDelay() const {
   return impl_->EstimatedQueueDelay();
+}
+
+TestbedHealth LiveTestbed::Health() { return impl_->Health(); }
+
+void LiveTestbed::WriteStatusJson(std::ostream& os) {
+  impl_->WriteStatusJson(os);
 }
 
 void LiveTestbed::Drain() { impl_->Drain(); }

@@ -15,11 +15,24 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <vector>
 
 #include "serving/testbed.h"
 
 namespace arlo::serving {
+
+/// Liveness view of a running testbed (the /healthz payload): `ok` is false
+/// when a hang scan at query time finds workers holding work with no
+/// progress past the resilience hang timeout, or when no workers are live.
+struct TestbedHealth {
+  bool ok = true;
+  int live_workers = 0;
+  int outstanding = 0;
+  std::size_t tracked = 0;
+  std::vector<InstanceId> hung;
+};
 
 class LiveTestbed {
  public:
@@ -62,6 +75,17 @@ class LiveTestbed {
   /// until the first completion.  This is the estimate the net admission
   /// controller compares against request deadlines for early rejection.
   SimDuration EstimatedQueueDelay() const;
+
+  /// Point-in-time liveness report (admin /healthz).  Runs a hang scan with
+  /// the fault layer's HealthTracker; safe from any thread while running.
+  TestbedHealth Health();
+
+  /// Live cluster state as one JSON object (admin /statusz): per-worker
+  /// queue depth and state, inflight and buffered counts, batch stats, and
+  /// the scheme's own WriteStatusJson section.  Safe from any thread while
+  /// running; takes the dispatch lock, so callers should treat it as a
+  /// monitoring-rate (not hot-path) operation.
+  void WriteStatusJson(std::ostream& os);
 
   /// Blocks until every submitted request has completed.
   void Drain();

@@ -1,8 +1,15 @@
 #include "sim/scheme.h"
 
+#include <ostream>
+
 #include "common/check.h"
 
 namespace arlo::sim {
+
+void Scheme::WriteStatusJson(std::ostream& os, SimTime now) const {
+  (void)now;
+  os << "{\"name\":\"" << Name() << "\"}";
+}
 
 void Scheme::OnInstanceFailure(InstanceId instance, ClusterOps& cluster) {
   (void)instance;

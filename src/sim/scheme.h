@@ -5,6 +5,7 @@
 // each request goes to.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -87,6 +88,14 @@ class Scheme {
   virtual void OnTick(SimTime now, ClusterOps& cluster) { (void)now; (void)cluster; }
 
   virtual SimDuration TickInterval() const { return Seconds(5.0); }
+
+  /// Serializes the scheme's live state as one JSON object (the /statusz
+  /// scheme section): allocation vector, queue depths, dispatch stats —
+  /// whatever the policy tracks.  Called from the admin thread while the
+  /// run holds the dispatch lock, so implementations read their own state
+  /// without extra synchronization but must not call back into `ClusterOps`.
+  /// Default emits just the scheme name.
+  virtual void WriteStatusJson(std::ostream& os, SimTime now) const;
 
   /// Shared telemetry hook: the engine/testbed injects the run's sink before
   /// Setup so every scheme (Arlo and the baselines alike) can record

@@ -9,7 +9,7 @@ namespace arlo::telemetry {
 TelemetrySink::TelemetrySink(TelemetryConfig config)
     : config_(config),
       registry_(config.concurrency),
-      tracer_(config.run_id) {
+      tracer_(config.run_id, config.max_trace_events) {
   serving_.enqueued = registry_.GetCounter(
       "arlo_requests_enqueued_total", "Requests that arrived at the frontend");
   serving_.completed = registry_.GetCounter(
@@ -212,6 +212,11 @@ void TelemetrySink::RecordComplete(const RequestRecord& record) {
                       {"runtime", static_cast<std::int64_t>(record.runtime)},
                       {"stream", record.stream}});
   }
+  for (TelemetryObserver* o : observers_) o->OnComplete(record);
+}
+
+void TelemetrySink::AddObserver(TelemetryObserver* observer) {
+  observers_.push_back(observer);
 }
 
 void TelemetrySink::RecordInstanceLaunch(SimTime now, InstanceId instance,
@@ -240,6 +245,7 @@ void TelemetrySink::RecordInstanceFailure(SimTime now, InstanceId instance) {
   serving_.faults_injected->Add();
   tracer_.Instant("instance_failure", "fault", now,
                   static_cast<std::int64_t>(instance));
+  for (TelemetryObserver* o : observers_) o->OnInstanceFailure(now, instance);
 }
 
 void TelemetrySink::RecordFaultHang(SimTime now, InstanceId instance,
@@ -292,6 +298,7 @@ void TelemetrySink::RecordShed(const Request& request, SimTime now) {
                     {{"id", static_cast<std::int64_t>(request.id)},
                      {"waited_ns", now - request.arrival}});
   }
+  for (TelemetryObserver* o : observers_) o->OnShed(request, now);
 }
 
 void TelemetrySink::RecordNetConnOpened(SimTime now,
@@ -401,6 +408,9 @@ Gauge* TelemetrySink::QueueDepthGauge(RuntimeId level) {
 }
 
 void TelemetrySink::AddQueueDepth(RuntimeId level, std::int64_t delta) {
+  // Records that never reached an instance (sheds, synthetic completions)
+  // carry kInvalidRuntime; there is no per-level gauge to move for them.
+  if (level == kInvalidRuntime) return;
   QueueDepthGauge(level)->Add(delta);
 }
 

@@ -34,6 +34,10 @@ struct TelemetryConfig {
   /// Per-request queue/service spans in the Chrome trace.  Disable for huge
   /// runs where only metrics and control-plane events are wanted.
   bool trace_requests = true;
+  /// Bounds the tracer's in-memory event buffer; once full the oldest event
+  /// is dropped per new event.  0 = unbounded (historical behavior).  See
+  /// docs/OBSERVABILITY.md for choosing a cap on long testbed runs.
+  std::size_t max_trace_events = 0;
 };
 
 /// Stable pointers to the standard serving metrics, pre-registered at sink
@@ -113,9 +117,25 @@ struct SnapshotRow {
   double e2e_p98_ms = 0.0;
 };
 
+/// Receives a fan-out of selected sink events as they are recorded — the
+/// hook the obs SLO monitor and dump triggers ride on.  Callbacks run on
+/// the recording thread with no sink lock held; implementations must be
+/// thread-safe and cheap.
+class TelemetryObserver {
+ public:
+  virtual ~TelemetryObserver() = default;
+  virtual void OnComplete(const RequestRecord& /*record*/) {}
+  virtual void OnShed(const Request& /*request*/, SimTime /*now*/) {}
+  virtual void OnInstanceFailure(SimTime /*now*/, InstanceId /*instance*/) {}
+};
+
 class TelemetrySink {
  public:
   explicit TelemetrySink(TelemetryConfig config = {});
+
+  /// Registers an observer for completion/shed/failure fan-out.  Not
+  /// synchronized with the record path: add observers before the run starts.
+  void AddObserver(TelemetryObserver* observer);
 
   // --- request lifecycle -------------------------------------------------
   void RecordEnqueue(const Request& request, SimTime now);
@@ -223,6 +243,8 @@ class TelemetrySink {
   ServingMetrics serving_;
   NetMetrics net_;
   BatchMetrics batch_;
+
+  std::vector<TelemetryObserver*> observers_;
 
   std::mutex levels_mu_;
   std::vector<Gauge*> queue_depth_;  // index = level

@@ -22,13 +22,52 @@ void AppendMicros(std::ostream& os, std::int64_t ns) {
 
 }  // namespace
 
+void AppendChromeEvent(std::ostream& os, const TraceEventView& event) {
+  os << "{\"name\":\"" << event.name << "\",\"cat\":\"" << event.category
+     << "\",\"ph\":\"" << event.phase << "\",\"ts\":";
+  AppendMicros(os, event.ts);
+  if (event.phase == 'X') {
+    os << ",\"dur\":";
+    AppendMicros(os, event.dur);
+  }
+  if (event.phase == 'i') os << ",\"s\":\"t\"";
+  os << ",\"pid\":0,\"tid\":" << event.tid;
+  if (event.num_args > 0) {
+    os << ",\"args\":{";
+    for (int i = 0; i < event.num_args; ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << event.args[i].key << "\":" << event.args[i].value;
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
 void TraceRecorder::Push(Event event, std::initializer_list<TraceArg> args) {
   ARLO_CHECK(args.size() <= static_cast<std::size_t>(kMaxArgs));
   event.num_args = static_cast<int>(args.size());
   int i = 0;
   for (const TraceArg& a : args) event.args[i++] = a;
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(event);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_events_ > 0 && events_.size() >= max_events_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(event);
+  }
+  if (mirror_ != nullptr) {
+    TraceEventView view;
+    view.name = event.name;
+    view.category = event.category;
+    view.phase = event.phase;
+    view.ts = event.ts;
+    view.dur = event.dur;
+    view.tid = event.tid;
+    view.num_args = event.num_args;
+    view.args = event.args;
+    mirror_->OnTraceEvent(view);
+  }
 }
 
 void TraceRecorder::Complete(const char* name, const char* category,
@@ -61,11 +100,16 @@ std::size_t TraceRecorder::Size() const {
   return events_.size();
 }
 
+std::size_t TraceRecorder::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 void TraceRecorder::WriteJson(std::ostream& os) const {
   std::vector<Event> events;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    events = events_;
+    events.assign(events_.begin(), events_.end());
   }
   // Stable sort: timeline order for viewers, insertion order as tiebreak so
   // simulator runs serialize deterministically.
@@ -77,24 +121,17 @@ void TraceRecorder::WriteJson(std::ostream& os) const {
   for (const Event& e : events) {
     if (!first) os << ",";
     first = false;
-    os << "\n{\"name\":\"" << e.name << "\",\"cat\":\"" << e.category
-       << "\",\"ph\":\"" << e.phase << "\",\"ts\":";
-    AppendMicros(os, e.ts);
-    if (e.phase == 'X') {
-      os << ",\"dur\":";
-      AppendMicros(os, e.dur);
-    }
-    if (e.phase == 'i') os << ",\"s\":\"t\"";
-    os << ",\"pid\":0,\"tid\":" << e.tid;
-    if (e.num_args > 0) {
-      os << ",\"args\":{";
-      for (int i = 0; i < e.num_args; ++i) {
-        if (i > 0) os << ",";
-        os << "\"" << e.args[i].key << "\":" << e.args[i].value;
-      }
-      os << "}";
-    }
-    os << "}";
+    os << "\n";
+    TraceEventView view;
+    view.name = e.name;
+    view.category = e.category;
+    view.phase = e.phase;
+    view.ts = e.ts;
+    view.dur = e.dur;
+    view.tid = e.tid;
+    view.num_args = e.num_args;
+    view.args = e.args;
+    AppendChromeEvent(os, view);
   }
   os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"run_id\":\""
      << run_id_ << "\"}}\n";

@@ -68,6 +68,59 @@ TEST(TelemetryConcurrency, ShardedCounterExactUnderContention) {
   EXPECT_EQ(h->Count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+TEST(TelemetryConcurrency, ScrapeWhileWritingKeepsCountersMonotonic) {
+  // The /metrics path: exposition snapshots taken while worker threads are
+  // mid-Add must parse cleanly and never show a counter going backwards.
+  MetricsRegistry registry(Concurrency::kMultiThreaded);
+  Counter* c = registry.GetCounter("scraped_total", "");
+  LatencyHistogram* h = registry.GetHistogram("scraped_ns", "");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c, h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add(1);
+        h->Record(i);
+      }
+    });
+  }
+  std::uint64_t last_counter = 0;
+  std::uint64_t last_hist_count = 0;
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    std::ostringstream os;
+    WritePrometheusText(registry, os);
+    const std::string out = os.str();
+    // Every sample line is `name[{labels}] value` with a numeric value.
+    std::istringstream lines(out);
+    std::string line;
+    std::uint64_t counter = 0, hist_count = 0;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string value = line.substr(space + 1);
+      if (value != "+Inf") {
+        std::size_t consumed = 0;
+        (void)std::stod(value, &consumed);
+        ASSERT_EQ(consumed, value.size()) << line;
+      }
+      if (line.rfind("scraped_total ", 0) == 0) {
+        counter = std::stoull(value);
+      } else if (line.rfind("scraped_ns_count ", 0) == 0) {
+        hist_count = std::stoull(value);
+      }
+    }
+    EXPECT_GE(counter, last_counter);
+    EXPECT_GE(hist_count, last_hist_count);
+    last_counter = counter;
+    last_hist_count = hist_count;
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->Count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
 TEST(TelemetryConcurrency, GaugeBalancedAddsCancel) {
   MetricsRegistry registry(Concurrency::kMultiThreaded);
   Gauge* g = registry.GetGauge("depth", "");
@@ -316,6 +369,50 @@ TEST(TelemetrySinkTest, TestbedRecordsFromWorkerThreads) {
   std::ostringstream prom;
   sink.WritePrometheus(prom);
   EXPECT_NE(prom.str().find("arlo_e2e_latency_ns_count"), std::string::npos);
+}
+
+TEST(TelemetrySinkTest, TestbedSnapshotRowsLandOnTheGrid) {
+  // The testbed's snapshotter stamps rows with the *scheduled* grid time,
+  // not the jittery wall-clock wake time, so testbed CSV rows line up with
+  // sim rows on the same virtual-time axis.  Every row except the final
+  // flush must sit exactly on a multiple of the snapshot period.
+  trace::TwitterTraceConfig tc;
+  tc.duration_s = 1.0;
+  tc.mean_rate = 150.0;
+  tc.seed = 17;
+  const trace::Trace t = trace::SynthesizeTwitterTrace(tc);
+
+  baselines::ScenarioConfig config;
+  config.gpus = 2;
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand =
+      baselines::DemandFromTrace(t, *runtimes, config.slo);
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+
+  TelemetryConfig cfg;
+  cfg.concurrency = Concurrency::kMultiThreaded;
+  const SimDuration period = Millis(100.0);
+  cfg.snapshot_period = period;
+  TelemetrySink sink(cfg);
+  serving::TestbedConfig tb;
+  tb.telemetry = &sink;
+  (void)serving::RunTestbed(t, *scheme, tb);
+
+  const auto& rows = sink.SnapshotRows();
+  ASSERT_GE(rows.size(), 3u);
+  double prev = -1.0;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    const double time_s = rows[i].time_s;
+    EXPECT_GT(time_s, prev);
+    prev = time_s;
+    // Recover the grid index and demand exact (bitwise) agreement with the
+    // grid point — scheduled time, not measured time.
+    const auto k = static_cast<SimTime>(
+        time_s / ToSeconds(period) + 0.5);
+    EXPECT_EQ(time_s, ToSeconds(k * period))
+        << "row " << i << " off the snapshot grid: " << time_s;
+  }
+  EXPECT_GT(rows.back().time_s, prev);
 }
 
 TEST(TelemetrySinkTest, QueueDepthGaugesDrainToZero) {
