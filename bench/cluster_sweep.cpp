@@ -1,0 +1,317 @@
+// Cluster router scaling sweep (src/cluster).
+//
+// Spawns N real `live_serving --listen` backend processes, fronts them with
+// an in-process cluster::Router, and replays the same per-node offered load
+// through the router — weak scaling, so every node runs at equal
+// utilization and near-linear scaling shows up as throughput growing ~N x
+// at flat p98.  Three row groups:
+//
+//   scaling   nodes 1..4, queue-delay policy, offered = per-node rate x N
+//   policy    nodes 3, one row per routing policy at the same offered load
+//   kill      nodes 3, SIGKILL one backend mid-replay; the router's
+//             connection-death path retries its in-flight requests on the
+//             survivors, so `lost` must stay 0 (zero-loss acceptance)
+//
+// Requests are "lost" only if the client never hears back at all; explicit
+// kRejectNoNode sheds count as rejected, not lost.  The backend binary
+// defaults to ./build/examples/live_serving (repo-root invocation) and is
+// overridable with --backend=PATH for odd build layouts.
+//
+// Output: one CSV block (stdout); --json=PATH writes BENCH_cluster.json.
+#include "bench_util.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "net/client.h"
+
+using namespace arlo;
+
+namespace {
+
+/// A live_serving --listen child process.  Stdout is captured through a
+/// pipe: the listen and admin-plane announcement lines are parsed for the
+/// ephemeral ports, then a drain thread discards the rest so the child
+/// never blocks on a full pipe.
+class BackendProcess {
+ public:
+  ~BackendProcess() { Stop(); }
+
+  bool Spawn(const std::string& binary, int gpus, double speed) {
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid_ == 0) {
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      const std::string gpus_arg = "--gpus=" + std::to_string(gpus);
+      char speed_buf[32];
+      std::snprintf(speed_buf, sizeof(speed_buf), "--speed=%g", speed);
+      ::execl(binary.c_str(), binary.c_str(), "--listen=0", "--admin-port=0",
+              gpus_arg.c_str(), speed_buf, static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    ::close(fds[1]);
+    out_fd_ = fds[0];
+    return ParsePorts();
+  }
+
+  std::uint16_t Port() const { return port_; }
+  std::uint16_t AdminPort() const { return admin_port_; }
+  pid_t Pid() const { return pid_; }
+
+  void Kill(int sig) {
+    if (pid_ > 0) ::kill(pid_, sig);
+  }
+
+  void Stop() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    if (drain_.joinable()) drain_.join();
+    if (out_fd_ >= 0) {
+      ::close(out_fd_);
+      out_fd_ = -1;
+    }
+  }
+
+ private:
+  bool ParsePorts() {
+    std::string buffer;
+    char chunk[256];
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < give_up) {
+      const ssize_t n = ::read(out_fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;  // child died before announcing
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      FindPort(buffer, "listening on 127.0.0.1:", port_);
+      FindPort(buffer, "admin plane on 127.0.0.1:", admin_port_);
+      if (port_ != 0 && admin_port_ != 0) {
+        // Keep draining in the background so later prints never block.
+        const int fd = out_fd_;
+        drain_ = std::thread([fd] {
+          char sink[512];
+          while (::read(fd, sink, sizeof(sink)) > 0) {
+          }
+        });
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static void FindPort(const std::string& buffer, const char* marker,
+                       std::uint16_t& out) {
+    if (out != 0) return;
+    const std::size_t at = buffer.find(marker);
+    if (at == std::string::npos) return;
+    const char* digits = buffer.c_str() + at + std::strlen(marker);
+    const long port = std::strtol(digits, nullptr, 10);
+    if (port > 0 && port <= 65535) out = static_cast<std::uint16_t>(port);
+  }
+
+  pid_t pid_ = -1;
+  int out_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
+  std::thread drain_;
+};
+
+struct Row {
+  std::string cell;
+  int nodes = 0;
+  std::string policy;
+  double offered_rps = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t retries = 0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p98_ms = 0.0;
+  int killed = 0;
+};
+
+double PercentileMs(const std::vector<SimDuration>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return ToMillis(sorted[idx]);
+}
+
+struct CellConfig {
+  std::string cell;
+  int nodes = 1;
+  std::string policy = "queue-delay";
+  bool kill_one = false;
+};
+
+Row RunCell(const CellConfig& cell, const std::string& backend_binary,
+            int gpus, double speed, double per_node_rps, double duration_s,
+            std::uint64_t seed) {
+  std::vector<std::unique_ptr<BackendProcess>> backends;
+  cluster::RouterConfig rc;
+  rc.policy = cell.policy;
+  rc.probe_period = std::chrono::milliseconds(25);
+  rc.seed = seed;
+  for (int i = 0; i < cell.nodes; ++i) {
+    auto backend = std::make_unique<BackendProcess>();
+    if (!backend->Spawn(backend_binary, gpus, speed)) {
+      throw std::runtime_error("failed to spawn backend " + backend_binary);
+    }
+    cluster::NodeEndpoint endpoint;
+    endpoint.name = "bench-" + std::to_string(i);
+    endpoint.port = backend->Port();
+    endpoint.admin_port = backend->AdminPort();
+    rc.nodes.push_back(endpoint);
+    backends.push_back(std::move(backend));
+  }
+
+  cluster::Router router(rc);
+  router.Start();
+  if (router.Pool().NumRoutable() != cell.nodes) {
+    throw std::runtime_error("router failed to join all backends");
+  }
+
+  const double offered = per_node_rps * cell.nodes;
+  const trace::Trace trace =
+      bench::MakeBenchTrace(offered, duration_s, seed, /*bursty=*/false);
+
+  // The kill fires mid-replay in wall-clock terms: ~40% through the
+  // (time-scaled) trace, while the victim still holds in-flight work.
+  std::atomic<bool> kill_done{false};
+  std::thread killer;
+  if (cell.kill_one) {
+    const auto delay = std::chrono::milliseconds(
+        static_cast<long>(duration_s / speed * 0.4 * 1000.0));
+    BackendProcess* victim = backends.front().get();
+    killer = std::thread([victim, delay, &kill_done] {
+      std::this_thread::sleep_for(delay);
+      victim->Kill(SIGKILL);
+      kill_done.store(true);
+    });
+  }
+
+  net::LoadGeneratorConfig lg;
+  lg.port = router.Port();
+  lg.connections = std::max(2, 2 * cell.nodes);
+  lg.time_scale = 1.0 / speed;  // wall/sim ratio; matches backend --speed
+  const net::LoadGeneratorResult result = net::RunLoadGenerator(trace, lg);
+
+  if (killer.joinable()) killer.join();
+  const cluster::Router::Stats stats = router.GetStats();
+  router.Stop();
+  for (auto& backend : backends) backend->Stop();
+
+  Row row;
+  row.cell = cell.cell;
+  row.nodes = cell.nodes;
+  row.policy = cell.policy;
+  row.offered_rps = offered;
+  row.sent = result.sent;
+  row.ok = result.CountByStatus(net::ReplyStatus::kOk);
+  for (const auto& r : result.requests) {
+    if (r.replied && r.status != net::ReplyStatus::kOk) ++row.rejected;
+  }
+  row.lost = result.Lost();
+  row.retries = stats.retries;
+  row.throughput_rps = static_cast<double>(row.ok) / duration_s;
+  const std::vector<SimDuration> ok_latencies =
+      result.LatenciesByStatus(net::ReplyStatus::kOk);
+  row.p50_ms = PercentileMs(ok_latencies, 0.50);
+  row.p98_ms = PercentileMs(ok_latencies, 0.98);
+  row.killed = cell.kill_one ? 1 : 0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --backend is ours; strip it before BenchArgs rejects unknown flags.
+  std::string backend_binary = "./build/examples/live_serving";
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const char* prefix = "--backend=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      backend_binary = argv[i] + std::strlen(prefix);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const bench::BenchArgs args = bench::BenchArgs::Parse(
+      static_cast<int>(passthrough.size()), passthrough.data());
+  if (::access(backend_binary.c_str(), X_OK) != 0) {
+    std::cerr << "backend binary not executable: " << backend_binary
+              << " (pass --backend=PATH)\n";
+    return 2;
+  }
+
+  // 3 ST workers x ~175 req/s each ≈ 525 req/s node capacity; offer ~67%
+  // so p98 stays queueing-stable and equal across node counts.
+  const int gpus = 3;
+  const double speed = 4.0;
+  const double per_node_rps = 350.0;
+  const double duration_s = args.Duration(3.0, 10.0);
+  const int max_nodes = args.paper_scale ? 8 : 4;
+
+  std::vector<CellConfig> cells;
+  for (int n = 1; n <= max_nodes; ++n) {
+    cells.push_back({"scaling", n, "queue-delay", false});
+  }
+  for (const char* policy : {"rr", "least-inflight", "length"}) {
+    cells.push_back({"policy", 3, policy, false});
+  }
+  cells.push_back({"kill", 3, "queue-delay", true});
+
+  std::vector<Row> rows;
+  for (const CellConfig& cell : cells) {
+    std::cerr << "cell " << cell.cell << " nodes=" << cell.nodes
+              << " policy=" << cell.policy << (cell.kill_one ? " +kill" : "")
+              << "...\n";
+    rows.push_back(RunCell(cell, backend_binary, gpus, speed, per_node_rps,
+                           duration_s, args.seed));
+  }
+
+  TablePrinter t("cluster router scaling");
+  t.SetHeader({"cell", "nodes", "policy", "offered_rps", "sent", "ok",
+               "rejected", "lost", "retries", "throughput_rps", "p50_ms",
+               "p98_ms", "killed"});
+  for (const Row& r : rows) {
+    t.AddRow({r.cell, TablePrinter::Int(r.nodes), r.policy,
+              TablePrinter::Num(r.offered_rps),
+              TablePrinter::Int(static_cast<long long>(r.sent)),
+              TablePrinter::Int(static_cast<long long>(r.ok)),
+              TablePrinter::Int(static_cast<long long>(r.rejected)),
+              TablePrinter::Int(static_cast<long long>(r.lost)),
+              TablePrinter::Int(static_cast<long long>(r.retries)),
+              TablePrinter::Num(r.throughput_rps), TablePrinter::Num(r.p50_ms),
+              TablePrinter::Num(r.p98_ms), TablePrinter::Int(r.killed)});
+  }
+  t.PrintCsv(std::cout);
+  args.WriteJson(t);
+  return 0;
+}

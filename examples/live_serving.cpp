@@ -22,7 +22,7 @@
 // flight recorder's recent events to --dump-out as Chrome trace JSON.
 //
 // Run: ./build/examples/live_serving [--seconds=3] [--rate=150] [--speed=1.0]
-//      [--max-batch=1] [--batch-policy=greedy|length|slo]
+//      [--gpus=3] [--max-batch=1] [--batch-policy=greedy|length|slo]
 //      [--fault-plan=plan.txt] [--hang-timeout_s=0]
 //      [--metrics-out=live.prom] [--trace-out=live.trace.json]
 //      [--trace-max-events=0] [--admin-port=0]
@@ -153,6 +153,7 @@ int main(int argc, char** argv) {
   const double rate = flags.GetDouble("rate", 150.0);
   // speed > 1 compresses wall time (2.0 = twice as fast as real time).
   const double speed = flags.GetDouble("speed", 1.0);
+  const int gpus = flags.GetInt("gpus", 3);
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string plan_path = flags.GetString("fault-plan", "");
@@ -216,7 +217,7 @@ int main(int argc, char** argv) {
 
   baselines::ScenarioConfig config;
   config.model = runtime::ModelSpec::BertBase();
-  config.gpus = 3;
+  config.gpus = gpus;
   config.slo = Millis(slo_ms);
   config.period = Seconds(5.0);
 
@@ -325,9 +326,11 @@ int main(int argc, char** argv) {
     sc.telemetry = sink.get();
     net::Server server(backend, sc);
     server.Start();
+    // Flushed eagerly: cluster scripts and bench/cluster_sweep parse this
+    // line from a redirected pipe while the process is still running.
     std::cout << "listening on 127.0.0.1:" << server.Port() << " ("
               << config.gpus << " workers, speed " << speed
-              << "x); Ctrl-C to stop\n";
+              << "x); Ctrl-C to stop" << std::endl;
 
     while (!g_interrupted.load(std::memory_order_relaxed)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));

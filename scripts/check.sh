@@ -2,10 +2,12 @@
 # Tier-1 gate: docs lint, configure, build, run the full test suite, smoke
 # the batching bench (--json output must parse with finite p98), smoke the
 # admin plane (live_serving --admin-port: /metrics, /healthz and /statusz
-# must answer with the expected shapes), then re-run the
-# concurrency-sensitive tests (threaded testbed + batching + net frontend +
-# sharded telemetry + admin plane) under ThreadSanitizer, and the
-# socket/protocol + testbed-batching + admin-plane tests under
+# must answer with the expected shapes), smoke the cluster router (two real
+# backends behind cluster_router, zero loss, both nodes routed) and the
+# cluster scaling bench, then re-run the concurrency-sensitive tests
+# (threaded testbed + batching + net frontend + sharded telemetry + admin
+# plane + cluster router) under ThreadSanitizer, and the socket/protocol +
+# testbed-batching + admin-plane + cluster-policy tests under
 # Address+UBSanitizer.
 #
 #   scripts/check.sh            # full gate
@@ -101,6 +103,90 @@ assert rows[2]["scrapes"] > 0, rows[2]
 print(f"obs bench smoke: {len(rows)} rows, dispatch p98 finite")
 EOF
 
+echo "== cluster smoke (2 backends + cluster_router) =="
+rm -f build/cluster_smoke.node1.out build/cluster_smoke.node2.out \
+  build/cluster_smoke.router.out
+./build/examples/live_serving --listen=0 --admin-port=0 --speed=4 --gpus=2 \
+  > build/cluster_smoke.node1.out 2>&1 &
+node1_pid=$!
+./build/examples/live_serving --listen=0 --admin-port=0 --speed=4 --gpus=2 \
+  > build/cluster_smoke.node2.out 2>&1 &
+node2_pid=$!
+cluster_port() {  # $1=log $2=line prefix
+  sed -n "s/^$2 127\.0\.0\.1:\([0-9]*\).*/\1/p" "$1" | head -1
+}
+wait_port() {  # $1=log $2=line prefix — echoes the port
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(cluster_port "$1" "$2")
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+node1_port=$(wait_port build/cluster_smoke.node1.out "listening on")
+node1_admin=$(wait_port build/cluster_smoke.node1.out "admin plane on")
+node2_port=$(wait_port build/cluster_smoke.node2.out "listening on")
+node2_admin=$(wait_port build/cluster_smoke.node2.out "admin plane on")
+if [[ -z "$node1_port" || -z "$node1_admin" || -z "$node2_port" || \
+      -z "$node2_admin" ]]; then
+  kill "$node1_pid" "$node2_pid" 2>/dev/null || true
+  echo "cluster smoke: backends never announced their ports" >&2
+  exit 1
+fi
+./build/examples/cluster_router \
+  --nodes="${node1_port}:${node1_admin},${node2_port}:${node2_admin}" \
+  --policy=queue-delay > build/cluster_smoke.router.out 2>&1 &
+router_pid=$!
+router_port=$(wait_port build/cluster_smoke.router.out "router listening on")
+router_admin=$(wait_port build/cluster_smoke.router.out "router admin on")
+if [[ -z "$router_port" || -z "$router_admin" ]]; then
+  kill "$router_pid" "$node1_pid" "$node2_pid" 2>/dev/null || true
+  echo "cluster smoke: router never announced its ports" >&2
+  exit 1
+fi
+./build/examples/live_serving --connect="$router_port" --seconds=2 \
+  --rate=200 --speed=4 | tee build/cluster_smoke.load.out
+grep -q "(lost 0)" build/cluster_smoke.load.out || {
+  echo "cluster smoke: load generator reported losses" >&2
+  exit 1
+}
+curl -sf "http://127.0.0.1:${router_admin}/statusz" \
+  > build/cluster_smoke.status
+kill -INT "$router_pid" "$node1_pid" "$node2_pid" 2>/dev/null || true
+wait "$router_pid" "$node1_pid" "$node2_pid" 2>/dev/null || true
+python3 - <<'EOF'
+import json
+status = json.load(open("build/cluster_smoke.status"))
+assert status["healthy"] is True, status
+nodes = status["nodes"]
+assert len(nodes) == 2, nodes
+for n in nodes:
+    assert n["state"] == "healthy", n
+    assert n["routed"] > 0, f"node {n['id']} never routed: {n}"
+assert status["replies"] == status["accepted"] > 0, status
+print(f"cluster smoke: {status['accepted']} requests over "
+      f"{[n['routed'] for n in nodes]} per-node routes, zero loss")
+EOF
+
+echo "== bench smoke (cluster_sweep --json) =="
+./build/bench/cluster_sweep --duration=1 \
+  --json=build/BENCH_cluster_smoke.json >/dev/null
+python3 - <<'EOF'
+import json
+rows = json.load(open("build/BENCH_cluster_smoke.json"))["rows"]
+assert rows, "cluster bench smoke: no rows"
+for r in rows:
+    assert r["lost"] == 0, f"lost requests in cell {r}"
+scaling = {r["nodes"]: r["throughput_rps"] for r in rows
+           if r["cell"] == "scaling"}
+assert scaling[3] >= 2.0 * scaling[1], scaling
+kill = [r for r in rows if r["cell"] == "kill"]
+assert kill and kill[0]["killed"] == 1 and kill[0]["lost"] == 0, kill
+print(f"cluster bench smoke: {len(rows)} cells, zero loss "
+      f"(3-node scaling x{scaling[3] / scaling[1]:.2f})")
+EOF
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer (testbed + telemetry concurrency) =="
   cmake -B build-tsan -S . -DARLO_TSAN=ON >/dev/null
@@ -108,7 +194,7 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TestbedBatching.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*'
+    --gtest_filter='Testbed.*:TestbedBatching.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -116,7 +202,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$(nproc)" --target arlo_tests
   ./build-asan/tests/arlo_tests \
-    --gtest_filter='NetProtocol*:Admission.*:NetLoopback.*:TestbedBatching.*:ObsAdmin*:ObsHttp.*'
+    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*'
 fi
 
 echo "== check.sh: all green =="

@@ -1,0 +1,140 @@
+#include "cluster/policy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace arlo::cluster {
+namespace {
+
+/// The padding cost of placing `length` on `view`: the smallest ready
+/// worker max_length that fits, or INT_MAX when nothing fits (still
+/// routable — the backend buffers or demotes — but only as a last resort).
+int FitCost(std::uint32_t length, const NodeView& view) {
+  int best = std::numeric_limits<int>::max();
+  for (const int max_length : view.worker_max_lengths) {
+    if (static_cast<std::uint32_t>(max_length) >= length &&
+        max_length < best) {
+      best = max_length;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int64_t EffectiveQueueDelay(const NodeView& view) {
+  std::int64_t delay = view.est_queue_delay_ns;
+  const std::int64_t routed_since_probe =
+      static_cast<std::int64_t>(view.inflight) - view.backlog;
+  if (routed_since_probe > 0 && view.service_ewma_ns > 0) {
+    const int workers = std::max(1, view.live_workers);
+    delay += routed_since_probe * (view.service_ewma_ns / workers);
+  }
+  return delay;
+}
+
+int RoundRobinPolicy::Pick(std::uint32_t length,
+                           const std::vector<NodeView>& nodes) {
+  (void)length;
+  if (nodes.empty()) return -1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::size_t at = (next_ + i) % nodes.size();
+    if (nodes[at].routable) {
+      next_ = at + 1;
+      return nodes[at].node;
+    }
+  }
+  return -1;
+}
+
+int LeastInflightPolicy::Pick(std::uint32_t length,
+                              const std::vector<NodeView>& nodes) {
+  (void)length;
+  int best_inflight = std::numeric_limits<int>::max();
+  std::vector<const NodeView*> best;
+  for (const NodeView& view : nodes) {
+    if (!view.routable) continue;
+    if (view.inflight < best_inflight) {
+      best_inflight = view.inflight;
+      best.clear();
+    }
+    if (view.inflight == best_inflight) best.push_back(&view);
+  }
+  if (best.empty()) return -1;
+  return best[tie_++ % best.size()]->node;
+}
+
+int QueueDelayPolicy::Pick(std::uint32_t length,
+                           const std::vector<NodeView>& nodes) {
+  (void)length;
+  std::vector<const NodeView*> best;
+  std::int64_t best_delay = 0;
+  for (const NodeView& view : nodes) {
+    if (!view.routable) continue;
+    const std::int64_t delay = EffectiveQueueDelay(view);
+    if (best.empty()) {
+      best.push_back(&view);
+      best_delay = delay;
+      continue;
+    }
+    const NodeView& incumbent = *best.front();
+    if (delay < best_delay ||
+        (delay == best_delay && view.inflight < incumbent.inflight)) {
+      best.clear();
+      best.push_back(&view);
+      best_delay = delay;
+    } else if (delay == best_delay && view.inflight == incumbent.inflight) {
+      best.push_back(&view);
+    }
+  }
+  if (best.empty()) return -1;
+  return best[tie_++ % best.size()]->node;
+}
+
+int LengthAwarePolicy::Pick(std::uint32_t length,
+                            const std::vector<NodeView>& nodes) {
+  std::vector<const NodeView*> best;
+  int best_fit = 0;
+  std::int64_t best_delay = 0;
+  for (const NodeView& view : nodes) {
+    if (!view.routable) continue;
+    const int fit = FitCost(length, view);
+    const std::int64_t delay = EffectiveQueueDelay(view);
+    if (best.empty()) {
+      best.push_back(&view);
+      best_fit = fit;
+      best_delay = delay;
+      continue;
+    }
+    const NodeView& incumbent = *best.front();
+    if (fit != best_fit) {
+      if (fit < best_fit) {
+        best.clear();
+        best.push_back(&view);
+        best_fit = fit;
+        best_delay = delay;
+      }
+      continue;
+    }
+    if (delay < best_delay ||
+        (delay == best_delay && view.inflight < incumbent.inflight)) {
+      best.clear();
+      best.push_back(&view);
+      best_delay = delay;
+    } else if (delay == best_delay && view.inflight == incumbent.inflight) {
+      best.push_back(&view);
+    }
+  }
+  if (best.empty()) return -1;
+  return best[tie_++ % best.size()]->node;
+}
+
+std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(const std::string& name) {
+  if (name == "rr") return std::make_unique<RoundRobinPolicy>();
+  if (name == "least-inflight") return std::make_unique<LeastInflightPolicy>();
+  if (name == "queue-delay") return std::make_unique<QueueDelayPolicy>();
+  if (name == "length") return std::make_unique<LengthAwarePolicy>();
+  return nullptr;
+}
+
+}  // namespace arlo::cluster

@@ -1,0 +1,111 @@
+// Pluggable routing policies for the router tier: given a request's length
+// and a snapshot of per-node state, pick the backend to forward to.
+//
+// Policies are pure decision logic over NodeView snapshots — no sockets, no
+// locks, no clock — which is what makes them unit-testable with fabricated
+// node states (tests/test_cluster_policy.cpp).  The router serializes calls
+// to Pick, so policies may keep unguarded internal state (e.g. the
+// round-robin cursor).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace arlo::cluster {
+
+/// What a policy is allowed to know about one backend node.  Router-side
+/// fields (inflight) are exact; probe-derived fields (est_queue_delay_ns,
+/// live_workers, backlog, worker_max_lengths) lag by one probe period and
+/// are zero/empty for nodes whose admin probing is disabled.
+struct NodeView {
+  int node = -1;
+  bool routable = false;  ///< healthy and accepting new routes
+  int inflight = 0;       ///< router-side in-flight on this node (exact)
+  std::int64_t est_queue_delay_ns = 0;  ///< backend's own admission estimate
+  int live_workers = 0;
+  std::int64_t backlog = 0;  ///< backend-reported submitted - completed
+  /// Per-request service time EWMA learned router-side from this node's
+  /// replies (simulated ns); 0 until the first reply arrives.
+  std::int64_t service_ewma_ns = 0;
+  /// max_length of each ready worker — the node's length profile.
+  std::vector<int> worker_max_lengths;
+};
+
+/// The probe's est_queue_delay_ns corrected for what the router has routed
+/// to the node *since* that probe.  The raw probe value is one probe period
+/// stale, so comparing it directly herds every request in the window onto
+/// whichever node last reported the lowest delay; pricing the local
+/// inflight delta at the node's learned per-worker service time
+/// (`max(0, inflight - backlog) * service_ewma / live_workers`) keeps the
+/// estimate moving between probes.  Falls back to the raw value while no
+/// service EWMA exists yet.
+std::int64_t EffectiveQueueDelay(const NodeView& view);
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Picks the node id to route a request of `length` tokens to, or -1 when
+  /// no node is routable (the router sheds with kRejectNoNode).  Never
+  /// returns a non-routable node.
+  virtual int Pick(std::uint32_t length, const std::vector<NodeView>& nodes) = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+/// Strict rotation over routable nodes, blind to load.  The fairness
+/// baseline every other policy is compared against.
+class RoundRobinPolicy : public RoutingPolicy {
+ public:
+  int Pick(std::uint32_t length, const std::vector<NodeView>& nodes) override;
+  const char* Name() const override { return "rr"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Fewest router-side in-flight requests; ties rotate so equally loaded
+/// nodes share work instead of the lowest id absorbing every burst.
+class LeastInflightPolicy : public RoutingPolicy {
+ public:
+  int Pick(std::uint32_t length, const std::vector<NodeView>& nodes) override;
+  const char* Name() const override { return "least-inflight"; }
+
+ private:
+  std::size_t tie_ = 0;
+};
+
+/// Smallest backend-estimated queue delay (the EstimatedQueueDelay EWMA the
+/// backend exports on /statusz), falling back to least-inflight between
+/// equal estimates.  Steers around a node whose queue is building even when
+/// router-side inflight counts look balanced.
+class QueueDelayPolicy : public RoutingPolicy {
+ public:
+  int Pick(std::uint32_t length, const std::vector<NodeView>& nodes) override;
+  const char* Name() const override { return "queue-delay"; }
+
+ private:
+  std::size_t tie_ = 0;
+};
+
+/// Length-bucket-aware: prefer the node whose tightest ready-worker
+/// allocation fits the request's length (smallest max_length >= length —
+/// least padding waste).  Nodes where nothing fits stay eligible as a last
+/// resort (the backend buffers or demotes); ties break on queue delay, then
+/// inflight, then rotation.
+class LengthAwarePolicy : public RoutingPolicy {
+ public:
+  int Pick(std::uint32_t length, const std::vector<NodeView>& nodes) override;
+  const char* Name() const override { return "length"; }
+
+ private:
+  std::size_t tie_ = 0;
+};
+
+/// Factory for --policy flags: "rr", "least-inflight", "queue-delay",
+/// "length".  Returns null for unknown names.
+std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(const std::string& name);
+
+}  // namespace arlo::cluster

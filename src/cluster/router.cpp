@@ -1,0 +1,420 @@
+#include "cluster/router.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <stdexcept>
+
+#include "telemetry/sink.h"
+
+namespace arlo::cluster {
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-effort full write; a failure means the client left, which the
+/// reader thread will notice — the reply is simply dropped.
+void SendAll(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config) : config_(std::move(config)) {}
+
+Router::~Router() { Stop(); }
+
+void Router::Start() {
+  policy_ = MakeRoutingPolicy(config_.policy);
+  if (!policy_) {
+    throw std::invalid_argument("unknown routing policy: " + config_.policy);
+  }
+  retry_rng_ = Rng(config_.seed);
+  listen_ = net::ListenTcp(config_.port);
+
+  NodePoolConfig pool_config;
+  pool_config.probe_period = config_.probe_period;
+  pool_config.probe_failures_to_evict = config_.probe_failures_to_evict;
+  pool_config.sink = config_.sink;
+  NodePoolCallbacks callbacks;
+  callbacks.on_reply = [this](int node, const net::Reply& reply) {
+    OnNodeReply(node, reply);
+  };
+  callbacks.on_down = [this](int node) { OnNodeDown(node); };
+  pool_ = std::make_unique<NodePool>(pool_config, std::move(callbacks));
+  for (const NodeEndpoint& endpoint : config_.nodes) pool_->Join(endpoint);
+  pool_->Start();
+
+  retry_thread_ = std::thread([this] { RetryLoop(); });
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  running_.store(true, std::memory_order_release);
+}
+
+void Router::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) return;
+  if (listen_.Valid()) ::shutdown(listen_.Get(), SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      if (conn->fd.Valid()) ::shutdown(conn->fd.Get(), SHUT_RDWR);
+    }
+  }
+  // Readers erase themselves into the zombie list as their sockets die;
+  // joining through the list (which Stop's erase loop below feeds) reaps
+  // every reader exactly once.
+  for (;;) {
+    std::shared_ptr<ClientConn> conn;
+    {
+      std::lock_guard lock(conns_mu_);
+      if (!zombies_.empty()) {
+        conn = std::move(zombies_.back());
+        zombies_.pop_back();
+      } else if (!conns_.empty()) {
+        conn = conns_.begin()->second;
+        conns_.erase(conns_.begin());
+      }
+    }
+    if (!conn) break;
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  pool_->Stop();
+  {
+    std::lock_guard lock(retry_mu_);
+    retry_cv_.notify_all();
+  }
+  if (retry_thread_.joinable()) retry_thread_.join();
+  {
+    std::lock_guard lock(pending_mu_);
+    pending_.clear();  // shutdown drops unresolved requests
+  }
+  listen_.Reset();
+  running_.store(false, std::memory_order_release);
+}
+
+std::uint16_t Router::Port() const { return net::LocalPort(listen_.Get()); }
+
+int Router::JoinNode(const NodeEndpoint& endpoint) {
+  return pool_->Join(endpoint);
+}
+
+bool Router::DrainNode(int node) { return pool_->Drain(node); }
+
+bool Router::Healthy() const { return pool_ && pool_->NumRoutable() > 0; }
+
+const char* Router::PolicyName() const {
+  return policy_ ? policy_->Name() : config_.policy.c_str();
+}
+
+Router::Stats Router::GetStats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.routed = routed_.load(std::memory_order_relaxed);
+  stats.replies = replies_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.no_node = no_node_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Router::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_.Get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down
+    }
+    net::SetNoDelay(fd);
+    auto conn = std::make_shared<ClientConn>();
+    conn->fd = net::ScopedFd(fd);
+    {
+      std::lock_guard lock(conns_mu_);
+      conn->id = next_conn_id_++;
+      conns_[conn->id] = conn;
+      // Reap readers whose clients already left (they are finished or
+      // about to be; join is near-instant).
+      for (auto& zombie : zombies_) {
+        if (zombie->reader.joinable()) zombie->reader.join();
+      }
+      zombies_.clear();
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void Router::ReaderLoop(std::shared_ptr<ClientConn> conn) {
+  net::FrameDecoder decoder;
+  std::uint8_t buf[4096];
+  bool alive = true;
+  while (alive) {
+    const ssize_t n = ::recv(conn->fd.Get(), buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    decoder.Feed(buf, static_cast<std::size_t>(n));
+    net::Frame frame;
+    for (;;) {
+      const auto result = decoder.Next(frame);
+      if (result == net::FrameDecoder::Result::kNeedMore) break;
+      if (result == net::FrameDecoder::Result::kError ||
+          frame.type != net::MsgType::kSubmit) {
+        alive = false;  // protocol error: drop the connection
+        break;
+      }
+      HandleSubmit(conn, frame.submit);
+    }
+  }
+  std::lock_guard lock(conns_mu_);
+  conns_.erase(conn->id);
+  zombies_.push_back(conn);  // Stop/AcceptLoop joins the thread
+}
+
+void Router::HandleSubmit(const std::shared_ptr<ClientConn>& conn,
+                          const net::SubmitRequest& submit) {
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  PendingRoute pending;
+  pending.conn_id = conn->id;
+  pending.client_id = submit.id;
+  pending.client_request_id = submit.request_id;
+  pending.forward = submit;
+  pending.forward.request_id = request_id;
+  pending.node = -1;
+  pending.first_sent_ns = NowNs();
+  {
+    std::lock_guard lock(pending_mu_);
+    pending_[request_id] = pending;
+  }
+  RouteParked(request_id);
+}
+
+int Router::PickNode(std::uint32_t length) {
+  const std::vector<NodeView> views = pool_->Snapshot();
+  std::lock_guard lock(policy_mu_);
+  return policy_->Pick(length, views);
+}
+
+void Router::RouteParked(std::uint64_t request_id) {
+  for (;;) {
+    net::SubmitRequest forward;
+    {
+      std::lock_guard lock(pending_mu_);
+      auto it = pending_.find(request_id);
+      // Gone: a reply resolved it.  node != -1: another path owns it.
+      if (it == pending_.end() || it->second.node != -1) return;
+      forward = it->second.forward;
+    }
+    const int node = PickNode(forward.length);
+    if (node < 0) {
+      PendingRoute pending;
+      {
+        std::lock_guard lock(pending_mu_);
+        auto it = pending_.find(request_id);
+        if (it == pending_.end() || it->second.node != -1) return;
+        pending = std::move(it->second);
+        pending_.erase(it);
+      }
+      ShedNoNode(pending);
+      return;
+    }
+    int attempts = 0;
+    {
+      std::lock_guard lock(pending_mu_);
+      auto it = pending_.find(request_id);
+      if (it == pending_.end() || it->second.node != -1) return;
+      it->second.node = node;
+      attempts = ++it->second.attempts;
+    }
+    if (pool_->Send(node, forward)) {
+      routed_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.sink) config_.sink->RecordClusterRouted(node);
+      return;
+    }
+    // The node died between pick and send.  Send() reported the down
+    // transition synchronously, so OnNodeDown may already have detached
+    // and parked this entry; only the path that detaches it re-handles it.
+    {
+      std::lock_guard lock(pending_mu_);
+      auto it = pending_.find(request_id);
+      if (it == pending_.end() || it->second.node != node) return;
+      it->second.node = -1;
+    }
+    if (attempts >= config_.retry.max_attempts) {
+      PendingRoute pending;
+      {
+        std::lock_guard lock(pending_mu_);
+        auto it = pending_.find(request_id);
+        if (it == pending_.end() || it->second.node != -1) return;
+        pending = std::move(it->second);
+        pending_.erase(it);
+      }
+      ShedNoNode(pending);
+      return;
+    }
+    // Re-pick immediately: the failed node is no longer routable, so the
+    // loop cannot spin on it.
+  }
+}
+
+void Router::OnNodeReply(int node, const net::Reply& reply) {
+  pool_->NoteDone(node, reply.service_ns);
+  PendingRoute pending;
+  {
+    std::lock_guard lock(pending_mu_);
+    auto it = pending_.find(reply.request_id);
+    if (it == pending_.end()) return;  // resolved elsewhere (late reply)
+    pending = std::move(it->second);
+    pending_.erase(it);
+  }
+  replies_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.sink) {
+    config_.sink->RecordClusterReply(node, NowNs() - pending.first_sent_ns);
+  }
+  net::Reply out = reply;
+  out.id = pending.client_id;
+  out.request_id = pending.client_request_id;
+  ReplyToClient(pending.conn_id, out);
+}
+
+void Router::OnNodeDown(int node) {
+  // Detach every pending entry in flight on the dead node under the same
+  // mutex the reply path erases under: whichever runs first owns each
+  // request, so a reply that raced in just before the death still wins and
+  // no request is handled twice.
+  std::vector<std::pair<std::uint64_t, int>> orphaned;  // request_id, attempts
+  {
+    std::lock_guard lock(pending_mu_);
+    for (auto& [request_id, pending] : pending_) {
+      if (pending.node != node) continue;
+      pending.node = -1;
+      orphaned.emplace_back(request_id, pending.attempts);
+    }
+  }
+  for (const auto& [request_id, attempts] : orphaned) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.sink) config_.sink->RecordClusterRetry();
+    ParkForRetry(request_id, attempts);
+  }
+}
+
+void Router::ParkForRetry(std::uint64_t request_id, int attempts) {
+  if (attempts >= config_.retry.max_attempts) {
+    PendingRoute pending;
+    {
+      std::lock_guard lock(pending_mu_);
+      auto it = pending_.find(request_id);
+      if (it == pending_.end() || it->second.node != -1) return;
+      pending = std::move(it->second);
+      pending_.erase(it);
+    }
+    ShedNoNode(pending);
+    return;
+  }
+  std::lock_guard lock(retry_mu_);
+  RetryEntry entry;
+  entry.request_id = request_id;
+  entry.due_ns =
+      NowNs() + config_.retry.BackoffFor(std::max(0, attempts - 1),
+                                         retry_rng_);
+  retry_queue_.push_back(entry);
+  std::push_heap(retry_queue_.begin(), retry_queue_.end(),
+                 [](const RetryEntry& a, const RetryEntry& b) {
+                   return a.due_ns > b.due_ns;
+                 });
+  retry_cv_.notify_all();
+}
+
+void Router::RetryLoop() {
+  const auto later_due = [](const RetryEntry& a, const RetryEntry& b) {
+    return a.due_ns > b.due_ns;
+  };
+  for (;;) {
+    std::uint64_t request_id = 0;
+    {
+      std::unique_lock lock(retry_mu_);
+      for (;;) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        if (retry_queue_.empty()) {
+          retry_cv_.wait(lock);
+          continue;
+        }
+        const std::int64_t due = retry_queue_.front().due_ns;
+        const std::int64_t now = NowNs();
+        if (due <= now) break;
+        retry_cv_.wait_for(lock, std::chrono::nanoseconds(due - now));
+      }
+      std::pop_heap(retry_queue_.begin(), retry_queue_.end(), later_due);
+      request_id = retry_queue_.back().request_id;
+      retry_queue_.pop_back();
+    }
+    RouteParked(request_id);
+  }
+}
+
+void Router::ShedNoNode(const PendingRoute& pending) {
+  no_node_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.sink) config_.sink->RecordClusterNoNode();
+  net::Reply reply;
+  reply.id = pending.client_id;
+  reply.request_id = pending.client_request_id;
+  reply.status = net::ReplyStatus::kRejectNoNode;
+  ReplyToClient(pending.conn_id, reply);
+}
+
+void Router::ReplyToClient(std::uint64_t conn_id, const net::Reply& reply) {
+  std::shared_ptr<ClientConn> conn;
+  {
+    std::lock_guard lock(conns_mu_);
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // client left; reply dropped
+    conn = it->second;
+  }
+  std::vector<std::uint8_t> bytes;
+  EncodeReply(reply, bytes);
+  std::lock_guard write_lock(conn->write_mu);
+  SendAll(conn->fd.Get(), bytes);
+}
+
+void Router::WriteStatusJson(std::ostream& os) const {
+  const Stats stats = GetStats();
+  os << "{\"policy\":\"" << PolicyName() << "\""
+     << ",\"healthy\":" << (Healthy() ? "true" : "false")
+     << ",\"accepted\":" << stats.accepted << ",\"routed\":" << stats.routed
+     << ",\"replies\":" << stats.replies << ",\"retries\":" << stats.retries
+     << ",\"no_node\":" << stats.no_node;
+  std::size_t inflight = 0;
+  {
+    std::lock_guard lock(pending_mu_);
+    inflight = pending_.size();
+  }
+  os << ",\"inflight\":" << inflight;
+  os << ",\"nodes\":[";
+  const std::vector<NodeStatus> nodes = pool_->Status();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeStatus& n = nodes[i];
+    if (i > 0) os << ",";
+    os << "{\"id\":" << n.node << ",\"name\":\"" << n.endpoint.name << "\""
+       << ",\"port\":" << n.endpoint.port
+       << ",\"admin_port\":" << n.endpoint.admin_port << ",\"state\":\""
+       << NodeStateName(n.state) << "\"" << ",\"routed\":" << n.routed
+       << ",\"inflight\":" << n.inflight
+       << ",\"est_queue_delay_ns\":" << n.est_queue_delay_ns
+       << ",\"live_workers\":" << n.live_workers
+       << ",\"probe_failures\":" << n.probe_failures << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace arlo::cluster

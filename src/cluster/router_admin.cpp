@@ -1,0 +1,130 @@
+#include "cluster/router_admin.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "cluster/router.h"
+#include "telemetry/sink.h"
+
+namespace arlo::cluster {
+
+bool QueryInt(const std::string& query, const std::string& key,
+              std::int64_t& out) {
+  std::size_t at = 0;
+  while (at < query.size()) {
+    std::size_t end = query.find('&', at);
+    if (end == std::string::npos) end = query.size();
+    const std::size_t eq = query.find('=', at);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(at, eq - at, key) == 0) {
+      const std::string value = query.substr(eq + 1, end - eq - 1);
+      char* tail = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &tail, 10);
+      if (tail == value.c_str() || *tail != '\0') return false;
+      out = parsed;
+      return true;
+    }
+    at = end + 1;
+  }
+  return false;
+}
+
+std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
+    Router& router, telemetry::TelemetrySink* sink, std::uint16_t port) {
+  obs::AdminServer::Options options;
+  options.port = port;
+  auto server = std::make_unique<obs::AdminServer>(options);
+
+  server->Route("GET", "/", [](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    response.body =
+        "arlo cluster router\n"
+        "  GET  /metrics\n"
+        "  GET  /healthz\n"
+        "  GET  /statusz\n"
+        "  POST /cluster/drain?node=N\n"
+        "  POST /cluster/join?port=P&admin=A\n";
+    return response;
+  });
+
+  server->Route("GET", "/metrics", [sink](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    if (sink == nullptr) {
+      response.status = 503;
+      response.body = "no telemetry sink\n";
+      return response;
+    }
+    std::ostringstream os;
+    sink->WritePrometheus(os);
+    response.body = os.str();
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return response;
+  });
+
+  server->Route("GET", "/healthz", [&router](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    const bool healthy = router.Healthy();
+    response.status = healthy ? 200 : 503;
+    response.content_type = "application/json";
+    response.body = healthy ? "{\"ok\":true}" : "{\"ok\":false}";
+    return response;
+  });
+
+  server->Route("GET", "/statusz", [&router](const obs::HttpRequest&) {
+    obs::HttpResponse response;
+    std::ostringstream os;
+    router.WriteStatusJson(os);
+    response.body = os.str();
+    response.content_type = "application/json";
+    return response;
+  });
+
+  server->Route(
+      "POST", "/cluster/drain", [&router](const obs::HttpRequest& request) {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        std::int64_t node = -1;
+        if (!QueryInt(request.query, "node", node)) {
+          response.status = 400;
+          response.body = "{\"error\":\"missing node=N\"}";
+          return response;
+        }
+        if (!router.DrainNode(static_cast<int>(node))) {
+          response.status = 409;
+          response.body = "{\"error\":\"node not drainable\"}";
+          return response;
+        }
+        response.body = "{\"draining\":" + std::to_string(node) + "}";
+        return response;
+      });
+
+  server->Route(
+      "POST", "/cluster/join", [&router](const obs::HttpRequest& request) {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        std::int64_t port = 0;
+        if (!QueryInt(request.query, "port", port) || port <= 0 ||
+            port > 65535) {
+          response.status = 400;
+          response.body = "{\"error\":\"missing port=P\"}";
+          return response;
+        }
+        std::int64_t admin = 0;
+        QueryInt(request.query, "admin", admin);  // optional
+        NodeEndpoint endpoint;
+        endpoint.port = static_cast<std::uint16_t>(port);
+        endpoint.admin_port = static_cast<std::uint16_t>(admin);
+        const int node = router.JoinNode(endpoint);
+        if (node < 0) {
+          response.status = 409;
+          response.body = "{\"error\":\"join failed\"}";
+          return response;
+        }
+        response.body = "{\"joined\":" + std::to_string(node) + "}";
+        return response;
+      });
+
+  return server;
+}
+
+}  // namespace arlo::cluster

@@ -1,0 +1,37 @@
+// The router's own admin plane: the same obs::AdminServer the backends
+// run, with cluster-specific routes added for live node lifecycle:
+//
+//   GET  /metrics                     Prometheus text (arlo_cluster_*)
+//   GET  /healthz                     200 while >= 1 node is routable
+//   GET  /statusz                     Router::WriteStatusJson
+//   POST /cluster/drain?node=N        graceful drain of node N
+//   POST /cluster/join?port=P&admin=A join (or resurrect) a backend
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/admin_server.h"
+
+namespace arlo::telemetry {
+class TelemetrySink;
+}
+
+namespace arlo::cluster {
+
+class Router;
+
+/// Builds (but does not Start) an AdminServer wired to `router`.  `sink`
+/// may be null, which answers /metrics with 503.  The router must outlive
+/// the returned server.
+std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
+    Router& router, telemetry::TelemetrySink* sink, std::uint16_t port = 0);
+
+/// Extracts an integer query parameter (`key=value`, '&'-separated) from a
+/// raw query string.  Returns false when absent or non-numeric.  Exposed
+/// for tests.
+bool QueryInt(const std::string& query, const std::string& key,
+              std::int64_t& out);
+
+}  // namespace arlo::cluster

@@ -29,9 +29,34 @@ void PreciseWaitUntil(WallClock::time_point deadline,
 
 }  // namespace
 
-ClientConnection::ClientConnection(std::uint16_t port)
-    : fd_(ConnectTcp(port)) {
-  SetNoDelay(fd_.Get());
+ClientConnection::ClientConnection(std::uint16_t port) { Connect(port); }
+
+void ClientConnection::Connect(std::uint16_t port) {
+  // Tear down the old state first: the previous fix-up order (connect, then
+  // replace members on success only) left a failed connect holding the old
+  // dead fd and whatever partial frame its decoder had buffered.
+  Close();
+  ScopedFd fd = ConnectTcp(port);  // throws; fd_ stays invalid on failure
+  SetNoDelay(fd.Get());
+  fd_ = std::move(fd);
+}
+
+bool ClientConnection::TryConnect(std::uint16_t port) {
+  try {
+    Connect(port);
+    return true;
+  } catch (const std::system_error&) {
+    return false;
+  }
+}
+
+void ClientConnection::Close() {
+  fd_.Reset();
+  decoder_.Reset();
+}
+
+void ClientConnection::Shutdown() {
+  if (fd_.Valid()) ::shutdown(fd_.Get(), SHUT_RDWR);
 }
 
 void ClientConnection::Send(const SubmitRequest& request) {

@@ -24,11 +24,37 @@ namespace arlo::net {
 
 /// A blocking client connection.  Send and Receive may be called
 /// concurrently from one sender and one receiver thread (a TCP socket is
-/// full-duplex); neither is safe to share between multiple threads.
+/// full-duplex); neither is safe to share between multiple threads, and
+/// Connect/Close must not race either of them (quiesce first — the router's
+/// NodePool joins its receiver thread before reconnecting).
 class ClientConnection {
  public:
+  /// Disconnected; call Connect (or TryConnect) before Send/Receive.
+  ClientConnection() = default;
+
   /// Connects to 127.0.0.1:`port` (blocking) with TCP_NODELAY.
   explicit ClientConnection(std::uint16_t port);
+
+  /// (Re)connects to 127.0.0.1:`port`.  Idempotent: any previous socket and
+  /// any half-decoded reply bytes are discarded *before* the new connect, so
+  /// a failed connect throws and leaves the object cleanly disconnected —
+  /// never half-initialized with a stale fd or a poisoned decoder — and a
+  /// later Connect can succeed.
+  void Connect(std::uint16_t port);
+
+  /// Connect that reports failure instead of throwing.  On false the
+  /// connection is disconnected and reusable.
+  bool TryConnect(std::uint16_t port);
+
+  bool Connected() const { return fd_.Valid(); }
+
+  /// Closes the socket (if open) and resets decode state.
+  void Close();
+
+  /// shutdown(2) both directions without closing the fd: unblocks a thread
+  /// parked in Receive (it sees EOF) from another thread.  No-op when
+  /// disconnected.
+  void Shutdown();
 
   /// Writes one framed SubmitRequest (handles partial writes).
   void Send(const SubmitRequest& request);

@@ -5,8 +5,8 @@
 namespace arlo::net {
 namespace {
 
-constexpr std::size_t kSubmitPayload = 24;
-constexpr std::size_t kReplyPayload = 25;
+constexpr std::size_t kSubmitPayload = 32;
+constexpr std::size_t kReplyPayload = 33;
 
 void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -44,23 +44,28 @@ const char* ReplyStatusName(ReplyStatus status) {
     case ReplyStatus::kRejectRate: return "reject-rate";
     case ReplyStatus::kShedDeadline: return "shed-deadline";
     case ReplyStatus::kError: return "error";
+    case ReplyStatus::kRejectNoNode: return "reject-no-node";
   }
   return "unknown";
 }
 
 void EncodeSubmit(const SubmitRequest& msg, std::vector<std::uint8_t>& out) {
-  PutU32(out, static_cast<std::uint32_t>(1 + kSubmitPayload));
+  PutU32(out, static_cast<std::uint32_t>(2 + kSubmitPayload));
+  out.push_back(kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(MsgType::kSubmit));
   PutU64(out, msg.id);
+  PutU64(out, msg.request_id);
   PutU32(out, msg.model);
   PutU32(out, msg.length);
   PutU64(out, static_cast<std::uint64_t>(msg.deadline_ns));
 }
 
 void EncodeReply(const Reply& msg, std::vector<std::uint8_t>& out) {
-  PutU32(out, static_cast<std::uint32_t>(1 + kReplyPayload));
+  PutU32(out, static_cast<std::uint32_t>(2 + kReplyPayload));
+  out.push_back(kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(MsgType::kReply));
   PutU64(out, msg.id);
+  PutU64(out, msg.request_id);
   out.push_back(static_cast<std::uint8_t>(msg.status));
   PutU64(out, static_cast<std::uint64_t>(msg.queue_ns));
   PutU64(out, static_cast<std::uint64_t>(msg.service_ns));
@@ -77,20 +82,33 @@ void FrameDecoder::Feed(const std::uint8_t* data, std::size_t n) {
   buffer_.insert(buffer_.end(), data, data + n);
 }
 
+void FrameDecoder::Reset() {
+  buffer_.clear();
+  consumed_ = 0;
+  error_.clear();
+}
+
 FrameDecoder::Result FrameDecoder::Next(Frame& out) {
   if (!error_.empty()) return Result::kError;
   const std::size_t avail = buffer_.size() - consumed_;
   if (avail < 4) return Result::kNeedMore;
   const std::uint8_t* p = buffer_.data() + consumed_;
   const std::uint32_t frame_len = GetU32(p);
-  if (frame_len < 1 || frame_len > kMaxFrameBytes) {
+  if (frame_len < 2 || frame_len > kMaxFrameBytes) {
     error_ = "bad frame length " + std::to_string(frame_len);
     return Result::kError;
   }
   if (avail < 4 + frame_len) return Result::kNeedMore;
-  const std::uint8_t type = p[4];
-  const std::uint8_t* payload = p + 5;
-  const std::size_t payload_len = frame_len - 1;
+  const std::uint8_t version = p[4];
+  if (version != kProtocolVersion) {
+    // A v1 frame puts its msg_type byte here (1 or 2); neither matches, so
+    // old-format peers die immediately instead of being misparsed.
+    error_ = "unsupported protocol version " + std::to_string(version);
+    return Result::kError;
+  }
+  const std::uint8_t type = p[5];
+  const std::uint8_t* payload = p + 6;
+  const std::size_t payload_len = frame_len - 2;
   switch (static_cast<MsgType>(type)) {
     case MsgType::kSubmit: {
       if (payload_len != kSubmitPayload) {
@@ -99,9 +117,10 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
       }
       out.type = MsgType::kSubmit;
       out.submit.id = GetU64(payload);
-      out.submit.model = GetU32(payload + 8);
-      out.submit.length = GetU32(payload + 12);
-      out.submit.deadline_ns = static_cast<std::int64_t>(GetU64(payload + 16));
+      out.submit.request_id = GetU64(payload + 8);
+      out.submit.model = GetU32(payload + 16);
+      out.submit.length = GetU32(payload + 20);
+      out.submit.deadline_ns = static_cast<std::int64_t>(GetU64(payload + 24));
       break;
     }
     case MsgType::kReply: {
@@ -111,13 +130,14 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
       }
       out.type = MsgType::kReply;
       out.reply.id = GetU64(payload);
-      out.reply.status = static_cast<ReplyStatus>(payload[8]);
-      if (payload[8] > static_cast<std::uint8_t>(ReplyStatus::kError)) {
-        error_ = "unknown reply status " + std::to_string(payload[8]);
+      out.reply.request_id = GetU64(payload + 8);
+      out.reply.status = static_cast<ReplyStatus>(payload[16]);
+      if (payload[16] > static_cast<std::uint8_t>(ReplyStatus::kRejectNoNode)) {
+        error_ = "unknown reply status " + std::to_string(payload[16]);
         return Result::kError;
       }
-      out.reply.queue_ns = static_cast<std::int64_t>(GetU64(payload + 9));
-      out.reply.service_ns = static_cast<std::int64_t>(GetU64(payload + 17));
+      out.reply.queue_ns = static_cast<std::int64_t>(GetU64(payload + 17));
+      out.reply.service_ns = static_cast<std::int64_t>(GetU64(payload + 25));
       break;
     }
     default:

@@ -5,21 +5,34 @@
 // serialized byte-by-byte, never memcpy'd from structs, so the format is
 // identical across compilers and architectures):
 //
-//   [u32 frame_len][u8 msg_type][payload ...]
+//   [u32 frame_len][u8 version][u8 msg_type][payload ...]
 //
-// frame_len counts the type byte plus the payload.  Payloads are fixed-size
-// per message type; a frame whose length disagrees with its type, exceeds
+// frame_len counts the version byte, the type byte, and the payload.
+// Payloads are fixed-size per message type; a frame whose version is not
+// kProtocolVersion, whose length disagrees with its type, exceeds
 // kMaxFrameBytes, or carries an unknown type is a protocol error and the
 // connection is dropped (the decoder is strict: garbage never resyncs).
 //
-// SubmitRequest (client -> server, 24-byte payload):
+// Version history:
+//   v1  [u32 frame_len][u8 msg_type][payload] — no version byte, no
+//       request_id.  v1 frames fed to this decoder die with a sticky error
+//       (their type byte lands where the version byte now lives), which is
+//       the intended behavior: mixed-version peers must not limp along.
+//   v2  adds the version byte and a u64 request_id to both messages so a
+//       router tier can correlate out-of-order replies across multiplexed
+//       backend connections without rewriting client-chosen ids.
+//
+// SubmitRequest (client -> server, 32-byte payload):
 //   u64 id          client-chosen, echoed in the reply (unique per conn)
+//   u64 request_id  correlation token, echoed verbatim in the reply; 0 for
+//                   direct clients, router-assigned for proxied requests
 //   u32 model       model hint (single-model testbeds ignore it)
 //   u32 length      input token count — the scheduling-relevant field
 //   i64 deadline_ns relative latency budget; 0 = no deadline
 //
-// Reply (server -> client, 25-byte payload):
+// Reply (server -> client, 33-byte payload):
 //   u64 id          echo of the submit id
+//   u64 request_id  echo of the submit request_id
 //   u8  status      ReplyStatus below
 //   i64 queue_ns    simulated queueing delay (kOk only, else 0)
 //   i64 service_ns  simulated service time   (kOk only, else 0)
@@ -31,6 +44,9 @@
 #include <vector>
 
 namespace arlo::net {
+
+/// Wire format version stamped into every frame header.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 enum class MsgType : std::uint8_t {
   kSubmit = 1,
@@ -46,12 +62,14 @@ enum class ReplyStatus : std::uint8_t {
   kRejectRate = 3,       ///< admission: token bucket empty
   kShedDeadline = 4,     ///< admission: estimated delay exceeds the deadline
   kError = 5,            ///< server-side failure (should not happen)
+  kRejectNoNode = 6,     ///< router: no routable backend node (explicit shed)
 };
 
 const char* ReplyStatusName(ReplyStatus status);
 
 struct SubmitRequest {
   std::uint64_t id = 0;
+  std::uint64_t request_id = 0;
   std::uint32_t model = 0;
   std::uint32_t length = 0;
   std::int64_t deadline_ns = 0;
@@ -61,6 +79,7 @@ struct SubmitRequest {
 
 struct Reply {
   std::uint64_t id = 0;
+  std::uint64_t request_id = 0;
   ReplyStatus status = ReplyStatus::kOk;
   std::int64_t queue_ns = 0;
   std::int64_t service_ns = 0;
@@ -69,12 +88,12 @@ struct Reply {
 };
 
 /// Hard cap on frame_len; anything larger is garbage by definition (real
-/// frames are 25 and 26 bytes).
+/// frames are 34 and 35 bytes).
 inline constexpr std::size_t kMaxFrameBytes = 256;
 
 /// Serialized frame sizes including the 4-byte length prefix.
-inline constexpr std::size_t kSubmitFrameBytes = 4 + 1 + 24;
-inline constexpr std::size_t kReplyFrameBytes = 4 + 1 + 25;
+inline constexpr std::size_t kSubmitFrameBytes = 4 + 2 + 32;
+inline constexpr std::size_t kReplyFrameBytes = 4 + 2 + 33;
 
 /// Append one framed message to `out`.
 void EncodeSubmit(const SubmitRequest& msg, std::vector<std::uint8_t>& out);
@@ -100,6 +119,11 @@ class FrameDecoder {
 
   void Feed(const std::uint8_t* data, std::size_t n);
   Result Next(Frame& out);
+
+  /// Drops all buffered bytes and clears a sticky error — for reuse of the
+  /// decoder across reconnects of the owning connection.  Never call it to
+  /// "resync" a live connection: a protocol error still means close.
+  void Reset();
 
   const std::string& Error() const { return error_; }
   /// Bytes buffered but not yet consumed as frames.

@@ -67,6 +67,7 @@ struct Server::Impl {
     std::uint64_t conn_id = 0;
     int conn_fd = -1;
     std::uint64_t wire_id = 0;
+    std::uint64_t wire_request_id = 0;  ///< echoed verbatim (router token)
     WallClock::time_point recv_wall;
   };
   std::unordered_map<RequestId, Pending> pending_;
@@ -90,7 +91,7 @@ struct Server::Impl {
   bool FlushConn(Conn& conn);  ///< false: connection died and was closed
   void CloseConn(int fd);
   void HandleSubmit(Conn& conn, const SubmitRequest& submit);
-  void SendReject(Conn& conn, std::uint64_t wire_id, ReplyStatus status);
+  void SendReject(Conn& conn, const SubmitRequest& submit, ReplyStatus status);
   void DrainCompletions();
 
   template <typename Fn>
@@ -271,6 +272,7 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
       pending.conn_id = conn.id;
       pending.conn_fd = conn.fd.Get();
       pending.wire_id = submit.id;
+      pending.wire_request_id = submit.request_id;
       pending.recv_wall = WallClock::now();
       pending_.emplace(request.id, pending);
       if (!submit_queue_.TryPush(request)) {
@@ -282,7 +284,7 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
           config_.telemetry->RecordNetRejected(request, now,
                                                "queue-full");
         }
-        SendReject(conn, submit.id, ReplyStatus::kRejectQueueFull);
+        SendReject(conn, submit, ReplyStatus::kRejectQueueFull);
         return;
       }
       WithStats([](ServerStats& s) { ++s.accepted; });
@@ -294,14 +296,14 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
       if (config_.telemetry) {
         config_.telemetry->RecordNetRejected(request, now, "rate");
       }
-      SendReject(conn, submit.id, ReplyStatus::kRejectRate);
+      SendReject(conn, submit, ReplyStatus::kRejectRate);
       return;
     case AdmissionDecision::kRejectInflight:
       WithStats([](ServerStats& s) { ++s.rejected_inflight; });
       if (config_.telemetry) {
         config_.telemetry->RecordNetRejected(request, now, "inflight");
       }
-      SendReject(conn, submit.id, ReplyStatus::kRejectInflight);
+      SendReject(conn, submit, ReplyStatus::kRejectInflight);
       return;
     case AdmissionDecision::kShedDeadline:
       // The deadline shed integrates the fault-layer shed path: same
@@ -311,15 +313,16 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
         config_.telemetry->RecordNetRejected(request, now, "deadline");
         config_.telemetry->RecordShed(request, now);
       }
-      SendReject(conn, submit.id, ReplyStatus::kShedDeadline);
+      SendReject(conn, submit, ReplyStatus::kShedDeadline);
       return;
   }
 }
 
-void Server::Impl::SendReject(Conn& conn, std::uint64_t wire_id,
+void Server::Impl::SendReject(Conn& conn, const SubmitRequest& submit,
                               ReplyStatus status) {
   Reply reply;
-  reply.id = wire_id;
+  reply.id = submit.id;
+  reply.request_id = submit.request_id;
   reply.status = status;
   EncodeReply(reply, conn.out);
   WithStats([](ServerStats& s) { ++s.replies_sent; });
@@ -392,6 +395,7 @@ void Server::Impl::DrainCompletions() {
     Conn& conn = *cit->second;
     Reply reply;
     reply.id = pending.wire_id;
+    reply.request_id = pending.wire_request_id;
     reply.status = ReplyStatus::kOk;
     reply.queue_ns = record.QueueingDelay();
     reply.service_ns = record.ServiceTime();

@@ -1,0 +1,91 @@
+#include "obs/probe.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "obs/http.h"
+
+namespace arlo::obs {
+namespace {
+
+/// Position just past `"key":` in `json` starting at `from`, or npos.
+std::size_t FindValueStart(const std::string& json, const std::string& key,
+                           std::size_t from) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return std::string::npos;
+  return at + needle.size();
+}
+
+bool ParseNumberAt(const std::string& json, std::size_t at, double& out) {
+  if (at >= json.size()) return false;
+  const char* start = json.c_str() + at;
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return false;
+  out = value;
+  return true;
+}
+
+std::int64_t FindInt(const std::string& json, const std::string& key,
+                     std::int64_t fallback = 0) {
+  double value = 0.0;
+  if (!JsonFindNumber(json, key, value)) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+}  // namespace
+
+bool JsonFindNumber(const std::string& json, const std::string& key,
+                    double& out) {
+  const std::size_t at = FindValueStart(json, key, 0);
+  if (at == std::string::npos) return false;
+  return ParseNumberAt(json, at, out);
+}
+
+void ParseStatusz(const std::string& body, NodeProbe& out) {
+  JsonFindNumber(body, "time_s", out.time_s);
+  out.submitted = FindInt(body, "submitted");
+  out.completed = FindInt(body, "completed");
+  out.inflight = FindInt(body, "inflight");
+  out.buffered = FindInt(body, "buffered");
+  out.live_workers = static_cast<int>(FindInt(body, "live_workers"));
+  out.est_queue_delay_ns = FindInt(body, "est_queue_delay_ns");
+
+  // Walk the workers array: each row is a flat object with "state" and
+  // "max_length"; collect max_length for rows whose state is "ready".
+  out.ready_worker_max_lengths.clear();
+  std::size_t at = body.find("\"workers\":[");
+  if (at == std::string::npos) return;
+  at += std::string("\"workers\":[").size();
+  const std::size_t array_end = body.find(']', at);
+  if (array_end == std::string::npos) return;
+  while (at < array_end) {
+    const std::size_t obj_start = body.find('{', at);
+    if (obj_start == std::string::npos || obj_start > array_end) break;
+    std::size_t obj_end = body.find('}', obj_start);
+    if (obj_end == std::string::npos || obj_end > array_end) break;
+    const std::string row = body.substr(obj_start, obj_end - obj_start + 1);
+    if (row.find("\"state\":\"ready\"") != std::string::npos) {
+      double max_length = 0.0;
+      if (JsonFindNumber(row, "max_length", max_length)) {
+        out.ready_worker_max_lengths.push_back(static_cast<int>(max_length));
+      }
+    }
+    at = obj_end + 1;
+  }
+}
+
+NodeProbe ProbeAdminEndpoint(std::uint16_t admin_port) {
+  NodeProbe probe;
+  const HttpResult health = HttpFetch(admin_port, "GET", "/healthz");
+  if (!health.ok) return probe;
+  const HttpResult status = HttpFetch(admin_port, "GET", "/statusz");
+  if (!status.ok) return probe;
+  probe.reachable = true;
+  probe.healthy = health.status == 200;
+  if (status.status == 200) ParseStatusz(status.body, probe);
+  return probe;
+}
+
+}  // namespace arlo::obs

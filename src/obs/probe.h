@@ -1,0 +1,47 @@
+// Admin-plane probe client: one blocking HTTP round to a node's /healthz
+// and /statusz, condensed into the few numbers a router tier needs to make
+// routing decisions.  Field extraction is a purpose-built scanner over the
+// JSON shapes this repo itself emits (LiveTestbed::WriteStatusJson, the
+// AdminPlane healthz report) — not a general JSON parser, and documented as
+// such so nobody points it at foreign input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arlo::obs {
+
+/// One probe of a backend node's admin endpoint.
+struct NodeProbe {
+  bool reachable = false;  ///< both HTTP fetches completed
+  bool healthy = false;    ///< /healthz answered 200
+
+  // From /statusz (valid when reachable):
+  double time_s = 0.0;
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t inflight = 0;
+  std::int64_t buffered = 0;
+  int live_workers = 0;
+  std::int64_t est_queue_delay_ns = 0;
+  /// max_length of each worker currently in the "ready" state — the node's
+  /// length profile, which the length-aware routing policy fits requests to.
+  std::vector<int> ready_worker_max_lengths;
+};
+
+/// Probes 127.0.0.1:`admin_port` (GET /healthz then GET /statusz).  Never
+/// throws: unreachable or unparsable endpoints come back reachable=false.
+NodeProbe ProbeAdminEndpoint(std::uint16_t admin_port);
+
+/// Extracts the number following `"key":` at top level or any nesting depth
+/// (first occurrence wins).  Returns false when the key is absent or not
+/// followed by a number.  Exposed for tests.
+bool JsonFindNumber(const std::string& json, const std::string& key,
+                    double& out);
+
+/// Parses a NodeProbe's /statusz fields out of a statusz JSON body.
+/// Exposed for tests; ProbeAdminEndpoint composes it with the HTTP fetch.
+void ParseStatusz(const std::string& body, NodeProbe& out);
+
+}  // namespace arlo::obs

@@ -841,7 +841,10 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
      << ",\"completed\":" << completed_ << ",\"inflight\":" << outstanding_
      << ",\"buffered\":" << buffer_.size()
      << ",\"live_workers\":" << live_workers_
-     << ",\"peak_workers\":" << peak_workers_;
+     << ",\"peak_workers\":" << peak_workers_
+     // The admission estimate, exported so a router tier can steer on
+     // backend queue pressure without a second estimator.
+     << ",\"est_queue_delay_ns\":" << EstimatedQueueDelay();
   os << ",\"batches\":{\"formed\":"
      << batches_formed_.load(std::memory_order_relaxed) << ",\"timeouts\":"
      << batch_timeouts_.load(std::memory_order_relaxed) << "}";
@@ -852,6 +855,7 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
     int executing;
     const char* state;
     RuntimeId runtime;
+    int max_length;
     {
       std::lock_guard lk(w.mu);
       queued = static_cast<int>(w.queue.size());
@@ -860,6 +864,7 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
                      : (w.retiring ? "retiring"
                                    : (w.ready ? "ready" : "provisioning"));
       runtime = w.runtime;
+      max_length = w.rt ? w.rt->MaxLength() : 0;
     }
     SimTime last_progress;
     {
@@ -869,7 +874,8 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
     if (id > 0) os << ",";
     os << "{\"id\":" << id << ",\"runtime\":"
        << static_cast<std::int64_t>(runtime) << ",\"state\":\"" << state
-       << "\",\"queued\":" << queued << ",\"executing\":" << executing;
+       << "\",\"max_length\":" << max_length << ",\"queued\":" << queued
+       << ",\"executing\":" << executing;
     if (last_progress >= 0) {
       os << ",\"idle_s\":" << ToSeconds(now - last_progress);
     }

@@ -109,6 +109,34 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
       "arlo_batch_size", "Requests per launched batch");
   batch_.batch_wait_ns = registry_.GetHistogram(
       "arlo_batch_wait_ns", "Oldest member's queue wait at batch launch");
+  cluster_.routed = registry_.GetCounter(
+      "arlo_cluster_routed_total",
+      "SubmitRequests forwarded to a backend node by the router");
+  cluster_.replies = registry_.GetCounter(
+      "arlo_cluster_replies_total", "Backend replies relayed to clients");
+  cluster_.retries = registry_.GetCounter(
+      "arlo_cluster_retries_total",
+      "In-flight requests re-routed after their node died");
+  cluster_.no_node = registry_.GetCounter(
+      "arlo_cluster_no_node_total",
+      "Requests explicitly shed because no backend node was routable");
+  cluster_.evictions = registry_.GetCounter(
+      "arlo_cluster_evictions_total", "Nodes evicted on probe failure");
+  cluster_.joins = registry_.GetCounter(
+      "arlo_cluster_joins_total", "Nodes joined into the pool");
+  cluster_.drains = registry_.GetCounter(
+      "arlo_cluster_drains_total", "Graceful node drains initiated");
+  cluster_.probe_failures = registry_.GetCounter(
+      "arlo_cluster_probe_failures_total",
+      "Individual failed admin-plane probes (N consecutive evict a node)");
+  cluster_.nodes_routable = registry_.GetGauge(
+      "arlo_cluster_nodes_routable", "Backend nodes accepting new routes");
+  cluster_.inflight = registry_.GetGauge(
+      "arlo_cluster_inflight",
+      "Router-side in-flight requests across all nodes");
+  cluster_.route_latency_ns = registry_.GetHistogram(
+      "arlo_cluster_route_latency_ns",
+      "Submit forwarded to final reply, as seen by the router");
 }
 
 void TelemetrySink::RecordBatchFormed(SimTime now, InstanceId instance,
@@ -394,6 +422,73 @@ void TelemetrySink::SetClusterGauges(std::int64_t instances,
   serving_.instances->Set(instances);
   serving_.outstanding->Set(outstanding);
   serving_.buffer_depth->Set(buffer_depth);
+}
+
+Counter* TelemetrySink::NodeRoutedCounter(int node) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  const auto index = static_cast<std::size_t>(node);
+  if (node_routed_.size() <= index) node_routed_.resize(index + 1, nullptr);
+  if (node_routed_[index] == nullptr) {
+    node_routed_[index] = registry_.GetCounter(
+        "arlo_cluster_node_routed_total{node=\"" + std::to_string(node) +
+            "\"}",
+        "SubmitRequests routed to one backend node");
+  }
+  return node_routed_[index];
+}
+
+LatencyHistogram* TelemetrySink::NodeRouteLatency(int node) {
+  std::lock_guard<std::mutex> lock(nodes_mu_);
+  const auto index = static_cast<std::size_t>(node);
+  if (node_route_.size() <= index) node_route_.resize(index + 1, nullptr);
+  if (node_route_[index] == nullptr) {
+    node_route_[index] = registry_.GetHistogram(
+        "arlo_cluster_node_route_latency_ns{node=\"" + std::to_string(node) +
+            "\"}",
+        "Per-node submit-to-reply latency as seen by the router");
+  }
+  return node_route_[index];
+}
+
+void TelemetrySink::RecordClusterRouted(int node) {
+  cluster_.routed->Add();
+  if (node >= 0) NodeRoutedCounter(node)->Add();
+}
+
+void TelemetrySink::RecordClusterReply(int node, std::int64_t wall_ns) {
+  cluster_.replies->Add();
+  cluster_.route_latency_ns->Record(wall_ns);
+  if (node >= 0) NodeRouteLatency(node)->Record(wall_ns);
+}
+
+void TelemetrySink::RecordClusterRetry() { cluster_.retries->Add(); }
+
+void TelemetrySink::RecordClusterNoNode() { cluster_.no_node->Add(); }
+
+void TelemetrySink::RecordClusterEviction(int node) {
+  (void)node;
+  cluster_.evictions->Add();
+}
+
+void TelemetrySink::RecordClusterJoin(int node) {
+  (void)node;
+  cluster_.joins->Add();
+}
+
+void TelemetrySink::RecordClusterDrain(int node) {
+  (void)node;
+  cluster_.drains->Add();
+}
+
+void TelemetrySink::RecordClusterProbeFailure(int node) {
+  (void)node;
+  cluster_.probe_failures->Add();
+}
+
+void TelemetrySink::SetClusterNodeGauges(std::int64_t routable,
+                                         std::int64_t inflight) {
+  cluster_.nodes_routable->Set(routable);
+  cluster_.inflight->Set(inflight);
 }
 
 Gauge* TelemetrySink::QueueDepthGauge(RuntimeId level) {

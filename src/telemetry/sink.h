@@ -103,6 +103,23 @@ struct BatchMetrics {
   LatencyHistogram* batch_wait_ns = nullptr;
 };
 
+/// Stable pointers to the router-tier metrics (src/cluster; see
+/// docs/CLUSTER.md).  Zero-valued in runs without a router.
+struct ClusterMetrics {
+  Counter* routed = nullptr;          ///< submits forwarded to a backend
+  Counter* replies = nullptr;         ///< backend replies relayed to clients
+  Counter* retries = nullptr;         ///< re-routes after a node died mid-flight
+  Counter* no_node = nullptr;         ///< explicit sheds: no routable backend
+  Counter* evictions = nullptr;       ///< nodes evicted on probe failure
+  Counter* joins = nullptr;           ///< nodes joined (incl. resurrections)
+  Counter* drains = nullptr;          ///< graceful drains initiated
+  Counter* probe_failures = nullptr;  ///< individual failed admin probes
+  Gauge* nodes_routable = nullptr;
+  Gauge* inflight = nullptr;  ///< router-side in-flight across all nodes
+  /// Submit forwarded to final reply, as seen by the router (wall ns).
+  LatencyHistogram* route_latency_ns = nullptr;
+};
+
 /// One row of the periodic time series (cumulative values as of `time_s`).
 struct SnapshotRow {
   double time_s = 0.0;
@@ -206,6 +223,21 @@ class TelemetrySink {
                          std::int64_t computed_tokens, SimDuration oldest_wait,
                          bool timed_out);
 
+  // --- cluster router (src/cluster; see docs/CLUSTER.md) -----------------
+  /// A submit was forwarded to backend `node`; also bumps the lazily
+  /// registered arlo_cluster_node_routed_total{node="i"} counter.
+  void RecordClusterRouted(int node);
+  /// A backend reply was relayed; `wall_ns` spans forward to reply and also
+  /// lands in the per-node route-latency histogram.
+  void RecordClusterReply(int node, std::int64_t wall_ns);
+  void RecordClusterRetry();
+  void RecordClusterNoNode();
+  void RecordClusterEviction(int node);
+  void RecordClusterJoin(int node);
+  void RecordClusterDrain(int node);
+  void RecordClusterProbeFailure(int node);
+  void SetClusterNodeGauges(std::int64_t routable, std::int64_t inflight);
+
   // --- gauges ------------------------------------------------------------
   void SetClusterGauges(std::int64_t instances, std::int64_t outstanding,
                         std::int64_t buffer_depth);
@@ -232,10 +264,13 @@ class TelemetrySink {
   const ServingMetrics& Serving() const { return serving_; }
   const NetMetrics& Net() const { return net_; }
   const BatchMetrics& Batch() const { return batch_; }
+  const ClusterMetrics& Cluster() const { return cluster_; }
   const TelemetryConfig& Config() const { return config_; }
 
  private:
   Gauge* QueueDepthGauge(RuntimeId level);
+  Counter* NodeRoutedCounter(int node);
+  LatencyHistogram* NodeRouteLatency(int node);
 
   TelemetryConfig config_;
   MetricsRegistry registry_;
@@ -243,11 +278,16 @@ class TelemetrySink {
   ServingMetrics serving_;
   NetMetrics net_;
   BatchMetrics batch_;
+  ClusterMetrics cluster_;
 
   std::vector<TelemetryObserver*> observers_;
 
   std::mutex levels_mu_;
   std::vector<Gauge*> queue_depth_;  // index = level
+
+  std::mutex nodes_mu_;
+  std::vector<Counter*> node_routed_;           // index = node
+  std::vector<LatencyHistogram*> node_route_;  // index = node
 
   mutable std::mutex rows_mu_;
   std::vector<SnapshotRow> rows_;

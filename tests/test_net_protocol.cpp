@@ -23,6 +23,7 @@ Frame DecodeOne(const std::vector<std::uint8_t>& bytes) {
 TEST(NetProtocol, SubmitRoundTrip) {
   SubmitRequest msg;
   msg.id = 0x0123456789abcdefULL;
+  msg.request_id = 0xfedcba9876543210ULL;
   msg.model = 7;
   msg.length = 511;
   msg.deadline_ns = Millis(150.0);
@@ -39,6 +40,7 @@ TEST(NetProtocol, SubmitRoundTrip) {
 TEST(NetProtocol, ReplyRoundTrip) {
   Reply msg;
   msg.id = 42;
+  msg.request_id = 0x1000000000000001ULL;
   msg.status = ReplyStatus::kShedDeadline;
   msg.queue_ns = 123456789;
   msg.service_ns = -1;  // sign survives the wire
@@ -56,25 +58,73 @@ TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
   // Pin the exact byte layout: any change here is a wire format break.
   SubmitRequest msg;
   msg.id = 0x1122334455667788ULL;
+  msg.request_id = 0x99aabbccddeeff00ULL;
   msg.model = 0xa1b2c3d4;
   msg.length = 0x00000102;
   msg.deadline_ns = 0x0807060504030201LL;
 
   std::vector<std::uint8_t> bytes;
   EncodeSubmit(msg, bytes);
-  ASSERT_EQ(bytes.size(), 29u);
-  // frame_len = 25 (type byte + 24-byte payload), little-endian.
-  EXPECT_EQ(bytes[0], 25u);
+  ASSERT_EQ(bytes.size(), 38u);
+  // frame_len = 34 (version + type bytes + 32-byte payload), little-endian.
+  EXPECT_EQ(bytes[0], 34u);
   EXPECT_EQ(bytes[1], 0u);
   EXPECT_EQ(bytes[2], 0u);
   EXPECT_EQ(bytes[3], 0u);
-  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(MsgType::kSubmit));
-  EXPECT_EQ(bytes[5], 0x88);  // id LSB first
-  EXPECT_EQ(bytes[12], 0x11);
-  EXPECT_EQ(bytes[13], 0xd4);  // model LSB
-  EXPECT_EQ(bytes[17], 0x02);  // length LSB
-  EXPECT_EQ(bytes[21], 0x01);  // deadline LSB
-  EXPECT_EQ(bytes[28], 0x08);
+  EXPECT_EQ(bytes[4], kProtocolVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(MsgType::kSubmit));
+  EXPECT_EQ(bytes[6], 0x88);   // id LSB first
+  EXPECT_EQ(bytes[13], 0x11);
+  EXPECT_EQ(bytes[14], 0x00);  // request_id LSB
+  EXPECT_EQ(bytes[21], 0x99);  // request_id MSB
+  EXPECT_EQ(bytes[22], 0xd4);  // model LSB
+  EXPECT_EQ(bytes[26], 0x02);  // length LSB
+  EXPECT_EQ(bytes[30], 0x01);  // deadline LSB
+  EXPECT_EQ(bytes[37], 0x08);
+}
+
+TEST(NetProtocol, V1FramesAreAStickyError) {
+  // A v1 submit frame: [u32 len=25][u8 type=1][24-byte payload] — no version
+  // byte.  The decoder must refuse it (its type byte lands where v2 keeps
+  // the version) and stay dead, not misparse it.
+  std::vector<std::uint8_t> v1 = {25, 0, 0, 0,
+                                  static_cast<std::uint8_t>(MsgType::kSubmit)};
+  v1.resize(4 + 25, 0);
+  FrameDecoder decoder;
+  decoder.Feed(v1.data(), v1.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+  EXPECT_NE(decoder.Error().find("version"), std::string::npos)
+      << decoder.Error();
+
+  // A v1 reply frame aliases its type byte (2) onto the v2 version byte, so
+  // it survives the version check — but its payload sizes can never match a
+  // v2 message, so it still dies with a sticky error.
+  std::vector<std::uint8_t> v1_reply = {26, 0, 0, 0, 2};
+  v1_reply.resize(4 + 26, 0);
+  FrameDecoder decoder2;
+  decoder2.Feed(v1_reply.data(), v1_reply.size());
+  EXPECT_EQ(decoder2.Next(frame), FrameDecoder::Result::kError);
+}
+
+TEST(NetProtocol, ResetClearsBufferAndStickyError) {
+  std::vector<std::uint8_t> bad = {34, 0, 0, 0, 99};  // bad version
+  bad.resize(4 + 34, 0);
+  FrameDecoder decoder;
+  decoder.Feed(bad.data(), bad.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+
+  decoder.Reset();
+  EXPECT_EQ(decoder.Pending(), 0u);
+  SubmitRequest msg;
+  msg.id = 5;
+  msg.request_id = 6;
+  std::vector<std::uint8_t> good;
+  EncodeSubmit(msg, good);
+  decoder.Feed(good.data(), good.size());
+  ASSERT_EQ(decoder.Next(frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.submit, msg);
 }
 
 TEST(NetProtocol, DecodesByteByByte) {
@@ -145,8 +195,9 @@ TEST(NetProtocol, TruncatedFrameNeedsMoreThenCompletes) {
 }
 
 TEST(NetProtocol, RejectsUnknownType) {
-  std::vector<std::uint8_t> bytes = {25, 0, 0, 0, 99};  // type 99
-  bytes.resize(4 + 25, 0);
+  std::vector<std::uint8_t> bytes = {34, 0, 0, 0, kProtocolVersion,
+                                     99};  // type 99
+  bytes.resize(4 + 34, 0);
   FrameDecoder decoder;
   decoder.Feed(bytes.data(), bytes.size());
   Frame frame;
@@ -175,9 +226,9 @@ TEST(NetProtocol, RejectsOversizedAndZeroLengthFrames) {
 
 TEST(NetProtocol, RejectsWrongPayloadSizeForType) {
   // A kSubmit frame claiming a 10-byte payload: length/type mismatch.
-  std::vector<std::uint8_t> bytes = {11, 0, 0, 0,
+  std::vector<std::uint8_t> bytes = {12, 0, 0, 0, kProtocolVersion,
                                      static_cast<std::uint8_t>(MsgType::kSubmit)};
-  bytes.resize(4 + 11, 0);
+  bytes.resize(4 + 12, 0);
   FrameDecoder decoder;
   decoder.Feed(bytes.data(), bytes.size());
   Frame frame;
@@ -189,7 +240,7 @@ TEST(NetProtocol, RejectsOutOfRangeReplyStatus) {
   msg.id = 1;
   std::vector<std::uint8_t> bytes;
   EncodeReply(msg, bytes);
-  bytes[4 + 1 + 8] = 200;  // status byte past kError
+  bytes[4 + 2 + 16] = 200;  // status byte past the last defined status
   FrameDecoder decoder;
   decoder.Feed(bytes.data(), bytes.size());
   Frame frame;
@@ -197,8 +248,8 @@ TEST(NetProtocol, RejectsOutOfRangeReplyStatus) {
 }
 
 TEST(NetProtocol, ErrorIsSticky) {
-  std::vector<std::uint8_t> bad = {25, 0, 0, 0, 99};
-  bad.resize(4 + 25, 0);
+  std::vector<std::uint8_t> bad = {34, 0, 0, 0, kProtocolVersion, 99};
+  bad.resize(4 + 34, 0);
   FrameDecoder decoder;
   decoder.Feed(bad.data(), bad.size());
   Frame frame;
@@ -284,6 +335,8 @@ TEST(NetProtocol, StatusNamesAreDistinct) {
   EXPECT_STRNE(ReplyStatusName(ReplyStatus::kRejectRate),
                ReplyStatusName(ReplyStatus::kRejectInflight));
   EXPECT_STRNE(ReplyStatusName(ReplyStatus::kShedDeadline),
+               ReplyStatusName(ReplyStatus::kError));
+  EXPECT_STRNE(ReplyStatusName(ReplyStatus::kRejectNoNode),
                ReplyStatusName(ReplyStatus::kError));
 }
 
