@@ -29,6 +29,9 @@
 //      [--dump-out=flight.trace.json] [--slo-ms=150]
 //      [--listen=0 | --connect=PORT] [--connections=4]
 //      [--max-inflight=0] [--rate-limit=0] [--deadline-ms=0]
+//      [--generative] [--decode-len-dist=mixed] [--kv-capacity=0]
+//      [--gen-batcher=continuous|static] [--gen-admission=prefill|decode]
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -38,6 +41,7 @@
 #include <thread>
 
 #include "baselines/scenario.h"
+#include "batch/continuous.h"
 #include "batch/policy.h"
 #include "common/cli.h"
 #include "common/table.h"
@@ -53,6 +57,7 @@
 #include "sim/report.h"
 #include "telemetry/exporters.h"
 #include "telemetry/sink.h"
+#include "trace/generative.h"
 #include "trace/twitter.h"
 
 using namespace arlo;
@@ -127,6 +132,16 @@ void PrintTelemetrySummary(const telemetry::TelemetrySink& sink) {
   }
 }
 
+double PercentileMs(std::vector<SimDuration> values, double q) {
+  if (values.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return ToSeconds(values[idx]) * 1e3;
+}
+
 void PrintResult(const serving::TestbedResult& result,
                  const baselines::ScenarioConfig& config) {
   const LatencySummary summary = Summarize(result.records, config.slo);
@@ -141,6 +156,24 @@ void PrintResult(const serving::TestbedResult& result,
     std::cout << "  faults " << result.faults_injected << " (worker kills "
               << result.injected_failures << "), retries " << result.retries
               << ", requeues " << result.requeues << "\n";
+  }
+  if (result.gen_prefill_iterations > 0) {
+    std::vector<SimDuration> ttft;
+    std::vector<SimDuration> itl;
+    for (const RequestRecord& r : result.records) {
+      if (!r.IsGenerative()) continue;
+      ttft.push_back(r.TimeToFirstToken());
+      if (r.decode_len >= 2) itl.push_back(r.MeanInterTokenLatency());
+    }
+    std::cout << "  generative: prefill iters "
+              << result.gen_prefill_iterations << ", decode iters "
+              << result.gen_decode_iterations << ", preemptions "
+              << result.gen_preemptions << "\n  ttft p50 "
+              << TablePrinter::Num(PercentileMs(ttft, 0.50)) << " ms, p98 "
+              << TablePrinter::Num(PercentileMs(ttft, 0.98))
+              << " ms; itl p50 " << TablePrinter::Num(PercentileMs(itl, 0.50))
+              << " ms, p98 " << TablePrinter::Num(PercentileMs(itl, 0.98))
+              << " ms\n";
   }
   sim::PrintPerRuntimeBreakdown(std::cout, result.records);
 }
@@ -174,6 +207,20 @@ int main(int argc, char** argv) {
   const std::string dump_out = flags.GetString("dump-out", "flight.trace.json");
   const long long trace_max_events = flags.GetInt("trace-max-events", 0);
   const double slo_ms = flags.GetDouble("slo-ms", 150.0);
+  const bool generative = flags.GetBool("generative", false);
+  const std::string decode_dist = flags.GetString("decode-len-dist", "mixed");
+  const long long kv_capacity = flags.GetInt("kv-capacity", 0);
+  const std::string gen_batcher = flags.GetString("gen-batcher", "continuous");
+  const std::string gen_admission = flags.GetString("gen-admission", "prefill");
+  if (!generative) {
+    for (const char* dep :
+         {"decode-len-dist", "kv-capacity", "gen-batcher", "gen-admission"}) {
+      if (flags.Has(dep)) {
+        throw std::invalid_argument("--" + std::string(dep) +
+                                    " requires --generative");
+      }
+    }
+  }
   flags.RejectUnknown();
 
   std::signal(SIGINT, OnSigInt);
@@ -186,6 +233,9 @@ int main(int argc, char** argv) {
     workload.duration_s = seconds;
     workload.mean_rate = rate;
     workload.seed = 99;
+    if (generative) {
+      workload.decode_lengths = trace::ParseDecodeLengthDist(decode_dist);
+    }
     const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
 
     net::LoadGeneratorConfig lg;
@@ -230,6 +280,20 @@ int main(int argc, char** argv) {
   bpc.slo = config.slo;
   const auto batch_policy = batch::MakeBatchPolicy(batch_policy_name, bpc);
   testbed.batch_policy = batch_policy.get();
+
+  batch::GenerativeConfig gen_config;
+  if (generative) {
+    gen_config.mode = batch::ParseGenBatcherMode(gen_batcher);
+    gen_config.admission = batch::ParseGenAdmission(gen_admission);
+    // 0 (the default) derives the cap from a 16 GB KV budget at the model's
+    // native max context — the formula docs/GENERATIVE.md walks through.
+    gen_config.kv_capacity =
+        kv_capacity == 0
+            ? runtime::KvSequenceCapacity(config.model, 16.0,
+                                          config.model.native_max_length)
+            : batch::ValidateKvCapacity(kv_capacity);
+    testbed.generative = &gen_config;
+  }
 
   fault::FaultPlan plan;
   if (!plan_path.empty()) {
@@ -351,6 +415,9 @@ int main(int argc, char** argv) {
     workload.duration_s = seconds;
     workload.mean_rate = rate;
     workload.seed = 99;
+    if (generative) {
+      workload.decode_lengths = trace::ParseDecodeLengthDist(decode_dist);
+    }
     const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
 
     auto runtimes = baselines::MakeRuntimeSetFor(config);

@@ -13,20 +13,27 @@
 // docs/BATCHING.md), --mtbf_s (fault injection), --csv,
 // --fault-plan (path to a FaultPlan DSL file; see docs/FAULTS.md),
 // --hang-timeout_s / --shed-deadline_s (recovery policy; need --fault-plan),
-// --metrics-out/--trace-out (telemetry dump; single-scheme runs only).
+// --metrics-out/--trace-out (telemetry dump; single-scheme runs only),
+// --generative plus --decode-len-dist/--kv-capacity/--gen-batcher/
+// --gen-admission (autoregressive serving; see docs/GENERATIVE.md).
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "baselines/scenario.h"
+#include "batch/continuous.h"
 #include "batch/policy.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "fault/fault_plan.h"
+#include "runtime/compiled_runtime.h"
 #include "sim/engine.h"
 #include "sim/report.h"
 #include "telemetry/exporters.h"
 #include "telemetry/sink.h"
+#include "trace/generative.h"
 #include "trace/twitter.h"
 
 using namespace arlo;
@@ -39,6 +46,16 @@ runtime::ModelSpec ModelByName(const std::string& name) {
   if (name == "roberta-large") return runtime::ModelSpec::RobertaLarge();
   if (name == "distilbert") return runtime::ModelSpec::DistilBert();
   throw std::invalid_argument("unknown model: " + name);
+}
+
+double PercentileMs(std::vector<SimDuration> values, double q) {
+  if (values.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return ToSeconds(values[idx]) * 1e3;
 }
 
 std::vector<std::string> SplitCommas(const std::string& s) {
@@ -63,6 +80,26 @@ int main(int argc, char** argv) {
   workload.pattern = flags.GetString("pattern", "stable") == "bursty"
                          ? trace::TwitterTraceConfig::Pattern::kBursty
                          : trace::TwitterTraceConfig::Pattern::kStable;
+
+  // Generative flags.  The satellites require --generative for the rest so
+  // a forgotten --generative cannot silently run a one-shot experiment.
+  const bool generative = flags.GetBool("generative", false);
+  const std::string decode_dist = flags.GetString("decode-len-dist", "mixed");
+  const long long kv_capacity = flags.GetInt("kv-capacity", 0);
+  const std::string gen_batcher = flags.GetString("gen-batcher", "continuous");
+  const std::string gen_admission = flags.GetString("gen-admission", "prefill");
+  if (!generative) {
+    for (const char* dep :
+         {"decode-len-dist", "kv-capacity", "gen-batcher", "gen-admission"}) {
+      if (flags.Has(dep)) {
+        throw std::invalid_argument("--" + std::string(dep) +
+                                    " requires --generative");
+      }
+    }
+  }
+  if (generative) {
+    workload.decode_lengths = trace::ParseDecodeLengthDist(decode_dist);
+  }
   const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
 
   baselines::ScenarioConfig config;
@@ -88,6 +125,20 @@ int main(int argc, char** argv) {
       batch::MakeBatchPolicy(flags.GetString("batch-policy", "greedy"), bpc);
   engine.batch_policy = batch_policy.get();
   engine.mean_time_between_failures_s = flags.GetDouble("mtbf_s", 0.0);
+
+  batch::GenerativeConfig gen_config;
+  if (generative) {
+    gen_config.mode = batch::ParseGenBatcherMode(gen_batcher);
+    gen_config.admission = batch::ParseGenAdmission(gen_admission);
+    // 0 (the default) derives the cap from a 16 GB KV budget at the model's
+    // native max context — the formula docs/GENERATIVE.md walks through.
+    gen_config.kv_capacity =
+        kv_capacity == 0
+            ? runtime::KvSequenceCapacity(config.model, 16.0,
+                                          config.model.native_max_length)
+            : batch::ValidateKvCapacity(kv_capacity);
+    engine.generative = &gen_config;
+  }
 
   fault::FaultPlan plan;
   const std::string plan_path = flags.GetString("fault-plan", "");
@@ -129,6 +180,25 @@ int main(int argc, char** argv) {
     auto scheme = baselines::MakeSchemeByName(name, config);
     const sim::EngineResult result = sim::RunScenario(trace, *scheme, engine);
     reports.push_back(sim::MakeReport(name, result, config.slo));
+    if (generative) {
+      std::vector<SimDuration> ttft;
+      std::vector<SimDuration> itl;
+      for (const RequestRecord& r : result.records) {
+        if (!r.IsGenerative()) continue;
+        ttft.push_back(r.TimeToFirstToken());
+        if (r.decode_len >= 2) itl.push_back(r.MeanInterTokenLatency());
+      }
+      std::cout << name << ": gen kv_cap=" << gen_config.kv_capacity
+                << " prefill_iters=" << result.gen_prefill_iterations
+                << " decode_iters=" << result.gen_decode_iterations
+                << " tokens=" << result.gen_tokens
+                << " preemptions=" << result.gen_preemptions
+                << " ttft_p50_ms=" << TablePrinter::Num(PercentileMs(ttft, 0.50))
+                << " ttft_p98_ms=" << TablePrinter::Num(PercentileMs(ttft, 0.98))
+                << " itl_p50_ms=" << TablePrinter::Num(PercentileMs(itl, 0.50))
+                << " itl_p98_ms=" << TablePrinter::Num(PercentileMs(itl, 0.98))
+                << "\n";
+    }
     if (result.faults_injected > 0) {
       std::cout << name << ": faults=" << result.faults_injected
                 << " (crashes=" << result.injected_failures

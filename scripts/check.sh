@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate: docs lint, configure, build, run the full test suite, smoke
-# the batching bench (--json output must parse with finite p98), smoke the
-# admin plane (live_serving --admin-port: /metrics, /healthz and /statusz
-# must answer with the expected shapes), smoke the cluster router (two real
-# backends behind cluster_router, zero loss, both nodes routed) and the
-# cluster scaling bench, then re-run the concurrency-sensitive tests
+# Tier-1 gate: docs lint, configure, build, re-run the docs gate with the
+# built binaries (every --flag named in a fenced doc block must be accepted
+# by its binary), run the full test suite, smoke the batching bench
+# (--json output must parse with finite p98), smoke the admin plane
+# (live_serving --admin-port: /metrics, /healthz and /statusz must answer
+# with the expected shapes), smoke the cluster router (two real backends
+# behind cluster_router, zero loss, both nodes routed) and the cluster
+# scaling bench, smoke the generative bench (finite TTFT/ITL percentiles;
+# continuous batching must not lose to the static baseline on ITL p98),
+# then re-run the concurrency-sensitive tests
 # (threaded testbed + batching + net frontend + sharded telemetry + admin
 # plane + cluster router) under ThreadSanitizer, and the socket/protocol +
 # testbed-batching + admin-plane + cluster-policy tests under
@@ -33,6 +37,9 @@ scripts/check_docs.sh
 echo "== configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
+
+echo "== docs (flags vs built binaries) =="
+scripts/check_docs.sh --require-flags
 
 echo "== tests =="
 ctest --test-dir build --output-on-failure
@@ -187,6 +194,29 @@ print(f"cluster bench smoke: {len(rows)} cells, zero loss "
       f"(3-node scaling x{scaling[3] / scaling[1]:.2f})")
 EOF
 
+echo "== bench smoke (generative_sweep --json) =="
+./build/bench/generative_sweep --duration=1 \
+  --json=build/BENCH_generative_smoke.json >/dev/null
+python3 - <<'EOF'
+import json, math
+rows = json.load(open("build/BENCH_generative_smoke.json"))["rows"]
+assert len(rows) == 6, rows  # 2 mixes x {continuous/prefill, continuous/decode, static}
+for r in rows:
+    for col in ("ttft_p50_ms", "ttft_p98_ms", "itl_p50_ms", "itl_p98_ms"):
+        v = r[col]
+        assert isinstance(v, (int, float)) and math.isfinite(v) and v > 0, r
+for mix in ("short", "long"):
+    cells = [r for r in rows if r["mix"] == mix]
+    static = next(r for r in cells if r["batcher"] == "static")
+    best_cont_itl = min(r["itl_p98_ms"] for r in cells
+                        if r["batcher"] == "continuous")
+    assert best_cont_itl <= static["itl_p98_ms"], (mix, cells)
+    prefill = next(r for r in cells if r["admission"] == "prefill")
+    assert prefill["ttft_p50_ms"] < static["ttft_p50_ms"], (mix, cells)
+print(f"generative bench smoke: {len(rows)} cells, TTFT/ITL finite, "
+      f"continuous holds its ITL-p98 and TTFT-p50 wins")
+EOF
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer (testbed + telemetry concurrency) =="
   cmake -B build-tsan -S . -DARLO_TSAN=ON >/dev/null
@@ -194,7 +224,7 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TestbedBatching.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*'
+    --gtest_filter='Testbed.*:TestbedBatching.*:GenerativeTestbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -202,7 +232,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$(nproc)" --target arlo_tests
   ./build-asan/tests/arlo_tests \
-    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*'
+    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:GenerativeTestbed.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*'
 fi
 
 echo "== check.sh: all green =="

@@ -2,12 +2,26 @@
 # Docs gate:
 #   1. every file under docs/ is linked from the README (no orphan docs);
 #   2. every intra-repo markdown link in the top-level and docs/ markdown
-#      files resolves to an existing file (no dead links).
+#      files resolves to an existing file (no dead links);
+#   3. every --flag in a fenced code block that invokes a built example or
+#      bench binary is accepted by that binary (checked against the sorted
+#      "valid flags" list its CliFlags::RejectUnknown error prints).
 #
 # External links (http/https/mailto) and pure anchors (#...) are skipped.
+# Stage 3 needs built binaries: without build/ it is skipped with a note,
+# unless --require-flags is passed (check.sh does, post-build), in which
+# case missing binaries fail the gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+require_flags=0
+for arg in "$@"; do
+  case "$arg" in
+    --require-flags) require_flags=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 fail=0
 
@@ -37,6 +51,78 @@ for md in "${md_files[@]}"; do
     fi
   done < <(grep -o '](\([^)]*\))' "$md" 2>/dev/null | sed 's/^](\(.*\))$/\1/')
 done
+
+# -- 3. fenced CLI flags must be accepted by the built binaries ------------
+# Fenced code blocks are executable documentation: a flag a doc tells the
+# reader to pass must exist.  Each referenced binary is run once with a
+# deliberately bogus flag; the schema-listing rejection ("valid flags: ...")
+# is the authoritative accepted set.  Binaries that do not print such a
+# list (e.g. google-benchmark harnesses) are skipped.
+REQUIRE_FLAGS="$require_flags" python3 - "${md_files[@]}" <<'EOF' || fail=1
+import os, re, subprocess, sys
+
+require = os.environ.get("REQUIRE_FLAGS") == "1"
+invoke_re = re.compile(r'(?:\./)?(build/(?:examples|bench)/\w+)')
+flag_re = re.compile(r'--[A-Za-z0-9][A-Za-z0-9_-]*')
+
+# binary path -> {flag -> [doc locations]}
+used = {}
+for md in sys.argv[1:]:
+    lines = open(md).read().splitlines()
+    in_fence = False
+    joined, start = "", 0
+    for i, line in enumerate(lines, 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        if not joined:
+            start = i
+        joined += line
+        if line.rstrip().endswith("\\"):
+            joined = joined.rstrip().rstrip("\\") + " "
+            continue
+        m = invoke_re.search(joined)
+        if m:
+            flags = flag_re.findall(joined, m.end())
+            if flags:
+                per = used.setdefault(m.group(1), {})
+                for f in flags:
+                    per.setdefault(f, []).append(f"{md}:{start}")
+        joined = ""
+
+failures, checked, skipped = [], 0, []
+for binary, flags in sorted(used.items()):
+    if not os.path.exists(binary):
+        if require:
+            failures.append(f"{binary}: referenced by docs but not built")
+        else:
+            skipped.append(f"{binary} (not built)")
+        continue
+    out = subprocess.run([binary, "--check-docs-bogus-flag=1"],
+                         capture_output=True, text=True, timeout=60)
+    text = out.stdout + out.stderr
+    m = re.search(r'valid flags: ([^)]*)\)', text)
+    if not m:
+        skipped.append(f"{binary} (no RejectUnknown schema)")
+        continue
+    valid = set(m.group(1).split(", "))
+    for flag, where in sorted(flags.items()):
+        checked += 1
+        if flag not in valid:
+            failures.append(
+                f"{flag} not accepted by {binary} (used at {', '.join(where)})")
+
+for s in skipped:
+    print(f"check_docs: flags: skipped {s}")
+if failures:
+    for f in failures:
+        print(f"check_docs: flags: {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"check_docs: flags: {checked} doc flags accepted across "
+      f"{len(used) - len(skipped)} binaries")
+EOF
 
 if [[ "$fail" != 0 ]]; then
   echo "check_docs: FAILED" >&2

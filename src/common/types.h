@@ -57,8 +57,13 @@ inline constexpr InstanceId kInvalidInstance = static_cast<InstanceId>(-1);
 struct Request {
   RequestId id = 0;
   SimTime arrival = 0;   ///< arrival at the scheduler frontend
-  int length = 0;        ///< token count of the input sequence
+  int length = 0;        ///< token count of the input (prefill) sequence
   int stream = 0;        ///< request-stream tag (multi-stream serving, §6)
+  /// Autoregressive output length: tokens to generate after prefill.
+  /// 0 = one-shot (BERT-style) request; the historical behavior.  The first
+  /// output token is produced by the prefill step itself, so a generative
+  /// request runs one prefill plus (decode_len - 1) decode steps.
+  int decode_len = 0;
 };
 
 /// The lifecycle record the metrics pipeline consumes.
@@ -72,11 +77,28 @@ struct RequestRecord {
   int stream = 0;
   RuntimeId runtime = kInvalidRuntime;
   InstanceId instance = kInvalidInstance;
+  /// Generative requests only (decode_len >= 1): when the first output token
+  /// was emitted (end of the prefill iteration).  0 for one-shot requests.
+  SimTime first_token = 0;
+  int decode_len = 0;
 
   /// End-to-end latency (queueing + execution), the paper's reported metric.
   SimDuration Latency() const { return completion - arrival; }
   SimDuration QueueingDelay() const { return start - arrival; }
   SimDuration ServiceTime() const { return completion - start; }
+
+  bool IsGenerative() const { return decode_len >= 1; }
+  /// Time to first token; falls back to full latency for one-shot requests
+  /// (whose single "token" is the complete answer).
+  SimDuration TimeToFirstToken() const {
+    return IsGenerative() ? first_token - arrival : Latency();
+  }
+  /// Mean inter-token latency over the decode phase.  Defined only when at
+  /// least two tokens were generated; 0 otherwise.
+  SimDuration MeanInterTokenLatency() const {
+    if (decode_len <= 1) return 0;
+    return (completion - first_token) / (decode_len - 1);
+  }
 };
 
 /// Pretty-print a simulated duration (e.g. "12.34ms") for reports.

@@ -180,6 +180,7 @@ LoadGeneratorResult RunLoadGenerator(const trace::Trace& trace,
       SubmitRequest msg;
       msg.id = r.id;
       msg.length = static_cast<std::uint32_t>(r.length);
+      msg.decode_len = static_cast<std::uint32_t>(std::max(0, r.decode_len));
       msg.deadline_ns = config.deadline;
       {
         std::lock_guard lock(state.mu);

@@ -5,7 +5,8 @@
 namespace arlo::net {
 namespace {
 
-constexpr std::size_t kSubmitPayload = 32;
+constexpr std::size_t kSubmitPayloadV2 = 32;  ///< legacy: no decode_len
+constexpr std::size_t kSubmitPayload = 36;
 constexpr std::size_t kReplyPayload = 33;
 
 void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
@@ -57,6 +58,7 @@ void EncodeSubmit(const SubmitRequest& msg, std::vector<std::uint8_t>& out) {
   PutU64(out, msg.request_id);
   PutU32(out, msg.model);
   PutU32(out, msg.length);
+  PutU32(out, msg.decode_len);
   PutU64(out, static_cast<std::uint64_t>(msg.deadline_ns));
 }
 
@@ -100,7 +102,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
   }
   if (avail < 4 + frame_len) return Result::kNeedMore;
   const std::uint8_t version = p[4];
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     // A v1 frame puts its msg_type byte here (1 or 2); neither matches, so
     // old-format peers die immediately instead of being misparsed.
     error_ = "unsupported protocol version " + std::to_string(version);
@@ -111,7 +113,8 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
   const std::size_t payload_len = frame_len - 2;
   switch (static_cast<MsgType>(type)) {
     case MsgType::kSubmit: {
-      if (payload_len != kSubmitPayload) {
+      const std::size_t want = version == 2 ? kSubmitPayloadV2 : kSubmitPayload;
+      if (payload_len != want) {
         error_ = "submit payload size " + std::to_string(payload_len);
         return Result::kError;
       }
@@ -120,7 +123,10 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
       out.submit.request_id = GetU64(payload + 8);
       out.submit.model = GetU32(payload + 16);
       out.submit.length = GetU32(payload + 20);
-      out.submit.deadline_ns = static_cast<std::int64_t>(GetU64(payload + 24));
+      // v2 has no decode_len field: those clients are one-shot by definition.
+      out.submit.decode_len = version == 2 ? 0 : GetU32(payload + 24);
+      const std::size_t off = version == 2 ? 24 : 28;
+      out.submit.deadline_ns = static_cast<std::int64_t>(GetU64(payload + off));
       break;
     }
     case MsgType::kReply: {

@@ -21,13 +21,19 @@
 //   v2  adds the version byte and a u64 request_id to both messages so a
 //       router tier can correlate out-of-order replies across multiplexed
 //       backend connections without rewriting client-chosen ids.
+//   v3  adds u32 decode_len to SubmitRequest (payload 32 -> 36 bytes) for
+//       generative workloads.  The decoder still accepts v2 submits
+//       (decode_len = 0, i.e. one-shot) so old clients keep working;
+//       encoders always emit v3.  Reply is unchanged and accepted at
+//       either version.
 //
-// SubmitRequest (client -> server, 32-byte payload):
+// SubmitRequest (client -> server, 36-byte payload):
 //   u64 id          client-chosen, echoed in the reply (unique per conn)
 //   u64 request_id  correlation token, echoed verbatim in the reply; 0 for
 //                   direct clients, router-assigned for proxied requests
 //   u32 model       model hint (single-model testbeds ignore it)
 //   u32 length      input token count — the scheduling-relevant field
+//   u32 decode_len  output tokens to generate; 0 = one-shot (v3 only)
 //   i64 deadline_ns relative latency budget; 0 = no deadline
 //
 // Reply (server -> client, 33-byte payload):
@@ -46,7 +52,9 @@
 namespace arlo::net {
 
 /// Wire format version stamped into every frame header.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
+/// Oldest version the decoder still accepts (v2 submits lack decode_len).
+inline constexpr std::uint8_t kMinProtocolVersion = 2;
 
 enum class MsgType : std::uint8_t {
   kSubmit = 1,
@@ -72,6 +80,7 @@ struct SubmitRequest {
   std::uint64_t request_id = 0;
   std::uint32_t model = 0;
   std::uint32_t length = 0;
+  std::uint32_t decode_len = 0;  ///< output tokens; 0 = one-shot
   std::int64_t deadline_ns = 0;
 
   bool operator==(const SubmitRequest&) const = default;
@@ -88,11 +97,12 @@ struct Reply {
 };
 
 /// Hard cap on frame_len; anything larger is garbage by definition (real
-/// frames are 34 and 35 bytes).
+/// frames are 38 and 35 bytes, 34 for a legacy v2 submit).
 inline constexpr std::size_t kMaxFrameBytes = 256;
 
-/// Serialized frame sizes including the 4-byte length prefix.
-inline constexpr std::size_t kSubmitFrameBytes = 4 + 2 + 32;
+/// Serialized frame sizes including the 4-byte length prefix (as encoded,
+/// i.e. v3; the decoder also accepts 34-byte v2 submit frames).
+inline constexpr std::size_t kSubmitFrameBytes = 4 + 2 + 36;
 inline constexpr std::size_t kReplyFrameBytes = 4 + 2 + 33;
 
 /// Append one framed message to `out`.

@@ -263,6 +263,7 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
   request.id = next_request_id_++;
   request.arrival = now;
   request.length = static_cast<int>(submit.length);
+  request.decode_len = static_cast<int>(submit.decode_len);
 
   const AdmissionDecision decision = admission_.Admit(
       now, backend_.EstimatedQueueDelay(), submit.deadline_ns);

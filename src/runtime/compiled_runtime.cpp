@@ -1,5 +1,6 @@
 #include "runtime/compiled_runtime.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -77,6 +78,20 @@ SimDuration CompiledRuntime::BatchComputeTime(int batch,
       std::llround(c0 + per_item * static_cast<double>(bucket)));
 }
 
+SimDuration CompiledRuntime::DecodeStepTime(int batch, int max_context) const {
+  ARLO_CHECK(batch >= 1);
+  ARLO_CHECK(max_context >= 1);
+  const int context = std::min(max_context, model_.native_max_length);
+  // Tile-quantize the context the same way prefill kernels quantize the
+  // sequence axis: the attention reads run over staircase-rounded KV.
+  const int step = staircase_step_;
+  const int stair = ((context + step - 1) / step) * step;
+  const double per_item = coeffs_.k_ns_per_flop * model_.DecodeFlops(stair);
+  const int bucket = BatchBucket(batch);
+  return static_cast<SimDuration>(
+      std::llround(coeffs_.c0_ns + per_item * static_cast<double>(bucket)));
+}
+
 double CompiledRuntime::PaddingWasteFraction(int length) const {
   ARLO_CHECK(Accepts(length));
   if (kind_ == CompilationKind::kDynamic) return 0.0;
@@ -91,6 +106,22 @@ std::string CompiledRuntime::DebugName() const {
      << (kind_ == CompilationKind::kStatic ? "static" : "dynamic") << '@'
      << max_length_;
   return os.str();
+}
+
+double KvBytesPerToken(const ModelSpec& model) {
+  // K and V, one H-sized fp16 vector each, per layer.
+  return 2.0 * 2.0 * static_cast<double>(model.layers) *
+         static_cast<double>(model.hidden);
+}
+
+int KvSequenceCapacity(const ModelSpec& model, double kv_budget_gb,
+                       int max_context) {
+  ARLO_CHECK(kv_budget_gb > 0.0);
+  ARLO_CHECK(max_context >= 1);
+  const double budget_bytes = kv_budget_gb * 1024.0 * 1024.0 * 1024.0;
+  const double per_seq =
+      KvBytesPerToken(model) * static_cast<double>(max_context);
+  return std::max(1, static_cast<int>(budget_bytes / per_seq));
 }
 
 std::shared_ptr<const CompiledRuntime> SimulatedCompiler::Compile(

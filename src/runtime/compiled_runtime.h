@@ -60,6 +60,24 @@ class CompiledRuntime {
   /// (1/2/4/8/...): the compiled-engine granularity BatchComputeTime bills.
   static int BatchBucket(int batch);
 
+  // --- Two-phase generative cost model (docs/GENERATIVE.md) ---
+
+  /// Cost of the prefill phase of a generative request: the full forward
+  /// pass over the prompt, which also emits the first output token.
+  /// Identical to ComputeTime — prefill *is* the one-shot forward.
+  SimDuration PrefillTime(int prompt_length) const { return ComputeTime(prompt_length); }
+
+  /// Cost of one decode iteration: `batch` resident sequences each generate
+  /// one token attending over at most `max_context` cached tokens.  Priced
+  /// like BatchComputeTime — the launch/memory floor c0 is paid once per
+  /// iteration and the (tile-quantized) per-token work scales with the
+  /// power-of-two batch bucket.  Decode kernels are compiled with a dynamic
+  /// token axis for both runtime kinds, so no static padding and no
+  /// dynamic-shape inflation applies.  `max_context` may exceed MaxLength()
+  /// (the KV cache grows past the prefill shape) up to the model's native
+  /// maximum, beyond which it is clamped.
+  SimDuration DecodeStepTime(int batch, int max_context) const;
+
   /// Tokens actually computed per slot for a request of `length`: the full
   /// compiled shape for static runtimes, the staircase-rounded true length
   /// for dynamic ones.  Batch policies group and account padding with this.
@@ -83,6 +101,17 @@ class CompiledRuntime {
   LatencyCoefficients coeffs_;
   SimDuration static_compute_;  ///< cached constant for static runtimes
 };
+
+/// Bytes of KV cache one resident token occupies: keys + values (2) across
+/// every layer, fp16 (2 bytes) per element of the hidden dimension.
+double KvBytesPerToken(const ModelSpec& model);
+
+/// KV-cache capacity of an instance, counted in resident sequences: how many
+/// worst-case sequences of `max_context` total tokens (prompt + generated)
+/// fit in `kv_budget_gb` gigabytes of HBM set aside for the cache.  Always
+/// at least 1 — an instance that can hold no sequence could never serve.
+int KvSequenceCapacity(const ModelSpec& model, double kv_budget_gb,
+                       int max_context);
 
 /// Simulated offline compiler (stands in for TensorRT / TVM builds).  Tracks
 /// a realistic wall-clock build cost per artifact so benches can report the

@@ -12,6 +12,13 @@ double ModelSpec::Flops(int s) const {
          (12.0 * h * h * seq + 2.0 * h * seq * seq);
 }
 
+double ModelSpec::DecodeFlops(int context) const {
+  ARLO_CHECK(context >= 1);
+  const double h = hidden;
+  return static_cast<double>(layers) *
+         (12.0 * h * h + 2.0 * h * static_cast<double>(context));
+}
+
 ModelSpec ModelSpec::BertBase() {
   ModelSpec m;
   m.name = "bert-base";

@@ -46,6 +46,11 @@ struct ModelSpec {
   /// Raw FLOP count (per batch-1 forward pass) at sequence length s.
   double Flops(int s) const;
 
+  /// FLOPs of one autoregressive decode step (a single new token attending
+  /// over `context` cached tokens): the projections/MLP work of one token
+  /// plus attention reads against the KV cache.
+  double DecodeFlops(int context) const;
+
   /// BERT-Base (FP32, TensorRT in the paper).
   static ModelSpec BertBase();
   /// BERT-Large (FP32, TensorRT in the paper).

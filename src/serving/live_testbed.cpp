@@ -120,6 +120,9 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
     RuntimeId runtime = kInvalidRuntime;
     std::shared_ptr<const runtime::CompiledRuntime> rt;
     SimDuration ready_delay = 0;
+    /// Generative mode only (under mu): `queue` stays empty; waiting and
+    /// resident sequences live in the iteration-level batcher instead.
+    std::unique_ptr<batch::ContinuousBatcher> gen;
   };
 
   /// A transiently-errored dispatch waiting out its backoff (fault_mu_).
@@ -148,6 +151,7 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   }
 
   void WorkerLoop(InstanceId id, Worker& w);
+  void GenWorkerRun(InstanceId id, Worker& w);
   void HandleArrivalLocked(const Request& request, int attempt = 0);
   bool TryDispatchLocked(const Request& request);
   void RetryBufferedLocked();
@@ -155,6 +159,7 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   void TickLoop();
   void SnapshotLoop();
   void UpdateClusterGaugesLocked();
+  void UpdateGenGaugesLocked();
 
   // Fault supervisor (all *Locked variants require dispatch_mu_ held).
   void FaultLoop();
@@ -198,6 +203,9 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   std::atomic<std::int64_t> ewma_form_ns_{0};
   std::atomic<std::uint64_t> batches_formed_{0};
   std::atomic<std::uint64_t> batch_timeouts_{0};
+  std::atomic<std::uint64_t> gen_prefill_iters_{0};
+  std::atomic<std::uint64_t> gen_decode_iters_{0};
+  std::atomic<std::uint64_t> gen_preemptions_{0};
 
   std::thread ticker_;
   std::thread snapshotter_;
@@ -237,6 +245,10 @@ InstanceId LiveTestbed::Impl::LaunchInstance(
   worker->runtime = runtime;
   worker->rt = std::move(rt);
   worker->ready_delay = ready_delay;
+  if (config_.generative) {
+    worker->gen =
+        std::make_unique<batch::ContinuousBatcher>(*config_.generative);
+  }
   workers_.push_back(std::move(worker));
   ++live_workers_;
   live_rel_.store(live_workers_, std::memory_order_relaxed);
@@ -255,15 +267,22 @@ void LiveTestbed::Impl::RetireInstance(InstanceId id) {
   // dispatch_mu_ held.
   ARLO_CHECK(id < workers_.size());
   Worker& w = *workers_[id];
-  std::deque<batch::Item> orphans;
+  std::vector<batch::Item> orphans;
   bool idle;
   {
     std::lock_guard lk(w.mu);
     ARLO_CHECK_MSG(!w.retiring && !w.gone, "double retirement");
     w.retiring = true;
-    orphans = std::move(w.queue);
-    w.queue.clear();
-    idle = w.executing == 0;
+    if (w.gen) {
+      // Residents keep their KV caches and decode to completion in place;
+      // only the not-yet-admitted waiting queue is re-dispatched.
+      orphans = w.gen->StealWaiting();
+      idle = w.executing == 0 && w.gen->Idle();
+    } else {
+      orphans.assign(w.queue.begin(), w.queue.end());
+      w.queue.clear();
+      idle = w.executing == 0;
+    }
   }
   for (const auto& q : orphans) HandleArrivalLocked(q.request);
   if (idle) {
@@ -297,6 +316,7 @@ int LiveTestbed::Impl::OutstandingOn(InstanceId id) const {
   ARLO_CHECK(id < workers_.size());
   const Worker& w = *workers_[id];
   std::lock_guard lk(w.mu);
+  if (w.gen) return w.gen->WaitingCount() + w.gen->ResidentCount();
   return static_cast<int>(w.queue.size()) + w.executing;
 }
 
@@ -342,7 +362,11 @@ bool LiveTestbed::Impl::TryDispatchLocked(const Request& request) {
     std::lock_guard lk(w.mu);
     ARLO_CHECK_MSG(w.ready && !w.retiring && !w.gone,
                    "scheme selected an unavailable worker");
-    w.queue.push_back(batch::Item{request, Now()});
+    if (w.gen) {
+      w.gen->Enqueue(batch::Item{request, Now()});
+    } else {
+      w.queue.push_back(batch::Item{request, Now()});
+    }
   }
   scheme_.OnDispatched(request, id);
   ++outstanding_;
@@ -366,14 +390,22 @@ bool LiveTestbed::Impl::KillWorkerLocked(InstanceId id) {
   // serving (still provisioning, retiring, or already dead) is a no-op.
   if (id >= workers_.size()) return false;
   Worker& w = *workers_[id];
-  std::deque<batch::Item> orphans;
+  std::vector<batch::Item> orphans;
   {
     std::lock_guard lk(w.mu);
     if (!w.ready || w.retiring || w.gone) return false;
     w.killed = true;
     w.gone = true;
-    orphans = std::move(w.queue);
-    w.queue.clear();
+    if (w.gen) {
+      // Crash loses the KV caches: waiting AND resident sequences (including
+      // any in-flight iteration's) are re-dispatched and prefill again
+      // (recompute) on whichever worker they land on next.  The worker
+      // thread observes `killed` and exits without completing the iteration.
+      orphans = w.gen->StealAll();
+    } else {
+      orphans.assign(w.queue.begin(), w.queue.end());
+      w.queue.clear();
+    }
   }
   --live_workers_;
   live_rel_.store(live_workers_, std::memory_order_relaxed);
@@ -455,6 +487,7 @@ std::vector<InstanceId> LiveTestbed::Impl::FindHungLocked(SimTime now) {
     const Worker& w = *workers_[id];
     std::lock_guard lk(w.mu);
     if (!w.ready || w.retiring || w.gone) return 0;
+    if (w.gen) return w.gen->WaitingCount() + w.gen->ResidentCount();
     return static_cast<int>(w.queue.size()) + w.executing;
   });
 }
@@ -566,6 +599,11 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
     }
     scheme_.OnInstanceReady(id, w.runtime);
     RetryBufferedLocked();
+  }
+
+  if (w.gen) {
+    GenWorkerRun(id, w);
+    return;
   }
 
   for (;;) {
@@ -750,6 +788,167 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
   }
 }
 
+void LiveTestbed::Impl::GenWorkerRun(InstanceId id, Worker& w) {
+  // Iteration loop: plan (under w.mu), sleep out the modeled iteration
+  // time with no locks held, then complete under the dispatch lock —
+  // mirroring the one-shot WorkerLoop's structure so kills, hangs, and
+  // retirement compose identically.
+  for (;;) {
+    batch::IterationPlan plan;
+    double slow_factor = 1.0;
+    SimTime start_sim = 0;
+    {
+      std::unique_lock lk(w.mu);
+      for (;;) {
+        w.cv.wait(lk, [&] { return w.gone || w.retiring || !w.gen->Idle(); });
+        if (w.gone) return;  // killed (StealAll already requeued everything)
+        if (w.retiring && w.gen->Idle()) return;  // drained shutdown
+        start_sim = Now();
+        plan = w.gen->BeginIteration(start_sim);
+        if (plan.kind != batch::IterationPlan::Kind::kNone) break;
+      }
+      w.executing = plan.batch;
+      if (start_sim < w.slow_until) slow_factor = w.slow_factor;
+    }
+    {
+      std::lock_guard h(health_mu_);
+      health_.OnProgress(id, Now());
+    }
+
+    SimDuration service;
+    if (plan.kind == batch::IterationPlan::Kind::kPrefill) {
+      service = static_cast<SimDuration>(plan.batch) *
+                    config_.per_request_overhead +
+                w.rt->BatchComputeTime(plan.batch, plan.max_len);
+    } else {
+      service = w.rt->DecodeStepTime(plan.billed_batch, plan.max_len);
+    }
+    service = static_cast<SimDuration>(static_cast<double>(service) *
+                                       slow_factor);
+    gen_preemptions_.fetch_add(static_cast<std::uint64_t>(plan.preempted),
+                               std::memory_order_relaxed);
+    if (plan.kind == batch::IterationPlan::Kind::kPrefill) {
+      batches_formed_.fetch_add(1, std::memory_order_relaxed);
+      gen_prefill_iters_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.telemetry) {
+        config_.telemetry->RecordGenPrefill(start_sim, id, plan.batch,
+                                            plan.preempted, service);
+      }
+    } else {
+      gen_decode_iters_.fetch_add(1, std::memory_order_relaxed);
+    }
+    PreciseWaitUntil(SimToWall(start_sim + service),
+                     std::chrono::nanoseconds(config_.spin_threshold));
+
+    // Hang freeze: the iteration's completion slides past the window, same
+    // as the one-shot path; a kill interrupts the freeze immediately.
+    bool recovered_from_hang = false;
+    {
+      std::unique_lock lk(w.mu);
+      while (!w.killed && Now() < w.hung_until) {
+        recovered_from_hang = true;
+        w.cv.wait_until(lk, SimToWall(w.hung_until), [&] { return w.killed; });
+      }
+      if (recovered_from_hang && !w.killed && config_.telemetry) {
+        config_.telemetry->RecordFaultRecover(Now(), id);
+      }
+    }
+
+    {
+      std::lock_guard global(dispatch_mu_);
+      batch::ContinuousBatcher::IterationResult result;
+      bool was_killed;
+      {
+        std::lock_guard lk(w.mu);
+        was_killed = w.killed;
+        if (!was_killed) {
+          result = w.gen->CompleteIteration(Now());
+          w.executing = 0;
+        }
+      }
+      if (was_killed) {
+        // KillWorkerLocked stole and requeued every sequence (the KV caches
+        // are gone); nothing to complete here.
+        return;
+      }
+      const SimTime completion = Now();
+      if (config_.telemetry) {
+        if (result.plan.kind == batch::IterationPlan::Kind::kDecode) {
+          config_.telemetry->RecordGenDecodeStep(
+              completion, id, result.plan.batch, completion - start_sim);
+        }
+        for (const batch::Item& item : result.first_tokens) {
+          config_.telemetry->RecordGenFirstToken(
+              item.request, completion, completion - item.request.arrival);
+        }
+      }
+      for (batch::GenSequence& seq : result.finished) {
+        RequestRecord record;
+        record.id = seq.item.request.id;
+        record.arrival = seq.item.request.arrival;
+        record.dispatch = seq.item.queued_at;
+        record.start = seq.prefill_start;
+        record.first_token = seq.first_token;
+        record.completion = completion;
+        record.length = seq.item.request.length;
+        record.decode_len = seq.item.request.decode_len;
+        record.stream = seq.item.request.stream;
+        record.runtime = w.runtime;
+        record.instance = id;
+        records_.push_back(record);
+        ++completed_;
+        completed_rel_.fetch_add(1, std::memory_order_relaxed);
+        --outstanding_;
+        const std::int64_t observed = record.ServiceTime();
+        const std::int64_t prev =
+            ewma_service_ns_.load(std::memory_order_relaxed);
+        ewma_service_ns_.store(
+            prev == 0 ? observed : prev - prev / 8 + observed / 8,
+            std::memory_order_relaxed);
+        if (config_.telemetry) {
+          config_.telemetry->RecordComplete(record);
+          UpdateClusterGaugesLocked();
+        }
+        scheme_.OnComplete(record, *this);
+        if (auto it = callbacks_.find(record.id); it != callbacks_.end()) {
+          CompletionFn done = std::move(it->second);
+          callbacks_.erase(it);
+          if (done) done(record);
+        }
+      }
+      UpdateGenGaugesLocked();
+
+      bool drained;
+      {
+        std::lock_guard lk(w.mu);
+        drained = w.retiring && w.gen->Idle();
+      }
+      {
+        std::lock_guard h(health_mu_);
+        health_.OnProgress(id, Now());
+      }
+      if (drained) FinalizeRetirementLocked(id);
+      RetryBufferedLocked();
+      if (completed_ >= submitted_) all_done_cv_.notify_all();
+      if (drained) return;
+    }
+  }
+}
+
+void LiveTestbed::Impl::UpdateGenGaugesLocked() {
+  if (!config_.telemetry || !config_.generative) return;
+  std::int64_t resident = 0;
+  std::int64_t capacity = 0;
+  for (const auto& worker : workers_) {
+    const Worker& w = *worker;
+    std::lock_guard lk(w.mu);
+    if (w.gone || !w.gen) continue;
+    resident += w.gen->ResidentCount();
+    capacity += w.gen->KvCapacity();
+  }
+  config_.telemetry->SetGenKvGauges(resident, capacity);
+}
+
 void LiveTestbed::Impl::UpdateClusterGaugesLocked() {
   config_.telemetry->SetClusterGauges(
       live_workers_, outstanding_, static_cast<std::int64_t>(buffer_.size()));
@@ -858,7 +1057,8 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
     int max_length;
     {
       std::lock_guard lk(w.mu);
-      queued = static_cast<int>(w.queue.size());
+      queued = w.gen ? w.gen->WaitingCount() + w.gen->ResidentCount()
+                     : static_cast<int>(w.queue.size());
       executing = w.executing;
       state = w.gone ? (w.killed ? "killed" : "gone")
                      : (w.retiring ? "retiring"
@@ -944,6 +1144,11 @@ TestbedResult LiveTestbed::Impl::Finish() {
   out.requeues = requeues_;
   out.batches_formed = batches_formed_.load(std::memory_order_relaxed);
   out.batch_timeouts = batch_timeouts_.load(std::memory_order_relaxed);
+  out.gen_prefill_iterations =
+      gen_prefill_iters_.load(std::memory_order_relaxed);
+  out.gen_decode_iterations =
+      gen_decode_iters_.load(std::memory_order_relaxed);
+  out.gen_preemptions = gen_preemptions_.load(std::memory_order_relaxed);
   SimTime end = 0;
   for (const auto& r : out.records) end = std::max(end, r.completion);
   out.end_time = end;

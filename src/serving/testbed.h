@@ -14,6 +14,7 @@
 // Lock ordering: dispatch mutex -> worker mutex, never the reverse.
 #pragma once
 
+#include "batch/continuous.h"
 #include "batch/policy.h"
 #include "common/types.h"
 #include "fault/fault_plan.h"
@@ -53,6 +54,14 @@ struct TestbedConfig {
   /// arrivals interrupt the wait promptly.  See docs/BATCHING.md.
   const batch::BatchPolicy* batch_policy = nullptr;
 
+  /// Generative (autoregressive) serving (not owned; must outlive the run).
+  /// Null keeps the historical one-shot path.  When set, every worker owns
+  /// a batch::ContinuousBatcher and executes prefill/decode iterations
+  /// priced by the runtime's two-phase cost model instead of the one-shot
+  /// batch path; `max_batch`/`batch_policy` are ignored.  See
+  /// docs/GENERATIVE.md.
+  const batch::GenerativeConfig* generative = nullptr;
+
   /// Optional telemetry sink (not owned; must outlive the run).  Construct
   /// it with Concurrency::kMultiThreaded — workers record concurrently.
   /// Snapshots are driven by a wall-clock thread at the sink's period
@@ -89,6 +98,9 @@ struct TestbedResult {
   std::uint64_t requeues = 0;          ///< requests drained off dead workers
   std::uint64_t batches_formed = 0;    ///< batches launched (size 1 included)
   std::uint64_t batch_timeouts = 0;    ///< batches launched on budget expiry
+  std::uint64_t gen_prefill_iterations = 0;  ///< generative prefill cohorts
+  std::uint64_t gen_decode_iterations = 0;   ///< generative decode steps
+  std::uint64_t gen_preemptions = 0;         ///< KV evictions (recompute)
 };
 
 /// Replays the trace through the scheme on real threads.  Blocks until all

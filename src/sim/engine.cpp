@@ -41,6 +41,9 @@ InstanceId Engine::LaunchInstance(
   Instance inst;
   inst.runtime = runtime;
   inst.rt = std::move(rt);
+  if (config_.generative) {
+    inst.gen = std::make_unique<batch::ContinuousBatcher>(*config_.generative);
+  }
   instances_.push_back(std::move(inst));
   ++active_count_;
   peak_count_ = std::max(peak_count_, active_count_);
@@ -69,19 +72,30 @@ void Engine::RetireInstance(InstanceId id) {
   ARLO_CHECK_MSG(!inst.gone && !inst.retiring, "double retirement");
   inst.retiring = true;
   // Re-dispatch queued (not yet executing) requests through the scheme.
-  std::deque<batch::Item> orphans = std::move(inst.queue);
-  inst.queue.clear();
+  // Generative instances keep their residents: in-flight and resident
+  // sequences decode to completion in place, then retirement finalizes.
+  std::vector<batch::Item> orphans;
+  if (inst.gen) {
+    orphans = inst.gen->StealWaiting();
+  } else {
+    orphans.assign(inst.queue.begin(), inst.queue.end());
+    inst.queue.clear();
+  }
   for (const auto& q : orphans) HandleArrival(q.request);
-  if (!inst.executing) FinalizeRetirement(id);
+  if (!inst.executing && (!inst.gen || inst.gen->Idle())) {
+    FinalizeRetirement(id);
+  }
 }
 
 void Engine::FinalizeRetirement(InstanceId id) {
   Instance& inst = instances_[id];
   if (inst.gone) return;  // a scheme may retire from inside OnComplete
-  ARLO_CHECK(inst.retiring && !inst.executing && inst.queue.empty());
+  ARLO_CHECK(inst.retiring && !inst.executing && inst.queue.empty() &&
+             (!inst.gen || inst.gen->Idle()));
   AccumulateGpuTime();
   inst.gone = true;
   inst.rt.reset();
+  inst.gen.reset();
   --active_count_;
   if (config_.telemetry) {
     config_.telemetry->RecordInstanceRetired(events_.Now(), id);
@@ -93,6 +107,7 @@ void Engine::FinalizeRetirement(InstanceId id) {
 int Engine::OutstandingOn(InstanceId id) const {
   ARLO_CHECK(id < instances_.size());
   const Instance& inst = instances_[id];
+  if (inst.gen) return inst.gen->WaitingCount() + inst.gen->ResidentCount();
   return static_cast<int>(inst.queue.size() + inst.current_batch.size());
 }
 
@@ -143,7 +158,11 @@ bool Engine::TryDispatch(const Request& request) {
                  "scheme selected an unavailable instance");
   ARLO_CHECK_MSG(inst.rt->Accepts(request.length),
                  "scheme selected a runtime that cannot serve this length");
-  inst.queue.push_back(batch::Item{request, events_.Now()});
+  if (inst.gen) {
+    inst.gen->Enqueue(batch::Item{request, events_.Now()});
+  } else {
+    inst.queue.push_back(batch::Item{request, events_.Now()});
+  }
   scheme_.OnDispatched(request, id);
   ++outstanding_;
   if (config_.telemetry) {
@@ -161,6 +180,10 @@ bool Engine::TryDispatch(const Request& request) {
 
 void Engine::MaybeStartNext(InstanceId id) {
   Instance& inst = instances_[id];
+  if (inst.gen) {
+    GenMaybeStartNext(id);
+    return;
+  }
   if (inst.executing || !inst.ready || inst.queue.empty()) return;
   if (inst.hung_until > events_.Now()) return;  // frozen; recovery re-kicks
   const SimTime now = events_.Now();
@@ -222,6 +245,51 @@ void Engine::MaybeStartNext(InstanceId id) {
   events_.Schedule(now + service, [this, id] { HandleCompletion(id); });
 }
 
+void Engine::GenMaybeStartNext(InstanceId id) {
+  Instance& inst = instances_[id];
+  ARLO_CHECK(inst.gen != nullptr);
+  if (inst.executing || !inst.ready) return;
+  const SimTime now = events_.Now();
+  if (inst.hung_until > now) return;  // frozen; recovery re-kicks
+
+  const batch::IterationPlan plan = inst.gen->BeginIteration(now);
+  if (plan.kind == batch::IterationPlan::Kind::kNone) return;
+
+  SimDuration service = 0;
+  if (plan.kind == batch::IterationPlan::Kind::kPrefill) {
+    // A prefill cohort is priced like a one-shot batch: per-request overhead
+    // plus the padded batched forward pass over the admitted prompts.
+    service =
+        static_cast<SimDuration>(plan.batch) * config_.per_request_overhead +
+        inst.rt->BatchComputeTime(plan.batch, plan.max_len);
+  } else {
+    // One token for every resident sequence, billed at the batcher's bucket
+    // (static mode keeps the cohort's launch shape until it drains).
+    service = inst.rt->DecodeStepTime(plan.billed_batch, plan.max_len);
+  }
+  if (now < inst.slow_until) {
+    service = static_cast<SimDuration>(static_cast<double>(service) *
+                                       inst.slow_factor);
+  }
+  inst.executing = true;
+  inst.current_start = now;
+  busy_ns_total_ += static_cast<double>(service);
+  gen_preemptions_ += static_cast<std::uint64_t>(plan.preempted);
+  if (plan.kind == batch::IterationPlan::Kind::kPrefill) {
+    ++batches_formed_;
+    ++gen_prefill_iters_;
+    if (config_.telemetry) {
+      config_.telemetry->RecordGenPrefill(now, id, plan.batch, plan.preempted,
+                                          service);
+    }
+  } else {
+    ++gen_decode_iters_;
+  }
+  UpdateGenGauges();
+  if (config_.fault_plan) health_.OnProgress(id, now);
+  events_.Schedule(now + service, [this, id] { HandleGenCompletion(id); });
+}
+
 void Engine::ScheduleBatchTimer(InstanceId id, SimTime at) {
   Instance& inst = instances_[id];
   // An earlier pending timer already covers this re-poll.
@@ -279,11 +347,19 @@ bool Engine::CrashInstance(InstanceId victim) {
   scheme_.OnInstanceFailure(victim, *this);
 
   // Vanish instantly: lose nothing — queued and in-flight requests are
-  // re-dispatched with their original arrival times.
-  std::vector<batch::Item> orphans(inst.queue.begin(), inst.queue.end());
-  inst.queue.clear();
-  for (const auto& q : inst.current_batch) orphans.push_back(q);
-  inst.current_batch.clear();
+  // re-dispatched with their original arrival times.  A generative instance
+  // additionally loses its KV caches: resident sequences restart from
+  // prefill (recompute) on whichever instance they land on next.
+  std::vector<batch::Item> orphans;
+  if (inst.gen) {
+    orphans = inst.gen->StealAll();
+    inst.gen.reset();
+  } else {
+    orphans.assign(inst.queue.begin(), inst.queue.end());
+    inst.queue.clear();
+    for (const auto& q : inst.current_batch) orphans.push_back(q);
+    inst.current_batch.clear();
+  }
   inst.executing = false;  // the stale completion event is ignored via gone
   AccumulateGpuTime();
   inst.gone = true;
@@ -465,6 +541,79 @@ void Engine::HandleCompletion(InstanceId id) {
   RetryBuffered();
 }
 
+void Engine::HandleGenCompletion(InstanceId id) {
+  Instance& inst = instances_[id];
+  if (inst.gone) return;  // iteration lost to a crash
+  if (inst.hung_until > events_.Now()) {
+    // Frozen mid-iteration: it completes when the hang window ends (or
+    // never, if hang detection reaps the instance first).
+    events_.Schedule(inst.hung_until, [this, id] { HandleGenCompletion(id); });
+    return;
+  }
+  ARLO_CHECK(inst.executing && inst.gen != nullptr);
+  inst.executing = false;
+  const SimTime now = events_.Now();
+  if (config_.fault_plan) health_.OnProgress(id, now);
+
+  batch::ContinuousBatcher::IterationResult result =
+      inst.gen->CompleteIteration(now);
+  gen_tokens_ += static_cast<std::uint64_t>(result.tokens);
+  if (config_.telemetry) {
+    if (result.plan.kind == batch::IterationPlan::Kind::kDecode) {
+      config_.telemetry->RecordGenDecodeStep(now, id, result.plan.batch,
+                                             now - inst.current_start);
+    }
+    for (const batch::Item& item : result.first_tokens) {
+      config_.telemetry->RecordGenFirstToken(item.request, now,
+                                             now - item.request.arrival);
+    }
+  }
+
+  for (batch::GenSequence& seq : result.finished) {
+    RequestRecord record;
+    record.id = seq.item.request.id;
+    record.arrival = seq.item.request.arrival;
+    record.dispatch = seq.item.queued_at;
+    record.start = seq.prefill_start;
+    record.first_token = seq.first_token;
+    record.completion = now;
+    record.length = seq.item.request.length;
+    record.decode_len = seq.item.request.decode_len;
+    record.stream = seq.item.request.stream;
+    record.runtime = inst.runtime;
+    record.instance = id;
+    if (config_.collect_records) records_.push_back(record);
+    ++completed_;
+    --outstanding_;
+    if (config_.timeline) config_.timeline->RecordCompletion(record);
+    if (config_.telemetry) {
+      config_.telemetry->RecordComplete(record);
+      UpdateClusterGauges();
+    }
+    scheme_.OnComplete(record, *this);
+  }
+  UpdateGenGauges();
+
+  if (inst.retiring && inst.gen->Idle()) {
+    FinalizeRetirement(id);
+  } else {
+    GenMaybeStartNext(id);
+  }
+  RetryBuffered();
+}
+
+void Engine::UpdateGenGauges() {
+  if (!config_.telemetry || !config_.generative) return;
+  std::int64_t resident = 0;
+  std::int64_t capacity = 0;
+  for (const Instance& inst : instances_) {
+    if (inst.gone || !inst.gen) continue;
+    resident += inst.gen->ResidentCount();
+    capacity += inst.gen->KvCapacity();
+  }
+  config_.telemetry->SetGenKvGauges(resident, capacity);
+}
+
 void Engine::RetryBuffered() {
   while (!buffer_.empty()) {
     if (!TryDispatch(buffer_.front())) return;
@@ -549,6 +698,10 @@ EngineResult Engine::Run() {
   out.sheds = sheds_total_;
   out.batches_formed = batches_formed_;
   out.batch_timeouts = batch_timeouts_;
+  out.gen_prefill_iterations = gen_prefill_iters_;
+  out.gen_decode_iterations = gen_decode_iters_;
+  out.gen_tokens = gen_tokens_;
+  out.gen_preemptions = gen_preemptions_;
   out.shed_records = std::move(shed_records_);
   if (events_.Now() > 0) {
     out.time_weighted_gpus =

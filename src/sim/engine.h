@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "batch/continuous.h"
 #include "batch/policy.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -52,6 +53,15 @@ struct EngineConfig {
   /// that wait (e.g. "slo") re-poll through scheduled timer events, so
   /// determinism is preserved.  See docs/BATCHING.md.
   const batch::BatchPolicy* batch_policy = nullptr;
+
+  /// Generative (autoregressive) serving mode (not owned; must outlive the
+  /// run).  Null keeps the historical one-shot path — seeded runs are
+  /// byte-identical to builds without this feature.  When set, every
+  /// instance owns a batch::ContinuousBatcher and executes prefill/decode
+  /// iterations priced by the runtime's two-phase cost model instead of the
+  /// one-shot batch path; `max_batch`/`batch_policy` are ignored.  See
+  /// docs/GENERATIVE.md.
+  const batch::GenerativeConfig* generative = nullptr;
 
   /// Fault injection (§3.4 motivation: "idiosyncratic factors such as
   /// failures and bugs lead to imbalanced load").  When > 0, instances
@@ -97,6 +107,10 @@ struct EngineResult {
   std::uint64_t sheds = 0;            ///< buffered requests past shed deadline
   std::uint64_t batches_formed = 0;   ///< batches launched (size 1 included)
   std::uint64_t batch_timeouts = 0;   ///< batches launched on budget expiry
+  std::uint64_t gen_prefill_iterations = 0;  ///< generative prefill cohorts
+  std::uint64_t gen_decode_iterations = 0;   ///< generative decode steps
+  std::uint64_t gen_tokens = 0;              ///< output tokens emitted
+  std::uint64_t gen_preemptions = 0;         ///< KV evictions (recompute)
   /// Requests rejected by deadline shedding (dispatch == start == completion
   /// == shed time; runtime/instance invalid).  Disjoint from `records`.
   std::vector<RequestRecord> shed_records;
@@ -142,14 +156,21 @@ class Engine final : public ClusterOps {
     /// MaybeStartNext at this stamp; any earlier launch or a newer timer
     /// invalidates it by moving the stamp.
     SimTime batch_timer_at = 0;
+    /// Generative mode only: the per-instance iteration-level batcher.
+    /// `queue`/`current_batch` stay empty; waiting and resident sequences
+    /// live here instead.
+    std::unique_ptr<batch::ContinuousBatcher> gen;
   };
 
   void HandleArrival(const Request& request);
   void HandleArrivalAttempt(const Request& request, int attempt);
   bool TryDispatch(const Request& request);
   void MaybeStartNext(InstanceId id);
+  void GenMaybeStartNext(InstanceId id);
   void ScheduleBatchTimer(InstanceId id, SimTime at);
   void HandleCompletion(InstanceId id);
+  void HandleGenCompletion(InstanceId id);
+  void UpdateGenGauges();
   void FinalizeRetirement(InstanceId id);
   void RetryBuffered();
   void ScheduleNextArrival();
@@ -204,6 +225,10 @@ class Engine final : public ClusterOps {
   std::uint64_t sheds_total_ = 0;
   std::uint64_t batches_formed_ = 0;
   std::uint64_t batch_timeouts_ = 0;
+  std::uint64_t gen_prefill_iters_ = 0;
+  std::uint64_t gen_decode_iters_ = 0;
+  std::uint64_t gen_tokens_ = 0;
+  std::uint64_t gen_preemptions_ = 0;
   std::vector<RequestRecord> shed_records_;
 };
 

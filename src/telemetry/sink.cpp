@@ -109,6 +109,27 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
       "arlo_batch_size", "Requests per launched batch");
   batch_.batch_wait_ns = registry_.GetHistogram(
       "arlo_batch_wait_ns", "Oldest member's queue wait at batch launch");
+  gen_.prefill_iterations = registry_.GetCounter(
+      "arlo_gen_prefill_iterations_total",
+      "Prefill iterations launched by continuous/static generative batchers");
+  gen_.decode_iterations = registry_.GetCounter(
+      "arlo_gen_decode_iterations_total",
+      "Decode iterations (one token per resident sequence each)");
+  gen_.tokens = registry_.GetCounter(
+      "arlo_gen_tokens_total", "Output tokens emitted (prefill + decode)");
+  gen_.preemptions = registry_.GetCounter(
+      "arlo_gen_preemptions_total",
+      "Resident sequences evicted (recompute-style) to admit a prompt");
+  gen_.kv_resident = registry_.GetGauge(
+      "arlo_gen_kv_resident",
+      "Resident generative sequences across all instances");
+  gen_.kv_capacity = registry_.GetGauge(
+      "arlo_gen_kv_capacity",
+      "Aggregate KV-cache capacity in resident sequences");
+  gen_.ttft_ns = registry_.GetHistogram(
+      "arlo_gen_ttft_ns", "Arrival to first output token (time-to-first-token)");
+  gen_.itl_ns = registry_.GetHistogram(
+      "arlo_gen_itl_ns", "Per-token inter-token latency of decode steps");
   cluster_.routed = registry_.GetCounter(
       "arlo_cluster_routed_total",
       "SubmitRequests forwarded to a backend node by the router");
@@ -166,6 +187,45 @@ void TelemetrySink::RecordBatchFormed(SimTime now, InstanceId instance,
                      {"computed_tokens", computed_tokens},
                      {"timed_out", timed_out ? 1 : 0}});
   }
+}
+
+void TelemetrySink::RecordGenPrefill(SimTime now, InstanceId instance,
+                                     int batch, int preempted,
+                                     SimDuration duration) {
+  gen_.prefill_iterations->Add();
+  if (preempted > 0) {
+    gen_.preemptions->Add(static_cast<std::uint64_t>(preempted));
+  }
+  if (config_.trace_requests) {
+    tracer_.Instant("gen_prefill", "generative", now,
+                    static_cast<std::int64_t>(instance),
+                    {{"batch", batch},
+                     {"preempted", preempted},
+                     {"duration_ns", duration}});
+  }
+}
+
+void TelemetrySink::RecordGenDecodeStep(SimTime now, InstanceId instance,
+                                        int batch, SimDuration step) {
+  (void)now;
+  (void)instance;
+  gen_.decode_iterations->Add();
+  gen_.tokens->Add(static_cast<std::uint64_t>(batch));
+  for (int i = 0; i < batch; ++i) gen_.itl_ns->Record(step);
+}
+
+void TelemetrySink::RecordGenFirstToken(const Request& request, SimTime now,
+                                        SimDuration ttft) {
+  (void)request;
+  (void)now;
+  gen_.tokens->Add();
+  gen_.ttft_ns->Record(ttft);
+}
+
+void TelemetrySink::SetGenKvGauges(std::int64_t resident,
+                                   std::int64_t capacity) {
+  gen_.kv_resident->Set(resident);
+  gen_.kv_capacity->Set(capacity);
 }
 
 void TelemetrySink::RecordEnqueue(const Request& request, SimTime now) {

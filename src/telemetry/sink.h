@@ -103,6 +103,22 @@ struct BatchMetrics {
   LatencyHistogram* batch_wait_ns = nullptr;
 };
 
+/// Stable pointers to the generative-serving metrics (src/batch continuous
+/// batching + the runtime decode phase; see docs/GENERATIVE.md).
+/// Zero-valued in one-shot runs.
+struct GenerativeMetrics {
+  Counter* prefill_iterations = nullptr;
+  Counter* decode_iterations = nullptr;
+  /// Output tokens emitted (prefill first-tokens + decode-step tokens).
+  Counter* tokens = nullptr;
+  /// Residents evicted (recompute-style) to admit a waiting prompt.
+  Counter* preemptions = nullptr;
+  Gauge* kv_resident = nullptr;  ///< resident sequences across instances
+  Gauge* kv_capacity = nullptr;  ///< aggregate KV capacity (sequences)
+  LatencyHistogram* ttft_ns = nullptr;  ///< arrival to first output token
+  LatencyHistogram* itl_ns = nullptr;   ///< per-token inter-token latency
+};
+
 /// Stable pointers to the router-tier metrics (src/cluster; see
 /// docs/CLUSTER.md).  Zero-valued in runs without a router.
 struct ClusterMetrics {
@@ -223,6 +239,23 @@ class TelemetrySink {
                          std::int64_t computed_tokens, SimDuration oldest_wait,
                          bool timed_out);
 
+  // --- generative serving (src/batch continuous; docs/GENERATIVE.md) -----
+  /// A prefill iteration launched: `batch` prompts admitted, `preempted`
+  /// residents evicted to make room.  Emits a trace instant (generative
+  /// runs only, so one-shot traces stay byte-identical).
+  void RecordGenPrefill(SimTime now, InstanceId instance, int batch,
+                        int preempted, SimDuration duration);
+  /// A decode iteration completed: `batch` resident sequences each emitted
+  /// one token after `step` — recorded per token into the inter-token
+  /// latency histogram.  No trace instant: one per token would swamp the
+  /// trace buffer.
+  void RecordGenDecodeStep(SimTime now, InstanceId instance, int batch,
+                           SimDuration step);
+  /// A sequence emitted its first output token `ttft` after arrival.
+  void RecordGenFirstToken(const Request& request, SimTime now,
+                           SimDuration ttft);
+  void SetGenKvGauges(std::int64_t resident, std::int64_t capacity);
+
   // --- cluster router (src/cluster; see docs/CLUSTER.md) -----------------
   /// A submit was forwarded to backend `node`; also bumps the lazily
   /// registered arlo_cluster_node_routed_total{node="i"} counter.
@@ -264,6 +297,7 @@ class TelemetrySink {
   const ServingMetrics& Serving() const { return serving_; }
   const NetMetrics& Net() const { return net_; }
   const BatchMetrics& Batch() const { return batch_; }
+  const GenerativeMetrics& Gen() const { return gen_; }
   const ClusterMetrics& Cluster() const { return cluster_; }
   const TelemetryConfig& Config() const { return config_; }
 
@@ -278,6 +312,7 @@ class TelemetrySink {
   ServingMetrics serving_;
   NetMetrics net_;
   BatchMetrics batch_;
+  GenerativeMetrics gen_;
   ClusterMetrics cluster_;
 
   std::vector<TelemetryObserver*> observers_;

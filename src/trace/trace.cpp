@@ -53,10 +53,22 @@ void Trace::Append(const Trace& other, SimDuration gap) {
   for (std::size_t i = 0; i < requests_.size(); ++i) requests_[i].id = i;
 }
 
+bool Trace::IsGenerative() const {
+  return std::any_of(requests_.begin(), requests_.end(),
+                     [](const Request& r) { return r.decode_len >= 1; });
+}
+
 void Trace::SaveCsv(std::ostream& os) const {
-  os << "id,arrival_ns,length\n";
+  const bool generative = IsGenerative();
+  if (generative) {
+    os << "id,arrival_ns,length,decode_len\n";
+  } else {
+    os << "id,arrival_ns,length\n";
+  }
   for (const auto& r : requests_) {
-    os << r.id << ',' << r.arrival << ',' << r.length << '\n';
+    os << r.id << ',' << r.arrival << ',' << r.length;
+    if (generative) os << ',' << r.decode_len;
+    os << '\n';
   }
 }
 
@@ -68,13 +80,18 @@ Trace Trace::LoadCsv(std::istream& is) {
     if (line.empty()) continue;
     if (first) {
       first = false;
-      if (line.rfind("id,", 0) == 0) continue;  // header
+      if (line.rfind("id,", 0) == 0) continue;  // header (either shape)
     }
     std::istringstream ls(line);
     Request r;
     char comma = 0;
     ls >> r.id >> comma >> r.arrival >> comma >> r.length;
     ARLO_CHECK_MSG(!ls.fail(), "malformed trace CSV line: " + line);
+    if (ls >> comma >> r.decode_len) {
+      ARLO_CHECK_MSG(r.decode_len >= 0, "negative decode_len: " + line);
+    } else {
+      r.decode_len = 0;
+    }
     requests.push_back(r);
   }
   return Trace(std::move(requests));

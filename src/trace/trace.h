@@ -39,7 +39,13 @@ class Trace {
   /// Concatenates another trace shifted to start after this one ends.
   void Append(const Trace& other, SimDuration gap = 0);
 
-  /// CSV round-trip ("id,arrival_ns,length" with a header line).
+  /// True iff any request has a decode phase (decode_len >= 1).
+  bool IsGenerative() const;
+
+  /// CSV round-trip with a header line.  One-shot traces serialize as the
+  /// historical "id,arrival_ns,length" (byte-identical to pre-generative
+  /// builds); generative traces append a decode_len column.  LoadCsv accepts
+  /// both shapes.
   void SaveCsv(std::ostream& os) const;
   static Trace LoadCsv(std::istream& is);
 

@@ -84,6 +84,9 @@ Trace SynthesizeTwitterTrace(const TwitterTraceConfig& config) {
   Rng arrivals_rng = root.Split();
   Rng lengths_rng = root.Split();
   Rng drift_rng = root.Split();
+  // Dedicated stream: sampling (or not sampling) decode lengths must not
+  // perturb arrivals or prefill lengths for a fixed seed.
+  Rng decode_rng = root.Split();
 
   // Length model: a drifting two-component mixture; when max_length is 512
   // the samples are rescaled as in §5 Workloads.
@@ -133,6 +136,9 @@ Trace SynthesizeTwitterTrace(const TwitterTraceConfig& config) {
       Request r;
       r.arrival = at;
       r.length = sampler->Sample(lengths_rng);
+      if (config.decode_lengths) {
+        r.decode_len = config.decode_lengths->Sample(decode_rng);
+      }
       requests.push_back(r);
     }
   }

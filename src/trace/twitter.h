@@ -9,11 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "trace/trace.h"
 
 namespace arlo::trace {
+
+class LengthDistribution;
 
 /// Per-second nominal request rates.
 struct RateTrack {
@@ -56,6 +59,14 @@ struct TwitterTraceConfig {
   /// Optional externally supplied rate track; when empty a constant track at
   /// mean_rate is used.
   RateTrack rate_track;
+
+  /// Generative workloads: when set, each request additionally samples a
+  /// decode_len from this distribution (see trace/generative.h).  The decode
+  /// sampler draws from its own RNG stream, so for a fixed seed the arrival
+  /// times and prefill lengths are identical with and without it — a
+  /// generative trace is the one-shot trace plus output lengths.  Null (the
+  /// default) produces the historical one-shot trace, byte-identical.
+  std::shared_ptr<const LengthDistribution> decode_lengths;
 };
 
 /// Generates a full trace per the config.  Deterministic in `seed`.

@@ -26,6 +26,7 @@ TEST(NetProtocol, SubmitRoundTrip) {
   msg.request_id = 0xfedcba9876543210ULL;
   msg.model = 7;
   msg.length = 511;
+  msg.decode_len = 77;
   msg.deadline_ns = Millis(150.0);
 
   std::vector<std::uint8_t> bytes;
@@ -61,13 +62,14 @@ TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
   msg.request_id = 0x99aabbccddeeff00ULL;
   msg.model = 0xa1b2c3d4;
   msg.length = 0x00000102;
+  msg.decode_len = 0x4a3b2c1d;
   msg.deadline_ns = 0x0807060504030201LL;
 
   std::vector<std::uint8_t> bytes;
   EncodeSubmit(msg, bytes);
-  ASSERT_EQ(bytes.size(), 38u);
-  // frame_len = 34 (version + type bytes + 32-byte payload), little-endian.
-  EXPECT_EQ(bytes[0], 34u);
+  ASSERT_EQ(bytes.size(), 42u);
+  // frame_len = 38 (version + type bytes + 36-byte payload), little-endian.
+  EXPECT_EQ(bytes[0], 38u);
   EXPECT_EQ(bytes[1], 0u);
   EXPECT_EQ(bytes[2], 0u);
   EXPECT_EQ(bytes[3], 0u);
@@ -79,8 +81,56 @@ TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
   EXPECT_EQ(bytes[21], 0x99);  // request_id MSB
   EXPECT_EQ(bytes[22], 0xd4);  // model LSB
   EXPECT_EQ(bytes[26], 0x02);  // length LSB
-  EXPECT_EQ(bytes[30], 0x01);  // deadline LSB
-  EXPECT_EQ(bytes[37], 0x08);
+  EXPECT_EQ(bytes[30], 0x1d);  // decode_len LSB
+  EXPECT_EQ(bytes[33], 0x4a);  // decode_len MSB
+  EXPECT_EQ(bytes[34], 0x01);  // deadline LSB
+  EXPECT_EQ(bytes[41], 0x08);
+}
+
+TEST(NetProtocol, V2SubmitFramesStillDecode) {
+  // A v2 submit (32-byte payload, no decode_len) hand-built byte by byte.
+  // Old one-shot clients must keep working against a v3 server.
+  std::vector<std::uint8_t> bytes = {34, 0, 0, 0, 2,
+                                     static_cast<std::uint8_t>(MsgType::kSubmit)};
+  auto put_u64 = [&bytes](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put_u32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u64(0x1111u);                  // id
+  put_u64(0x2222u);                  // request_id
+  put_u32(9u);                       // model
+  put_u32(384u);                     // length
+  put_u64(0x0000000005f5e100ull);    // deadline_ns = 100ms
+  ASSERT_EQ(bytes.size(), 4u + 34u);
+
+  const Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.type, MsgType::kSubmit);
+  EXPECT_EQ(frame.submit.id, 0x1111u);
+  EXPECT_EQ(frame.submit.request_id, 0x2222u);
+  EXPECT_EQ(frame.submit.model, 9u);
+  EXPECT_EQ(frame.submit.length, 384u);
+  EXPECT_EQ(frame.submit.decode_len, 0u);  // v2 is one-shot by definition
+  EXPECT_EQ(frame.submit.deadline_ns, 100000000);
+}
+
+TEST(NetProtocol, V3SubmitWithV2PayloadSizeIsAnError) {
+  // A frame claiming v3 but carrying only the 32-byte v2 payload: the
+  // decoder must not guess which field is missing.
+  std::vector<std::uint8_t> bytes = {34, 0, 0, 0, kProtocolVersion,
+                                     static_cast<std::uint8_t>(MsgType::kSubmit)};
+  bytes.resize(4 + 34, 0);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(frame), FrameDecoder::Result::kError);
+  EXPECT_NE(decoder.Error().find("payload size"), std::string::npos)
+      << decoder.Error();
 }
 
 TEST(NetProtocol, V1FramesAreAStickyError) {
