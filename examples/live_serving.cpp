@@ -31,6 +31,8 @@
 //      [--max-inflight=0] [--rate-limit=0] [--deadline-ms=0]
 //      [--generative] [--decode-len-dist=mixed] [--kv-capacity=0]
 //      [--gen-batcher=continuous|static] [--gen-admission=prefill|decode]
+//      [--tenants=interactive:w8:slo50,batch:w2:slo500]
+//      [--tenant-mix=0.2,0.8]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -52,9 +54,11 @@
 #include "obs/dump_trigger.h"
 #include "obs/flight_recorder.h"
 #include "obs/slo_monitor.h"
+#include "obs/tenant_slo.h"
 #include "serving/live_testbed.h"
 #include "serving/testbed.h"
 #include "sim/report.h"
+#include "tenant/class_table.h"
 #include "telemetry/exporters.h"
 #include "telemetry/sink.h"
 #include "trace/generative.h"
@@ -132,6 +136,21 @@ void PrintTelemetrySummary(const telemetry::TelemetrySink& sink) {
   }
 }
 
+/// Parses --tenant-mix: comma-separated per-class arrival fractions.
+std::vector<double> ParseTenantMix(const std::string& spec, int classes) {
+  std::vector<double> mix;
+  std::stringstream ss(spec);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    mix.push_back(std::stod(field));
+  }
+  if (static_cast<int>(mix.size()) != classes) {
+    throw std::invalid_argument("--tenant-mix needs one fraction per class (" +
+                                std::to_string(classes) + ")");
+  }
+  return mix;
+}
+
 double PercentileMs(std::vector<SimDuration> values, double q) {
   if (values.empty()) return 0.0;
   const std::size_t idx = static_cast<std::size_t>(
@@ -140,6 +159,33 @@ double PercentileMs(std::vector<SimDuration> values, double q) {
                    values.begin() + static_cast<std::ptrdiff_t>(idx),
                    values.end());
   return ToSeconds(values[idx]) * 1e3;
+}
+
+/// Per-class rows of the final summary (printed on exit, including Ctrl-C):
+/// completions and p98 from the run's records, sheds from the sink's
+/// arlo_tenant_* family (frontend rejections and class-overload sheds).
+void PrintTenantSummary(const tenant::TenantClassTable& table,
+                        const std::vector<RequestRecord>& records,
+                        const telemetry::TelemetrySink* sink) {
+  std::cout << "tenant classes:\n";
+  for (int c = 0; c < table.Size(); ++c) {
+    const tenant::TenantClass& klass = table.Class(c);
+    std::vector<SimDuration> latencies;
+    for (const RequestRecord& r : records) {
+      if (table.Clamp(r.tenant_class) == c) latencies.push_back(r.Latency());
+    }
+    std::uint64_t shed = 0;
+    if (sink != nullptr) {
+      if (const telemetry::TenantClassMetrics* t = sink->Tenant(c)) {
+        shed = t->shed->Value();
+      }
+    }
+    std::cout << "  class " << c << " (" << klass.name << ", w"
+              << klass.weight << "): completed " << latencies.size()
+              << ", shed " << shed << ", p98 "
+              << TablePrinter::Num(PercentileMs(latencies, 0.98))
+              << " ms (slo " << ToSeconds(klass.slo) * 1e3 << " ms)\n";
+  }
 }
 
 void PrintResult(const serving::TestbedResult& result,
@@ -212,6 +258,14 @@ int main(int argc, char** argv) {
   const long long kv_capacity = flags.GetInt("kv-capacity", 0);
   const std::string gen_batcher = flags.GetString("gen-batcher", "continuous");
   const std::string gen_admission = flags.GetString("gen-admission", "prefill");
+  const std::string tenants_spec = flags.GetString("tenants", "");
+  const std::string tenant_mix = flags.GetString("tenant-mix", "");
+  tenant::TenantClassTable tenant_table;
+  if (!tenants_spec.empty()) {
+    tenant_table = tenant::TenantClassTable::Parse(tenants_spec);
+  } else if (flags.Has("tenant-mix")) {
+    throw std::invalid_argument("--tenant-mix requires --tenants");
+  }
   if (!generative) {
     for (const char* dep :
          {"decode-len-dist", "kv-capacity", "gen-batcher", "gen-admission"}) {
@@ -227,6 +281,22 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnSigInt);
   std::signal(SIGUSR1, OnSigUsr1);
 
+  // Adds one synthesizer track per tenant class: arrival fractions from
+  // --tenant-mix, or equal shares when it was omitted.
+  const auto add_tenant_tracks = [&](trace::TwitterTraceConfig& workload) {
+    if (tenant_table.Empty()) return;
+    const std::vector<double> mix =
+        tenant_mix.empty()
+            ? std::vector<double>(
+                  static_cast<std::size_t>(tenant_table.Size()), 1.0)
+            : ParseTenantMix(tenant_mix, tenant_table.Size());
+    for (const double fraction : mix) {
+      trace::TwitterTraceConfig::TenantTrack track;
+      track.fraction = fraction;
+      workload.tenants.push_back(track);
+    }
+  };
+
   // --connect: pure client — replay the trace against a remote server.
   if (connect_port > 0) {
     trace::TwitterTraceConfig workload;
@@ -236,6 +306,7 @@ int main(int argc, char** argv) {
     if (generative) {
       workload.decode_lengths = trace::ParseDecodeLengthDist(decode_dist);
     }
+    add_tenant_tracks(workload);
     const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
 
     net::LoadGeneratorConfig lg;
@@ -274,6 +345,7 @@ int main(int argc, char** argv) {
   serving::TestbedConfig testbed;
   testbed.time_scale = 1.0 / speed;
   testbed.cancel = &g_interrupted;
+  if (!tenant_table.Empty()) testbed.tenants = &tenant_table;
   testbed.max_batch = static_cast<int>(max_batch);
   config.max_batch = testbed.max_batch;  // profiles see the batched cost
   batch::BatchPolicyConfig bpc;
@@ -315,6 +387,13 @@ int main(int argc, char** argv) {
         trace_max_events > 0 ? static_cast<std::size_t>(trace_max_events) : 0;
     sink = std::make_unique<telemetry::TelemetrySink>(tcfg);
     testbed.telemetry = sink.get();
+    if (!tenant_table.Empty()) {
+      std::vector<std::string> names;
+      for (const tenant::TenantClass& klass : tenant_table.Classes()) {
+        names.push_back(klass.name);
+      }
+      sink->EnableTenantMetrics(names);
+    }
   }
 
   // Observability plane (only when --admin-port was given): flight recorder
@@ -323,6 +402,7 @@ int main(int argc, char** argv) {
   // (SIGUSR1, POST /debug/dump handles its own, storm trigger) into files.
   std::unique_ptr<obs::FlightRecorder> flight;
   std::unique_ptr<obs::SloMonitor> slo_monitor;
+  std::unique_ptr<obs::TenantSloSet> tenant_slo;
   std::unique_ptr<obs::DumpTrigger> dump_trigger;
   std::unique_ptr<DumpWatcher> dump_watcher;
   if (admin) {
@@ -333,6 +413,11 @@ int main(int argc, char** argv) {
     smc.sink = sink.get();
     slo_monitor = std::make_unique<obs::SloMonitor>(smc);
     sink->AddObserver(slo_monitor.get());
+    if (!tenant_table.Empty()) {
+      // Per-class burn monitoring: each class's SLO is its deadline.
+      tenant_slo = std::make_unique<obs::TenantSloSet>(tenant_table, smc);
+      sink->AddObserver(tenant_slo.get());
+    }
     obs::DumpTriggerConfig dtc;
     dtc.on_storm = [] {
       g_dump_requested.store(true, std::memory_order_relaxed);
@@ -364,6 +449,7 @@ int main(int argc, char** argv) {
     };
     apc.now = [&backend] { return backend.Now(); };
     apc.slo = slo_monitor.get();
+    apc.tenant_slo = tenant_slo.get();
     apc.flight = flight.get();
     auto plane = std::make_unique<obs::AdminPlane>(std::move(apc));
     plane->Start();
@@ -387,6 +473,7 @@ int main(int argc, char** argv) {
     sc.port = static_cast<std::uint16_t>(listen_port);
     sc.admission.max_inflight = max_inflight;
     sc.admission.rate_limit = rate_limit;
+    if (!tenant_table.Empty()) sc.admission.tenants = &tenant_table;
     sc.telemetry = sink.get();
     net::Server server(backend, sc);
     server.Start();
@@ -418,6 +505,7 @@ int main(int argc, char** argv) {
     if (generative) {
       workload.decode_lengths = trace::ParseDecodeLengthDist(decode_dist);
     }
+    add_tenant_tracks(workload);
     const trace::Trace trace = trace::SynthesizeTwitterTrace(workload);
 
     auto runtimes = baselines::MakeRuntimeSetFor(config);
@@ -463,6 +551,9 @@ int main(int argc, char** argv) {
   if (sink && !trace_out.empty()) telemetry::WriteTraceFile(*sink, trace_out);
 
   PrintResult(result, config);
+  if (!tenant_table.Empty()) {
+    PrintTenantSummary(tenant_table, result.records, sink.get());
+  }
   if (sink) PrintTelemetrySummary(*sink);
   return 0;
 }

@@ -8,7 +8,8 @@
 # behind cluster_router, zero loss, both nodes routed) and the cluster
 # scaling bench, smoke the generative bench (finite TTFT/ITL percentiles;
 # continuous batching must not lose to the static baseline on ITL p98),
-# then re-run the concurrency-sensitive tests
+# smoke the tenant bench (weighted-fair cell must hold the interactive
+# class within its SLO), then re-run the concurrency-sensitive tests
 # (threaded testbed + batching + net frontend + sharded telemetry + admin
 # plane + cluster router) under ThreadSanitizer, and the socket/protocol +
 # testbed-batching + admin-plane + cluster-policy tests under
@@ -217,6 +218,23 @@ print(f"generative bench smoke: {len(rows)} cells, TTFT/ITL finite, "
       f"continuous holds its ITL-p98 and TTFT-p50 wins")
 EOF
 
+echo "== bench smoke (tenant_sweep --json) =="
+# Default duration: the 1 s cut has too few interactive samples for a
+# stable p98, and the full run is ~1 s wall anyway.
+./build/bench/tenant_sweep --json=build/BENCH_tenant_smoke.json >/dev/null
+python3 - <<'EOF'
+import json, math
+rows = json.load(open("build/BENCH_tenant_smoke.json"))["rows"]
+assert len(rows) == 6, rows  # {fair, blind} x 3 classes
+interactive = next(r for r in rows
+                   if r["cell"] == "fair" and r["name"] == "interactive")
+p98 = interactive["p98_ms"]
+assert isinstance(p98, (int, float)) and math.isfinite(p98), interactive
+assert p98 <= float(interactive["slo_ms"]), interactive
+print(f"tenant bench smoke: {len(rows)} cells, fair interactive "
+      f"p98 {p98} ms within its {interactive['slo_ms']} ms SLO")
+EOF
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer (testbed + telemetry concurrency) =="
   cmake -B build-tsan -S . -DARLO_TSAN=ON >/dev/null
@@ -224,7 +242,7 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TestbedBatching.*:GenerativeTestbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*'
+    --gtest_filter='Testbed.*:TestbedBatching.*:GenerativeTestbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -232,7 +250,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$(nproc)" --target arlo_tests
   ./build-asan/tests/arlo_tests \
-    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:GenerativeTestbed.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*'
+    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:GenerativeTestbed.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*'
 fi
 
 echo "== check.sh: all green =="

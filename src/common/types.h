@@ -64,6 +64,9 @@ struct Request {
   /// output token is produced by the prefill step itself, so a generative
   /// request runs one prefill plus (decode_len - 1) decode steps.
   int decode_len = 0;
+  /// Tenant SLO class (index into the run's tenant::TenantClassTable).
+  /// 0 = the default class; single-tenant runs never set anything else.
+  int tenant_class = 0;
 };
 
 /// The lifecycle record the metrics pipeline consumes.
@@ -81,6 +84,7 @@ struct RequestRecord {
   /// was emitted (end of the prefill iteration).  0 for one-shot requests.
   SimTime first_token = 0;
   int decode_len = 0;
+  int tenant_class = 0;  ///< tenant SLO class of the originating request
 
   /// End-to-end latency (queueing + execution), the paper's reported metric.
   SimDuration Latency() const { return completion - arrival; }

@@ -13,30 +13,154 @@ double BucketCapacity(const AdmissionConfig& config) {
 }  // namespace
 
 AdmissionController::AdmissionController(const AdmissionConfig& config)
-    : config_(config), tokens_(BucketCapacity(config)) {}
+    : config_(config), tokens_(BucketCapacity(config)) {
+  const tenant::TenantClassTable* table = config.tenants;
+  if (table == nullptr || table->Empty()) return;
+  const int n = table->Size();
+  const double total_weight = static_cast<double>(table->TotalWeight());
+  buckets_.resize(static_cast<std::size_t>(n));
+  class_inflight_ = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    ClassBucket& b = buckets_[static_cast<std::size_t>(c)];
+    const double share =
+        static_cast<double>(table->Class(c).weight) / total_weight;
+    b.capacity = std::max(1.0, BucketCapacity(config) * share);
+    b.tokens = b.capacity;
+    b.rate = config.rate_limit * share;
+    b.inflight_cap = std::max(
+        1, static_cast<int>(static_cast<double>(config.max_inflight) * share));
+    class_inflight_[static_cast<std::size_t>(c)].store(
+        0, std::memory_order_relaxed);
+  }
+}
 
-AdmissionDecision AdmissionController::Admit(SimTime now,
-                                             SimDuration estimated_queue_delay,
-                                             SimDuration deadline) {
-  if (config_.rate_limit > 0.0) {
-    const double capacity = BucketCapacity(config_);
-    if (now > last_refill_) {
-      tokens_ = std::min(
-          capacity, tokens_ + config_.rate_limit * ToSeconds(now - last_refill_));
-      last_refill_ = now;
+void AdmissionController::OnRequestDone(int cls) {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  if (HasClasses()) {
+    const int c = config_.tenants->Clamp(cls);
+    class_inflight_[static_cast<std::size_t>(c)].fetch_sub(
+        1, std::memory_order_relaxed);
+  }
+}
+
+int AdmissionController::InflightForClass(int cls) const {
+  if (!HasClasses()) return Inflight();
+  const int c = config_.tenants->Clamp(cls);
+  return class_inflight_[static_cast<std::size_t>(c)].load(
+      std::memory_order_relaxed);
+}
+
+double AdmissionController::TokensForTest() const { return tokens_; }
+
+double AdmissionController::TokensForTest(int cls) const {
+  if (!HasClasses()) return tokens_;
+  return buckets_[static_cast<std::size_t>(config_.tenants->Clamp(cls))]
+      .tokens;
+}
+
+void AdmissionController::RefillLocked(SimTime now) {
+  if (now <= last_refill_) return;
+  const double dt = ToSeconds(now - last_refill_);
+  last_refill_ = now;
+  for (ClassBucket& b : buckets_) {
+    b.tokens = std::min(b.capacity, b.tokens + b.rate * dt);
+  }
+}
+
+AdmissionDecision AdmissionController::Admit(
+    SimTime now, SimDuration estimated_queue_delay, SimDuration deadline,
+    int cls) {
+  if (!HasClasses()) {
+    // Historical single-class path, bit-for-bit.
+    if (config_.rate_limit > 0.0) {
+      const double capacity = BucketCapacity(config_);
+      if (now > last_refill_) {
+        tokens_ = std::min(capacity, tokens_ + config_.rate_limit *
+                                                   ToSeconds(now - last_refill_));
+        last_refill_ = now;
+      }
+      if (tokens_ < 1.0) return AdmissionDecision::kRejectRate;
     }
-    if (tokens_ < 1.0) return AdmissionDecision::kRejectRate;
+    if (config_.max_inflight > 0 &&
+        inflight_.load(std::memory_order_relaxed) >= config_.max_inflight) {
+      return AdmissionDecision::kRejectInflight;
+    }
+    if (config_.deadline_reject && deadline > 0 &&
+        estimated_queue_delay > deadline) {
+      return AdmissionDecision::kShedDeadline;
+    }
+    if (config_.rate_limit > 0.0) tokens_ -= 1.0;
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    return AdmissionDecision::kAdmit;
   }
-  if (config_.max_inflight > 0 &&
-      inflight_.load(std::memory_order_relaxed) >= config_.max_inflight) {
-    return AdmissionDecision::kRejectInflight;
+
+  const tenant::TenantClassTable& table = *config_.tenants;
+  const int c = table.Clamp(cls);
+  const tenant::TenantClass& klass = table.Class(c);
+  const auto exhausted = [&klass](AdmissionDecision reject) {
+    return klass.shed == tenant::ShedPolicy::kShed
+               ? AdmissionDecision::kShedClass
+               : reject;
+  };
+
+  // Gate 1: weighted token buckets with priority-ordered borrowing.  A
+  // class pays from its own bucket first; when dry it may raid spare tokens
+  // of strictly lower-priority classes (never up), so overload starves the
+  // bottom of the table first.
+  int pay_from = -1;
+  if (config_.rate_limit > 0.0) {
+    RefillLocked(now);
+    if (buckets_[static_cast<std::size_t>(c)].tokens >= 1.0) {
+      pay_from = c;
+    } else {
+      for (int j = table.Size() - 1; j > c; --j) {
+        if (buckets_[static_cast<std::size_t>(j)].tokens >= 1.0) {
+          pay_from = j;
+          break;
+        }
+      }
+      if (pay_from < 0) return exhausted(AdmissionDecision::kRejectRate);
+    }
   }
-  if (config_.deadline_reject && deadline > 0 &&
-      estimated_queue_delay > deadline) {
-    return AdmissionDecision::kShedDeadline;
+
+  // Gate 2: weighted inflight caps with reserved headroom.  Beyond its own
+  // cap a class may borrow only while every higher-priority class could
+  // still grow to its cap afterwards.
+  if (config_.max_inflight > 0) {
+    const int total = inflight_.load(std::memory_order_relaxed);
+    if (total >= config_.max_inflight) {
+      return exhausted(AdmissionDecision::kRejectInflight);
+    }
+    const int own = class_inflight_[static_cast<std::size_t>(c)].load(
+        std::memory_order_relaxed);
+    if (own >= buckets_[static_cast<std::size_t>(c)].inflight_cap) {
+      int reserved = 0;
+      for (int j = 0; j < c; ++j) {
+        const int in_j = class_inflight_[static_cast<std::size_t>(j)].load(
+            std::memory_order_relaxed);
+        reserved += std::max(
+            0, buckets_[static_cast<std::size_t>(j)].inflight_cap - in_j);
+      }
+      if (total + reserved + 1 > config_.max_inflight) {
+        return exhausted(AdmissionDecision::kRejectInflight);
+      }
+    }
   }
-  if (config_.rate_limit > 0.0) tokens_ -= 1.0;
+
+  // Gate 3: deadline early shed; no explicit deadline inherits the class
+  // SLO, so tenant runs always early-shed guaranteed misses.
+  if (config_.deadline_reject) {
+    const SimDuration effective = deadline > 0 ? deadline : klass.slo;
+    if (effective > 0 && estimated_queue_delay > effective) {
+      return AdmissionDecision::kShedDeadline;
+    }
+  }
+
+  if (pay_from >= 0) buckets_[static_cast<std::size_t>(pay_from)].tokens -= 1.0;
   inflight_.fetch_add(1, std::memory_order_relaxed);
+  class_inflight_[static_cast<std::size_t>(c)].fetch_add(
+      1, std::memory_order_relaxed);
   return AdmissionDecision::kAdmit;
 }
 

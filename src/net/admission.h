@@ -10,15 +10,33 @@
 //      shedding (fault::ResiliencePolicy::shed_deadline) and is reported
 //      through the same telemetry shed path.
 //
+// With a tenant::TenantClassTable loaded (docs/TENANTS.md) the gates become
+// weighted-fair per class:
+//   * the rate budget splits into per-class token buckets sized by weight,
+//     with work-conserving borrowing: a class that outruns its own bucket
+//     may take spare tokens, but only from strictly lower-priority classes
+//     (higher class id), so under overload the best-effort classes run dry
+//     first — strict-priority shedding;
+//   * the inflight bound splits into per-class caps by weight; a class may
+//     borrow slots beyond its cap only while every higher-priority class
+//     could still reach its own cap afterwards (reserved headroom);
+//   * a request with no explicit deadline inherits its class SLO as the
+//     early-shed deadline;
+//   * budget exhaustion answers kRejectRate/kRejectInflight for classes
+//     with ShedPolicy::kReject and kShedClass for ShedPolicy::kShed.
+//
 // Determinism: the controller never reads a clock — `now` is injected, so
 // unit tests drive it on simulated time.  Admit() is called only from the
 // server's event loop thread; OnRequestDone() is called from testbed worker
-// threads, so the inflight count is the one atomic member.
+// threads, so the inflight counts are the atomic members.
 #pragma once
 
 #include <atomic>
+#include <memory>
+#include <vector>
 
 #include "common/types.h"
+#include "tenant/class_table.h"
 
 namespace arlo::net {
 
@@ -31,8 +49,12 @@ struct AdmissionConfig {
   /// Token bucket capacity (burst size); <= 0 defaults to one second's
   /// worth of tokens (or 1, whichever is larger).
   double burst = 0.0;
-  /// Enables gate 3.  Requests with deadline 0 are never deadline-shed.
+  /// Enables gate 3.  Requests with deadline 0 are never deadline-shed
+  /// (unless a tenant table supplies a class SLO).
   bool deadline_reject = true;
+  /// Optional tenant class table; nullptr/empty = the historical
+  /// single-class behavior.  Must outlive the controller.
+  const tenant::TenantClassTable* tenants = nullptr;
 };
 
 enum class AdmissionDecision {
@@ -40,6 +62,7 @@ enum class AdmissionDecision {
   kRejectRate,
   kRejectInflight,
   kShedDeadline,
+  kShedClass,  ///< class budget exhausted and the class policy says drop
 };
 
 class AdmissionController {
@@ -48,20 +71,38 @@ class AdmissionController {
 
   /// Decides one request.  `estimated_queue_delay` is the backend's current
   /// estimate (LiveTestbed::EstimatedQueueDelay); `deadline` is the
-  /// request's relative budget (0 = none).  On kAdmit the inflight count is
-  /// incremented and one token consumed.
+  /// request's relative budget (0 = none / inherit the class SLO); `cls` is
+  /// the tenant class (clamped; ignored without a table).  On kAdmit the
+  /// inflight counts are incremented and one token consumed.
   AdmissionDecision Admit(SimTime now, SimDuration estimated_queue_delay,
-                          SimDuration deadline);
+                          SimDuration deadline, int cls = 0);
 
-  /// An admitted request left the system (completed).  Any thread.
-  void OnRequestDone() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+  /// An admitted request left the system (completed).  Any thread.  `cls`
+  /// must match the value passed to the admitting Admit().
+  void OnRequestDone(int cls = 0);
 
   int Inflight() const { return inflight_.load(std::memory_order_relaxed); }
-  double TokensForTest() const { return tokens_; }
+  int InflightForClass(int cls) const;
+  double TokensForTest() const;
+  double TokensForTest(int cls) const;
 
  private:
+  bool HasClasses() const { return !buckets_.empty(); }
+  void RefillLocked(SimTime now);
+
   AdmissionConfig config_;
+  // Single-class state (no table):
   double tokens_;
+  // Per-class state (table loaded): bucket + guaranteed inflight cap per
+  // class, index = class id.
+  struct ClassBucket {
+    double tokens = 0.0;
+    double capacity = 0.0;
+    double rate = 0.0;
+    int inflight_cap = 0;
+  };
+  std::vector<ClassBucket> buckets_;
+  std::unique_ptr<std::atomic<int>[]> class_inflight_;
   SimTime last_refill_ = 0;
   std::atomic<int> inflight_{0};
 };

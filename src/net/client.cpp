@@ -138,6 +138,7 @@ LoadGeneratorResult RunLoadGenerator(const trace::Trace& trace,
     result.requests[i].id = requests[i].id;
     result.requests[i].length = requests[i].length;
     result.requests[i].arrival = requests[i].arrival;
+    result.requests[i].tenant_class = requests[i].tenant_class;
   }
 
   // Requests round-robin over connections; wire ids are trace ids, which
@@ -182,6 +183,8 @@ LoadGeneratorResult RunLoadGenerator(const trace::Trace& trace,
       msg.length = static_cast<std::uint32_t>(r.length);
       msg.decode_len = static_cast<std::uint32_t>(std::max(0, r.decode_len));
       msg.deadline_ns = config.deadline;
+      msg.tenant_class = static_cast<std::uint8_t>(
+          std::clamp(r.tenant_class, 0, 255));
       {
         std::lock_guard lock(state.mu);
         state.outstanding.emplace(msg.id,

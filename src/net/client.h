@@ -86,6 +86,7 @@ struct LoadGeneratorResult {
     RequestId id = 0;       ///< trace request id (also the wire id)
     int length = 0;
     SimTime arrival = 0;    ///< scheduled arrival (simulated ns)
+    int tenant_class = 0;   ///< tenant class stamped from the trace
     bool replied = false;
     ReplyStatus status = ReplyStatus::kError;
     /// Client-observed send-to-reply latency, rescaled to simulated ns so

@@ -6,7 +6,8 @@ namespace arlo::net {
 namespace {
 
 constexpr std::size_t kSubmitPayloadV2 = 32;  ///< legacy: no decode_len
-constexpr std::size_t kSubmitPayload = 36;
+constexpr std::size_t kSubmitPayloadV3 = 36;  ///< legacy: no tenant_class
+constexpr std::size_t kSubmitPayload = 37;
 constexpr std::size_t kReplyPayload = 33;
 
 void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
@@ -46,6 +47,7 @@ const char* ReplyStatusName(ReplyStatus status) {
     case ReplyStatus::kShedDeadline: return "shed-deadline";
     case ReplyStatus::kError: return "error";
     case ReplyStatus::kRejectNoNode: return "reject-no-node";
+    case ReplyStatus::kShedClass: return "shed-class";
   }
   return "unknown";
 }
@@ -60,6 +62,7 @@ void EncodeSubmit(const SubmitRequest& msg, std::vector<std::uint8_t>& out) {
   PutU32(out, msg.length);
   PutU32(out, msg.decode_len);
   PutU64(out, static_cast<std::uint64_t>(msg.deadline_ns));
+  out.push_back(msg.tenant_class);
 }
 
 void EncodeReply(const Reply& msg, std::vector<std::uint8_t>& out) {
@@ -113,7 +116,9 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
   const std::size_t payload_len = frame_len - 2;
   switch (static_cast<MsgType>(type)) {
     case MsgType::kSubmit: {
-      const std::size_t want = version == 2 ? kSubmitPayloadV2 : kSubmitPayload;
+      const std::size_t want = version == 2   ? kSubmitPayloadV2
+                               : version == 3 ? kSubmitPayloadV3
+                                              : kSubmitPayload;
       if (payload_len != want) {
         error_ = "submit payload size " + std::to_string(payload_len);
         return Result::kError;
@@ -127,6 +132,8 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
       out.submit.decode_len = version == 2 ? 0 : GetU32(payload + 24);
       const std::size_t off = version == 2 ? 24 : 28;
       out.submit.deadline_ns = static_cast<std::int64_t>(GetU64(payload + off));
+      // v2/v3 clients predate tenant classes: they land in the default class.
+      out.submit.tenant_class = version >= 4 ? payload[36] : 0;
       break;
     }
     case MsgType::kReply: {
@@ -138,7 +145,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
       out.reply.id = GetU64(payload);
       out.reply.request_id = GetU64(payload + 8);
       out.reply.status = static_cast<ReplyStatus>(payload[16]);
-      if (payload[16] > static_cast<std::uint8_t>(ReplyStatus::kRejectNoNode)) {
+      if (payload[16] > static_cast<std::uint8_t>(ReplyStatus::kShedClass)) {
         error_ = "unknown reply status " + std::to_string(payload[16]);
         return Result::kError;
       }

@@ -24,17 +24,23 @@
 //   v3  adds u32 decode_len to SubmitRequest (payload 32 -> 36 bytes) for
 //       generative workloads.  The decoder still accepts v2 submits
 //       (decode_len = 0, i.e. one-shot) so old clients keep working;
-//       encoders always emit v3.  Reply is unchanged and accepted at
-//       either version.
+//       encoders always emit the newest version.  Reply is unchanged and
+//       accepted at any supported version.
+//   v4  adds u8 tenant_class to SubmitRequest (payload 36 -> 37 bytes) for
+//       multi-tenant SLO classes (docs/TENANTS.md).  v3 and v2 submits are
+//       still accepted and land in class 0 (the default class), so old
+//       clients keep working; the cluster router forwards the class intact.
+//       Adds ReplyStatus::kShedClass, the explicit per-class overload drop.
 //
-// SubmitRequest (client -> server, 36-byte payload):
-//   u64 id          client-chosen, echoed in the reply (unique per conn)
-//   u64 request_id  correlation token, echoed verbatim in the reply; 0 for
-//                   direct clients, router-assigned for proxied requests
-//   u32 model       model hint (single-model testbeds ignore it)
-//   u32 length      input token count — the scheduling-relevant field
-//   u32 decode_len  output tokens to generate; 0 = one-shot (v3 only)
-//   i64 deadline_ns relative latency budget; 0 = no deadline
+// SubmitRequest (client -> server, 37-byte payload):
+//   u64 id           client-chosen, echoed in the reply (unique per conn)
+//   u64 request_id   correlation token, echoed verbatim in the reply; 0 for
+//                    direct clients, router-assigned for proxied requests
+//   u32 model        model hint (single-model testbeds ignore it)
+//   u32 length       input token count — the scheduling-relevant field
+//   u32 decode_len   output tokens to generate; 0 = one-shot (v3+)
+//   i64 deadline_ns  relative latency budget; 0 = no deadline
+//   u8  tenant_class tenant SLO class id; 0 = default class (v4 only)
 //
 // Reply (server -> client, 33-byte payload):
 //   u64 id          echo of the submit id
@@ -52,8 +58,9 @@
 namespace arlo::net {
 
 /// Wire format version stamped into every frame header.
-inline constexpr std::uint8_t kProtocolVersion = 3;
-/// Oldest version the decoder still accepts (v2 submits lack decode_len).
+inline constexpr std::uint8_t kProtocolVersion = 4;
+/// Oldest version the decoder still accepts (v2 submits lack decode_len,
+/// v3 submits lack tenant_class).
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
 
 enum class MsgType : std::uint8_t {
@@ -71,6 +78,8 @@ enum class ReplyStatus : std::uint8_t {
   kShedDeadline = 4,     ///< admission: estimated delay exceeds the deadline
   kError = 5,            ///< server-side failure (should not happen)
   kRejectNoNode = 6,     ///< router: no routable backend node (explicit shed)
+  kShedClass = 7,        ///< admission: tenant class budget exhausted, class
+                         ///< policy says drop (best-effort overload shed)
 };
 
 const char* ReplyStatusName(ReplyStatus status);
@@ -82,6 +91,7 @@ struct SubmitRequest {
   std::uint32_t length = 0;
   std::uint32_t decode_len = 0;  ///< output tokens; 0 = one-shot
   std::int64_t deadline_ns = 0;
+  std::uint8_t tenant_class = 0;  ///< tenant SLO class; 0 = default
 
   bool operator==(const SubmitRequest&) const = default;
 };
@@ -97,12 +107,12 @@ struct Reply {
 };
 
 /// Hard cap on frame_len; anything larger is garbage by definition (real
-/// frames are 38 and 35 bytes, 34 for a legacy v2 submit).
+/// frames are 39 and 35 bytes, 38 for a v3 submit, 34 for a legacy v2).
 inline constexpr std::size_t kMaxFrameBytes = 256;
 
 /// Serialized frame sizes including the 4-byte length prefix (as encoded,
-/// i.e. v3; the decoder also accepts 34-byte v2 submit frames).
-inline constexpr std::size_t kSubmitFrameBytes = 4 + 2 + 36;
+/// i.e. v4; the decoder also accepts 38-byte v3 and 34-byte v2 submits).
+inline constexpr std::size_t kSubmitFrameBytes = 4 + 2 + 37;
 inline constexpr std::size_t kReplyFrameBytes = 4 + 2 + 33;
 
 /// Append one framed message to `out`.

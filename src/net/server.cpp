@@ -144,9 +144,10 @@ void Server::Impl::PumpLoop() {
   Request request;
   while (submit_queue_.Pop(request)) {
     const RequestId id = request.id;
-    backend_.Submit(request, [this, id](const RequestRecord& record) {
+    const int cls = request.tenant_class;
+    backend_.Submit(request, [this, id, cls](const RequestRecord& record) {
       // Worker thread, dispatch mutex held: just hand off and wake.
-      admission_.OnRequestDone();
+      admission_.OnRequestDone(cls);
       {
         std::lock_guard lock(completions_mu_);
         completions_.emplace_back(id, record);
@@ -264,9 +265,17 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
   request.arrival = now;
   request.length = static_cast<int>(submit.length);
   request.decode_len = static_cast<int>(submit.decode_len);
+  // Unknown class ids (a v4 client naming a class this server does not
+  // define) clamp to the default class 0.
+  const tenant::TenantClassTable* tenants = config_.admission.tenants;
+  request.tenant_class =
+      tenants != nullptr
+          ? tenants->Clamp(static_cast<int>(submit.tenant_class))
+          : 0;
 
-  const AdmissionDecision decision = admission_.Admit(
-      now, backend_.EstimatedQueueDelay(), submit.deadline_ns);
+  const AdmissionDecision decision =
+      admission_.Admit(now, backend_.EstimatedQueueDelay(), submit.deadline_ns,
+                       request.tenant_class);
   switch (decision) {
     case AdmissionDecision::kAdmit: {
       Pending pending;
@@ -279,23 +288,28 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
       if (!submit_queue_.TryPush(request)) {
         // Dispatcher backpressure: undo the admit and reject explicitly.
         pending_.erase(request.id);
-        admission_.OnRequestDone();
+        admission_.OnRequestDone(request.tenant_class);
         WithStats([](ServerStats& s) { ++s.rejected_queue_full; });
         if (config_.telemetry) {
           config_.telemetry->RecordNetRejected(request, now,
                                                "queue-full");
+          config_.telemetry->RecordTenantRejected(request.tenant_class);
         }
         SendReject(conn, submit, ReplyStatus::kRejectQueueFull);
         return;
       }
       WithStats([](ServerStats& s) { ++s.accepted; });
-      if (config_.telemetry) config_.telemetry->RecordNetAccepted(request, now);
+      if (config_.telemetry) {
+        config_.telemetry->RecordNetAccepted(request, now);
+        config_.telemetry->RecordTenantAccepted(request.tenant_class);
+      }
       return;
     }
     case AdmissionDecision::kRejectRate:
       WithStats([](ServerStats& s) { ++s.rejected_rate; });
       if (config_.telemetry) {
         config_.telemetry->RecordNetRejected(request, now, "rate");
+        config_.telemetry->RecordTenantRejected(request.tenant_class);
       }
       SendReject(conn, submit, ReplyStatus::kRejectRate);
       return;
@@ -303,6 +317,7 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
       WithStats([](ServerStats& s) { ++s.rejected_inflight; });
       if (config_.telemetry) {
         config_.telemetry->RecordNetRejected(request, now, "inflight");
+        config_.telemetry->RecordTenantRejected(request.tenant_class);
       }
       SendReject(conn, submit, ReplyStatus::kRejectInflight);
       return;
@@ -315,6 +330,17 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
         config_.telemetry->RecordShed(request, now);
       }
       SendReject(conn, submit, ReplyStatus::kShedDeadline);
+      return;
+    case AdmissionDecision::kShedClass:
+      // Tenant budget exhausted under overload and the class policy says
+      // drop: the explicit best-effort shed, reported through the same
+      // shed path as deadline sheds.
+      WithStats([](ServerStats& s) { ++s.shed_class; });
+      if (config_.telemetry) {
+        config_.telemetry->RecordNetRejected(request, now, "class-overload");
+        config_.telemetry->RecordShed(request, now);
+      }
+      SendReject(conn, submit, ReplyStatus::kShedClass);
       return;
   }
 }

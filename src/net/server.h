@@ -55,6 +55,7 @@ struct ServerStats {
   std::uint64_t rejected_inflight = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t shed_deadline = 0;
+  std::uint64_t shed_class = 0;          ///< per-class overload sheds
   std::uint64_t replies_sent = 0;
   std::uint64_t protocol_errors = 0;     ///< connections dropped on garbage
   std::uint64_t bytes_in = 0;
@@ -62,7 +63,7 @@ struct ServerStats {
 
   std::uint64_t TotalRejected() const {
     return rejected_rate + rejected_inflight + rejected_queue_full +
-           shed_deadline;
+           shed_deadline + shed_class;
   }
 };
 

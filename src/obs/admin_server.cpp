@@ -15,6 +15,7 @@
 #include "net/socket.h"
 #include "obs/flight_recorder.h"
 #include "obs/slo_monitor.h"
+#include "obs/tenant_slo.h"
 #include "telemetry/sink.h"
 
 namespace arlo::obs {
@@ -282,17 +283,30 @@ AdminPlane::AdminPlane(AdminPlaneConfig config)
     return r;
   });
   SloMonitor* slo = config_.slo;
+  TenantSloSet* tenant_slo = config_.tenant_slo;
   const auto now_fn = config_.now;
-  server_.Route("GET", "/slo", [slo, now_fn](const HttpRequest&) {
+  server_.Route("GET", "/slo", [slo, tenant_slo, now_fn](const HttpRequest&) {
     HttpResponse r;
     r.content_type = "application/json";
-    if (!slo) {
+    if (!slo && !tenant_slo) {
       r.status = 503;
       r.body = "{\"error\":\"no slo monitor\"}\n";
       return r;
     }
+    const SimTime now = now_fn ? now_fn() : 0;
     std::ostringstream os;
-    slo->WriteJson(os, now_fn ? now_fn() : 0);
+    if (slo && tenant_slo) {
+      // Both: wrap so each payload keeps its standalone shape.
+      os << "{\"global\":";
+      slo->WriteJson(os, now);
+      os << ",\"tenants\":";
+      tenant_slo->WriteJson(os, now);
+      os << "}";
+    } else if (slo) {
+      slo->WriteJson(os, now);
+    } else {
+      tenant_slo->WriteJson(os, now);
+    }
     os << "\n";
     r.body = os.str();
     return r;

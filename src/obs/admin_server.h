@@ -33,6 +33,7 @@ class TelemetrySink;
 namespace arlo::obs {
 
 class SloMonitor;
+class TenantSloSet;
 class FlightRecorder;
 
 class AdminServer {
@@ -94,6 +95,9 @@ struct AdminPlaneConfig {
   /// Clock for /slo window advancement (testbed Now(); sim virtual time).
   std::function<SimTime()> now;
   SloMonitor* slo = nullptr;
+  /// Optional per-tenant-class monitors; /slo nests them under "tenants"
+  /// when both are set (docs/TENANTS.md).
+  TenantSloSet* tenant_slo = nullptr;
   FlightRecorder* flight = nullptr;
 };
 

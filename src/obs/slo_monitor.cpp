@@ -20,17 +20,24 @@ SloMonitor::SloMonitor(SloMonitorConfig config)
     w.buckets.assign(static_cast<std::size_t>(config_.buckets_per_window),
                      {0, 0});
     if (config_.sink) {
-      // One gauge per window, labeled by span in seconds.
+      // One gauge per window, labeled by span in seconds (plus the class
+      // label when this monitor watches one tenant class).
+      const std::string extra =
+          config_.label.empty() ? "" : ",class=\"" + config_.label + "\"";
       w.burn_gauge = config_.sink->Registry().GetGauge(
           "arlo_slo_burn_rate_pct{window=\"" +
-              std::to_string(static_cast<long long>(ToSeconds(span))) + "s\"}",
+              std::to_string(static_cast<long long>(ToSeconds(span))) +
+              "s\"" + extra + "}",
           "SLO burn rate over the window, percent (100 = sustainable rate)");
     }
     windows_.push_back(std::move(w));
   }
   if (config_.sink) {
+    const std::string suffix =
+        config_.label.empty() ? "" : "{class=\"" + config_.label + "\"}";
     alerts_total_ = config_.sink->Registry().GetCounter(
-        "arlo_slo_alerts_total", "Burn-rate alert threshold crossings");
+        "arlo_slo_alerts_total" + suffix,
+        "Burn-rate alert threshold crossings");
   }
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -44,6 +45,11 @@ struct SloMonitorConfig {
   std::uint64_t min_events_to_alert = 10;
   /// Optional: alert instants + alert counter + burn gauges land here.
   telemetry::TelemetrySink* sink = nullptr;
+  /// Optional metric label: when non-empty, burn gauges and the alert
+  /// counter carry {class="<label>"} so several monitors (one per tenant
+  /// class) can share one registry without colliding.  Empty keeps the
+  /// historical unlabeled names.
+  std::string label;
 };
 
 struct SloWindowStats {

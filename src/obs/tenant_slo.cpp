@@ -1,0 +1,49 @@
+#include "obs/tenant_slo.h"
+
+#include <ostream>
+
+#include "common/check.h"
+
+namespace arlo::obs {
+
+TenantSloSet::TenantSloSet(const tenant::TenantClassTable& table,
+                           SloMonitorConfig base)
+    : table_(table) {
+  ARLO_CHECK_MSG(!table.Empty(), "TenantSloSet needs a non-empty class table");
+  for (const tenant::TenantClass& klass : table.Classes()) {
+    SloMonitorConfig config = base;
+    if (klass.slo > 0) config.slo = klass.slo;
+    config.label = klass.name;
+    monitors_.push_back(std::make_unique<SloMonitor>(config));
+  }
+}
+
+void TenantSloSet::OnComplete(const RequestRecord& record) {
+  monitors_[static_cast<std::size_t>(table_.Clamp(record.tenant_class))]
+      ->OnComplete(record);
+}
+
+void TenantSloSet::OnShed(const Request& request, SimTime now) {
+  monitors_[static_cast<std::size_t>(table_.Clamp(request.tenant_class))]
+      ->OnShed(request, now);
+}
+
+SloMonitor& TenantSloSet::Monitor(int cls) {
+  return *monitors_[static_cast<std::size_t>(table_.Clamp(cls))];
+}
+
+void TenantSloSet::WriteJson(std::ostream& os, SimTime now) {
+  os << "[";
+  for (std::size_t c = 0; c < monitors_.size(); ++c) {
+    const tenant::TenantClass& klass = table_.Class(static_cast<int>(c));
+    if (c > 0) os << ",";
+    os << "{\"class\":" << c << ",\"name\":\"" << klass.name
+       << "\",\"weight\":" << klass.weight << ",\"shed_policy\":\""
+       << tenant::ShedPolicyName(klass.shed) << "\",\"slo\":";
+    monitors_[c]->WriteJson(os, now);
+    os << "}";
+  }
+  os << "]";
+}
+
+}  // namespace arlo::obs

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "fault/health.h"
 #include "telemetry/sink.h"
+#include "tenant/dispatch_queue.h"
 
 namespace arlo::serving {
 namespace {
@@ -62,7 +63,12 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   Impl(sim::Scheme& scheme, const TestbedConfig& config)
       : scheme_(scheme),
         config_(config),
+        buffer_(config.tenants),
         health_(config.resilience.hang_timeout) {
+    if (config_.tenants != nullptr && !config_.tenants->Empty()) {
+      class_completed_.assign(
+          static_cast<std::size_t>(config_.tenants->Size()), 0);
+    }
     ARLO_CHECK(config_.time_scale > 0.0);
     if (config_.batch_policy) {
       policy_ = config_.batch_policy;
@@ -179,8 +185,11 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   std::mutex dispatch_mu_;
   std::condition_variable all_done_cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::deque<Request> buffer_;
+  tenant::DispatchQueue buffer_;
   std::vector<RequestRecord> records_;
+  /// Per-class completion counts (dispatch_mu_); empty unless a tenant
+  /// class table is configured.
+  std::vector<std::uint64_t> class_completed_;
   std::unordered_map<RequestId, CompletionFn> callbacks_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
@@ -345,7 +354,7 @@ void LiveTestbed::Impl::HandleArrivalLocked(const Request& request,
   }
   if (config_.telemetry) config_.telemetry->RecordEnqueue(request, Now());
   if (!TryDispatchLocked(request)) {
-    buffer_.push_back(request);
+    buffer_.PushBack(request);
     if (config_.telemetry) {
       config_.telemetry->RecordBuffered(request, Now());
       UpdateClusterGaugesLocked();
@@ -357,6 +366,10 @@ bool LiveTestbed::Impl::TryDispatchLocked(const Request& request) {
   const InstanceId id = scheme_.SelectInstance(request, *this);
   if (id == kInvalidInstance) return false;
   ARLO_CHECK(id < workers_.size());
+  if (config_.max_worker_queue > 0 &&
+      OutstandingOn(id) >= config_.max_worker_queue) {
+    return false;  // backpressure into the central (class-aware) buffer
+  }
   Worker& w = *workers_[id];
   {
     std::lock_guard lk(w.mu);
@@ -379,9 +392,9 @@ bool LiveTestbed::Impl::TryDispatchLocked(const Request& request) {
 }
 
 void LiveTestbed::Impl::RetryBufferedLocked() {
-  while (!buffer_.empty()) {
-    if (!TryDispatchLocked(buffer_.front())) return;
-    buffer_.pop_front();
+  while (!buffer_.Empty()) {
+    if (!TryDispatchLocked(buffer_.Front(Now()))) return;
+    buffer_.PopFront();
   }
 }
 
@@ -744,10 +757,15 @@ void LiveTestbed::Impl::WorkerLoop(InstanceId id, Worker& w) {
         record.completion = completion;
         record.length = item.request.length;
         record.stream = item.request.stream;
+        record.tenant_class = item.request.tenant_class;
         record.runtime = w.runtime;
         record.instance = id;
         records_.push_back(record);
         ++completed_;
+        if (!class_completed_.empty()) {
+          ++class_completed_[static_cast<std::size_t>(
+              config_.tenants->Clamp(record.tenant_class))];
+        }
         completed_rel_.fetch_add(1, std::memory_order_relaxed);
         --outstanding_;
         // Per-request share of the batch's service time, so the admission
@@ -893,10 +911,15 @@ void LiveTestbed::Impl::GenWorkerRun(InstanceId id, Worker& w) {
         record.length = seq.item.request.length;
         record.decode_len = seq.item.request.decode_len;
         record.stream = seq.item.request.stream;
+        record.tenant_class = seq.item.request.tenant_class;
         record.runtime = w.runtime;
         record.instance = id;
         records_.push_back(record);
         ++completed_;
+        if (!class_completed_.empty()) {
+          ++class_completed_[static_cast<std::size_t>(
+              config_.tenants->Clamp(record.tenant_class))];
+        }
         completed_rel_.fetch_add(1, std::memory_order_relaxed);
         --outstanding_;
         const std::int64_t observed = record.ServiceTime();
@@ -951,7 +974,7 @@ void LiveTestbed::Impl::UpdateGenGaugesLocked() {
 
 void LiveTestbed::Impl::UpdateClusterGaugesLocked() {
   config_.telemetry->SetClusterGauges(
-      live_workers_, outstanding_, static_cast<std::int64_t>(buffer_.size()));
+      live_workers_, outstanding_, static_cast<std::int64_t>(buffer_.Size()));
 }
 
 void LiveTestbed::Impl::SnapshotLoop() {
@@ -1038,7 +1061,7 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
   const SimTime now = Now();
   os << "{\"time_s\":" << ToSeconds(now) << ",\"submitted\":" << submitted_
      << ",\"completed\":" << completed_ << ",\"inflight\":" << outstanding_
-     << ",\"buffered\":" << buffer_.size()
+     << ",\"buffered\":" << buffer_.Size()
      << ",\"live_workers\":" << live_workers_
      << ",\"peak_workers\":" << peak_workers_
      // The admission estimate, exported so a router tier can steer on
@@ -1047,6 +1070,20 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
   os << ",\"batches\":{\"formed\":"
      << batches_formed_.load(std::memory_order_relaxed) << ",\"timeouts\":"
      << batch_timeouts_.load(std::memory_order_relaxed) << "}";
+  if (config_.tenants != nullptr && !config_.tenants->Empty()) {
+    os << ",\"tenants\":[";
+    for (int c = 0; c < config_.tenants->Size(); ++c) {
+      const tenant::TenantClass& klass = config_.tenants->Class(c);
+      if (c > 0) os << ",";
+      os << "{\"class\":" << c << ",\"name\":\"" << klass.name
+         << "\",\"weight\":" << klass.weight
+         << ",\"slo_ms\":" << ToSeconds(klass.slo) * 1e3
+         << ",\"buffered\":" << buffer_.ClassDepth(c)
+         << ",\"completed\":" << class_completed_[static_cast<std::size_t>(c)]
+         << "}";
+    }
+    os << "]";
+  }
   os << ",\"workers\":[";
   for (InstanceId id = 0; id < workers_.size(); ++id) {
     const Worker& w = *workers_[id];

@@ -20,6 +20,7 @@
 #include "fault/fault_plan.h"
 #include "fault/retry.h"
 #include "sim/scheme.h"
+#include "tenant/class_table.h"
 #include "trace/trace.h"
 
 #include <atomic>
@@ -80,6 +81,21 @@ struct TestbedConfig {
   /// the wall-clock equivalent is the net frontend's admission controller
   /// (src/net/admission.h), which early-rejects before submission.
   fault::ResiliencePolicy resilience;
+
+  /// Optional tenant class table (not owned; must outlive the run).  When
+  /// set, the central buffer dispatches weighted-deficit round-robin across
+  /// per-class queues with a slack-aware tie-break and /statusz gains
+  /// per-class rows (docs/TENANTS.md); null keeps the historical FIFO.
+  const tenant::TenantClassTable* tenants = nullptr;
+
+  /// Per-worker admission depth: a worker holding this many outstanding
+  /// requests (queued + executing; waiting + resident in generative mode)
+  /// refuses further dispatch, so the excess waits in the central buffer —
+  /// which is where class-aware ordering lives.  Without a bound, schemes
+  /// that never refuse (st/dt, the Request Scheduler's congestion
+  /// fallback) sink the whole backlog into per-worker FIFOs and `tenants`
+  /// ordering never engages.  0 = unbounded (the historical behaviour).
+  int max_worker_queue = 0;
 
   /// Optional cooperative cancellation (not owned; may be null).  When it
   /// becomes true mid-replay, RunTestbed stops submitting further trace

@@ -13,6 +13,7 @@ Engine::Engine(const trace::Trace& trace, Scheme& scheme,
     : trace_(trace),
       scheme_(scheme),
       config_(config),
+      buffer_(config.tenants),
       health_(config.resilience.hang_timeout) {
   if (config_.collect_records) records_.reserve(trace_.Size());
   if (config_.batch_policy) {
@@ -140,7 +141,7 @@ void Engine::HandleArrivalAttempt(const Request& request, int attempt) {
     config_.telemetry->RecordEnqueue(request, events_.Now());
   }
   if (!TryDispatch(request)) {
-    buffer_.push_back(request);
+    buffer_.PushBack(request);
     ++buffered_total_;
     if (config_.telemetry) {
       config_.telemetry->RecordBuffered(request, events_.Now());
@@ -172,7 +173,7 @@ bool Engine::TryDispatch(const Request& request) {
   }
   if (config_.timeline) {
     config_.timeline->RecordOutstanding(
-        events_.Now(), outstanding_ + static_cast<int>(buffer_.size()));
+        events_.Now(), outstanding_ + static_cast<int>(buffer_.Size()));
   }
   MaybeStartNext(id);
   return true;
@@ -470,13 +471,8 @@ void Engine::ShedExpired() {
   const SimTime now = events_.Now();
   const SimDuration deadline = config_.resilience.shed_deadline;
   bool shed_any = false;
-  for (auto it = buffer_.begin(); it != buffer_.end();) {
-    if (now - it->arrival <= deadline) {
-      ++it;
-      continue;
-    }
-    const Request request = *it;
-    it = buffer_.erase(it);
+  buffer_.RemoveIf([&](const Request& request) {
+    if (now - request.arrival <= deadline) return false;
     RequestRecord record;
     record.id = request.id;
     record.arrival = request.arrival;
@@ -485,6 +481,7 @@ void Engine::ShedExpired() {
     record.completion = now;
     record.length = request.length;
     record.stream = request.stream;
+    record.tenant_class = request.tenant_class;
     record.runtime = kInvalidRuntime;
     record.instance = kInvalidInstance;
     shed_records_.push_back(record);
@@ -492,7 +489,8 @@ void Engine::ShedExpired() {
     ++completed_;  // terminal: the run does not wait for a shed request
     shed_any = true;
     if (config_.telemetry) config_.telemetry->RecordShed(request, now);
-  }
+    return true;
+  });
   if (shed_any && config_.telemetry) UpdateClusterGauges();
 }
 
@@ -520,6 +518,7 @@ void Engine::HandleCompletion(InstanceId id) {
     record.completion = events_.Now();
     record.length = item.request.length;
     record.stream = item.request.stream;
+    record.tenant_class = item.request.tenant_class;
     record.runtime = inst.runtime;
     record.instance = id;
     if (config_.collect_records) records_.push_back(record);
@@ -580,6 +579,7 @@ void Engine::HandleGenCompletion(InstanceId id) {
     record.length = seq.item.request.length;
     record.decode_len = seq.item.request.decode_len;
     record.stream = seq.item.request.stream;
+    record.tenant_class = seq.item.request.tenant_class;
     record.runtime = inst.runtime;
     record.instance = id;
     if (config_.collect_records) records_.push_back(record);
@@ -615,9 +615,9 @@ void Engine::UpdateGenGauges() {
 }
 
 void Engine::RetryBuffered() {
-  while (!buffer_.empty()) {
-    if (!TryDispatch(buffer_.front())) return;
-    buffer_.pop_front();
+  while (!buffer_.Empty()) {
+    if (!TryDispatch(buffer_.Front(events_.Now()))) return;
+    buffer_.PopFront();
   }
 }
 
@@ -633,7 +633,7 @@ void Engine::ScheduleNextArrival() {
 
 void Engine::UpdateClusterGauges() {
   config_.telemetry->SetClusterGauges(
-      active_count_, outstanding_, static_cast<std::int64_t>(buffer_.size()));
+      active_count_, outstanding_, static_cast<std::int64_t>(buffer_.Size()));
 }
 
 void Engine::ScheduleSnapshot() {

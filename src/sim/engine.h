@@ -23,6 +23,8 @@
 #include "sim/event_queue.h"
 #include "sim/scheme.h"
 #include "sim/timeline.h"
+#include "tenant/class_table.h"
+#include "tenant/dispatch_queue.h"
 #include "trace/trace.h"
 
 namespace arlo::telemetry {
@@ -90,6 +92,12 @@ struct EngineConfig {
   /// the scheme via Scheme::SetTelemetry, and drives periodic snapshots on
   /// simulated time.  Null disables telemetry at zero cost.
   telemetry::TelemetrySink* telemetry = nullptr;
+
+  /// Optional tenant class table (not owned; must outlive the run).  When
+  /// set, the central buffer dispatches weighted-deficit round-robin across
+  /// per-class queues with a slack-aware tie-break (docs/TENANTS.md); null
+  /// keeps the historical FIFO — seeded runs are byte-identical.
+  const tenant::TenantClassTable* tenants = nullptr;
 };
 
 struct EngineResult {
@@ -203,7 +211,7 @@ class Engine final : public ClusterOps {
   // launch new instances while the engine holds a reference to an existing
   // one; deque keeps references stable across push_back.
   std::deque<Instance> instances_;
-  std::deque<Request> buffer_;
+  tenant::DispatchQueue buffer_;
   std::vector<RequestRecord> records_;
 
   std::size_t next_arrival_ = 0;

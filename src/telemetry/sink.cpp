@@ -84,6 +84,9 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
   net_.shed_deadline = registry_.GetCounter(
       "arlo_net_shed_deadline_total",
       "SubmitRequests early-shed: estimated delay exceeded the deadline");
+  net_.shed_class = registry_.GetCounter(
+      "arlo_net_shed_class_total",
+      "SubmitRequests shed by a tenant class's overload policy");
   net_.bytes_in = registry_.GetCounter(
       "arlo_net_bytes_in_total", "Bytes read from client sockets");
   net_.bytes_out = registry_.GetCounter(
@@ -284,6 +287,10 @@ void TelemetrySink::RecordComplete(const RequestRecord& record) {
   serving_.e2e_latency_ns->Record(record.Latency());
   serving_.queue_delay_ns->Record(record.QueueingDelay());
   serving_.service_time_ns->Record(record.ServiceTime());
+  if (const TenantClassMetrics* t = Tenant(record.tenant_class)) {
+    t->completed->Add();
+    t->e2e_latency_ns->Record(record.Latency());
+  }
   if (config_.trace_requests) {
     // Two spans on the serving instance's lane: waiting (arrival→start) and
     // executing (start→completion).
@@ -381,6 +388,7 @@ void TelemetrySink::RecordRequeue(const Request& request, SimTime now,
 
 void TelemetrySink::RecordShed(const Request& request, SimTime now) {
   serving_.sheds->Add();
+  RecordTenantShed(request.tenant_class);
   if (config_.trace_requests) {
     tracer_.Instant("shed", "fault", now, TraceRecorder::kControlLane,
                     {{"id", static_cast<std::int64_t>(request.id)},
@@ -419,7 +427,7 @@ void TelemetrySink::RecordNetAccepted(const Request& request, SimTime now) {
 void TelemetrySink::RecordNetRejected(const Request& request, SimTime now,
                                       const char* reason) {
   // TraceArg values are numeric, so the reason rides along as a code:
-  // 1=rate, 2=inflight, 3=queue-full, 4=deadline.
+  // 1=rate, 2=inflight, 3=queue-full, 4=deadline, 5=class-overload.
   const std::string_view r(reason);
   std::int64_t code = 0;
   if (r == "rate") {
@@ -434,6 +442,9 @@ void TelemetrySink::RecordNetRejected(const Request& request, SimTime now,
   } else if (r == "deadline") {
     net_.shed_deadline->Add();
     code = 4;
+  } else if (r == "class-overload") {
+    net_.shed_class->Add();
+    code = 5;
   }
   if (config_.trace_requests) {
     tracer_.Instant("net-reject", "net", now, TraceRecorder::kControlLane,
@@ -549,6 +560,49 @@ void TelemetrySink::SetClusterNodeGauges(std::int64_t routable,
                                          std::int64_t inflight) {
   cluster_.nodes_routable->Set(routable);
   cluster_.inflight->Set(inflight);
+}
+
+void TelemetrySink::EnableTenantMetrics(
+    const std::vector<std::string>& class_names) {
+  tenant_.clear();
+  tenant_.reserve(class_names.size());
+  for (const std::string& name : class_names) {
+    const std::string label = "{class=\"" + name + "\"}";
+    TenantClassMetrics m;
+    m.accepted = registry_.GetCounter(
+        "arlo_tenant_accepted_total" + label,
+        "SubmitRequests admitted for one tenant class");
+    m.rejected = registry_.GetCounter(
+        "arlo_tenant_rejected_total" + label,
+        "SubmitRequests rejected (retryable) for one tenant class");
+    m.shed = registry_.GetCounter(
+        "arlo_tenant_shed_total" + label,
+        "Requests dropped (deadline or overload policy) for one tenant class");
+    m.completed = registry_.GetCounter(
+        "arlo_tenant_completed_total" + label,
+        "Requests served to completion for one tenant class");
+    m.e2e_latency_ns = registry_.GetHistogram(
+        "arlo_tenant_e2e_latency_ns" + label,
+        "End-to-end latency for one tenant class");
+    tenant_.push_back(m);
+  }
+}
+
+const TenantClassMetrics* TelemetrySink::Tenant(int cls) const {
+  if (cls < 0 || cls >= static_cast<int>(tenant_.size())) return nullptr;
+  return &tenant_[static_cast<std::size_t>(cls)];
+}
+
+void TelemetrySink::RecordTenantAccepted(int cls) {
+  if (const TenantClassMetrics* t = Tenant(cls)) t->accepted->Add();
+}
+
+void TelemetrySink::RecordTenantRejected(int cls) {
+  if (const TenantClassMetrics* t = Tenant(cls)) t->rejected->Add();
+}
+
+void TelemetrySink::RecordTenantShed(int cls) {
+  if (const TenantClassMetrics* t = Tenant(cls)) t->shed->Add();
 }
 
 Gauge* TelemetrySink::QueueDepthGauge(RuntimeId level) {

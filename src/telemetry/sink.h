@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -78,6 +79,7 @@ struct NetMetrics {
   Counter* rejected_inflight = nullptr;
   Counter* rejected_queue_full = nullptr;
   Counter* shed_deadline = nullptr;
+  Counter* shed_class = nullptr;  ///< class-overload sheds (docs/TENANTS.md)
   Counter* bytes_in = nullptr;
   Counter* bytes_out = nullptr;
   Gauge* open_connections = nullptr;
@@ -134,6 +136,17 @@ struct ClusterMetrics {
   Gauge* inflight = nullptr;  ///< router-side in-flight across all nodes
   /// Submit forwarded to final reply, as seen by the router (wall ns).
   LatencyHistogram* route_latency_ns = nullptr;
+};
+
+/// Stable pointers to one tenant class's metrics (src/tenant; see
+/// docs/TENANTS.md).  The family is opt-in via EnableTenantMetrics so
+/// single-tenant runs export exactly the historical metric set.
+struct TenantClassMetrics {
+  Counter* accepted = nullptr;   ///< admitted by the frontend
+  Counter* rejected = nullptr;   ///< rejected (any retryable reason)
+  Counter* shed = nullptr;       ///< dropped (deadline or class policy)
+  Counter* completed = nullptr;  ///< served to completion
+  LatencyHistogram* e2e_latency_ns = nullptr;
 };
 
 /// One row of the periodic time series (cumulative values as of `time_s`).
@@ -222,8 +235,9 @@ class TelemetrySink {
   /// A SubmitRequest passed admission and entered the submission queue.
   void RecordNetAccepted(const Request& request, SimTime now);
   /// A SubmitRequest was rejected; `reason` is one of "rate", "inflight",
-  /// "queue-full", "deadline".  Deadline sheds additionally flow through
-  /// RecordShed so the fault-layer shed accounting covers the frontend.
+  /// "queue-full", "deadline", "class-overload".  Deadline sheds and class
+  /// sheds additionally flow through RecordShed so the fault-layer shed
+  /// accounting covers the frontend.
   void RecordNetRejected(const Request& request, SimTime now,
                          const char* reason);
   void RecordNetFrontendOverhead(std::int64_t wall_ns);
@@ -271,6 +285,20 @@ class TelemetrySink {
   void RecordClusterProbeFailure(int node);
   void SetClusterNodeGauges(std::int64_t routable, std::int64_t inflight);
 
+  // --- multi-tenant SLO classes (src/tenant; see docs/TENANTS.md) --------
+  /// Registers the arlo_tenant_* metric family, one set per class name in
+  /// table order.  Call before the run starts (same discipline as
+  /// AddObserver); without this call every RecordTenant* below is a no-op
+  /// and the exported metric set is byte-identical to single-tenant builds.
+  void EnableTenantMetrics(const std::vector<std::string>& class_names);
+  void RecordTenantAccepted(int cls);
+  void RecordTenantRejected(int cls);
+  void RecordTenantShed(int cls);
+  /// Per-class metrics, or nullptr when disabled / out of range.
+  /// Completions are recorded automatically by RecordComplete from the
+  /// record's tenant_class.
+  const TenantClassMetrics* Tenant(int cls) const;
+
   // --- gauges ------------------------------------------------------------
   void SetClusterGauges(std::int64_t instances, std::int64_t outstanding,
                         std::int64_t buffer_depth);
@@ -316,6 +344,7 @@ class TelemetrySink {
   ClusterMetrics cluster_;
 
   std::vector<TelemetryObserver*> observers_;
+  std::vector<TenantClassMetrics> tenant_;  // index = class id; empty = off
 
   std::mutex levels_mu_;
   std::vector<Gauge*> queue_depth_;  // index = level

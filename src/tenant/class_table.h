@@ -1,0 +1,94 @@
+// Multi-tenant SLO classes (docs/TENANTS.md).
+//
+// A TenantClassTable names the traffic classes one serving process hosts:
+// each class has a fair-share weight, an SLO deadline, and a shed policy.
+// The table is parsed from the --tenants flag:
+//
+//   --tenants=interactive:w8:slo50,batch:w2:slo500,best:w1:slo2000:shed
+//
+// grammar, per comma-separated class:  name:wN:sloMS[:reject|:shed]
+//
+//   name    unique identifier, [A-Za-z0-9_-]+
+//   wN      integer fair-share weight >= 1
+//   sloMS   SLO deadline in milliseconds (> 0), also the default admission
+//           deadline for the class when the client supplies none
+//   policy  what an exhausted class budget replies under overload:
+//             reject  (default) kRejectRate / kRejectInflight — retryable
+//             shed    kShedClass — the explicit best-effort drop status
+//
+// Class ids are list positions, and *the list order is the priority order*:
+// class 0 is the most important (it is also where all legacy / v2 / v3
+// traffic lands), later classes shed first under overload.  At most
+// kMaxTenantClasses classes fit the u8 wire field with headroom to spare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace arlo::tenant {
+
+/// Hard cap on classes per table (wire carries a u8; 8 is plenty).
+inline constexpr int kMaxTenantClasses = 8;
+
+enum class ShedPolicy : std::uint8_t {
+  kReject = 0,  ///< budget exhaustion answers a retryable reject status
+  kShed = 1,    ///< budget exhaustion answers the explicit kShedClass drop
+};
+
+const char* ShedPolicyName(ShedPolicy policy);
+
+struct TenantClass {
+  int id = 0;            ///< position in the table == priority (0 highest)
+  std::string name;
+  int weight = 1;        ///< fair-share weight, >= 1
+  SimDuration slo = 0;   ///< SLO deadline (> 0)
+  ShedPolicy shed = ShedPolicy::kReject;
+};
+
+/// Immutable, copyable class table.  A default-constructed table is empty
+/// ("no tenants configured"); every consumer treats a null/empty table as
+/// the historical single-class behavior.
+class TenantClassTable {
+ public:
+  TenantClassTable() = default;
+
+  /// Parses a --tenants spec (see file header).  Throws
+  /// std::invalid_argument with a stable, golden-tested message on any
+  /// grammar violation, duplicate name, or more than kMaxTenantClasses
+  /// classes.
+  static TenantClassTable Parse(const std::string& spec);
+
+  bool Empty() const { return classes_.empty(); }
+  int Size() const { return static_cast<int>(classes_.size()); }
+
+  /// Class by id.  Out-of-range ids (a v4 client naming a class this table
+  /// does not define) clamp to class 0 — the documented default class.
+  const TenantClass& Class(int id) const {
+    return classes_[static_cast<std::size_t>(Clamp(id))];
+  }
+
+  /// Clamps a wire/trace class id into [0, Size()); everything unknown maps
+  /// to the default class 0.
+  int Clamp(int id) const {
+    return (id >= 0 && id < Size()) ? id : 0;
+  }
+
+  /// nullptr when no class has this name.
+  const TenantClass* Find(const std::string& name) const;
+
+  int TotalWeight() const { return total_weight_; }
+
+  /// Re-emits the spec in canonical form (round-trips through Parse).
+  std::string ToString() const;
+
+  const std::vector<TenantClass>& Classes() const { return classes_; }
+
+ private:
+  std::vector<TenantClass> classes_;
+  int total_weight_ = 0;
+};
+
+}  // namespace arlo::tenant

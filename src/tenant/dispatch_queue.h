@@ -1,0 +1,162 @@
+// Class-aware central dispatch buffer (docs/TENANTS.md).
+//
+// Both sim::Engine and serving::LiveTestbed buffer not-yet-dispatchable
+// requests in one central queue and drain it head-blocking: try the front,
+// stop on the first request that does not fit.  DispatchQueue keeps that
+// exact contract while making "the front" class-aware:
+//
+//   * without a TenantClassTable (or with an empty one) it IS a FIFO deque —
+//     operation-for-operation identical to the historical std::deque, which
+//     the byte-identical golden traces pin;
+//   * with a table it runs weighted deficit round-robin across per-class
+//     FIFO queues: each class banks quantum proportional to its weight
+//     whenever no class can afford its head, paying the head's token length
+//     to dispatch, so long-run dispatch shares converge to the weights.
+//     When several classes can afford their heads, the one whose head has
+//     the least SLO slack (arrival + class slo - now) goes first — but only
+//     among heads that can still make their SLO.  A head that is already
+//     late has no meaningful deadline left; letting it outrank on-time work
+//     would invert priorities under backlog (an aged best-effort queue
+//     would starve interactive), so late heads dispatch only when no
+//     on-time head affords, lowest class id first.
+//
+// Not thread-safe: the engine uses it from the sim loop, the testbed under
+// its dispatch mutex — same discipline as the deque it replaces.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "tenant/class_table.h"
+
+namespace arlo::tenant {
+
+class DispatchQueue {
+ public:
+  /// `table` may be nullptr (single-class FIFO mode); when set it must
+  /// outlive the queue.
+  explicit DispatchQueue(const TenantClassTable* table = nullptr)
+      : table_(table != nullptr && !table->Empty() ? table : nullptr) {
+    const std::size_t classes =
+        table_ != nullptr ? static_cast<std::size_t>(table_->Size()) : 1;
+    queues_.resize(classes);
+    deficit_.assign(classes, 0);
+  }
+
+  void PushBack(const Request& request) {
+    const int cls =
+        table_ != nullptr ? table_->Clamp(request.tenant_class) : 0;
+    queues_[static_cast<std::size_t>(cls)].push_back(request);
+    ++size_;
+    selected_ = -1;
+  }
+
+  bool Empty() const { return size_ == 0; }
+  std::size_t Size() const { return size_; }
+
+  /// The request the dispatcher should try next.  `now` feeds the
+  /// slack-aware tie-break; FIFO mode ignores it.  Only valid when
+  /// !Empty(); the choice is pinned until PopFront/PushBack/RemoveIf.
+  const Request& Front(SimTime now) {
+    ARLO_CHECK(size_ > 0);
+    if (selected_ < 0) selected_ = Select(now);
+    return queues_[static_cast<std::size_t>(selected_)].front();
+  }
+
+  /// Pops the request the last Front() returned and charges its class.
+  void PopFront() {
+    ARLO_CHECK(selected_ >= 0);
+    const std::size_t cls = static_cast<std::size_t>(selected_);
+    std::deque<Request>& q = queues_[cls];
+    deficit_[cls] -= Cost(q.front());
+    q.pop_front();
+    --size_;
+    if (q.empty()) deficit_[cls] = 0;  // no banking while idle
+    selected_ = -1;
+  }
+
+  /// Removes every request `pred` returns true for, visiting classes in id
+  /// order and each class FIFO — in single-class mode this is exactly the
+  /// historical front-to-back deque sweep.  `pred` may have side effects
+  /// (the engine builds shed records in it).
+  template <typename Pred>
+  void RemoveIf(Pred pred) {
+    for (std::deque<Request>& q : queues_) {
+      for (auto it = q.begin(); it != q.end();) {
+        if (pred(*it)) {
+          it = q.erase(it);
+          --size_;
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      if (queues_[c].empty()) deficit_[c] = 0;
+    }
+    selected_ = -1;
+  }
+
+  /// Requests buffered for one class (statusz / tests).
+  std::size_t ClassDepth(int cls) const {
+    if (cls < 0 || cls >= static_cast<int>(queues_.size())) return 0;
+    return queues_[static_cast<std::size_t>(cls)].size();
+  }
+
+  const TenantClassTable* Table() const { return table_; }
+
+ private:
+  /// Dispatch cost of one request: its token length (floor 1 so zero-length
+  /// requests still consume deficit).
+  static std::int64_t Cost(const Request& request) {
+    return request.length > 0 ? request.length : 1;
+  }
+
+  /// Deficit banked per top-up round: weight * this many tokens.
+  static constexpr std::int64_t kQuantumTokens = 128;
+
+  int Select(SimTime now) {
+    if (table_ == nullptr) return 0;
+    for (;;) {
+      int best = -1;
+      bool best_on_time = false;
+      SimDuration best_slack = 0;
+      for (int c = 0; c < static_cast<int>(queues_.size()); ++c) {
+        const std::deque<Request>& q = queues_[static_cast<std::size_t>(c)];
+        if (q.empty()) continue;
+        if (deficit_[static_cast<std::size_t>(c)] < Cost(q.front())) continue;
+        const SimDuration slack =
+            q.front().arrival + table_->Class(c).slo - now;
+        const bool on_time = slack >= 0;
+        // On-time heads in least-slack order; late heads only when no
+        // on-time head affords, lowest class id first (ascending scan
+        // keeps the first late candidate).
+        const bool better =
+            best < 0 || (on_time && !best_on_time) ||
+            (on_time && best_on_time && slack < best_slack);
+        if (better) {
+          best = c;
+          best_on_time = on_time;
+          best_slack = slack;
+        }
+      }
+      if (best >= 0) return best;
+      for (int c = 0; c < static_cast<int>(queues_.size()); ++c) {
+        if (queues_[static_cast<std::size_t>(c)].empty()) continue;
+        deficit_[static_cast<std::size_t>(c)] +=
+            kQuantumTokens * table_->Class(c).weight;
+      }
+    }
+  }
+
+  const TenantClassTable* table_;          // nullptr = single-class FIFO
+  std::vector<std::deque<Request>> queues_;  // index = class id
+  std::vector<std::int64_t> deficit_;        // WDRR deficit per class
+  std::size_t size_ = 0;
+  int selected_ = -1;  ///< class chosen by the last Front(); -1 = stale
+};
+
+}  // namespace arlo::tenant

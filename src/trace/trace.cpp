@@ -58,16 +58,25 @@ bool Trace::IsGenerative() const {
                      [](const Request& r) { return r.decode_len >= 1; });
 }
 
+bool Trace::IsMultiTenant() const {
+  return std::any_of(requests_.begin(), requests_.end(),
+                     [](const Request& r) { return r.tenant_class > 0; });
+}
+
 void Trace::SaveCsv(std::ostream& os) const {
-  const bool generative = IsGenerative();
-  if (generative) {
-    os << "id,arrival_ns,length,decode_len\n";
-  } else {
-    os << "id,arrival_ns,length\n";
-  }
+  // Column width is uniform across the file: 3 for one-shot single-tenant
+  // traces (the historical shape), 4 when generative, 5 when multi-tenant
+  // (decode_len is emitted even if all-zero so `class` is always column 5).
+  const bool tenants = IsMultiTenant();
+  const bool generative = tenants || IsGenerative();
+  os << "id,arrival_ns,length";
+  if (generative) os << ",decode_len";
+  if (tenants) os << ",class";
+  os << '\n';
   for (const auto& r : requests_) {
     os << r.id << ',' << r.arrival << ',' << r.length;
     if (generative) os << ',' << r.decode_len;
+    if (tenants) os << ',' << r.tenant_class;
     os << '\n';
   }
 }
@@ -76,21 +85,44 @@ Trace Trace::LoadCsv(std::istream& is) {
   std::vector<Request> requests;
   std::string line;
   bool first = true;
+  std::size_t width = 0;  // column count, fixed by the first data row
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     if (first) {
       first = false;
-      if (line.rfind("id,", 0) == 0) continue;  // header (either shape)
+      if (line.rfind("id,", 0) == 0) continue;  // header (any shape)
+    }
+    std::size_t cols = 1;
+    for (const char c : line) {
+      if (c == ',') ++cols;
+    }
+    if (width == 0) {
+      if (cols < 3 || cols > 5) {
+        throw std::invalid_argument("trace CSV: line '" + line + "' has " +
+                                    std::to_string(cols) +
+                                    " columns, want 3, 4, or 5");
+      }
+      width = cols;
+    } else if (cols != width) {
+      throw std::invalid_argument(
+          "trace CSV: mixed column widths: line '" + line + "' has " +
+          std::to_string(cols) + " columns, file started with " +
+          std::to_string(width));
     }
     std::istringstream ls(line);
     Request r;
     char comma = 0;
     ls >> r.id >> comma >> r.arrival >> comma >> r.length;
     ARLO_CHECK_MSG(!ls.fail(), "malformed trace CSV line: " + line);
-    if (ls >> comma >> r.decode_len) {
+    if (width >= 4) {
+      ls >> comma >> r.decode_len;
+      ARLO_CHECK_MSG(!ls.fail(), "malformed trace CSV line: " + line);
       ARLO_CHECK_MSG(r.decode_len >= 0, "negative decode_len: " + line);
-    } else {
-      r.decode_len = 0;
+    }
+    if (width >= 5) {
+      ls >> comma >> r.tenant_class;
+      ARLO_CHECK_MSG(!ls.fail(), "malformed trace CSV line: " + line);
+      ARLO_CHECK_MSG(r.tenant_class >= 0, "negative class: " + line);
     }
     requests.push_back(r);
   }

@@ -42,10 +42,15 @@ class Trace {
   /// True iff any request has a decode phase (decode_len >= 1).
   bool IsGenerative() const;
 
-  /// CSV round-trip with a header line.  One-shot traces serialize as the
-  /// historical "id,arrival_ns,length" (byte-identical to pre-generative
-  /// builds); generative traces append a decode_len column.  LoadCsv accepts
-  /// both shapes.
+  /// True iff any request belongs to a non-default tenant class.
+  bool IsMultiTenant() const;
+
+  /// CSV round-trip with a header line.  One-shot single-tenant traces
+  /// serialize as the historical "id,arrival_ns,length" (byte-identical to
+  /// pre-generative builds); generative traces append a decode_len column,
+  /// multi-tenant traces a fifth `class` column.  LoadCsv accepts all three
+  /// shapes but requires one uniform column width per file — mixed-width
+  /// files fail with a stable error.
   void SaveCsv(std::ostream& os) const;
   static Trace LoadCsv(std::istream& is);
 

@@ -87,6 +87,24 @@ Trace SynthesizeTwitterTrace(const TwitterTraceConfig& config) {
   // Dedicated stream: sampling (or not sampling) decode lengths must not
   // perturb arrivals or prefill lengths for a fixed seed.
   Rng decode_rng = root.Split();
+  // Tenant streams split strictly after the base four, and are only drawn
+  // from when tenant tracks are configured — single-tenant traces stay
+  // byte-identical at equal seed.  One stream picks classes; each class
+  // gets its own length/decode override streams so editing one track never
+  // perturbs another's samples.
+  ARLO_CHECK_MSG(config.tenants.size() <= 8, "at most 8 tenant tracks");
+  Rng class_rng = root.Split();
+  std::vector<Rng> tenant_length_rng;
+  std::vector<Rng> tenant_decode_rng;
+  double tenant_total = 0.0;
+  for (const TwitterTraceConfig::TenantTrack& track : config.tenants) {
+    tenant_length_rng.push_back(root.Split());
+    tenant_decode_rng.push_back(root.Split());
+    ARLO_CHECK_MSG(track.fraction >= 0.0, "negative tenant fraction");
+    tenant_total += track.fraction;
+  }
+  ARLO_CHECK_MSG(config.tenants.empty() || tenant_total > 0.0,
+                 "tenant fractions must sum to > 0");
 
   // Length model: a drifting two-component mixture; when max_length is 512
   // the samples are rescaled as in §5 Workloads.
@@ -138,6 +156,31 @@ Trace SynthesizeTwitterTrace(const TwitterTraceConfig& config) {
       r.length = sampler->Sample(lengths_rng);
       if (config.decode_lengths) {
         r.decode_len = config.decode_lengths->Sample(decode_rng);
+      }
+      if (!config.tenants.empty()) {
+        // Pick the class by normalized rate fraction, then apply its
+        // per-class overrides from that class's dedicated streams.
+        const double u = class_rng.Uniform(0.0, tenant_total);
+        double acc = 0.0;
+        int cls = static_cast<int>(config.tenants.size()) - 1;
+        for (std::size_t c = 0; c < config.tenants.size(); ++c) {
+          acc += config.tenants[c].fraction;
+          if (u < acc) {
+            cls = static_cast<int>(c);
+            break;
+          }
+        }
+        r.tenant_class = cls;
+        const TwitterTraceConfig::TenantTrack& track =
+            config.tenants[static_cast<std::size_t>(cls)];
+        if (track.lengths) {
+          r.length = track.lengths->Sample(
+              tenant_length_rng[static_cast<std::size_t>(cls)]);
+        }
+        if (track.decode_lengths) {
+          r.decode_len = track.decode_lengths->Sample(
+              tenant_decode_rng[static_cast<std::size_t>(cls)]);
+        }
       }
       requests.push_back(r);
     }

@@ -67,6 +67,26 @@ struct TwitterTraceConfig {
   /// generative trace is the one-shot trace plus output lengths.  Null (the
   /// default) produces the historical one-shot trace, byte-identical.
   std::shared_ptr<const LengthDistribution> decode_lengths;
+
+  /// One per-class traffic track for multi-tenant workloads
+  /// (docs/TENANTS.md).  The track index is the tenant class id.
+  struct TenantTrack {
+    /// Fraction of arrivals tagged with this class; fractions are
+    /// normalized over their sum (which must be > 0).
+    double fraction = 0.0;
+    /// Optional per-class prompt-length override; null keeps the base
+    /// Twitter length draw for this class.
+    std::shared_ptr<const LengthDistribution> lengths;
+    /// Optional per-class decode-length override; null keeps the base
+    /// `decode_lengths` draw (or one-shot when that is null too).
+    std::shared_ptr<const LengthDistribution> decode_lengths;
+  };
+  /// Empty (the default) = the historical single-tenant trace.  The class
+  /// picks and every per-class override sample each draw from their own
+  /// dedicated RNG streams, split *after* the base streams — so a
+  /// single-tenant trace at a given seed is byte-identical with this field
+  /// empty or absent, and editing one class's mix never perturbs another's.
+  std::vector<TenantTrack> tenants;
 };
 
 /// Generates a full trace per the config.  Deterministic in `seed`.

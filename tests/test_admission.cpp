@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/types.h"
+#include "tenant/class_table.h"
 
 namespace arlo::net {
 namespace {
@@ -116,6 +117,175 @@ TEST(Admission, GatesAreCheckedInOrderAndRejectionsConsumeNothing) {
   // Bucket now empty: the rate gate fires before the inflight gate.
   EXPECT_EQ(admission.Admit(0, 0, Millis(10.0)),
             AdmissionDecision::kRejectRate);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted-fair per-class admission (tenant::TenantClassTable loaded).
+
+TEST(TenantAdmission, RateBudgetSplitsIntoWeightedBuckets) {
+  // rate 4, burst 4, weights 3:1 -> capacities hi=3, lo=1.
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("hi:w3:slo100,lo:w1:slo100");
+  AdmissionConfig config;
+  config.rate_limit = 4.0;
+  config.burst = 4.0;
+  config.tenants = &table;
+  AdmissionController admission{config};
+
+  // lo spends its own single token; the lowest class has no one below it
+  // to borrow from.
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kRejectRate);
+
+  // hi's own bucket holds exactly 3 — and lo's token is already gone, so
+  // there is nothing left to raid.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kAdmit) << i;
+  }
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kRejectRate);
+}
+
+TEST(TenantAdmission, HigherPriorityBorrowsDownwardNeverUpward) {
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("hi:w3:slo100,lo:w1:slo100");
+  AdmissionConfig config;
+  config.rate_limit = 4.0;
+  config.burst = 4.0;
+  config.tenants = &table;
+  AdmissionController admission{config};
+
+  // hi drains its own 3 tokens, then raids lo's spare one.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kAdmit) << i;
+  }
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kRejectRate);
+  // The raid consumed lo's budget: strict priority starves the bottom.
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kRejectRate);
+  EXPECT_NEAR(admission.TokensForTest(1), 0.0, 1e-9);
+}
+
+TEST(TenantAdmission, ShedPolicyAnswersShedClassOnExhaustion) {
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("a:w1:slo100,b:w1:slo100:shed");
+  AdmissionConfig config;
+  config.rate_limit = 2.0;
+  config.burst = 2.0;
+  config.tenants = &table;
+  AdmissionController admission{config};
+
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kAdmit);
+  // b is exhausted: its policy turns the retryable reject into a drop.
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kShedClass);
+  // a keeps the default retryable status.
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kRejectRate);
+}
+
+TEST(TenantAdmission, InflightCapsReserveHeadroomForHigherClasses) {
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("hi:w1:slo100,lo:w1:slo100");
+  AdmissionConfig config;
+  config.max_inflight = 4;  // caps: 2 + 2
+  config.tenants = &table;
+  AdmissionController admission{config};
+
+  // lo fills its own cap, then may not grow into hi's reserved slots.
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kRejectInflight);
+  EXPECT_EQ(admission.InflightForClass(1), 2);
+
+  // hi claims the reserved headroom; at the total cap everyone is refused.
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kRejectInflight);
+  EXPECT_EQ(admission.Inflight(), 4);
+
+  // A lo completion frees a lo slot.
+  admission.OnRequestDone(1);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kAdmit);
+}
+
+TEST(TenantAdmission, TopClassBorrowsInflightBeyondItsCap) {
+  // Class 0 has no higher class to reserve for, so it may grow beyond its
+  // own cap as long as the total bound holds.
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("hi:w1:slo100,lo:w3:slo100");
+  AdmissionConfig config;
+  config.max_inflight = 4;  // caps: hi=1, lo=3
+  config.tenants = &table;
+  AdmissionController admission{config};
+
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.InflightForClass(0), 2);  // cap was 1
+}
+
+TEST(TenantAdmission, InflightExhaustionHonorsShedPolicy) {
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("a:w1:slo100,b:w1:slo100:shed");
+  AdmissionConfig config;
+  config.max_inflight = 2;  // caps: 1 + 1
+  config.tenants = &table;
+  AdmissionController admission{config};
+
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 1), AdmissionDecision::kShedClass);
+}
+
+TEST(TenantAdmission, RequestsInheritTheirClassSloAsDeadline) {
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("a:w1:slo50");
+  AdmissionConfig config;
+  config.tenants = &table;
+  AdmissionController admission{config};
+
+  // No explicit deadline: the 50 ms class SLO gates the estimate.
+  EXPECT_EQ(admission.Admit(0, Millis(60.0), 0, 0),
+            AdmissionDecision::kShedDeadline);
+  EXPECT_EQ(admission.Admit(0, Millis(40.0), 0, 0),
+            AdmissionDecision::kAdmit);
+  // An explicit deadline still takes precedence over the class SLO.
+  EXPECT_EQ(admission.Admit(0, Millis(60.0), Millis(100.0), 0),
+            AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, Millis(60.0), Millis(55.0), 0),
+            AdmissionDecision::kShedDeadline);
+}
+
+TEST(TenantAdmission, ClassSloDeadlineRespectsDisabledGate) {
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("a:w1:slo50");
+  AdmissionConfig config;
+  config.deadline_reject = false;
+  config.tenants = &table;
+  AdmissionController admission{config};
+  EXPECT_EQ(admission.Admit(0, Seconds(10.0), 0, 0),
+            AdmissionDecision::kAdmit);
+}
+
+TEST(TenantAdmission, UnknownClassIdsClampToClassZero) {
+  const tenant::TenantClassTable table =
+      tenant::TenantClassTable::Parse("a:w1:slo100,b:w1:slo100");
+  AdmissionConfig config;
+  config.max_inflight = 4;
+  config.tenants = &table;
+  AdmissionController admission{config};
+  EXPECT_EQ(admission.Admit(0, 0, 0, 9), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.InflightForClass(0), 1);
+  admission.OnRequestDone(9);
+  EXPECT_EQ(admission.InflightForClass(0), 0);
+}
+
+TEST(TenantAdmission, EmptyTableKeepsTheSingleClassPath) {
+  const tenant::TenantClassTable empty;
+  AdmissionConfig config;
+  config.rate_limit = 2.0;
+  config.burst = 2.0;
+  config.tenants = &empty;
+  AdmissionController admission{config};
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0, 5), AdmissionDecision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 0), AdmissionDecision::kRejectRate);
 }
 
 }  // namespace

@@ -47,6 +47,12 @@ class FakeBackend {
 
   int Received() const { return received_.load(std::memory_order_acquire); }
 
+  /// Every submit frame this backend decoded, in arrival order.
+  std::vector<net::SubmitRequest> Submits() const {
+    std::lock_guard lock(mu_);
+    return submits_;
+  }
+
   /// Abrupt death: every socket closes mid-conversation.
   void Kill() {
     if (killed_.exchange(true)) return;
@@ -88,6 +94,10 @@ class FakeBackend {
       decoder.Feed(buf, static_cast<std::size_t>(n));
       net::Frame frame;
       while (decoder.Next(frame) == net::FrameDecoder::Result::kFrame) {
+        if (frame.type == net::MsgType::kSubmit) {
+          std::lock_guard lock(mu_);
+          submits_.push_back(frame.submit);
+        }
         received_.fetch_add(1, std::memory_order_acq_rel);
         if (mode_ == Mode::kHold) continue;
         net::Reply reply;
@@ -115,9 +125,10 @@ class FakeBackend {
   std::thread acceptor_;
   std::atomic<bool> killed_{false};
   std::atomic<int> received_{0};
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<int> conn_fds_;        // guarded by mu_
   std::vector<std::thread> handlers_;  // guarded by mu_
+  std::vector<net::SubmitRequest> submits_;  // guarded by mu_
 };
 
 /// A port with nothing listening on it.
@@ -383,6 +394,94 @@ TEST(ClusterRouter, ProbeFailureEvictsAndShedsExplicitly) {
   EXPECT_EQ(router.Pool().Status()[0].state, NodeState::kEvicted);
   EXPECT_GE(sink.Cluster().probe_failures->Value(), 2u);
   EXPECT_EQ(sink.Cluster().evictions->Value(), 1u);
+
+  router.Stop();
+}
+
+// Protocol compatibility through the router: a v4 submit carrying
+// decode_len and tenant_class, and a hand-built v3 frame from a legacy
+// client, both reach the backend with their fields intact (v3 lands in
+// class 0) and both replies come back with client tokens preserved.
+TEST(ClusterRouter, ForwardsDecodeLenAndTenantClassAcrossVersions) {
+  FakeBackend backend(FakeBackend::Mode::kEcho);
+
+  RouterConfig rc;
+  rc.policy = "rr";
+  rc.nodes = {{"a", backend.Port(), 0}};
+  Router router(rc);
+  router.Start();
+
+  // v4 client: generative + tenant-tagged submit.
+  net::ClientConnection client(router.Port());
+  net::SubmitRequest submit;
+  submit.id = 5;
+  submit.request_id = 505;
+  submit.length = 128;
+  submit.decode_len = 48;
+  submit.tenant_class = 2;
+  client.Send(submit);
+  net::Reply reply;
+  ASSERT_TRUE(client.Receive(reply));
+  EXPECT_EQ(reply.status, net::ReplyStatus::kOk);
+  EXPECT_EQ(reply.id, 5u);
+  EXPECT_EQ(reply.request_id, 505u);
+
+  // v3 client: hand-built 36-byte-payload generative submit (decode_len
+  // but no tenant_class) over a raw socket.
+  net::ScopedFd raw = net::ConnectTcp(router.Port());
+  std::vector<std::uint8_t> bytes = {
+      38, 0, 0, 0, 3, static_cast<std::uint8_t>(net::MsgType::kSubmit)};
+  auto put_u64 = [&bytes](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put_u32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u64(9u);    // id
+  put_u64(909u);  // request_id
+  put_u32(0u);    // model
+  put_u32(256u);  // length
+  put_u32(16u);   // decode_len
+  put_u64(0u);    // deadline_ns
+  ASSERT_EQ(bytes.size(), 4u + 38u);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t sent = ::send(raw.Get(), bytes.data() + off,
+                                bytes.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(sent, 0);
+    off += static_cast<std::size_t>(sent);
+  }
+  net::FrameDecoder decoder;
+  net::Frame frame;
+  bool got = false;
+  std::uint8_t buf[256];
+  while (!got) {
+    const ssize_t n = ::recv(raw.Get(), buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    decoder.Feed(buf, static_cast<std::size_t>(n));
+    got = decoder.Next(frame) == net::FrameDecoder::Result::kFrame;
+  }
+  EXPECT_EQ(frame.type, net::MsgType::kReply);
+  EXPECT_EQ(frame.reply.status, net::ReplyStatus::kOk);
+  EXPECT_EQ(frame.reply.id, 9u);
+  EXPECT_EQ(frame.reply.request_id, 909u);
+
+  ASSERT_TRUE(WaitFor([&] { return backend.Received() == 2; }));
+  const std::vector<net::SubmitRequest> seen = backend.Submits();
+  ASSERT_EQ(seen.size(), 2u);
+  const net::SubmitRequest& v4 = seen[0].id == 5u ? seen[0] : seen[1];
+  const net::SubmitRequest& v3 = seen[0].id == 9u ? seen[0] : seen[1];
+  EXPECT_EQ(v4.id, 5u);
+  EXPECT_EQ(v4.decode_len, 48u);
+  EXPECT_EQ(v4.tenant_class, 2u);
+  EXPECT_EQ(v3.id, 9u);
+  EXPECT_EQ(v3.length, 256u);
+  EXPECT_EQ(v3.decode_len, 16u);
+  EXPECT_EQ(v3.tenant_class, 0u);  // legacy clients land in class 0
 
   router.Stop();
 }

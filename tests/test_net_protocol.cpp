@@ -28,6 +28,7 @@ TEST(NetProtocol, SubmitRoundTrip) {
   msg.length = 511;
   msg.decode_len = 77;
   msg.deadline_ns = Millis(150.0);
+  msg.tenant_class = 3;
 
   std::vector<std::uint8_t> bytes;
   EncodeSubmit(msg, bytes);
@@ -64,12 +65,13 @@ TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
   msg.length = 0x00000102;
   msg.decode_len = 0x4a3b2c1d;
   msg.deadline_ns = 0x0807060504030201LL;
+  msg.tenant_class = 0x5a;
 
   std::vector<std::uint8_t> bytes;
   EncodeSubmit(msg, bytes);
-  ASSERT_EQ(bytes.size(), 42u);
-  // frame_len = 38 (version + type bytes + 36-byte payload), little-endian.
-  EXPECT_EQ(bytes[0], 38u);
+  ASSERT_EQ(bytes.size(), 43u);
+  // frame_len = 39 (version + type bytes + 37-byte payload), little-endian.
+  EXPECT_EQ(bytes[0], 39u);
   EXPECT_EQ(bytes[1], 0u);
   EXPECT_EQ(bytes[2], 0u);
   EXPECT_EQ(bytes[3], 0u);
@@ -85,6 +87,7 @@ TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
   EXPECT_EQ(bytes[33], 0x4a);  // decode_len MSB
   EXPECT_EQ(bytes[34], 0x01);  // deadline LSB
   EXPECT_EQ(bytes[41], 0x08);
+  EXPECT_EQ(bytes[42], 0x5a);  // tenant_class (v4)
 }
 
 TEST(NetProtocol, V2SubmitFramesStillDecode) {
@@ -119,9 +122,40 @@ TEST(NetProtocol, V2SubmitFramesStillDecode) {
   EXPECT_EQ(frame.submit.deadline_ns, 100000000);
 }
 
-TEST(NetProtocol, V3SubmitWithV2PayloadSizeIsAnError) {
-  // A frame claiming v3 but carrying only the 32-byte v2 payload: the
-  // decoder must not guess which field is missing.
+TEST(NetProtocol, V3SubmitFramesStillDecode) {
+  // A v3 submit (36-byte payload: decode_len but no tenant_class) must
+  // decode against a v4 server, landing in the default class 0.
+  std::vector<std::uint8_t> bytes = {38, 0, 0, 0, 3,
+                                     static_cast<std::uint8_t>(MsgType::kSubmit)};
+  auto put_u64 = [&bytes](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put_u32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u64(0x3333u);  // id
+  put_u64(0x4444u);  // request_id
+  put_u32(2u);       // model
+  put_u32(256u);     // length
+  put_u32(48u);      // decode_len
+  put_u64(0u);       // deadline_ns
+  ASSERT_EQ(bytes.size(), 4u + 38u);
+
+  const Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.type, MsgType::kSubmit);
+  EXPECT_EQ(frame.submit.id, 0x3333u);
+  EXPECT_EQ(frame.submit.length, 256u);
+  EXPECT_EQ(frame.submit.decode_len, 48u);
+  EXPECT_EQ(frame.submit.tenant_class, 0u);  // v3 has no tenant field
+}
+
+TEST(NetProtocol, CurrentVersionWithV2PayloadSizeIsAnError) {
+  // A frame claiming the current version but carrying only the 32-byte v2
+  // payload: the decoder must not guess which field is missing.
   std::vector<std::uint8_t> bytes = {34, 0, 0, 0, kProtocolVersion,
                                      static_cast<std::uint8_t>(MsgType::kSubmit)};
   bytes.resize(4 + 34, 0);
@@ -388,6 +422,29 @@ TEST(NetProtocol, StatusNamesAreDistinct) {
                ReplyStatusName(ReplyStatus::kError));
   EXPECT_STRNE(ReplyStatusName(ReplyStatus::kRejectNoNode),
                ReplyStatusName(ReplyStatus::kError));
+  EXPECT_STRNE(ReplyStatusName(ReplyStatus::kShedClass),
+               ReplyStatusName(ReplyStatus::kShedDeadline));
+  EXPECT_STREQ(ReplyStatusName(ReplyStatus::kShedClass), "shed-class");
+}
+
+TEST(NetProtocol, ShedClassReplyRoundTrips) {
+  Reply msg;
+  msg.id = 12;
+  msg.request_id = 13;
+  msg.status = ReplyStatus::kShedClass;
+  std::vector<std::uint8_t> bytes;
+  EncodeReply(msg, bytes);
+  const Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.reply.status, ReplyStatus::kShedClass);
+  EXPECT_EQ(frame.reply, msg);
+
+  // kShedClass is the last defined status: one past it must be rejected.
+  bytes[4 + 2 + 16] =
+      static_cast<std::uint8_t>(ReplyStatus::kShedClass) + 1;
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame bad;
+  EXPECT_EQ(decoder.Next(bad), FrameDecoder::Result::kError);
 }
 
 }  // namespace

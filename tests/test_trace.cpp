@@ -85,5 +85,114 @@ TEST(Trace, LoadCsvRejectsGarbage) {
   EXPECT_THROW(Trace::LoadCsv(ss), std::logic_error);
 }
 
+TEST(Trace, LoadsThreeColumnFixture) {
+  // The historical single-tenant one-shot shape.
+  std::stringstream ss("id,arrival_ns,length\n0,1000,64\n1,2000,128\n");
+  const Trace t = Trace::LoadCsv(ss);
+  ASSERT_EQ(t.Size(), 2u);
+  EXPECT_EQ(t.Requests()[1].length, 128);
+  EXPECT_EQ(t.Requests()[1].decode_len, 0);
+  EXPECT_EQ(t.Requests()[1].tenant_class, 0);
+  EXPECT_FALSE(t.IsGenerative());
+  EXPECT_FALSE(t.IsMultiTenant());
+}
+
+TEST(Trace, LoadsFourColumnFixture) {
+  std::stringstream ss(
+      "id,arrival_ns,length,decode_len\n0,1000,64,16\n1,2000,128,0\n");
+  const Trace t = Trace::LoadCsv(ss);
+  ASSERT_EQ(t.Size(), 2u);
+  EXPECT_EQ(t.Requests()[0].decode_len, 16);
+  EXPECT_EQ(t.Requests()[0].tenant_class, 0);
+  EXPECT_TRUE(t.IsGenerative());
+  EXPECT_FALSE(t.IsMultiTenant());
+}
+
+TEST(Trace, LoadsFiveColumnFixture) {
+  std::stringstream ss(
+      "id,arrival_ns,length,decode_len,class\n"
+      "0,1000,64,0,2\n1,2000,128,16,0\n");
+  const Trace t = Trace::LoadCsv(ss);
+  ASSERT_EQ(t.Size(), 2u);
+  EXPECT_EQ(t.Requests()[0].tenant_class, 2);
+  EXPECT_EQ(t.Requests()[1].tenant_class, 0);
+  EXPECT_TRUE(t.IsMultiTenant());
+}
+
+TEST(Trace, MultiTenantCsvRoundTripsWithFiveColumns) {
+  std::vector<Request> requests;
+  requests.push_back({0, Seconds(1.0), 64});
+  Request tagged{0, Seconds(2.0), 128};
+  tagged.tenant_class = 3;
+  requests.push_back(tagged);
+  Trace t(std::move(requests));
+  ASSERT_TRUE(t.IsMultiTenant());
+
+  std::stringstream ss;
+  t.SaveCsv(ss);
+  // One-shot multi-tenant traces still emit decode_len so `class` is
+  // always the fifth column.
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "id,arrival_ns,length,decode_len,class");
+  ss.seekg(0);
+  const Trace loaded = Trace::LoadCsv(ss);
+  ASSERT_EQ(loaded.Size(), 2u);
+  EXPECT_EQ(loaded.Requests()[1].tenant_class, 3);
+  EXPECT_EQ(loaded.Requests()[1].decode_len, 0);
+}
+
+TEST(Trace, SingleTenantCsvShapeIsUnchanged) {
+  // Byte-compat guard: a trace with no tenant tags and no decode lengths
+  // must keep the historical 3-column shape exactly.
+  Trace t(MakeRequests());
+  std::stringstream ss;
+  t.SaveCsv(ss);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "id,arrival_ns,length");
+}
+
+TEST(Trace, LoadCsvGoldenErrorsForBadWidths) {
+  {
+    std::stringstream ss("id,arrival_ns,length\n1,2\n");
+    try {
+      Trace::LoadCsv(ss);
+      FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_STREQ(e.what(),
+                   "trace CSV: line '1,2' has 2 columns, want 3, 4, or 5");
+    }
+  }
+  {
+    std::stringstream ss("0,1000,64,0,1,9\n");
+    try {
+      Trace::LoadCsv(ss);
+      FAIL() << "expected throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_STREQ(
+          e.what(),
+          "trace CSV: line '0,1000,64,0,1,9' has 6 columns, want 3, 4, or 5");
+    }
+  }
+}
+
+TEST(Trace, LoadCsvGoldenErrorForMixedWidths) {
+  std::stringstream ss("0,1000,64\n1,2000,128,16\n");
+  try {
+    Trace::LoadCsv(ss);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(),
+                 "trace CSV: mixed column widths: line '1,2000,128,16' has 4 "
+                 "columns, file started with 3");
+  }
+}
+
+TEST(Trace, LoadCsvRejectsNegativeClass) {
+  std::stringstream ss("0,1000,64,0,-1\n");
+  EXPECT_THROW(Trace::LoadCsv(ss), std::logic_error);
+}
+
 }  // namespace
 }  // namespace arlo::trace
