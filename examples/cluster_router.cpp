@@ -16,21 +16,34 @@
 // connection stays up).  Ctrl-C drains in flight work and prints a final
 // per-node routing summary.
 //
+// --ctrl attaches the cluster Runtime Scheduler (docs/CONTROL_PLANE.md): a
+// control loop that scrapes every node's length mix, re-solves the fleet
+// allocation when the mix drifts (KS gate), and ships per-node deltas via
+// each node's POST /realloc.  Nodes should run --freeze-alloc so local and
+// cluster reallocation do not fight.
+//
 // Run: ./build/examples/cluster_router --nodes=9001:8001,9002:8002
 //      [--listen=0] [--admin-port=0] [--policy=queue-delay]
 //      [--probe-ms=100] [--probe-failures=3] [--retries=4] [--seed=1]
+//      [--ctrl] [--ctrl-period-ms=500] [--ctrl-ks=0.1]
+//      [--ctrl-min-samples=50] [--ctrl-budget-ms=50] [--slo-ms=150]
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "baselines/scenario.h"
 #include "cluster/router.h"
 #include "cluster/router_admin.h"
 #include "common/cli.h"
+#include "ctrl/scheduler.h"
+#include "runtime/profiler.h"
+#include "runtime/runtime_set.h"
 #include "telemetry/sink.h"
 
 using namespace arlo;
@@ -73,6 +86,12 @@ int main(int argc, char** argv) {
   const long long probe_failures = flags.GetInt("probe-failures", 3);
   const long long retries = flags.GetInt("retries", 4);
   const long long seed = flags.GetInt("seed", 1);
+  const bool enable_ctrl = flags.GetBool("ctrl", false);
+  const double ctrl_period_ms = flags.GetDouble("ctrl-period-ms", 500.0);
+  const double ctrl_ks = flags.GetDouble("ctrl-ks", 0.1);
+  const long long ctrl_min_samples = flags.GetInt("ctrl-min-samples", 50);
+  const double ctrl_budget_ms = flags.GetDouble("ctrl-budget-ms", 50.0);
+  const double slo_ms = flags.GetDouble("slo-ms", 150.0);
   flags.RejectUnknown();
 
   if (nodes_spec.empty()) {
@@ -100,8 +119,45 @@ int main(int argc, char** argv) {
 
   cluster::Router router(rc);
   router.Start();
+
+  // The cluster Runtime Scheduler profiles the same runtime set the nodes
+  // run (BertBase, default Arlo set, the nodes' default 0.8 ms overhead),
+  // so its ILP prices capacity the way the fleet actually serves.
+  std::unique_ptr<ctrl::ClusterScheduler> scheduler;
+  if (enable_ctrl) {
+    baselines::ScenarioConfig scenario;
+    scenario.model = runtime::ModelSpec::BertBase();
+    scenario.slo = Millis(slo_ms);
+    const auto runtimes = baselines::MakeRuntimeSetFor(scenario);
+    ctrl::ClusterSchedulerConfig cc;
+    for (std::size_t i = 0; i < runtimes->Size(); ++i) {
+      cc.profiles.push_back(runtime::ProfileRuntime(
+          runtimes->Runtime(static_cast<RuntimeId>(i)), scenario.slo,
+          static_cast<RuntimeId>(i), Millis(0.8)));
+    }
+    cc.slo_seconds = slo_ms / 1e3;
+    cc.scrape_period_s = ctrl_period_ms / 1e3;
+    cc.ks_threshold = ctrl_ks;
+    cc.min_window_samples = ctrl_min_samples;
+    cc.solve_budget_ms = ctrl_budget_ms;
+    cc.sink = &sink;
+    scheduler = std::make_unique<ctrl::ClusterScheduler>(
+        [&router] {
+          std::vector<ctrl::CtrlNode> out;
+          for (const cluster::NodeStatus& n : router.Pool().Status()) {
+            if (n.state == cluster::NodeState::kHealthy &&
+                n.endpoint.admin_port != 0) {
+              out.push_back(ctrl::CtrlNode{n.node, n.endpoint.admin_port});
+            }
+          }
+          return out;
+        },
+        std::move(cc));
+    scheduler->Start();
+  }
+
   auto admin = cluster::MakeRouterAdmin(
-      router, &sink, static_cast<std::uint16_t>(admin_port));
+      router, &sink, static_cast<std::uint16_t>(admin_port), scheduler.get());
   admin->Start();
 
   const int joined = router.Pool().NumRoutable();
@@ -111,7 +167,8 @@ int main(int argc, char** argv) {
             << joined << "/" << rc.nodes.size() << " nodes, policy "
             << policy << "); Ctrl-C to stop" << std::endl;
   std::cout << "router admin on 127.0.0.1:" << admin->Port()
-            << " (/metrics /healthz /statusz /cluster/drain /cluster/join)"
+            << " (/metrics /healthz /statusz /cluster/drain /cluster/join"
+            << (scheduler ? " /ctrl/statusz /ctrl/replan" : "") << ")"
             << std::endl;
   if (joined == 0) {
     std::cerr << "no backend node reachable; exiting\n";
@@ -125,6 +182,14 @@ int main(int argc, char** argv) {
 
   const std::vector<cluster::NodeStatus> status = router.Pool().Status();
   admin->Stop();
+  if (scheduler) {
+    scheduler->Stop();
+    const ctrl::ClusterScheduler::Stats cs = scheduler->GetStats();
+    std::cout << "ctrl: rounds " << cs.rounds << ", replans " << cs.replans
+              << ", deltas " << cs.deltas_shipped << " shipped / "
+              << cs.deltas_applied << " applied / " << cs.deltas_rejected
+              << " rejected, last KS " << cs.last_ks << "\n";
+  }
   router.Stop();
 
   const cluster::Router::Stats stats = router.GetStats();

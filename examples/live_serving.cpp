@@ -32,7 +32,7 @@
 //      [--generative] [--decode-len-dist=mixed] [--kv-capacity=0]
 //      [--gen-batcher=continuous|static] [--gen-admission=prefill|decode]
 //      [--tenants=interactive:w8:slo50,batch:w2:slo500]
-//      [--tenant-mix=0.2,0.8]
+//      [--tenant-mix=0.2,0.8] [--freeze-alloc]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -250,6 +250,11 @@ int main(int argc, char** argv) {
       flags.GetString("batch-policy", "greedy");
   const bool admin = flags.Has("admin-port");
   const int admin_port = flags.GetInt("admin-port", 0);
+  // Freeze the local periodic reallocation: the node keeps whatever
+  // allocation it has until an external controller POSTs /realloc — the
+  // deployment mode cluster nodes run under the ctrl Runtime Scheduler
+  // (docs/CONTROL_PLANE.md).
+  const bool freeze_alloc = flags.GetBool("freeze-alloc", false);
   const std::string dump_out = flags.GetString("dump-out", "flight.trace.json");
   const long long trace_max_events = flags.GetInt("trace-max-events", 0);
   const double slo_ms = flags.GetDouble("slo-ms", 150.0);
@@ -341,6 +346,7 @@ int main(int argc, char** argv) {
   config.gpus = gpus;
   config.slo = Millis(slo_ms);
   config.period = Seconds(5.0);
+  config.enable_reallocation = !freeze_alloc;
 
   serving::TestbedConfig testbed;
   testbed.time_scale = 1.0 / speed;
@@ -451,12 +457,16 @@ int main(int argc, char** argv) {
     apc.slo = slo_monitor.get();
     apc.tenant_slo = tenant_slo.get();
     apc.flight = flight.get();
+    apc.realloc = [&backend](const std::vector<int>& allocation) {
+      return backend.ApplyAllocation(allocation);
+    };
     auto plane = std::make_unique<obs::AdminPlane>(std::move(apc));
     plane->Start();
     // Flushed eagerly: scripts (check.sh admin smoke) parse this line from a
     // redirected pipe while the process is still running.
     std::cout << "admin plane on 127.0.0.1:" << plane->Port()
-              << " (/metrics /healthz /statusz /slo /debug/dump)" << std::endl;
+              << " (/metrics /healthz /statusz /slo /realloc /debug/dump)"
+              << std::endl;
     return plane;
   };
 
@@ -465,6 +475,7 @@ int main(int argc, char** argv) {
     // --listen: serve the wire protocol until Ctrl-C.
     auto runtimes = baselines::MakeRuntimeSetFor(config);
     auto scheme = baselines::MakeSchemeByName("arlo", config);
+    testbed.mix_bounds = runtimes->BinUpperBounds();
     serving::LiveTestbed backend(*scheme, testbed);
     backend.Start();
     auto admin_plane = make_admin_plane(backend);
@@ -512,6 +523,7 @@ int main(int argc, char** argv) {
     config.initial_demand =
         baselines::DemandFromTrace(trace, *runtimes, config.slo);
     auto scheme = baselines::MakeSchemeByName("arlo", config);
+    testbed.mix_bounds = runtimes->BinUpperBounds();
 
     std::cout << "replaying " << trace.Size() << " requests over ~"
               << seconds / speed << " wall seconds on " << config.gpus

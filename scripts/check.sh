@@ -6,7 +6,11 @@
 # (live_serving --admin-port: /metrics, /healthz and /statusz must answer
 # with the expected shapes), smoke the cluster router (two real backends
 # behind cluster_router, zero loss, both nodes routed) and the cluster
-# scaling bench, smoke the generative bench (finite TTFT/ITL percentiles;
+# scaling bench, smoke the control plane (two frozen backends behind
+# cluster_router --ctrl: the Runtime Scheduler must re-plan, apply at least
+# one delta, and lose nothing) and the ctrl bench (scheduler-on p98 must
+# not lose to the frozen fleet under a mid-run mix shift), smoke the
+# generative bench (finite TTFT/ITL percentiles;
 # continuous batching must not lose to the static baseline on ITL p98),
 # smoke the tenant bench (weighted-fair cell must hold the interactive
 # class within its SLO), then re-run the concurrency-sensitive tests
@@ -195,6 +199,91 @@ print(f"cluster bench smoke: {len(rows)} cells, zero loss "
       f"(3-node scaling x{scaling[3] / scaling[1]:.2f})")
 EOF
 
+echo "== ctrl smoke (2 frozen backends + cluster_router --ctrl) =="
+rm -f build/ctrl_smoke.node1.out build/ctrl_smoke.node2.out \
+  build/ctrl_smoke.router.out
+./build/examples/live_serving --listen=0 --admin-port=0 --speed=4 --gpus=2 \
+  --freeze-alloc > build/ctrl_smoke.node1.out 2>&1 &
+cnode1_pid=$!
+./build/examples/live_serving --listen=0 --admin-port=0 --speed=4 --gpus=2 \
+  --freeze-alloc > build/ctrl_smoke.node2.out 2>&1 &
+cnode2_pid=$!
+cnode1_port=$(wait_port build/ctrl_smoke.node1.out "listening on")
+cnode1_admin=$(wait_port build/ctrl_smoke.node1.out "admin plane on")
+cnode2_port=$(wait_port build/ctrl_smoke.node2.out "listening on")
+cnode2_admin=$(wait_port build/ctrl_smoke.node2.out "admin plane on")
+if [[ -z "$cnode1_port" || -z "$cnode1_admin" || -z "$cnode2_port" || \
+      -z "$cnode2_admin" ]]; then
+  kill "$cnode1_pid" "$cnode2_pid" 2>/dev/null || true
+  echo "ctrl smoke: backends never announced their ports" >&2
+  exit 1
+fi
+./build/examples/cluster_router \
+  --nodes="${cnode1_port}:${cnode1_admin},${cnode2_port}:${cnode2_admin}" \
+  --policy=length --ctrl --ctrl-period-ms=100 --ctrl-min-samples=50 \
+  > build/ctrl_smoke.router.out 2>&1 &
+crouter_pid=$!
+crouter_port=$(wait_port build/ctrl_smoke.router.out "router listening on")
+crouter_admin=$(wait_port build/ctrl_smoke.router.out "router admin on")
+if [[ -z "$crouter_port" || -z "$crouter_admin" ]]; then
+  kill "$crouter_pid" "$cnode1_pid" "$cnode2_pid" 2>/dev/null || true
+  echo "ctrl smoke: router never announced its ports" >&2
+  exit 1
+fi
+./build/examples/live_serving --connect="$crouter_port" --seconds=4 \
+  --rate=200 --speed=4 | tee build/ctrl_smoke.load.out
+grep -q "(lost 0)" build/ctrl_smoke.load.out || {
+  echo "ctrl smoke: load generator reported losses" >&2
+  exit 1
+}
+# The frozen backends boot all-largest; the short-heavy Twitter mix makes
+# the bootstrap plan convert GPUs, so at least one delta must have applied.
+ctrl_ok=""
+for _ in $(seq 1 50); do
+  curl -sf "http://127.0.0.1:${crouter_admin}/ctrl/statusz" \
+    > build/ctrl_smoke.status || break
+  ctrl_ok=$(python3 - <<'EOF'
+import json
+s = json.load(open("build/ctrl_smoke.status"))
+print("ok" if s["replans"] >= 1 and s["deltas"]["applied"] >= 1 else "")
+EOF
+)
+  [[ -n "$ctrl_ok" ]] && break
+  sleep 0.2
+done
+kill -INT "$crouter_pid" "$cnode1_pid" "$cnode2_pid" 2>/dev/null || true
+wait "$crouter_pid" "$cnode1_pid" "$cnode2_pid" 2>/dev/null || true
+if [[ -z "$ctrl_ok" ]]; then
+  echo "ctrl smoke: scheduler never applied a delta" >&2
+  cat build/ctrl_smoke.status >&2 || true
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+s = json.load(open("build/ctrl_smoke.status"))
+assert s["deltas"]["applied"] >= 1, s
+assert s["incumbent"], s
+print(f"ctrl smoke: {s['replans']} replans, "
+      f"{s['deltas']['applied']} deltas applied, incumbent {s['incumbent']}")
+EOF
+
+echo "== bench smoke (ctrl_realloc_sweep --json) =="
+# Full duration on purpose: the frozen row's tail grows with run length
+# while the scheduler's transients stay fixed, so short cuts have no margin.
+./build/bench/ctrl_realloc_sweep --json=build/BENCH_ctrl_smoke.json >/dev/null
+python3 - <<'EOF'
+import json
+rows = json.load(open("build/BENCH_ctrl_smoke.json"))["rows"]
+frozen = next(r for r in rows if r["mode"] == "frozen")
+ctrl = next(r for r in rows if r["mode"] == "ctrl")
+for r in (frozen, ctrl):
+    assert r["lost"] == 0, f"lost requests: {r}"
+assert ctrl["replans"] >= 1 and ctrl["deltas_applied"] >= 1, ctrl
+assert ctrl["p98_ms"] <= frozen["p98_ms"], (ctrl["p98_ms"], frozen["p98_ms"])
+print(f"ctrl bench smoke: ctrl p98 {ctrl['p98_ms']:.0f} ms vs frozen "
+      f"{frozen['p98_ms']:.0f} ms, {ctrl['replans']} replans, zero loss")
+EOF
+
 echo "== bench smoke (generative_sweep --json) =="
 ./build/bench/generative_sweep --duration=1 \
   --json=build/BENCH_generative_smoke.json >/dev/null
@@ -242,7 +331,7 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TestbedBatching.*:GenerativeTestbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*'
+    --gtest_filter='Testbed.*:TestbedBatching.*:GenerativeTestbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*:CtrlDrift.*:CtrlPlanner.*:CtrlLive.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -250,7 +339,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$(nproc)" --target arlo_tests
   ./build-asan/tests/arlo_tests \
-    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:GenerativeTestbed.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*'
+    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:GenerativeTestbed.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*:CtrlDrift.*:CtrlPlanner.*:CtrlLive.*'
 fi
 
 echo "== check.sh: all green =="

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "cluster/router.h"
+#include "ctrl/scheduler.h"
 #include "telemetry/sink.h"
 
 namespace arlo::cluster {
@@ -30,12 +31,13 @@ bool QueryInt(const std::string& query, const std::string& key,
 }
 
 std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
-    Router& router, telemetry::TelemetrySink* sink, std::uint16_t port) {
+    Router& router, telemetry::TelemetrySink* sink, std::uint16_t port,
+    ctrl::ClusterScheduler* ctrl) {
   obs::AdminServer::Options options;
   options.port = port;
   auto server = std::make_unique<obs::AdminServer>(options);
 
-  server->Route("GET", "/", [](const obs::HttpRequest&) {
+  server->Route("GET", "/", [ctrl](const obs::HttpRequest&) {
     obs::HttpResponse response;
     response.body =
         "arlo cluster router\n"
@@ -44,6 +46,11 @@ std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
         "  GET  /statusz\n"
         "  POST /cluster/drain?node=N\n"
         "  POST /cluster/join?port=P&admin=A\n";
+    if (ctrl != nullptr) {
+      response.body +=
+          "  GET  /ctrl/statusz\n"
+          "  POST /ctrl/replan\n";
+    }
     return response;
   });
 
@@ -123,6 +130,31 @@ std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
         response.body = "{\"joined\":" + std::to_string(node) + "}";
         return response;
       });
+
+  if (ctrl != nullptr) {
+    server->Route("GET", "/ctrl/statusz", [ctrl](const obs::HttpRequest&) {
+      obs::HttpResponse response;
+      response.content_type = "application/json";
+      std::ostringstream os;
+      ctrl->WriteStatusJson(os);
+      response.body = os.str();
+      return response;
+    });
+    // The runbook's manual override: run one control round with the KS
+    // gate forced open (docs/CONTROL_PLANE.md).
+    server->Route("POST", "/ctrl/replan", [ctrl](const obs::HttpRequest&) {
+      obs::HttpResponse response;
+      response.content_type = "application/json";
+      const ctrl::ClusterScheduler::RoundReport report = ctrl->RunOnce(true);
+      std::ostringstream os;
+      os << "{\"replanned\":" << (report.replanned ? "true" : "false")
+         << ",\"deltas_shipped\":" << report.deltas_shipped
+         << ",\"deltas_applied\":" << report.deltas_applied
+         << ",\"deltas_rejected\":" << report.deltas_rejected << "}";
+      response.body = os.str();
+      return response;
+    });
+  }
 
   return server;
 }

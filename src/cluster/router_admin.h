@@ -6,6 +6,10 @@
 //   GET  /statusz                     Router::WriteStatusJson
 //   POST /cluster/drain?node=N        graceful drain of node N
 //   POST /cluster/join?port=P&admin=A join (or resurrect) a backend
+//
+// With a cluster Runtime Scheduler attached (docs/CONTROL_PLANE.md):
+//   GET  /ctrl/statusz                scheduler counters + incumbent target
+//   POST /ctrl/replan                 force one control round past the gate
 #pragma once
 
 #include <cstdint>
@@ -18,15 +22,22 @@ namespace arlo::telemetry {
 class TelemetrySink;
 }
 
+namespace arlo::ctrl {
+class ClusterScheduler;
+}
+
 namespace arlo::cluster {
 
 class Router;
 
 /// Builds (but does not Start) an AdminServer wired to `router`.  `sink`
-/// may be null, which answers /metrics with 503.  The router must outlive
-/// the returned server.
+/// may be null, which answers /metrics with 503.  `ctrl`, when non-null,
+/// adds the /ctrl/statusz and /ctrl/replan routes for the cluster Runtime
+/// Scheduler.  The router (and scheduler, if any) must outlive the
+/// returned server.
 std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
-    Router& router, telemetry::TelemetrySink* sink, std::uint16_t port = 0);
+    Router& router, telemetry::TelemetrySink* sink, std::uint16_t port = 0,
+    ctrl::ClusterScheduler* ctrl = nullptr);
 
 /// Extracts an integer query parameter (`key=value`, '&'-separated) from a
 /// raw query string.  Returns false when absent or non-numeric.  Exposed

@@ -319,6 +319,50 @@ void ArloScheme::MaybeReallocate(SimTime now, sim::ClusterOps& cluster) {
   }
 }
 
+bool ArloScheme::ApplyExternalAllocation(const std::vector<int>& allocation,
+                                         sim::ClusterOps& cluster) {
+  if (allocation.size() != runtimes_->Size()) return false;
+  int total = 0;
+  for (int v : allocation) {
+    if (v < 0) return false;
+    total += v;
+  }
+  if (allocation.back() < 1) return false;  // Eq. 7
+  // The target must cover exactly the ready fleet, with no rollout or
+  // provisioning launch in flight: replacement conserves instances, and a
+  // mid-rollout apply would double-move workers.  The controller sees the
+  // same fleet through /statusz, so a mismatch means its scrape is stale —
+  // reject and let it re-plan from fresh state.
+  if (total != static_cast<int>(ready_instances_.size())) return false;
+  if (!pending_batches_.empty() || pending_launches_ > 0) return false;
+
+  solver::AllocationResult target;
+  target.feasible = true;
+  target.gpus_per_runtime = allocation;
+  ReplacementPlan plan =
+      runtime_scheduler_.PlanFor(SnapshotDeployment(), target);
+  for (auto& batch : plan.batches) {
+    pending_batches_.push_back(std::move(batch));
+  }
+  allocation_history_.emplace_back(cluster.Now(), allocation);
+  // Push the local solve out a full period so a locally-enabled scheduler
+  // does not immediately fight the external controller's decision.
+  next_period_ = cluster.Now() + config_.runtime_scheduler.period;
+  if (telemetry::TelemetrySink* sink = Telemetry()) {
+    int moves = 0;
+    for (const auto& batch : pending_batches_) {
+      moves += static_cast<int>(batch.size());
+    }
+    sink->RecordAllocationSolve(cluster.Now(), /*solve_ns=*/0, total, moves);
+  }
+  if (!pending_batches_.empty()) {
+    std::vector<ReplacementStep> batch = std::move(pending_batches_.front());
+    pending_batches_.pop_front();
+    ExecuteBatch(cluster, batch);
+  }
+  return true;
+}
+
 void ArloScheme::OnTick(SimTime now, sim::ClusterOps& cluster) {
   // Availability guard for Eq. 7: the largest runtime must always have an
   // instance (or one provisioning), otherwise the longest requests starve

@@ -83,6 +83,15 @@ class ArloScheme final : public sim::Scheme {
   void OnInstanceFailure(InstanceId instance,
                          sim::ClusterOps& cluster) override;
   void OnTick(SimTime now, sim::ClusterOps& cluster) override;
+  /// Cluster-control-plane apply (POST /realloc): adopts `allocation` as the
+  /// new target and rolls it out through the normal replacement batches.
+  /// Rejects vectors that do not match the runtime count, do not sum to the
+  /// live fleet, break Eq. 7, or arrive while a previous rollout (or any
+  /// provisioning launch) is still in flight.  Works even when periodic
+  /// local reallocation is disabled — frozen nodes under an external
+  /// scheduler is exactly the intended deployment.
+  bool ApplyExternalAllocation(const std::vector<int>& allocation,
+                               sim::ClusterOps& cluster) override;
   SimDuration TickInterval() const override {
     return std::min(config_.runtime_scheduler.period, Seconds(5.0));
   }

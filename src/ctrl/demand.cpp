@@ -1,0 +1,61 @@
+#include "ctrl/demand.h"
+
+namespace arlo::ctrl {
+
+std::vector<std::int64_t> ClusterDemandModel::Ingest(
+    const std::vector<std::pair<int, std::vector<std::int64_t>>>& scrapes,
+    std::int64_t now_ns) {
+  std::vector<std::int64_t> fresh(bins_, 0);
+  for (const auto& [node, cumulative] : scrapes) {
+    if (cumulative.size() != bins_) continue;  // malformed or foreign shape
+    auto it = last_cumulative_.find(node);
+    if (it == last_cumulative_.end()) {
+      // First sight of this node: its cumulative counts span its whole
+      // lifetime, not one scrape period — baseline only.
+      last_cumulative_[node] = cumulative;
+      continue;
+    }
+    std::vector<std::int64_t>& last = it->second;
+    // A restarted node re-counts from zero; any bin going backwards marks
+    // the whole vector as post-restart.
+    bool restarted = false;
+    for (std::size_t i = 0; i < bins_; ++i) {
+      if (cumulative[i] < last[i]) {
+        restarted = true;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < bins_; ++i) {
+      fresh[i] += restarted ? cumulative[i] : cumulative[i] - last[i];
+    }
+    last = cumulative;
+  }
+
+  if (window_start_ns_ < 0) window_start_ns_ = now_ns;
+  rounds_.push_back(Round{now_ns, fresh});
+  for (std::size_t i = 0; i < bins_; ++i) window_[i] += fresh[i];
+
+  // Expire rounds that fell out of the span; the window now starts where
+  // the newest expired round ended.
+  while (!rounds_.empty() && rounds_.front().ns < now_ns - span_ns_) {
+    for (std::size_t i = 0; i < bins_; ++i) {
+      window_[i] -= rounds_.front().counts[i];
+    }
+    window_start_ns_ = rounds_.front().ns;
+    rounds_.pop_front();
+  }
+  return fresh;
+}
+
+std::vector<double> ClusterDemandModel::DemandPerSlo(
+    std::int64_t now_ns, double slo_seconds) const {
+  std::vector<double> demand(bins_, 0.0);
+  const double window_seconds = WindowSeconds(now_ns);
+  if (window_seconds <= 0.0 || slo_seconds <= 0.0) return demand;
+  for (std::size_t i = 0; i < bins_; ++i) {
+    demand[i] = static_cast<double>(window_[i]) / window_seconds * slo_seconds;
+  }
+  return demand;
+}
+
+}  // namespace arlo::ctrl

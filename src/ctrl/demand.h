@@ -1,0 +1,89 @@
+// Cluster demand model: turns per-node cumulative length-mix histograms
+// (the "length_mix" export on each node's /statusz) into the windowed
+// cluster-wide demand observation the allocation ILP consumes.
+//
+// Nodes export *cumulative* counts so the scrape protocol is stateless on
+// the node side; the model keeps the last cumulative vector per node and
+// diffs successive scrapes into per-round increments.  The first scrape of
+// a node only sets its baseline (its cumulative counts cover the node's
+// whole lifetime, not one scrape period); a node whose cumulative counts
+// went backwards restarted, and its full cumulative vector is taken as the
+// increment (the pre-restart window is gone either way).
+//
+// Increments accumulate into a *bounded sliding window* (span_ns): rounds
+// older than the span fall out.  An unbounded window would dilute a fresh
+// mix shift into everything seen since the last re-plan, so the drift
+// detector's reaction time would grow with time since the mix last moved.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace arlo::ctrl {
+
+class ClusterDemandModel {
+ public:
+  /// `bins` is the number of length bins (the runtime set's bin count);
+  /// scrapes with a different shape are ignored as malformed.
+  explicit ClusterDemandModel(std::size_t bins,
+                              std::int64_t span_ns = 5'000'000'000) {
+    bins_ = bins;
+    span_ns_ = span_ns;
+    window_.assign(bins_, 0);
+  }
+
+  /// Feeds one scrape round at wall time `now_ns`: (node id, cumulative
+  /// per-bin counts) for every node that answered.  Returns the counts
+  /// newly observed this round (summed across nodes), folds them into the
+  /// window, and expires rounds older than the span.
+  std::vector<std::int64_t> Ingest(
+      const std::vector<std::pair<int, std::vector<std::int64_t>>>& scrapes,
+      std::int64_t now_ns);
+
+  /// Counts inside the sliding window.
+  const std::vector<std::int64_t>& Window() const { return window_; }
+  std::int64_t WindowTotal() const {
+    std::int64_t total = 0;
+    for (std::int64_t c : window_) total += c;
+    return total;
+  }
+
+  /// Wall time the current window spans; 0 before two ingests have framed
+  /// an interval (a single scrape has no rate).
+  double WindowSeconds(std::int64_t now_ns) const {
+    if (window_start_ns_ < 0) return 0.0;
+    return static_cast<double>(now_ns - window_start_ns_) / 1e9;
+  }
+
+  /// Starts a fresh window at `now_ns`; per-node cumulative baselines are
+  /// kept, so the next Ingest diffs against the same scrape history.
+  void ResetWindow(std::int64_t now_ns) {
+    rounds_.clear();
+    window_.assign(bins_, 0);
+    window_start_ns_ = now_ns;
+  }
+
+  /// The ILP's demand vector Q_i: the window's arrival rate per bin scaled
+  /// to one SLO period.  Zero-duration windows yield all-zero demand.
+  std::vector<double> DemandPerSlo(std::int64_t now_ns,
+                                   double slo_seconds) const;
+
+  std::size_t Bins() const { return bins_; }
+
+ private:
+  struct Round {
+    std::int64_t ns = 0;
+    std::vector<std::int64_t> counts;
+  };
+
+  std::size_t bins_;
+  std::int64_t span_ns_;
+  std::map<int, std::vector<std::int64_t>> last_cumulative_;  // per node
+  std::deque<Round> rounds_;          ///< increments inside the window
+  std::vector<std::int64_t> window_;  ///< rolling sum of `rounds_`
+  std::int64_t window_start_ns_ = -1;  ///< -1 until the first ingest
+};
+
+}  // namespace arlo::ctrl

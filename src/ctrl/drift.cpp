@@ -1,0 +1,47 @@
+#include "ctrl/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arlo::ctrl {
+
+double KsStatistic(const std::vector<std::int64_t>& a,
+                   const std::vector<std::int64_t>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  std::int64_t total_a = 0;
+  std::int64_t total_b = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total_a += a[i];
+    total_b += b[i];
+  }
+  if (total_a <= 0 || total_b <= 0) return 0.0;
+  double cdf_a = 0.0;
+  double cdf_b = 0.0;
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cdf_a += static_cast<double>(a[i]) / static_cast<double>(total_a);
+    cdf_b += static_cast<double>(b[i]) / static_cast<double>(total_b);
+    d = std::max(d, std::abs(cdf_a - cdf_b));
+  }
+  return d;
+}
+
+DriftDetector::Decision DriftDetector::Observe(
+    const std::vector<std::int64_t>& window) const {
+  Decision decision;
+  decision.has_reference = has_reference_;
+  std::int64_t samples = 0;
+  for (std::int64_t c : window) samples += c;
+  if (samples < config_.min_samples) return decision;  // not enough evidence
+  if (!has_reference_) {
+    // Bootstrap: the first adequately-sized window always triggers the
+    // initial plan that establishes the reference.
+    decision.drifted = true;
+    return decision;
+  }
+  decision.ks = KsStatistic(reference_, window);
+  decision.drifted = decision.ks > config_.threshold;
+  return decision;
+}
+
+}  // namespace arlo::ctrl

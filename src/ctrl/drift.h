@@ -1,0 +1,71 @@
+// Length-mix drift detection for the cluster Runtime Scheduler.
+//
+// The scheduler scrapes every node's submitted-length histogram and must
+// decide when the cluster mix has actually moved — re-solving the
+// allocation ILP and shipping replacement deltas on every scrape would
+// churn instances for noise.  The gate is a two-sample Kolmogorov–Smirnov
+// test over the binned mixes: D = max_i |CDF_ref(i) - CDF_cur(i)|, where
+// the reference is the window adopted at the last re-plan.  D is scale-free
+// (both histograms normalize to 1), so the same threshold works at any
+// request rate; bins are the runtime set's length-bin upper bounds, which
+// is exactly the granularity at which a mix shift changes the ILP's demand
+// vector.  See docs/CONTROL_PLANE.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arlo::ctrl {
+
+/// Two-sample KS statistic over two binned samples: the maximum absolute
+/// difference between their normalized cumulative distributions.  Returns
+/// 0 when either sample is empty (no evidence is not drift).  The vectors
+/// must be the same length (same bin bounds).
+double KsStatistic(const std::vector<std::int64_t>& a,
+                   const std::vector<std::int64_t>& b);
+
+struct DriftDetectorConfig {
+  /// Gate threshold on the KS statistic.  0.1 means re-plan when 10% of
+  /// probability mass has moved across some length boundary.
+  double threshold = 0.1;
+  /// Minimum samples in the current window before the gate may open — a
+  /// handful of requests can swing the empirical CDF arbitrarily.
+  std::int64_t min_samples = 50;
+};
+
+/// Holds the reference mix from the last re-plan and gates new windows
+/// against it.  Not thread-safe; the scheduler owns one and drives it from
+/// its control loop.
+class DriftDetector {
+ public:
+  struct Decision {
+    double ks = 0.0;         ///< statistic vs the reference (0 if none)
+    bool drifted = false;    ///< gate open: re-plan now
+    bool has_reference = false;
+  };
+
+  explicit DriftDetector(DriftDetectorConfig config = {})
+      : config_(config) {}
+
+  /// Gates `window` (counts per bin since the last re-plan) against the
+  /// reference.  With no reference yet, a window with min_samples opens the
+  /// gate immediately (the bootstrap re-plan that establishes the first
+  /// target); the caller then Rebase()s.
+  Decision Observe(const std::vector<std::int64_t>& window) const;
+
+  /// Adopts `window` as the new reference; call after a successful re-plan.
+  void Rebase(const std::vector<std::int64_t>& window) {
+    reference_ = window;
+    has_reference_ = true;
+  }
+
+  const std::vector<std::int64_t>& Reference() const { return reference_; }
+  const DriftDetectorConfig& Config() const { return config_; }
+
+ private:
+  DriftDetectorConfig config_;
+  std::vector<std::int64_t> reference_;
+  bool has_reference_ = false;
+};
+
+}  // namespace arlo::ctrl

@@ -1,0 +1,128 @@
+#include "ctrl/planner.h"
+
+#include <algorithm>
+
+namespace arlo::ctrl {
+
+bool EnforcePerNodeFloor(std::vector<int>& target, int num_nodes) {
+  if (target.empty() || num_nodes <= 0) return false;
+  int total = 0;
+  for (int v : target) total += v;
+  if (total < num_nodes) return false;
+  while (target.back() < num_nodes) {
+    // Pay from the non-largest runtime with the most GPUs (lowest id wins
+    // ties) — the entry that can best afford the loss.
+    std::size_t donor = target.size();
+    for (std::size_t r = 0; r + 1 < target.size(); ++r) {
+      if (target[r] > 0 && (donor == target.size() || target[r] > target[donor])) {
+        donor = r;
+      }
+    }
+    if (donor == target.size()) return false;  // unreachable given the sum check
+    --target[donor];
+    ++target.back();
+  }
+  return true;
+}
+
+std::vector<NodeDelta> PlanNodeDeltas(const std::vector<NodeAllocation>& current,
+                                      const std::vector<int>& target) {
+  if (current.empty() || target.empty()) return {};
+  const std::size_t runtimes = target.size();
+  const std::size_t last = runtimes - 1;
+
+  // Deterministic node order regardless of scrape order.
+  std::vector<NodeAllocation> nodes = current;
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NodeAllocation& a, const NodeAllocation& b) {
+              return a.node < b.node;
+            });
+
+  std::vector<int> cluster(runtimes, 0);
+  int total = 0;
+  for (const NodeAllocation& n : nodes) {
+    if (n.per_runtime.size() != runtimes) return {};
+    for (std::size_t r = 0; r < runtimes; ++r) {
+      cluster[r] += n.per_runtime[r];
+      total += n.per_runtime[r];
+    }
+  }
+  int target_total = 0;
+  for (int v : target) target_total += v;
+  if (target_total != total) return {};
+  if (target[last] < static_cast<int>(nodes.size())) return {};
+
+  // Repeated single-GPU conversions: each picks the lowest-id deficit
+  // runtime, the lowest-id surplus runtime, and the node where the
+  // conversion concentrates the deficit runtime the most.
+  for (;;) {
+    std::size_t deficit = runtimes;
+    for (std::size_t r = 0; r < runtimes; ++r) {
+      if (cluster[r] < target[r]) {
+        deficit = r;
+        break;
+      }
+    }
+    if (deficit == runtimes) break;  // target reached
+    std::size_t surplus = runtimes;
+    for (std::size_t r = 0; r < runtimes; ++r) {
+      if (cluster[r] > target[r]) {
+        surplus = r;
+        break;
+      }
+    }
+    if (surplus == runtimes) break;  // unreachable: sums are equal
+
+    // Donating the last largest-runtime GPU of a node would break its
+    // per-node Eq. 7 floor; such nodes are ineligible for last-runtime
+    // surplus.  The floor on target[last] guarantees an eligible node
+    // exists by pigeonhole whenever cluster[last] > target[last].
+    const int min_keep = surplus == last ? 2 : 1;
+    std::size_t pick = nodes.size();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].per_runtime[surplus] < min_keep) continue;
+      if (pick == nodes.size()) {
+        pick = i;
+        continue;
+      }
+      const NodeAllocation& a = nodes[i];
+      const NodeAllocation& b = nodes[pick];
+      if (a.per_runtime[deficit] != b.per_runtime[deficit]) {
+        if (a.per_runtime[deficit] > b.per_runtime[deficit]) pick = i;
+        continue;
+      }
+      if (a.per_runtime[surplus] != b.per_runtime[surplus]) {
+        if (a.per_runtime[surplus] < b.per_runtime[surplus]) pick = i;
+        continue;
+      }
+      // equal on both keys: keep the earlier (lower node id) entry
+    }
+    if (pick == nodes.size()) break;  // best-effort: no eligible donor
+    --nodes[pick].per_runtime[surplus];
+    ++nodes[pick].per_runtime[deficit];
+    --cluster[surplus];
+    ++cluster[deficit];
+  }
+
+  std::vector<NodeDelta> deltas;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeAllocation& before = *std::find_if(
+        current.begin(), current.end(),
+        [&](const NodeAllocation& n) { return n.node == nodes[i].node; });
+    if (nodes[i].per_runtime != before.per_runtime) {
+      deltas.push_back(NodeDelta{nodes[i].node, nodes[i].per_runtime});
+    }
+  }
+  return deltas;
+}
+
+std::string FormatAllocation(const std::vector<int>& allocation) {
+  std::string out;
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(allocation[i]);
+  }
+  return out;
+}
+
+}  // namespace arlo::ctrl

@@ -1,0 +1,57 @@
+// Delta planner: splits a cluster-level GPUs-per-runtime target across
+// nodes and emits per-node deltas — the POST /realloc payloads — touching
+// only nodes whose allocation actually changes (delta shipping).
+//
+// Constraints honored per node:
+//   * the node's GPU total never changes (a delta converts GPUs between
+//     runtimes in place; cross-node GPU moves do not exist in this fleet);
+//   * at least one largest-runtime GPU remains (the per-node Eq. 7 floor
+//     the node-side apply enforces), which the caller makes globally
+//     satisfiable with EnforcePerNodeFloor.
+//
+// The move loop specializes nodes: each single-GPU conversion lands on the
+// node already holding the most target-runtime GPUs (and, among ties, the
+// fewest source-runtime GPUs), so repeated re-plans concentrate runtimes
+// per node and the router's length policy can exploit the heterogeneity.
+// All tie-breaks fall through to the lowest node id, so identical inputs
+// produce byte-identical deltas — the determinism the ctrl tests pin.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace arlo::ctrl {
+
+/// One node's current deployment, as scraped from its /statusz.
+struct NodeAllocation {
+  int node = 0;                  ///< pool node id (any stable id)
+  std::vector<int> per_runtime;  ///< ready GPUs per runtime, ascending bins
+};
+
+/// One node's new target; shipped as `POST /realloc?alloc=<csv>`.
+struct NodeDelta {
+  int node = 0;
+  std::vector<int> target;
+};
+
+/// Raises target.back() to at least `num_nodes` (one largest-runtime GPU
+/// per node, the per-node Eq. 7 floor), paying for it from the other
+/// runtimes' largest entries.  No-op when already satisfied; never changes
+/// the target's sum.  Returns false when the target has fewer GPUs than
+/// nodes (a fleet this degenerate cannot host one floor GPU per node).
+bool EnforcePerNodeFloor(std::vector<int>& target, int num_nodes);
+
+/// Plans per-node targets realizing the cluster `target` from `current`.
+/// `target` must have the same runtime count as every node and sum to the
+/// fleet's total GPUs, with target.back() >= current.size() (use
+/// EnforcePerNodeFloor); violations return an empty plan.  Nodes whose
+/// allocation is unchanged are omitted.  Deterministic: identical inputs
+/// yield identical output, element for element.
+std::vector<NodeDelta> PlanNodeDeltas(const std::vector<NodeAllocation>& current,
+                                      const std::vector<int>& target);
+
+/// The wire encoding of an allocation vector: "n0,n1,...".  Shared by the
+/// scheduler's POST /realloc client and the byte-identical-delta tests.
+std::string FormatAllocation(const std::vector<int>& allocation);
+
+}  // namespace arlo::ctrl

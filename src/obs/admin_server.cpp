@@ -19,6 +19,43 @@
 #include "telemetry/sink.h"
 
 namespace arlo::obs {
+namespace {
+
+/// Parses `alloc=n0,n1,...` out of a query string or urlencoded body into
+/// non-negative ints.  Any other key=value pairs around it are ignored.
+bool ParseAllocParam(const std::string& params, std::vector<int>& out) {
+  out.clear();
+  std::size_t at = params.find("alloc=");
+  // Must be the start of a parameter, not a suffix of a longer key.
+  while (at != std::string::npos && at != 0 && params[at - 1] != '&') {
+    at = params.find("alloc=", at + 1);
+  }
+  if (at == std::string::npos) return false;
+  at += std::string("alloc=").size();
+  const std::size_t end = params.find('&', at);
+  const std::string csv = params.substr(
+      at, end == std::string::npos ? std::string::npos : end - at);
+  if (csv.empty()) return false;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (tok.empty()) return false;
+    int value = 0;
+    for (char c : tok) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + (c - '0');
+      if (value > 1'000'000) return false;  // sanity cap
+    }
+    out.push_back(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
+
+}  // namespace
 
 struct AdminServer::Impl {
   struct Conn {
@@ -236,6 +273,7 @@ AdminPlane::AdminPlane(AdminPlaneConfig config)
         "  GET  /healthz     liveness (200/503)\n"
         "  GET  /statusz     cluster status JSON\n"
         "  GET  /slo         SLO attainment + burn rates\n"
+        "  POST /realloc     apply alloc=n0,n1,... GPUs-per-runtime target\n"
         "  POST /debug/dump  flight-recorder Chrome trace\n";
     return r;
   });
@@ -309,6 +347,30 @@ AdminPlane::AdminPlane(AdminPlaneConfig config)
     }
     os << "\n";
     r.body = os.str();
+    return r;
+  });
+  const auto realloc_fn = config_.realloc;
+  server_.Route("POST", "/realloc", [realloc_fn](const HttpRequest& req) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    if (!realloc_fn) {
+      r.status = 503;
+      r.body = "{\"error\":\"no realloc provider\"}\n";
+      return r;
+    }
+    std::vector<int> allocation;
+    if (!ParseAllocParam(!req.query.empty() ? req.query : req.body,
+                         allocation)) {
+      r.status = 400;
+      r.body = "{\"error\":\"expected alloc=n0,n1,...\"}\n";
+      return r;
+    }
+    if (!realloc_fn(allocation)) {
+      r.status = 409;  // fleet shape mismatch or rollout in flight: retry
+      r.body = "{\"applied\":false}\n";
+      return r;
+    }
+    r.body = "{\"applied\":true}\n";
     return r;
   });
   FlightRecorder* flight = config_.flight;

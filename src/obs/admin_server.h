@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "obs/http.h"
@@ -99,6 +100,13 @@ struct AdminPlaneConfig {
   /// when both are set (docs/TENANTS.md).
   TenantSloSet* tenant_slo = nullptr;
   FlightRecorder* flight = nullptr;
+  /// POST /realloc: applies an externally-computed GPUs-per-runtime target
+  /// (normally LiveTestbed::ApplyAllocation).  The allocation arrives as
+  /// `alloc=n0,n1,...` in the query string or body.  Return false when the
+  /// node rejects the vector (stale fleet shape, rollout in flight) — the
+  /// route answers 409 and the cluster scheduler retries after its next
+  /// scrape.  Null disables the verb (503).
+  std::function<bool(const std::vector<int>&)> realloc;
 };
 
 class AdminPlane {

@@ -34,6 +34,29 @@ std::int64_t FindInt(const std::string& json, const std::string& key,
   return static_cast<std::int64_t>(value);
 }
 
+/// Parses the flat number array following `"key":[` at or after `from` into
+/// `out` (cleared first).  Returns the position just past the closing ']',
+/// or npos when the key or a well-formed array is absent.
+std::size_t ParseNumberArray(const std::string& json, const std::string& key,
+                             std::size_t from, std::vector<double>& out) {
+  out.clear();
+  const std::string needle = "\"" + key + "\":[";
+  std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return std::string::npos;
+  at += needle.size();
+  const std::size_t end = json.find(']', at);
+  if (end == std::string::npos) return std::string::npos;
+  while (at < end) {
+    double value = 0.0;
+    if (!ParseNumberAt(json, at, value)) break;
+    out.push_back(value);
+    const std::size_t comma = json.find(',', at);
+    if (comma == std::string::npos || comma > end) break;
+    at = comma + 1;
+  }
+  return end + 1;
+}
+
 }  // namespace
 
 bool JsonFindNumber(const std::string& json, const std::string& key,
@@ -52,9 +75,59 @@ void ParseStatusz(const std::string& body, NodeProbe& out) {
   out.live_workers = static_cast<int>(FindInt(body, "live_workers"));
   out.est_queue_delay_ns = FindInt(body, "est_queue_delay_ns");
 
-  // Walk the workers array: each row is a flat object with "state" and
-  // "max_length"; collect max_length for rows whose state is "ready".
+  // "length_mix":{"bounds":[...],"counts":[...]} — absent unless the node
+  // was configured with mix bounds.
+  out.mix_bounds.clear();
+  out.mix_counts.clear();
+  const std::size_t mix = body.find("\"length_mix\":{");
+  if (mix != std::string::npos) {
+    std::vector<double> values;
+    std::size_t after = ParseNumberArray(body, "bounds", mix, values);
+    if (after != std::string::npos) {
+      for (double v : values) out.mix_bounds.push_back(static_cast<int>(v));
+      if (ParseNumberArray(body, "counts", after, values) !=
+          std::string::npos) {
+        for (double v : values) {
+          out.mix_counts.push_back(static_cast<std::int64_t>(v));
+        }
+      }
+    }
+    if (out.mix_counts.size() != out.mix_bounds.size()) {
+      out.mix_bounds.clear();
+      out.mix_counts.clear();
+    }
+  }
+
+  out.pending_launches = FindInt(body, "pending_launches");
+
+  const std::size_t reallocs = body.find("\"reallocs\":{");
+  if (reallocs != std::string::npos) {
+    out.reallocs_applied = FindInt(body.substr(reallocs), "applied");
+    out.reallocs_rejected = FindInt(body.substr(reallocs), "rejected");
+  }
+
+  // Per-class head-of-line queueing delay, in class-id (= row) order.
+  out.class_queue_delay_ns.clear();
+  std::size_t tenants = body.find("\"tenants\":[");
+  if (tenants != std::string::npos) {
+    tenants += std::string("\"tenants\":[").size();
+    const std::size_t tenants_end = body.find(']', tenants);
+    std::size_t at = tenants;
+    while (tenants_end != std::string::npos && at < tenants_end) {
+      const std::size_t obj_start = body.find('{', at);
+      if (obj_start == std::string::npos || obj_start > tenants_end) break;
+      const std::size_t obj_end = body.find('}', obj_start);
+      if (obj_end == std::string::npos || obj_end > tenants_end) break;
+      const std::string row = body.substr(obj_start, obj_end - obj_start + 1);
+      out.class_queue_delay_ns.push_back(FindInt(row, "queue_delay_ns"));
+      at = obj_end + 1;
+    }
+  }
+
+  // Walk the workers array: each row is a flat object with "state",
+  // "runtime", and "max_length"; collect the ready rows' profile.
   out.ready_worker_max_lengths.clear();
+  out.ready_worker_runtimes.clear();
   std::size_t at = body.find("\"workers\":[");
   if (at == std::string::npos) return;
   at += std::string("\"workers\":[").size();
@@ -70,6 +143,9 @@ void ParseStatusz(const std::string& body, NodeProbe& out) {
       double max_length = 0.0;
       if (JsonFindNumber(row, "max_length", max_length)) {
         out.ready_worker_max_lengths.push_back(static_cast<int>(max_length));
+        double runtime = -1.0;
+        JsonFindNumber(row, "runtime", runtime);
+        out.ready_worker_runtimes.push_back(static_cast<int>(runtime));
       }
     }
     at = obj_end + 1;

@@ -28,6 +28,30 @@ struct NodeProbe {
   /// max_length of each worker currently in the "ready" state — the node's
   /// length profile, which the length-aware routing policy fits requests to.
   std::vector<int> ready_worker_max_lengths;
+  /// RuntimeId of each ready worker, parallel to ready_worker_max_lengths —
+  /// the per-node allocation vector the cluster Runtime Scheduler diffs
+  /// against its target when planning deltas.
+  std::vector<int> ready_worker_runtimes;
+
+  /// Submitted-length histogram ("length_mix" on /statusz): ascending bin
+  /// upper bounds and the node's cumulative counts.  Empty when the node
+  /// does not export a mix (mix_bounds unset).
+  std::vector<int> mix_bounds;
+  std::vector<std::int64_t> mix_counts;
+
+  /// Head-of-line queueing delay per tenant class, in class-id order.
+  /// Empty when the node runs without a tenant class table.
+  std::vector<std::int64_t> class_queue_delay_ns;
+
+  /// External reallocation applies ("reallocs" on /statusz).
+  std::int64_t reallocs_applied = 0;
+  std::int64_t reallocs_rejected = 0;
+
+  /// Worker launches the node's scheme has started but not finished
+  /// ("pending_launches" inside the statusz scheme block).  Non-zero while
+  /// a runtime rollout is in flight; 0 when the node is settled (or runs
+  /// without a scheme block).
+  std::int64_t pending_launches = 0;
 };
 
 /// Probes 127.0.0.1:`admin_port` (GET /healthz then GET /statusz).  Never

@@ -69,6 +69,9 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
       class_completed_.assign(
           static_cast<std::size_t>(config_.tenants->Size()), 0);
     }
+    if (!config_.mix_bounds.empty()) {
+      mix_counts_.assign(config_.mix_bounds.size(), 0);
+    }
     ARLO_CHECK(config_.time_scale > 0.0);
     if (config_.batch_policy) {
       policy_ = config_.batch_policy;
@@ -80,6 +83,7 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
 
   void Start();
   void Submit(const Request& request, CompletionFn done);
+  bool ApplyAllocation(const std::vector<int>& allocation);
   TestbedHealth Health();
   void WriteStatusJson(std::ostream& os);
   void Drain();
@@ -190,6 +194,14 @@ struct LiveTestbed::Impl final : public sim::ClusterOps {
   /// Per-class completion counts (dispatch_mu_); empty unless a tenant
   /// class table is configured.
   std::vector<std::uint64_t> class_completed_;
+  /// Cumulative submitted-length histogram over config_.mix_bounds
+  /// (dispatch_mu_); empty unless bounds were configured.  The cluster
+  /// scheduler diffs successive /statusz scrapes to window it.
+  std::vector<std::uint64_t> mix_counts_;
+  /// External POST /realloc applies (dispatch_mu_).
+  std::uint64_t reallocs_applied_ = 0;
+  std::uint64_t reallocs_rejected_ = 0;
+  SimTime last_realloc_ = -1;
   std::unordered_map<RequestId, CompletionFn> callbacks_;
   std::size_t submitted_ = 0;
   std::size_t completed_ = 0;
@@ -1038,8 +1050,33 @@ void LiveTestbed::Impl::Submit(const Request& request, CompletionFn done) {
   submitted_rel_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard global(dispatch_mu_);
   ++submitted_;
+  if (!mix_counts_.empty()) {
+    // First bin whose upper bound covers the length; overflow lands in the
+    // last bin so the histogram total always matches `submitted`.
+    std::size_t bin = 0;
+    while (bin + 1 < mix_counts_.size() &&
+           request.length > config_.mix_bounds[bin]) {
+      ++bin;
+    }
+    ++mix_counts_[bin];
+  }
   if (done) callbacks_.emplace(request.id, std::move(done));
   HandleArrivalLocked(request);
+}
+
+bool LiveTestbed::Impl::ApplyAllocation(const std::vector<int>& allocation) {
+  std::lock_guard global(dispatch_mu_);
+  const bool ok = scheme_.ApplyExternalAllocation(allocation, *this);
+  if (ok) {
+    ++reallocs_applied_;
+    last_realloc_ = Now();
+    // The new target may have retired workers and requeued their work;
+    // give the buffer a chance to land on survivors immediately.
+    RetryBufferedLocked();
+  } else {
+    ++reallocs_rejected_;
+  }
+  return ok;
 }
 
 TestbedHealth LiveTestbed::Impl::Health() {
@@ -1070,6 +1107,27 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
   os << ",\"batches\":{\"formed\":"
      << batches_formed_.load(std::memory_order_relaxed) << ",\"timeouts\":"
      << batch_timeouts_.load(std::memory_order_relaxed) << "}";
+  if (!mix_counts_.empty()) {
+    // Cumulative submitted-length histogram; the cluster Runtime Scheduler
+    // diffs successive scrapes into a windowed demand observation.
+    os << ",\"length_mix\":{\"bounds\":[";
+    for (std::size_t i = 0; i < config_.mix_bounds.size(); ++i) {
+      if (i > 0) os << ",";
+      os << config_.mix_bounds[i];
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < mix_counts_.size(); ++i) {
+      if (i > 0) os << ",";
+      os << mix_counts_[i];
+    }
+    os << "]}";
+  }
+  os << ",\"reallocs\":{\"applied\":" << reallocs_applied_
+     << ",\"rejected\":" << reallocs_rejected_;
+  if (last_realloc_ >= 0) {
+    os << ",\"last_s\":" << ToSeconds(last_realloc_);
+  }
+  os << "}";
   if (config_.tenants != nullptr && !config_.tenants->Empty()) {
     os << ",\"tenants\":[";
     for (int c = 0; c < config_.tenants->Size(); ++c) {
@@ -1079,8 +1137,11 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
          << "\",\"weight\":" << klass.weight
          << ",\"slo_ms\":" << ToSeconds(klass.slo) * 1e3
          << ",\"buffered\":" << buffer_.ClassDepth(c)
-         << ",\"completed\":" << class_completed_[static_cast<std::size_t>(c)]
-         << "}";
+         << ",\"completed\":" << class_completed_[static_cast<std::size_t>(c)];
+      // Head-of-line queueing delay: how long the class's oldest buffered
+      // request has waited.  Zero when nothing is buffered.
+      const SimTime head = buffer_.ClassHeadArrival(c);
+      os << ",\"queue_delay_ns\":" << (head >= 0 ? now - head : 0) << "}";
     }
     os << "]";
   }
@@ -1207,6 +1268,10 @@ const TestbedConfig& LiveTestbed::Config() const { return impl_->Config(); }
 
 void LiveTestbed::Submit(const Request& request, CompletionFn done) {
   impl_->Submit(request, std::move(done));
+}
+
+bool LiveTestbed::ApplyAllocation(const std::vector<int>& allocation) {
+  return impl_->ApplyAllocation(allocation);
 }
 
 int LiveTestbed::Outstanding() const { return impl_->InSystemRelaxed(); }

@@ -80,6 +80,15 @@ class LiveTestbed {
   /// the fault layer's HealthTracker; safe from any thread while running.
   TestbedHealth Health();
 
+  /// Applies an externally-computed GPUs-per-runtime target (the cluster
+  /// Runtime Scheduler's POST /realloc verb): hands it to the scheme under
+  /// the dispatch lock, which validates it against the live fleet and rolls
+  /// it out with zero-loss retire/requeue.  Returns false when the scheme
+  /// rejects it (unsupported, stale fleet shape, rollout in progress) —
+  /// callers map that to 409 and retry after the next scrape.  Safe from
+  /// any thread while running.
+  bool ApplyAllocation(const std::vector<int>& allocation);
+
   /// Live cluster state as one JSON object (admin /statusz): per-worker
   /// queue depth and state, inflight and buffered counts, batch stats, and
   /// the scheme's own WriteStatusJson section.  Safe from any thread while

@@ -102,6 +102,14 @@ struct TestbedConfig {
   /// arrivals, drains what is in flight, and returns the partial result —
   /// the graceful-shutdown path examples/live_serving uses for SIGINT.
   const std::atomic<bool>* cancel = nullptr;
+
+  /// Ascending length-bin upper bounds (normally the runtime set's
+  /// BinUpperBounds()).  When non-empty, every submitted request is counted
+  /// into its bin and /statusz exports the cumulative counts as
+  /// "length_mix" — the per-node observation the cluster Runtime Scheduler
+  /// aggregates into its demand model (docs/CONTROL_PLANE.md).  Lengths
+  /// beyond the last bound land in the last bin.  Empty disables the export.
+  std::vector<int> mix_bounds;
 };
 
 struct TestbedResult {

@@ -8,6 +8,7 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "runtime/compiled_runtime.h"
@@ -86,6 +87,21 @@ class Scheme {
   /// Periodic housekeeping (runtime re-allocation, autoscaling).  Called
   /// every TickInterval() of simulated time.
   virtual void OnTick(SimTime now, ClusterOps& cluster) { (void)now; (void)cluster; }
+
+  /// An external controller (the cluster Runtime Scheduler, via the node's
+  /// POST /realloc admin verb) hands the scheme a target GPUs-per-runtime
+  /// vector to converge to.  The scheme validates it against its live fleet
+  /// and, when accepted, rolls the replacement out with its own zero-loss
+  /// retire/relaunch machinery.  Returns false when the scheme does not
+  /// support external allocation (the default) or the vector does not fit
+  /// the current deployment — the caller reports 409 and retries later.
+  /// Called with the same locking context as OnTick.
+  virtual bool ApplyExternalAllocation(const std::vector<int>& allocation,
+                                       ClusterOps& cluster) {
+    (void)allocation;
+    (void)cluster;
+    return false;
+  }
 
   virtual SimDuration TickInterval() const { return Seconds(5.0); }
 

@@ -166,6 +166,8 @@ struct ExactSearch {
   long long nodes = 0;
   long long max_nodes = 0;
   bool capped = false;
+  const Stopwatch* timer = nullptr;  ///< set when a time budget applies
+  double budget_ms = 0.0;
 
   /// Admissible lower bound on the cost of runtimes [i, n): every request
   /// contributes at least compute_ideal/2 mean latency, and carried-over
@@ -182,6 +184,13 @@ struct ExactSearch {
   void Dfs(std::size_t i, int slack, double prefix_cost, double carryover) {
     if (capped) return;
     if (++nodes > max_nodes) {
+      capped = true;
+      return;
+    }
+    // The budget check is amortized: one clock read per 1024 nodes keeps
+    // its cost invisible next to the bound evaluations.
+    if (timer != nullptr && (nodes & 1023) == 0 &&
+        timer->Seconds() * 1e3 > budget_ms) {
       capped = true;
       return;
     }
@@ -254,6 +263,32 @@ AllocationResult SolveAllocationExact(const AllocationProblem& problem,
   search.best = greedy.gpus_per_runtime;
   search.incumbent = greedy.objective;
   search.max_nodes = options.max_nodes;
+  if (options.budget_ms > 0.0) {
+    search.timer = &timer;
+    search.budget_ms = options.budget_ms;
+  }
+  // Warm start (initialize_with_early): seed the incumbent with the
+  // caller's previous solution when it still fits this problem's shape and
+  // beats greedy — the search then opens with last period's optimum as its
+  // pruning bound and only explores allocations that improve on it.
+  bool warm_started = false;
+  if (options.warm_start.size() == n) {
+    int warm_sum = 0;
+    bool warm_ok = true;
+    for (int v : options.warm_start) {
+      if (v < 0) warm_ok = false;
+      warm_sum += v;
+    }
+    if (warm_ok && warm_sum == problem.gpus) {
+      const AllocationEval warm = EvaluateAllocation(problem,
+                                                     options.warm_start);
+      if (warm.feasible && warm.objective < search.incumbent) {
+        search.incumbent = warm.objective;
+        search.best = options.warm_start;
+        warm_started = true;
+      }
+    }
+  }
   search.suffix_min_cost.assign(n + 1, 0.0);
   for (std::size_t i = n; i-- > 0;) {
     search.suffix_min_cost[i] =
@@ -270,6 +305,8 @@ AllocationResult SolveAllocationExact(const AllocationProblem& problem,
   out.objective = search.incumbent;
   out.solve_seconds = timer.Seconds();
   out.nodes_explored = search.nodes;
+  out.capped = search.capped;
+  out.warm_started = warm_started;
   return out;
 }
 

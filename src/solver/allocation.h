@@ -54,14 +54,31 @@ struct AllocationResult {
   double objective = 0.0;
   double solve_seconds = 0.0;         ///< wall-clock solve time
   long long nodes_explored = 0;
+  /// The search stopped early (node cap or time budget); the result is the
+  /// best incumbent found so far, not a proven optimum.
+  bool capped = false;
+  /// A caller-supplied warm start seeded the incumbent (it beat greedy).
+  bool warm_started = false;
 };
 
 struct AllocationSolveOptions {
   long long max_nodes = 50'000'000;
+  /// Incumbent allocation from the previous solve (the TCPSPSuite
+  /// `initialize_with_early` idiom): when non-empty, it is evaluated and —
+  /// if feasible and better than greedy — seeds the B&B incumbent, so the
+  /// search starts with last period's optimum as its pruning bound.  Must
+  /// have one entry per runtime and sum to exactly `gpus` to be used;
+  /// anything else is silently ignored (the mix or fleet changed shape).
+  std::vector<int> warm_start;
+  /// Wall-clock solve budget in milliseconds; 0 = unbounded.  When the
+  /// budget expires mid-search the best incumbent so far is returned with
+  /// `capped` set (best-incumbent fallback).
+  double budget_ms = 0.0;
 };
 
 /// Exact branch-and-bound over the N_i with an admissible lower bound.
-/// Falls back to the greedy solution if the node budget is exhausted.
+/// Falls back to the best incumbent (greedy or the warm start) if the node
+/// or time budget is exhausted.
 AllocationResult SolveAllocationExact(const AllocationProblem& problem,
                                       const AllocationSolveOptions& options = {});
 

@@ -161,6 +161,72 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
   cluster_.route_latency_ns = registry_.GetHistogram(
       "arlo_cluster_route_latency_ns",
       "Submit forwarded to final reply, as seen by the router");
+  ctrl_.scrapes = registry_.GetCounter(
+      "arlo_ctrl_scrapes_total",
+      "Cluster Runtime Scheduler scrape rounds completed");
+  ctrl_.scrape_failures = registry_.GetCounter(
+      "arlo_ctrl_scrape_failures_total",
+      "Individual nodes unreachable during a scrape round");
+  ctrl_.replans = registry_.GetCounter(
+      "arlo_ctrl_replans_total",
+      "Drift gate openings: target cluster allocation re-solved");
+  ctrl_.replans_skipped = registry_.GetCounter(
+      "arlo_ctrl_replans_skipped_total",
+      "Scrape rounds where the KS gate stayed closed (mix within threshold)");
+  ctrl_.deltas_shipped = registry_.GetCounter(
+      "arlo_ctrl_deltas_shipped_total",
+      "Per-node allocation deltas shipped via POST /realloc");
+  ctrl_.deltas_applied = registry_.GetCounter(
+      "arlo_ctrl_deltas_applied_total", "Deltas the node accepted");
+  ctrl_.deltas_rejected = registry_.GetCounter(
+      "arlo_ctrl_deltas_rejected_total",
+      "Deltas the node rejected with 409 (retried after the next scrape)");
+  ctrl_.last_ks_millionths = registry_.GetGauge(
+      "arlo_ctrl_last_ks_millionths",
+      "Last two-sample KS drift statistic, in millionths");
+  ctrl_.solve_ns = registry_.GetHistogram(
+      "arlo_ctrl_solve_ns", "Target cluster-allocation solve wall time");
+  ctrl_.apply_ns = registry_.GetHistogram(
+      "arlo_ctrl_apply_ns", "POST /realloc round-trip wall time");
+}
+
+void TelemetrySink::RecordCtrlScrape(int ok, int failed) {
+  ctrl_.scrapes->Add();
+  if (failed > 0) {
+    ctrl_.scrape_failures->Add(static_cast<std::uint64_t>(failed));
+  }
+  (void)ok;
+}
+
+void TelemetrySink::RecordCtrlGate(SimTime now, double ks, bool replanned,
+                                   std::int64_t solve_wall_ns) {
+  ctrl_.last_ks_millionths->Set(static_cast<std::int64_t>(ks * 1e6));
+  if (replanned) {
+    ctrl_.replans->Add();
+    ctrl_.solve_ns->Record(solve_wall_ns);
+  } else {
+    ctrl_.replans_skipped->Add();
+  }
+  if (config_.trace_requests) {
+    tracer_.Instant("ctrl_gate", "ctrl", now, 0,
+                    {{"ks_millionths", static_cast<std::int64_t>(ks * 1e6)},
+                     {"replanned", replanned ? 1 : 0}});
+  }
+}
+
+void TelemetrySink::RecordCtrlDelta(SimTime now, int node, bool applied,
+                                    std::int64_t apply_wall_ns) {
+  ctrl_.deltas_shipped->Add();
+  if (applied) {
+    ctrl_.deltas_applied->Add();
+  } else {
+    ctrl_.deltas_rejected->Add();
+  }
+  ctrl_.apply_ns->Record(apply_wall_ns);
+  if (config_.trace_requests) {
+    tracer_.Instant("ctrl_delta", "ctrl", now, node,
+                    {{"applied", applied ? 1 : 0}});
+  }
 }
 
 void TelemetrySink::RecordBatchFormed(SimTime now, InstanceId instance,

@@ -138,6 +138,22 @@ struct ClusterMetrics {
   LatencyHistogram* route_latency_ns = nullptr;
 };
 
+/// Stable pointers to the cluster control-plane metrics (src/ctrl; see
+/// docs/CONTROL_PLANE.md).  Zero-valued in runs without a cluster Runtime
+/// Scheduler.
+struct CtrlMetrics {
+  Counter* scrapes = nullptr;          ///< scrape rounds completed
+  Counter* scrape_failures = nullptr;  ///< individual unreachable nodes
+  Counter* replans = nullptr;          ///< KS gate opened -> target re-solved
+  Counter* replans_skipped = nullptr;  ///< gate closed: mix within threshold
+  Counter* deltas_shipped = nullptr;   ///< POST /realloc deltas sent
+  Counter* deltas_applied = nullptr;   ///< deltas the node accepted
+  Counter* deltas_rejected = nullptr;  ///< 409s (retried after the next scrape)
+  Gauge* last_ks_millionths = nullptr; ///< last KS statistic x 1e6
+  LatencyHistogram* solve_ns = nullptr;  ///< target-allocation solve wall time
+  LatencyHistogram* apply_ns = nullptr;  ///< POST /realloc round-trip wall time
+};
+
 /// Stable pointers to one tenant class's metrics (src/tenant; see
 /// docs/TENANTS.md).  The family is opt-in via EnableTenantMetrics so
 /// single-tenant runs export exactly the historical metric set.
@@ -285,6 +301,19 @@ class TelemetrySink {
   void RecordClusterProbeFailure(int node);
   void SetClusterNodeGauges(std::int64_t routable, std::int64_t inflight);
 
+  // --- cluster control plane (src/ctrl; see docs/CONTROL_PLANE.md) -------
+  /// One scrape round finished: `ok` nodes answered, `failed` did not.
+  void RecordCtrlScrape(int ok, int failed);
+  /// The drift gate's decision for this round.  `ks` is the two-sample KS
+  /// statistic; `replanned` is whether it crossed the threshold and the
+  /// target allocation was re-solved (taking `solve_wall_ns`).
+  void RecordCtrlGate(SimTime now, double ks, bool replanned,
+                      std::int64_t solve_wall_ns);
+  /// One per-node delta shipped via POST /realloc.  `applied` is the node's
+  /// verdict; `apply_wall_ns` the HTTP round-trip.
+  void RecordCtrlDelta(SimTime now, int node, bool applied,
+                       std::int64_t apply_wall_ns);
+
   // --- multi-tenant SLO classes (src/tenant; see docs/TENANTS.md) --------
   /// Registers the arlo_tenant_* metric family, one set per class name in
   /// table order.  Call before the run starts (same discipline as
@@ -327,6 +356,7 @@ class TelemetrySink {
   const BatchMetrics& Batch() const { return batch_; }
   const GenerativeMetrics& Gen() const { return gen_; }
   const ClusterMetrics& Cluster() const { return cluster_; }
+  const CtrlMetrics& Ctrl() const { return ctrl_; }
   const TelemetryConfig& Config() const { return config_; }
 
  private:
@@ -342,6 +372,7 @@ class TelemetrySink {
   BatchMetrics batch_;
   GenerativeMetrics gen_;
   ClusterMetrics cluster_;
+  CtrlMetrics ctrl_;
 
   std::vector<TelemetryObserver*> observers_;
   std::vector<TenantClassMetrics> tenant_;  // index = class id; empty = off

@@ -106,6 +106,16 @@ class DispatchQueue {
     return queues_[static_cast<std::size_t>(cls)].size();
   }
 
+  /// Arrival time of the oldest buffered request for one class, or -1 when
+  /// that class has nothing buffered.  `now - ClassHeadArrival(c)` is the
+  /// class's current head-of-line queueing delay (the statusz export the
+  /// cluster control plane watches).
+  SimTime ClassHeadArrival(int cls) const {
+    if (cls < 0 || cls >= static_cast<int>(queues_.size())) return -1;
+    const std::deque<Request>& q = queues_[static_cast<std::size_t>(cls)];
+    return q.empty() ? -1 : q.front().arrival;
+  }
+
   const TenantClassTable* Table() const { return table_; }
 
  private:

@@ -243,6 +243,72 @@ TEST(SolveAllocationIncremental, RejectsMismatchedPrevious) {
                std::logic_error);  // sums to 3, not 4
 }
 
+TEST(SolveAllocationExact, WarmStartSeedsIncumbent) {
+  const AllocationProblem p = MakeProblem(8, {30.0, 12.0, 4.0});
+  const AllocationResult cold = SolveAllocationExact(p);
+  ASSERT_TRUE(cold.feasible);
+
+  // Re-solving with the optimum as the warm start must return the same
+  // objective; when the warm start beats greedy the flag is reported and
+  // the search explores no more nodes than the cold solve (the bound can
+  // only be tighter).
+  AllocationSolveOptions options;
+  options.warm_start = cold.gpus_per_runtime;
+  const AllocationResult warm = SolveAllocationExact(p, options);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_LE(warm.nodes_explored, cold.nodes_explored);
+  if (warm.warm_started) {
+    EXPECT_EQ(warm.gpus_per_runtime, cold.gpus_per_runtime);
+  }
+}
+
+TEST(SolveAllocationExact, WarmStartIgnoredWhenShapeMismatched) {
+  const AllocationProblem p = MakeProblem(8, {30.0, 12.0, 4.0});
+  const AllocationResult cold = SolveAllocationExact(p);
+
+  AllocationSolveOptions wrong_size;
+  wrong_size.warm_start = {4, 4};  // two entries for three runtimes
+  const AllocationResult a = SolveAllocationExact(p, wrong_size);
+  EXPECT_FALSE(a.warm_started);
+  EXPECT_NEAR(a.objective, cold.objective, 1e-9);
+
+  AllocationSolveOptions wrong_sum;
+  wrong_sum.warm_start = {4, 2, 1};  // sums to 7, not 8
+  const AllocationResult b = SolveAllocationExact(p, wrong_sum);
+  EXPECT_FALSE(b.warm_started);
+  EXPECT_NEAR(b.objective, cold.objective, 1e-9);
+}
+
+TEST(SolveAllocationExact, TimeBudgetFallsBackToBestIncumbent) {
+  // A large instance with an (effectively) zero budget: the search is cut
+  // off almost immediately and must still return a feasible allocation —
+  // the greedy/warm incumbent — with `capped` set.
+  AllocationProblem p;
+  p.gpus = 400;
+  p.profiles.clear();
+  for (int i = 1; i <= 12; ++i) {
+    p.profiles.push_back(MakeProfile(static_cast<RuntimeId>(i - 1), 32 * i,
+                                     0.5 + 0.4 * i, 20.0));
+  }
+  p.demand.assign(12, 0.0);
+  for (std::size_t i = 0; i < 12; ++i) {
+    p.demand[i] = 40.0 / static_cast<double>(i + 1);
+  }
+
+  AllocationSolveOptions options;
+  options.budget_ms = 1e-6;  // expires at the first amortized check
+  const AllocationResult capped = SolveAllocationExact(p, options);
+  ASSERT_TRUE(capped.feasible);
+  EXPECT_TRUE(capped.capped);
+  int total = 0;
+  for (int v : capped.gpus_per_runtime) total += v;
+  EXPECT_EQ(total, p.gpus);
+
+  // The capped objective can be no better than the unbounded one.
+  const AllocationResult full = SolveAllocationExact(p);
+  EXPECT_GE(capped.objective, full.objective - 1e-9);
+}
+
 TEST(SolveAllocation, RejectsMalformedProblems) {
   AllocationProblem p = MakeProblem(4, {1.0, 1.0});  // demand size mismatch
   EXPECT_THROW(SolveAllocationExact(p), std::logic_error);

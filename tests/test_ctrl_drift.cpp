@@ -1,0 +1,146 @@
+// Drift detection and demand windowing for the cluster Runtime Scheduler:
+// the KS statistic, the gate's bootstrap/threshold/rebase protocol, and
+// the sliding demand window the gate observes (src/ctrl/drift.h,
+// src/ctrl/demand.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ctrl/demand.h"
+#include "ctrl/drift.h"
+
+namespace arlo::ctrl {
+namespace {
+
+using Scrapes = std::vector<std::pair<int, std::vector<std::int64_t>>>;
+
+constexpr std::int64_t kSecond = 1'000'000'000;
+
+TEST(CtrlDrift, KsStatisticBasics) {
+  // Identical mixes: no distance, at any scale.
+  EXPECT_DOUBLE_EQ(KsStatistic({10, 10}, {10, 10}), 0.0);
+  EXPECT_DOUBLE_EQ(KsStatistic({10, 10}, {1000, 1000}), 0.0);
+  // Disjoint mixes: all mass on opposite sides of one boundary.
+  EXPECT_DOUBLE_EQ(KsStatistic({100, 0}, {0, 100}), 1.0);
+  // Half the mass moved across the first boundary.
+  EXPECT_NEAR(KsStatistic({100, 0}, {50, 50}), 0.5, 1e-12);
+  // No evidence is not drift.
+  EXPECT_DOUBLE_EQ(KsStatistic({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KsStatistic({0, 0}, {5, 5}), 0.0);
+}
+
+TEST(CtrlDrift, BootstrapOpensGateOnceMinSamplesArrive) {
+  DriftDetector detector(DriftDetectorConfig{0.1, 100});
+  // Below the sample floor: closed even with no reference.
+  auto decision = detector.Observe({40, 40});
+  EXPECT_FALSE(decision.drifted);
+  EXPECT_FALSE(decision.has_reference);
+  // At the floor: the bootstrap re-plan fires.
+  decision = detector.Observe({60, 60});
+  EXPECT_TRUE(decision.drifted);
+}
+
+TEST(CtrlDrift, ThresholdGatesAgainstReference) {
+  DriftDetector detector(DriftDetectorConfig{0.1, 10});
+  detector.Rebase({1000, 0});
+  // Same mix: closed.
+  EXPECT_FALSE(detector.Observe({500, 0}).drifted);
+  // 5% of mass moved: under the 10% threshold.
+  EXPECT_FALSE(detector.Observe({950, 50}).drifted);
+  // 20% moved: open, and the statistic reports the shift.
+  const auto decision = detector.Observe({800, 200});
+  EXPECT_TRUE(decision.drifted);
+  EXPECT_NEAR(decision.ks, 0.2, 1e-12);
+  // Rebasing onto the shifted mix closes the gate again.
+  detector.Rebase({800, 200});
+  EXPECT_FALSE(detector.Observe({80, 20}).drifted);
+}
+
+TEST(CtrlDrift, DemandModelFirstScrapeIsBaselineOnly) {
+  // A node's first cumulative vector spans its whole lifetime, not one
+  // scrape period — it must not enter the window.
+  ClusterDemandModel model(2);
+  model.Ingest(Scrapes{{7, {500, 300}}}, 0);
+  EXPECT_EQ(model.WindowTotal(), 0);
+  // The second scrape diffs against the baseline.
+  model.Ingest(Scrapes{{7, {520, 310}}}, kSecond);
+  EXPECT_EQ(model.Window(), (std::vector<std::int64_t>{20, 10}));
+}
+
+TEST(CtrlDrift, DemandModelSumsAcrossNodesAndRounds) {
+  ClusterDemandModel model(2);
+  model.Ingest(Scrapes{{0, {10, 0}}, {1, {0, 5}}}, 0);
+  model.Ingest(Scrapes{{0, {25, 0}}, {1, {0, 9}}}, kSecond);
+  model.Ingest(Scrapes{{0, {30, 2}}, {1, {1, 9}}}, 2 * kSecond);
+  EXPECT_EQ(model.Window(), (std::vector<std::int64_t>{21, 6}));
+  EXPECT_EQ(model.WindowTotal(), 27);
+}
+
+TEST(CtrlDrift, DemandModelHandlesNodeRestart) {
+  ClusterDemandModel model(2);
+  model.Ingest(Scrapes{{0, {100, 100}}}, 0);
+  // Counts went backwards: the node restarted and re-counted from zero, so
+  // its whole cumulative vector is this round's increment.
+  model.Ingest(Scrapes{{0, {7, 3}}}, kSecond);
+  EXPECT_EQ(model.Window(), (std::vector<std::int64_t>{7, 3}));
+}
+
+TEST(CtrlDrift, DemandModelExpiresRoundsBeyondSpan) {
+  ClusterDemandModel model(1, /*span_ns=*/3 * kSecond);
+  model.Ingest(Scrapes{{0, {0}}}, 0);
+  model.Ingest(Scrapes{{0, {10}}}, 1 * kSecond);
+  model.Ingest(Scrapes{{0, {30}}}, 2 * kSecond);
+  EXPECT_EQ(model.WindowTotal(), 30);
+  // At t=5s the t=1s round (covering (0,1s]) is fully outside the 3 s span
+  // and expires; the t=2s round ends exactly at the span boundary and
+  // survives (the window is closed: [now-span, now]).  The window's start
+  // follows the newest expired round.
+  model.Ingest(Scrapes{{0, {37}}}, 5 * kSecond);
+  EXPECT_EQ(model.WindowTotal(), 27);
+  EXPECT_DOUBLE_EQ(model.WindowSeconds(5 * kSecond), 4.0);
+  // The next round pushes the t=2s increment out as well.
+  model.Ingest(Scrapes{{0, {40}}}, 6 * kSecond);
+  EXPECT_EQ(model.WindowTotal(), 10);
+  EXPECT_DOUBLE_EQ(model.WindowSeconds(6 * kSecond), 4.0);
+}
+
+TEST(CtrlDrift, DemandPerSloScalesWindowRateToSloPeriod) {
+  ClusterDemandModel model(2);
+  model.Ingest(Scrapes{{0, {0, 0}}}, 0);
+  model.Ingest(Scrapes{{0, {200, 100}}}, 2 * kSecond);
+  // 100/s and 50/s over a 0.5 s SLO period.
+  const auto demand = model.DemandPerSlo(2 * kSecond, 0.5);
+  ASSERT_EQ(demand.size(), 2u);
+  EXPECT_NEAR(demand[0], 50.0, 1e-9);
+  EXPECT_NEAR(demand[1], 25.0, 1e-9);
+  // A single scrape frames no interval: zero demand, not a division blowup.
+  ClusterDemandModel fresh(2);
+  fresh.Ingest(Scrapes{{0, {10, 10}}}, 0);
+  EXPECT_DOUBLE_EQ(fresh.DemandPerSlo(0, 0.5)[0], 0.0);
+}
+
+TEST(CtrlDrift, ResetWindowKeepsCumulativeBaselines) {
+  ClusterDemandModel model(1);
+  model.Ingest(Scrapes{{0, {100}}}, 0);
+  model.Ingest(Scrapes{{0, {150}}}, kSecond);
+  EXPECT_EQ(model.WindowTotal(), 50);
+  model.ResetWindow(kSecond);
+  EXPECT_EQ(model.WindowTotal(), 0);
+  // The next diff is against the pre-reset scrape, not a fresh baseline —
+  // nothing is double-counted and nothing is lost.
+  model.Ingest(Scrapes{{0, {180}}}, 2 * kSecond);
+  EXPECT_EQ(model.WindowTotal(), 30);
+  EXPECT_DOUBLE_EQ(model.WindowSeconds(2 * kSecond), 1.0);
+}
+
+TEST(CtrlDrift, DemandModelIgnoresMalformedShapes) {
+  ClusterDemandModel model(2);
+  model.Ingest(Scrapes{{0, {1, 2, 3}}}, 0);  // wrong bin count
+  model.Ingest(Scrapes{{0, {1, 2, 3}}}, kSecond);
+  EXPECT_EQ(model.WindowTotal(), 0);
+}
+
+}  // namespace
+}  // namespace arlo::ctrl

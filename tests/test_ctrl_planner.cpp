@@ -1,0 +1,160 @@
+// Delta planner for the cluster Runtime Scheduler (src/ctrl/planner.h):
+// per-node floor enforcement, delta shipping (only changed nodes), the
+// validation that refuses mid-rollout cluster shapes, and the seeded
+// byte-identical determinism the delta wire format depends on.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ctrl/planner.h"
+
+namespace arlo::ctrl {
+namespace {
+
+int Sum(const std::vector<int>& v) {
+  int total = 0;
+  for (int x : v) total += x;
+  return total;
+}
+
+TEST(CtrlPlanner, EnforcePerNodeFloorRaisesLargestRuntime) {
+  std::vector<int> target{6, 0, 0};
+  ASSERT_TRUE(EnforcePerNodeFloor(target, 3));
+  EXPECT_EQ(target, (std::vector<int>{3, 0, 3}));
+
+  // Already satisfied: untouched.
+  target = {2, 0, 4};
+  ASSERT_TRUE(EnforcePerNodeFloor(target, 3));
+  EXPECT_EQ(target, (std::vector<int>{2, 0, 4}));
+
+  // Pays from the most-populated donor first.
+  target = {1, 4, 0};
+  ASSERT_TRUE(EnforcePerNodeFloor(target, 2));
+  EXPECT_EQ(target, (std::vector<int>{1, 2, 2}));
+  EXPECT_EQ(Sum(target), 5);
+
+  // Fewer GPUs than nodes: no sane floor exists.
+  target = {1, 0, 1};
+  EXPECT_FALSE(EnforcePerNodeFloor(target, 3));
+}
+
+TEST(CtrlPlanner, ConformingFleetYieldsNoDeltas) {
+  const std::vector<NodeAllocation> fleet{
+      {0, {2, 0, 1}},
+      {1, {1, 1, 1}},
+  };
+  EXPECT_TRUE(PlanNodeDeltas(fleet, {3, 1, 2}).empty());
+}
+
+TEST(CtrlPlanner, OnlyChangedNodesGetDeltas) {
+  // Moving one GPU from runtime 0 to runtime 1 is a single-node delta;
+  // the other node's allocation already matches where the plan leaves it.
+  const std::vector<NodeAllocation> fleet{
+      {0, {2, 0, 1}},
+      {1, {2, 0, 1}},
+  };
+  const auto deltas = PlanNodeDeltas(fleet, {3, 1, 2});
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(Sum(deltas[0].target), 3);  // node GPU totals never change
+  EXPECT_GE(deltas[0].target.back(), 1);  // per-node Eq. 7 floor held
+}
+
+TEST(CtrlPlanner, RefusesMismatchedClusterSums) {
+  // A scrape taken mid-rollout undercounts the fleet (5 ready GPUs against
+  // a 6-GPU target): the planner must refuse rather than strand a GPU.
+  const std::vector<NodeAllocation> fleet{
+      {0, {1, 0, 1}},
+      {1, {1, 1, 1}},
+  };
+  EXPECT_TRUE(PlanNodeDeltas(fleet, {2, 2, 2}).empty());
+  // A target that cannot give every node its largest-runtime floor GPU is
+  // likewise refused outright.
+  EXPECT_TRUE(PlanNodeDeltas(fleet, {3, 1, 1}).empty());
+}
+
+TEST(CtrlPlanner, NeverStripsANodesLastLargestRuntimeGpu) {
+  // Cluster has surplus largest-runtime GPUs, but node 0 holds exactly one
+  // — every conversion must come from node 1's stack.
+  const std::vector<NodeAllocation> fleet{
+      {0, {0, 0, 1}},
+      {1, {0, 0, 3}},
+  };
+  const auto deltas = PlanNodeDeltas(fleet, {2, 0, 2});
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].node, 1);
+  EXPECT_EQ(deltas[0].target, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(CtrlPlanner, SeededDeterminismByteIdenticalDeltas) {
+  // Identical inputs must produce byte-identical wire payloads, whatever
+  // order the scrape delivered the nodes in.
+  std::mt19937_64 rng(20260809);
+  std::uniform_int_distribution<int> gpus(0, 3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<NodeAllocation> fleet;
+    for (int n = 0; n < 4; ++n) {
+      NodeAllocation a;
+      a.node = n;
+      a.per_runtime = {gpus(rng), gpus(rng), 1 + gpus(rng)};
+      fleet.push_back(a);
+    }
+    std::vector<int> target(3, 0);
+    for (const auto& n : fleet) {
+      for (std::size_t r = 0; r < 3; ++r) target[r] += n.per_runtime[r];
+    }
+    // Shuffle the cluster target while keeping it realizable.
+    for (int moves = 0; moves < 4; ++moves) {
+      std::uniform_int_distribution<std::size_t> pick(0, 2);
+      const std::size_t from = pick(rng);
+      const std::size_t to = pick(rng);
+      if (target[from] > 0) {
+        --target[from];
+        ++target[to];
+      }
+    }
+    if (!EnforcePerNodeFloor(target, static_cast<int>(fleet.size()))) {
+      continue;
+    }
+
+    const auto first = PlanNodeDeltas(fleet, target);
+    std::vector<NodeAllocation> reversed(fleet.rbegin(), fleet.rend());
+    const auto second = PlanNodeDeltas(reversed, target);
+
+    ASSERT_EQ(first.size(), second.size()) << "round " << round;
+    std::vector<int> applied(3, 0);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].node, second[i].node) << "round " << round;
+      EXPECT_EQ(FormatAllocation(first[i].target),
+                FormatAllocation(second[i].target))
+          << "round " << round;
+      EXPECT_GE(first[i].target.back(), 1) << "round " << round;
+    }
+    // The plan realizes the cluster target exactly.
+    std::vector<int> cluster(3, 0);
+    for (const auto& n : fleet) {
+      bool replaced = false;
+      for (const auto& d : first) {
+        if (d.node == n.node) {
+          for (std::size_t r = 0; r < 3; ++r) cluster[r] += d.target[r];
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) {
+        for (std::size_t r = 0; r < 3; ++r) cluster[r] += n.per_runtime[r];
+      }
+    }
+    EXPECT_EQ(cluster, target) << "round " << round;
+  }
+}
+
+TEST(CtrlPlanner, FormatAllocationWireShape) {
+  EXPECT_EQ(FormatAllocation({}), "");
+  EXPECT_EQ(FormatAllocation({5}), "5");
+  EXPECT_EQ(FormatAllocation({0, 2, 10}), "0,2,10");
+}
+
+}  // namespace
+}  // namespace arlo::ctrl

@@ -332,5 +332,62 @@ TEST(ObsAdmin, EndpointsAnswer503WhenProvidersAbsent) {
   plane.Stop();
 }
 
+TEST(ObsAdmin, ReallocVerbParsesAppliesAndRejects) {
+  // The cluster Runtime Scheduler's delta wire format: POST /realloc with
+  // alloc=n0,n1,... in the query string (or urlencoded body).  200 when the
+  // node applies it, 409 when it refuses (rollout in flight), 400 on a
+  // malformed vector, 503 without a provider.
+  std::vector<int> received;
+  bool accept = true;
+  AdminPlaneConfig apc;
+  apc.realloc = [&](const std::vector<int>& allocation) {
+    received = allocation;
+    return accept;
+  };
+  AdminPlane plane(std::move(apc));
+  plane.Start();
+
+  HttpResult r = HttpFetch(plane.Port(), "POST", "/realloc?alloc=1,0,3");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"applied\":true"), std::string::npos);
+  EXPECT_EQ(received, (std::vector<int>{1, 0, 3}));
+
+  // Body form, with unrelated parameters around the vector.
+  received.clear();
+  r = HttpFetch(plane.Port(), "POST", "/realloc", "dry=0&alloc=0,2&x=1");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(received, (std::vector<int>{0, 2}));
+
+  // The node refusing the vector is a retryable 409, not a success.
+  accept = false;
+  r = HttpFetch(plane.Port(), "POST", "/realloc?alloc=9");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 409);
+  EXPECT_NE(r.body.find("\"applied\":false"), std::string::npos);
+
+  // Malformed vectors never reach the provider.
+  accept = true;
+  received.clear();
+  for (const char* bad :
+       {"/realloc", "/realloc?alloc=", "/realloc?alloc=1,x,2",
+        "/realloc?alloc=1,,2", "/realloc?realloc=1,2"}) {
+    r = HttpFetch(plane.Port(), "POST", bad);
+    ASSERT_TRUE(r.ok) << bad;
+    EXPECT_EQ(r.status, 400) << bad;
+    EXPECT_TRUE(received.empty()) << bad;
+  }
+  plane.Stop();
+
+  AdminPlaneConfig bare;  // no realloc provider wired
+  AdminPlane none(std::move(bare));
+  none.Start();
+  r = HttpFetch(none.Port(), "POST", "/realloc?alloc=1,2");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 503);
+  none.Stop();
+}
+
 }  // namespace
 }  // namespace arlo::obs
