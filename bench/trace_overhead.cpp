@@ -1,0 +1,140 @@
+// Overhead of cross-hop request tracing on the serving hot path.
+//
+// Replays the same Twitter-Stable trace over loopback sockets (LiveTestbed
+// + net::Server + LoadGenerator — the same harness as bench/net_overhead)
+// three times, varying only the client's head-based trace sampling:
+//
+//   trace-off      --trace-sample=off: no request carries the trace flag,
+//                  replies are the bare 33-byte payload, and the node never
+//                  reads a wall clock for trace purposes — the baseline
+//   sample-1-in-64 --trace-sample=1/64: production sampling.  The
+//                  acceptance bar (EXPERIMENTS.md): dispatch p98 within 10%
+//                  of trace-off — sampled tracing must be noise
+//   sample-full    --trace-sample=1: every request traced and annexed —
+//                  the worst case, reported for headroom, not gated
+//
+// Per-row we report the dispatch-path cost (arlo_dispatch_cost_ns, the same
+// hot-path probe bench/obs_overhead gates on), client-observed e2e latency
+// percentiles, and how many replies actually carried a timing annex.
+//
+// Output: one CSV block (stdout); --json=PATH writes the same rows as
+// BENCH_trace.json (the committed artifact).  See docs/OBSERVABILITY.md.
+#include "bench_util.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "serving/live_testbed.h"
+
+using namespace arlo;
+
+namespace {
+
+double PercentileMs(std::vector<double>& values_ms, double p) {
+  if (values_ms.empty()) return 0.0;
+  std::sort(values_ms.begin(), values_ms.end());
+  const std::size_t idx = std::min(
+      values_ms.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values_ms.size())));
+  return values_ms[idx];
+}
+
+struct Row {
+  std::string mode;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t traced = 0;
+  double dispatch_p50_us = 0.0;
+  double dispatch_p98_us = 0.0;
+  double e2e_p50_ms = 0.0;
+  double e2e_p98_ms = 0.0;
+};
+
+Row RunOnce(const trace::Trace& trace,
+            const baselines::ScenarioConfig& config,
+            std::uint32_t trace_sample_n, std::uint64_t seed,
+            const std::string& mode) {
+  telemetry::TelemetryConfig tc;
+  tc.run_id = seed;
+  tc.concurrency = telemetry::Concurrency::kMultiThreaded;
+  telemetry::TelemetrySink sink(tc);
+
+  // Arlo is the scheme that instruments its dispatch path — the
+  // arlo_dispatch_cost_ns histogram below is the hot-path probe.
+  auto scheme = baselines::MakeSchemeByName("arlo", config);
+  serving::TestbedConfig tb;
+  tb.telemetry = &sink;
+  serving::LiveTestbed testbed(*scheme, tb);
+  testbed.Start();
+
+  net::ServerConfig sc;
+  sc.telemetry = &sink;
+  net::Server server(testbed, sc);
+  server.Start();
+
+  net::LoadGeneratorConfig lg;
+  lg.port = server.Port();
+  lg.connections = 4;
+  lg.trace_sample_n = trace_sample_n;
+  const net::LoadGeneratorResult result = net::RunLoadGenerator(trace, lg);
+
+  server.Stop();
+  (void)testbed.Finish();
+
+  Row row;
+  row.mode = mode;
+  row.requests = result.sent;
+  std::vector<double> latency_ms;
+  for (const auto& r : result.requests) {
+    if (!r.replied || r.status != net::ReplyStatus::kOk) continue;
+    ++row.ok;
+    if (!r.annex.empty()) ++row.traced;
+    latency_ms.push_back(ToMillis(r.latency));
+  }
+  const telemetry::LatencyHistogram* d = sink.Serving().dispatch_cost_ns;
+  row.dispatch_p50_us = static_cast<double>(d->Quantile(0.50)) / 1e3;
+  row.dispatch_p98_us = static_cast<double>(d->Quantile(0.98)) / 1e3;
+  row.e2e_p50_ms = PercentileMs(latency_ms, 0.50);
+  row.e2e_p98_ms = PercentileMs(latency_ms, 0.98);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const double duration = args.Duration(2.0, 10.0);
+  const double rate = 200.0;  // comfortably sustainable on 3 workers
+
+  baselines::ScenarioConfig config;
+  config.gpus = 3;
+  config.slo = Millis(150.0);
+
+  const trace::Trace trace =
+      bench::MakeBenchTrace(rate, duration, args.seed, /*bursty=*/false);
+  auto runtimes = baselines::MakeRuntimeSetFor(config);
+  config.initial_demand =
+      baselines::DemandFromTrace(trace, *runtimes, config.slo);
+
+  std::vector<Row> rows;
+  rows.push_back(RunOnce(trace, config, 0, args.seed, "trace-off"));
+  rows.push_back(RunOnce(trace, config, 64, args.seed, "sample-1-in-64"));
+  rows.push_back(RunOnce(trace, config, 1, args.seed, "sample-full"));
+
+  TablePrinter t("request tracing overhead");
+  t.SetHeader({"mode", "requests", "ok", "traced", "dispatch_p50_us",
+               "dispatch_p98_us", "e2e_p50_ms", "e2e_p98_ms"});
+  for (const Row& r : rows) {
+    t.AddRow({r.mode, TablePrinter::Int(static_cast<long long>(r.requests)),
+              TablePrinter::Int(static_cast<long long>(r.ok)),
+              TablePrinter::Int(static_cast<long long>(r.traced)),
+              TablePrinter::Num(r.dispatch_p50_us),
+              TablePrinter::Num(r.dispatch_p98_us),
+              TablePrinter::Num(r.e2e_p50_ms), TablePrinter::Num(r.e2e_p98_ms)});
+  }
+  t.PrintCsv(std::cout);
+  args.WriteJson(t);
+  return 0;
+}

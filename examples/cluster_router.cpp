@@ -27,6 +27,14 @@
 //      [--probe-ms=100] [--probe-failures=3] [--retries=4] [--seed=1]
 //      [--ctrl] [--ctrl-period-ms=500] [--ctrl-ks=0.1]
 //      [--ctrl-min-samples=50] [--ctrl-budget-ms=50] [--slo-ms=150]
+//      [--trace-sample=off|1|1/N] [--trace-out=PATH]
+//
+// --trace-sample turns on cross-hop tracing: the router samples 1/N of
+// requests by id hash, stamps the trace flag on the forwarded submit, and
+// assembles per-stage timelines from the nodes' reply annexes (visible on
+// /metrics as arlo_stage_* and merged fleet-wide on GET /fleetz).
+// --trace-out writes the assembled timelines as a Chrome trace_event JSON
+// file at shutdown.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -44,6 +52,7 @@
 #include "ctrl/scheduler.h"
 #include "runtime/profiler.h"
 #include "runtime/runtime_set.h"
+#include "telemetry/exporters.h"
 #include "telemetry/sink.h"
 
 using namespace arlo;
@@ -92,6 +101,9 @@ int main(int argc, char** argv) {
   const long long ctrl_min_samples = flags.GetInt("ctrl-min-samples", 50);
   const double ctrl_budget_ms = flags.GetDouble("ctrl-budget-ms", 50.0);
   const double slo_ms = flags.GetDouble("slo-ms", 150.0);
+  const unsigned trace_sample =
+      ParseTraceSample(flags.GetString("trace-sample", "off"));
+  const std::string trace_out = flags.GetString("trace-out", "");
   flags.RejectUnknown();
 
   if (nodes_spec.empty()) {
@@ -116,6 +128,7 @@ int main(int argc, char** argv) {
   rc.retry.max_attempts = static_cast<int>(retries);
   rc.seed = static_cast<std::uint64_t>(seed);
   rc.sink = &sink;
+  rc.trace_sample_n = trace_sample;
 
   cluster::Router router(rc);
   router.Start();
@@ -191,6 +204,14 @@ int main(int argc, char** argv) {
               << " rejected, last KS " << cs.last_ks << "\n";
   }
   router.Stop();
+
+  // Chrome trace_event dump of the assembled cross-hop timelines (one
+  // "request" parent span per traced request, per-stage children nested
+  // inside it) — load into chrome://tracing or Perfetto.
+  if (!trace_out.empty()) {
+    telemetry::WriteTraceFile(sink, trace_out);
+    std::cout << "trace written to " << trace_out << "\n";
+  }
 
   const cluster::Router::Stats stats = router.GetStats();
   std::cout << "router: accepted " << stats.accepted << ", routed "

@@ -34,6 +34,7 @@
 //      [--tenants=interactive:w8:slo50,batch:w2:slo500]
 //      [--tenant-mix=0.2,0.8] [--freeze-alloc]
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -265,6 +266,8 @@ int main(int argc, char** argv) {
   const std::string gen_admission = flags.GetString("gen-admission", "prefill");
   const std::string tenants_spec = flags.GetString("tenants", "");
   const std::string tenant_mix = flags.GetString("tenant-mix", "");
+  const unsigned trace_sample =
+      ParseTraceSample(flags.GetString("trace-sample", "off"));
   tenant::TenantClassTable tenant_table;
   if (!tenants_spec.empty()) {
     tenant_table = tenant::TenantClassTable::Parse(tenants_spec);
@@ -319,6 +322,7 @@ int main(int argc, char** argv) {
     lg.connections = connections;
     lg.time_scale = 1.0 / speed;
     lg.deadline = Millis(deadline_ms);
+    lg.trace_sample_n = trace_sample;
     std::cout << "replaying " << trace.Size() << " requests against port "
               << connect_port << " over " << connections
               << " connections...\n";
@@ -337,6 +341,29 @@ int main(int argc, char** argv) {
                 << TablePrinter::Num(ToMillis(
                        ok_latency[ok_latency.size() * 98 / 100]))
                 << " ms\n";
+    }
+    // Mean per-stage breakdown over trace-sampled replies (reply annexes),
+    // in wall ns as the serving pipeline measured them.
+    std::array<std::int64_t, telemetry::kNumStages> stage_sum{};
+    std::uint64_t annexed = 0;
+    for (const auto& r : result.requests) {
+      if (r.annex.empty()) continue;
+      ++annexed;
+      for (const telemetry::StageSpan& span : r.annex) {
+        stage_sum[static_cast<std::size_t>(span.stage)] += span.dur_ns;
+      }
+    }
+    if (annexed > 0) {
+      std::cout << "  traced " << annexed << " requests; mean stage ms:";
+      for (int s = 0; s < telemetry::kNumStages; ++s) {
+        if (stage_sum[static_cast<std::size_t>(s)] == 0) continue;
+        std::cout << " " << telemetry::StageName(static_cast<telemetry::Stage>(s))
+                  << "="
+                  << TablePrinter::Num(
+                         ToMillis(stage_sum[static_cast<std::size_t>(s)] /
+                                  static_cast<std::int64_t>(annexed)));
+      }
+      std::cout << "\n";
     }
     return 0;
   }

@@ -5,8 +5,11 @@
 # (--json output must parse with finite p98), smoke the admin plane
 # (live_serving --admin-port: /metrics, /healthz and /statusz must answer
 # with the expected shapes), smoke the cluster router (two real backends
-# behind cluster_router, zero loss, both nodes routed) and the cluster
-# scaling bench, smoke the control plane (two frozen backends behind
+# behind cluster_router --trace-sample=1, zero loss, both nodes routed,
+# GET /fleetz must merge both nodes' statusz, and the Chrome trace dump
+# must nest per-stage spans under each traced request) and the cluster
+# scaling bench, smoke the tracing bench (sampled dispatch p98 must stay
+# within 10% of tracing-off), smoke the control plane (two frozen backends behind
 # cluster_router --ctrl: the Runtime Scheduler must re-plan, apply at least
 # one delta, and lose nothing) and the ctrl bench (scheduler-on p98 must
 # not lose to the frozen fleet under a mid-run mix shift), smoke the
@@ -15,9 +18,9 @@
 # smoke the tenant bench (weighted-fair cell must hold the interactive
 # class within its SLO), then re-run the concurrency-sensitive tests
 # (threaded testbed + batching + net frontend + sharded telemetry + admin
-# plane + cluster router) under ThreadSanitizer, and the socket/protocol +
-# testbed-batching + admin-plane + cluster-policy tests under
-# Address+UBSanitizer.
+# plane + cluster router + cross-hop tracing) under ThreadSanitizer, and
+# the socket/protocol + testbed-batching + admin-plane + cluster-policy +
+# tracing tests under Address+UBSanitizer.
 #
 #   scripts/check.sh            # full gate
 #   scripts/check.sh --no-tsan  # skip the TSan stage (fast local loop)
@@ -117,7 +120,8 @@ EOF
 
 echo "== cluster smoke (2 backends + cluster_router) =="
 rm -f build/cluster_smoke.node1.out build/cluster_smoke.node2.out \
-  build/cluster_smoke.router.out
+  build/cluster_smoke.router.out build/cluster_smoke.fleetz \
+  build/cluster_smoke.trace.json
 ./build/examples/live_serving --listen=0 --admin-port=0 --speed=4 --gpus=2 \
   > build/cluster_smoke.node1.out 2>&1 &
 node1_pid=$!
@@ -148,7 +152,9 @@ if [[ -z "$node1_port" || -z "$node1_admin" || -z "$node2_port" || \
 fi
 ./build/examples/cluster_router \
   --nodes="${node1_port}:${node1_admin},${node2_port}:${node2_admin}" \
-  --policy=queue-delay > build/cluster_smoke.router.out 2>&1 &
+  --policy=queue-delay --trace-sample=1 \
+  --trace-out=build/cluster_smoke.trace.json \
+  > build/cluster_smoke.router.out 2>&1 &
 router_pid=$!
 router_port=$(wait_port build/cluster_smoke.router.out "router listening on")
 router_admin=$(wait_port build/cluster_smoke.router.out "router admin on")
@@ -165,6 +171,8 @@ grep -q "(lost 0)" build/cluster_smoke.load.out || {
 }
 curl -sf "http://127.0.0.1:${router_admin}/statusz" \
   > build/cluster_smoke.status
+curl -sf "http://127.0.0.1:${router_admin}/fleetz" \
+  > build/cluster_smoke.fleetz
 kill -INT "$router_pid" "$node1_pid" "$node2_pid" 2>/dev/null || true
 wait "$router_pid" "$node1_pid" "$node2_pid" 2>/dev/null || true
 python3 - <<'EOF'
@@ -179,6 +187,39 @@ for n in nodes:
 assert status["replies"] == status["accepted"] > 0, status
 print(f"cluster smoke: {status['accepted']} requests over "
       f"{[n['routed'] for n in nodes]} per-node routes, zero loss")
+EOF
+python3 - <<'EOF'
+import json
+fleet = json.load(open("build/cluster_smoke.fleetz"))
+assert fleet["router"]["healthy"] is True, fleet["router"]
+nodes = fleet["nodes"]
+assert len(nodes) == 2, nodes
+for n in nodes:
+    assert n["reachable"] is True, f"node {n['id']} unreachable: {n}"
+    assert n["statusz"]["live_workers"] > 0, n
+assert "stages" in fleet, list(fleet)  # --trace-sample=1 => stage summary
+assert fleet["stages"].get("prefill", {}).get("count", 0) > 0, fleet["stages"]
+print(f"fleetz smoke: router + {len(nodes)} reachable nodes, "
+      f"{fleet['stages']['prefill']['count']} traced prefills")
+EOF
+python3 - <<'EOF'
+import json
+events = json.load(open("build/cluster_smoke.trace.json"))["traceEvents"]
+parents = [e for e in events
+           if e.get("name") == "request" and e.get("cat") == "trace"]
+assert parents, "trace smoke: no 'request' parent spans in Chrome trace"
+stages = [e for e in events
+          if e.get("cat") == "trace" and e.get("name") != "request"]
+nested = 0
+for p in parents:
+    kids = [s for s in stages
+            if s["tid"] == p["tid"] and p["ts"] <= s["ts"] and
+            s["ts"] + s["dur"] <= p["ts"] + p["dur"] + 1]
+    if len(kids) >= 7:  # at least the seven node stages tile the parent
+        nested += 1
+assert nested > 0, "trace smoke: no parent span with nested stage children"
+print(f"trace smoke: {len(parents)} request spans, "
+      f"{nested} with fully nested stage children")
 EOF
 
 echo "== bench smoke (cluster_sweep --json) =="
@@ -197,6 +238,22 @@ kill = [r for r in rows if r["cell"] == "kill"]
 assert kill and kill[0]["killed"] == 1 and kill[0]["lost"] == 0, kill
 print(f"cluster bench smoke: {len(rows)} cells, zero loss "
       f"(3-node scaling x{scaling[3] / scaling[1]:.2f})")
+EOF
+
+echo "== bench smoke (trace_overhead --json) =="
+./build/bench/trace_overhead --duration=1 \
+  --json=build/BENCH_trace_smoke.json >/dev/null
+python3 - <<'EOF'
+import json, math
+rows = json.load(open("build/BENCH_trace_smoke.json"))["rows"]
+assert [r["mode"] for r in rows] == \
+    ["trace-off", "sample-1-in-64", "sample-full"], rows
+for r in rows:
+    assert math.isfinite(r["dispatch_p98_us"]), r
+assert rows[0]["traced"] == 0, rows[0]
+assert rows[2]["traced"] == rows[2]["ok"] > 0, rows[2]
+print(f"trace bench smoke: {len(rows)} rows, dispatch p98 finite, "
+      f"full sampling annexed {rows[2]['traced']}/{rows[2]['ok']}")
 EOF
 
 echo "== ctrl smoke (2 frozen backends + cluster_router --ctrl) =="
@@ -331,7 +388,7 @@ if [[ "$run_tsan" == 1 ]]; then
   # halt_on_error so a reported race fails the gate rather than scrolling by.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/arlo_tests \
-    --gtest_filter='Testbed.*:TestbedBatching.*:GenerativeTestbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*:CtrlDrift.*:CtrlPlanner.*:CtrlLive.*'
+    --gtest_filter='Testbed.*:TestbedBatching.*:GenerativeTestbed.*:TelemetryConcurrency.*:TelemetrySinkTest.*:NetLoopback.*:ObsAdmin*:ObsFlightRecorder.*:ClusterPolicy.*:ClusterRouter.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*:CtrlDrift.*:CtrlPlanner.*:CtrlLive.*:TraceWire*:TraceStages.*:TraceCluster.*:TraceProbe.*'
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -339,7 +396,7 @@ if [[ "$run_asan" == 1 ]]; then
   cmake -B build-asan -S . -DARLO_ASAN=ON >/dev/null
   cmake --build build-asan -j "$(nproc)" --target arlo_tests
   ./build-asan/tests/arlo_tests \
-    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:GenerativeTestbed.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*:CtrlDrift.*:CtrlPlanner.*:CtrlLive.*'
+    --gtest_filter='NetProtocol*:NetClient.*:Admission.*:NetLoopback.*:TestbedBatching.*:GenerativeTestbed.*:ObsAdmin*:ObsHttp.*:ClusterPolicy.*:TenantClassTable.*:TenantDispatchQueue.*:TenantAdmission.*:CtrlDrift.*:CtrlPlanner.*:CtrlLive.*:TraceWire*:TraceStages.*:TraceCluster.*:TraceProbe.*'
 fi
 
 echo "== check.sh: all green =="

@@ -176,6 +176,10 @@ std::vector<Item> ContinuousBatcher::StealWaiting() {
   std::vector<Item> out(std::make_move_iterator(waiting_.begin()),
                         std::make_move_iterator(waiting_.end()));
   waiting_.clear();
+  // Stolen items leave this batcher for good (requeue on another worker),
+  // so their preemption-immunity marks must not linger: a later request
+  // that reuses the id would inherit immunity it never earned.
+  for (const Item& item : out) preempted_ids_.erase(item.request.id);
   return out;
 }
 
@@ -187,6 +191,7 @@ std::vector<Item> ContinuousBatcher::StealAll() {
   for (Item& item : waiting_) out.push_back(std::move(item));
   waiting_.clear();
   prefilling_.clear();
+  preempted_ids_.clear();  // everything left; no immunity marks survive
   static_cohort_ = 0;
   running_ = IterationPlan{};
   return out;

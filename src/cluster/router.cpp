@@ -41,6 +41,11 @@ void Router::Start() {
   if (!policy_) {
     throw std::invalid_argument("unknown routing policy: " + config_.policy);
   }
+  if (config_.sink) {
+    // The router assembles full cross-hop timelines, so it registers the
+    // router-side stage family alongside the node stages.
+    config_.sink->EnableStageMetrics(/*include_router=*/true);
+  }
   retry_rng_ = Rng(config_.seed);
   listen_ = net::ListenTcp(config_.port);
 
@@ -193,6 +198,11 @@ void Router::HandleSubmit(const std::shared_ptr<ClientConn>& conn,
   pending.forward.request_id = request_id;
   pending.node = -1;
   pending.first_sent_ns = NowNs();
+  // The router is the sampling head for cluster traffic, but a client that
+  // already opted in keeps its trace across the hop.
+  pending.traced = (submit.flags & net::kSubmitFlagTrace) != 0 ||
+                   telemetry::TraceSampled(request_id, config_.trace_sample_n);
+  if (pending.traced) pending.forward.flags |= net::kSubmitFlagTrace;
   {
     std::lock_guard lock(pending_mu_);
     pending_[request_id] = pending;
@@ -209,14 +219,23 @@ int Router::PickNode(std::uint32_t length) {
 void Router::RouteParked(std::uint64_t request_id) {
   for (;;) {
     net::SubmitRequest forward;
+    bool traced = false;
     {
       std::lock_guard lock(pending_mu_);
       auto it = pending_.find(request_id);
       // Gone: a reply resolved it.  node != -1: another path owns it.
       if (it == pending_.end() || it->second.node != -1) return;
       forward = it->second.forward;
+      traced = it->second.traced;
+      if (traced && it->second.parked_at_ns != 0) {
+        // Close out the retry-queue park that just ended.
+        it->second.park_ns += NowNs() - it->second.parked_at_ns;
+        it->second.parked_at_ns = 0;
+      }
     }
+    const std::int64_t pick_start = traced ? NowNs() : 0;
     const int node = PickNode(forward.length);
+    const std::int64_t pick_elapsed = traced ? NowNs() - pick_start : 0;
     if (node < 0) {
       PendingRoute pending;
       {
@@ -236,6 +255,10 @@ void Router::RouteParked(std::uint64_t request_id) {
       if (it == pending_.end() || it->second.node != -1) return;
       it->second.node = node;
       attempts = ++it->second.attempts;
+      if (traced) {
+        it->second.pick_ns += pick_elapsed;
+        it->second.last_sent_ns = NowNs();
+      }
     }
     if (pool_->Send(node, forward)) {
       routed_.fetch_add(1, std::memory_order_relaxed);
@@ -279,12 +302,42 @@ void Router::OnNodeReply(int node, const net::Reply& reply) {
     pending_.erase(it);
   }
   replies_.fetch_add(1, std::memory_order_relaxed);
-  if (config_.sink) {
-    config_.sink->RecordClusterReply(node, NowNs() - pending.first_sent_ns);
-  }
+  const std::int64_t recv_ns = NowNs();
+  const std::int64_t e2e_ns = recv_ns - pending.first_sent_ns;
+  if (config_.sink) config_.sink->RecordClusterReply(node, e2e_ns);
   net::Reply out = reply;
   out.id = pending.client_id;
   out.request_id = pending.client_request_id;
+  if (pending.traced) {
+    // Assemble the cross-hop timeline in pipeline order: the router's
+    // pre-forward spans, the node's annex, then the wire residual.  Pending
+    // and wire are residuals against measured boundaries, so within-hop
+    // spans tile exactly and the whole timeline sums to the router-observed
+    // end-to-end latency (clamps only fire on pathological clock drift).
+    std::int64_t node_ns = 0;
+    for (const telemetry::StageSpan& span : reply.annex) {
+      node_ns += span.dur_ns;
+    }
+    const std::int64_t pick_ns = pending.pick_ns;
+    const std::int64_t retry_ns = pending.park_ns;
+    const std::int64_t pre_send_ns = std::max<std::int64_t>(
+        0, (pending.last_sent_ns - pending.first_sent_ns) - pick_ns -
+               retry_ns);
+    const std::int64_t wire_ns = std::max<std::int64_t>(
+        0, (recv_ns - pending.last_sent_ns) - node_ns);
+    std::vector<telemetry::StageSpan> timeline;
+    timeline.reserve(reply.annex.size() + 4);
+    timeline.push_back({telemetry::Stage::kRouterPending, pre_send_ns});
+    timeline.push_back({telemetry::Stage::kRouterPick, pick_ns});
+    timeline.push_back({telemetry::Stage::kRouterRetry, retry_ns});
+    timeline.insert(timeline.end(), reply.annex.begin(), reply.annex.end());
+    timeline.push_back({telemetry::Stage::kWire, wire_ns});
+    if (config_.sink) {
+      config_.sink->RecordStageTimeline(reply.request_id, timeline, e2e_ns,
+                                        pending.first_sent_ns);
+    }
+    out.annex = std::move(timeline);
+  }
   ReplyToClient(pending.conn_id, out);
 }
 
@@ -299,6 +352,7 @@ void Router::OnNodeDown(int node) {
     for (auto& [request_id, pending] : pending_) {
       if (pending.node != node) continue;
       pending.node = -1;
+      if (pending.traced) pending.parked_at_ns = NowNs();
       orphaned.emplace_back(request_id, pending.attempts);
     }
   }
@@ -391,6 +445,7 @@ void Router::WriteStatusJson(std::ostream& os) const {
   const Stats stats = GetStats();
   os << "{\"policy\":\"" << PolicyName() << "\""
      << ",\"healthy\":" << (Healthy() ? "true" : "false")
+     << ",\"trace_sample_n\":" << config_.trace_sample_n
      << ",\"accepted\":" << stats.accepted << ",\"routed\":" << stats.routed
      << ",\"replies\":" << stats.replies << ",\"retries\":" << stats.retries
      << ",\"no_node\":" << stats.no_node;

@@ -57,6 +57,11 @@ struct RouterConfig {
   fault::RetryPolicy retry;
   std::uint64_t seed = 1;  ///< retry backoff jitter
   telemetry::TelemetrySink* sink = nullptr;  ///< optional
+  /// Head-based trace sampling rate: 0 = off, 1 = every request, N = hash
+  /// of the router-assigned request_id selects ~1/N.  Sampled requests are
+  /// forwarded with kSubmitFlagTrace and their cross-hop timelines are
+  /// assembled from the reply annex (docs/OBSERVABILITY.md).
+  std::uint32_t trace_sample_n = 0;
 };
 
 class Router {
@@ -116,6 +121,13 @@ class Router {
     int node = -1;
     int attempts = 0;  ///< sends so far
     std::int64_t first_sent_ns = 0;       ///< steady-clock, for latency
+    // Traced requests accumulate the router-side stage spans here; the
+    // untraced path never reads the clock beyond first_sent_ns.
+    bool traced = false;
+    std::int64_t pick_ns = 0;       ///< total routing-policy selection time
+    std::int64_t park_ns = 0;       ///< total time parked in the retry queue
+    std::int64_t parked_at_ns = 0;  ///< park start; 0 = not currently parked
+    std::int64_t last_sent_ns = 0;  ///< most recent forward to a node
   };
 
   struct RetryEntry {

@@ -5,6 +5,7 @@
 
 #include "cluster/router.h"
 #include "ctrl/scheduler.h"
+#include "obs/http.h"
 #include "telemetry/sink.h"
 
 namespace arlo::cluster {
@@ -44,6 +45,7 @@ std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
         "  GET  /metrics\n"
         "  GET  /healthz\n"
         "  GET  /statusz\n"
+        "  GET  /fleetz\n"
         "  POST /cluster/drain?node=N\n"
         "  POST /cluster/join?port=P&admin=A\n";
     if (ctrl != nullptr) {
@@ -85,6 +87,52 @@ std::unique_ptr<obs::AdminServer> MakeRouterAdmin(
     response.content_type = "application/json";
     return response;
   });
+
+  // The fleet-wide view: router statusz, per-stage latency summary, ctrl
+  // scheduler status, and every node's own /statusz merged into one JSON
+  // document (docs/OBSERVABILITY.md has the schema).  Nodes whose admin
+  // plane does not answer are listed with "reachable":false rather than
+  // omitted, so the view always covers the whole pool.
+  server->Route(
+      "GET", "/fleetz", [&router, sink, ctrl](const obs::HttpRequest&) {
+        obs::HttpResponse response;
+        response.content_type = "application/json";
+        std::ostringstream os;
+        os << "{\"router\":";
+        router.WriteStatusJson(os);
+        if (sink != nullptr) {
+          os << ",\"stages\":";
+          sink->WriteStageSummaryJson(os);
+        }
+        if (ctrl != nullptr) {
+          os << ",\"ctrl\":";
+          ctrl->WriteStatusJson(os);
+        }
+        os << ",\"nodes\":[";
+        const std::vector<NodeStatus> nodes = router.Pool().Status();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          const NodeStatus& node = nodes[i];
+          if (i > 0) os << ",";
+          os << "{\"id\":" << node.node
+             << ",\"admin_port\":" << node.endpoint.admin_port
+             << ",\"state\":\"" << NodeStateName(node.state) << "\"";
+          obs::HttpResult result;
+          if (node.endpoint.admin_port != 0) {
+            result = obs::HttpFetch(node.endpoint.admin_port, "GET",
+                                    "/statusz");
+          }
+          if (result.ok && result.status == 200 && !result.body.empty() &&
+              result.body.front() == '{') {
+            os << ",\"reachable\":true,\"statusz\":" << result.body;
+          } else {
+            os << ",\"reachable\":false";
+          }
+          os << "}";
+        }
+        os << "]}";
+        response.body = os.str();
+        return response;
+      });
 
   server->Route(
       "POST", "/cluster/drain", [&router](const obs::HttpRequest& request) {

@@ -86,4 +86,22 @@ void CliFlags::RejectUnknown(
                               " (valid flags: " + JoinFlags(valid) + ")");
 }
 
+unsigned ParseTraceSample(const std::string& spec) {
+  if (spec == "off" || spec == "0") return 0;
+  std::string denom = spec;
+  if (spec.rfind("1/", 0) == 0) denom = spec.substr(2);
+  std::size_t used = 0;
+  unsigned long n = 0;
+  try {
+    n = std::stoul(denom, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != denom.size() || n == 0 || n > 0xffffffffUL) {
+    throw std::invalid_argument("bad --trace-sample '" + spec +
+                                "' (want off, 1, 1/N, or N)");
+  }
+  return static_cast<unsigned>(n);
+}
+
 }  // namespace arlo

@@ -45,4 +45,10 @@ class CliFlags {
   mutable std::set<std::string> queried_;
 };
 
+/// Parses a --trace-sample value into a sampling denominator for
+/// telemetry::TraceSampled: "off" or "0" disables (returns 0), "1" traces
+/// every request, and "1/N" (or a bare "N") selects one request in N by
+/// request-id hash.  Throws std::invalid_argument on anything else.
+unsigned ParseTraceSample(const std::string& spec);
+
 }  // namespace arlo

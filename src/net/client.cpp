@@ -185,6 +185,9 @@ LoadGeneratorResult RunLoadGenerator(const trace::Trace& trace,
       msg.deadline_ns = config.deadline;
       msg.tenant_class = static_cast<std::uint8_t>(
           std::clamp(r.tenant_class, 0, 255));
+      if (telemetry::TraceSampled(msg.id, config.trace_sample_n)) {
+        msg.flags |= kSubmitFlagTrace;
+      }
       {
         std::lock_guard lock(state.mu);
         state.outstanding.emplace(msg.id,
@@ -223,6 +226,7 @@ LoadGeneratorResult RunLoadGenerator(const trace::Trace& trace,
           static_cast<double>(wall_latency) / config.time_scale);
       out.queue_ns = reply.queue_ns;
       out.service_ns = reply.service_ns;
+      out.annex = reply.annex;
     }
   };
 

@@ -79,6 +79,11 @@ struct LoadGeneratorConfig {
   SimDuration deadline = 0;
   /// Busy-spin tail of each inter-arrival wait (send-time precision).
   SimDuration spin_threshold = Micros(200.0);
+  /// Head-based trace sampling for direct (router-less) clients: 0 = off,
+  /// 1 = every request, N = hash of the wire id selects ~1/N.  Sampled
+  /// requests carry kSubmitFlagTrace and their reply annexes land in
+  /// PerRequest::annex.
+  std::uint32_t trace_sample_n = 0;
 };
 
 struct LoadGeneratorResult {
@@ -94,6 +99,9 @@ struct LoadGeneratorResult {
     SimDuration latency = 0;
     std::int64_t queue_ns = 0;    ///< server-reported (kOk only)
     std::int64_t service_ns = 0;  ///< server-reported (kOk only)
+    /// Per-stage timing annex from the reply; empty unless this request was
+    /// trace-sampled (docs/OBSERVABILITY.md).
+    std::vector<telemetry::StageSpan> annex;
   };
 
   std::vector<PerRequest> requests;  ///< one per trace request, trace order

@@ -7,8 +7,10 @@ namespace {
 
 constexpr std::size_t kSubmitPayloadV2 = 32;  ///< legacy: no decode_len
 constexpr std::size_t kSubmitPayloadV3 = 36;  ///< legacy: no tenant_class
-constexpr std::size_t kSubmitPayload = 37;
-constexpr std::size_t kReplyPayload = 33;
+constexpr std::size_t kSubmitPayloadV4 = 37;  ///< legacy: no flags
+constexpr std::size_t kSubmitPayload = 38;
+constexpr std::size_t kReplyPayload = 33;  ///< base; +1+9n with an annex
+constexpr std::size_t kAnnexSpanBytes = 9;  ///< u8 stage + u64 dur_ns
 
 void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -63,10 +65,17 @@ void EncodeSubmit(const SubmitRequest& msg, std::vector<std::uint8_t>& out) {
   PutU32(out, msg.decode_len);
   PutU64(out, static_cast<std::uint64_t>(msg.deadline_ns));
   out.push_back(msg.tenant_class);
+  out.push_back(msg.flags);
 }
 
 void EncodeReply(const Reply& msg, std::vector<std::uint8_t>& out) {
-  PutU32(out, static_cast<std::uint32_t>(2 + kReplyPayload));
+  // The annex costs zero wire bytes when empty: an untraced v5 reply keeps
+  // the exact v4 payload size.  Oversized annexes (a misbehaving proxy
+  // chain) truncate to the cap rather than emitting an undecodable frame.
+  const std::size_t spans = std::min(msg.annex.size(), kMaxAnnexSpans);
+  const std::size_t payload =
+      kReplyPayload + (spans > 0 ? 1 + spans * kAnnexSpanBytes : 0);
+  PutU32(out, static_cast<std::uint32_t>(2 + payload));
   out.push_back(kProtocolVersion);
   out.push_back(static_cast<std::uint8_t>(MsgType::kReply));
   PutU64(out, msg.id);
@@ -74,6 +83,13 @@ void EncodeReply(const Reply& msg, std::vector<std::uint8_t>& out) {
   out.push_back(static_cast<std::uint8_t>(msg.status));
   PutU64(out, static_cast<std::uint64_t>(msg.queue_ns));
   PutU64(out, static_cast<std::uint64_t>(msg.service_ns));
+  if (spans > 0) {
+    out.push_back(static_cast<std::uint8_t>(spans));
+    for (std::size_t i = 0; i < spans; ++i) {
+      out.push_back(static_cast<std::uint8_t>(msg.annex[i].stage));
+      PutU64(out, static_cast<std::uint64_t>(msg.annex[i].dur_ns));
+    }
+  }
 }
 
 void FrameDecoder::Feed(const std::uint8_t* data, std::size_t n) {
@@ -118,6 +134,7 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
     case MsgType::kSubmit: {
       const std::size_t want = version == 2   ? kSubmitPayloadV2
                                : version == 3 ? kSubmitPayloadV3
+                               : version == 4 ? kSubmitPayloadV4
                                               : kSubmitPayload;
       if (payload_len != want) {
         error_ = "submit payload size " + std::to_string(payload_len);
@@ -134,10 +151,15 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
       out.submit.deadline_ns = static_cast<std::int64_t>(GetU64(payload + off));
       // v2/v3 clients predate tenant classes: they land in the default class.
       out.submit.tenant_class = version >= 4 ? payload[36] : 0;
+      // v2-v4 clients predate the trace flag: never traced.
+      out.submit.flags = version >= 5 ? payload[37] : 0;
       break;
     }
     case MsgType::kReply: {
-      if (payload_len != kReplyPayload) {
+      // Base payload at every version; a v5 reply may append the timing
+      // annex.  A pre-v5 reply with extra bytes is a protocol error.
+      const bool annexed = version >= 5 && payload_len > kReplyPayload;
+      if (!annexed && payload_len != kReplyPayload) {
         error_ = "reply payload size " + std::to_string(payload_len);
         return Result::kError;
       }
@@ -151,6 +173,28 @@ FrameDecoder::Result FrameDecoder::Next(Frame& out) {
       }
       out.reply.queue_ns = static_cast<std::int64_t>(GetU64(payload + 17));
       out.reply.service_ns = static_cast<std::int64_t>(GetU64(payload + 25));
+      out.reply.annex.clear();
+      if (annexed) {
+        const std::uint8_t count = payload[kReplyPayload];
+        if (count == 0 || count > kMaxAnnexSpans ||
+            payload_len != kReplyPayload + 1 + count * kAnnexSpanBytes) {
+          error_ = "bad reply annex (count " + std::to_string(count) +
+                   ", payload " + std::to_string(payload_len) + ")";
+          return Result::kError;
+        }
+        out.reply.annex.reserve(count);
+        const std::uint8_t* span = payload + kReplyPayload + 1;
+        for (std::uint8_t i = 0; i < count; ++i, span += kAnnexSpanBytes) {
+          if (span[0] >= telemetry::kNumStages) {
+            error_ = "unknown annex stage " + std::to_string(span[0]);
+            return Result::kError;
+          }
+          telemetry::StageSpan s;
+          s.stage = static_cast<telemetry::Stage>(span[0]);
+          s.dur_ns = static_cast<std::int64_t>(GetU64(span + 1));
+          out.reply.annex.push_back(s);
+        }
+      }
       break;
     }
     default:

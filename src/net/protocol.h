@@ -31,8 +31,15 @@
 //       still accepted and land in class 0 (the default class), so old
 //       clients keep working; the cluster router forwards the class intact.
 //       Adds ReplyStatus::kShedClass, the explicit per-class overload drop.
+//   v5  adds u8 flags to SubmitRequest (payload 37 -> 38 bytes; bit 0 =
+//       kSubmitFlagTrace, the head-based sampling decision) and an optional
+//       reply-side timing annex: per-stage wall-ns durations attributing the
+//       request's latency across the serving pipeline (docs/OBSERVABILITY.md).
+//       An untraced v5 reply stays at the 33-byte v4 payload — the annex
+//       costs zero bytes when tracing is off.  v2-v4 submits are still
+//       accepted (flags = 0, never traced).
 //
-// SubmitRequest (client -> server, 37-byte payload):
+// SubmitRequest (client -> server, 38-byte payload):
 //   u64 id           client-chosen, echoed in the reply (unique per conn)
 //   u64 request_id   correlation token, echoed verbatim in the reply; 0 for
 //                    direct clients, router-assigned for proxied requests
@@ -40,14 +47,18 @@
 //   u32 length       input token count — the scheduling-relevant field
 //   u32 decode_len   output tokens to generate; 0 = one-shot (v3+)
 //   i64 deadline_ns  relative latency budget; 0 = no deadline
-//   u8  tenant_class tenant SLO class id; 0 = default class (v4 only)
+//   u8  tenant_class tenant SLO class id; 0 = default class (v4+)
+//   u8  flags        bit 0: trace this request (v5 only)
 //
-// Reply (server -> client, 33-byte payload):
+// Reply (server -> client, 33-byte payload, + timing annex when traced):
 //   u64 id          echo of the submit id
 //   u64 request_id  echo of the submit request_id
 //   u8  status      ReplyStatus below
 //   i64 queue_ns    simulated queueing delay (kOk only, else 0)
 //   i64 service_ns  simulated service time   (kOk only, else 0)
+//   -- annex, present iff the payload extends past 33 bytes (v5 only) --
+//   u8  annex_count number of stage spans (1..kMaxAnnexSpans)
+//   annex_count x { u8 stage (telemetry::Stage), u64 dur_ns }
 #pragma once
 
 #include <cstddef>
@@ -55,13 +66,19 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/stages.h"
+
 namespace arlo::net {
 
 /// Wire format version stamped into every frame header.
-inline constexpr std::uint8_t kProtocolVersion = 4;
+inline constexpr std::uint8_t kProtocolVersion = 5;
 /// Oldest version the decoder still accepts (v2 submits lack decode_len,
-/// v3 submits lack tenant_class).
+/// v3 submits lack tenant_class, v4 submits lack flags).
 inline constexpr std::uint8_t kMinProtocolVersion = 2;
+
+/// SubmitRequest::flags bit 0: the sender sampled this request for tracing;
+/// the node should stamp a timing annex into the reply.
+inline constexpr std::uint8_t kSubmitFlagTrace = 0x01;
 
 enum class MsgType : std::uint8_t {
   kSubmit = 1,
@@ -92,9 +109,15 @@ struct SubmitRequest {
   std::uint32_t decode_len = 0;  ///< output tokens; 0 = one-shot
   std::int64_t deadline_ns = 0;
   std::uint8_t tenant_class = 0;  ///< tenant SLO class; 0 = default
+  std::uint8_t flags = 0;         ///< kSubmitFlagTrace et al. (v5 only)
 
   bool operator==(const SubmitRequest&) const = default;
 };
+
+/// Most stage spans one reply annex can carry.  Seven node stages plus four
+/// router stages fit with room to grow; the cap keeps the largest reply
+/// frame well under kMaxFrameBytes.
+inline constexpr std::size_t kMaxAnnexSpans = 16;
 
 struct Reply {
   std::uint64_t id = 0;
@@ -102,17 +125,25 @@ struct Reply {
   ReplyStatus status = ReplyStatus::kOk;
   std::int64_t queue_ns = 0;
   std::int64_t service_ns = 0;
+  /// Timing annex: per-stage wall-ns latency attribution, present only for
+  /// traced requests (empty = no annex bytes on the wire).  The router
+  /// prepends its own spans before relaying, so a client sees the complete
+  /// cross-hop timeline in pipeline order.
+  std::vector<telemetry::StageSpan> annex;
 
   bool operator==(const Reply&) const = default;
 };
 
 /// Hard cap on frame_len; anything larger is garbage by definition (real
-/// frames are 39 and 35 bytes, 38 for a v3 submit, 34 for a legacy v2).
+/// frames are 40 and 35 bytes — 39/38/34 for legacy v4/v3/v2 submits — and
+/// a fully annexed reply tops out at 35 + 1 + 9 * kMaxAnnexSpans = 180).
 inline constexpr std::size_t kMaxFrameBytes = 256;
 
 /// Serialized frame sizes including the 4-byte length prefix (as encoded,
-/// i.e. v4; the decoder also accepts 38-byte v3 and 34-byte v2 submits).
-inline constexpr std::size_t kSubmitFrameBytes = 4 + 2 + 37;
+/// i.e. v5; the decoder also accepts 39-byte v4, 38-byte v3, and 34-byte v2
+/// submits).  A traced reply adds 1 + 9 * annex_count bytes to
+/// kReplyFrameBytes.
+inline constexpr std::size_t kSubmitFrameBytes = 4 + 2 + 38;
 inline constexpr std::size_t kReplyFrameBytes = 4 + 2 + 33;
 
 /// Append one framed message to `out`.

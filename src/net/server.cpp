@@ -69,14 +69,27 @@ struct Server::Impl {
     std::uint64_t wire_id = 0;
     std::uint64_t wire_request_id = 0;  ///< echoed verbatim (router token)
     WallClock::time_point recv_wall;
+    // Trace-sampled requests (kSubmitFlagTrace) stamp a per-stage timing
+    // annex into their reply; the two frontend stages measured before the
+    // request enters the backend are carried here.
+    bool traced = false;
+    std::int64_t accept_ns = 0;     ///< frame decoded -> request built
+    std::int64_t admission_ns = 0;  ///< admission controller decision
   };
   std::unordered_map<RequestId, Pending> pending_;
   RequestId next_request_id_ = 1;
   std::uint64_t next_conn_id_ = 1;
 
   // --- cross-thread state ------------------------------------------------
+  struct Completion {
+    RequestId id = 0;
+    RequestRecord record;
+    /// When the worker's completion callback handed the record off — the
+    /// start of the reply-write stage for traced requests.
+    WallClock::time_point done_wall;
+  };
   std::mutex completions_mu_;  // leaf: pushers hold the dispatch mutex
-  std::vector<std::pair<RequestId, RequestRecord>> completions_;
+  std::vector<Completion> completions_;
 
   mutable std::mutex stats_mu_;  // leaf
   ServerStats stats_;
@@ -104,6 +117,12 @@ struct Server::Impl {
 void Server::Impl::Start() {
   ARLO_CHECK_MSG(!started_, "Server started twice");
   started_ = true;
+  if (config_.telemetry) {
+    // Node stages only — the router registers the router-side family on its
+    // own sink.  Registration is idempotent and costs nothing until a traced
+    // request actually records.
+    config_.telemetry->EnableStageMetrics(/*include_router=*/false);
+  }
   listen_fd_ = ListenTcp(config_.port);
   SetNonBlocking(listen_fd_.Get());
   port_ = LocalPort(listen_fd_.Get());
@@ -150,7 +169,7 @@ void Server::Impl::PumpLoop() {
       admission_.OnRequestDone(cls);
       {
         std::lock_guard lock(completions_mu_);
-        completions_.emplace_back(id, record);
+        completions_.push_back({id, record, WallClock::now()});
       }
       Wake();
     });
@@ -259,6 +278,11 @@ void Server::Impl::OnReadable(Conn& conn) {
 }
 
 void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
+  // Head-based sampling: the sender (client or router) made the decision;
+  // untraced requests never read the wall clock here.
+  const bool traced = (submit.flags & kSubmitFlagTrace) != 0;
+  const WallClock::time_point trace_entry =
+      traced ? WallClock::now() : WallClock::time_point{};
   const SimTime now = backend_.Now();
   Request request;
   request.id = next_request_id_++;
@@ -273,6 +297,8 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
           ? tenants->Clamp(static_cast<int>(submit.tenant_class))
           : 0;
 
+  const WallClock::time_point trace_built =
+      traced ? WallClock::now() : WallClock::time_point{};
   const AdmissionDecision decision =
       admission_.Admit(now, backend_.EstimatedQueueDelay(), submit.deadline_ns,
                        request.tenant_class);
@@ -284,6 +310,17 @@ void Server::Impl::HandleSubmit(Conn& conn, const SubmitRequest& submit) {
       pending.wire_id = submit.id;
       pending.wire_request_id = submit.request_id;
       pending.recv_wall = WallClock::now();
+      if (traced) {
+        pending.traced = true;
+        pending.accept_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                trace_built - trace_entry)
+                .count();
+        pending.admission_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                pending.recv_wall - trace_built)
+                .count();
+      }
       pending_.emplace(request.id, pending);
       if (!submit_queue_.TryPush(request)) {
         // Dispatcher backpressure: undo the admit and reject explicitly.
@@ -402,7 +439,7 @@ void Server::Impl::CloseConn(int fd) {
 }
 
 void Server::Impl::DrainCompletions() {
-  std::vector<std::pair<RequestId, RequestRecord>> done;
+  std::vector<Completion> done;
   {
     std::lock_guard lock(completions_mu_);
     done.swap(completions_);
@@ -410,8 +447,15 @@ void Server::Impl::DrainCompletions() {
   if (done.empty()) return;
   const auto wall_now = WallClock::now();
   const double time_scale = backend_.Config().time_scale;
-  for (const auto& [id, record] : done) {
-    auto it = pending_.find(id);
+  // Backend-side spans are simulated durations; the annex carries wall ns,
+  // so they scale by the same factor the testbed slept them at.
+  const auto scale_sim = [time_scale](SimDuration d) {
+    if (d < 0) d = 0;
+    return static_cast<std::int64_t>(static_cast<double>(d) * time_scale);
+  };
+  for (const Completion& completion : done) {
+    const RequestRecord& record = completion.record;
+    auto it = pending_.find(completion.id);
     if (it == pending_.end()) continue;  // cannot happen; defensive
     const Pending pending = it->second;
     pending_.erase(it);
@@ -426,6 +470,37 @@ void Server::Impl::DrainCompletions() {
     reply.status = ReplyStatus::kOk;
     reply.queue_ns = record.QueueingDelay();
     reply.service_ns = record.ServiceTime();
+    if (pending.traced) {
+      // The seven node stages in pipeline order.  Prefill ends at the first
+      // token for generative requests and at completion for one-shot ones
+      // (whose single "token" is the whole answer); decode is the remainder.
+      const SimTime first =
+          record.IsGenerative() ? record.first_token : record.completion;
+      reply.annex.reserve(telemetry::kNumNodeStages);
+      reply.annex.push_back(
+          {telemetry::Stage::kAccept, pending.accept_ns});
+      reply.annex.push_back(
+          {telemetry::Stage::kAdmission, pending.admission_ns});
+      reply.annex.push_back({telemetry::Stage::kQueue,
+                             scale_sim(record.dispatch - record.arrival)});
+      reply.annex.push_back({telemetry::Stage::kBatch,
+                             scale_sim(record.start - record.dispatch)});
+      reply.annex.push_back(
+          {telemetry::Stage::kPrefill, scale_sim(first - record.start)});
+      reply.annex.push_back(
+          {telemetry::Stage::kDecode,
+           record.IsGenerative() ? scale_sim(record.completion - first) : 0});
+      reply.annex.push_back(
+          {telemetry::Stage::kReplyWrite,
+           std::chrono::duration_cast<std::chrono::nanoseconds>(
+               wall_now - completion.done_wall)
+               .count()});
+      if (config_.telemetry) {
+        for (const telemetry::StageSpan& span : reply.annex) {
+          config_.telemetry->RecordStageSpan(span);
+        }
+      }
+    }
     EncodeReply(reply, conn.out);
     WithStats([](ServerStats& s) { ++s.replies_sent; });
     if (config_.telemetry) {

@@ -57,6 +57,48 @@ std::size_t ParseNumberArray(const std::string& json, const std::string& key,
   return end + 1;
 }
 
+/// Structural completeness check: the body is exactly one brace-balanced
+/// JSON object (string-aware), with nothing but whitespace after it.  A
+/// scrape truncated mid-write — the node died, the socket hit a limit —
+/// fails here instead of yielding partially parsed numbers.
+bool BalancedJsonObject(const std::string& body) {
+  std::size_t at = 0;
+  while (at < body.size() &&
+         std::isspace(static_cast<unsigned char>(body[at]))) {
+    ++at;
+  }
+  if (at >= body.size() || body[at] != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (; at < body.size(); ++at) {
+    const char c = body[at];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+      if (depth == 0) break;  // top-level object closed
+    }
+  }
+  if (depth != 0 || at >= body.size()) return false;
+  for (++at; at < body.size(); ++at) {
+    if (!std::isspace(static_cast<unsigned char>(body[at]))) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool JsonFindNumber(const std::string& json, const std::string& key,
@@ -66,48 +108,59 @@ bool JsonFindNumber(const std::string& json, const std::string& key,
   return ParseNumberAt(json, at, out);
 }
 
-void ParseStatusz(const std::string& body, NodeProbe& out) {
-  JsonFindNumber(body, "time_s", out.time_s);
-  out.submitted = FindInt(body, "submitted");
-  out.completed = FindInt(body, "completed");
-  out.inflight = FindInt(body, "inflight");
-  out.buffered = FindInt(body, "buffered");
-  out.live_workers = static_cast<int>(FindInt(body, "live_workers"));
-  out.est_queue_delay_ns = FindInt(body, "est_queue_delay_ns");
+bool ParseStatusz(const std::string& body, NodeProbe& out) {
+  // All-or-nothing: fields are parsed into a local and copied out only when
+  // the body passes validation, so a failure never leaves `out` partially
+  // overwritten.
+  if (!BalancedJsonObject(body)) return false;
+  NodeProbe parsed;
+  parsed.reachable = out.reachable;
+  parsed.healthy = out.healthy;
+  // Every LiveTestbed /statusz carries these; a body missing any of them is
+  // a foreign or mangled payload, not a partial answer worth acting on.
+  if (!JsonFindNumber(body, "time_s", parsed.time_s)) return false;
+  double required = 0.0;
+  for (const char* key : {"submitted", "completed", "inflight", "buffered",
+                          "live_workers", "est_queue_delay_ns"}) {
+    if (!JsonFindNumber(body, key, required)) return false;
+  }
+  parsed.submitted = FindInt(body, "submitted");
+  parsed.completed = FindInt(body, "completed");
+  parsed.inflight = FindInt(body, "inflight");
+  parsed.buffered = FindInt(body, "buffered");
+  parsed.live_workers = static_cast<int>(FindInt(body, "live_workers"));
+  parsed.est_queue_delay_ns = FindInt(body, "est_queue_delay_ns");
 
   // "length_mix":{"bounds":[...],"counts":[...]} — absent unless the node
   // was configured with mix bounds.
-  out.mix_bounds.clear();
-  out.mix_counts.clear();
   const std::size_t mix = body.find("\"length_mix\":{");
   if (mix != std::string::npos) {
     std::vector<double> values;
     std::size_t after = ParseNumberArray(body, "bounds", mix, values);
     if (after != std::string::npos) {
-      for (double v : values) out.mix_bounds.push_back(static_cast<int>(v));
+      for (double v : values) parsed.mix_bounds.push_back(static_cast<int>(v));
       if (ParseNumberArray(body, "counts", after, values) !=
           std::string::npos) {
         for (double v : values) {
-          out.mix_counts.push_back(static_cast<std::int64_t>(v));
+          parsed.mix_counts.push_back(static_cast<std::int64_t>(v));
         }
       }
     }
-    if (out.mix_counts.size() != out.mix_bounds.size()) {
-      out.mix_bounds.clear();
-      out.mix_counts.clear();
+    if (parsed.mix_counts.size() != parsed.mix_bounds.size()) {
+      parsed.mix_bounds.clear();
+      parsed.mix_counts.clear();
     }
   }
 
-  out.pending_launches = FindInt(body, "pending_launches");
+  parsed.pending_launches = FindInt(body, "pending_launches");
 
   const std::size_t reallocs = body.find("\"reallocs\":{");
   if (reallocs != std::string::npos) {
-    out.reallocs_applied = FindInt(body.substr(reallocs), "applied");
-    out.reallocs_rejected = FindInt(body.substr(reallocs), "rejected");
+    parsed.reallocs_applied = FindInt(body.substr(reallocs), "applied");
+    parsed.reallocs_rejected = FindInt(body.substr(reallocs), "rejected");
   }
 
   // Per-class head-of-line queueing delay, in class-id (= row) order.
-  out.class_queue_delay_ns.clear();
   std::size_t tenants = body.find("\"tenants\":[");
   if (tenants != std::string::npos) {
     tenants += std::string("\"tenants\":[").size();
@@ -119,37 +172,38 @@ void ParseStatusz(const std::string& body, NodeProbe& out) {
       const std::size_t obj_end = body.find('}', obj_start);
       if (obj_end == std::string::npos || obj_end > tenants_end) break;
       const std::string row = body.substr(obj_start, obj_end - obj_start + 1);
-      out.class_queue_delay_ns.push_back(FindInt(row, "queue_delay_ns"));
+      parsed.class_queue_delay_ns.push_back(FindInt(row, "queue_delay_ns"));
       at = obj_end + 1;
     }
   }
 
   // Walk the workers array: each row is a flat object with "state",
   // "runtime", and "max_length"; collect the ready rows' profile.
-  out.ready_worker_max_lengths.clear();
-  out.ready_worker_runtimes.clear();
   std::size_t at = body.find("\"workers\":[");
-  if (at == std::string::npos) return;
-  at += std::string("\"workers\":[").size();
-  const std::size_t array_end = body.find(']', at);
-  if (array_end == std::string::npos) return;
-  while (at < array_end) {
-    const std::size_t obj_start = body.find('{', at);
-    if (obj_start == std::string::npos || obj_start > array_end) break;
-    std::size_t obj_end = body.find('}', obj_start);
-    if (obj_end == std::string::npos || obj_end > array_end) break;
-    const std::string row = body.substr(obj_start, obj_end - obj_start + 1);
-    if (row.find("\"state\":\"ready\"") != std::string::npos) {
-      double max_length = 0.0;
-      if (JsonFindNumber(row, "max_length", max_length)) {
-        out.ready_worker_max_lengths.push_back(static_cast<int>(max_length));
-        double runtime = -1.0;
-        JsonFindNumber(row, "runtime", runtime);
-        out.ready_worker_runtimes.push_back(static_cast<int>(runtime));
+  if (at != std::string::npos) {
+    at += std::string("\"workers\":[").size();
+    const std::size_t array_end = body.find(']', at);
+    while (array_end != std::string::npos && at < array_end) {
+      const std::size_t obj_start = body.find('{', at);
+      if (obj_start == std::string::npos || obj_start > array_end) break;
+      std::size_t obj_end = body.find('}', obj_start);
+      if (obj_end == std::string::npos || obj_end > array_end) break;
+      const std::string row = body.substr(obj_start, obj_end - obj_start + 1);
+      if (row.find("\"state\":\"ready\"") != std::string::npos) {
+        double max_length = 0.0;
+        if (JsonFindNumber(row, "max_length", max_length)) {
+          parsed.ready_worker_max_lengths.push_back(
+              static_cast<int>(max_length));
+          double runtime = -1.0;
+          JsonFindNumber(row, "runtime", runtime);
+          parsed.ready_worker_runtimes.push_back(static_cast<int>(runtime));
+        }
       }
+      at = obj_end + 1;
     }
-    at = obj_end + 1;
   }
+  out = std::move(parsed);
+  return true;
 }
 
 NodeProbe ProbeAdminEndpoint(std::uint16_t admin_port) {
@@ -160,7 +214,12 @@ NodeProbe ProbeAdminEndpoint(std::uint16_t admin_port) {
   if (!status.ok) return probe;
   probe.reachable = true;
   probe.healthy = health.status == 200;
-  if (status.status == 200) ParseStatusz(status.body, probe);
+  if (status.status == 200 && !ParseStatusz(status.body, probe)) {
+    // Truncated or malformed statusz: report the whole probe as failed
+    // rather than handing the caller a half-filled struct.
+    probe.reachable = false;
+    probe.healthy = false;
+  }
   return probe;
 }
 

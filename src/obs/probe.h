@@ -55,7 +55,9 @@ struct NodeProbe {
 };
 
 /// Probes 127.0.0.1:`admin_port` (GET /healthz then GET /statusz).  Never
-/// throws: unreachable or unparsable endpoints come back reachable=false.
+/// throws: unreachable or unparsable endpoints come back reachable=false —
+/// including a reachable node whose /statusz body is truncated or malformed
+/// (the probe is all-or-nothing; partial structs are never returned).
 NodeProbe ProbeAdminEndpoint(std::uint16_t admin_port);
 
 /// Extracts the number following `"key":` at top level or any nesting depth
@@ -65,7 +67,10 @@ bool JsonFindNumber(const std::string& json, const std::string& key,
                     double& out);
 
 /// Parses a NodeProbe's /statusz fields out of a statusz JSON body.
-/// Exposed for tests; ProbeAdminEndpoint composes it with the HTTP fetch.
-void ParseStatusz(const std::string& body, NodeProbe& out);
+/// Returns false — leaving `out`'s statusz fields untouched — when the body
+/// is not one complete brace-balanced JSON object or lacks the core fields
+/// every node statusz carries (truncated scrape, foreign payload).  Exposed
+/// for tests; ProbeAdminEndpoint composes it with the HTTP fetch.
+bool ParseStatusz(const std::string& body, NodeProbe& out);
 
 }  // namespace arlo::obs

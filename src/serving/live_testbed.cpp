@@ -1180,6 +1180,13 @@ void LiveTestbed::Impl::WriteStatusJson(std::ostream& os) {
     os << "}";
   }
   os << "]";
+  // Per-stage latency summary, present only once stage metrics are enabled
+  // (a net::Server with tracing wired up) so plain testbeds keep emitting
+  // the exact statusz bytes they always have.
+  if (config_.telemetry != nullptr && config_.telemetry->StageMetricsEnabled()) {
+    os << ",\"stages\":";
+    config_.telemetry->WriteStageSummaryJson(os);
+  }
   os << ",\"scheme\":";
   scheme_.WriteStatusJson(os, now);
   os << "}";

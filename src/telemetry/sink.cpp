@@ -188,6 +188,10 @@ TelemetrySink::TelemetrySink(TelemetryConfig config)
       "arlo_ctrl_solve_ns", "Target cluster-allocation solve wall time");
   ctrl_.apply_ns = registry_.GetHistogram(
       "arlo_ctrl_apply_ns", "POST /realloc round-trip wall time");
+  trace_dropped_ = registry_.GetCounter(
+      "arlo_trace_dropped_total",
+      "Trace events evicted oldest-first because the recorder buffer was at "
+      "max_trace_events (silent truncation made visible)");
 }
 
 void TelemetrySink::RecordCtrlScrape(int ok, int failed) {
@@ -671,6 +675,72 @@ void TelemetrySink::RecordTenantShed(int cls) {
   if (const TenantClassMetrics* t = Tenant(cls)) t->shed->Add();
 }
 
+void TelemetrySink::EnableStageMetrics(bool include_router) {
+  const int limit = include_router ? kNumStages : kNumNodeStages;
+  for (int i = 0; i < limit; ++i) {
+    if (stage_[static_cast<std::size_t>(i)] != nullptr) continue;
+    const auto stage = static_cast<Stage>(i);
+    stage_[static_cast<std::size_t>(i)] = registry_.GetHistogram(
+        std::string("arlo_stage_latency_ns{stage=\"") + StageName(stage) +
+            "\"}",
+        "Wall ns attributed to one pipeline stage of traced requests");
+  }
+}
+
+void TelemetrySink::RecordStageSpan(StageSpan span) {
+  const auto index = static_cast<std::size_t>(span.stage);
+  if (index >= stage_.size() || stage_[index] == nullptr) return;
+  stage_[index]->Record(span.dur_ns);
+}
+
+void TelemetrySink::RecordStageTimeline(std::uint64_t request_id,
+                                        const std::vector<StageSpan>& spans,
+                                        std::int64_t e2e_ns,
+                                        std::int64_t base_ts_ns) {
+  for (const StageSpan& span : spans) RecordStageSpan(span);
+  if (!config_.trace_requests || spans.empty()) return;
+  // Dedicated negative lane block (-2..-17) so traced-request timelines
+  // never collide with instance lanes (>= 0) or kControlLane (-1).  Hashing
+  // keeps concurrent requests on mostly distinct lanes while bounding the
+  // lane count in week-long runs.
+  const std::int64_t lane =
+      -2 - static_cast<std::int64_t>(TraceHash(request_id) % 16);
+  tracer_.Complete("request", "trace", base_ts_ns, e2e_ns, lane,
+                   {{"request_id", static_cast<std::int64_t>(request_id)},
+                    {"spans", static_cast<std::int64_t>(spans.size())}});
+  std::int64_t cursor = base_ts_ns;
+  for (const StageSpan& span : spans) {
+    tracer_.Complete(StageName(span.stage), "trace", cursor, span.dur_ns,
+                     lane,
+                     {{"request_id", static_cast<std::int64_t>(request_id)}});
+    cursor += span.dur_ns;
+  }
+}
+
+void TelemetrySink::WriteStageSummaryJson(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (std::size_t i = 0; i < stage_.size(); ++i) {
+    const LatencyHistogram* h = stage_[i];
+    if (h == nullptr) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << StageName(static_cast<Stage>(i))
+       << "\":{\"count\":" << h->Count() << ",\"p50_ns\":" << h->Quantile(0.50)
+       << ",\"p98_ns\":" << h->Quantile(0.98) << '}';
+  }
+  os << '}';
+}
+
+void TelemetrySink::SyncTraceDropped() const {
+  const std::uint64_t dropped = tracer_.Dropped();
+  std::lock_guard<std::mutex> lock(trace_dropped_mu_);
+  if (dropped > trace_dropped_synced_) {
+    trace_dropped_->Add(dropped - trace_dropped_synced_);
+    trace_dropped_synced_ = dropped;
+  }
+}
+
 Gauge* TelemetrySink::QueueDepthGauge(RuntimeId level) {
   std::lock_guard<std::mutex> lock(levels_mu_);
   if (queue_depth_.size() <= level) queue_depth_.resize(level + 1, nullptr);
@@ -713,10 +783,12 @@ std::vector<SnapshotRow> TelemetrySink::SnapshotRows() const {
 }
 
 void TelemetrySink::WritePrometheus(std::ostream& os) const {
+  SyncTraceDropped();
   WritePrometheusText(registry_, os);
 }
 
 void TelemetrySink::WriteJson(std::ostream& os) const {
+  SyncTraceDropped();
   WriteJsonSnapshot(registry_, tracer_.RunId(), os);
 }
 

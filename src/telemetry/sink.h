@@ -10,6 +10,7 @@
 // with their own notion of now, and rows land in one CSV-exportable series.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -18,6 +19,7 @@
 
 #include "common/types.h"
 #include "telemetry/metrics.h"
+#include "telemetry/stages.h"
 #include "telemetry/trace_recorder.h"
 
 namespace arlo::telemetry {
@@ -328,6 +330,32 @@ class TelemetrySink {
   /// record's tenant_class.
   const TenantClassMetrics* Tenant(int cls) const;
 
+  // --- cross-hop stage tracing (docs/OBSERVABILITY.md) -------------------
+  /// Registers the arlo_stage_latency_ns{stage="..."} histogram family for
+  /// the seven node stages (plus the router stages when `include_router`).
+  /// Idempotent; call before the run starts, same discipline as
+  /// EnableTenantMetrics.  Without this call RecordStageSpan and
+  /// RecordStageTimeline are no-ops and the exported metric set is
+  /// byte-identical to pre-tracing builds.
+  void EnableStageMetrics(bool include_router);
+  bool StageMetricsEnabled() const { return stage_[0] != nullptr; }
+  /// One attributed span into its per-stage latency histogram (no trace
+  /// event — timelines are emitted whole via RecordStageTimeline).
+  void RecordStageSpan(StageSpan span);
+  /// A complete assembled timeline for one traced request: every span lands
+  /// in its stage histogram and, when request tracing is on, the timeline is
+  /// emitted into the Chrome trace as a parent "request" span with the stage
+  /// spans tiled inside it in the given order, starting at `base_ts_ns` on a
+  /// lane derived from `request_id` (so concurrent traced requests render on
+  /// a bounded set of distinct lanes).
+  void RecordStageTimeline(std::uint64_t request_id,
+                           const std::vector<StageSpan>& spans,
+                           std::int64_t e2e_ns, std::int64_t base_ts_ns);
+  /// Per-stage {count, p50_ns, p98_ns} summary as one JSON object — the
+  /// "stages" block of /statusz and /fleetz.  Emits only enabled stages;
+  /// "{}" when stage metrics are off.
+  void WriteStageSummaryJson(std::ostream& os) const;
+
   // --- gauges ------------------------------------------------------------
   void SetClusterGauges(std::int64_t instances, std::int64_t outstanding,
                         std::int64_t buffer_depth);
@@ -363,6 +391,9 @@ class TelemetrySink {
   Gauge* QueueDepthGauge(RuntimeId level);
   Counter* NodeRoutedCounter(int node);
   LatencyHistogram* NodeRouteLatency(int node);
+  /// Folds tracer_.Dropped() into arlo_trace_dropped_total (delta since the
+  /// last sync) so every export sees the current drop count.
+  void SyncTraceDropped() const;
 
   TelemetryConfig config_;
   MetricsRegistry registry_;
@@ -383,6 +414,12 @@ class TelemetrySink {
   std::mutex nodes_mu_;
   std::vector<Counter*> node_routed_;           // index = node
   std::vector<LatencyHistogram*> node_route_;  // index = node
+
+  /// index = Stage value; nullptr = family disabled (EnableStageMetrics).
+  std::array<LatencyHistogram*, kNumStages> stage_{};
+  Counter* trace_dropped_ = nullptr;
+  mutable std::mutex trace_dropped_mu_;
+  mutable std::uint64_t trace_dropped_synced_ = 0;
 
   mutable std::mutex rows_mu_;
   std::vector<SnapshotRow> rows_;

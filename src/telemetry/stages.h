@@ -1,0 +1,88 @@
+// Cross-hop stage vocabulary for the distributed-tracing layer.
+//
+// A traced request's end-to-end latency is attributed to a fixed set of
+// stages: seven measured on the serving node (accept through reply write)
+// and four measured by the cluster router (pending-table wait, node pick,
+// retry parking, wire residual).  Stage ids are stamped into the wire
+// protocol's v5 reply timing annex (docs/NETWORKING.md), so their numeric
+// values are part of the wire format and must never be reordered — append
+// new stages at the end.
+//
+// All durations are wall-clock nanoseconds.  The node converts its
+// simulated-time spans (queue/batch/prefill/decode, stamped by
+// LiveTestbed/ContinuousBatcher) to wall ns via TestbedConfig::time_scale
+// before stamping the annex, so spans are directly comparable — and
+// summable — across hops.
+#pragma once
+
+#include <cstdint>
+
+namespace arlo::telemetry {
+
+enum class Stage : std::uint8_t {
+  // Node-side stages (stamped into the reply annex by net::Server).
+  kAccept = 0,      ///< frame decoded -> request built
+  kAdmission = 1,   ///< admission controller decision
+  kQueue = 2,       ///< arrival -> scheduler dispatch pick
+  kBatch = 3,       ///< dispatch pick -> execution start (batch formation)
+  kPrefill = 4,     ///< execution start -> first token (or completion)
+  kDecode = 5,      ///< first token -> completion (0 for one-shot)
+  kReplyWrite = 6,  ///< completion callback -> reply frame encoded
+  // Router-side stages (prepended by cluster::Router when assembling).
+  kRouterPending = 7,  ///< accepted -> forwarded, minus pick/retry time
+  kRouterPick = 8,     ///< routing-policy node selection
+  kRouterRetry = 9,    ///< parked in the retry queue after a node death
+  kWire = 10,          ///< socket + frontend residual not claimed by the node
+};
+
+inline constexpr int kNumNodeStages = 7;
+inline constexpr int kNumStages = 11;
+
+inline const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAccept: return "accept";
+    case Stage::kAdmission: return "admission";
+    case Stage::kQueue: return "queue";
+    case Stage::kBatch: return "batch";
+    case Stage::kPrefill: return "prefill";
+    case Stage::kDecode: return "decode";
+    case Stage::kReplyWrite: return "reply_write";
+    case Stage::kRouterPending: return "router_pending";
+    case Stage::kRouterPick: return "router_pick";
+    case Stage::kRouterRetry: return "router_retry";
+    case Stage::kWire: return "wire";
+  }
+  return "unknown";
+}
+
+/// One attributed span of a request's timeline: `dur_ns` wall nanoseconds
+/// spent in `stage`.  This is also the wire representation in the v5 reply
+/// annex (u8 stage + u64 dur_ns, little-endian).
+struct StageSpan {
+  Stage stage = Stage::kAccept;
+  std::int64_t dur_ns = 0;
+
+  bool operator==(const StageSpan&) const = default;
+};
+
+/// splitmix64 — the deterministic head-based sampling hash.  Every tier
+/// (client, router, node) hashes the same request_id with the same mixer,
+/// so a sampling decision made at the head of the request's path is
+/// reproducible anywhere without coordination.
+inline constexpr std::uint64_t TraceHash(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Head-based sampling decision for `request_id` at rate 1/`sample_n`.
+/// 0 = tracing off, 1 = trace everything, N = trace ~1/N of requests.
+inline constexpr bool TraceSampled(std::uint64_t request_id,
+                                   std::uint32_t sample_n) {
+  if (sample_n == 0) return false;
+  if (sample_n == 1) return true;
+  return TraceHash(request_id) % sample_n == 0;
+}
+
+}  // namespace arlo::telemetry

@@ -66,12 +66,13 @@ TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
   msg.decode_len = 0x4a3b2c1d;
   msg.deadline_ns = 0x0807060504030201LL;
   msg.tenant_class = 0x5a;
+  msg.flags = kSubmitFlagTrace;
 
   std::vector<std::uint8_t> bytes;
   EncodeSubmit(msg, bytes);
-  ASSERT_EQ(bytes.size(), 43u);
-  // frame_len = 39 (version + type bytes + 37-byte payload), little-endian.
-  EXPECT_EQ(bytes[0], 39u);
+  ASSERT_EQ(bytes.size(), 44u);
+  // frame_len = 40 (version + type bytes + 38-byte payload), little-endian.
+  EXPECT_EQ(bytes[0], 40u);
   EXPECT_EQ(bytes[1], 0u);
   EXPECT_EQ(bytes[2], 0u);
   EXPECT_EQ(bytes[3], 0u);
@@ -88,6 +89,7 @@ TEST(NetProtocol, LayoutIsLittleEndianAndStable) {
   EXPECT_EQ(bytes[34], 0x01);  // deadline LSB
   EXPECT_EQ(bytes[41], 0x08);
   EXPECT_EQ(bytes[42], 0x5a);  // tenant_class (v4)
+  EXPECT_EQ(bytes[43], 0x01);  // flags (v5): kSubmitFlagTrace
 }
 
 TEST(NetProtocol, V2SubmitFramesStillDecode) {
@@ -151,6 +153,38 @@ TEST(NetProtocol, V3SubmitFramesStillDecode) {
   EXPECT_EQ(frame.submit.length, 256u);
   EXPECT_EQ(frame.submit.decode_len, 48u);
   EXPECT_EQ(frame.submit.tenant_class, 0u);  // v3 has no tenant field
+}
+
+TEST(NetProtocol, V4SubmitFramesStillDecode) {
+  // A v4 submit (37-byte payload: tenant_class but no flags byte) must
+  // decode against a v5 server with flags = 0 (untraced).
+  std::vector<std::uint8_t> bytes = {39, 0, 0, 0, 4,
+                                     static_cast<std::uint8_t>(MsgType::kSubmit)};
+  auto put_u64 = [&bytes](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put_u32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  put_u64(0x5555u);  // id
+  put_u64(0x6666u);  // request_id
+  put_u32(1u);       // model
+  put_u32(192u);     // length
+  put_u32(16u);      // decode_len
+  put_u64(0u);       // deadline_ns
+  bytes.push_back(7u);  // tenant_class
+  ASSERT_EQ(bytes.size(), 4u + 39u);
+
+  const Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.type, MsgType::kSubmit);
+  EXPECT_EQ(frame.submit.id, 0x5555u);
+  EXPECT_EQ(frame.submit.length, 192u);
+  EXPECT_EQ(frame.submit.tenant_class, 7u);
+  EXPECT_EQ(frame.submit.flags, 0u);  // v4 has no flags byte
 }
 
 TEST(NetProtocol, CurrentVersionWithV2PayloadSizeIsAnError) {
